@@ -1,0 +1,165 @@
+//! Analytic CPU baseline: the "Xeon 2.4 GHz" software runs of Figs. 8-10.
+//!
+//! The model charges every layer its arithmetic ops at an effective
+//! throughput (vectorised but cache/bandwidth-limited, 2015-era BLAS-style
+//! inference) plus a fixed per-layer framework overhead, and burns a
+//! server-class package power for the duration. Absolute numbers are
+//! first-order; the figures depend on the *ratios* against the simulated
+//! accelerators, which come from op counts shared with the simulator.
+
+use deepburning_model::{network_stats, Network, NetworkError};
+
+/// CPU performance/power parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Clock, Hz.
+    pub freq_hz: f64,
+    /// Effective MACs per second for NN kernels.
+    pub effective_mac_per_s: f64,
+    /// Effective aux/LUT ops per second (branchy scalar code).
+    pub effective_aux_per_s: f64,
+    /// Per-layer invocation overhead, seconds (framework dispatch).
+    pub layer_overhead_s: f64,
+    /// Sustained memory bandwidth for streaming weights, bytes/s.
+    pub mem_bandwidth_bps: f64,
+    /// Package power while running, watts.
+    pub power_w: f64,
+    /// Package power during framework dispatch (no vector units busy).
+    pub idle_power_w: f64,
+}
+
+impl CpuModel {
+    /// The paper's host: "Intel Xeon 2.4 GHz CPU with 8 MB last level
+    /// cache", single-socket inference.
+    pub fn xeon_2_4ghz() -> Self {
+        CpuModel {
+            name: "Xeon 2.4GHz",
+            freq_hz: 2.4e9,
+            effective_mac_per_s: 4.8e9,
+            effective_aux_per_s: 2.4e9,
+            layer_overhead_s: 1.5e-6,
+            mem_bandwidth_bps: 4.0e9,
+            power_w: 65.0,
+            idle_power_w: 15.0,
+        }
+    }
+
+    /// Forward-propagation time of one input set, seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from the network.
+    pub fn forward_time(&self, net: &Network) -> Result<f64, NetworkError> {
+        let stats = network_stats(net)?;
+        let mac_s = stats.total.macs as f64 / self.effective_mac_per_s;
+        let aux_s =
+            (stats.total.aux_ops + stats.total.lut_ops) as f64 / self.effective_aux_per_s;
+        // FC-heavy models stream f32 weights from DRAM; the CPU is bound
+        // by whichever of compute and weight traffic is slower.
+        let weight_s = stats.total.weights as f64 * 4.0 / self.mem_bandwidth_bps;
+        let layers = net.layers().len() as f64;
+        Ok(mac_s.max(weight_s) + aux_s + layers * self.layer_overhead_s)
+    }
+
+    /// One SGD training iteration (forward + backward + update), seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from the network.
+    pub fn training_iteration_time(&self, net: &Network) -> Result<f64, NetworkError> {
+        let ts = deepburning_model::training_stats(net)?;
+        let fwd = self.forward_time(net)?;
+        let back_s = ts.backward_macs as f64 / self.effective_mac_per_s
+            + ts.backward_aux as f64 / self.effective_aux_per_s;
+        // Backward touches weights twice (read for dX, write dW) and the
+        // update streams them again — all in f32.
+        let weight_s =
+            ts.forward.weights as f64 * 4.0 * 3.0 / self.mem_bandwidth_bps;
+        let update_s = ts.update_ops as f64 / self.effective_mac_per_s;
+        Ok(fwd + back_s.max(weight_s) + update_s)
+    }
+
+    /// Energy of one forward propagation, joules. Busy time burns the
+    /// full package power; dispatch overhead burns idle power.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from the network.
+    pub fn forward_energy(&self, net: &Network) -> Result<f64, NetworkError> {
+        let total = self.forward_time(net)?;
+        let overhead = net.layers().len() as f64 * self.layer_overhead_s;
+        let busy = (total - overhead).max(0.0);
+        Ok(busy * self.power_w + overhead * self.idle_power_w)
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel::xeon_2_4ghz()
+    }
+}
+
+/// Literature reference point: Zhang et al., FPGA'15 — a hand-optimised
+/// AlexNet accelerator on a Virtex-7 at 100 MHz. The paper quotes ~20 ms
+/// per forward pass and notes it "consumes more energy than both DB-L and
+/// DB-S" (~0.5 J) "for it uses a much larger-scale FPGA device".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZhangFpga15;
+
+impl ZhangFpga15 {
+    /// Forward-propagation latency, seconds.
+    pub const LATENCY_S: f64 = 0.0216;
+    /// Energy per forward pass, joules.
+    pub const ENERGY_J: f64 = 0.5;
+    /// Board power, watts.
+    pub const POWER_W: f64 = 18.6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn alexnet_cpu_time_in_plausible_range() {
+        let cpu = CpuModel::xeon_2_4ghz();
+        let t = cpu.forward_time(&zoo::alexnet().network).expect("time");
+        // ~0.7 GMAC at ~5 GMAC/s -> low hundreds of ms.
+        assert!((0.05..1.0).contains(&t), "AlexNet CPU time {t}s");
+    }
+
+    #[test]
+    fn small_ann_dominated_by_overhead() {
+        let cpu = CpuModel::xeon_2_4ghz();
+        let t = cpu.forward_time(&zoo::ann0().network).expect("time");
+        let overhead = 6.0 * cpu.layer_overhead_s;
+        assert!(t < overhead * 2.0, "ANN-0 time {t}");
+    }
+
+    #[test]
+    fn energy_is_time_times_power() {
+        let cpu = CpuModel::xeon_2_4ghz();
+        let net = zoo::mnist().network;
+        let t = cpu.forward_time(&net).expect("time");
+        let e = cpu.forward_energy(&net).expect("energy");
+        // Energy is bounded by busy power and above idle power.
+        assert!(e <= t * cpu.power_w + 1e-12);
+        assert!(e >= t * cpu.idle_power_w);
+    }
+
+    #[test]
+    fn bigger_network_takes_longer() {
+        let cpu = CpuModel::xeon_2_4ghz();
+        let small = cpu.forward_time(&zoo::mnist().network).expect("time");
+        let big = cpu.forward_time(&zoo::alexnet().network).expect("time");
+        assert!(big > small * 10.0);
+    }
+
+    #[test]
+    fn zhang_constants() {
+        assert!(ZhangFpga15::LATENCY_S > 0.02 && ZhangFpga15::LATENCY_S < 0.025);
+        assert!((ZhangFpga15::ENERGY_J - 0.5).abs() < 1e-12);
+    }
+}

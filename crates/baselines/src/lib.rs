@@ -1,0 +1,34 @@
+//! Evaluation baselines for the DeepBurning reproduction: the benchmark
+//! zoo of paper Table 2, the hand-tuned "Custom" designs, the Xeon CPU
+//! cost model and the Zhang FPGA'15 literature reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use deepburning_baselines::{zoo, CpuModel};
+//!
+//! let bench = zoo::mnist();
+//! let cpu = CpuModel::xeon_2_4ghz();
+//! let seconds = cpu.forward_time(&bench.network)?;
+//! assert!(seconds > 0.0);
+//! # Ok::<(), deepburning_model::NetworkError>(())
+//! ```
+
+mod cpu;
+mod custom;
+mod trained;
+pub mod zoo;
+
+pub use cpu::{CpuModel, ZhangFpga15};
+pub use custom::{
+    custom_config, custom_design, custom_timing_params, CUSTOM_PHASE_OVERHEAD_CYCLES,
+    HANDWIRED_CONTROL_FACTOR,
+};
+pub use trained::{
+    hopfield_weights, pseudo_weights, train_ann, train_cifar, train_cmac, train_mnist,
+    TrainedModel,
+};
+pub use zoo::{
+    alexnet, alexnet_micro, all_benchmarks, ann0, ann1, ann2, cifar, cmac, googlenet_slice,
+    hopfield, mlp4, mnist, nin, nin_micro, Benchmark,
+};

@@ -1,0 +1,487 @@
+//! The benchmark model zoo — the eight networks of paper Table 2.
+//!
+//! "Eight NN models are testified with NN-Gen: three 4-layer ANNs, 2-layer
+//! Hopfield, 2-layer CMAC, 5-layer MNIST, Alexnet, NiN and Cifar."
+//!
+//! AlexNet and NiN are built at the paper's full ImageNet dimensions for
+//! the timing/resource experiments; `alexnet_micro`/`nin_micro` are
+//! reduced-resolution variants with identical layer structure used by the
+//! functional-accuracy experiment (running 724 M MACs through the bit-true
+//! simulator per image is not informative — the fixed-point error is a
+//! per-layer property).
+
+use deepburning_model::{
+    Activation, ConnectDirection, ConnectType, Connection, ConvParam, FullParam, Layer, LayerKind,
+    LrnParam, Network, PoolMethod, PoolParam,
+};
+
+/// A zoo entry: network plus Table 2 metadata.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short name used in the figures (`ANN-0`, `Alexnet`, …).
+    pub name: &'static str,
+    /// The application column of Table 2.
+    pub application: &'static str,
+    /// The network itself.
+    pub network: Network,
+}
+
+fn conv(name: &str, bottom: &str, p: ConvParam) -> Layer {
+    Layer::new(name, LayerKind::Convolution(p), bottom, name)
+}
+
+fn pool(name: &str, bottom: &str, method: PoolMethod, k: usize, s: usize) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Pooling(PoolParam {
+            method,
+            kernel_size: k,
+            stride: s,
+        }),
+        bottom,
+        name,
+    )
+}
+
+fn fc(name: &str, bottom: &str, n: usize) -> Layer {
+    Layer::new(name, LayerKind::FullConnection(FullParam::dense(n)), bottom, name)
+}
+
+fn act(name: &str, blob: &str, a: Activation) -> Layer {
+    Layer::new(name, LayerKind::Activation(a), blob, blob)
+}
+
+/// A 4-layer MLP `inputs-h1-h2-outputs` with the given hidden activation.
+pub fn mlp4(
+    name: &str,
+    inputs: usize,
+    h1: usize,
+    h2: usize,
+    outputs: usize,
+    hidden: Activation,
+) -> Network {
+    Network::from_layers(
+        name,
+        vec![
+            Layer::input("data", "data", inputs, 1, 1),
+            fc("fc1", "data", h1),
+            act("act1", "fc1", hidden),
+            fc("fc2", "fc1", h2),
+            act("act2", "fc2", hidden),
+            fc("out", "fc2", outputs),
+        ],
+    )
+    .expect("mlp4 is well-formed")
+}
+
+/// ANN-0: approximates the fft twiddle kernel (AxBench), MLP 1-4-4-2.
+pub fn ann0() -> Benchmark {
+    Benchmark {
+        name: "ANN-0",
+        application: "fft",
+        network: mlp4("ann0", 1, 4, 4, 2, Activation::Tanh),
+    }
+}
+
+/// ANN-1: approximates the jpeg 8-point DCT kernel, MLP 8-16-16-8.
+pub fn ann1() -> Benchmark {
+    Benchmark {
+        name: "ANN-1",
+        application: "jpeg",
+        network: mlp4("ann1", 8, 16, 16, 8, Activation::Tanh),
+    }
+}
+
+/// ANN-2: approximates the kmeans centroid-distance kernel, MLP 3-8-8-4.
+pub fn ann2() -> Benchmark {
+    Benchmark {
+        name: "ANN-2",
+        application: "kmeans",
+        network: mlp4("ann2", 3, 8, 8, 4, Activation::Sigmoid),
+    }
+}
+
+/// 2-layer CMAC: associative table + output layer, recurrent connection
+/// for trajectory feedback (robot arm control).
+pub fn cmac() -> Benchmark {
+    let layers = vec![
+        Layer::input("data", "data", 6, 1, 1),
+        Layer::new(
+            "assoc",
+            LayerKind::Associative {
+                table_size: 2048,
+                active_cells: 32,
+            },
+            "data",
+            "assoc",
+        ),
+        fc("out", "assoc", 2),
+    ];
+    let connections = vec![Connection {
+        name: "arm_fb".to_string(),
+        from: "out".to_string(),
+        to: "assoc".to_string(),
+        direction: ConnectDirection::Recurrent,
+        kind: ConnectType::FullPerChannel,
+    }];
+    Benchmark {
+        name: "CMAC",
+        application: "Robot arm control",
+        network: Network::with_connections("cmac", layers, connections)
+            .expect("cmac is well-formed"),
+    }
+}
+
+/// 2-layer Hopfield network (32 neurons, 8 settle steps) for TSP.
+pub fn hopfield() -> Benchmark {
+    let layers = vec![
+        Layer::input("data", "data", 32, 1, 1),
+        Layer::new(
+            "settle",
+            LayerKind::Recurrent {
+                num_output: 32,
+                steps: 8,
+            },
+            "data",
+            "settle",
+        ),
+        Layer::new("cls", LayerKind::Classifier { top_k: 4 }, "settle", "cls"),
+    ];
+    let connections = vec![Connection {
+        name: "hop_fb".to_string(),
+        from: "settle".to_string(),
+        to: "settle".to_string(),
+        direction: ConnectDirection::Recurrent,
+        kind: ConnectType::FullPerChannel,
+    }];
+    Benchmark {
+        name: "Hopfield",
+        application: "TSP solver",
+        network: Network::with_connections("hopfield", layers, connections)
+            .expect("hopfield is well-formed"),
+    }
+}
+
+/// 5-layer MNIST network (LeNet-style).
+pub fn mnist() -> Benchmark {
+    Benchmark {
+        name: "MNIST",
+        application: "Number recognition",
+        network: Network::from_layers(
+            "mnist",
+            vec![
+                Layer::input("data", "data", 1, 28, 28),
+                conv("conv1", "data", ConvParam::new(20, 5, 1)),
+                pool("pool1", "conv1", PoolMethod::Max, 2, 2),
+                fc("ip1", "pool1", 100),
+                act("sig1", "ip1", Activation::Sigmoid),
+                fc("ip2", "ip1", 10),
+            ],
+        )
+        .expect("mnist is well-formed"),
+    }
+}
+
+/// Cifar-quick-style network on 3×32×32 images.
+pub fn cifar() -> Benchmark {
+    Benchmark {
+        name: "Cifar",
+        application: "Image classification",
+        network: Network::from_layers(
+            "cifar",
+            vec![
+                Layer::input("data", "data", 3, 32, 32),
+                conv("conv1", "data", ConvParam::new(32, 5, 1).with_pad(2)),
+                pool("pool1", "conv1", PoolMethod::Max, 2, 2),
+                act("relu1", "pool1", Activation::Relu),
+                conv("conv2", "pool1", ConvParam::new(32, 5, 1).with_pad(2)),
+                act("relu2", "conv2", Activation::Relu),
+                pool("pool2", "conv2", PoolMethod::Average, 2, 2),
+                fc("ip1", "pool2", 64),
+                fc("ip2", "ip1", 10),
+            ],
+        )
+        .expect("cifar is well-formed"),
+    }
+}
+
+/// Full AlexNet (227×227×3, ILSVRC dimensions).
+pub fn alexnet() -> Benchmark {
+    Benchmark {
+        name: "Alexnet",
+        application: "Image recognition",
+        network: Network::from_layers(
+            "alexnet",
+            vec![
+                Layer::input("data", "data", 3, 227, 227),
+                conv("conv1", "data", ConvParam::new(96, 11, 4)),
+                act("relu1", "conv1", Activation::Relu),
+                Layer::new("norm1", LayerKind::Lrn(LrnParam::default()), "conv1", "norm1"),
+                pool("pool1", "norm1", PoolMethod::Max, 3, 2),
+                conv("conv2", "pool1", ConvParam::new(256, 5, 1).with_pad(2).with_group(2)),
+                act("relu2", "conv2", Activation::Relu),
+                Layer::new("norm2", LayerKind::Lrn(LrnParam::default()), "conv2", "norm2"),
+                pool("pool2", "norm2", PoolMethod::Max, 3, 2),
+                conv("conv3", "pool2", ConvParam::new(384, 3, 1).with_pad(1)),
+                act("relu3", "conv3", Activation::Relu),
+                conv("conv4", "conv3", ConvParam::new(384, 3, 1).with_pad(1).with_group(2)),
+                act("relu4", "conv4", Activation::Relu),
+                conv("conv5", "conv4", ConvParam::new(256, 3, 1).with_pad(1).with_group(2)),
+                act("relu5", "conv5", Activation::Relu),
+                pool("pool5", "conv5", PoolMethod::Max, 3, 2),
+                fc("fc6", "pool5", 4096),
+                act("relu6", "fc6", Activation::Relu),
+                Layer::new("drop6", LayerKind::Dropout { ratio: 0.5 }, "fc6", "fc6"),
+                fc("fc7", "fc6", 4096),
+                act("relu7", "fc7", Activation::Relu),
+                Layer::new("drop7", LayerKind::Dropout { ratio: 0.5 }, "fc7", "fc7"),
+                fc("fc8", "fc7", 1000),
+            ],
+        )
+        .expect("alexnet is well-formed"),
+    }
+}
+
+/// Reduced-resolution AlexNet (27×27 input, same layer structure) for the
+/// bit-true accuracy experiment.
+pub fn alexnet_micro() -> Benchmark {
+    Benchmark {
+        name: "Alexnet(micro)",
+        application: "Image recognition (accuracy probe)",
+        network: Network::from_layers(
+            "alexnet_micro",
+            vec![
+                Layer::input("data", "data", 3, 27, 27),
+                conv("conv1", "data", ConvParam::new(12, 5, 2)),
+                act("relu1", "conv1", Activation::Relu),
+                Layer::new("norm1", LayerKind::Lrn(LrnParam::default()), "conv1", "norm1"),
+                pool("pool1", "norm1", PoolMethod::Max, 3, 2),
+                conv("conv2", "pool1", ConvParam::new(16, 3, 1).with_pad(1).with_group(2)),
+                act("relu2", "conv2", Activation::Relu),
+                conv("conv3", "conv2", ConvParam::new(16, 3, 1).with_pad(1)),
+                act("relu3", "conv3", Activation::Relu),
+                fc("fc6", "conv3", 64),
+                act("relu6", "fc6", Activation::Relu),
+                fc("fc8", "fc6", 10),
+            ],
+        )
+        .expect("alexnet_micro is well-formed"),
+    }
+}
+
+/// Network-in-Network at ImageNet dimensions (mlpconv blocks).
+pub fn nin() -> Benchmark {
+    Benchmark {
+        name: "NiN",
+        application: "Image recognition",
+        network: Network::from_layers(
+            "nin",
+            vec![
+                Layer::input("data", "data", 3, 227, 227),
+                conv("conv1", "data", ConvParam::new(96, 11, 4)),
+                act("relu0", "conv1", Activation::Relu),
+                conv("cccp1", "conv1", ConvParam::new(96, 1, 1)),
+                act("relu1", "cccp1", Activation::Relu),
+                conv("cccp2", "cccp1", ConvParam::new(96, 1, 1)),
+                act("relu2", "cccp2", Activation::Relu),
+                pool("pool0", "cccp2", PoolMethod::Max, 3, 2),
+                conv("conv2", "pool0", ConvParam::new(256, 5, 1).with_pad(2)),
+                act("relu3", "conv2", Activation::Relu),
+                conv("cccp3", "conv2", ConvParam::new(256, 1, 1)),
+                act("relu4", "cccp3", Activation::Relu),
+                conv("cccp4", "cccp3", ConvParam::new(256, 1, 1)),
+                act("relu5", "cccp4", Activation::Relu),
+                pool("pool2", "cccp4", PoolMethod::Max, 3, 2),
+                conv("conv3", "pool2", ConvParam::new(384, 3, 1).with_pad(1)),
+                act("relu6", "conv3", Activation::Relu),
+                conv("cccp5", "conv3", ConvParam::new(384, 1, 1)),
+                act("relu7", "cccp5", Activation::Relu),
+                conv("cccp6", "cccp5", ConvParam::new(384, 1, 1)),
+                act("relu8", "cccp6", Activation::Relu),
+                pool("pool3", "cccp6", PoolMethod::Max, 3, 2),
+                conv("conv4", "pool3", ConvParam::new(1024, 3, 1).with_pad(1)),
+                act("relu9", "conv4", Activation::Relu),
+                conv("cccp7", "conv4", ConvParam::new(1024, 1, 1)),
+                act("relu10", "cccp7", Activation::Relu),
+                conv("cccp8", "cccp7", ConvParam::new(1000, 1, 1)),
+                act("relu11", "cccp8", Activation::Relu),
+                pool("pool4", "cccp8", PoolMethod::Average, 6, 6),
+            ],
+        )
+        .expect("nin is well-formed"),
+    }
+}
+
+/// Reduced-resolution NiN for the accuracy experiment.
+pub fn nin_micro() -> Benchmark {
+    Benchmark {
+        name: "NiN(micro)",
+        application: "Image recognition (accuracy probe)",
+        network: Network::from_layers(
+            "nin_micro",
+            vec![
+                Layer::input("data", "data", 3, 24, 24),
+                conv("conv1", "data", ConvParam::new(12, 5, 2)),
+                act("relu0", "conv1", Activation::Relu),
+                conv("cccp1", "conv1", ConvParam::new(12, 1, 1)),
+                act("relu1", "cccp1", Activation::Relu),
+                pool("pool0", "cccp1", PoolMethod::Max, 2, 2),
+                conv("conv2", "pool0", ConvParam::new(16, 3, 1).with_pad(1)),
+                act("relu2", "conv2", Activation::Relu),
+                conv("cccp2", "conv2", ConvParam::new(10, 1, 1)),
+                act("relu3", "cccp2", Activation::Relu),
+                pool("pool1", "cccp2", PoolMethod::Average, 5, 5),
+            ],
+        )
+        .expect("nin_micro is well-formed"),
+    }
+}
+
+/// A representative GoogLeNet slice: conv stem + LRN + inception block +
+/// drop-out + classifier head. Used by the Table 1 decomposition and the
+/// inception-path tests; not part of the Table 2 suite.
+pub fn googlenet_slice() -> Benchmark {
+    Benchmark {
+        name: "GoogleNet",
+        application: "Image classification (decomposition column)",
+        network: Network::from_layers(
+            "googlenet_slice",
+            vec![
+                Layer::input("data", "data", 3, 56, 56),
+                conv("conv1", "data", ConvParam::new(64, 7, 2).with_pad(3)),
+                pool("pool1", "conv1", PoolMethod::Max, 3, 2),
+                Layer::new("lrn1", LayerKind::Lrn(LrnParam::default()), "pool1", "lrn1"),
+                Layer::new(
+                    "incep",
+                    LayerKind::Inception(deepburning_model::InceptionParam {
+                        c1x1: 64,
+                        c3x3: 128,
+                        c5x5: 32,
+                        cpool: 32,
+                    }),
+                    "lrn1",
+                    "incep",
+                ),
+                act("relu", "incep", Activation::Relu),
+                Layer::new("drop", LayerKind::Dropout { ratio: 0.4 }, "incep", "incep"),
+                fc("fc", "incep", 1000),
+                Layer::new("cls", LayerKind::Classifier { top_k: 5 }, "fc", "cls"),
+            ],
+        )
+        .expect("googlenet slice is well-formed"),
+    }
+}
+
+/// The eight benchmarks of Table 2, in the paper's order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        ann0(),
+        ann1(),
+        ann2(),
+        alexnet(),
+        nin(),
+        cifar(),
+        cmac(),
+        hopfield(),
+        mnist(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_model::{decompose, network_stats};
+
+    #[test]
+    fn all_benchmarks_validate_and_have_shapes() {
+        for b in all_benchmarks() {
+            let shapes = b.network.infer_shapes().expect("shapes infer");
+            assert!(!shapes.is_empty(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn alexnet_conv_shapes_match_the_literature() {
+        let net = alexnet().network;
+        let shapes = net.infer_shapes().expect("shapes");
+        assert_eq!(shapes["conv1"].to_string(), "96x55x55");
+        assert_eq!(shapes["pool1"].to_string(), "96x27x27");
+        assert_eq!(shapes["conv2"].to_string(), "256x27x27");
+        assert_eq!(shapes["conv5"].to_string(), "256x13x13");
+        assert_eq!(shapes["pool5"].to_string(), "256x6x6");
+        assert_eq!(shapes["fc8"].to_string(), "1000x1x1");
+    }
+
+    #[test]
+    fn alexnet_mac_count_in_ballpark() {
+        let net = alexnet().network;
+        let stats = network_stats(&net).expect("stats");
+        // Literature: ~714M MACs for AlexNet conv+fc.
+        let total = stats.total.macs as f64;
+        assert!(
+            (6.0e8..9.0e8).contains(&total),
+            "AlexNet MACs {total:e} out of expected range"
+        );
+    }
+
+    #[test]
+    fn table2_feature_columns() {
+        // Conv / FC / Recurrent flags per Table 2.
+        let expect = [
+            ("ANN-0", false, true, false),
+            ("ANN-1", false, true, false),
+            ("ANN-2", false, true, false),
+            ("Alexnet", true, true, false),
+            ("NiN", true, false, false),
+            ("Cifar", true, true, false),
+            ("CMAC", false, true, true),
+            ("Hopfield", false, true, true),
+            ("MNIST", true, true, false),
+        ];
+        for (name, conv, fc, rec) in expect {
+            let b = all_benchmarks()
+                .into_iter()
+                .find(|b| b.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            let d = decompose(&b.network);
+            assert_eq!(d.conv, conv, "{name} conv");
+            assert_eq!(d.fc, fc, "{name} fc");
+            assert_eq!(d.recurrent, rec, "{name} recurrent");
+        }
+    }
+
+    #[test]
+    fn recurrent_benchmarks_flagged() {
+        assert!(cmac().network.is_recurrent());
+        assert!(hopfield().network.is_recurrent());
+        assert!(!mnist().network.is_recurrent());
+    }
+
+    #[test]
+    fn micro_variants_are_small() {
+        let full = network_stats(&alexnet().network).expect("stats").total.macs;
+        let micro = network_stats(&alexnet_micro().network).expect("stats").total.macs;
+        assert!(micro * 100 < full, "micro should be <1% of full");
+        let nin_full = network_stats(&nin().network).expect("stats").total.macs;
+        let nin_m = network_stats(&nin_micro().network).expect("stats").total.macs;
+        assert!(nin_m * 100 < nin_full);
+    }
+
+    #[test]
+    fn mnist_is_five_weighted_or_pooling_layers() {
+        // input + conv + pool + fc + sigmoid + fc = the paper's "5-layer".
+        let net = mnist().network;
+        let functional = net
+            .layers()
+            .iter()
+            .filter(|l| {
+                !matches!(
+                    l.kind,
+                    deepburning_model::LayerKind::Input { .. }
+                        | deepburning_model::LayerKind::Activation(_)
+                )
+            })
+            .count();
+        assert_eq!(functional, 4 + 1 - 1); // conv, pool, fc, fc
+    }
+}

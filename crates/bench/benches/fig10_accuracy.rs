@@ -1,0 +1,39 @@
+//! Criterion bench behind Fig. 10: throughput of the bit-true functional
+//! simulator (the accuracy experiment's inner loop) against the f32
+//! reference engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepburning_baselines::zoo;
+use deepburning_compiler::{generate_luts, CompilerConfig};
+use deepburning_sim::functional_forward;
+use deepburning_tensor::{forward, Init, Tensor, WeightSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let bench = zoo::mnist();
+    let mut rng = StdRng::seed_from_u64(1);
+    let ws = WeightSet::init(&bench.network, Init::Xavier, &mut rng).expect("init");
+    let cfg = CompilerConfig::default();
+    let luts = generate_luts(&bench.network, &cfg).expect("luts");
+    let input = Tensor::from_fn(bench.network.input_shape(), |_, y, x| {
+        ((y * 28 + x) % 17) as f32 / 17.0
+    });
+
+    let mut group = c.benchmark_group("fig10_accuracy_pipeline");
+    group.sample_size(10);
+    group.bench_function("mnist_f32_reference", |b| {
+        b.iter(|| forward(black_box(&bench.network), &ws, &input).expect("forward"))
+    });
+    group.bench_function("mnist_fixed_point_sim", |b| {
+        b.iter(|| {
+            functional_forward(black_box(&bench.network), &ws, &input, &luts, cfg.format)
+                .expect("functional sim")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind Fig. 8: the generate → timing-simulate pipeline
+//! per benchmark and budget tier. Wall-clock here measures the *tool*
+//! (NN-Gen + simulator); the figure's data comes from the simulated cycle
+//! counts printed by `--bin fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepburning_baselines::zoo;
+use deepburning_core::{generate, Budget};
+use deepburning_sim::{simulate_timing, TimingParams};
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_forward_latency_pipeline");
+    group.sample_size(10);
+    for bench in [zoo::ann1(), zoo::mnist(), zoo::cifar()] {
+        for (budget, tag) in [(Budget::Medium, "DB"), (Budget::Large, "DB-L")] {
+            group.bench_with_input(
+                BenchmarkId::new(bench.name, tag),
+                &bench,
+                |b, bench| {
+                    b.iter(|| {
+                        let design =
+                            generate(black_box(&bench.network), &budget).expect("generates");
+                        simulate_timing(&design.compiled, &TimingParams::default()).total_cycles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind Fig. 9: the energy-accounting pass over an
+//! already-compiled design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepburning_baselines::zoo;
+use deepburning_core::{generate, Budget};
+use deepburning_sim::{inference_energy, simulate_timing, EnergyParams, TimingParams};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_energy_pipeline");
+    group.sample_size(20);
+    for bench in [zoo::mnist(), zoo::cifar(), zoo::alexnet()] {
+        let design = generate(&bench.network, &Budget::Medium).expect("generates");
+        let timing = simulate_timing(&design.compiled, &TimingParams::default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name),
+            &design,
+            |b, design| {
+                b.iter(|| {
+                    inference_energy(black_box(design), &timing, &EnergyParams::default()).total_j
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

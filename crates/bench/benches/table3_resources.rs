@@ -1,0 +1,29 @@
+//! Criterion bench behind Table 3: resource estimation of generated
+//! designs (the whole generate path, dominated by RTL assembly + costing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepburning_baselines::zoo;
+use deepburning_core::{estimate_resources, generate, Budget};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_resource_estimation");
+    group.sample_size(20);
+    for bench in [zoo::ann0(), zoo::mnist(), zoo::alexnet()] {
+        let design = generate(&bench.network, &Budget::Medium).expect("generates");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name),
+            &(bench, design),
+            |b, (bench, design)| {
+                b.iter(|| {
+                    estimate_resources(black_box(&bench.network), &design.compiled)
+                        .total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: datapath word width vs accuracy and resources — the paper's
+//! "accuracy loss due to the fixed-point operation" made quantitative.
+//!
+//! Sweeps the Q-format of the datapath across the trained approximation
+//! ANNs and reports Eq. (1) accuracy against the golden kernels plus the
+//! DSP/LUT cost of a lane at that width. Run with `--release`.
+
+use deepburning_baselines::{train_ann, zoo};
+use deepburning_bench::print_row;
+use deepburning_compiler::{generate_luts, CompilerConfig};
+use deepburning_components::{Block, SynergyNeuron};
+use deepburning_fixed::QFormat;
+use deepburning_sim::functional_forward;
+use deepburning_tensor::relative_accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Ablation: datapath bit-width vs Eq.(1) accuracy and lane cost\n");
+    let mut rng = StdRng::seed_from_u64(99);
+    let models = [
+        train_ann(zoo::ann0(), 200, &mut rng),
+        train_ann(zoo::ann1(), 200, &mut rng),
+        train_ann(zoo::ann2(), 200, &mut rng),
+    ];
+    let formats: [(u32, u32); 5] = [(8, 4), (12, 6), (16, 8), (24, 12), (32, 16)];
+    let widths = [10usize, 12, 12, 12, 10, 10];
+    print_row(
+        &[
+            "format".into(),
+            "ANN-0 %".into(),
+            "ANN-1 %".into(),
+            "ANN-2 %".into(),
+            "DSP/lane".into(),
+            "LUT/lane".into(),
+        ],
+        &widths,
+    );
+    for (total, frac) in formats {
+        let fmt = QFormat::new(total, frac).expect("valid format");
+        let mut cells = vec![format!("Q{}.{}", total - frac - 1, frac)];
+        for model in &models {
+            let cfg = CompilerConfig {
+                format: fmt,
+                word_bits: total,
+                lut_entries: 64,
+                ..CompilerConfig::default()
+            };
+            let luts = generate_luts(&model.bench.network, &cfg).expect("luts");
+            let mut acc = 0.0;
+            for (x, golden) in &model.regression_test {
+                let y = functional_forward(&model.bench.network, &model.weights, x, &luts, fmt)
+                    .expect("functional sim");
+                acc += relative_accuracy(y.as_slice(), golden);
+            }
+            cells.push(format!("{:.2}", acc / model.regression_test.len() as f64));
+        }
+        let lane = SynergyNeuron::new(total, 1);
+        let cost = lane.cost();
+        cells.push(cost.dsp.to_string());
+        cells.push(cost.lut.to_string());
+        print_row(&cells, &widths);
+    }
+    println!("\n(accuracy = Eq.(1) vs golden fft/jpeg/kmeans kernels; cost per datapath lane)");
+}

@@ -1,0 +1,42 @@
+//! Ablation: on-chip buffer capacity vs DRAM traffic — the locality
+//! argument of §3.4 ("It is key to the effect of acceleration by
+//! preserving the memory locality").
+
+use deepburning_baselines::zoo;
+use deepburning_bench::{fmt_seconds, print_row};
+use deepburning_compiler::{compile, CompilerConfig};
+use deepburning_sim::{simulate_timing, TimingParams};
+
+fn main() {
+    let bench = zoo::cifar();
+    println!("Ablation: feature-buffer capacity sweep on {}\n", bench.name);
+    let widths = [12usize, 14, 14, 14];
+    print_row(
+        &[
+            "buffer".into(),
+            "DRAM read".into(),
+            "latency".into(),
+            "mem-bound".into(),
+        ],
+        &widths,
+    );
+    for kib in [1u64, 4, 16, 64, 256, 1024] {
+        let cfg = CompilerConfig {
+            feature_buffer_bytes: kib * 1024,
+            ..CompilerConfig::default()
+        };
+        let compiled = compile(&bench.network, &cfg).expect("compiles");
+        let work = compiled.folding.total_work();
+        let timing = simulate_timing(&compiled, &TimingParams::default());
+        print_row(
+            &[
+                format!("{kib} KiB"),
+                format!("{} KiB", work.dram_read_bytes / 1024),
+                fmt_seconds(timing.seconds(100_000_000)),
+                format!("{}", timing.memory_bound_cycles()),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(bigger buffers keep activations resident and cut refetch traffic)");
+}

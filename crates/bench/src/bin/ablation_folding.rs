@@ -1,0 +1,54 @@
+//! Ablation: lane-count sweep and double-buffering on/off — the design
+//! choices behind DB vs DB-L vs DB-S and the data-driven overlap the AGUs
+//! enable.
+
+use deepburning_baselines::zoo;
+use deepburning_bench::{fmt_seconds, print_row};
+use deepburning_compiler::{compile, CompilerConfig};
+use deepburning_sim::{simulate_timing, TimingParams};
+
+fn main() {
+    let bench = zoo::alexnet();
+    println!("Ablation: spatial folding (lane sweep) on {}\n", bench.name);
+    let widths = [8usize, 10, 14, 14, 12];
+    print_row(
+        &[
+            "lanes".into(),
+            "phases".into(),
+            "latency".into(),
+            "no-dblbuf".into(),
+            "overlap".into(),
+        ],
+        &widths,
+    );
+    for lanes in [32u32, 64, 128, 221, 512, 761] {
+        let cfg = CompilerConfig {
+            lanes,
+            ..CompilerConfig::default()
+        };
+        let compiled = compile(&bench.network, &cfg).expect("compiles");
+        let on = simulate_timing(&compiled, &TimingParams::default());
+        let off = simulate_timing(
+            &compiled,
+            &TimingParams {
+                double_buffering: false,
+                ..TimingParams::default()
+            },
+        );
+        let clock = 100_000_000u64;
+        print_row(
+            &[
+                lanes.to_string(),
+                compiled.folding.phases.len().to_string(),
+                fmt_seconds(on.seconds(clock)),
+                fmt_seconds(off.seconds(clock)),
+                format!(
+                    "{:.2}x",
+                    off.total_cycles as f64 / on.total_cycles as f64
+                ),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(overlap = speedup from double buffering; lanes 221/761 = DB/DB-L budgets)");
+}

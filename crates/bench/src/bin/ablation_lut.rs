@@ -1,0 +1,43 @@
+//! Ablation: Approx LUT entry-count sweep ("The size (depending on
+//! accuracy requirement) … of Approx LUT") and sampling strategy.
+//!
+//! Run with `--release`.
+
+use deepburning_bench::print_row;
+use deepburning_fixed::{ApproxLut, QFormat, Sampling};
+
+fn main() {
+    println!("Ablation: Approx LUT size and sampling vs max error\n");
+    let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+    let tanh = |x: f64| x.tanh();
+    let fmt = QFormat::Q16_16;
+    let widths = [10usize, 16, 16, 16, 16];
+    print_row(
+        &[
+            "entries".into(),
+            "sigmoid(uni)".into(),
+            "sigmoid(eq)".into(),
+            "tanh(uni)".into(),
+            "tanh(eq)".into(),
+        ],
+        &widths,
+    );
+    for entries in [8usize, 16, 32, 64, 128, 256] {
+        let e = |f: &dyn Fn(f64) -> f64, s: Sampling| {
+            ApproxLut::sample(f, -8.0, 8.0, entries, fmt, s)
+                .expect("valid lut")
+                .max_error(f, 4000)
+        };
+        print_row(
+            &[
+                entries.to_string(),
+                format!("{:.2e}", e(&sigmoid, Sampling::Uniform)),
+                format!("{:.2e}", e(&sigmoid, Sampling::ErrorEqualizing)),
+                format!("{:.2e}", e(&tanh, Sampling::Uniform)),
+                format!("{:.2e}", e(&tanh, Sampling::ErrorEqualizing)),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(max absolute error over the sampled range; eq = error-equalising keys)");
+}

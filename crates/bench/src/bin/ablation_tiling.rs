@@ -1,0 +1,54 @@
+//! Ablation: Method-1 data tiling versus naive row-major layout
+//! (paper §3.4 / Fig. 7 — "the continuous mapping leads to a poor
+//! bandwidth utilization").
+//!
+//! Reports, per representative convolution configuration, the memory rows
+//! touched per window and the resulting bandwidth utilisation.
+
+use deepburning_bench::print_row;
+use deepburning_compiler::{
+    bandwidth_utilization, plan_tiling, rows_touched_linear, rows_touched_tiled,
+};
+
+fn main() {
+    println!("Ablation: Method-1 tiling vs row-major layout\n");
+    // (label, image width, kernel, stride, port width, maps)
+    let cases = [
+        ("Fig.7 (57px,k12,s4)", 57usize, 12usize, 4usize, 12usize, 3usize),
+        ("AlexNet conv1", 227, 11, 4, 16, 3),
+        ("AlexNet conv2", 27, 5, 1, 16, 96),
+        ("MNIST conv1", 28, 5, 1, 16, 1),
+        ("Cifar conv1", 32, 5, 1, 16, 3),
+        ("NiN cccp (1x1)", 55, 1, 1, 16, 96),
+    ];
+    let widths = [22usize, 14, 10, 10, 12, 10];
+    print_row(
+        &[
+            "case".into(),
+            "tiling case".into(),
+            "linear".into(),
+            "tiled".into(),
+            "saving".into(),
+            "util".into(),
+        ],
+        &widths,
+    );
+    for (label, w, k, s, d, maps) in cases {
+        let plan = plan_tiling(k, s, d, maps);
+        let linear = rows_touched_linear(k, w, d);
+        let tiled = rows_touched_tiled(k, &plan);
+        let util = bandwidth_utilization(k, &plan);
+        print_row(
+            &[
+                label.into(),
+                plan.case.to_string(),
+                linear.to_string(),
+                tiled.to_string(),
+                format!("{:.2}x", linear as f64 / tiled as f64),
+                format!("{:.0}%", util * 100.0),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(rows touched per kxk window fetch; higher saving = better layout)");
+}

@@ -1,0 +1,50 @@
+//! Ablation: where the joules go — per-component energy stack of one
+//! inference across the budget tiers (the detail behind Fig. 9's bars).
+
+use deepburning_baselines::zoo;
+use deepburning_bench::{fmt_joules, print_row};
+use deepburning_core::{generate, Budget};
+use deepburning_sim::{inference_energy, simulate_timing, EnergyParams, TimingParams};
+
+fn main() {
+    println!("Ablation: energy breakdown per inference\n");
+    let widths = [10usize, 8, 12, 12, 12, 12, 12];
+    print_row(
+        &[
+            "".into(),
+            "tier".into(),
+            "compute".into(),
+            "buffer".into(),
+            "dram".into(),
+            "static".into(),
+            "total".into(),
+        ],
+        &widths,
+    );
+    for bench in [zoo::mnist(), zoo::cifar(), zoo::alexnet()] {
+        for budget in [Budget::Small, Budget::Medium, Budget::Large] {
+            let design = match generate(&bench.network, &budget) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{} on {}: {e}", bench.name, budget.tag());
+                    continue;
+                }
+            };
+            let timing = simulate_timing(&design.compiled, &TimingParams::default());
+            let e = inference_energy(&design, &timing, &EnergyParams::default());
+            print_row(
+                &[
+                    bench.name.into(),
+                    budget.tag().into(),
+                    fmt_joules(e.compute_j),
+                    fmt_joules(e.buffer_j),
+                    fmt_joules(e.dram_j),
+                    fmt_joules(e.static_j),
+                    fmt_joules(e.total_j),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\n(static energy dominates small nets; DRAM grows with model size)");
+}

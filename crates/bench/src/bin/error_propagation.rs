@@ -1,0 +1,72 @@
+//! Analysis: how fixed-point error accumulates layer by layer.
+//!
+//! Runs the f32 reference and the bit-true simulator side by side on a
+//! trained MNIST network and reports the Eq. (1) accuracy of every
+//! intermediate blob — showing where the Q7.8 datapath and the Approx LUT
+//! inject error and where saturation/ReLU wash it out. Run with
+//! `--release`.
+
+use deepburning_baselines::train_mnist;
+use deepburning_bench::print_row;
+use deepburning_compiler::{generate_luts, CompilerConfig};
+use deepburning_sim::functional_forward_all;
+use deepburning_tensor::{forward_all, relative_accuracy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Analysis: per-layer fixed-point error propagation (trained MNIST)\n");
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = train_mnist(120, &mut rng);
+    let net = &model.bench.network;
+    let cfg = CompilerConfig::default();
+    let luts = generate_luts(net, &cfg).expect("luts");
+
+    let widths = [10usize, 14, 14];
+    print_row(&["blob".into(), "Eq.(1) %".into(), "max |err|".into()], &widths);
+
+    // Average over a few test images.
+    let samples: Vec<_> = model.classification_test.iter().take(8).collect();
+    // Blob order = layer order.
+    let blob_order: Vec<String> = net
+        .layers()
+        .iter()
+        .flat_map(|l| l.tops.clone())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .fold(Vec::new(), |mut acc, b| {
+            if !acc.contains(&b) {
+                acc.push(b);
+            }
+            acc
+        });
+    let mut per_blob: Vec<(String, f64, f64)> =
+        blob_order.iter().map(|b| (b.clone(), 0.0, 0.0f64)).collect();
+    for (x, _) in &samples {
+        let golden = forward_all(net, &model.weights, x).expect("reference");
+        let approx =
+            functional_forward_all(net, &model.weights, x, &luts, cfg.format).expect("fx sim");
+        for (blob, acc, max_err) in per_blob.iter_mut() {
+            let (g, a) = (&golden[blob], &approx[blob]);
+            *acc += relative_accuracy(a.as_slice(), g.as_slice());
+            let worst = g
+                .as_slice()
+                .iter()
+                .zip(a.as_slice())
+                .map(|(x, y)| (x - y).abs() as f64)
+                .fold(0.0f64, f64::max);
+            *max_err = max_err.max(worst);
+        }
+    }
+    for (blob, acc, max_err) in &per_blob {
+        print_row(
+            &[
+                blob.clone(),
+                format!("{:.3}", acc / samples.len() as f64),
+                format!("{max_err:.4}"),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(error grows through the MAC-heavy layers and is bounded by the LUT resolution)");
+}

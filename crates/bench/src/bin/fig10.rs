@@ -1,0 +1,204 @@
+//! Regenerates paper Fig. 10: output accuracy of the generated
+//! accelerators (fixed-point datapath + Approx LUT) against the software
+//! NN on CPU.
+//!
+//! * ANN-0/1/2 and CMAC use the paper's Eq. (1) relative distance against
+//!   the golden *orthodox program* (fft / jpeg DCT / kmeans / arm
+//!   kinematics).
+//! * Hopfield reports pattern-recall rate on corrupted probes.
+//! * MNIST and Cifar report classification accuracy on held-out synthetic
+//!   sets.
+//! * AlexNet/NiN (micro variants, pseudo-random weights) report Eq. (1)
+//!   of the accelerator output against the f32 forward pass — the
+//!   fixed-point degradation the figure isolates.
+//!
+//! Expected shape: "the DeepBurning accuracy shows only 1.5% variation
+//! over that of CPU-based NNs on average." Run with `--release`.
+
+use deepburning_baselines::{
+    alexnet_micro, hopfield, hopfield_weights, nin_micro, pseudo_weights, train_ann, train_cifar,
+    train_cmac, train_mnist, zoo, TrainedModel,
+};
+use deepburning_bench::print_row;
+use deepburning_compiler::{generate_luts, CompilerConfig, LutImages};
+use deepburning_model::Network;
+use deepburning_sim::functional_forward;
+use deepburning_tensor::{forward, forward_all, relative_accuracy, Tensor, WeightSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Row {
+    name: &'static str,
+    cpu_acc: f64,
+    db_acc: f64,
+}
+
+fn luts_for(net: &Network, cfg: &CompilerConfig) -> LutImages {
+    generate_luts(net, cfg).expect("zoo networks sample cleanly")
+}
+
+/// Eq. (1) accuracy of a regression model, CPU vs accelerator.
+fn regression_row(name: &'static str, m: &TrainedModel, cfg: &CompilerConfig) -> Row {
+    let luts = luts_for(&m.bench.network, cfg);
+    let mut cpu = 0.0;
+    let mut db = 0.0;
+    for (x, golden) in &m.regression_test {
+        let y_cpu = forward(&m.bench.network, &m.weights, x).expect("forward");
+        let y_db = functional_forward(&m.bench.network, &m.weights, x, &luts, cfg.format)
+            .expect("functional sim");
+        cpu += relative_accuracy(y_cpu.as_slice(), golden);
+        db += relative_accuracy(y_db.as_slice(), golden);
+    }
+    let n = m.regression_test.len().max(1) as f64;
+    Row {
+        name,
+        cpu_acc: cpu / n,
+        db_acc: db / n,
+    }
+}
+
+/// Classification accuracy, CPU vs accelerator.
+fn classification_row(
+    name: &'static str,
+    m: &TrainedModel,
+    cfg: &CompilerConfig,
+    limit: usize,
+) -> Row {
+    let luts = luts_for(&m.bench.network, cfg);
+    let mut cpu_hits = 0usize;
+    let mut db_hits = 0usize;
+    let set: Vec<_> = m.classification_test.iter().take(limit).collect();
+    for (x, label) in &set {
+        let y_cpu = forward(&m.bench.network, &m.weights, x).expect("forward");
+        let y_db = functional_forward(&m.bench.network, &m.weights, x, &luts, cfg.format)
+            .expect("functional sim");
+        cpu_hits += usize::from(y_cpu.argmax() == *label);
+        db_hits += usize::from(y_db.argmax() == *label);
+    }
+    let n = set.len().max(1) as f64;
+    Row {
+        name,
+        cpu_acc: cpu_hits as f64 / n * 100.0,
+        db_acc: db_hits as f64 / n * 100.0,
+    }
+}
+
+/// Hopfield recall rate on corrupted probes.
+fn hopfield_row(cfg: &CompilerConfig, rng: &mut StdRng) -> Row {
+    let bench = hopfield();
+    let pattern: Vec<f32> = (0..32).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+    let ws = hopfield_weights(&[pattern.clone()]);
+    let luts = luts_for(&bench.network, cfg);
+    let trials = 40;
+    let mut cpu_ok = 0;
+    let mut db_ok = 0;
+    for _ in 0..trials {
+        let mut probe = pattern.clone();
+        for _ in 0..4 {
+            let i = rng.gen_range(0..32);
+            probe[i] = -probe[i];
+        }
+        let input = Tensor::vector(&probe);
+        let recall = |settled: &Tensor| {
+            settled
+                .as_slice()
+                .iter()
+                .zip(&pattern)
+                .filter(|(a, b)| a.signum() == b.signum())
+                .count()
+                >= 30
+        };
+        let blobs = forward_all(&bench.network, &ws, &input).expect("forward");
+        cpu_ok += usize::from(recall(&blobs["settle"]));
+        let db_blobs = deepburning_sim::functional_forward_all(
+            &bench.network,
+            &ws,
+            &input,
+            &luts,
+            cfg.format,
+        )
+        .expect("functional sim");
+        db_ok += usize::from(recall(&db_blobs["settle"]));
+    }
+    Row {
+        name: "Hopfield",
+        cpu_acc: cpu_ok as f64 / trials as f64 * 100.0,
+        db_acc: db_ok as f64 / trials as f64 * 100.0,
+    }
+}
+
+/// Eq. (1) of accelerator vs f32 forward on pseudo-random deep nets.
+fn eq1_vs_software_row(
+    name: &'static str,
+    bench: &deepburning_baselines::Benchmark,
+    ws: &WeightSet,
+    cfg: &CompilerConfig,
+    rng: &mut StdRng,
+) -> Row {
+    let luts = luts_for(&bench.network, cfg);
+    let shape = bench.network.input_shape();
+    let mut db = 0.0;
+    let trials = 5;
+    for _ in 0..trials {
+        let input = Tensor::from_fn(shape, |_, _, _| rng.gen_range(0.0..1.0f32));
+        let golden = forward(&bench.network, ws, &input).expect("forward");
+        let approx = functional_forward(&bench.network, ws, &input, &luts, cfg.format)
+            .expect("functional sim");
+        db += relative_accuracy(approx.as_slice(), golden.as_slice());
+    }
+    Row {
+        name,
+        cpu_acc: 100.0, // the software run *is* the reference here
+        db_acc: db / trials as f64,
+    }
+}
+
+fn main() {
+    let cfg = CompilerConfig::default();
+    let mut rng = StdRng::seed_from_u64(2016);
+    println!("Fig 10: accuracy comparison (CPU software NN vs DeepBurning accelerator)");
+    println!("(training on synthetic datasets; see DESIGN.md for the substitutions)\n");
+
+    let mut rows = Vec::new();
+    rows.push(regression_row("ANN-0", &train_ann(zoo::ann0(), 200, &mut rng), &cfg));
+    rows.push(regression_row("ANN-1", &train_ann(zoo::ann1(), 200, &mut rng), &cfg));
+    rows.push(regression_row("ANN-2", &train_ann(zoo::ann2(), 200, &mut rng), &cfg));
+    rows.push(regression_row("CMAC", &train_cmac(300, &mut rng), &cfg));
+    rows.push(hopfield_row(&cfg, &mut rng));
+    rows.push(classification_row("MNIST", &train_mnist(150, &mut rng), &cfg, 40));
+    rows.push(classification_row("Cifar", &train_cifar(100, &mut rng), &cfg, 25));
+    let am = alexnet_micro();
+    let am_ws = pseudo_weights(&am, &mut rng);
+    rows.push(eq1_vs_software_row("Alexnet", &am, &am_ws, &cfg, &mut rng));
+    let nm = nin_micro();
+    let nm_ws = pseudo_weights(&nm, &mut rng);
+    rows.push(eq1_vs_software_row("NiN", &nm, &nm_ws, &cfg, &mut rng));
+
+    let widths = [10usize, 12, 12, 12];
+    print_row(
+        &[
+            "".into(),
+            "CPU %".into(),
+            "DB %".into(),
+            "|delta|".into(),
+        ],
+        &widths,
+    );
+    let mut deltas = Vec::new();
+    for r in &rows {
+        let delta = (r.cpu_acc - r.db_acc).abs();
+        deltas.push(delta);
+        print_row(
+            &[
+                r.name.into(),
+                format!("{:.2}", r.cpu_acc),
+                format!("{:.2}", r.db_acc),
+                format!("{delta:.2}"),
+            ],
+            &widths,
+        );
+    }
+    let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    println!();
+    println!("mean |CPU - DB| accuracy delta: {mean:.2}%   (paper: ~1.5% variation on average)");
+}

@@ -1,0 +1,85 @@
+//! Regenerates paper Fig. 8: forward-propagation time of every benchmark
+//! on Custom / DB / DB-L / DB-S / CPU, plus the Zhang FPGA'15 reference
+//! row on AlexNet.
+//!
+//! Expected shape (paper §4.2): "Custom mostly beats DB in performance.
+//! When compared to CPU (Xeon 2.4 GHz), DB achieves up to 4.7x speed-up.
+//! However, DB-L is 3.5x faster than DB on average."
+
+use deepburning_bench::{evaluate_benchmark, fmt_seconds, print_row, zhang_row};
+
+fn main() {
+    println!("Fig 8: performance comparison (forward-propagation time)\n");
+    let widths = [10usize, 12, 12, 12, 12, 12, 10, 10];
+    print_row(
+        &[
+            "".into(),
+            "Custom".into(),
+            "DB".into(),
+            "DB-L".into(),
+            "DB-S".into(),
+            "CPU".into(),
+            "CPU/DB".into(),
+            "DB/DB-L".into(),
+        ],
+        &widths,
+    );
+    let mut speedups = Vec::new();
+    let mut dbl_ratios = Vec::new();
+    for bench in deepburning_baselines::all_benchmarks() {
+        let rows = match evaluate_benchmark(&bench) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: generation failed: {e}", bench.name);
+                continue;
+            }
+        };
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.scheme == s)
+                .expect("all schemes present")
+                .seconds
+        };
+        let speedup = get("CPU") / get("DB");
+        let dbl = get("DB") / get("DB-L");
+        speedups.push(speedup);
+        dbl_ratios.push(dbl);
+        print_row(
+            &[
+                bench.name.into(),
+                fmt_seconds(get("Custom")),
+                fmt_seconds(get("DB")),
+                fmt_seconds(get("DB-L")),
+                fmt_seconds(get("DB-S")),
+                fmt_seconds(get("CPU")),
+                format!("{speedup:.2}x"),
+                format!("{dbl:.2}x"),
+            ],
+            &widths,
+        );
+        if bench.name == "Alexnet" {
+            let z = zhang_row();
+            print_row(
+                &[
+                    "  [7]".into(),
+                    fmt_seconds(z.seconds),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "".into(),
+                    "".into(),
+                ],
+                &widths,
+            );
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let max_speedup = speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!();
+    println!("max CPU/DB speedup: {max_speedup:.2}x   (paper: up to 4.7x)");
+    println!(
+        "mean DB/DB-L ratio: {:.2}x   (paper: DB-L ~3.5x faster than DB on average)",
+        mean(&dbl_ratios)
+    );
+}

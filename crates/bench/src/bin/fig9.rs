@@ -1,0 +1,86 @@
+//! Regenerates paper Fig. 9: energy per forward propagation.
+//!
+//! Expected shape (paper §4.2): "DB consumes 1.8x more energy than Custom,
+//! while DB-L and DB-S dissipate almost the same amount of energy to
+//! Custom on average. CPU consumes about 58x more energy than DB on
+//! average. … \[7\] (~0.5J) consumes more energy than both DB-L and DB-S."
+
+use deepburning_bench::{evaluate_benchmark, fmt_joules, print_row, zhang_row};
+
+fn main() {
+    println!("Fig 9: energy comparison (per forward propagation)\n");
+    let widths = [10usize, 12, 12, 12, 12, 12, 10, 10];
+    print_row(
+        &[
+            "".into(),
+            "Custom".into(),
+            "DB".into(),
+            "DB-L".into(),
+            "DB-S".into(),
+            "CPU".into(),
+            "DB/CU".into(),
+            "CPU/DB".into(),
+        ],
+        &widths,
+    );
+    let mut cpu_ratios = Vec::new();
+    let mut custom_ratios = Vec::new();
+    for bench in deepburning_baselines::all_benchmarks() {
+        let rows = match evaluate_benchmark(&bench) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: generation failed: {e}", bench.name);
+                continue;
+            }
+        };
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.scheme == s)
+                .expect("all schemes present")
+                .energy_j
+        };
+        let over_custom = get("DB") / get("Custom");
+        let cpu_over_db = get("CPU") / get("DB");
+        custom_ratios.push(over_custom);
+        cpu_ratios.push(cpu_over_db);
+        print_row(
+            &[
+                bench.name.into(),
+                fmt_joules(get("Custom")),
+                fmt_joules(get("DB")),
+                fmt_joules(get("DB-L")),
+                fmt_joules(get("DB-S")),
+                fmt_joules(get("CPU")),
+                format!("{over_custom:.2}x"),
+                format!("{cpu_over_db:.1}x"),
+            ],
+            &widths,
+        );
+        if bench.name == "Alexnet" {
+            let z = zhang_row();
+            print_row(
+                &[
+                    "  [7]".into(),
+                    fmt_joules(z.energy_j),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "".into(),
+                    "".into(),
+                ],
+                &widths,
+            );
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!();
+    println!(
+        "mean DB/Custom energy: {:.2}x   (paper: DB ~1.8x Custom)",
+        mean(&custom_ratios)
+    );
+    println!(
+        "mean CPU/DB energy: {:.1}x   (paper: ~58x)",
+        mean(&cpu_ratios)
+    );
+}

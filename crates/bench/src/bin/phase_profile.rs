@@ -1,0 +1,55 @@
+//! Analysis: per-layer latency profile of a generated design — where the
+//! folded schedule spends its cycles, across DB and DB-L budgets.
+
+use deepburning_baselines::zoo;
+use deepburning_bench::print_row;
+use deepburning_core::{generate, Budget};
+use deepburning_sim::{aggregate_by_layer, simulate_timing, TimingParams};
+
+fn main() {
+    let bench = zoo::alexnet();
+    println!("Analysis: per-layer cycle profile of {}\n", bench.name);
+    let widths = [10usize, 14, 10, 14, 10];
+    print_row(
+        &[
+            "layer".into(),
+            "DB cycles".into(),
+            "DB %".into(),
+            "DB-L cycles".into(),
+            "DB-L %".into(),
+        ],
+        &widths,
+    );
+    let db = generate(&bench.network, &Budget::Medium).expect("generates");
+    let dbl = generate(&bench.network, &Budget::Large).expect("generates");
+    let t_db = simulate_timing(&db.compiled, &TimingParams::default());
+    let t_dbl = simulate_timing(&dbl.compiled, &TimingParams::default());
+    let prof_db = aggregate_by_layer(&db.compiled.folding, &t_db);
+    let prof_dbl = aggregate_by_layer(&dbl.compiled.folding, &t_dbl);
+    for (layer, cycles) in prof_db.iter().take(12) {
+        let dbl_cycles = prof_dbl
+            .iter()
+            .find(|(l, _)| l == layer)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        print_row(
+            &[
+                layer.clone(),
+                cycles.to_string(),
+                format!("{:.1}%", *cycles as f64 / t_db.total_cycles as f64 * 100.0),
+                dbl_cycles.to_string(),
+                format!(
+                    "{:.1}%",
+                    dbl_cycles as f64 / t_dbl.total_cycles as f64 * 100.0
+                ),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\ntotals: DB {} cycles, DB-L {} cycles ({:.2}x)",
+        t_db.total_cycles,
+        t_dbl.total_cycles,
+        t_db.total_cycles as f64 / t_dbl.total_cycles as f64
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates paper Table 1: "A Decomposition of the typical neural
+//! networks" — which layer categories each model family uses.
+//!
+//! The paper's column set is MLP / Hopfield / CMAC / Alexnet / Mnist /
+//! GoogleNet; we decompose the same model families from the zoo.
+
+use deepburning_bench::print_row;
+use deepburning_model::{decompose, Decomposition};
+
+fn main() {
+    let mlp = deepburning_baselines::mlp4("mlp", 8, 16, 16, 4, deepburning_model::Activation::Sigmoid);
+    let columns: Vec<(&str, Decomposition)> = vec![
+        ("MLP", decompose(&mlp)),
+        ("Hopfield", decompose(&deepburning_baselines::hopfield().network)),
+        ("CMAC", decompose(&deepburning_baselines::cmac().network)),
+        ("Alexnet", decompose(&deepburning_baselines::alexnet().network)),
+        ("Mnist", decompose(&deepburning_baselines::mnist().network)),
+        (
+            "GoogleNet",
+            decompose(&deepburning_baselines::googlenet_slice().network),
+        ),
+    ];
+
+    println!("Table 1: decomposition of the typical neural networks");
+    println!("(x = absent, v = present)\n");
+    let widths: Vec<usize> = std::iter::once(12usize)
+        .chain(columns.iter().map(|(n, _)| n.len().max(5)))
+        .collect();
+    let header: Vec<String> = std::iter::once(String::new())
+        .chain(columns.iter().map(|(n, _)| n.to_string()))
+        .collect();
+    print_row(&header, &widths);
+    for (row_idx, category) in Decomposition::CATEGORIES.iter().enumerate() {
+        let cells: Vec<String> = std::iter::once(category.to_string())
+            .chain(columns.iter().map(|(_, d)| {
+                if d.as_flags()[row_idx] {
+                    "v".to_string()
+                } else {
+                    "x".to_string()
+                }
+            }))
+            .collect();
+        print_row(&cells, &widths);
+    }
+    // The paper folds recurrence into the Associative/FC rows; we print it
+    // explicitly as supplementary information.
+    let cells: Vec<String> = std::iter::once("(Recurrent)".to_string())
+        .chain(columns.iter().map(|(_, d)| {
+            if d.recurrent {
+                "v".to_string()
+            } else {
+                "x".to_string()
+            }
+        }))
+        .collect();
+    print_row(&cells, &widths);
+}

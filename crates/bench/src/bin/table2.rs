@@ -1,0 +1,35 @@
+//! Regenerates paper Table 2: the benchmark suite with its Conv / FC /
+//! Recurrent feature columns and target application.
+
+use deepburning_bench::print_row;
+use deepburning_model::decompose;
+
+fn main() {
+    println!("Table 2: benchmarks\n");
+    let widths = [10usize, 6, 6, 6, 24];
+    print_row(
+        &[
+            "".into(),
+            "Conv".into(),
+            "FC.".into(),
+            "Rec.".into(),
+            "Application".into(),
+        ],
+        &widths,
+    );
+    for bench in deepburning_baselines::all_benchmarks() {
+        let d = decompose(&bench.network);
+        let mark = |b: bool| if b { "v" } else { "x" }.to_string();
+        print_row(
+            &[
+                bench.name.into(),
+                mark(d.conv),
+                mark(d.fc),
+                mark(d.recurrent),
+                bench.application.into(),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(ANN-0/1/2 implement the AxBench fft/jpeg/kmeans approximation kernels.)");
+}

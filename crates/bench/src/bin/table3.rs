@@ -1,0 +1,91 @@
+//! Regenerates paper Table 3: hardware resource occupation (DSP / LUT /
+//! FF) of the Custom (CU) and DeepBurning (DB) implementations, plus the
+//! Alexnet-L row (DB-L budget).
+//!
+//! Expected shape: "the implementation of DeepBurning consumes more
+//! resources than Custom on average."
+
+use deepburning_baselines::{all_benchmarks, custom_design};
+use deepburning_bench::print_row;
+use deepburning_core::{generate, Budget};
+
+fn main() {
+    println!("Table 3: hardware resource occupation\n");
+    let widths = [12usize, 8, 8, 10, 10, 10, 10];
+    print_row(
+        &[
+            "".into(),
+            "DSP(CU)".into(),
+            "DSP(DB)".into(),
+            "LUT(CU)".into(),
+            "LUT(DB)".into(),
+            "FF(CU)".into(),
+            "FF(DB)".into(),
+        ],
+        &widths,
+    );
+    let mut cu_total = (0u64, 0u64, 0u64);
+    let mut db_total = (0u64, 0u64, 0u64);
+    for bench in all_benchmarks() {
+        let cu = match custom_design(&bench, &Budget::Medium) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}: custom generation failed: {e}", bench.name);
+                continue;
+            }
+        };
+        let db = match generate(&bench.network, &Budget::Medium) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}: generation failed: {e}", bench.name);
+                continue;
+            }
+        };
+        let (c, d) = (cu.resources.total, db.resources.total);
+        cu_total = (
+            cu_total.0 + u64::from(c.dsp),
+            cu_total.1 + u64::from(c.lut),
+            cu_total.2 + u64::from(c.ff),
+        );
+        db_total = (
+            db_total.0 + u64::from(d.dsp),
+            db_total.1 + u64::from(d.lut),
+            db_total.2 + u64::from(d.ff),
+        );
+        print_row(
+            &[
+                bench.name.into(),
+                c.dsp.to_string(),
+                d.dsp.to_string(),
+                c.lut.to_string(),
+                d.lut.to_string(),
+                c.ff.to_string(),
+                d.ff.to_string(),
+            ],
+            &widths,
+        );
+        if bench.name == "Alexnet" {
+            if let Ok(dl) = generate(&bench.network, &Budget::Large) {
+                let r = dl.resources.total;
+                print_row(
+                    &[
+                        "Alexnet-L".into(),
+                        "-".into(),
+                        r.dsp.to_string(),
+                        "-".into(),
+                        r.lut.to_string(),
+                        "-".into(),
+                        r.ff.to_string(),
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+    println!();
+    println!(
+        "totals: CU dsp={} lut={} ff={}  |  DB dsp={} lut={} ff={}",
+        cu_total.0, cu_total.1, cu_total.2, db_total.0, db_total.1, db_total.2
+    );
+    println!("(paper: DB consumes more resources than Custom on average)");
+}

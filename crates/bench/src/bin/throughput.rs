@@ -1,0 +1,63 @@
+//! Extension experiment: steady-state inference throughput.
+//!
+//! Fig. 8 measures cold-start latency (weights fetched from DRAM every
+//! pass). In the paper's motivating loops — training and serving — the
+//! model's weights stay resident on chip whenever they fit, and throughput
+//! is the metric. This harness compares both modes.
+
+use deepburning_baselines::all_benchmarks;
+use deepburning_bench::{fmt_seconds, print_row};
+use deepburning_core::{derive_config, generate_with_config, max_parallel_units, Budget};
+use deepburning_sim::{simulate_timing, TimingParams};
+
+fn main() {
+    println!("Extension: cold-start latency vs steady-state throughput (DB budget)\n");
+    let widths = [10usize, 14, 14, 14, 12];
+    print_row(
+        &[
+            "".into(),
+            "cold".into(),
+            "steady".into(),
+            "inf/s".into(),
+            "resident".into(),
+        ],
+        &widths,
+    );
+    for bench in all_benchmarks() {
+        let mut cfg = derive_config(&Budget::Medium, 16);
+        cfg.lanes = cfg.lanes.min(max_parallel_units(&bench.network)).max(1);
+        let cold = match generate_with_config(&bench.network, &Budget::Medium, &cfg) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}: {e}", bench.name);
+                continue;
+            }
+        };
+        let mut warm_cfg = cfg;
+        warm_cfg.weights_resident = true;
+        let warm = match generate_with_config(&bench.network, &Budget::Medium, &warm_cfg) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}: {e}", bench.name);
+                continue;
+            }
+        };
+        let t_cold = simulate_timing(&cold.compiled, &TimingParams::default())
+            .seconds(cold.clock_hz());
+        let t_warm = simulate_timing(&warm.compiled, &TimingParams::default())
+            .seconds(warm.clock_hz());
+        let resident = warm.compiled.folding.total_work().dram_read_bytes
+            < cold.compiled.folding.total_work().dram_read_bytes;
+        print_row(
+            &[
+                bench.name.into(),
+                fmt_seconds(t_cold),
+                fmt_seconds(t_warm),
+                format!("{:.0}", 1.0 / t_warm),
+                if resident { "yes" } else { "no (too big)" }.into(),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(resident = whole weight set fits the on-chip weight buffer)");
+}

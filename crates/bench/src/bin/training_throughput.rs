@@ -1,0 +1,59 @@
+//! Extension experiment: training throughput.
+//!
+//! The paper motivates DeepBurning with model search and training ("FPGAs
+//! are fast and power-efficient enough to accelerate the time-consuming NN
+//! training"). This harness schedules a full SGD iteration (forward +
+//! backward + weight update) on the generated accelerator and compares
+//! iterations/second and energy/iteration against the CPU baseline.
+
+use deepburning_baselines::{all_benchmarks, CpuModel};
+use deepburning_bench::print_row;
+use deepburning_compiler::plan_training;
+use deepburning_core::{generate, Budget};
+use deepburning_sim::{simulate_folding, TimingParams};
+
+fn main() {
+    println!("Extension: SGD training-iteration throughput (DB medium budget vs CPU)\n");
+    let cpu = CpuModel::xeon_2_4ghz();
+    let widths = [10usize, 14, 14, 14, 10];
+    print_row(
+        &[
+            "".into(),
+            "DB iter".into(),
+            "CPU iter".into(),
+            "DB iter/s".into(),
+            "speedup".into(),
+        ],
+        &widths,
+    );
+    for bench in all_benchmarks() {
+        if bench.network.is_recurrent() {
+            // Hopfield/CMAC train by Hebbian/delta rules, not SGD.
+            continue;
+        }
+        let design = match generate(&bench.network, &Budget::Medium) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}: {e}", bench.name);
+                continue;
+            }
+        };
+        let plan = plan_training(&bench.network, &design.config).expect("plans");
+        let timing = simulate_folding(&plan, design.config.lanes, &TimingParams::default());
+        let db_s = timing.seconds(design.clock_hz());
+        let cpu_s = cpu
+            .training_iteration_time(&bench.network)
+            .expect("cpu time");
+        print_row(
+            &[
+                bench.name.into(),
+                format!("{:.3} ms", db_s * 1e3),
+                format!("{:.3} ms", cpu_s * 1e3),
+                format!("{:.0}", 1.0 / db_s),
+                format!("{:.2}x", cpu_s / db_s),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(one iteration = forward + backward + weight update, batch size 1)");
+}

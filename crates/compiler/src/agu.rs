@@ -1,0 +1,406 @@
+//! Memory-map construction and AGU program synthesis.
+//!
+//! The compiler decides where every data set lives in off-chip memory,
+//! then derives the deterministic address patterns each AGU class must
+//! support for every phase. The pattern descriptors are handed to the
+//! hardware generator, which reduces the template AGU (Fig. 6) to exactly
+//! this pattern set.
+
+use crate::config::CompilerConfig;
+use crate::folding::{FoldingPlan, PhaseKind};
+use crate::tiling::{plan_tiling, TilePlan};
+use deepburning_components::AguPattern;
+use deepburning_model::{LayerKind, Network, NetworkError, Shape};
+use std::collections::BTreeMap;
+
+/// What a DRAM segment holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// The network's input feature data.
+    Input,
+    /// Trained weights of one layer.
+    Weights,
+    /// Spill space for inter-layer activations.
+    Activations,
+    /// The network output.
+    Output,
+}
+
+/// One region of the off-chip memory map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment name (layer name for weights, `input`/`spill`/`output`).
+    pub name: String,
+    /// Word offset in DRAM.
+    pub offset: u64,
+    /// Length in words.
+    pub len_words: u64,
+    /// Content class.
+    pub kind: SegmentKind,
+}
+
+/// The DRAM layout the ARM core prepares before starting the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryMap {
+    /// Segments in ascending address order.
+    pub segments: Vec<Segment>,
+}
+
+impl MemoryMap {
+    /// Finds a segment by name.
+    pub fn segment(&self, name: &str) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.name == name)
+    }
+
+    /// Total mapped words.
+    pub fn total_words(&self) -> u64 {
+        self.segments.iter().map(|s| s.len_words).sum()
+    }
+
+    /// Whether segments are disjoint and sorted — the map's invariant.
+    pub fn is_consistent(&self) -> bool {
+        self.segments.windows(2).all(|w| {
+            w[0].offset + w[0].len_words <= w[1].offset
+        })
+    }
+}
+
+/// Builds the memory map: input, per-layer weights, activation spill,
+/// output — each aligned to the port width.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures.
+pub fn build_memory_map(net: &Network, cfg: &CompilerConfig) -> Result<MemoryMap, NetworkError> {
+    let shapes = net.infer_shapes()?;
+    let stats = deepburning_model::network_stats(net)?;
+    let align = cfg.port_width_words.max(1) as u64;
+    let round = |v: u64| v.div_ceil(align) * align;
+    let mut segments = Vec::new();
+    let mut cursor = 0u64;
+    let mut push = |name: String, len: u64, kind: SegmentKind, cursor: &mut u64| {
+        let len = round(len.max(1));
+        segments.push(Segment {
+            name,
+            offset: *cursor,
+            len_words: len,
+            kind,
+        });
+        *cursor += len;
+    };
+    push(
+        "input".into(),
+        net.input_shape().elements() as u64,
+        SegmentKind::Input,
+        &mut cursor,
+    );
+    for layer in net.layers() {
+        if layer.kind.has_weights() {
+            let w = stats
+                .layer(&layer.name)
+                .map(|s| s.weights)
+                .unwrap_or_default();
+            push(layer.name.clone(), w, SegmentKind::Weights, &mut cursor);
+        }
+    }
+    // Spill region: the largest inter-layer blob (double-buffered).
+    let largest = shapes
+        .values()
+        .map(|s| s.elements() as u64)
+        .max()
+        .unwrap_or(1);
+    push("spill".into(), largest * 2, SegmentKind::Activations, &mut cursor);
+    let out_words = net.output_shape()?.elements() as u64;
+    push("output".into(), out_words, SegmentKind::Output, &mut cursor);
+    Ok(MemoryMap { segments })
+}
+
+/// The AGU programs of one phase: patterns per AGU class.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AguProgram {
+    /// Phase id this program belongs to.
+    pub phase: usize,
+    /// Main AGU (DRAM ↔ buffer) patterns.
+    pub main: Vec<AguPattern>,
+    /// Data AGU (feature buffer → datapath) patterns.
+    pub data: Vec<AguPattern>,
+    /// Weight AGU (weight buffer → datapath) patterns.
+    pub weight: Vec<AguPattern>,
+}
+
+impl AguProgram {
+    /// Total addresses issued by all patterns of this program.
+    pub fn footprint(&self) -> u64 {
+        self.main
+            .iter()
+            .chain(&self.data)
+            .chain(&self.weight)
+            .map(AguPattern::footprint)
+            .sum()
+    }
+}
+
+/// Per-layer tile plans for the layers that stream spatial windows.
+pub fn plan_layer_tiling(
+    net: &Network,
+    cfg: &CompilerConfig,
+) -> Result<BTreeMap<String, TilePlan>, NetworkError> {
+    let shapes = net.infer_shapes()?;
+    let mut plans = BTreeMap::new();
+    for layer in net.layers() {
+        let (k, s) = match &layer.kind {
+            LayerKind::Convolution(p) => (p.kernel_size, p.stride),
+            LayerKind::Pooling(p) => (p.kernel_size, p.stride),
+            _ => continue,
+        };
+        let input: Shape = shapes[&layer.bottoms[0]];
+        plans.insert(
+            layer.name.clone(),
+            plan_tiling(k, s, cfg.port_width_words, input.channels),
+        );
+    }
+    Ok(plans)
+}
+
+/// Synthesises the per-phase AGU programs.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures.
+pub fn synthesize_agus(
+    net: &Network,
+    plan: &FoldingPlan,
+    map: &MemoryMap,
+    tile_plans: &BTreeMap<String, TilePlan>,
+    cfg: &CompilerConfig,
+) -> Result<Vec<AguProgram>, NetworkError> {
+    let shapes = net.infer_shapes()?;
+    let mut programs = Vec::with_capacity(plan.phases.len());
+    for phase in &plan.phases {
+        let layer = net
+            .layer(&phase.layer)
+            .expect("plan references existing layers");
+        let input: Shape = shapes[&layer.bottoms[0]];
+        let output: Shape = shapes[&layer.tops[0]];
+        let mut prog = AguProgram {
+            phase: phase.id,
+            ..AguProgram::default()
+        };
+        let in_words = input.elements() as u64;
+        let out_words = output.elements() as u64;
+        // Main AGU: fetch input (if not resident) and this fold's weights;
+        // write back the output slice when it spills.
+        if !phase.input_resident {
+            let src = map
+                .segment("input")
+                .map(|s| s.offset)
+                .unwrap_or_default();
+            prog.main.push(AguPattern::linear(
+                src,
+                u32::try_from(in_words).unwrap_or(u32::MAX),
+            ));
+        }
+        if let Some(seg) = map.segment(&phase.layer) {
+            let fold_words = seg.len_words / phase.folds as u64;
+            prog.main.push(AguPattern {
+                start: seg.offset,
+                offset: fold_words * phase.fold as u64,
+                x_len: u32::try_from(fold_words.max(1)).unwrap_or(u32::MAX),
+                y_len: 1,
+                x_stride: 1,
+                y_stride: 0,
+            });
+        }
+        if phase.output_to_dram {
+            let dst = map
+                .segment("spill")
+                .map(|s| s.offset)
+                .unwrap_or_default();
+            let slice = out_words / phase.folds as u64;
+            prog.main.push(AguPattern {
+                start: dst,
+                offset: slice * phase.fold as u64,
+                x_len: u32::try_from(slice.max(1)).unwrap_or(u32::MAX),
+                y_len: 1,
+                x_stride: 1,
+                y_stride: 0,
+            });
+        }
+        // Data AGU: window walks for spatial layers, linear sweep otherwise.
+        match &layer.kind {
+            LayerKind::Convolution(p) => {
+                let row = tile_plans
+                    .get(&phase.layer)
+                    .map(|t| t.port_width)
+                    .unwrap_or(cfg.port_width_words) as u64;
+                prog.data.push(AguPattern {
+                    start: 0,
+                    offset: 0,
+                    x_len: p.kernel_size as u32,
+                    y_len: p.kernel_size as u32,
+                    x_stride: 1,
+                    y_stride: row,
+                });
+            }
+            LayerKind::Pooling(p) => {
+                prog.data.push(AguPattern {
+                    start: 0,
+                    offset: 0,
+                    x_len: p.kernel_size as u32,
+                    y_len: p.kernel_size as u32,
+                    x_stride: 1,
+                    y_stride: input.width as u64,
+                });
+            }
+            _ => {
+                prog.data.push(AguPattern::linear(
+                    0,
+                    u32::try_from(in_words).unwrap_or(u32::MAX),
+                ));
+            }
+        }
+        // Weight AGU: one linear stream over the fold's weights.
+        if phase.kind == PhaseKind::Compute {
+            let words = phase.work.buffer_read_words.min(u64::from(u32::MAX));
+            prog.weight
+                .push(AguPattern::linear(0, (words.max(1)) as u32));
+        }
+        programs.push(prog);
+    }
+    Ok(programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::folding::plan_folding;
+    use deepburning_model::{ConvParam, FullParam, Layer, PoolMethod, PoolParam};
+
+    fn net() -> Network {
+        Network::from_layers(
+            "t",
+            vec![
+                Layer::input("data", "data", 3, 16, 16),
+                Layer::new(
+                    "conv1",
+                    LayerKind::Convolution(ConvParam::new(64, 3, 1)),
+                    "data",
+                    "conv1",
+                ),
+                Layer::new(
+                    "pool1",
+                    LayerKind::Pooling(PoolParam {
+                        method: PoolMethod::Max,
+                        kernel_size: 2,
+                        stride: 2,
+                    }),
+                    "conv1",
+                    "pool1",
+                ),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(10)),
+                    "pool1",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn memory_map_is_consistent() {
+        let map = build_memory_map(&net(), &CompilerConfig::default()).expect("map");
+        assert!(map.is_consistent());
+        assert!(map.segment("input").is_some());
+        assert!(map.segment("conv1").is_some());
+        assert!(map.segment("fc").is_some());
+        assert!(map.segment("spill").is_some());
+        assert!(map.segment("output").is_some());
+        assert!(map.segment("pool1").is_none(), "pooling has no weights");
+    }
+
+    #[test]
+    fn memory_map_aligned_to_port() {
+        let cfg = CompilerConfig {
+            port_width_words: 16,
+            ..CompilerConfig::default()
+        };
+        let map = build_memory_map(&net(), &cfg).expect("map");
+        for seg in &map.segments {
+            assert_eq!(seg.offset % 16, 0, "{} misaligned", seg.name);
+            assert_eq!(seg.len_words % 16, 0, "{} length unaligned", seg.name);
+        }
+    }
+
+    #[test]
+    fn weight_segment_sizes_match_stats() {
+        let map = build_memory_map(&net(), &CompilerConfig::default()).expect("map");
+        let conv_w = 64 * 3 * 9 + 64; // weights + bias
+        let seg = map.segment("conv1").expect("segment");
+        assert!(seg.len_words >= conv_w && seg.len_words < conv_w + 16);
+    }
+
+    #[test]
+    fn agu_programs_cover_every_phase() {
+        let n = net();
+        let cfg = CompilerConfig::default();
+        let plan = plan_folding(&n, &cfg).expect("plan");
+        let map = build_memory_map(&n, &cfg).expect("map");
+        let tiles = plan_layer_tiling(&n, &cfg).expect("tiles");
+        let programs = synthesize_agus(&n, &plan, &map, &tiles, &cfg).expect("agus");
+        assert_eq!(programs.len(), plan.phases.len());
+        for (prog, phase) in programs.iter().zip(&plan.phases) {
+            assert_eq!(prog.phase, phase.id);
+            assert!(!prog.data.is_empty(), "phase {} has no data pattern", phase.id);
+        }
+    }
+
+    #[test]
+    fn conv_data_pattern_is_window_walk() {
+        let n = net();
+        let cfg = CompilerConfig::default();
+        let plan = plan_folding(&n, &cfg).expect("plan");
+        let map = build_memory_map(&n, &cfg).expect("map");
+        let tiles = plan_layer_tiling(&n, &cfg).expect("tiles");
+        let programs = synthesize_agus(&n, &plan, &map, &tiles, &cfg).expect("agus");
+        let conv_prog = &programs[0];
+        let w = &conv_prog.data[0];
+        assert_eq!(w.x_len, 3);
+        assert_eq!(w.y_len, 3);
+        assert_eq!(w.footprint(), 9);
+    }
+
+    #[test]
+    fn weight_folds_advance_offset() {
+        let n = net();
+        let cfg = CompilerConfig {
+            lanes: 32, // conv1 has 64 outputs -> 2 folds
+            ..CompilerConfig::default()
+        };
+        let plan = plan_folding(&n, &cfg).expect("plan");
+        let map = build_memory_map(&n, &cfg).expect("map");
+        let tiles = plan_layer_tiling(&n, &cfg).expect("tiles");
+        let programs = synthesize_agus(&n, &plan, &map, &tiles, &cfg).expect("agus");
+        let fold0 = programs[0]
+            .main
+            .iter()
+            .find(|p| p.start == map.segment("conv1").expect("seg").offset)
+            .expect("weight fetch");
+        let fold1 = programs[1]
+            .main
+            .iter()
+            .find(|p| p.start == map.segment("conv1").expect("seg").offset)
+            .expect("weight fetch");
+        assert_eq!(fold0.offset, 0);
+        assert!(fold1.offset > 0);
+    }
+
+    #[test]
+    fn tile_plans_only_for_spatial_layers() {
+        let tiles = plan_layer_tiling(&net(), &CompilerConfig::default()).expect("tiles");
+        assert!(tiles.contains_key("conv1"));
+        assert!(tiles.contains_key("pool1"));
+        assert!(!tiles.contains_key("fc"));
+    }
+}

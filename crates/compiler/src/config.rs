@@ -1,0 +1,77 @@
+//! Generation-time configuration shared by the compiler passes.
+
+use deepburning_fixed::QFormat;
+
+/// Parameters the NN-Gen front end derives from the user's resource
+/// constraint before invoking the compiler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompilerConfig {
+    /// Parallel synergy-neuron lanes the datapath provides.
+    pub lanes: u32,
+    /// Datapath word width in bits.
+    pub word_bits: u32,
+    /// On-chip feature buffer capacity in bytes.
+    pub feature_buffer_bytes: u64,
+    /// On-chip weight buffer capacity in bytes.
+    pub weight_buffer_bytes: u64,
+    /// On-chip buffer row width in words (Method-1's `d`).
+    pub port_width_words: usize,
+    /// Approx LUT entries per function table.
+    pub lut_entries: usize,
+    /// Fixed-point format of the datapath.
+    pub format: QFormat,
+    /// Steady-state mode: weights already live in the on-chip weight
+    /// buffer (repeated inference over one model, as in training or a
+    /// serving loop), so per-inference DRAM traffic excludes them when
+    /// they fit. Default off = cold-start latency, the paper's Fig. 8
+    /// measurement.
+    pub weights_resident: bool,
+}
+
+impl CompilerConfig {
+    /// Bytes per datapath word.
+    pub fn word_bytes(&self) -> u64 {
+        u64::from(self.word_bits.div_ceil(8))
+    }
+}
+
+impl Default for CompilerConfig {
+    /// A medium configuration comparable to the paper's "DB" budget on the
+    /// Z-7045: 32 lanes, 16-bit words, 128 KiB feature + 128 KiB weight
+    /// buffer, 16-word ports, 64-entry LUTs.
+    fn default() -> Self {
+        CompilerConfig {
+            lanes: 32,
+            word_bits: 16,
+            feature_buffer_bytes: 128 * 1024,
+            weight_buffer_bytes: 128 * 1024,
+            port_width_words: 16,
+            lut_entries: 64,
+            format: QFormat::Q8_8,
+            weights_resident: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_bytes_rounds_up() {
+        let mut c = CompilerConfig::default();
+        assert_eq!(c.word_bytes(), 2);
+        c.word_bits = 12;
+        assert_eq!(c.word_bytes(), 2);
+        c.word_bits = 8;
+        assert_eq!(c.word_bytes(), 1);
+    }
+
+    #[test]
+    fn default_is_sane() {
+        let c = CompilerConfig::default();
+        assert!(c.lanes > 0);
+        assert!(c.lut_entries >= 2);
+        assert_eq!(c.format, QFormat::Q8_8);
+    }
+}

@@ -1,0 +1,429 @@
+//! Temporal and spatial folding (paper §3.3).
+//!
+//! *Temporal folding* maps every layer onto the one physical block set, so
+//! layers execute as sequential **phases**. *Spatial folding* splits a layer
+//! whose neuron-level parallelism exceeds the lane count into several
+//! phases ("folds") that time-share the lanes. The coordinator replays the
+//! phases in order; each phase is triggered by an event named
+//! `layer{i}-fold{j}` exactly as in the paper.
+
+use crate::config::CompilerConfig;
+use deepburning_model::{layer_stats, LayerKind, Network, NetworkError, Shape};
+
+/// Data volumes and op counts of one phase — the quantities the timing
+/// simulator turns into cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseWork {
+    /// Multiply-accumulates executed on the synergy lanes.
+    pub macs: u64,
+    /// Aux-unit operations (pooling compares, LRN sums, eltwise adds).
+    pub aux_ops: u64,
+    /// Approx-LUT evaluations.
+    pub lut_ops: u64,
+    /// Bytes fetched from DRAM (features + weights).
+    pub dram_read_bytes: u64,
+    /// Bytes written back to DRAM.
+    pub dram_write_bytes: u64,
+    /// Words read from on-chip buffers into the datapath.
+    pub buffer_read_words: u64,
+    /// Words written into on-chip buffers.
+    pub buffer_write_words: u64,
+}
+
+impl PhaseWork {
+    /// Component-wise sum.
+    pub fn merge(self, o: PhaseWork) -> PhaseWork {
+        PhaseWork {
+            macs: self.macs + o.macs,
+            aux_ops: self.aux_ops + o.aux_ops,
+            lut_ops: self.lut_ops + o.lut_ops,
+            dram_read_bytes: self.dram_read_bytes + o.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes + o.dram_write_bytes,
+            buffer_read_words: self.buffer_read_words + o.buffer_read_words,
+            buffer_write_words: self.buffer_write_words + o.buffer_write_words,
+        }
+    }
+}
+
+/// What kind of hardware the phase occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Synergy lanes + accumulators (conv, FC, recurrent, associative,
+    /// inception).
+    Compute,
+    /// Aux units only (pooling, LRN, dropout, eltwise, memory).
+    Aux,
+    /// Approx-LUT stream (standalone activation layers).
+    Lut,
+    /// K-sorter pass (classifier).
+    Sort,
+}
+
+/// One coordinator phase: a `(layer, fold)` slice of the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase index in schedule order.
+    pub id: usize,
+    /// The layer this phase advances.
+    pub layer: String,
+    /// Fold index within the layer.
+    pub fold: usize,
+    /// Total folds of this layer.
+    pub folds: usize,
+    /// Hardware class.
+    pub kind: PhaseKind,
+    /// Work volumes.
+    pub work: PhaseWork,
+    /// Trigger event name (`layer{i}-fold{j}`).
+    pub event: String,
+    /// Lanes this phase can actually keep busy (`<= plan.lanes`): the
+    /// generic datapath wastes the remainder when the layer's parallelism
+    /// does not divide the lane count.
+    pub active_lanes: u32,
+    /// Whether the phase's input features were already resident on chip.
+    pub input_resident: bool,
+    /// Whether the phase writes its output slice back to DRAM.
+    pub output_to_dram: bool,
+}
+
+/// The full folding plan for a network on a given configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldingPlan {
+    /// Lanes the plan assumed.
+    pub lanes: u32,
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl FoldingPlan {
+    /// Total work across all phases.
+    pub fn total_work(&self) -> PhaseWork {
+        self.phases
+            .iter()
+            .fold(PhaseWork::default(), |acc, p| acc.merge(p.work))
+    }
+
+    /// Phases belonging to one layer.
+    pub fn layer_phases<'a>(&'a self, layer: &'a str) -> impl Iterator<Item = &'a Phase> + 'a {
+        self.phases.iter().filter(move |p| p.layer == layer)
+    }
+
+    /// Number of distinct layers that were folded spatially (folds > 1).
+    pub fn spatially_folded_layers(&self) -> usize {
+        let mut names: Vec<&str> = self
+            .phases
+            .iter()
+            .filter(|p| p.folds > 1)
+            .map(|p| p.layer.as_str())
+            .collect();
+        names.dedup();
+        names.len()
+    }
+}
+
+/// Neuron-level parallelism a layer asks for (the number of lane-columns a
+/// fully spatial implementation would instantiate).
+fn parallel_units(kind: &LayerKind) -> u64 {
+    match kind {
+        // A convolution exposes output-map x kernel-position parallelism
+        // (the DianNao-style Tn x TixK mapping the lanes implement).
+        LayerKind::Convolution(p) => (p.num_output * p.kernel_size * p.kernel_size) as u64,
+        LayerKind::FullConnection(p) => p.num_output as u64,
+        LayerKind::Recurrent { num_output, .. } => *num_output as u64,
+        LayerKind::Inception(p) => (p.total_output() * 9) as u64,
+        LayerKind::Associative { active_cells, .. } => *active_cells as u64,
+        _ => 1,
+    }
+}
+
+fn phase_kind(kind: &LayerKind) -> PhaseKind {
+    match kind {
+        LayerKind::Convolution(_)
+        | LayerKind::FullConnection(_)
+        | LayerKind::Recurrent { .. }
+        | LayerKind::Inception(_)
+        | LayerKind::Associative { .. } => PhaseKind::Compute,
+        LayerKind::Activation(a) if a.needs_lut() => PhaseKind::Lut,
+        LayerKind::Classifier { .. } => PhaseKind::Sort,
+        _ => PhaseKind::Aux,
+    }
+}
+
+/// Splits `total` into `parts` near-equal shares (remainder spread over the
+/// first shares).
+fn split(total: u64, parts: usize, idx: usize) -> u64 {
+    let parts = parts as u64;
+    let base = total / parts;
+    let rem = total % parts;
+    base + u64::from((idx as u64) < rem)
+}
+
+/// Computes the folding plan.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures (impossible on a validated
+/// [`Network`]).
+pub fn plan_folding(net: &Network, cfg: &CompilerConfig) -> Result<FoldingPlan, NetworkError> {
+    let shapes = net.infer_shapes()?;
+    let wb = cfg.word_bytes();
+    // Steady-state residency: when the whole weight set fits on chip and
+    // the caller declared repeated inference, weights are fetched once per
+    // session, not per forward pass.
+    let total_weight_bytes: u64 = deepburning_model::network_stats(net)?
+        .total
+        .weights
+        * wb;
+    let weights_stay = cfg.weights_resident && total_weight_bytes <= cfg.weight_buffer_bytes;
+    let mut phases = Vec::new();
+    let mut id = 0usize;
+    // Tracks whether the producing layer left its output resident on chip.
+    let mut resident_output = false;
+    for (li, layer) in net.layers().iter().enumerate() {
+        if matches!(layer.kind, LayerKind::Input { .. }) {
+            resident_output = false; // network input starts in DRAM
+            continue;
+        }
+        let inputs: Vec<Shape> = layer.bottoms.iter().map(|b| shapes[b]).collect();
+        let output = shapes[&layer.tops[0]];
+        let stats = layer_stats(layer, &inputs, output);
+        let units = parallel_units(&layer.kind);
+        let folds = if phase_kind(&layer.kind) == PhaseKind::Compute {
+            units.div_ceil(cfg.lanes as u64).max(1) as usize
+        } else {
+            1
+        };
+        let active_lanes = units
+            .div_ceil(folds as u64)
+            .min(cfg.lanes as u64)
+            .max(1) as u32;
+        let in_bytes = stats.input_elems * wb;
+        let out_bytes = stats.output_elems * wb;
+        let weight_bytes = stats.weights * wb;
+        let input_fits = in_bytes <= cfg.feature_buffer_bytes;
+        let input_resident = resident_output && input_fits;
+        // The output stays on chip when it fits in (half of) the feature
+        // buffer — double buffering shares the space with the next input.
+        let output_stays = out_bytes <= cfg.feature_buffer_bytes / 2;
+        let is_last = li + 1 == net.layers().len();
+        let output_to_dram = is_last || !output_stays;
+        for fold in 0..folds {
+            // Input features: fetched from DRAM once if they fit on chip
+            // (charged to fold 0), refetched per fold otherwise.
+            let input_fetch = if input_resident {
+                0
+            } else if input_fits {
+                if fold == 0 {
+                    in_bytes
+                } else {
+                    0
+                }
+            } else {
+                in_bytes
+            };
+            let work = PhaseWork {
+                macs: split(stats.macs, folds, fold),
+                aux_ops: split(stats.aux_ops, folds, fold),
+                lut_ops: split(stats.lut_ops, folds, fold),
+                dram_read_bytes: input_fetch
+                    + if weights_stay {
+                        0
+                    } else {
+                        split(weight_bytes, folds, fold)
+                    },
+                dram_write_bytes: if output_to_dram {
+                    split(out_bytes, folds, fold)
+                } else {
+                    0
+                },
+                // The datapath re-reads each input element once per MAC it
+                // participates in, amortised by the port width; weights
+                // stream exactly once.
+                buffer_read_words: split(
+                    stats.macs.max(stats.input_elems) / cfg.port_width_words.max(1) as u64,
+                    folds,
+                    fold,
+                ) + split(stats.weights, folds, fold),
+                buffer_write_words: split(stats.output_elems, folds, fold),
+            };
+            phases.push(Phase {
+                id,
+                layer: layer.name.clone(),
+                fold,
+                folds,
+                kind: phase_kind(&layer.kind),
+                work,
+                event: format!("layer{li}-fold{fold}"),
+                active_lanes,
+                input_resident: input_resident || (input_fits && fold > 0),
+                output_to_dram,
+            });
+            id += 1;
+        }
+        resident_output = !output_to_dram || output_stays;
+    }
+    Ok(FoldingPlan {
+        lanes: cfg.lanes,
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_model::{
+        network_stats, Activation, ConvParam, FullParam, Layer, PoolMethod, PoolParam,
+    };
+
+    fn small_cnn() -> Network {
+        Network::from_layers(
+            "cnn",
+            vec![
+                Layer::input("data", "data", 1, 28, 28),
+                Layer::new(
+                    "conv1",
+                    LayerKind::Convolution(ConvParam::new(96, 5, 1)),
+                    "data",
+                    "conv1",
+                ),
+                Layer::new(
+                    "pool1",
+                    LayerKind::Pooling(PoolParam {
+                        method: PoolMethod::Max,
+                        kernel_size: 2,
+                        stride: 2,
+                    }),
+                    "conv1",
+                    "pool1",
+                ),
+                Layer::new("sig", LayerKind::Activation(Activation::Sigmoid), "pool1", "pool1"),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(10)),
+                    "pool1",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn folds_match_lane_budget() {
+        let net = small_cnn();
+        let cfg = CompilerConfig {
+            lanes: 32,
+            ..CompilerConfig::default()
+        };
+        let plan = plan_folding(&net, &cfg).expect("plan");
+        // conv1 exposes 96 maps x 5x5 kernel = 2400 parallel units; on 32
+        // lanes that is ceil(2400/32) = 75 folds.
+        assert_eq!(plan.layer_phases("conv1").count(), 75);
+        // fc needs 10 on 32 -> 1 fold, with only 10 lanes active.
+        let fc_phase = plan.layer_phases("fc").next().expect("fc phase");
+        assert_eq!(plan.layer_phases("fc").count(), 1);
+        assert_eq!(fc_phase.active_lanes, 10);
+        assert_eq!(plan.spatially_folded_layers(), 1);
+    }
+
+    #[test]
+    fn more_lanes_fewer_phases() {
+        let net = small_cnn();
+        let small = plan_folding(
+            &net,
+            &CompilerConfig {
+                lanes: 16,
+                ..CompilerConfig::default()
+            },
+        )
+        .expect("plan");
+        let large = plan_folding(
+            &net,
+            &CompilerConfig {
+                lanes: 128,
+                ..CompilerConfig::default()
+            },
+        )
+        .expect("plan");
+        assert!(large.phases.len() < small.phases.len());
+    }
+
+    #[test]
+    fn work_is_conserved_across_folds() {
+        let net = small_cnn();
+        let cfg = CompilerConfig {
+            lanes: 7, // awkward lane count to exercise the remainders
+            ..CompilerConfig::default()
+        };
+        let plan = plan_folding(&net, &cfg).expect("plan");
+        let stats = network_stats(&net).expect("stats");
+        let total = plan.total_work();
+        assert_eq!(total.macs, stats.total.macs);
+        assert_eq!(total.aux_ops, stats.total.aux_ops);
+        assert_eq!(total.lut_ops, stats.total.lut_ops);
+    }
+
+    #[test]
+    fn events_follow_paper_naming() {
+        let net = small_cnn();
+        let plan = plan_folding(&net, &CompilerConfig::default()).expect("plan");
+        // conv1 is layer index 1.
+        let first = &plan.phases[0];
+        assert_eq!(first.event, "layer1-fold0");
+        assert_eq!(first.layer, "conv1");
+    }
+
+    #[test]
+    fn phase_kinds_assigned() {
+        let net = small_cnn();
+        let plan = plan_folding(&net, &CompilerConfig::default()).expect("plan");
+        let kinds: Vec<PhaseKind> = plan.phases.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PhaseKind::Compute));
+        assert!(kinds.contains(&PhaseKind::Aux));
+        assert!(kinds.contains(&PhaseKind::Lut));
+    }
+
+    #[test]
+    fn resident_input_skips_refetch() {
+        let net = small_cnn();
+        // A buffer large enough to keep conv1's 96x24x24 output on chip.
+        let cfg = CompilerConfig {
+            feature_buffer_bytes: 512 * 1024,
+            ..CompilerConfig::default()
+        };
+        let plan = plan_folding(&net, &cfg).expect("plan");
+        // pool1 consumes conv1's output which stayed on chip.
+        let pool = plan.layer_phases("pool1").next().expect("pool phase");
+        assert!(pool.input_resident);
+        // Its DRAM reads are therefore zero (pooling has no weights).
+        assert_eq!(pool.work.dram_read_bytes, 0);
+    }
+
+    #[test]
+    fn tiny_buffer_forces_refetch() {
+        let net = small_cnn();
+        let cfg = CompilerConfig {
+            lanes: 32,
+            feature_buffer_bytes: 64, // pathological
+            ..CompilerConfig::default()
+        };
+        let plan = plan_folding(&net, &cfg).expect("plan");
+        let conv_phases: Vec<&Phase> = plan.layer_phases("conv1").collect();
+        // Every fold refetches the input.
+        assert!(conv_phases.iter().all(|p| p.work.dram_read_bytes > 0));
+        let default_plan = plan_folding(&net, &CompilerConfig::default()).expect("plan");
+        assert!(
+            plan.total_work().dram_read_bytes > default_plan.total_work().dram_read_bytes,
+            "starved buffer must increase DRAM traffic"
+        );
+    }
+
+    #[test]
+    fn last_layer_writes_to_dram() {
+        let net = small_cnn();
+        let plan = plan_folding(&net, &CompilerConfig::default()).expect("plan");
+        let last = plan.phases.last().expect("phases");
+        assert!(last.output_to_dram);
+        assert!(last.work.dram_write_bytes > 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The DeepBurning compiler: software/hardware co-design passes.
+//!
+//! Given a validated network and a [`CompilerConfig`] derived from the
+//! user's resource constraint, the compiler produces everything the
+//! hardware generator and the run time need:
+//!
+//! * a [`FoldingPlan`] — temporal + spatial folding into coordinator phases
+//! * a [`MemoryMap`] and per-layer [`TilePlan`]s — the optimised data layout
+//! * per-phase [`AguProgram`]s — deterministic address patterns (Fig. 6)
+//! * a [`ControlSchedule`] — the dynamic producer→consumer reconnections
+//! * [`LutImages`] — Approx LUT contents for every non-linear function
+//!
+//! # Examples
+//!
+//! ```
+//! use deepburning_compiler::{compile, CompilerConfig};
+//!
+//! let src = r#"
+//! layers { name: "data" type: INPUT top: "data"
+//!          input_param { channels: 1 height: 12 width: 12 } }
+//! layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+//!          param { num_output: 48 kernel_size: 3 stride: 1 } }
+//! layers { name: "sig" type: SIGMOID bottom: "conv" top: "conv" }
+//! "#;
+//! let net = deepburning_model::parse_network(src)?;
+//! let compiled = compile(&net, &CompilerConfig::default())?;
+//! assert!(compiled.folding.phases.len() >= 2);
+//! assert!(compiled.luts.contains_key("sigmoid"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod agu;
+mod config;
+mod folding;
+mod lutgen;
+mod schedule;
+mod tiling;
+mod training;
+mod weights_layout;
+
+pub use agu::{
+    build_memory_map, plan_layer_tiling, synthesize_agus, AguProgram, MemoryMap, Segment,
+    SegmentKind,
+};
+pub use config::CompilerConfig;
+pub use folding::{plan_folding, FoldingPlan, Phase, PhaseKind, PhaseWork};
+pub use lutgen::{generate_luts, LutImages, ACTIVATION_RANGE};
+pub use schedule::{blocks, build_schedule, ControlSchedule, ControlStep, Reconnection};
+pub use training::plan_training;
+pub use weights_layout::{layer_weight_order, plan_weight_layout, WeightOrder};
+pub use tiling::{
+    bandwidth_utilization, layout_order, plan_tiling, rows_touched_linear, rows_touched_tiled,
+    TilePlan, TilingCase,
+};
+
+use deepburning_fixed::BuildLutError;
+use deepburning_model::{Network, NetworkError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Everything the compiler produces for one network + configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledNetwork {
+    /// The configuration compiled against.
+    pub config: CompilerConfig,
+    /// Folding into phases.
+    pub folding: FoldingPlan,
+    /// Off-chip memory layout.
+    pub memory_map: MemoryMap,
+    /// Per-layer tiling decisions (spatial layers only).
+    pub tile_plans: BTreeMap<String, TilePlan>,
+    /// Per-phase AGU programs (parallel to `folding.phases`).
+    pub agu_programs: Vec<AguProgram>,
+    /// Coordinator reconnection schedule.
+    pub schedule: ControlSchedule,
+    /// Approx LUT images by function tag.
+    pub luts: LutImages,
+    /// Weight stream order per weighted layer (the DRAM image the host
+    /// prepares).
+    pub weight_layout: std::collections::BTreeMap<String, WeightOrder>,
+}
+
+/// Error raised by [`compile`].
+#[derive(Debug)]
+pub enum CompileError {
+    /// The network failed validation/shape inference.
+    Network(NetworkError),
+    /// A LUT could not be sampled.
+    Lut(BuildLutError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Network(e) => write!(f, "network error: {e}"),
+            CompileError::Lut(e) => write!(f, "LUT generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Network(e) => Some(e),
+            CompileError::Lut(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetworkError> for CompileError {
+    fn from(e: NetworkError) -> Self {
+        CompileError::Network(e)
+    }
+}
+
+impl From<BuildLutError> for CompileError {
+    fn from(e: BuildLutError) -> Self {
+        CompileError::Lut(e)
+    }
+}
+
+/// Runs all compiler passes.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if shape inference fails or a LUT cannot be
+/// sampled with the configured entry count.
+pub fn compile(net: &Network, config: &CompilerConfig) -> Result<CompiledNetwork, CompileError> {
+    let folding = plan_folding(net, config)?;
+    let memory_map = build_memory_map(net, config)?;
+    let tile_plans = plan_layer_tiling(net, config)?;
+    let agu_programs = synthesize_agus(net, &folding, &memory_map, &tile_plans, config)?;
+    let schedule = build_schedule(&folding);
+    let luts = generate_luts(net, config)?;
+    let weight_layout = plan_weight_layout(net, config)?;
+    Ok(CompiledNetwork {
+        config: *config,
+        folding,
+        memory_map,
+        tile_plans,
+        agu_programs,
+        schedule,
+        luts,
+        weight_layout,
+    })
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use deepburning_model::{ConvParam, FullParam, Layer, LayerKind, Network, Shape};
+    use proptest::prelude::*;
+
+    fn arb_net() -> impl Strategy<Value = Network> {
+        (1usize..4, 8usize..24, 1usize..64, 2usize..6).prop_map(|(ci, ext, co, k)| {
+            let k = k.min(ext);
+            Network::from_layers(
+                "gen",
+                vec![
+                    Layer::input("data", "data", ci, ext, ext),
+                    Layer::new(
+                        "conv",
+                        LayerKind::Convolution(ConvParam::new(co, k, 1)),
+                        "data",
+                        "conv",
+                    ),
+                    Layer::new(
+                        "fc",
+                        LayerKind::FullConnection(FullParam::dense(10)),
+                        "conv",
+                        "fc",
+                    ),
+                ],
+            )
+            .expect("generated net is valid")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn compile_succeeds_and_is_consistent(net in arb_net(), lanes in 1u32..128) {
+            let cfg = CompilerConfig { lanes, ..CompilerConfig::default() };
+            let compiled = compile(&net, &cfg).expect("compiles");
+            // One AGU program and one control step per phase.
+            prop_assert_eq!(compiled.agu_programs.len(), compiled.folding.phases.len());
+            prop_assert_eq!(compiled.schedule.steps.len(), compiled.folding.phases.len());
+            // Memory map invariant.
+            prop_assert!(compiled.memory_map.is_consistent());
+            // Work conservation.
+            let stats = deepburning_model::network_stats(&net).expect("stats");
+            prop_assert_eq!(compiled.folding.total_work().macs, stats.total.macs);
+        }
+
+        #[test]
+        fn layout_order_is_permutation(c in 1usize..4, h in 2usize..20, w in 2usize..20,
+                                       k in 2usize..6, s in 1usize..4, d in 4usize..20) {
+            let plan = plan_tiling(k, s, d, c);
+            let shape = Shape::new(c, h, w);
+            let order = layout_order(shape, &plan);
+            let n = shape.elements();
+            prop_assert_eq!(order.len(), n);
+            let mut seen = vec![false; n];
+            for &i in &order {
+                prop_assert!(i < n);
+                prop_assert!(!seen[i], "duplicate index {}", i);
+                seen[i] = true;
+            }
+        }
+
+        #[test]
+        fn folds_shrink_with_lanes(net in arb_net()) {
+            let p8 = compile(&net, &CompilerConfig { lanes: 8, ..CompilerConfig::default() })
+                .expect("compiles").folding.phases.len();
+            let p64 = compile(&net, &CompilerConfig { lanes: 64, ..CompilerConfig::default() })
+                .expect("compiles").folding.phases.len();
+            prop_assert!(p64 <= p8);
+        }
+    }
+}

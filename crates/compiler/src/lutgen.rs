@@ -1,0 +1,215 @@
+//! Approx-LUT content generation.
+//!
+//! "The size (depending on accuracy requirement) and content of Approx
+//! LUT, including the keys and values, are generated a priori by NN-Gen
+//! compiler" — this pass parses the functions a network needs, chooses
+//! sampling points and fills the tables.
+
+use crate::config::CompilerConfig;
+use deepburning_fixed::{ApproxLut, BuildLutError, Sampling};
+use deepburning_model::{Activation, LayerKind, Network};
+use std::collections::BTreeMap;
+
+/// The set of LUT images a network needs, keyed by function tag
+/// (`sigmoid`, `tanh`, `lrn:<layer>`).
+pub type LutImages = BTreeMap<String, ApproxLut>;
+
+/// Input range sampled for the sigmoid/tanh tables; beyond ±8 both
+/// functions are flat to within one Q8.8 LSB.
+pub const ACTIVATION_RANGE: (f64, f64) = (-8.0, 8.0);
+
+/// Generates every LUT image the network's layers require.
+///
+/// Activation tables are shared across layers using the same function;
+/// each LRN layer gets its own factor table (α/β differ per layer).
+///
+/// # Errors
+///
+/// Returns [`BuildLutError`] if a table cannot be sampled (e.g. fewer than
+/// two entries configured).
+pub fn generate_luts(net: &Network, cfg: &CompilerConfig) -> Result<LutImages, BuildLutError> {
+    let mut images = LutImages::new();
+    let fmt = cfg.format;
+    let entries = cfg.lut_entries;
+    let need_activation = |act: Activation, images: &mut LutImages| -> Result<(), BuildLutError> {
+        if !act.needs_lut() {
+            return Ok(());
+        }
+        let key = match act {
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            _ => unreachable!("needs_lut covers sigmoid/tanh only"),
+        };
+        if !images.contains_key(key) {
+            let lut = ApproxLut::sample(
+                move |x| act.eval(x),
+                ACTIVATION_RANGE.0,
+                ACTIVATION_RANGE.1,
+                entries,
+                fmt,
+                Sampling::ErrorEqualizing,
+            )?;
+            images.insert(key.to_string(), lut);
+        }
+        Ok(())
+    };
+    for layer in net.layers() {
+        match &layer.kind {
+            LayerKind::Activation(a) => need_activation(*a, &mut images)?,
+            // Recurrent layers apply tanh internally.
+            LayerKind::Recurrent { .. } => need_activation(Activation::Tanh, &mut images)?,
+            LayerKind::Lrn(p) => {
+                let (alpha, beta, n) = (p.alpha, p.beta, p.local_size as f64);
+                let lut = ApproxLut::sample(
+                    move |s| (1.0 + alpha / n * s).powf(-beta),
+                    0.0,
+                    fmt.max_value(),
+                    entries,
+                    fmt,
+                    Sampling::Uniform,
+                )?;
+                images.insert(format!("lrn:{}", layer.name), lut);
+            }
+            _ => {}
+        }
+    }
+    Ok(images)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_model::{FullParam, Layer, LrnParam, Network};
+
+    fn net_with(layers: Vec<Layer>) -> Network {
+        let mut all = vec![Layer::input("data", "data", 4, 1, 1)];
+        all.extend(layers);
+        Network::from_layers("t", all).expect("valid")
+    }
+
+    #[test]
+    fn sigmoid_table_generated_once() {
+        let net = net_with(vec![
+            Layer::new(
+                "fc1",
+                LayerKind::FullConnection(FullParam::dense(4)),
+                "data",
+                "fc1",
+            ),
+            Layer::new("s1", LayerKind::Activation(Activation::Sigmoid), "fc1", "fc1"),
+            Layer::new(
+                "fc2",
+                LayerKind::FullConnection(FullParam::dense(4)),
+                "fc1",
+                "fc2",
+            ),
+            Layer::new("s2", LayerKind::Activation(Activation::Sigmoid), "fc2", "fc2"),
+        ]);
+        let luts = generate_luts(&net, &CompilerConfig::default()).expect("luts");
+        assert_eq!(luts.len(), 1);
+        assert!(luts.contains_key("sigmoid"));
+    }
+
+    #[test]
+    fn relu_needs_no_table() {
+        let net = net_with(vec![
+            Layer::new(
+                "fc",
+                LayerKind::FullConnection(FullParam::dense(4)),
+                "data",
+                "fc",
+            ),
+            Layer::new("r", LayerKind::Activation(Activation::Relu), "fc", "fc"),
+        ]);
+        let luts = generate_luts(&net, &CompilerConfig::default()).expect("luts");
+        assert!(luts.is_empty());
+    }
+
+    #[test]
+    fn recurrent_pulls_in_tanh() {
+        let net = net_with(vec![Layer::new(
+            "rec",
+            LayerKind::Recurrent {
+                num_output: 4,
+                steps: 2,
+            },
+            "data",
+            "rec",
+        )]);
+        let luts = generate_luts(&net, &CompilerConfig::default()).expect("luts");
+        assert!(luts.contains_key("tanh"));
+    }
+
+    #[test]
+    fn lrn_gets_per_layer_table() {
+        let net = Network::from_layers(
+            "t",
+            vec![
+                Layer::input("data", "data", 4, 8, 8),
+                Layer::new("lrn_a", LayerKind::Lrn(LrnParam::default()), "data", "a"),
+                Layer::new(
+                    "lrn_b",
+                    LayerKind::Lrn(LrnParam {
+                        local_size: 3,
+                        alpha: 1.0,
+                        beta: 0.5,
+                    }),
+                    "a",
+                    "b",
+                ),
+            ],
+        )
+        .expect("valid");
+        let luts = generate_luts(&net, &CompilerConfig::default()).expect("luts");
+        assert!(luts.contains_key("lrn:lrn_a"));
+        assert!(luts.contains_key("lrn:lrn_b"));
+        assert_ne!(luts["lrn:lrn_a"], luts["lrn:lrn_b"]);
+    }
+
+    #[test]
+    fn table_accuracy_improves_with_entries() {
+        let net = net_with(vec![
+            Layer::new(
+                "fc",
+                LayerKind::FullConnection(FullParam::dense(4)),
+                "data",
+                "fc",
+            ),
+            Layer::new("s", LayerKind::Activation(Activation::Sigmoid), "fc", "fc"),
+        ]);
+        let coarse_cfg = CompilerConfig {
+            lut_entries: 8,
+            format: deepburning_fixed::QFormat::Q16_16,
+            ..CompilerConfig::default()
+        };
+        let fine_cfg = CompilerConfig {
+            lut_entries: 256,
+            format: deepburning_fixed::QFormat::Q16_16,
+            ..CompilerConfig::default()
+        };
+        let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+        let coarse = generate_luts(&net, &coarse_cfg).expect("luts")["sigmoid"]
+            .max_error(sigmoid, 1000);
+        let fine = generate_luts(&net, &fine_cfg).expect("luts")["sigmoid"]
+            .max_error(sigmoid, 1000);
+        assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn too_few_entries_is_an_error() {
+        let net = net_with(vec![
+            Layer::new(
+                "fc",
+                LayerKind::FullConnection(FullParam::dense(4)),
+                "data",
+                "fc",
+            ),
+            Layer::new("s", LayerKind::Activation(Activation::Sigmoid), "fc", "fc"),
+        ]);
+        let cfg = CompilerConfig {
+            lut_entries: 1,
+            ..CompilerConfig::default()
+        };
+        assert!(generate_luts(&net, &cfg).is_err());
+    }
+}

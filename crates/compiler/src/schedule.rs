@@ -1,0 +1,222 @@
+//! Dynamic control flow: the coordinator's reconnection schedule.
+//!
+//! "The synergy neuron set used by one layer of weight-data-product
+//! operation, need to be reconnected to accumulators afterwards to walk
+//! through the next average pooling layer. The configuration signals are
+//! generated in time by the FSM-based coordinator." — this module computes
+//! those per-phase producer→consumer reconnections.
+
+use crate::folding::{FoldingPlan, PhaseKind};
+
+/// Canonical block-instance names used in the reconnection table and the
+/// generated top-level netlist.
+pub mod blocks {
+    /// The feature buffer bank.
+    pub const FEATURE_BUF: &str = "feature_buffer";
+    /// The weight buffer bank.
+    pub const WEIGHT_BUF: &str = "weight_buffer";
+    /// The synergy neuron bank.
+    pub const NEURONS: &str = "synergy_neurons";
+    /// The accumulator bank.
+    pub const ACCUMULATORS: &str = "accumulators";
+    /// The connection box crossbar.
+    pub const CONNECTION_BOX: &str = "connection_box";
+    /// The pooling unit.
+    pub const POOLING: &str = "pooling_unit";
+    /// The Approx LUT.
+    pub const APPROX_LUT: &str = "approx_lut";
+    /// The LRN unit.
+    pub const LRN: &str = "lrn_unit";
+    /// The K-sorter classifier.
+    pub const KSORTER: &str = "ksorter";
+}
+
+/// One crossbar edge configured for a phase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reconnection {
+    /// Producing block instance.
+    pub from: &'static str,
+    /// Consuming block instance.
+    pub to: &'static str,
+}
+
+/// The coordinator's per-phase control words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlStep {
+    /// Phase id.
+    pub phase: usize,
+    /// Trigger event fired on entry (`layer{i}-fold{j}`).
+    pub event: String,
+    /// Crossbar configuration for the phase.
+    pub reconnections: Vec<Reconnection>,
+}
+
+/// The full control schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ControlSchedule {
+    /// Steps in phase order.
+    pub steps: Vec<ControlStep>,
+}
+
+impl ControlSchedule {
+    /// Number of distinct crossbar configurations used — a proxy for the
+    /// connection-box select-ROM size.
+    pub fn distinct_configurations(&self) -> usize {
+        let mut configs: Vec<&Vec<Reconnection>> =
+            self.steps.iter().map(|s| &s.reconnections).collect();
+        configs.sort();
+        configs.dedup();
+        configs.len()
+    }
+}
+
+fn edge(from: &'static str, to: &'static str) -> Reconnection {
+    Reconnection { from, to }
+}
+
+/// Builds the control schedule from a folding plan.
+pub fn build_schedule(plan: &FoldingPlan) -> ControlSchedule {
+    let steps = plan
+        .phases
+        .iter()
+        .map(|phase| {
+            let reconnections = match phase.kind {
+                PhaseKind::Compute => vec![
+                    edge(blocks::FEATURE_BUF, blocks::NEURONS),
+                    edge(blocks::WEIGHT_BUF, blocks::NEURONS),
+                    edge(blocks::NEURONS, blocks::ACCUMULATORS),
+                    edge(blocks::ACCUMULATORS, blocks::CONNECTION_BOX),
+                    edge(blocks::CONNECTION_BOX, blocks::FEATURE_BUF),
+                ],
+                PhaseKind::Aux => vec![
+                    edge(blocks::FEATURE_BUF, blocks::CONNECTION_BOX),
+                    edge(blocks::CONNECTION_BOX, blocks::POOLING),
+                    edge(blocks::POOLING, blocks::FEATURE_BUF),
+                ],
+                PhaseKind::Lut => vec![
+                    edge(blocks::FEATURE_BUF, blocks::CONNECTION_BOX),
+                    edge(blocks::CONNECTION_BOX, blocks::APPROX_LUT),
+                    edge(blocks::APPROX_LUT, blocks::FEATURE_BUF),
+                ],
+                PhaseKind::Sort => vec![
+                    edge(blocks::FEATURE_BUF, blocks::CONNECTION_BOX),
+                    edge(blocks::CONNECTION_BOX, blocks::KSORTER),
+                ],
+            };
+            ControlStep {
+                phase: phase.id,
+                event: phase.event.clone(),
+                reconnections,
+            }
+        })
+        .collect();
+    ControlSchedule { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompilerConfig;
+    use crate::folding::plan_folding;
+    use deepburning_model::{
+        Activation, ConvParam, FullParam, Layer, LayerKind, Network, PoolMethod, PoolParam,
+    };
+
+    fn plan() -> FoldingPlan {
+        let net = Network::from_layers(
+            "t",
+            vec![
+                Layer::input("data", "data", 1, 12, 12),
+                Layer::new(
+                    "conv",
+                    LayerKind::Convolution(ConvParam::new(40, 3, 1)),
+                    "data",
+                    "conv",
+                ),
+                Layer::new(
+                    "pool",
+                    LayerKind::Pooling(PoolParam {
+                        method: PoolMethod::Average,
+                        kernel_size: 2,
+                        stride: 2,
+                    }),
+                    "conv",
+                    "pool",
+                ),
+                Layer::new("sig", LayerKind::Activation(Activation::Sigmoid), "pool", "pool"),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(10)),
+                    "pool",
+                    "fc",
+                ),
+                Layer::new("cls", LayerKind::Classifier { top_k: 1 }, "fc", "cls"),
+            ],
+        )
+        .expect("valid");
+        plan_folding(&net, &CompilerConfig { lanes: 32, ..CompilerConfig::default() })
+            .expect("plan")
+    }
+
+    #[test]
+    fn one_step_per_phase() {
+        let p = plan();
+        let s = build_schedule(&p);
+        assert_eq!(s.steps.len(), p.phases.len());
+        for (step, phase) in s.steps.iter().zip(&p.phases) {
+            assert_eq!(step.phase, phase.id);
+            assert_eq!(step.event, phase.event);
+        }
+    }
+
+    #[test]
+    fn compute_phase_wires_neurons_to_accumulators() {
+        let s = build_schedule(&plan());
+        let first = &s.steps[0];
+        assert!(first
+            .reconnections
+            .contains(&Reconnection {
+                from: blocks::NEURONS,
+                to: blocks::ACCUMULATORS
+            }));
+        assert!(first
+            .reconnections
+            .contains(&Reconnection {
+                from: blocks::WEIGHT_BUF,
+                to: blocks::NEURONS
+            }));
+    }
+
+    #[test]
+    fn pooling_phase_routes_through_connection_box() {
+        let p = plan();
+        let s = build_schedule(&p);
+        let pool_step = p
+            .phases
+            .iter()
+            .position(|ph| ph.layer == "pool")
+            .expect("pool phase");
+        assert!(s.steps[pool_step]
+            .reconnections
+            .contains(&Reconnection {
+                from: blocks::CONNECTION_BOX,
+                to: blocks::POOLING
+            }));
+    }
+
+    #[test]
+    fn classifier_phase_uses_ksorter() {
+        let p = plan();
+        let s = build_schedule(&p);
+        let last = s.steps.last().expect("steps");
+        assert!(last.reconnections.iter().any(|r| r.to == blocks::KSORTER));
+    }
+
+    #[test]
+    fn distinct_configurations_bounded_by_kinds() {
+        let s = build_schedule(&plan());
+        // Four phase kinds -> at most four distinct crossbar configs.
+        assert!(s.distinct_configurations() <= 4);
+        assert!(s.distinct_configurations() >= 3);
+    }
+}

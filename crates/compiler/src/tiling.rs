@@ -1,0 +1,317 @@
+//! Hardware-aware data layouting: tiling and partitioning (paper §3.4,
+//! "Method-1").
+//!
+//! As printed, Method-1's first two guards are degenerate (both read
+//! `k² = d²`); we implement the evident intent and document the repair:
+//!
+//! 1. if `k == d` → `k×k` tiles, tiles of one map aligned continuously,
+//!    then the next map;
+//! 2. if `k == d` **and** `s` divides both `k` and `d` → partition further
+//!    into `s×s` tiles within one map (better reuse when the window slides
+//!    by `s`);
+//! 3. otherwise → `f×f` tiles for `f = gcd(k, d, s)`, interleaving the
+//!    tiles of `t` maps one by one in memory.
+//!
+//! When no useful common divisor exists the hardware generator *reshapes
+//! the memory port* ("the width of memory port and data-path will be
+//! reshaped to make it easy to achieve data alignment").
+
+use deepburning_model::Shape;
+use std::fmt;
+
+/// Which Method-1 branch produced the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TilingCase {
+    /// Case 1: kernel-sized tiles, maps consecutive.
+    KernelTiles,
+    /// Case 2: stride-sized tiles within a map.
+    StrideTiles,
+    /// Case 3: gcd-sized tiles, maps interleaved.
+    GcdTiles,
+    /// Fallback: the port was reshaped to restore alignment.
+    ReshapedPort,
+}
+
+impl fmt::Display for TilingCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TilingCase::KernelTiles => "kernel-tiles",
+            TilingCase::StrideTiles => "stride-tiles",
+            TilingCase::GcdTiles => "gcd-tiles",
+            TilingCase::ReshapedPort => "reshaped-port",
+        })
+    }
+}
+
+/// The data layout chosen for one feature blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TilePlan {
+    /// Side of the square tile, in pixels.
+    pub tile: usize,
+    /// Memory port width in pixels per row (possibly reshaped).
+    pub port_width: usize,
+    /// Number of maps interleaved tile-by-tile (1 = maps consecutive).
+    pub interleaved_maps: usize,
+    /// Which branch fired.
+    pub case: TilingCase,
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Runs Method-1.
+///
+/// * `kernel` — convolution window side `k`
+/// * `stride` — window stride `s`
+/// * `port_width` — memory row width `d` in pixels
+/// * `maps` — input feature map count `t`
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn plan_tiling(kernel: usize, stride: usize, port_width: usize, maps: usize) -> TilePlan {
+    assert!(
+        kernel > 0 && stride > 0 && port_width > 0 && maps > 0,
+        "tiling parameters must be non-zero"
+    );
+    if kernel == port_width {
+        if stride > 1 && kernel % stride == 0 && port_width % stride == 0 {
+            // Case 2: finer s×s partition for window reuse.
+            return TilePlan {
+                tile: stride,
+                port_width,
+                interleaved_maps: 1,
+                case: TilingCase::StrideTiles,
+            };
+        }
+        // Case 1.
+        return TilePlan {
+            tile: kernel,
+            port_width,
+            interleaved_maps: 1,
+            case: TilingCase::KernelTiles,
+        };
+    }
+    let f = gcd(gcd(kernel, port_width), stride);
+    if f >= 2 {
+        // Case 3.
+        return TilePlan {
+            tile: f,
+            port_width,
+            interleaved_maps: maps,
+            case: TilingCase::GcdTiles,
+        };
+    }
+    // Fallback: reshape the port to a multiple of the stride that covers
+    // the kernel, restoring alignment (the generator adjusts the buffer
+    // read width accordingly).
+    let tile = stride.max(1);
+    let reshaped = tile * kernel.div_ceil(tile);
+    TilePlan {
+        tile,
+        port_width: reshaped,
+        interleaved_maps: maps,
+        case: TilingCase::ReshapedPort,
+    }
+}
+
+/// The memory order a tiled map layout produces: element `i` of the result
+/// is the flat `(map, y, x)` index (`map*H*W + y*W + x`) stored at memory
+/// slot `i`.
+///
+/// Edge tiles are partial when the extent is not a tile multiple; their
+/// in-range pixels are packed in the same row-major-within-tile order, so
+/// the result is always a permutation of `0..maps*H*W`.
+pub fn layout_order(shape: Shape, plan: &TilePlan) -> Vec<usize> {
+    let (h, w) = (shape.height, shape.width);
+    let maps = shape.channels;
+    let t = plan.tile.max(1);
+    let tiles_y = h.div_ceil(t);
+    let tiles_x = w.div_ceil(t);
+    let mut order = Vec::with_capacity(maps * h * w);
+    let group = plan.interleaved_maps.clamp(1, maps);
+    // Maps are processed in interleave groups: within a group, each tile is
+    // emitted for every map before moving to the next tile.
+    let mut base_map = 0;
+    while base_map < maps {
+        let span = group.min(maps - base_map);
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                for m in base_map..base_map + span {
+                    for dy in 0..t {
+                        for dx in 0..t {
+                            let (y, x) = (ty * t + dy, tx * t + dx);
+                            if y < h && x < w {
+                                order.push((m * h + y) * w + x);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        base_map += span;
+    }
+    order
+}
+
+/// Number of `d`-pixel memory rows touched when fetching one `k×k` window
+/// from a *row-major* layout of width `image_width` — the paper's "poor
+/// bandwidth utilization" case ("only the first 12 pixels are used if the
+/// whole first row is fetched"). Each of the `k` window rows lives in a
+/// different image row; with average misalignment of half a port the span
+/// of `k` pixels touches `ceil((k + d/2) / d)` port rows.
+pub fn rows_touched_linear(k: usize, image_width: usize, d: usize) -> usize {
+    let per_row = (k + d / 2).div_ceil(d).min(image_width.div_ceil(d).max(1));
+    k * per_row.max(1)
+}
+
+/// Number of `d`-pixel memory rows touched when fetching one `k×k` window
+/// from a layout tiled with `plan`: the window overlaps `ceil(k/f)` tiles
+/// per side; the tiles of one tile-row are contiguous in memory (that is
+/// the point of the layout), so a tile-row streams as
+/// `ceil(n_tiles · f² / d)` port rows.
+pub fn rows_touched_tiled(k: usize, plan: &TilePlan) -> usize {
+    let f = plan.tile.max(1);
+    let d = plan.port_width.max(1);
+    let n = k.div_ceil(f);
+    n * (n * f * f).div_ceil(d).max(1)
+}
+
+/// Fraction of fetched pixels actually used by one `k×k` window under the
+/// given plan, in `(0, 1]` — the bandwidth-utility objective of Fig. 7.
+pub fn bandwidth_utilization(k: usize, plan: &TilePlan) -> f64 {
+    let useful = (k * k) as f64;
+    let fetched = (rows_touched_tiled(k, plan) * plan.port_width) as f64;
+    (useful / fetched).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn case1_kernel_equals_port() {
+        let p = plan_tiling(12, 1, 12, 3);
+        assert_eq!(p.case, TilingCase::KernelTiles);
+        assert_eq!(p.tile, 12);
+        assert_eq!(p.interleaved_maps, 1);
+    }
+
+    #[test]
+    fn case2_stride_divides() {
+        // The paper's Fig. 7 example: 12x12 kernel, stride 4, port 12 ->
+        // 4x4 sub-blocks.
+        let p = plan_tiling(12, 4, 12, 3);
+        assert_eq!(p.case, TilingCase::StrideTiles);
+        assert_eq!(p.tile, 4);
+    }
+
+    #[test]
+    fn case3_gcd() {
+        // k=6, d=4, s=2 -> f = gcd(6,4,2) = 2, maps interleaved.
+        let p = plan_tiling(6, 2, 4, 5);
+        assert_eq!(p.case, TilingCase::GcdTiles);
+        assert_eq!(p.tile, 2);
+        assert_eq!(p.interleaved_maps, 5);
+    }
+
+    #[test]
+    fn fallback_reshapes_port() {
+        // k=11, d=16, s=4 (AlexNet conv1): gcd = 1 -> reshape.
+        let p = plan_tiling(11, 4, 16, 3);
+        assert_eq!(p.case, TilingCase::ReshapedPort);
+        assert_eq!(p.tile, 4);
+        assert_eq!(p.port_width, 12); // 4 * ceil(11/4)
+    }
+
+    #[test]
+    fn zero_params_panic() {
+        let result = std::panic::catch_unwind(|| plan_tiling(0, 1, 1, 1));
+        assert!(result.is_err());
+    }
+
+    fn assert_permutation(order: &[usize], n: usize) {
+        assert_eq!(order.len(), n, "length");
+        let set: BTreeSet<usize> = order.iter().copied().collect();
+        assert_eq!(set.len(), n, "uniqueness");
+        assert_eq!(*set.iter().next_back().expect("non-empty"), n - 1);
+    }
+
+    #[test]
+    fn layout_is_permutation_exact_tiles() {
+        let plan = plan_tiling(4, 4, 4, 1);
+        let shape = Shape::new(2, 8, 8);
+        let order = layout_order(shape, &plan);
+        assert_permutation(&order, 128);
+    }
+
+    #[test]
+    fn layout_is_permutation_partial_tiles() {
+        let plan = plan_tiling(4, 4, 4, 1);
+        let shape = Shape::new(3, 10, 7); // not tile multiples
+        let order = layout_order(shape, &plan);
+        assert_permutation(&order, 210);
+    }
+
+    #[test]
+    fn layout_tile_contiguity() {
+        // With 2x2 tiles on a 4x4 map, the first four memory slots are the
+        // first tile in row-major order.
+        let plan = TilePlan {
+            tile: 2,
+            port_width: 4,
+            interleaved_maps: 1,
+            case: TilingCase::GcdTiles,
+        };
+        let order = layout_order(Shape::new(1, 4, 4), &plan);
+        assert_eq!(&order[..4], &[0, 1, 4, 5]);
+        assert_eq!(&order[4..8], &[2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn layout_interleaves_maps() {
+        let plan = TilePlan {
+            tile: 2,
+            port_width: 4,
+            interleaved_maps: 2,
+            case: TilingCase::GcdTiles,
+        };
+        let order = layout_order(Shape::new(2, 2, 2), &plan);
+        // Tile 0 of map 0 (whole map: 4 px), then tile 0 of map 1.
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // Non-interleaved would be identical here; use a 2-tile map to see
+        // the difference.
+        let order2 = layout_order(Shape::new(2, 2, 4), &plan);
+        // map0-tile0, map1-tile0, map0-tile1, map1-tile1
+        assert_eq!(&order2[..4], &[0, 1, 4, 5]);
+        assert_eq!(&order2[4..8], &[8, 9, 12, 13]);
+    }
+
+    #[test]
+    fn tiled_beats_linear_for_paper_example() {
+        // Fig. 7: 57x57 image, 12x12 kernel, stride 4, 12-pixel port.
+        let plan = plan_tiling(12, 4, 12, 1);
+        let linear = rows_touched_linear(12, 57, 12);
+        let tiled = rows_touched_tiled(12, &plan);
+        assert!(
+            tiled < linear,
+            "tiled {tiled} rows should beat linear {linear} rows"
+        );
+        assert!(bandwidth_utilization(12, &plan) > 0.5);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        for (k, s, d) in [(3, 1, 16), (5, 2, 8), (11, 4, 16), (12, 4, 12)] {
+            let plan = plan_tiling(k, s, d, 4);
+            let u = bandwidth_utilization(k, &plan);
+            assert!(u > 0.0 && u <= 1.0, "k={k} s={s} d={d}: {u}");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Training-iteration scheduling.
+//!
+//! The paper motivates DeepBurning with the training loop ("a critical
+//! metric to evaluate the model training speed with the accelerator due to
+//! the repetitive network inference in training"): this pass extends the
+//! forward folding plan with backward-propagation and weight-update phases
+//! so a full SGD iteration can be timed on the same datapath.
+
+use crate::config::CompilerConfig;
+use crate::folding::{plan_folding, FoldingPlan, Phase, PhaseKind, PhaseWork};
+use deepburning_model::{layer_stats, LayerKind, Network, NetworkError, Shape};
+
+/// Plans one SGD training iteration: the forward phases, then backward
+/// phases in reverse layer order (gradient w.r.t. inputs and weights),
+/// then one weight-update phase per parametric layer.
+///
+/// Backward compute reuses the synergy lanes (transposed weight access
+/// served by the same AGU template with a swapped x/y pattern); updates
+/// stream every weight through the accumulators once.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures.
+pub fn plan_training(net: &Network, cfg: &CompilerConfig) -> Result<FoldingPlan, NetworkError> {
+    let mut plan = plan_folding(net, cfg)?;
+    let shapes = net.infer_shapes()?;
+    let wb = cfg.word_bytes();
+    let mut id = plan.phases.len();
+    // Backward pass, reverse layer order.
+    for (li, layer) in net.layers().iter().enumerate().rev() {
+        let weighted = layer.kind.has_weights();
+        let backward_relevant = weighted
+            || matches!(
+                layer.kind,
+                LayerKind::Pooling(_) | LayerKind::Activation(_) | LayerKind::Lrn(_)
+            );
+        if !backward_relevant {
+            continue;
+        }
+        let inputs: Vec<Shape> = layer.bottoms.iter().map(|b| shapes[b]).collect();
+        let output = shapes[&layer.tops[0]];
+        let ls = layer_stats(layer, &inputs, output);
+        // Mirror the forward folding of this layer.
+        let fwd_folds = plan
+            .layer_phases(&layer.name)
+            .map(|p| p.folds)
+            .next()
+            .unwrap_or(1);
+        let fwd_active = plan
+            .layer_phases(&layer.name)
+            .map(|p| p.active_lanes)
+            .next()
+            .unwrap_or(cfg.lanes);
+        let (macs, aux) = if weighted {
+            (2 * ls.macs, 0)
+        } else {
+            (0, ls.output_elems)
+        };
+        let act_bytes = (ls.input_elems + ls.output_elems) * wb;
+        for fold in 0..fwd_folds {
+            let split = |v: u64| v / fwd_folds as u64 + u64::from(fold == 0) * (v % fwd_folds as u64);
+            plan.phases.push(Phase {
+                id,
+                layer: layer.name.clone(),
+                fold,
+                folds: fwd_folds,
+                kind: if weighted {
+                    PhaseKind::Compute
+                } else {
+                    PhaseKind::Aux
+                },
+                work: PhaseWork {
+                    macs: split(macs),
+                    aux_ops: split(aux),
+                    lut_ops: 0,
+                    // Cached forward activations + weights in, gradients out.
+                    dram_read_bytes: split(act_bytes + ls.weights * wb),
+                    dram_write_bytes: split(ls.input_elems * wb),
+                    buffer_read_words: split(macs.max(ls.input_elems) / cfg.port_width_words.max(1) as u64),
+                    buffer_write_words: split(ls.input_elems),
+                },
+                event: format!("layer{li}-back{fold}"),
+                active_lanes: fwd_active,
+                input_resident: false,
+                output_to_dram: true,
+            });
+            id += 1;
+        }
+        // Weight update: stream every parameter through the accumulators.
+        if weighted {
+            plan.phases.push(Phase {
+                id,
+                layer: layer.name.clone(),
+                fold: 0,
+                folds: 1,
+                kind: PhaseKind::Compute,
+                work: PhaseWork {
+                    macs: ls.weights, // w -= lr * dw is one MAC per weight
+                    aux_ops: 0,
+                    lut_ops: 0,
+                    dram_read_bytes: 2 * ls.weights * wb, // w and dw in
+                    dram_write_bytes: ls.weights * wb,    // w out
+                    buffer_read_words: 2 * ls.weights,
+                    buffer_write_words: ls.weights,
+                },
+                event: format!("layer{li}-update"),
+                active_lanes: cfg.lanes,
+                input_resident: false,
+                output_to_dram: true,
+            });
+            id += 1;
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_model::{parse_network, training_stats};
+
+    const SRC: &str = r#"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 1 height: 12 width: 12 } }
+    layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+             param { num_output: 8 kernel_size: 3 stride: 1 } }
+    layers { name: "relu" type: RELU bottom: "conv" top: "conv" }
+    layers { name: "fc" type: FC bottom: "conv" top: "fc"
+             param { num_output: 4 } }
+    "#;
+
+    #[test]
+    fn training_plan_extends_forward_plan() {
+        let net = parse_network(SRC).expect("parses");
+        let cfg = CompilerConfig::default();
+        let fwd = plan_folding(&net, &cfg).expect("fwd");
+        let train = plan_training(&net, &cfg).expect("train");
+        assert!(train.phases.len() > fwd.phases.len());
+        // Forward phases are a prefix.
+        for (a, b) in fwd.phases.iter().zip(&train.phases) {
+            assert_eq!(a, b);
+        }
+        // Ids stay dense.
+        for (i, p) in train.phases.iter().enumerate() {
+            assert_eq!(p.id, i);
+        }
+    }
+
+    #[test]
+    fn backward_phases_in_reverse_order() {
+        let net = parse_network(SRC).expect("parses");
+        let cfg = CompilerConfig::default();
+        let fwd_len = plan_folding(&net, &cfg).expect("fwd").phases.len();
+        let train = plan_training(&net, &cfg).expect("train");
+        let back: Vec<&str> = train.phases[fwd_len..]
+            .iter()
+            .map(|p| p.layer.as_str())
+            .collect();
+        // fc backward (+update) first, then relu, then conv (+update).
+        assert_eq!(back.first(), Some(&"fc"));
+        assert_eq!(back.last(), Some(&"conv"));
+        assert!(back.contains(&"relu"));
+    }
+
+    #[test]
+    fn training_macs_roughly_triple_forward() {
+        let net = parse_network(SRC).expect("parses");
+        let cfg = CompilerConfig::default();
+        let fwd = plan_folding(&net, &cfg).expect("fwd").total_work();
+        let train = plan_training(&net, &cfg).expect("train").total_work();
+        let ts = training_stats(&net).expect("stats");
+        assert_eq!(
+            train.macs,
+            fwd.macs + ts.backward_macs + ts.update_ops,
+            "plan must carry exactly the analysed backward work"
+        );
+        assert!(train.macs > fwd.macs * 2);
+        assert!(train.macs < fwd.macs * 4);
+    }
+
+    #[test]
+    fn update_events_present_per_weighted_layer() {
+        let net = parse_network(SRC).expect("parses");
+        let train = plan_training(&net, &CompilerConfig::default()).expect("train");
+        let updates: Vec<&str> = train
+            .phases
+            .iter()
+            .filter(|p| p.event.ends_with("-update"))
+            .map(|p| p.layer.as_str())
+            .collect();
+        assert_eq!(updates, vec!["fc", "conv"]);
+    }
+}

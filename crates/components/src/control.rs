@@ -1,0 +1,559 @@
+//! Control-path building blocks: the Address Generation Unit template
+//! (paper Fig. 6) and the FSM coordinator that sequences folded phases.
+
+use crate::cost::{adder_luts, comparator_luts, mux_luts, ResourceCost};
+use crate::Block;
+use deepburning_verilog::{
+    BinaryOp, Expr, Item, NetDecl, Port, Sensitivity, Stmt, VModule,
+};
+
+/// One memory access pattern of an AGU (the key fields of Fig. 6:
+/// "starting address, footprint (size), x_length, y_length, stride,
+/// off-set").
+///
+/// The generated address stream is, in order:
+///
+/// ```text
+/// for y in 0..y_len:
+///     for x in 0..x_len:
+///         yield start + offset + y * y_stride + x * x_stride
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AguPattern {
+    /// Base address of the region (words).
+    pub start: u64,
+    /// Additive offset applied to the whole pattern (fold displacement).
+    pub offset: u64,
+    /// Inner-loop trip count.
+    pub x_len: u32,
+    /// Outer-loop trip count.
+    pub y_len: u32,
+    /// Inner-loop address step (words).
+    pub x_stride: u64,
+    /// Outer-loop address step (words).
+    pub y_stride: u64,
+}
+
+impl AguPattern {
+    /// A dense 1-D burst of `len` words from `start`.
+    pub fn linear(start: u64, len: u32) -> Self {
+        AguPattern {
+            start,
+            offset: 0,
+            x_len: len.max(1),
+            y_len: 1,
+            x_stride: 1,
+            y_stride: 0,
+        }
+    }
+
+    /// Total addresses generated ("footprint" in Fig. 6).
+    pub fn footprint(&self) -> u64 {
+        self.x_len as u64 * self.y_len as u64
+    }
+
+    /// The exact address stream this pattern produces — the behavioural
+    /// model the simulator replays and the property tests check the RTL
+    /// increments against.
+    pub fn addresses(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.y_len).flat_map(move |y| {
+            (0..self.x_len).map(move |x| {
+                self.start
+                    .wrapping_add(self.offset)
+                    .wrapping_add(y as u64 * self.y_stride)
+                    .wrapping_add(x as u64 * self.x_stride)
+            })
+        })
+    }
+
+    /// The incremental step applied when the inner loop wraps, as the RTL
+    /// adder computes it (two's complement in `addr_width` bits).
+    pub fn wrap_step(&self, addr_width: u32) -> u64 {
+        let step = self.y_stride as i128 - (self.x_len as i128 - 1) * self.x_stride as i128;
+        let mask = if addr_width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << addr_width) - 1
+        };
+        (step as u128 & mask) as u64
+    }
+}
+
+/// The class of data an AGU serves (paper §3.3: "main AGU, data AGU and
+/// weight AGU").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AguClass {
+    /// Moves data between off-chip DRAM and on-chip buffers.
+    Main,
+    /// Feeds feature data from buffers into the datapath.
+    Data,
+    /// Feeds weight data from buffers into the datapath.
+    Weight,
+}
+
+impl AguClass {
+    /// Lower-case tag used in module names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            AguClass::Main => "main",
+            AguClass::Data => "data",
+            AguClass::Weight => "weight",
+        }
+    }
+}
+
+/// An AGU specialised ("reduced from the template") to a fixed set of
+/// patterns. Triggered by a one-hot event, it streams the pattern's
+/// addresses one per cycle and raises `done`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AguBlock {
+    /// Which traffic class this AGU drives.
+    pub class: AguClass,
+    /// Address bus width.
+    pub addr_width: u32,
+    /// The supported patterns, indexed by trigger bit.
+    pub patterns: Vec<AguPattern>,
+}
+
+impl AguBlock {
+    /// Creates an AGU for a pattern set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty.
+    pub fn new(class: AguClass, addr_width: u32, patterns: Vec<AguPattern>) -> Self {
+        assert!(!patterns.is_empty(), "an AGU needs at least one pattern");
+        AguBlock {
+            class,
+            addr_width,
+            patterns,
+        }
+    }
+
+    fn pattern_index_width(&self) -> u32 {
+        32 - (self.patterns.len().max(2) as u32 - 1).leading_zeros()
+    }
+}
+
+impl Block for AguBlock {
+    fn module_name(&self) -> String {
+        format!("agu_{}_a{}_p{}", self.class.tag(), self.addr_width, self.patterns.len())
+    }
+
+    fn generate(&self) -> VModule {
+        let a = self.addr_width;
+        let pn = self.patterns.len() as u32;
+        let pw = self.pattern_index_width();
+        let mut m = VModule::new(self.module_name());
+        m.port(Port::input("clk", 1))
+            .port(Port::input("rst", 1))
+            .port(Port::input("trigger", pn))
+            .port(Port::output("addr", a))
+            .port(Port::output("valid", 1))
+            .port(Port::output("done", 1));
+        m.item(Item::Net(NetDecl::reg("pat", pw)));
+        m.item(Item::Net(NetDecl::reg("x_cnt", 16)));
+        m.item(Item::Net(NetDecl::reg("y_cnt", 16)));
+        m.item(Item::Net(NetDecl::reg("addr_r", a)));
+        m.item(Item::Net(NetDecl::reg("running", 1)));
+        m.item(Item::Net(NetDecl::reg("done_r", 1)));
+
+        // Trigger decode: priority chain, lowest bit wins.
+        let mut launch: Vec<Stmt> = Vec::new();
+        for (i, p) in self.patterns.iter().enumerate().rev() {
+            let this = vec![
+                Stmt::NonBlocking(Expr::id("pat"), Expr::lit(pw, i as u64)),
+                Stmt::NonBlocking(Expr::id("x_cnt"), Expr::lit(16, 0)),
+                Stmt::NonBlocking(Expr::id("y_cnt"), Expr::lit(16, 0)),
+                Stmt::NonBlocking(
+                    Expr::id("addr_r"),
+                    Expr::lit(a, (p.start.wrapping_add(p.offset)) & mask(a)),
+                ),
+                Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 1)),
+                Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 0)),
+            ];
+            if launch.is_empty() {
+                launch = this;
+            } else {
+                launch = vec![Stmt::If {
+                    cond: Expr::Index(
+                        Box::new(Expr::id("trigger")),
+                        Box::new(Expr::lit(32, i as u64)),
+                    ),
+                    then_body: this,
+                    else_body: launch,
+                }];
+            }
+        }
+
+        // Per-pattern advance logic.
+        let mut arms = Vec::new();
+        for (i, p) in self.patterns.iter().enumerate() {
+            let x_last = Expr::bin(
+                BinaryOp::Eq,
+                Expr::id("x_cnt"),
+                Expr::lit(16, (p.x_len - 1) as u64),
+            );
+            let y_last = Expr::bin(
+                BinaryOp::Eq,
+                Expr::id("y_cnt"),
+                Expr::lit(16, (p.y_len - 1) as u64),
+            );
+            let body = vec![Stmt::If {
+                cond: x_last,
+                then_body: vec![Stmt::If {
+                    cond: y_last,
+                    then_body: vec![
+                        Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 0)),
+                        Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 1)),
+                    ],
+                    else_body: vec![
+                        Stmt::NonBlocking(Expr::id("x_cnt"), Expr::lit(16, 0)),
+                        Stmt::NonBlocking(
+                            Expr::id("y_cnt"),
+                            Expr::bin(BinaryOp::Add, Expr::id("y_cnt"), Expr::lit(16, 1)),
+                        ),
+                        Stmt::NonBlocking(
+                            Expr::id("addr_r"),
+                            Expr::bin(
+                                BinaryOp::Add,
+                                Expr::id("addr_r"),
+                                Expr::lit(a, p.wrap_step(a)),
+                            ),
+                        ),
+                    ],
+                }],
+                else_body: vec![
+                    Stmt::NonBlocking(
+                        Expr::id("x_cnt"),
+                        Expr::bin(BinaryOp::Add, Expr::id("x_cnt"), Expr::lit(16, 1)),
+                    ),
+                    Stmt::NonBlocking(
+                        Expr::id("addr_r"),
+                        Expr::bin(
+                            BinaryOp::Add,
+                            Expr::id("addr_r"),
+                            Expr::lit(a, p.x_stride & mask(a)),
+                        ),
+                    ),
+                ],
+            }];
+            arms.push((Expr::lit(pw, i as u64), body));
+        }
+
+        m.item(Item::Always {
+            sensitivity: Sensitivity::PosEdge("clk".into()),
+            body: vec![Stmt::If {
+                cond: Expr::id("rst"),
+                then_body: vec![
+                    Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 0)),
+                    Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 0)),
+                    Stmt::NonBlocking(Expr::id("pat"), Expr::lit(pw, 0)),
+                    Stmt::NonBlocking(Expr::id("x_cnt"), Expr::lit(16, 0)),
+                    Stmt::NonBlocking(Expr::id("y_cnt"), Expr::lit(16, 0)),
+                    Stmt::NonBlocking(Expr::id("addr_r"), Expr::lit(a, 0)),
+                ],
+                else_body: vec![Stmt::If {
+                    cond: Expr::Unary(
+                        deepburning_verilog::UnaryOp::RedOr,
+                        Box::new(Expr::id("trigger")),
+                    ),
+                    then_body: launch,
+                    else_body: vec![Stmt::If {
+                        cond: Expr::id("running"),
+                        then_body: vec![Stmt::Case {
+                            subject: Expr::id("pat"),
+                            arms,
+                            default: vec![Stmt::NonBlocking(
+                                Expr::id("running"),
+                                Expr::lit(1, 0),
+                            )],
+                        }],
+                        else_body: vec![],
+                    }],
+                }],
+            }],
+        });
+        m.item(Item::Assign {
+            lhs: Expr::id("addr"),
+            rhs: Expr::id("addr_r"),
+        });
+        m.item(Item::Assign {
+            lhs: Expr::id("valid"),
+            rhs: Expr::id("running"),
+        });
+        m.item(Item::Assign {
+            lhs: Expr::id("done"),
+            rhs: Expr::id("done_r"),
+        });
+        m
+    }
+
+    fn cost(&self) -> ResourceCost {
+        // Counters + adder + per-pattern constant mux.
+        let lut = adder_luts(self.addr_width)
+            + adder_luts(16) * 2
+            + comparator_luts(16) * 2
+            + mux_luts(self.addr_width) * self.patterns.len() as u32;
+        let ff = self.addr_width + 16 * 2 + self.pattern_index_width() + 2;
+        ResourceCost::logic(0, lut, ff)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} AGU: {} patterns, {}-bit addresses",
+            self.class.tag(),
+            self.patterns.len(),
+            self.addr_width
+        )
+    }
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// The scheduling coordinator: walks the folded phases in order, firing the
+/// AGU trigger of each phase on entry and advancing when the phase signals
+/// completion (the "pre-determined phases marked by pre-defined events as
+/// layer0-fold0").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coordinator {
+    /// Number of phases in the schedule.
+    pub phases: u32,
+}
+
+impl Coordinator {
+    /// Phase counter width.
+    pub fn phase_width(&self) -> u32 {
+        32 - (self.phases.max(2) - 1).leading_zeros()
+    }
+}
+
+impl Block for Coordinator {
+    fn module_name(&self) -> String {
+        format!("coordinator_p{}", self.phases)
+    }
+
+    fn generate(&self) -> VModule {
+        let pw = self.phase_width();
+        let last = (self.phases - 1) as u64;
+        let mut m = VModule::new(self.module_name());
+        m.port(Port::input("clk", 1))
+            .port(Port::input("rst", 1))
+            .port(Port::input("start", 1))
+            .port(Port::input("phase_done", 1))
+            .port(Port::output("phase", pw))
+            .port(Port::output("busy", 1))
+            .port(Port::output("fire", 1));
+        m.item(Item::Net(NetDecl::reg("phase_r", pw)));
+        m.item(Item::Net(NetDecl::reg("busy_r", 1)));
+        m.item(Item::Net(NetDecl::reg("fire_r", 1)));
+        m.item(Item::Always {
+            sensitivity: Sensitivity::PosEdge("clk".into()),
+            body: vec![Stmt::If {
+                cond: Expr::id("rst"),
+                then_body: vec![
+                    Stmt::NonBlocking(Expr::id("phase_r"), Expr::lit(pw, 0)),
+                    Stmt::NonBlocking(Expr::id("busy_r"), Expr::lit(1, 0)),
+                    Stmt::NonBlocking(Expr::id("fire_r"), Expr::lit(1, 0)),
+                ],
+                else_body: vec![
+                    Stmt::NonBlocking(Expr::id("fire_r"), Expr::lit(1, 0)),
+                    Stmt::If {
+                        cond: Expr::bin(
+                            BinaryOp::LogAnd,
+                            Expr::id("start"),
+                            Expr::Unary(
+                                deepburning_verilog::UnaryOp::Not,
+                                Box::new(Expr::id("busy_r")),
+                            ),
+                        ),
+                        then_body: vec![
+                            Stmt::NonBlocking(Expr::id("phase_r"), Expr::lit(pw, 0)),
+                            Stmt::NonBlocking(Expr::id("busy_r"), Expr::lit(1, 1)),
+                            Stmt::NonBlocking(Expr::id("fire_r"), Expr::lit(1, 1)),
+                        ],
+                        else_body: vec![Stmt::If {
+                            cond: Expr::bin(
+                                BinaryOp::LogAnd,
+                                Expr::id("busy_r"),
+                                Expr::id("phase_done"),
+                            ),
+                            then_body: vec![Stmt::If {
+                                cond: Expr::bin(
+                                    BinaryOp::Eq,
+                                    Expr::id("phase_r"),
+                                    Expr::lit(pw, last),
+                                ),
+                                then_body: vec![Stmt::NonBlocking(
+                                    Expr::id("busy_r"),
+                                    Expr::lit(1, 0),
+                                )],
+                                else_body: vec![
+                                    Stmt::NonBlocking(
+                                        Expr::id("phase_r"),
+                                        Expr::bin(
+                                            BinaryOp::Add,
+                                            Expr::id("phase_r"),
+                                            Expr::lit(pw, 1),
+                                        ),
+                                    ),
+                                    Stmt::NonBlocking(Expr::id("fire_r"), Expr::lit(1, 1)),
+                                ],
+                            }],
+                            else_body: vec![],
+                        }],
+                    },
+                ],
+            }],
+        });
+        m.item(Item::Assign {
+            lhs: Expr::id("phase"),
+            rhs: Expr::id("phase_r"),
+        });
+        m.item(Item::Assign {
+            lhs: Expr::id("busy"),
+            rhs: Expr::id("busy_r"),
+        });
+        m.item(Item::Assign {
+            lhs: Expr::id("fire"),
+            rhs: Expr::id("fire_r"),
+        });
+        m
+    }
+
+    fn cost(&self) -> ResourceCost {
+        let pw = self.phase_width();
+        ResourceCost::logic(0, adder_luts(pw) + comparator_luts(pw) + 8, pw + 2)
+    }
+
+    fn describe(&self) -> String {
+        format!("coordinator FSM: {} phases", self.phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_verilog::{lint_design, Design};
+
+    #[test]
+    fn pattern_addresses_2d() {
+        let p = AguPattern {
+            start: 100,
+            offset: 4,
+            x_len: 3,
+            y_len: 2,
+            x_stride: 1,
+            y_stride: 10,
+        };
+        let addrs: Vec<u64> = p.addresses().collect();
+        assert_eq!(addrs, vec![104, 105, 106, 114, 115, 116]);
+        assert_eq!(p.footprint(), 6);
+    }
+
+    #[test]
+    fn linear_pattern() {
+        let p = AguPattern::linear(50, 4);
+        assert_eq!(p.addresses().collect::<Vec<_>>(), vec![50, 51, 52, 53]);
+    }
+
+    #[test]
+    fn wrap_step_matches_address_delta() {
+        let p = AguPattern {
+            start: 0,
+            offset: 0,
+            x_len: 4,
+            y_len: 3,
+            x_stride: 2,
+            y_stride: 16,
+        };
+        // Address before wrap: 6 (x=3); after wrap: 16. Delta = 10.
+        assert_eq!(p.wrap_step(32), 10);
+        let addrs: Vec<u64> = p.addresses().collect();
+        assert_eq!(addrs[4] - addrs[3], 10);
+    }
+
+    #[test]
+    fn wrap_step_negative_wraps_two_complement() {
+        let p = AguPattern {
+            start: 0,
+            offset: 0,
+            x_len: 8,
+            y_len: 2,
+            x_stride: 4,
+            y_stride: 1,
+        };
+        // step = 1 - 28 = -27 -> two's complement in 16 bits
+        assert_eq!(p.wrap_step(16), (1u64 << 16) - 27);
+    }
+
+    #[test]
+    fn agu_rtl_lints_clean() {
+        let agu = AguBlock::new(
+            AguClass::Data,
+            24,
+            vec![
+                AguPattern::linear(0, 64),
+                AguPattern {
+                    start: 4096,
+                    offset: 0,
+                    x_len: 12,
+                    y_len: 12,
+                    x_stride: 1,
+                    y_stride: 57,
+                },
+            ],
+        );
+        let report = lint_design(&Design::new(agu.generate()));
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(agu.module_name(), "agu_data_a24_p2");
+    }
+
+    #[test]
+    fn agu_cost_grows_with_patterns() {
+        let one = AguBlock::new(AguClass::Main, 32, vec![AguPattern::linear(0, 8)]).cost();
+        let four = AguBlock::new(
+            AguClass::Main,
+            32,
+            vec![AguPattern::linear(0, 8); 4],
+        )
+        .cost();
+        assert!(four.lut > one.lut);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pattern")]
+    fn empty_agu_rejected() {
+        let _ = AguBlock::new(AguClass::Main, 32, vec![]);
+    }
+
+    #[test]
+    fn coordinator_rtl_lints_clean() {
+        for phases in [1u32, 2, 7, 64] {
+            let c = Coordinator { phases };
+            let report = lint_design(&Design::new(c.generate()));
+            assert!(report.is_clean(), "phases={phases}: {report}");
+        }
+    }
+
+    #[test]
+    fn coordinator_widths() {
+        assert_eq!(Coordinator { phases: 1 }.phase_width(), 1);
+        assert_eq!(Coordinator { phases: 2 }.phase_width(), 1);
+        assert_eq!(Coordinator { phases: 3 }.phase_width(), 2);
+        assert_eq!(Coordinator { phases: 64 }.phase_width(), 6);
+    }
+
+    #[test]
+    fn agu_class_tags() {
+        assert_eq!(AguClass::Main.tag(), "main");
+        assert_eq!(AguClass::Data.tag(), "data");
+        assert_eq!(AguClass::Weight.tag(), "weight");
+    }
+}

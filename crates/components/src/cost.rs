@@ -1,0 +1,210 @@
+//! FPGA resource cost model for building blocks.
+//!
+//! Costs are expressed in Zynq-7000-class primitives (DSP48E1 slices,
+//! 6-input LUTs, flip-flops, block-RAM bits). The per-block formulas are
+//! first-order estimates calibrated so that whole-accelerator totals land
+//! in the range of paper Table 3; they are *relative* models — the folding
+//! planner only needs ordering and proportionality, not exact placement
+//! results.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Resource usage of a block or a whole design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct ResourceCost {
+    /// DSP48 slices (hard multipliers).
+    pub dsp: u32,
+    /// 6-input look-up tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+    /// Block-RAM bits.
+    pub bram_bits: u64,
+}
+
+impl ResourceCost {
+    /// Zero cost.
+    pub const ZERO: ResourceCost = ResourceCost {
+        dsp: 0,
+        lut: 0,
+        ff: 0,
+        bram_bits: 0,
+    };
+
+    /// A cost with only the logic fields set.
+    pub fn logic(dsp: u32, lut: u32, ff: u32) -> Self {
+        ResourceCost {
+            dsp,
+            lut,
+            ff,
+            bram_bits: 0,
+        }
+    }
+
+    /// Whether this cost fits inside `budget` on every axis.
+    pub fn fits_in(&self, budget: &ResourceCost) -> bool {
+        self.dsp <= budget.dsp
+            && self.lut <= budget.lut
+            && self.ff <= budget.ff
+            && self.bram_bits <= budget.bram_bits
+    }
+
+    /// The fraction of `budget` consumed on the tightest axis, in
+    /// `[0, +inf)`; values above 1 mean the cost does not fit.
+    pub fn utilization(&self, budget: &ResourceCost) -> f64 {
+        let mut worst = 0.0f64;
+        if budget.dsp > 0 {
+            worst = worst.max(self.dsp as f64 / budget.dsp as f64);
+        } else if self.dsp > 0 {
+            return f64::INFINITY;
+        }
+        if budget.lut > 0 {
+            worst = worst.max(self.lut as f64 / budget.lut as f64);
+        } else if self.lut > 0 {
+            return f64::INFINITY;
+        }
+        if budget.ff > 0 {
+            worst = worst.max(self.ff as f64 / budget.ff as f64);
+        } else if self.ff > 0 {
+            return f64::INFINITY;
+        }
+        if budget.bram_bits > 0 {
+            worst = worst.max(self.bram_bits as f64 / budget.bram_bits as f64);
+        } else if self.bram_bits > 0 {
+            return f64::INFINITY;
+        }
+        worst
+    }
+}
+
+impl Add for ResourceCost {
+    type Output = ResourceCost;
+
+    fn add(self, rhs: ResourceCost) -> ResourceCost {
+        ResourceCost {
+            dsp: self.dsp + rhs.dsp,
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            bram_bits: self.bram_bits + rhs.bram_bits,
+        }
+    }
+}
+
+impl AddAssign for ResourceCost {
+    fn add_assign(&mut self, rhs: ResourceCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u32> for ResourceCost {
+    type Output = ResourceCost;
+
+    fn mul(self, n: u32) -> ResourceCost {
+        ResourceCost {
+            dsp: self.dsp * n,
+            lut: self.lut * n,
+            ff: self.ff * n,
+            bram_bits: self.bram_bits * n as u64,
+        }
+    }
+}
+
+impl Sum for ResourceCost {
+    fn sum<I: Iterator<Item = ResourceCost>>(iter: I) -> ResourceCost {
+        iter.fold(ResourceCost::ZERO, |a, b| a + b)
+    }
+}
+
+/// DSP slices needed for one `width`-bit multiplier (a DSP48E1 multiplies
+/// 18×25; wider operands cascade).
+pub fn dsps_per_multiplier(width: u32) -> u32 {
+    if width <= 18 {
+        1
+    } else {
+        2 + (width.saturating_sub(18)) / 17
+    }
+}
+
+/// LUTs for a `width`-bit ripple/carry adder.
+pub fn adder_luts(width: u32) -> u32 {
+    width
+}
+
+/// LUTs for a `width`-bit 2:1 mux.
+pub fn mux_luts(width: u32) -> u32 {
+    width.div_ceil(2)
+}
+
+/// LUTs for a `width`-bit comparator.
+pub fn comparator_luts(width: u32) -> u32 {
+    width.div_ceil(2) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_and_sum() {
+        let a = ResourceCost::logic(1, 10, 5);
+        let b = ResourceCost {
+            dsp: 0,
+            lut: 2,
+            ff: 3,
+            bram_bits: 1024,
+        };
+        let c = a + b;
+        assert_eq!(c.dsp, 1);
+        assert_eq!(c.lut, 12);
+        assert_eq!(c.bram_bits, 1024);
+        let total: ResourceCost = [a, b, c].into_iter().sum();
+        assert_eq!(total.lut, 24);
+    }
+
+    #[test]
+    fn scalar_multiply() {
+        let a = ResourceCost::logic(1, 8, 4) * 3;
+        assert_eq!(a.dsp, 3);
+        assert_eq!(a.lut, 24);
+    }
+
+    #[test]
+    fn fits_and_utilization() {
+        let budget = ResourceCost {
+            dsp: 10,
+            lut: 100,
+            ff: 100,
+            bram_bits: 1 << 20,
+        };
+        let half = ResourceCost::logic(5, 50, 10);
+        assert!(half.fits_in(&budget));
+        assert!((half.utilization(&budget) - 0.5).abs() < 1e-12);
+        let over = ResourceCost::logic(11, 10, 10);
+        assert!(!over.fits_in(&budget));
+        assert!(over.utilization(&budget) > 1.0);
+    }
+
+    #[test]
+    fn zero_budget_axis() {
+        let budget = ResourceCost::logic(0, 100, 100);
+        assert_eq!(ResourceCost::logic(1, 0, 0).utilization(&budget), f64::INFINITY);
+        assert_eq!(ResourceCost::logic(0, 50, 0).utilization(&budget), 0.5);
+    }
+
+    #[test]
+    fn dsp_cascading() {
+        assert_eq!(dsps_per_multiplier(8), 1);
+        assert_eq!(dsps_per_multiplier(16), 1);
+        assert_eq!(dsps_per_multiplier(18), 1);
+        assert_eq!(dsps_per_multiplier(24), 2);
+        assert_eq!(dsps_per_multiplier(35), 3);
+    }
+
+    #[test]
+    fn primitive_helpers() {
+        assert_eq!(adder_luts(16), 16);
+        assert_eq!(mux_luts(16), 8);
+        assert_eq!(comparator_luts(16), 9);
+    }
+}

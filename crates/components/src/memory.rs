@@ -1,0 +1,528 @@
+//! Storage-centric building blocks: on-chip buffers, the Approx LUT, the
+//! connection box crossbar and the LRN unit built on top of them.
+
+use crate::cost::{adder_luts, dsps_per_multiplier, mux_luts, ResourceCost};
+use crate::Block;
+use deepburning_fixed::{Accumulator, ApproxLut, Fx, QFormat, Rounding};
+use deepburning_verilog::{
+    BinaryOp, Expr, Item, NetDecl, Port, Sensitivity, Stmt, VModule,
+};
+
+/// Simple dual-port on-chip buffer (one write, one read port) backed by
+/// block RAM. Feature and weight buffers are instances of this block with
+/// widths chosen by the data-layout engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferBlock {
+    /// Word width in bits (the "memory port width" of Method-1).
+    pub width: u32,
+    /// Number of words.
+    pub depth: usize,
+}
+
+impl BufferBlock {
+    /// Address width needed for `depth` words.
+    pub fn addr_width(&self) -> u32 {
+        usize::BITS - (self.depth.max(2) - 1).leading_zeros()
+    }
+
+    /// Capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.width as u64 * self.depth as u64
+    }
+}
+
+impl Block for BufferBlock {
+    fn module_name(&self) -> String {
+        format!("buffer_w{}_d{}", self.width, self.depth)
+    }
+
+    fn generate(&self) -> VModule {
+        let w = self.width;
+        let aw = self.addr_width();
+        let mut m = VModule::new(self.module_name());
+        m.port(Port::input("clk", 1))
+            .port(Port::input("we", 1))
+            .port(Port::input("waddr", aw))
+            .port(Port::input("wdata", w))
+            .port(Port::input("raddr", aw))
+            .port(Port::output("rdata", w));
+        m.item(Item::Net(NetDecl::memory("mem", w, self.depth)));
+        m.item(Item::Net(NetDecl::reg("rdata_r", w)));
+        m.item(Item::Always {
+            sensitivity: Sensitivity::PosEdge("clk".into()),
+            body: vec![
+                Stmt::If {
+                    cond: Expr::id("we"),
+                    then_body: vec![Stmt::NonBlocking(
+                        Expr::Index(Box::new(Expr::id("mem")), Box::new(Expr::id("waddr"))),
+                        Expr::id("wdata"),
+                    )],
+                    else_body: vec![],
+                },
+                Stmt::NonBlocking(
+                    Expr::id("rdata_r"),
+                    Expr::Index(Box::new(Expr::id("mem")), Box::new(Expr::id("raddr"))),
+                ),
+            ],
+        });
+        m.item(Item::Assign {
+            lhs: Expr::id("rdata"),
+            rhs: Expr::id("rdata_r"),
+        });
+        m
+    }
+
+    fn cost(&self) -> ResourceCost {
+        ResourceCost {
+            dsp: 0,
+            lut: 8, // address decode glue
+            ff: self.width,
+            bram_bits: self.capacity_bits(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("on-chip buffer: {} x {} bits", self.depth, self.width)
+    }
+}
+
+/// The Approx LUT block: a uniformly-sampled value+slope ROM with a linear
+/// interpolator, serving activation functions and other "complex functions
+/// that cannot be efficiently mapped into logical gates".
+///
+/// The ROM *content* comes from the compiler (an [`ApproxLut`] image); the
+/// hardware indexes with the high input bits and interpolates with the low
+/// bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxLutBlock {
+    /// Datapath word width.
+    pub width: u32,
+    /// Table entries (power of two for shift indexing).
+    pub entries: usize,
+    /// The sampled function image filled in by the compiler.
+    pub image: ApproxLut,
+}
+
+impl ApproxLutBlock {
+    /// Builds the block around a compiler-produced table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(width: u32, image: ApproxLut) -> Self {
+        let entries = image.entries().next_power_of_two();
+        ApproxLutBlock {
+            width,
+            entries,
+            image,
+        }
+    }
+
+    /// Behavioural model: evaluate through the stored image.
+    pub fn simulate(&self, x: Fx) -> Fx {
+        self.image.eval(x)
+    }
+}
+
+impl Block for ApproxLutBlock {
+    fn module_name(&self) -> String {
+        format!("approx_lut_w{}_e{}", self.width, self.entries)
+    }
+
+    fn generate(&self) -> VModule {
+        let w = self.width;
+        let idx_bits = (self.entries.max(2) - 1).ilog2() + 1;
+        let frac_bits = w.saturating_sub(idx_bits).max(1);
+        let mut m = VModule::new(self.module_name());
+        m.port(Port::input("clk", 1))
+            .port(Port::input("din", w))
+            .port(Port::output("dout", w));
+        m.item(Item::Comment(
+            "value/slope ROM content is written by the NN-Gen compiler".into(),
+        ));
+        m.item(Item::Net(NetDecl::memory("value_rom", w, self.entries)));
+        m.item(Item::Net(NetDecl::memory("slope_rom", w, self.entries)));
+        m.item(Item::Net(NetDecl::wire("index", idx_bits)));
+        m.item(Item::Assign {
+            lhs: Expr::id("index"),
+            rhs: Expr::Slice(Box::new(Expr::id("din")), w - 1, w - idx_bits),
+        });
+        // Low bits of the input drive the interpolation distance.
+        m.item(Item::Net(NetDecl::wire("delta", w)));
+        m.item(Item::Assign {
+            lhs: Expr::id("delta"),
+            rhs: Expr::Concat(vec![
+                Expr::lit(idx_bits, 0),
+                Expr::Slice(Box::new(Expr::id("din")), frac_bits - 1, 0),
+            ]),
+        });
+        m.item(Item::Net(NetDecl::reg("base_val", w)));
+        m.item(Item::Net(NetDecl::reg("slope_val", w)));
+        m.item(Item::Net(NetDecl::reg("delta_q", w)));
+        m.item(Item::Always {
+            sensitivity: Sensitivity::PosEdge("clk".into()),
+            body: vec![
+                Stmt::NonBlocking(
+                    Expr::id("base_val"),
+                    Expr::Index(Box::new(Expr::id("value_rom")), Box::new(Expr::id("index"))),
+                ),
+                Stmt::NonBlocking(
+                    Expr::id("slope_val"),
+                    Expr::Index(Box::new(Expr::id("slope_rom")), Box::new(Expr::id("index"))),
+                ),
+                Stmt::NonBlocking(Expr::id("delta_q"), Expr::id("delta")),
+            ],
+        });
+        // dout = base + ((slope * delta) >>> frac_bits)
+        m.item(Item::Net(NetDecl::wire("interp", w)));
+        m.item(Item::Assign {
+            lhs: Expr::id("interp"),
+            rhs: Expr::bin(
+                BinaryOp::Shr,
+                Expr::bin(BinaryOp::Mul, Expr::id("slope_val"), Expr::id("delta_q")),
+                Expr::lit(w, frac_bits as u64),
+            ),
+        });
+        m.item(Item::Assign {
+            lhs: Expr::id("dout"),
+            rhs: Expr::bin(BinaryOp::Add, Expr::id("base_val"), Expr::id("interp")),
+        });
+        m
+    }
+
+    fn cost(&self) -> ResourceCost {
+        ResourceCost {
+            dsp: dsps_per_multiplier(self.width),
+            lut: adder_luts(self.width) + mux_luts(self.width),
+            ff: self.width * 3,
+            bram_bits: 2 * self.width as u64 * self.entries as u64,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "approx LUT: {} entries x {} bits (+slope), interpolating",
+            self.entries, self.width
+        )
+    }
+}
+
+/// The connection box: a registered crossbar exchanging intermediate
+/// values between producer and consumer blocks, plus the shifting latch
+/// used for approximate division (average pooling, normalisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionBox {
+    /// Word width in bits.
+    pub width: u32,
+    /// Crossbar input port count.
+    pub inputs: u32,
+    /// Crossbar output port count.
+    pub outputs: u32,
+}
+
+impl ConnectionBox {
+    /// Width of one output's select field.
+    pub fn select_width(&self) -> u32 {
+        32 - (self.inputs.max(2) - 1).leading_zeros()
+    }
+
+    /// Behavioural model: route + shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `select` is out of range.
+    pub fn simulate(&self, inputs: &[Fx], select: usize, shift: u32) -> Fx {
+        assert!(select < inputs.len(), "crossbar select out of range");
+        inputs[select].shift_right(shift)
+    }
+}
+
+impl Block for ConnectionBox {
+    fn module_name(&self) -> String {
+        format!("connection_box_w{}_i{}_o{}", self.width, self.inputs, self.outputs)
+    }
+
+    fn generate(&self) -> VModule {
+        let w = self.width;
+        let sw = self.select_width();
+        let mut m = VModule::new(self.module_name());
+        m.port(Port::input("clk", 1))
+            .port(Port::input("din", w * self.inputs))
+            .port(Port::input("sel", sw * self.outputs))
+            .port(Port::input("shift", 4 * self.outputs))
+            .port(Port::output("dout", w * self.outputs));
+        for o in 0..self.outputs {
+            let sel = Expr::Slice(Box::new(Expr::id("sel")), (o + 1) * sw - 1, o * sw);
+            let shift = Expr::Slice(Box::new(Expr::id("shift")), (o + 1) * 4 - 1, o * 4);
+            // Mux chain over inputs.
+            let mut val = Expr::Slice(Box::new(Expr::id("din")), w - 1, 0);
+            for i in 1..self.inputs {
+                val = Expr::Ternary(
+                    Box::new(Expr::bin(BinaryOp::Eq, sel.clone(), Expr::lit(sw, i as u64))),
+                    Box::new(Expr::Slice(
+                        Box::new(Expr::id("din")),
+                        (i + 1) * w - 1,
+                        i * w,
+                    )),
+                    Box::new(val),
+                );
+            }
+            let routed = format!("routed{o}");
+            m.item(Item::Net(NetDecl::wire(&routed, w)));
+            m.item(Item::Assign {
+                lhs: Expr::id(&routed),
+                rhs: val,
+            });
+            let latched = format!("latched{o}");
+            m.item(Item::Net(NetDecl::reg(&latched, w)));
+            // Shifting latch: register the routed value shifted right.
+            m.item(Item::Always {
+                sensitivity: Sensitivity::PosEdge("clk".into()),
+                body: vec![Stmt::NonBlocking(
+                    Expr::id(&latched),
+                    Expr::bin(
+                        BinaryOp::Shr,
+                        Expr::id(&routed),
+                        Expr::Concat(vec![Expr::lit(w - 4, 0), shift]),
+                    ),
+                )],
+            });
+            m.item(Item::Assign {
+                lhs: Expr::Slice(Box::new(Expr::id("dout")), (o + 1) * w - 1, o * w),
+                rhs: Expr::id(&latched),
+            });
+        }
+        m
+    }
+
+    fn cost(&self) -> ResourceCost {
+        let mux = mux_luts(self.width) * (self.inputs - 1).max(1);
+        let shifter = adder_luts(self.width); // barrel shifter approximation
+        ResourceCost::logic(0, (mux + shifter) * self.outputs, self.width * self.outputs)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "connection box: {}x{} crossbar, {} bits, shifting latch",
+            self.inputs, self.outputs, self.width
+        )
+    }
+}
+
+/// LRN unit: squares and accumulates a channel neighbourhood, looks up the
+/// normalisation factor `(1 + α/n · s)^{-β}` in an Approx LUT and scales
+/// the centre value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrnUnit {
+    /// Word width in bits.
+    pub width: u32,
+    /// Channels in the normalisation window.
+    pub local_size: usize,
+    /// The normalisation-factor table (filled by the compiler).
+    pub factor_lut: ApproxLut,
+}
+
+impl LrnUnit {
+    /// Builds the unit with a compiler-sampled factor table.
+    pub fn new(width: u32, local_size: usize, alpha: f64, beta: f64, fmt: QFormat) -> Self {
+        let factor_lut = ApproxLut::sample(
+            |s| (1.0 + alpha / local_size as f64 * s).powf(-beta),
+            0.0,
+            fmt.max_value(),
+            64,
+            fmt,
+            deepburning_fixed::Sampling::Uniform,
+        )
+        .expect("LRN factor table over a non-empty range");
+        LrnUnit {
+            width,
+            local_size,
+            factor_lut,
+        }
+    }
+
+    /// Behavioural model: normalise `centre` against its `window`.
+    pub fn simulate(&self, centre: Fx, window: &[Fx], fmt: QFormat) -> Fx {
+        let mut acc = Accumulator::new(fmt);
+        for v in window {
+            acc.mac(*v, *v);
+        }
+        let s = acc.resolve(Rounding::Truncate);
+        let factor = self.factor_lut.eval(s);
+        centre * factor
+    }
+}
+
+impl Block for LrnUnit {
+    fn module_name(&self) -> String {
+        format!("lrn_w{}_n{}", self.width, self.local_size)
+    }
+
+    fn generate(&self) -> VModule {
+        let w = self.width;
+        let mut m = VModule::new(self.module_name());
+        m.port(Port::input("clk", 1))
+            .port(Port::input("rst", 1))
+            .port(Port::input("en", 1))
+            .port(Port::input("din", w))
+            .port(Port::input("centre", w))
+            .port(Port::output("dout", w));
+        // Square-and-accumulate the window stream.
+        m.item(Item::Net(NetDecl::wire("sq", w)));
+        m.item(Item::Assign {
+            lhs: Expr::id("sq"),
+            rhs: Expr::bin(BinaryOp::Mul, Expr::id("din"), Expr::id("din")),
+        });
+        m.item(Item::Net(NetDecl::reg("energy", w)));
+        m.item(Item::Always {
+            sensitivity: Sensitivity::PosEdge("clk".into()),
+            body: vec![Stmt::If {
+                cond: Expr::id("rst"),
+                then_body: vec![Stmt::NonBlocking(Expr::id("energy"), Expr::lit(w, 0))],
+                else_body: vec![Stmt::If {
+                    cond: Expr::id("en"),
+                    then_body: vec![Stmt::NonBlocking(
+                        Expr::id("energy"),
+                        Expr::bin(BinaryOp::Add, Expr::id("energy"), Expr::id("sq")),
+                    )],
+                    else_body: vec![],
+                }],
+            }],
+        });
+        // Normalisation factor from the embedded Approx LUT instance.
+        m.item(Item::Net(NetDecl::wire("factor", w)));
+        let lut = ApproxLutBlock::new(w, self.factor_lut.clone());
+        m.item(Item::Instance {
+            module: lut.module_name(),
+            name: "u_factor_lut".into(),
+            params: vec![],
+            connections: vec![
+                ("clk".into(), Expr::id("clk")),
+                ("din".into(), Expr::id("energy")),
+                ("dout".into(), Expr::id("factor")),
+            ],
+        });
+        m.item(Item::Assign {
+            lhs: Expr::id("dout"),
+            rhs: Expr::bin(BinaryOp::Mul, Expr::id("centre"), Expr::id("factor")),
+        });
+        m
+    }
+
+    fn cost(&self) -> ResourceCost {
+        let lut_block = ApproxLutBlock::new(self.width, self.factor_lut.clone());
+        ResourceCost::logic(
+            dsps_per_multiplier(self.width) * 2,
+            adder_luts(self.width),
+            self.width,
+        ) + lut_block.cost()
+    }
+
+    fn describe(&self) -> String {
+        format!("LRN unit: window {}, {} bits", self.local_size, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_fixed::Sampling;
+    use deepburning_verilog::{lint_design, Design};
+
+    const F: QFormat = QFormat::Q8_8;
+
+    fn sigmoid_lut() -> ApproxLut {
+        ApproxLut::sample(
+            |x| 1.0 / (1.0 + (-x).exp()),
+            -8.0,
+            8.0,
+            64,
+            F,
+            Sampling::Uniform,
+        )
+        .expect("valid lut")
+    }
+
+    #[test]
+    fn buffer_rtl_lints_clean() {
+        let b = BufferBlock { width: 64, depth: 512 };
+        assert!(lint_design(&Design::new(b.generate())).is_clean());
+        assert_eq!(b.addr_width(), 9);
+        assert_eq!(b.capacity_bits(), 64 * 512);
+    }
+
+    #[test]
+    fn buffer_cost_counts_bram() {
+        let b = BufferBlock { width: 32, depth: 1024 };
+        assert_eq!(b.cost().bram_bits, 32 * 1024);
+        assert_eq!(b.cost().dsp, 0);
+    }
+
+    #[test]
+    fn approx_lut_block_lints_clean() {
+        let b = ApproxLutBlock::new(16, sigmoid_lut());
+        let report = lint_design(&Design::new(b.generate()));
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(b.entries, 64);
+    }
+
+    #[test]
+    fn approx_lut_block_simulates_through_image() {
+        let b = ApproxLutBlock::new(16, sigmoid_lut());
+        let y = b.simulate(Fx::from_f64(0.0, F));
+        assert!((y.to_f64() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn connection_box_lints_clean() {
+        let c = ConnectionBox {
+            width: 16,
+            inputs: 4,
+            outputs: 2,
+        };
+        let report = lint_design(&Design::new(c.generate()));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn connection_box_routes_and_shifts() {
+        let c = ConnectionBox {
+            width: 16,
+            inputs: 4,
+            outputs: 1,
+        };
+        let ins: Vec<Fx> = [1.0, 8.0, 3.0, 4.0].iter().map(|&v| Fx::from_f64(v, F)).collect();
+        assert_eq!(c.simulate(&ins, 1, 0).to_f64(), 8.0);
+        // Shifting latch: divide by 4.
+        assert_eq!(c.simulate(&ins, 1, 2).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn lrn_unit_lints_clean_with_embedded_lut() {
+        let u = LrnUnit::new(16, 5, 1e-4, 0.75, F);
+        let lut_block = ApproxLutBlock::new(16, u.factor_lut.clone());
+        let mut d = Design::new(u.generate());
+        d.add_module(lut_block.generate());
+        let report = lint_design(&d);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn lrn_suppression_direction() {
+        let u = LrnUnit::new(16, 3, 1.0, 0.75, F);
+        let quiet: Vec<Fx> = [0.0, 1.0, 0.0].iter().map(|&v| Fx::from_f64(v, F)).collect();
+        let loud: Vec<Fx> = [5.0, 1.0, 5.0].iter().map(|&v| Fx::from_f64(v, F)).collect();
+        let centre = Fx::from_f64(1.0, F);
+        let yq = u.simulate(centre, &quiet, F).to_f64();
+        let yl = u.simulate(centre, &loud, F).to_f64();
+        assert!(yl < yq, "loud {yl} should be below quiet {yq}");
+    }
+
+    #[test]
+    fn costs_accumulate_sensibly() {
+        let total = BufferBlock { width: 64, depth: 256 }.cost()
+            + ApproxLutBlock::new(16, sigmoid_lut()).cost();
+        assert!(total.bram_bits > 64 * 256);
+        assert!(total.dsp >= 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Target device models and resource budgets.
+//!
+//! The paper evaluates on Xilinx Zynq devices: the Z-7045 (DB / DB-L) and
+//! the Z-7020 (DB-S), all at 100 MHz. A budget is the slice of a device NN-
+//! Gen is allowed to fill ("the overhead constraint specified by the
+//! developer").
+
+use deepburning_compiler::CompilerConfig;
+use deepburning_components::{dsps_per_multiplier, ResourceCost};
+use deepburning_fixed::QFormat;
+
+/// A target FPGA device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Total programmable resources.
+    pub capacity: ResourceCost,
+    /// Operating frequency in Hz (the paper fixes 100 MHz).
+    pub clock_hz: u64,
+}
+
+/// Xilinx Zynq-7045 (the paper's main board).
+pub const Z7045: Device = Device {
+    name: "Zynq-7045",
+    capacity: ResourceCost {
+        dsp: 900,
+        lut: 218_600,
+        ff: 437_200,
+        bram_bits: 19_620_000, // 545 x 36 Kb
+    },
+    clock_hz: 100_000_000,
+};
+
+/// Xilinx Zynq-7020 (the paper's small board).
+pub const Z7020: Device = Device {
+    name: "Zynq-7020",
+    capacity: ResourceCost {
+        dsp: 220,
+        lut: 53_200,
+        ff: 106_400,
+        bram_bits: 5_040_000, // 140 x 36 Kb
+    },
+    clock_hz: 100_000_000,
+};
+
+/// A resource budget handed to NN-Gen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// "DB-S": the full (small) Z-7020.
+    Small,
+    /// "DB": a medium slice of the Z-7045.
+    Medium,
+    /// "DB-L": a high budget on the Z-7045.
+    Large,
+    /// An explicit resource envelope.
+    Custom(ResourceCost),
+}
+
+impl Budget {
+    /// The device a tier targets.
+    pub fn device(&self) -> Device {
+        match self {
+            Budget::Small => Z7020,
+            _ => Z7045,
+        }
+    }
+
+    /// The resource envelope NN-Gen may fill.
+    pub fn envelope(&self) -> ResourceCost {
+        match self {
+            Budget::Small => scale(Z7020.capacity, 0.30),
+            // The paper's "mediate resource budget".
+            Budget::Medium => scale(Z7045.capacity, 0.10),
+            // "high resource budget for Z-7045".
+            Budget::Large => scale(Z7045.capacity, 0.85),
+            Budget::Custom(c) => *c,
+        }
+    }
+
+    /// Short tag used in reports (`DB-S` / `DB` / `DB-L`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Budget::Small => "DB-S",
+            Budget::Medium => "DB",
+            Budget::Large => "DB-L",
+            Budget::Custom(_) => "DB-C",
+        }
+    }
+}
+
+fn scale(c: ResourceCost, f: f64) -> ResourceCost {
+    ResourceCost {
+        dsp: (c.dsp as f64 * f) as u32,
+        lut: (c.lut as f64 * f) as u32,
+        ff: (c.ff as f64 * f) as u32,
+        bram_bits: (c.bram_bits as f64 * f) as u64,
+    }
+}
+
+/// Maximum useful datapath parallelism a network exposes (lanes beyond
+/// this idle in every phase). NN-Gen uses it to emit a "properly-scaled
+/// hardware structure" — the paper's tiny ANN designs occupy 2 DSPs, not
+/// the whole device.
+pub fn max_parallel_units(net: &deepburning_model::Network) -> u32 {
+    net.layers()
+        .iter()
+        .filter_map(|l| match &l.kind {
+            deepburning_model::LayerKind::Convolution(p) => {
+                Some((p.num_output * p.kernel_size * p.kernel_size) as u32)
+            }
+            deepburning_model::LayerKind::FullConnection(p) => Some(p.num_output as u32),
+            deepburning_model::LayerKind::Recurrent { num_output, .. } => {
+                Some(*num_output as u32)
+            }
+            deepburning_model::LayerKind::Inception(p) => Some((p.total_output() * 9) as u32),
+            deepburning_model::LayerKind::Associative { active_cells, .. } => {
+                Some(*active_cells as u32)
+            }
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+/// Derives the compiler configuration from a budget: the lane count that
+/// fills the DSP envelope, buffer sizes from the BRAM envelope.
+///
+/// The datapath keeps a DSP reserve for the Approx LUT interpolator and
+/// the LRN unit, and splits BRAM between feature buffer, weight buffer and
+/// LUT tables.
+pub fn derive_config(budget: &Budget, word_bits: u32) -> CompilerConfig {
+    let env = budget.envelope();
+    let per_mul = dsps_per_multiplier(word_bits);
+    let reserved_dsp = 4 * per_mul; // LUT interpolator + LRN + margin
+    let lanes = ((env.dsp.saturating_sub(reserved_dsp)) / per_mul).max(1);
+    // Two-thirds of BRAM to the feature buffer, one-third to weights; a
+    // small slice is left for LUT tables and FIFOs.
+    let usable_bits = env.bram_bits * 9 / 10;
+    let feature_buffer_bytes = usable_bits / 8 * 2 / 3;
+    let weight_buffer_bytes = usable_bits / 8 / 3;
+    CompilerConfig {
+        lanes,
+        word_bits,
+        feature_buffer_bytes,
+        weight_buffer_bytes,
+        port_width_words: 16,
+        lut_entries: 64,
+        format: QFormat::Q8_8,
+        weights_resident: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_target_correct_devices() {
+        assert_eq!(Budget::Small.device().name, "Zynq-7020");
+        assert_eq!(Budget::Medium.device().name, "Zynq-7045");
+        assert_eq!(Budget::Large.device().name, "Zynq-7045");
+    }
+
+    #[test]
+    fn envelopes_ordered() {
+        let s = Budget::Small.envelope();
+        let m = Budget::Medium.envelope();
+        let l = Budget::Large.envelope();
+        assert!(s.dsp < m.dsp && m.dsp < l.dsp);
+        assert!(s.bram_bits < m.bram_bits && m.bram_bits < l.bram_bits);
+    }
+
+    #[test]
+    fn derived_lanes_ordered_and_positive() {
+        let s = derive_config(&Budget::Small, 16).lanes;
+        let m = derive_config(&Budget::Medium, 16).lanes;
+        let l = derive_config(&Budget::Large, 16).lanes;
+        assert!(s >= 1);
+        assert!(s < m && m < l, "lanes s={s} m={m} l={l}");
+        // DB-L offers a high budget: several times the DB lanes (the paper
+        // sees DB-L ~3.5x faster than DB on average on the CNNs).
+        let ratio = l as f64 / m as f64;
+        assert!((3.0..=12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn wide_words_cost_more_dsps() {
+        let narrow = derive_config(&Budget::Medium, 16).lanes;
+        let wide = derive_config(&Budget::Medium, 24).lanes;
+        assert!(wide < narrow);
+    }
+
+    #[test]
+    fn custom_budget_respected() {
+        let cfg = derive_config(
+            &Budget::Custom(ResourceCost {
+                dsp: 36,
+                lut: 10_000,
+                ff: 20_000,
+                bram_bits: 1 << 20,
+            }),
+            16,
+        );
+        assert_eq!(cfg.lanes, 32);
+    }
+
+    #[test]
+    fn clock_is_100mhz() {
+        assert_eq!(Z7045.clock_hz, 100_000_000);
+        assert_eq!(Z7020.clock_hz, 100_000_000);
+    }
+
+    #[test]
+    fn tags_stable() {
+        assert_eq!(Budget::Small.tag(), "DB-S");
+        assert_eq!(Budget::Medium.tag(), "DB");
+        assert_eq!(Budget::Large.tag(), "DB-L");
+    }
+}

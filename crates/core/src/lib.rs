@@ -1,0 +1,253 @@
+//! NN-Gen: the DeepBurning accelerator generator.
+//!
+//! This crate ties the pipeline together: a Caffe-compatible [`Network`]
+//! plus a resource [`Budget`] go in; an [`AcceleratorDesign`] comes out,
+//! carrying the generated Verilog, the compiled control flow / data layout
+//! and a per-block resource report.
+//!
+//! ```text
+//! script (.prototxt)  ──►  model  ──►  compiler (folding, tiling, AGUs,
+//!      constraint file ──►  NN-Gen ──►  LUTs)  ──►  RTL assembly  ──►  .v
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use deepburning_core::{generate, Budget};
+//!
+//! let src = r#"
+//! name: "tiny"
+//! layers { name: "data" type: INPUT top: "data"
+//!          input_param { channels: 1 height: 12 width: 12 } }
+//! layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+//!          param { num_output: 8 kernel_size: 3 stride: 1 } }
+//! layers { name: "sig" type: SIGMOID bottom: "conv" top: "conv" }
+//! "#;
+//! let net = deepburning_model::parse_network(src)?;
+//! let design = generate(&net, &Budget::Medium)?;
+//! assert!(design.lint.is_clean());
+//! assert!(design.verilog.contains("module tiny_accelerator"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod device;
+mod resources;
+mod rtl;
+mod verify;
+
+pub use device::{derive_config, max_parallel_units, Budget, Device, Z7020, Z7045};
+pub use resources::{
+    check_fit, collect_patterns, context_words, estimate_resources, uses_lanes, ResourceReport,
+};
+pub use rtl::assemble_top;
+pub use verify::{
+    verify_agu_rtl, verify_coordinator_rtl, verify_design_control_path, verify_neuron_rtl,
+    VerifyError,
+};
+
+use deepburning_compiler::{compile, CompileError, CompiledNetwork, CompilerConfig};
+use deepburning_model::Network;
+use deepburning_verilog::{emit_design, lint_design, Design, LintReport};
+use std::fmt;
+
+/// The complete output of one NN-Gen run.
+#[derive(Debug, Clone)]
+pub struct AcceleratorDesign {
+    /// Network name the design was generated for.
+    pub network: String,
+    /// The budget tier used.
+    pub budget: Budget,
+    /// The derived compiler configuration.
+    pub config: CompilerConfig,
+    /// Compiled control flow, layout, AGU programs and LUT images.
+    pub compiled: CompiledNetwork,
+    /// The structural netlist.
+    pub design: Design,
+    /// The emitted Verilog text.
+    pub verilog: String,
+    /// Structural lint outcome (always clean for supported networks).
+    pub lint: LintReport,
+    /// Per-block resource estimate.
+    pub resources: ResourceReport,
+    /// Whether the estimate fits the budget envelope, and the utilisation
+    /// on the tightest axis.
+    pub fits: (bool, f64),
+}
+
+impl AcceleratorDesign {
+    /// Clock frequency of the target device.
+    pub fn clock_hz(&self) -> u64 {
+        self.budget.device().clock_hz
+    }
+}
+
+/// Error raised by [`generate`].
+#[derive(Debug)]
+pub enum GenerateError {
+    /// A compiler pass failed.
+    Compile(CompileError),
+    /// The generated RTL failed the structural lint — a generator bug
+    /// surfaced to the caller rather than silently shipped.
+    Lint(LintReport),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::Compile(e) => write!(f, "compilation failed: {e}"),
+            GenerateError::Lint(r) => write!(f, "generated RTL failed lint:\n{r}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+impl From<CompileError> for GenerateError {
+    fn from(e: CompileError) -> Self {
+        GenerateError::Compile(e)
+    }
+}
+
+/// Runs the full NN-Gen flow with a budget tier.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if compilation fails or (defensively) if the
+/// assembled RTL does not lint clean.
+pub fn generate(net: &Network, budget: &Budget) -> Result<AcceleratorDesign, GenerateError> {
+    let mut config = derive_config(budget, 16);
+    // "Properly-scaled hardware structure": never instantiate more lanes
+    // than the network can keep busy, and keep buffer headroom bounded by
+    // the network's working set (a generous 4x/2x margin — hand designs
+    // trim tighter, see the Custom baseline).
+    config.lanes = config.lanes.min(max_parallel_units(net)).max(1);
+    if let Ok(shapes) = net.infer_shapes() {
+        let wb = config.word_bytes();
+        let largest_blob = shapes.values().map(|s| s.elements() as u64).max().unwrap_or(1) * wb;
+        config.feature_buffer_bytes = config
+            .feature_buffer_bytes
+            .min((largest_blob * 4).max(4096));
+    }
+    if let Ok(stats) = deepburning_model::network_stats(net) {
+        let wb = config.word_bytes();
+        let largest_weights = stats
+            .per_layer
+            .iter()
+            .map(|(_, s)| s.weights)
+            .max()
+            .unwrap_or(1)
+            * wb;
+        config.weight_buffer_bytes = config
+            .weight_buffer_bytes
+            .min((largest_weights * 2).max(4096));
+    }
+    // Constraint-driven scaling: if the estimate exceeds the envelope,
+    // fold harder (fewer lanes, smaller buffers) until it fits.
+    loop {
+        let design = generate_with_config(net, budget, &config)?;
+        let at_floor = config.lanes == 1
+            && config.feature_buffer_bytes <= 1024
+            && config.weight_buffer_bytes <= 1024;
+        if design.fits.0 || at_floor {
+            return Ok(design);
+        }
+        config.lanes = (config.lanes * 4 / 5).max(1);
+        config.feature_buffer_bytes = (config.feature_buffer_bytes * 4 / 5).max(1024);
+        config.weight_buffer_bytes = (config.weight_buffer_bytes * 4 / 5).max(1024);
+    }
+}
+
+/// Runs the NN-Gen flow with an explicit compiler configuration (used by
+/// the hand-tuned "Custom" baselines and the ablation benches).
+///
+/// # Errors
+///
+/// See [`generate`].
+pub fn generate_with_config(
+    net: &Network,
+    budget: &Budget,
+    config: &CompilerConfig,
+) -> Result<AcceleratorDesign, GenerateError> {
+    let compiled = compile(net, config)?;
+    let design = assemble_top(net, &compiled);
+    let lint = lint_design(&design);
+    if !lint.is_clean() {
+        return Err(GenerateError::Lint(lint));
+    }
+    let verilog = emit_design(&design);
+    let resources = estimate_resources(net, &compiled);
+    let fits = check_fit(&resources, &budget.envelope());
+    Ok(AcceleratorDesign {
+        network: net.name().to_string(),
+        budget: *budget,
+        config: *config,
+        compiled,
+        design,
+        verilog,
+        lint,
+        resources,
+        fits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_model::parse_network;
+
+    const SRC: &str = r#"
+    name: "gen-test"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 3 height: 16 width: 16 } }
+    layers { name: "conv1" type: CONVOLUTION bottom: "data" top: "conv1"
+             param { num_output: 16 kernel_size: 3 stride: 1 } }
+    layers { name: "relu1" type: RELU bottom: "conv1" top: "conv1" }
+    layers { name: "pool1" type: POOLING bottom: "conv1" top: "pool1"
+             pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+    layers { name: "fc" type: FC bottom: "pool1" top: "fc"
+             param { num_output: 10 } }
+    "#;
+
+    #[test]
+    fn generate_all_tiers() {
+        let net = parse_network(SRC).expect("parses");
+        for budget in [Budget::Small, Budget::Medium, Budget::Large] {
+            let d = generate(&net, &budget).expect("generates");
+            assert!(d.lint.is_clean());
+            assert!(d.fits.0, "{}: utilisation {}", budget.tag(), d.fits.1);
+            assert!(d.verilog.contains("module gen_test_accelerator"));
+            assert_eq!(d.clock_hz(), 100_000_000);
+        }
+    }
+
+    #[test]
+    fn larger_budget_more_lanes_fewer_phases() {
+        let net = parse_network(SRC).expect("parses");
+        let small = generate(&net, &Budget::Small).expect("generates");
+        let large = generate(&net, &Budget::Large).expect("generates");
+        assert!(large.config.lanes > small.config.lanes);
+        assert!(large.compiled.folding.phases.len() <= small.compiled.folding.phases.len());
+    }
+
+    #[test]
+    fn resource_report_nonempty() {
+        let net = parse_network(SRC).expect("parses");
+        let d = generate(&net, &Budget::Medium).expect("generates");
+        assert!(d.resources.items.len() >= 8);
+        assert!(d.resources.total.dsp >= d.config.lanes);
+    }
+
+    #[test]
+    fn custom_config_respected() {
+        let net = parse_network(SRC).expect("parses");
+        let cfg = CompilerConfig {
+            lanes: 4,
+            ..CompilerConfig::default()
+        };
+        let d = generate_with_config(&net, &Budget::Medium, &cfg).expect("generates");
+        assert_eq!(d.config.lanes, 4);
+        // conv1: 16 maps x 3x3 kernel = 144 parallel units on 4 lanes
+        // -> 36 folds.
+        assert_eq!(d.compiled.folding.layer_phases("conv1").count(), 36);
+    }
+}

@@ -1,0 +1,308 @@
+//! Whole-accelerator resource estimation.
+//!
+//! NN-Gen instantiates a concrete set of building blocks for a compiled
+//! network; this module enumerates that set and totals its cost, producing
+//! the numbers reported in paper Table 3.
+
+use deepburning_compiler::{CompiledNetwork, PhaseKind};
+use deepburning_components::{
+    AccumulatorBlock, ActivationUnit, AguBlock, AguClass, AguPattern, ApproxLutBlock, Block,
+    BufferBlock, Coordinator, ConnectionBox, DropOutUnit, KSorter, LrnUnit, PoolingUnit,
+    ResourceCost, SynergyNeuron,
+};
+use deepburning_model::{LayerKind, Network, PoolMethod};
+
+/// Per-block resource breakdown.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResourceReport {
+    /// `(block description, cost)` pairs.
+    pub items: Vec<(String, ResourceCost)>,
+    /// Sum of all items.
+    pub total: ResourceCost,
+}
+
+impl ResourceReport {
+    fn push(&mut self, block: &dyn Block) {
+        let cost = block.cost();
+        self.items.push((block.describe(), cost));
+        self.total += cost;
+    }
+}
+
+/// Collects the deduplicated AGU patterns of one class across all phases.
+///
+/// Patterns differing only in `offset` are one hardware pattern: the
+/// offset is a runtime field of the template AGU (Fig. 6), loaded from the
+/// context buffer at each `layer{i}-fold{j}` event, so per-fold
+/// displacements do not multiply the pattern ROM.
+pub fn collect_patterns(compiled: &CompiledNetwork, class: AguClass) -> Vec<AguPattern> {
+    let mut patterns: Vec<AguPattern> = Vec::new();
+    for prog in &compiled.agu_programs {
+        let source = match class {
+            AguClass::Main => &prog.main,
+            AguClass::Data => &prog.data,
+            AguClass::Weight => &prog.weight,
+        };
+        for p in source {
+            let canon = AguPattern { offset: 0, ..*p };
+            if !patterns.contains(&canon) {
+                patterns.push(canon);
+            }
+        }
+    }
+    if patterns.is_empty() {
+        patterns.push(AguPattern::linear(0, 1));
+    }
+    patterns
+}
+
+/// The context-buffer images for the generated top: for every phase, the
+/// one-hot trigger word of each AGU class (bit = index of the phase's
+/// pattern in the deduplicated pattern set of [`collect_patterns`]).
+///
+/// These are the words the `ctx_trig_*` ROMs hold; `verify_design_control_path`
+/// and the RTL execution tests load them through the interpreter backdoor,
+/// and `export_rtl` writes them next to the netlist.
+pub fn context_words(compiled: &CompiledNetwork) -> Vec<[u64; 3]> {
+    let sets = [
+        collect_patterns(compiled, AguClass::Main),
+        collect_patterns(compiled, AguClass::Data),
+        collect_patterns(compiled, AguClass::Weight),
+    ];
+    compiled
+        .agu_programs
+        .iter()
+        .map(|prog| {
+            let mut words = [0u64; 3];
+            for (slot, source) in [&prog.main, &prog.data, &prog.weight].iter().enumerate() {
+                if let Some(first) = source.first() {
+                    let canon = AguPattern { offset: 0, ..*first };
+                    if let Some(idx) = sets[slot].iter().position(|p| *p == canon) {
+                        words[slot] = 1u64 << idx.min(63);
+                    }
+                }
+            }
+            words
+        })
+        .collect()
+}
+
+/// Enumerates the block instances a compiled network needs and totals
+/// their resource cost.
+pub fn estimate_resources(net: &Network, compiled: &CompiledNetwork) -> ResourceReport {
+    let cfg = &compiled.config;
+    let w = cfg.word_bits;
+    let mut report = ResourceReport::default();
+
+    // Datapath.
+    report.push(&SynergyNeuron::new(w, cfg.lanes));
+    report.push(&AccumulatorBlock { width: w });
+    report.push(&ActivationUnit { width: w });
+
+    // Layer-driven blocks (one instance per distinct requirement —
+    // temporal folding shares them across layers).
+    let mut need_max_pool = false;
+    let mut need_avg_pool = false;
+    let mut need_dropout = false;
+    let mut ksorter_inputs = 0u32;
+    let mut lrn: Option<(usize, f64, f64)> = None;
+    for layer in net.layers() {
+        match &layer.kind {
+            LayerKind::Pooling(p) => match p.method {
+                PoolMethod::Max => need_max_pool = true,
+                PoolMethod::Average => need_avg_pool = true,
+            },
+            LayerKind::Inception(_) => need_max_pool = true,
+            LayerKind::Dropout { .. } => need_dropout = true,
+            LayerKind::Classifier { .. } => {
+                let inputs = net
+                    .infer_shapes()
+                    .ok()
+                    .and_then(|s| layer.bottoms.first().map(|b| s[b].elements() as u32))
+                    .unwrap_or(2);
+                ksorter_inputs = ksorter_inputs.max(inputs.max(2));
+            }
+            LayerKind::Lrn(p) => lrn = Some((p.local_size, p.alpha, p.beta)),
+            _ => {}
+        }
+    }
+    if need_max_pool {
+        report.push(&PoolingUnit {
+            width: w,
+            method: PoolMethod::Max,
+        });
+    }
+    if need_avg_pool {
+        report.push(&PoolingUnit {
+            width: w,
+            method: PoolMethod::Average,
+        });
+    }
+    if need_dropout {
+        report.push(&DropOutUnit { width: w });
+    }
+    if ksorter_inputs > 0 {
+        report.push(&KSorter {
+            width: w,
+            inputs: ksorter_inputs,
+        });
+    }
+    if let Some((n, alpha, beta)) = lrn {
+        report.push(&LrnUnit::new(w, n, alpha, beta, cfg.format));
+    }
+
+    // Approx LUTs from the compiled images.
+    for (tag, image) in &compiled.luts {
+        let block = ApproxLutBlock::new(w, image.clone());
+        let cost = block.cost();
+        report.items.push((format!("approx LUT `{tag}`"), cost));
+        report.total += cost;
+    }
+
+    // Connection box sized by the distinct crossbar configurations.
+    let cb_ports = 4u32.max(compiled.schedule.distinct_configurations() as u32);
+    report.push(&ConnectionBox {
+        width: w,
+        inputs: cb_ports,
+        outputs: 2,
+    });
+
+    // Buffers: feature rows feed all lanes, weights likewise.
+    let feature_words =
+        (cfg.feature_buffer_bytes * 8 / u64::from(w * cfg.lanes)).max(2) as usize;
+    report.push(&BufferBlock {
+        width: w * cfg.lanes,
+        depth: feature_words,
+    });
+    let weight_words = (cfg.weight_buffer_bytes * 8 / u64::from(w * cfg.lanes)).max(2) as usize;
+    report.push(&BufferBlock {
+        width: w * cfg.lanes,
+        depth: weight_words,
+    });
+
+    // AGUs reduced to the patterns the compiler emitted.
+    for class in [AguClass::Main, AguClass::Data, AguClass::Weight] {
+        let patterns = collect_patterns(compiled, class);
+        report.push(&AguBlock::new(class, 32, patterns));
+    }
+
+    // Coordinator.
+    report.push(&Coordinator {
+        phases: compiled.folding.phases.len().max(1) as u32,
+    });
+
+    report
+}
+
+/// Whether the estimated design fits the given envelope; returns the
+/// utilisation on the tightest axis.
+pub fn check_fit(report: &ResourceReport, envelope: &ResourceCost) -> (bool, f64) {
+    (
+        report.total.fits_in(envelope),
+        report.total.utilization(envelope),
+    )
+}
+
+/// True when a compute phase exists — i.e. the network actually exercises
+/// the synergy lanes (used by sanity checks).
+pub fn uses_lanes(compiled: &CompiledNetwork) -> bool {
+    compiled
+        .folding
+        .phases
+        .iter()
+        .any(|p| p.kind == PhaseKind::Compute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_compiler::{compile, CompilerConfig};
+    use deepburning_model::parse_network;
+
+    const SRC: &str = r#"
+    name: "t"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 1 height: 16 width: 16 } }
+    layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+             param { num_output: 8 kernel_size: 3 stride: 1 } }
+    layers { name: "pool" type: POOLING bottom: "conv" top: "pool"
+             pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+    layers { name: "sig" type: SIGMOID bottom: "pool" top: "pool" }
+    layers { name: "fc" type: FC bottom: "pool" top: "fc"
+             param { num_output: 10 } }
+    layers { name: "cls" type: CLASSIFIER bottom: "fc" top: "cls" }
+    "#;
+
+    fn compiled(lanes: u32) -> (deepburning_model::Network, CompiledNetwork) {
+        let net = parse_network(SRC).expect("parses");
+        let cfg = CompilerConfig {
+            lanes,
+            ..CompilerConfig::default()
+        };
+        let c = compile(&net, &cfg).expect("compiles");
+        (net, c)
+    }
+
+    #[test]
+    fn report_contains_expected_blocks() {
+        let (net, c) = compiled(16);
+        let report = estimate_resources(&net, &c);
+        let names: Vec<&str> = report.items.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("synergy neuron")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("pooling unit (MAX)")));
+        assert!(names.iter().any(|n| n.contains("approx LUT `sigmoid`")));
+        assert!(names.iter().any(|n| n.contains("K-sorter")));
+        assert!(names.iter().any(|n| n.contains("main AGU")));
+        assert!(names.iter().any(|n| n.contains("coordinator")));
+    }
+
+    #[test]
+    fn total_is_sum_of_items() {
+        let (net, c) = compiled(16);
+        let report = estimate_resources(&net, &c);
+        let sum: ResourceCost = report.items.iter().map(|(_, c)| *c).sum();
+        assert_eq!(sum, report.total);
+    }
+
+    #[test]
+    fn dsp_scales_with_lanes() {
+        let (net_a, c_a) = compiled(8);
+        let (net_b, c_b) = compiled(64);
+        let a = estimate_resources(&net_a, &c_a).total;
+        let b = estimate_resources(&net_b, &c_b).total;
+        assert!(b.dsp > a.dsp);
+        assert!(b.dsp - a.dsp >= 56, "lane DSPs dominate the delta");
+    }
+
+    #[test]
+    fn pattern_collection_dedupes() {
+        let (_, c) = compiled(16);
+        let data = collect_patterns(&c, AguClass::Data);
+        let total_raw: usize = c.agu_programs.iter().map(|p| p.data.len()).sum();
+        assert!(data.len() <= total_raw);
+        assert!(!data.is_empty());
+    }
+
+    #[test]
+    fn fit_check_works() {
+        let (net, c) = compiled(16);
+        let report = estimate_resources(&net, &c);
+        let generous = ResourceCost {
+            dsp: 10_000,
+            lut: 10_000_000,
+            ff: 10_000_000,
+            bram_bits: 1 << 40,
+        };
+        let (fits, util) = check_fit(&report, &generous);
+        assert!(fits);
+        assert!(util < 1.0);
+        let tight = ResourceCost::logic(1, 10, 10);
+        assert!(!check_fit(&report, &tight).0);
+    }
+
+    #[test]
+    fn network_uses_lanes() {
+        let (_, c) = compiled(16);
+        assert!(uses_lanes(&c));
+    }
+}

@@ -1,0 +1,547 @@
+//! Top-level RTL assembly: NN-Gen connects "the reconfigurable RTL modules
+//! from the library into a top-view of hardware NN structure".
+//!
+//! The emitted design instantiates the coordinator, the three AGU classes,
+//! the buffers and the datapath blocks, and wires the context ROMs whose
+//! contents (trigger words, crossbar selects) the compiler fills.
+
+use crate::resources::collect_patterns;
+use deepburning_compiler::CompiledNetwork;
+use deepburning_components::{
+    AccumulatorBlock, ActivationUnit, AguBlock, AguClass, ApproxLutBlock, Block, BufferBlock,
+    Coordinator, ConnectionBox, KSorter, PoolingUnit, SynergyNeuron,
+};
+use deepburning_model::{LayerKind, Network, PoolMethod};
+use deepburning_verilog::{Design, Expr, Item, NetDecl, Port, VModule};
+
+fn instance(
+    top: &mut VModule,
+    module: &str,
+    name: &str,
+    connections: Vec<(&str, Expr)>,
+) {
+    top.item(Item::Instance {
+        module: module.to_string(),
+        name: name.to_string(),
+        params: vec![],
+        connections: connections
+            .into_iter()
+            .map(|(p, e)| (p.to_string(), e))
+            .collect(),
+    });
+}
+
+fn zero_extend(expr: Expr, from: u32, to: u32) -> Expr {
+    if to > from {
+        Expr::Concat(vec![Expr::lit(to - from, 0), expr])
+    } else {
+        expr
+    }
+}
+
+/// Assembles the accelerator top-level for a compiled network.
+///
+/// Returns a [`Design`] containing the top module plus every instantiated
+/// building-block module; the result passes [`deepburning_verilog::lint_design`]
+/// for all supported networks (checked by the generator's tests).
+pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
+    let cfg = &compiled.config;
+    let w = cfg.word_bits;
+    let lanes = cfg.lanes;
+    let bus = w * lanes;
+    let phases = compiled.folding.phases.len().max(1) as u32;
+
+    // Library block instances this network needs.
+    let neuron = SynergyNeuron::new(w, lanes);
+    let acc = AccumulatorBlock { width: w };
+    let relu = ActivationUnit { width: w };
+    let coord = Coordinator { phases };
+    let cbox = ConnectionBox {
+        width: w,
+        inputs: 4,
+        outputs: 2,
+    };
+    let feature_depth = (cfg.feature_buffer_bytes * 8 / u64::from(bus)).max(2) as usize;
+    let weight_depth = (cfg.weight_buffer_bytes * 8 / u64::from(bus)).max(2) as usize;
+    let fbuf = BufferBlock {
+        width: bus,
+        depth: feature_depth,
+    };
+    let wbuf = BufferBlock {
+        width: bus,
+        depth: weight_depth,
+    };
+    let agu_main = AguBlock::new(AguClass::Main, 32, collect_patterns(compiled, AguClass::Main));
+    let agu_data = AguBlock::new(AguClass::Data, 32, collect_patterns(compiled, AguClass::Data));
+    let agu_weight = AguBlock::new(
+        AguClass::Weight,
+        32,
+        collect_patterns(compiled, AguClass::Weight),
+    );
+    let lut_block = compiled
+        .luts
+        .values()
+        .next()
+        .map(|image| ApproxLutBlock::new(w, image.clone()));
+    let needs_pool = net.layers().iter().any(|l| {
+        matches!(l.kind, LayerKind::Pooling(_) | LayerKind::Inception(_))
+    });
+    let pool = PoolingUnit {
+        width: w,
+        method: PoolMethod::Max,
+    };
+    let shapes = net.infer_shapes().expect("validated network");
+    let ksorter = net.layers().iter().find_map(|l| match l.kind {
+        LayerKind::Classifier { .. } => {
+            let inputs = l
+                .bottoms
+                .first()
+                .map(|b| shapes[b].elements() as u32)
+                .unwrap_or(2);
+            Some(KSorter {
+                width: w,
+                inputs: inputs.clamp(2, lanes.max(2)),
+            })
+        }
+        _ => None,
+    });
+
+    let mut top = VModule::new(format!("{}_accelerator", sanitize(net.name())));
+    top.port(Port::input("clk", 1))
+        .port(Port::input("rst", 1))
+        .port(Port::input("start", 1))
+        .port(Port::output("done", 1))
+        .port(Port::output("dram_addr", 32))
+        .port(Port::input("dram_rdata", bus))
+        .port(Port::output("dram_wdata", bus))
+        .port(Port::output("dram_req", 1))
+        .port(Port::output("dram_we", 1));
+
+    // ---- coordinator + context ROMs -------------------------------------
+    let pw = coord.phase_width();
+    for n in ["phase_w", "busy_w", "fire_w", "phase_done"] {
+        top.item(Item::Net(NetDecl::wire(n, if n == "phase_w" { pw } else { 1 })));
+    }
+    instance(
+        &mut top,
+        &coord.module_name(),
+        "u_coordinator",
+        vec![
+            ("clk", Expr::id("clk")),
+            ("rst", Expr::id("rst")),
+            ("start", Expr::id("start")),
+            ("phase_done", Expr::id("phase_done")),
+            ("phase", Expr::id("phase_w")),
+            ("busy", Expr::id("busy_w")),
+            ("fire", Expr::id("fire_w")),
+        ],
+    );
+    top.item(Item::Comment(
+        "context ROMs below are initialised from the compiler's schedule".into(),
+    ));
+    let pn_main = agu_main.patterns.len() as u32;
+    let pn_data = agu_data.patterns.len() as u32;
+    let pn_weight = agu_weight.patterns.len() as u32;
+    for (rom, width) in [
+        ("ctx_trig_main", pn_main),
+        ("ctx_trig_data", pn_data),
+        ("ctx_trig_weight", pn_weight),
+        ("ctx_sel", cbox.select_width() * 2),
+        ("ctx_shift", 8u32),
+    ] {
+        top.item(Item::Net(NetDecl::memory(rom, width, phases as usize)));
+    }
+    for (wire, rom, width) in [
+        ("trig_main", "ctx_trig_main", pn_main),
+        ("trig_data", "ctx_trig_data", pn_data),
+        ("trig_weight", "ctx_trig_weight", pn_weight),
+    ] {
+        top.item(Item::Net(NetDecl::wire(wire, width)));
+        top.item(Item::Assign {
+            lhs: Expr::id(wire),
+            rhs: Expr::Ternary(
+                Box::new(Expr::id("fire_w")),
+                Box::new(Expr::Index(
+                    Box::new(Expr::id(rom)),
+                    Box::new(Expr::id("phase_w")),
+                )),
+                Box::new(Expr::lit(width, 0)),
+            ),
+        });
+    }
+
+    // ---- AGUs ------------------------------------------------------------
+    for class in ["main", "data", "weight"] {
+        top.item(Item::Net(NetDecl::wire(format!("agu_{class}_addr"), 32)));
+        top.item(Item::Net(NetDecl::wire(format!("agu_{class}_valid"), 1)));
+        top.item(Item::Net(NetDecl::wire(format!("agu_{class}_done"), 1)));
+    }
+    for (agu, tag) in [(&agu_main, "main"), (&agu_data, "data"), (&agu_weight, "weight")] {
+        instance(
+            &mut top,
+            &agu.module_name(),
+            &format!("u_agu_{tag}"),
+            vec![
+                ("clk", Expr::id("clk")),
+                ("rst", Expr::id("rst")),
+                ("trigger", Expr::id(format!("trig_{tag}"))),
+                ("addr", Expr::id(format!("agu_{tag}_addr"))),
+                ("valid", Expr::id(format!("agu_{tag}_valid"))),
+                ("done", Expr::id(format!("agu_{tag}_done"))),
+            ],
+        );
+    }
+    // A phase completes when its data sweep (and any DRAM traffic) drains.
+    top.item(Item::Assign {
+        lhs: Expr::id("phase_done"),
+        rhs: Expr::bin(
+            deepburning_verilog::BinaryOp::LogAnd,
+            Expr::id("agu_data_done"),
+            Expr::bin(
+                deepburning_verilog::BinaryOp::LogOr,
+                Expr::id("agu_main_done"),
+                Expr::Unary(
+                    deepburning_verilog::UnaryOp::Not,
+                    Box::new(Expr::id("agu_main_valid")),
+                ),
+            ),
+        ),
+    });
+
+    // ---- buffers ----------------------------------------------------------
+    top.item(Item::Net(NetDecl::wire("fbuf_rdata", bus)));
+    top.item(Item::Net(NetDecl::wire("wbuf_rdata", bus)));
+    top.item(Item::Net(NetDecl::wire("writeback", bus)));
+    let f_aw = fbuf.addr_width();
+    let w_aw = wbuf.addr_width();
+    instance(
+        &mut top,
+        &fbuf.module_name(),
+        "u_feature_buffer",
+        vec![
+            ("clk", Expr::id("clk")),
+            ("we", Expr::id("agu_main_valid")),
+            (
+                "waddr",
+                Expr::Slice(Box::new(Expr::id("agu_main_addr")), f_aw - 1, 0),
+            ),
+            ("wdata", Expr::id("dram_rdata")),
+            (
+                "raddr",
+                Expr::Slice(Box::new(Expr::id("agu_data_addr")), f_aw - 1, 0),
+            ),
+            ("rdata", Expr::id("fbuf_rdata")),
+        ],
+    );
+    instance(
+        &mut top,
+        &wbuf.module_name(),
+        "u_weight_buffer",
+        vec![
+            ("clk", Expr::id("clk")),
+            ("we", Expr::id("agu_main_valid")),
+            (
+                "waddr",
+                Expr::Slice(Box::new(Expr::id("agu_main_addr")), w_aw - 1, 0),
+            ),
+            ("wdata", Expr::id("dram_rdata")),
+            (
+                "raddr",
+                Expr::Slice(Box::new(Expr::id("agu_weight_addr")), w_aw - 1, 0),
+            ),
+            ("rdata", Expr::id("wbuf_rdata")),
+        ],
+    );
+
+    // ---- datapath ----------------------------------------------------------
+    top.item(Item::Net(NetDecl::wire("neuron_sum", w)));
+    instance(
+        &mut top,
+        &neuron.module_name(),
+        "u_synergy_neurons",
+        vec![
+            ("clk", Expr::id("clk")),
+            ("rst", Expr::id("rst")),
+            ("en", Expr::id("agu_data_valid")),
+            ("clear", Expr::id("fire_w")),
+            ("din", Expr::id("fbuf_rdata")),
+            ("weight", Expr::id("wbuf_rdata")),
+            ("sum_out", Expr::id("neuron_sum")),
+        ],
+    );
+    top.item(Item::Net(NetDecl::wire("acc_out", w)));
+    instance(
+        &mut top,
+        &acc.module_name(),
+        "u_accumulators",
+        vec![
+            ("clk", Expr::id("clk")),
+            ("rst", Expr::id("rst")),
+            ("en", Expr::id("agu_data_valid")),
+            ("din", Expr::id("neuron_sum")),
+            ("acc_out", Expr::id("acc_out")),
+        ],
+    );
+    top.item(Item::Net(NetDecl::wire("relu_out", w)));
+    instance(
+        &mut top,
+        &relu.module_name(),
+        "u_relu",
+        vec![("din", Expr::id("acc_out")), ("dout", Expr::id("relu_out"))],
+    );
+    top.item(Item::Net(NetDecl::wire("lut_out", w)));
+    if let Some(lut) = &lut_block {
+        instance(
+            &mut top,
+            &lut.module_name(),
+            "u_approx_lut",
+            vec![
+                ("clk", Expr::id("clk")),
+                ("din", Expr::id("acc_out")),
+                ("dout", Expr::id("lut_out")),
+            ],
+        );
+    } else {
+        top.item(Item::Assign {
+            lhs: Expr::id("lut_out"),
+            rhs: Expr::id("acc_out"),
+        });
+    }
+    top.item(Item::Net(NetDecl::wire("pool_out", w)));
+    if needs_pool {
+        instance(
+            &mut top,
+            &pool.module_name(),
+            "u_pooling_unit",
+            vec![
+                ("clk", Expr::id("clk")),
+                ("rst", Expr::id("rst")),
+                ("en", Expr::id("agu_data_valid")),
+                ("clear", Expr::id("fire_w")),
+                ("din", Expr::Slice(Box::new(Expr::id("fbuf_rdata")), w - 1, 0)),
+                ("dout", Expr::id("pool_out")),
+            ],
+        );
+    } else {
+        top.item(Item::Assign {
+            lhs: Expr::id("pool_out"),
+            rhs: Expr::id("acc_out"),
+        });
+    }
+
+    // ---- connection box -----------------------------------------------------
+    top.item(Item::Net(NetDecl::wire("cbox_out", w * 2)));
+    instance(
+        &mut top,
+        &cbox.module_name(),
+        "u_connection_box",
+        vec![
+            ("clk", Expr::id("clk")),
+            (
+                "din",
+                Expr::Concat(vec![
+                    Expr::id("pool_out"),
+                    Expr::id("lut_out"),
+                    Expr::id("relu_out"),
+                    Expr::id("acc_out"),
+                ]),
+            ),
+            (
+                "sel",
+                Expr::Index(Box::new(Expr::id("ctx_sel")), Box::new(Expr::id("phase_w"))),
+            ),
+            (
+                "shift",
+                Expr::Index(Box::new(Expr::id("ctx_shift")), Box::new(Expr::id("phase_w"))),
+            ),
+            ("dout", Expr::id("cbox_out")),
+        ],
+    );
+    top.item(Item::Assign {
+        lhs: Expr::id("writeback"),
+        rhs: zero_extend(Expr::Slice(Box::new(Expr::id("cbox_out")), w - 1, 0), w, bus),
+    });
+
+    // ---- classifier ----------------------------------------------------------
+    if let Some(ks) = &ksorter {
+        let iw = ks.index_width();
+        top.item(Item::Net(NetDecl::wire("class_idx", iw)));
+        top.item(Item::Net(NetDecl::wire("class_val", w)));
+        instance(
+            &mut top,
+            &ks.module_name(),
+            "u_ksorter",
+            vec![
+                (
+                    "din",
+                    Expr::Slice(Box::new(Expr::id("fbuf_rdata")), w * ks.inputs - 1, 0),
+                ),
+                ("idx_out", Expr::id("class_idx")),
+                ("val_out", Expr::id("class_val")),
+            ],
+        );
+    }
+
+    // ---- DRAM side ------------------------------------------------------------
+    top.item(Item::Assign {
+        lhs: Expr::id("dram_addr"),
+        rhs: Expr::id("agu_main_addr"),
+    });
+    top.item(Item::Assign {
+        lhs: Expr::id("dram_req"),
+        rhs: Expr::id("agu_main_valid"),
+    });
+    top.item(Item::Assign {
+        lhs: Expr::id("dram_wdata"),
+        rhs: Expr::id("writeback"),
+    });
+    top.item(Item::Assign {
+        lhs: Expr::id("dram_we"),
+        rhs: Expr::bin(
+            deepburning_verilog::BinaryOp::LogAnd,
+            Expr::id("agu_main_valid"),
+            Expr::id("busy_w"),
+        ),
+    });
+    top.item(Item::Assign {
+        lhs: Expr::id("done"),
+        rhs: Expr::Unary(
+            deepburning_verilog::UnaryOp::Not,
+            Box::new(Expr::id("busy_w")),
+        ),
+    });
+
+    // ---- collect the module set -------------------------------------------------
+    let mut design = Design::new(top);
+    let mut added: Vec<String> = Vec::new();
+    let mut add = |design: &mut Design, block: &dyn Block| {
+        let name = block.module_name();
+        if !added.contains(&name) {
+            design.add_module(block.generate());
+            added.push(name);
+        }
+    };
+    add(&mut design, &coord);
+    add(&mut design, &agu_main);
+    add(&mut design, &agu_data);
+    add(&mut design, &agu_weight);
+    add(&mut design, &fbuf);
+    add(&mut design, &wbuf);
+    add(&mut design, &neuron);
+    add(&mut design, &acc);
+    add(&mut design, &relu);
+    add(&mut design, &cbox);
+    if let Some(lut) = &lut_block {
+        add(&mut design, lut);
+    }
+    if needs_pool {
+        add(&mut design, &pool);
+    }
+    if let Some(ks) = &ksorter {
+        add(&mut design, ks);
+    }
+    design
+}
+
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_compiler::{compile, CompilerConfig};
+    use deepburning_model::parse_network;
+    use deepburning_verilog::{emit_design, lint_design};
+
+    const SRC: &str = r#"
+    name: "lenet-ish"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 1 height: 16 width: 16 } }
+    layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+             param { num_output: 8 kernel_size: 3 stride: 1 } }
+    layers { name: "pool" type: POOLING bottom: "conv" top: "pool"
+             pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+    layers { name: "sig" type: SIGMOID bottom: "pool" top: "pool" }
+    layers { name: "fc" type: FC bottom: "pool" top: "fc"
+             param { num_output: 10 } }
+    layers { name: "cls" type: CLASSIFIER bottom: "fc" top: "cls" }
+    "#;
+
+    fn design() -> Design {
+        let net = parse_network(SRC).expect("parses");
+        let compiled = compile(&net, &CompilerConfig { lanes: 8, ..CompilerConfig::default() })
+            .expect("compiles");
+        assemble_top(&net, &compiled)
+    }
+
+    #[test]
+    fn top_lints_clean() {
+        let d = design();
+        let report = lint_design(&d);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn top_contains_expected_instances() {
+        let d = design();
+        let text = emit_design(&d);
+        for inst in [
+            "u_coordinator",
+            "u_agu_main",
+            "u_agu_data",
+            "u_agu_weight",
+            "u_feature_buffer",
+            "u_weight_buffer",
+            "u_synergy_neurons",
+            "u_accumulators",
+            "u_connection_box",
+            "u_approx_lut",
+            "u_pooling_unit",
+            "u_ksorter",
+        ] {
+            assert!(text.contains(inst), "missing {inst}");
+        }
+    }
+
+    #[test]
+    fn module_set_deduplicated() {
+        let d = design();
+        let mut names: Vec<&str> = d.modules.iter().map(|m| m.name.as_str()).collect();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("LeNet-5"), "lenet_5");
+        assert_eq!(sanitize("5net"), "n5net");
+    }
+
+    #[test]
+    fn network_without_luts_or_pool_still_assembles() {
+        let src = r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 4 height: 1 width: 1 } }
+        layers { name: "fc" type: FC bottom: "data" top: "fc"
+                 param { num_output: 4 } }
+        layers { name: "r" type: RELU bottom: "fc" top: "fc" }
+        "#;
+        let net = parse_network(src).expect("parses");
+        let compiled = compile(&net, &CompilerConfig::default()).expect("compiles");
+        let d = assemble_top(&net, &compiled);
+        let report = lint_design(&d);
+        assert!(report.is_clean(), "{report}");
+        let text = emit_design(&d);
+        assert!(!text.contains("u_approx_lut"));
+        assert!(!text.contains("u_pooling_unit"));
+    }
+}

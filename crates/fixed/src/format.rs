@@ -1,0 +1,277 @@
+//! Q-format descriptors for the fixed-point datapath.
+//!
+//! The DeepBurning generator decides the bit-width of every datapath lane at
+//! generation time ("the input bit-width … for the DeepBurning hardware
+//! generator to decide"), so formats are runtime values rather than type
+//! parameters.
+
+use std::fmt;
+
+/// A signed fixed-point format: `total_bits` two's-complement bits of which
+/// `frac_bits` sit right of the binary point.
+///
+/// # Examples
+///
+/// ```
+/// use deepburning_fixed::QFormat;
+///
+/// let q = QFormat::new(16, 8)?;
+/// assert_eq!(q.integer_bits(), 7); // one bit is the sign
+/// assert_eq!(q.max_value(), 127.99609375);
+/// # Ok::<(), deepburning_fixed::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QFormat {
+    total_bits: u32,
+    frac_bits: u32,
+}
+
+/// Error returned when constructing an invalid [`QFormat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatError {
+    /// `total_bits` was zero or exceeded 32.
+    InvalidWidth(u32),
+    /// `frac_bits` did not leave room for the sign bit.
+    InvalidFraction { total_bits: u32, frac_bits: u32 },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FormatError::InvalidWidth(w) => {
+                write!(f, "total width {w} is outside the supported 1..=32 bits")
+            }
+            FormatError::InvalidFraction {
+                total_bits,
+                frac_bits,
+            } => write!(
+                f,
+                "fraction width {frac_bits} does not fit in {total_bits} bits with a sign bit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl QFormat {
+    /// The default datapath format used by the paper's accelerators:
+    /// 16-bit words with 8 fraction bits (Q7.8).
+    pub const Q8_8: QFormat = QFormat {
+        total_bits: 16,
+        frac_bits: 8,
+    };
+
+    /// A high-precision format for accumulators and LUT values (Q15.16).
+    pub const Q16_16: QFormat = QFormat {
+        total_bits: 32,
+        frac_bits: 16,
+    };
+
+    /// A narrow format exercised by the bit-width ablation (Q3.4).
+    pub const Q4_4: QFormat = QFormat {
+        total_bits: 8,
+        frac_bits: 4,
+    };
+
+    /// Creates a format with `total_bits` total width and `frac_bits`
+    /// fractional bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if `total_bits` is not in `1..=32` or if
+    /// `frac_bits >= total_bits` (the sign bit must remain).
+    pub fn new(total_bits: u32, frac_bits: u32) -> Result<Self, FormatError> {
+        if total_bits == 0 || total_bits > 32 {
+            return Err(FormatError::InvalidWidth(total_bits));
+        }
+        if frac_bits >= total_bits {
+            return Err(FormatError::InvalidFraction {
+                total_bits,
+                frac_bits,
+            });
+        }
+        Ok(QFormat {
+            total_bits,
+            frac_bits,
+        })
+    }
+
+    /// Total two's-complement width in bits.
+    pub fn total_bits(self) -> u32 {
+        self.total_bits
+    }
+
+    /// Number of bits right of the binary point.
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Number of magnitude bits left of the binary point (excludes sign).
+    pub fn integer_bits(self) -> u32 {
+        self.total_bits - self.frac_bits - 1
+    }
+
+    /// Smallest representable increment (one LSB) as `f64`.
+    pub fn resolution(self) -> f64 {
+        (self.frac_bits as f64 * -1.0).exp2()
+    }
+
+    /// Largest raw integer representable.
+    pub fn max_raw(self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Smallest (most negative) raw integer representable.
+    pub fn min_raw(self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Largest representable value as `f64`.
+    pub fn max_value(self) -> f64 {
+        self.max_raw() as f64 * self.resolution()
+    }
+
+    /// Smallest representable value as `f64`.
+    pub fn min_value(self) -> f64 {
+        self.min_raw() as f64 * self.resolution()
+    }
+
+    /// Clamps a raw integer into this format's range (saturation).
+    pub fn saturate(self, raw: i64) -> i64 {
+        raw.clamp(self.min_raw(), self.max_raw())
+    }
+
+    /// Whether `raw` is representable without saturation.
+    pub fn contains_raw(self, raw: i64) -> bool {
+        raw >= self.min_raw() && raw <= self.max_raw()
+    }
+}
+
+impl Default for QFormat {
+    fn default() -> Self {
+        QFormat::Q8_8
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.integer_bits(), self.frac_bits)
+    }
+}
+
+/// Error returned when parsing a [`QFormat`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormatError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` is not a Q<int>.<frac> format", self.input)
+    }
+}
+
+impl std::error::Error for ParseFormatError {}
+
+impl std::str::FromStr for QFormat {
+    type Err = ParseFormatError;
+
+    /// Parses the `Q<integer>.<fraction>` notation used by [`Display`]
+    /// (e.g. `Q7.8` = 16 total bits with 8 fraction bits).
+    ///
+    /// [`Display`]: fmt::Display
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let reject = || ParseFormatError { input: s.to_string() };
+        let body = s.strip_prefix(['Q', 'q']).ok_or_else(reject)?;
+        let (int_s, frac_s) = body.split_once('.').ok_or_else(reject)?;
+        let int: u32 = int_s.parse().map_err(|_| reject())?;
+        let frac: u32 = frac_s.parse().map_err(|_| reject())?;
+        QFormat::new(int + frac + 1, frac).map_err(|_| reject())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q8_8_bounds() {
+        let q = QFormat::Q8_8;
+        assert_eq!(q.max_raw(), 32767);
+        assert_eq!(q.min_raw(), -32768);
+        assert!((q.resolution() - 1.0 / 256.0).abs() < 1e-12);
+        assert!((q.max_value() - 127.99609375).abs() < 1e-9);
+        assert!((q.min_value() + 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(QFormat::Q8_8.to_string(), "Q7.8");
+        assert_eq!(QFormat::new(8, 4).unwrap().to_string(), "Q3.4");
+    }
+
+    #[test]
+    fn rejects_zero_width() {
+        assert_eq!(QFormat::new(0, 0), Err(FormatError::InvalidWidth(0)));
+    }
+
+    #[test]
+    fn rejects_too_wide() {
+        assert_eq!(QFormat::new(33, 0), Err(FormatError::InvalidWidth(33)));
+    }
+
+    #[test]
+    fn rejects_fraction_eating_sign() {
+        assert!(matches!(
+            QFormat::new(8, 8),
+            Err(FormatError::InvalidFraction { .. })
+        ));
+        assert!(QFormat::new(8, 7).is_ok());
+    }
+
+    #[test]
+    fn saturate_clamps_both_ends() {
+        let q = QFormat::new(8, 0).unwrap();
+        assert_eq!(q.saturate(1000), 127);
+        assert_eq!(q.saturate(-1000), -128);
+        assert_eq!(q.saturate(5), 5);
+    }
+
+    #[test]
+    fn contains_raw_matches_bounds() {
+        let q = QFormat::new(4, 1).unwrap();
+        assert!(q.contains_raw(7));
+        assert!(q.contains_raw(-8));
+        assert!(!q.contains_raw(8));
+        assert!(!q.contains_raw(-9));
+    }
+
+    #[test]
+    fn parses_display_notation() {
+        let q: QFormat = "Q7.8".parse().expect("parses");
+        assert_eq!(q, QFormat::Q8_8);
+        let q: QFormat = "q3.4".parse().expect("parses");
+        assert_eq!(q, QFormat::new(8, 4).unwrap());
+        assert!("Q7".parse::<QFormat>().is_err());
+        assert!("7.8".parse::<QFormat>().is_err());
+        assert!("Qx.y".parse::<QFormat>().is_err());
+        assert!("Q40.40".parse::<QFormat>().is_err());
+    }
+
+    #[test]
+    fn display_from_str_roundtrip() {
+        for q in [QFormat::Q8_8, QFormat::Q16_16, QFormat::Q4_4] {
+            let back: QFormat = q.to_string().parse().expect("roundtrips");
+            assert_eq!(back, q);
+        }
+    }
+
+    #[test]
+    fn one_bit_format_is_sign_only() {
+        let q = QFormat::new(1, 0).unwrap();
+        assert_eq!(q.max_raw(), 0);
+        assert_eq!(q.min_raw(), -1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Approximate look-up tables ("Approx LUT", paper §3.3).
+//!
+//! Complex functions that cannot be mapped efficiently into logic —
+//! activation functions above all — are approximated by a table of sampled
+//! points. Keys that hit the table read the stored value directly; misses
+//! interpolate between the adjacent keys. The table *content* is produced by
+//! the compiler ([`ApproxLut::sample`]) while the table *hardware* is emitted
+//! by the generator.
+
+use crate::format::QFormat;
+use crate::value::Fx;
+use std::fmt;
+
+/// Strategy used to place the sampled keys over the input range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sampling {
+    /// Keys spaced evenly over the range — cheapest index hardware
+    /// (index = shift of the input key).
+    #[default]
+    Uniform,
+    /// Keys placed where the function curves most, equalising the
+    /// interpolation error across segments. Needs a small comparator tree
+    /// in hardware, bought back by fewer entries.
+    ErrorEqualizing,
+}
+
+/// Error returned when building an [`ApproxLut`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildLutError {
+    /// Fewer than two entries requested — interpolation needs two keys.
+    TooFewEntries(usize),
+    /// The sampled range was empty or inverted.
+    EmptyRange { lo: f64, hi: f64 },
+}
+
+impl fmt::Display for BuildLutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildLutError::TooFewEntries(n) => {
+                write!(f, "approx LUT needs at least 2 entries, got {n}")
+            }
+            BuildLutError::EmptyRange { lo, hi } => {
+                write!(f, "approx LUT range [{lo}, {hi}] is empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildLutError {}
+
+/// A sampled function table with linear interpolation between entries.
+///
+/// # Examples
+///
+/// ```
+/// use deepburning_fixed::{ApproxLut, QFormat, Sampling};
+///
+/// let lut = ApproxLut::sample(|x| x.tanh(), -4.0, 4.0, 64, QFormat::Q8_8, Sampling::Uniform)?;
+/// let y = lut.eval_f64(0.5);
+/// assert!((y - 0.5f64.tanh()).abs() < 0.01);
+/// # Ok::<(), deepburning_fixed::BuildLutError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxLut {
+    keys: Vec<Fx>,
+    values: Vec<Fx>,
+    fmt: QFormat,
+    sampling: Sampling,
+}
+
+impl ApproxLut {
+    /// Samples `f` over `[lo, hi]` into `entries` key/value pairs.
+    ///
+    /// With [`Sampling::ErrorEqualizing`] the keys are concentrated where
+    /// `|f''|` is large, computed by equalising the arc-length-weighted
+    /// curvature integral across segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildLutError`] if `entries < 2` or the range is empty.
+    pub fn sample(
+        f: impl Fn(f64) -> f64,
+        lo: f64,
+        hi: f64,
+        entries: usize,
+        fmt: QFormat,
+        sampling: Sampling,
+    ) -> Result<Self, BuildLutError> {
+        if entries < 2 {
+            return Err(BuildLutError::TooFewEntries(entries));
+        }
+        if !(lo < hi) {
+            return Err(BuildLutError::EmptyRange { lo, hi });
+        }
+        let key_points: Vec<f64> = match sampling {
+            Sampling::Uniform => (0..entries)
+                .map(|i| lo + (hi - lo) * i as f64 / (entries - 1) as f64)
+                .collect(),
+            Sampling::ErrorEqualizing => error_equalizing_keys(&f, lo, hi, entries),
+        };
+        let mut keys = Vec::with_capacity(entries);
+        let mut values = Vec::with_capacity(entries);
+        for x in key_points {
+            let k = Fx::from_f64(x, fmt);
+            // Deduplicate keys that quantised onto the same point.
+            if keys.last() == Some(&k) {
+                continue;
+            }
+            keys.push(k);
+            values.push(Fx::from_f64(f(k.to_f64()), fmt));
+        }
+        Ok(ApproxLut {
+            keys,
+            values,
+            fmt,
+            sampling,
+        })
+    }
+
+    /// Number of stored entries (after key deduplication).
+    pub fn entries(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The value format of keys and entries.
+    pub fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    /// The sampling strategy the table was built with.
+    pub fn sampling(&self) -> Sampling {
+        self.sampling
+    }
+
+    /// The stored keys, ascending.
+    pub fn keys(&self) -> &[Fx] {
+        &self.keys
+    }
+
+    /// The stored values, parallel to [`keys`](Self::keys).
+    pub fn values(&self) -> &[Fx] {
+        &self.values
+    }
+
+    /// Size of the table image in bits (key + value per entry), as stored
+    /// in block RAM by the generator.
+    pub fn image_bits(&self) -> u64 {
+        2 * self.fmt.total_bits() as u64 * self.keys.len() as u64
+    }
+
+    /// Evaluates the table at a fixed-point input.
+    ///
+    /// Inputs outside the sampled range clamp to the first/last entry, as
+    /// the hardware comparator chain does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s format differs from the table format.
+    pub fn eval(&self, x: Fx) -> Fx {
+        assert_eq!(x.format(), self.fmt, "LUT input format mismatch");
+        let n = self.keys.len();
+        if x <= self.keys[0] {
+            return self.values[0];
+        }
+        if x >= self.keys[n - 1] {
+            return self.values[n - 1];
+        }
+        // Binary search for the surrounding segment (hardware uses a
+        // comparator tree of the same depth).
+        let idx = match self.keys.binary_search_by(|k| k.raw().cmp(&x.raw())) {
+            Ok(i) => return self.values[i], // exact hit reads straight out
+            Err(i) => i,
+        };
+        let (k0, k1) = (self.keys[idx - 1], self.keys[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        // v0 + (v1 - v0) * (x - k0) / (k1 - k0), evaluated in raw integers
+        // to mirror the interpolator datapath.
+        let dx = (x.raw() - k0.raw()) as i128;
+        let span = (k1.raw() - k0.raw()) as i128;
+        let dv = (v1.raw() - v0.raw()) as i128;
+        let raw = v0.raw() as i128 + dv * dx / span;
+        Fx::from_raw(raw.clamp(i64::MIN as i128, i64::MAX as i128) as i64, self.fmt)
+    }
+
+    /// Convenience: quantise an `f64`, evaluate, return `f64`.
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        self.eval(Fx::from_f64(x, self.fmt)).to_f64()
+    }
+
+    /// Maximum absolute error against `f` over a dense probe of the range.
+    pub fn max_error(&self, f: impl Fn(f64) -> f64, probes: usize) -> f64 {
+        let lo = self.keys[0].to_f64();
+        let hi = self.keys[self.keys.len() - 1].to_f64();
+        let mut worst = 0.0f64;
+        for i in 0..=probes {
+            let x = lo + (hi - lo) * i as f64 / probes as f64;
+            let e = (self.eval_f64(x) - f(x)).abs();
+            worst = worst.max(e);
+        }
+        worst
+    }
+}
+
+/// Places `entries` keys so each segment carries roughly equal curvature
+/// mass, using a dense second-difference estimate of `|f''|`.
+fn error_equalizing_keys(f: &impl Fn(f64) -> f64, lo: f64, hi: f64, entries: usize) -> Vec<f64> {
+    const DENSE: usize = 1024;
+    let h = (hi - lo) / DENSE as f64;
+    // Curvature density at each dense point, floored so flat regions still
+    // receive keys.
+    let mut density = Vec::with_capacity(DENSE);
+    for i in 0..DENSE {
+        let x = lo + h * (i as f64 + 0.5);
+        let f2 = (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+        density.push(f2.abs().sqrt() + 1e-3);
+    }
+    let total: f64 = density.iter().sum();
+    let mut keys = Vec::with_capacity(entries);
+    keys.push(lo);
+    let per_segment = total / (entries - 1) as f64;
+    let mut acc = 0.0;
+    let mut next = per_segment;
+    for (i, d) in density.iter().enumerate() {
+        acc += d;
+        while acc >= next && keys.len() < entries - 1 {
+            keys.push(lo + h * (i as f64 + 1.0));
+            next += per_segment;
+        }
+    }
+    while keys.len() < entries - 1 {
+        keys.push(hi - (hi - lo) * 1e-6 * (entries - keys.len()) as f64);
+    }
+    keys.push(hi);
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Rounding;
+
+    fn sigmoid(x: f64) -> f64 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    #[test]
+    fn exact_key_hits_read_stored_value() {
+        let lut = ApproxLut::sample(sigmoid, -8.0, 8.0, 32, QFormat::Q8_8, Sampling::Uniform)
+            .expect("valid lut");
+        for (k, v) in lut.keys().iter().zip(lut.values()) {
+            assert_eq!(lut.eval(*k), *v);
+        }
+    }
+
+    #[test]
+    fn interpolation_beats_nearest_entry() {
+        let lut = ApproxLut::sample(sigmoid, -8.0, 8.0, 16, QFormat::Q8_8, Sampling::Uniform)
+            .expect("valid lut");
+        // Mid-segment point: the interpolated value must land between the
+        // surrounding entries.
+        let x = 0.55;
+        let y = lut.eval_f64(x);
+        assert!((y - sigmoid(x)).abs() < 0.05, "err {}", (y - sigmoid(x)).abs());
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let lut = ApproxLut::sample(sigmoid, -4.0, 4.0, 16, QFormat::Q8_8, Sampling::Uniform)
+            .expect("valid lut");
+        assert_eq!(lut.eval_f64(100.0), lut.values()[lut.entries() - 1].to_f64());
+        assert_eq!(lut.eval_f64(-100.0), lut.values()[0].to_f64());
+    }
+
+    #[test]
+    fn more_entries_reduce_error() {
+        let coarse = ApproxLut::sample(sigmoid, -8.0, 8.0, 8, QFormat::Q16_16, Sampling::Uniform)
+            .expect("valid lut");
+        let fine = ApproxLut::sample(sigmoid, -8.0, 8.0, 128, QFormat::Q16_16, Sampling::Uniform)
+            .expect("valid lut");
+        assert!(fine.max_error(sigmoid, 500) < coarse.max_error(sigmoid, 500));
+    }
+
+    #[test]
+    fn error_equalizing_beats_uniform_on_curvy_function() {
+        let f = |x: f64| x.tanh();
+        let uni = ApproxLut::sample(f, -6.0, 6.0, 24, QFormat::Q16_16, Sampling::Uniform)
+            .expect("valid lut");
+        let eq = ApproxLut::sample(f, -6.0, 6.0, 24, QFormat::Q16_16, Sampling::ErrorEqualizing)
+            .expect("valid lut");
+        let (eu, ee) = (uni.max_error(f, 2000), eq.max_error(f, 2000));
+        assert!(
+            ee <= eu * 1.05,
+            "error-equalizing ({ee}) should not lose to uniform ({eu})"
+        );
+    }
+
+    #[test]
+    fn rejects_tiny_tables_and_bad_ranges() {
+        assert!(matches!(
+            ApproxLut::sample(sigmoid, -1.0, 1.0, 1, QFormat::Q8_8, Sampling::Uniform),
+            Err(BuildLutError::TooFewEntries(1))
+        ));
+        assert!(matches!(
+            ApproxLut::sample(sigmoid, 1.0, -1.0, 8, QFormat::Q8_8, Sampling::Uniform),
+            Err(BuildLutError::EmptyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn image_bits_counts_keys_and_values() {
+        let lut = ApproxLut::sample(sigmoid, -4.0, 4.0, 16, QFormat::Q8_8, Sampling::Uniform)
+            .expect("valid lut");
+        assert_eq!(lut.image_bits(), 2 * 16 * lut.entries() as u64);
+    }
+
+    #[test]
+    fn monotone_function_yields_monotone_table() {
+        let lut = ApproxLut::sample(sigmoid, -8.0, 8.0, 64, QFormat::Q16_16, Sampling::Uniform)
+            .expect("valid lut");
+        for w in lut.values().windows(2) {
+            assert!(w[0].raw() <= w[1].raw());
+        }
+    }
+
+    #[test]
+    fn requantize_interplay() {
+        // LUT in a wide format evaluated from a narrow datapath value.
+        let lut = ApproxLut::sample(sigmoid, -8.0, 8.0, 64, QFormat::Q16_16, Sampling::Uniform)
+            .expect("valid lut");
+        let narrow = Fx::from_f64(1.25, QFormat::Q8_8);
+        let wide = narrow.requantize(QFormat::Q16_16, Rounding::Truncate);
+        let y = lut.eval(wide).to_f64();
+        assert!((y - sigmoid(1.25)).abs() < 0.01);
+    }
+}

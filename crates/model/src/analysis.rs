@@ -1,0 +1,471 @@
+//! Static network analysis: operation counts, weight footprints and the
+//! layer-category decomposition of paper Table 1.
+//!
+//! These numbers drive the folding planner (how much work each layer
+//! carries), the CPU cost model, and the Table 1 harness.
+
+use crate::graph::{Network, NetworkError};
+use crate::layer::{Layer, LayerKind};
+use crate::shape::Shape;
+use std::collections::BTreeMap;
+
+/// Operation and storage counts for one layer instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerStats {
+    /// Multiply-accumulate operations (the DSP-slice workload).
+    pub macs: u64,
+    /// Auxiliary ALU operations: compares, adds, scales (pooling, LRN
+    /// window sums, dropout scaling, eltwise).
+    pub aux_ops: u64,
+    /// Non-linear evaluations served by an Approx LUT.
+    pub lut_ops: u64,
+    /// Weight parameters held in memory (including biases).
+    pub weights: u64,
+    /// Elements read from the input blob(s).
+    pub input_elems: u64,
+    /// Elements written to the output blob.
+    pub output_elems: u64,
+}
+
+impl LayerStats {
+    /// Element-wise sum of two stat records.
+    pub fn merge(self, other: LayerStats) -> LayerStats {
+        LayerStats {
+            macs: self.macs + other.macs,
+            aux_ops: self.aux_ops + other.aux_ops,
+            lut_ops: self.lut_ops + other.lut_ops,
+            weights: self.weights + other.weights,
+            input_elems: self.input_elems + other.input_elems,
+            output_elems: self.output_elems + other.output_elems,
+        }
+    }
+
+    /// All arithmetic work (MACs + aux + LUT), the CPU model's op count.
+    pub fn total_ops(self) -> u64 {
+        self.macs + self.aux_ops + self.lut_ops
+    }
+}
+
+/// Computes [`LayerStats`] for one layer given resolved input/output shapes.
+pub fn layer_stats(layer: &Layer, inputs: &[Shape], output: Shape) -> LayerStats {
+    let in_elems: u64 = inputs.iter().map(|s| s.elements() as u64).sum();
+    let out_elems = output.elements() as u64;
+    let mut stats = LayerStats {
+        input_elems: in_elems,
+        output_elems: out_elems,
+        ..LayerStats::default()
+    };
+    match &layer.kind {
+        LayerKind::Input { .. } => {}
+        LayerKind::Convolution(p) => {
+            let ci = inputs.first().map(|s| s.channels).unwrap_or(0) as u64;
+            let k2 = (p.kernel_size * p.kernel_size) as u64;
+            let per_output = ci / p.group as u64 * k2;
+            stats.macs = out_elems * per_output;
+            stats.weights = p.num_output as u64 * per_output + p.num_output as u64;
+        }
+        LayerKind::Pooling(p) => {
+            stats.aux_ops = out_elems * (p.kernel_size * p.kernel_size) as u64;
+        }
+        LayerKind::FullConnection(p) => {
+            let dense = in_elems * p.num_output as u64;
+            stats.macs = dense * p.connectivity_permille as u64 / 1000;
+            stats.weights = stats.macs + p.num_output as u64;
+        }
+        LayerKind::Activation(a) => {
+            if a.needs_lut() {
+                stats.lut_ops = out_elems;
+            } else {
+                stats.aux_ops = out_elems;
+            }
+        }
+        LayerKind::Lrn(p) => {
+            // Window sum per element plus one LUT power evaluation.
+            stats.aux_ops = out_elems * p.local_size as u64;
+            stats.lut_ops = out_elems;
+        }
+        LayerKind::Dropout { .. } => {
+            stats.aux_ops = out_elems;
+        }
+        LayerKind::Recurrent { num_output, steps } => {
+            let n = *num_output as u64;
+            let unrolled = (in_elems + n) * n;
+            stats.macs = unrolled * *steps as u64;
+            stats.weights = (in_elems + n) * n + n;
+        }
+        LayerKind::Associative {
+            table_size,
+            active_cells,
+        } => {
+            stats.aux_ops = *active_cells as u64;
+            stats.weights = *table_size as u64;
+        }
+        LayerKind::Memory { words } => {
+            stats.aux_ops = *words as u64;
+        }
+        LayerKind::Classifier { top_k } => {
+            // K-sorter cost: n compares per selection pass.
+            stats.aux_ops = in_elems * (*top_k as u64);
+        }
+        LayerKind::Inception(p) => {
+            let input = inputs.first().copied().unwrap_or(Shape::vector(0));
+            let (ci, hw) = (input.channels as u64, (output.height * output.width) as u64);
+            let macs_1x1 = p.c1x1 as u64 * hw * ci;
+            let macs_3x3 = p.c3x3 as u64 * hw * ci * 9;
+            let macs_5x5 = p.c5x5 as u64 * hw * ci * 25;
+            let macs_pool = p.cpool as u64 * hw * ci;
+            stats.macs = macs_1x1 + macs_3x3 + macs_5x5 + macs_pool;
+            stats.aux_ops = hw * ci * 9; // the 3x3 pooling branch
+            stats.weights = p.c1x1 as u64 * ci
+                + p.c3x3 as u64 * ci * 9
+                + p.c5x5 as u64 * ci * 25
+                + p.cpool as u64 * ci
+                + p.total_output() as u64;
+        }
+        LayerKind::Concat => {}
+        LayerKind::Eltwise => {
+            stats.aux_ops = out_elems * inputs.len().saturating_sub(1) as u64;
+        }
+    }
+    stats
+}
+
+/// Per-network operation summary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetworkStats {
+    /// `(layer name, stats)` in execution order.
+    pub per_layer: Vec<(String, LayerStats)>,
+    /// Sum over all layers.
+    pub total: LayerStats,
+}
+
+impl NetworkStats {
+    /// Stats of a single layer by name.
+    pub fn layer(&self, name: &str) -> Option<LayerStats> {
+        self.per_layer
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Computes operation counts for every layer of `net`.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures (cannot happen on a validated
+/// [`Network`], but the signature keeps the API honest).
+pub fn network_stats(net: &Network) -> Result<NetworkStats, NetworkError> {
+    let shapes = net.infer_shapes()?;
+    let mut per_layer = Vec::with_capacity(net.layers().len());
+    let mut total = LayerStats::default();
+    for layer in net.layers() {
+        let inputs: Vec<Shape> = layer.bottoms.iter().map(|b| shapes[b]).collect();
+        let output = shapes[&layer.tops[0]];
+        let stats = layer_stats(layer, &inputs, output);
+        total = total.merge(stats);
+        per_layer.push((layer.name.clone(), stats));
+    }
+    Ok(NetworkStats { per_layer, total })
+}
+
+/// Operation counts for one training iteration (forward + backward +
+/// weight update) — the workload behind the paper's "accelerate the
+/// time-consuming NN training" motivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrainingStats {
+    /// Forward-propagation stats.
+    pub forward: LayerStats,
+    /// Backward-propagation MACs (input gradients + weight gradients —
+    /// roughly 2x the forward MACs for the weighted layers).
+    pub backward_macs: u64,
+    /// Backward auxiliary ops (pooling gradient routing, activation
+    /// derivatives).
+    pub backward_aux: u64,
+    /// Weight-update operations (one multiply-add per parameter).
+    pub update_ops: u64,
+}
+
+impl TrainingStats {
+    /// Total arithmetic of one training iteration.
+    pub fn total_ops(&self) -> u64 {
+        self.forward.total_ops() + self.backward_macs + self.backward_aux + self.update_ops
+    }
+}
+
+/// Computes per-iteration training work for the whole network.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures.
+pub fn training_stats(net: &Network) -> Result<TrainingStats, NetworkError> {
+    let stats = network_stats(net)?;
+    let shapes = net.infer_shapes()?;
+    let mut backward_macs = 0u64;
+    let mut backward_aux = 0u64;
+    let mut update_ops = 0u64;
+    for layer in net.layers() {
+        let inputs: Vec<Shape> = layer.bottoms.iter().map(|b| shapes[b]).collect();
+        let output = shapes[&layer.tops[0]];
+        let ls = layer_stats(layer, &inputs, output);
+        match &layer.kind {
+            LayerKind::Convolution(_)
+            | LayerKind::FullConnection(_)
+            | LayerKind::Recurrent { .. }
+            | LayerKind::Inception(_) => {
+                // dX = W^T dY and dW = dY x X — each mirrors the forward
+                // MAC count.
+                backward_macs += 2 * ls.macs;
+                update_ops += ls.weights;
+            }
+            LayerKind::Pooling(_) => backward_aux += ls.aux_ops,
+            LayerKind::Activation(_) => {
+                backward_aux += ls.output_elems; // derivative multiply
+            }
+            LayerKind::Lrn(_) | LayerKind::Dropout { .. } | LayerKind::Eltwise => {
+                backward_aux += ls.output_elems;
+            }
+            _ => {}
+        }
+    }
+    Ok(TrainingStats {
+        forward: stats.total,
+        backward_macs,
+        backward_aux,
+        update_ops,
+    })
+}
+
+/// Layer-category usage flags — one row of paper Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Decomposition {
+    /// Uses convolution layers.
+    pub conv: bool,
+    /// Uses full-connection layers.
+    pub fc: bool,
+    /// Uses activation functions.
+    pub act_func: bool,
+    /// Uses drop-out.
+    pub dropout: bool,
+    /// Uses LRN/LCN.
+    pub lrn: bool,
+    /// Uses pooling.
+    pub pooling: bool,
+    /// Uses associative (CMAC) layers.
+    pub associative: bool,
+    /// Contains a recurrent path.
+    pub recurrent: bool,
+}
+
+impl Decomposition {
+    /// Column order used by the Table 1 harness.
+    pub const CATEGORIES: [&'static str; 7] = [
+        "Conv. Layer",
+        "FC Layer",
+        "Act-Func",
+        "Drop-Out",
+        "LRN",
+        "Pooling",
+        "Associative",
+    ];
+
+    /// Flags as booleans in [`Self::CATEGORIES`] order.
+    pub fn as_flags(&self) -> [bool; 7] {
+        [
+            self.conv,
+            self.fc,
+            self.act_func,
+            self.dropout,
+            self.lrn,
+            self.pooling,
+            self.associative,
+        ]
+    }
+}
+
+/// Decomposes `net` into the layer categories of paper Table 1.
+pub fn decompose(net: &Network) -> Decomposition {
+    let mut d = Decomposition {
+        recurrent: net.is_recurrent(),
+        ..Decomposition::default()
+    };
+    for layer in net.layers() {
+        match &layer.kind {
+            LayerKind::Convolution(_) | LayerKind::Inception(_) => d.conv = true,
+            LayerKind::FullConnection(_) => d.fc = true,
+            LayerKind::Activation(_) => d.act_func = true,
+            LayerKind::Dropout { .. } => d.dropout = true,
+            LayerKind::Lrn(_) => d.lrn = true,
+            LayerKind::Pooling(_) => d.pooling = true,
+            LayerKind::Associative { .. } => d.associative = true,
+            LayerKind::Recurrent { .. } => {
+                d.recurrent = true;
+                d.fc = true;
+            }
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Weight bytes needed at a given word width, per layer.
+pub fn weight_bytes(net: &Network, bits_per_word: u32) -> Result<BTreeMap<String, u64>, NetworkError> {
+    let stats = network_stats(net)?;
+    Ok(stats
+        .per_layer
+        .into_iter()
+        .map(|(name, s)| (name, s.weights * bits_per_word as u64 / 8))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, ConvParam, FullParam, PoolMethod, PoolParam};
+
+    fn mnist_like() -> Network {
+        Network::from_layers(
+            "mnist",
+            vec![
+                Layer::input("data", "data", 1, 28, 28),
+                Layer::new(
+                    "conv1",
+                    LayerKind::Convolution(ConvParam::new(20, 5, 1)),
+                    "data",
+                    "conv1",
+                ),
+                Layer::new(
+                    "pool1",
+                    LayerKind::Pooling(PoolParam {
+                        method: PoolMethod::Max,
+                        kernel_size: 2,
+                        stride: 2,
+                    }),
+                    "conv1",
+                    "pool1",
+                ),
+                Layer::new(
+                    "ip1",
+                    LayerKind::FullConnection(FullParam::dense(100)),
+                    "pool1",
+                    "ip1",
+                ),
+                Layer::new("sig", LayerKind::Activation(Activation::Sigmoid), "ip1", "ip1"),
+                Layer::new(
+                    "ip2",
+                    LayerKind::FullConnection(FullParam::dense(10)),
+                    "ip1",
+                    "ip2",
+                ),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn conv_macs_exact() {
+        let net = mnist_like();
+        let stats = network_stats(&net).expect("stats");
+        // conv1: 20 maps of 24x24, each output = 1*5*5 MACs
+        assert_eq!(
+            stats.layer("conv1").expect("layer").macs,
+            20 * 24 * 24 * 25
+        );
+        assert_eq!(stats.layer("conv1").expect("layer").weights, 20 * 25 + 20);
+    }
+
+    #[test]
+    fn fc_macs_exact() {
+        let net = mnist_like();
+        let stats = network_stats(&net).expect("stats");
+        // ip1: input 20*12*12 = 2880 elements, 100 outputs
+        assert_eq!(stats.layer("ip1").expect("layer").macs, 2880 * 100);
+        assert_eq!(stats.layer("ip1").expect("layer").weights, 2880 * 100 + 100);
+    }
+
+    #[test]
+    fn pooling_has_no_macs() {
+        let net = mnist_like();
+        let stats = network_stats(&net).expect("stats");
+        let p = stats.layer("pool1").expect("layer");
+        assert_eq!(p.macs, 0);
+        assert_eq!(p.aux_ops, 20 * 12 * 12 * 4);
+    }
+
+    #[test]
+    fn sigmoid_counts_lut_ops() {
+        let net = mnist_like();
+        let stats = network_stats(&net).expect("stats");
+        assert_eq!(stats.layer("sig").expect("layer").lut_ops, 100);
+        assert_eq!(stats.layer("sig").expect("layer").macs, 0);
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let net = mnist_like();
+        let stats = network_stats(&net).expect("stats");
+        let sum: u64 = stats.per_layer.iter().map(|(_, s)| s.macs).sum();
+        assert_eq!(stats.total.macs, sum);
+        assert!(stats.total.total_ops() > stats.total.macs);
+    }
+
+    #[test]
+    fn partial_connectivity_scales_macs() {
+        let dense = Layer::new(
+            "fc",
+            LayerKind::FullConnection(FullParam::dense(10)),
+            "in",
+            "out",
+        );
+        let sparse = Layer::new(
+            "fc",
+            LayerKind::FullConnection(FullParam {
+                num_output: 10,
+                connectivity_permille: 500,
+            }),
+            "in",
+            "out",
+        );
+        let s_dense = layer_stats(&dense, &[Shape::vector(100)], Shape::vector(10));
+        let s_sparse = layer_stats(&sparse, &[Shape::vector(100)], Shape::vector(10));
+        assert_eq!(s_sparse.macs * 2, s_dense.macs);
+    }
+
+    #[test]
+    fn decomposition_flags() {
+        let net = mnist_like();
+        let d = decompose(&net);
+        assert!(d.conv && d.fc && d.act_func && d.pooling);
+        assert!(!d.dropout && !d.lrn && !d.associative && !d.recurrent);
+        assert_eq!(d.as_flags(), [true, true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn weight_bytes_at_16_bits() {
+        let net = mnist_like();
+        let wb = weight_bytes(&net, 16).expect("bytes");
+        assert_eq!(wb["conv1"], (20 * 25 + 20) * 2);
+        assert_eq!(wb["pool1"], 0);
+    }
+
+    #[test]
+    fn grouped_conv_halves_macs() {
+        let ungrouped = Layer::new(
+            "c",
+            LayerKind::Convolution(ConvParam::new(8, 3, 1)),
+            "in",
+            "out",
+        );
+        let grouped = Layer::new(
+            "c",
+            LayerKind::Convolution(ConvParam::new(8, 3, 1).with_group(2)),
+            "in",
+            "out",
+        );
+        let input = Shape::new(4, 8, 8);
+        let out = Shape::new(8, 6, 6);
+        let su = layer_stats(&ungrouped, &[input], out);
+        let sg = layer_stats(&grouped, &[input], out);
+        assert_eq!(sg.macs * 2, su.macs);
+    }
+}

@@ -1,0 +1,224 @@
+//! A fluent builder for constructing networks programmatically — the
+//! ergonomic alternative to the descriptive script for Rust users.
+
+use crate::graph::{Network, NetworkError};
+use crate::layer::{
+    Activation, ConnectDirection, ConnectType, Connection, ConvParam, FullParam, Layer, LayerKind,
+    LrnParam, PoolMethod, PoolParam,
+};
+
+/// A fluent, chainable network builder.
+///
+/// Each layer method appends a layer consuming the previous layer's output
+/// blob, so a sequential network reads top to bottom. Use
+/// [`NetworkBuilder::layer`] for non-sequential wiring.
+///
+/// # Examples
+///
+/// ```
+/// use deepburning_model::{Activation, NetworkBuilder, PoolMethod};
+///
+/// let net = NetworkBuilder::new("lenet", 1, 28, 28)
+///     .conv("conv1", 20, 5, 1)
+///     .pool("pool1", PoolMethod::Max, 2, 2)
+///     .full("ip1", 100)
+///     .activation("sig1", Activation::Sigmoid)
+///     .full("ip2", 10)
+///     .build()?;
+/// assert_eq!(net.layers().len(), 6);
+/// assert_eq!(net.output_shape()?.channels, 10);
+/// # Ok::<(), deepburning_model::NetworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    layers: Vec<Layer>,
+    connections: Vec<Connection>,
+    last_blob: String,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with an input volume `channels × height × width`.
+    pub fn new(name: impl Into<String>, channels: usize, height: usize, width: usize) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            layers: vec![Layer::input("data", "data", channels, height, width)],
+            connections: Vec::new(),
+            last_blob: "data".to_string(),
+        }
+    }
+
+    /// The blob the next sequential layer will consume.
+    pub fn last_blob(&self) -> &str {
+        &self.last_blob
+    }
+
+    fn push(mut self, name: &str, kind: LayerKind) -> Self {
+        self.layers
+            .push(Layer::new(name, kind, self.last_blob.clone(), name));
+        self.last_blob = name.to_string();
+        self
+    }
+
+    /// Appends an unpadded convolution.
+    pub fn conv(self, name: &str, num_output: usize, kernel: usize, stride: usize) -> Self {
+        self.push(
+            name,
+            LayerKind::Convolution(ConvParam::new(num_output, kernel, stride)),
+        )
+    }
+
+    /// Appends a convolution with explicit parameters.
+    pub fn conv_with(self, name: &str, param: ConvParam) -> Self {
+        self.push(name, LayerKind::Convolution(param))
+    }
+
+    /// Appends a pooling layer.
+    pub fn pool(self, name: &str, method: PoolMethod, kernel: usize, stride: usize) -> Self {
+        self.push(
+            name,
+            LayerKind::Pooling(PoolParam {
+                method,
+                kernel_size: kernel,
+                stride,
+            }),
+        )
+    }
+
+    /// Appends a dense full-connection layer.
+    pub fn full(self, name: &str, num_output: usize) -> Self {
+        self.push(name, LayerKind::FullConnection(FullParam::dense(num_output)))
+    }
+
+    /// Appends an in-place activation on the previous blob.
+    pub fn activation(mut self, name: &str, act: Activation) -> Self {
+        let blob = self.last_blob.clone();
+        self.layers
+            .push(Layer::new(name, LayerKind::Activation(act), blob.clone(), blob));
+        self
+    }
+
+    /// Appends a local-response-normalisation layer.
+    pub fn lrn(self, name: &str, param: LrnParam) -> Self {
+        self.push(name, LayerKind::Lrn(param))
+    }
+
+    /// Appends a drop-out inserter (in place).
+    pub fn dropout(mut self, name: &str, ratio: f64) -> Self {
+        let blob = self.last_blob.clone();
+        self.layers
+            .push(Layer::new(name, LayerKind::Dropout { ratio }, blob.clone(), blob));
+        self
+    }
+
+    /// Appends a recurrent layer (with its feedback connection declared).
+    pub fn recurrent(self, name: &str, num_output: usize, steps: usize) -> Self {
+        let mut b = self.push(name, LayerKind::Recurrent { num_output, steps });
+        b.connections.push(Connection {
+            name: format!("{name}_fb"),
+            from: name.to_string(),
+            to: name.to_string(),
+            direction: ConnectDirection::Recurrent,
+            kind: ConnectType::FullPerChannel,
+        });
+        b
+    }
+
+    /// Appends a classifier (K-sorter) layer.
+    pub fn classifier(self, name: &str, top_k: usize) -> Self {
+        self.push(name, LayerKind::Classifier { top_k })
+    }
+
+    /// Appends an arbitrary layer (caller controls bottoms/tops).
+    pub fn layer(mut self, layer: Layer) -> Self {
+        if let Some(top) = layer.tops.first() {
+            self.last_blob = top.clone();
+        }
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adds an explicit connection.
+    pub fn connect(mut self, connection: Connection) -> Self {
+        self.connections.push(connection);
+        self
+    }
+
+    /// Validates and returns the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] for duplicate names, dangling blobs or
+    /// shape-inference failures.
+    pub fn build(self) -> Result<Network, NetworkError> {
+        Network::with_connections(self.name, self.layers, self.connections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn sequential_chain_builds() {
+        let net = NetworkBuilder::new("t", 3, 32, 32)
+            .conv("c1", 16, 3, 1)
+            .activation("r1", Activation::Relu)
+            .pool("p1", PoolMethod::Max, 2, 2)
+            .full("fc", 10)
+            .build()
+            .expect("builds");
+        let shapes = net.infer_shapes().expect("shapes");
+        assert_eq!(shapes["c1"], Shape::new(16, 30, 30));
+        assert_eq!(shapes["p1"], Shape::new(16, 15, 15));
+        assert_eq!(net.output_shape().expect("shape"), Shape::vector(10));
+    }
+
+    #[test]
+    fn activation_is_in_place() {
+        let net = NetworkBuilder::new("t", 4, 1, 1)
+            .full("fc", 8)
+            .activation("act", Activation::Tanh)
+            .full("out", 2)
+            .build()
+            .expect("builds");
+        let act = net.layer("act").expect("layer");
+        assert_eq!(act.bottoms, act.tops);
+        assert_eq!(act.bottoms[0], "fc");
+    }
+
+    #[test]
+    fn recurrent_declares_feedback() {
+        let net = NetworkBuilder::new("t", 8, 1, 1)
+            .recurrent("state", 8, 4)
+            .build()
+            .expect("builds");
+        assert!(net.is_recurrent());
+        let fb = net.recurrent_connections().next().expect("edge");
+        assert_eq!(fb.name, "state_fb");
+    }
+
+    #[test]
+    fn duplicate_name_fails_at_build() {
+        let result = NetworkBuilder::new("t", 4, 1, 1)
+            .full("x", 4)
+            .full("x", 4)
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn builder_matches_manual_construction() {
+        let built = NetworkBuilder::new("m", 1, 8, 8).conv("c", 4, 3, 1).build().expect("builds");
+        let manual = Network::from_layers(
+            "m",
+            vec![
+                Layer::input("data", "data", 1, 8, 8),
+                Layer::new("c", LayerKind::Convolution(ConvParam::new(4, 3, 1)), "data", "c"),
+            ],
+        )
+        .expect("valid");
+        assert_eq!(built, manual);
+    }
+}

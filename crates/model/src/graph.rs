@@ -1,0 +1,512 @@
+//! The network graph: layers wired through named blobs, Caffe-style.
+//!
+//! Execution order is definition order (as in Caffe); validation checks
+//! that every `bottom` blob has been produced by the time its consumer
+//! runs, except for feedback edges declared `direction: recurrent`.
+
+use crate::layer::{ConnectDirection, Connection, Layer, LayerKind};
+use crate::shape::{infer_output, Shape, ShapeError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A validated neural network description.
+///
+/// # Examples
+///
+/// ```
+/// use deepburning_model::{Layer, LayerKind, Network, FullParam, Activation};
+///
+/// let net = Network::from_layers("mlp", vec![
+///     Layer::input("data", "data", 4, 1, 1),
+///     Layer::new("ip1", LayerKind::FullConnection(FullParam::dense(8)), "data", "ip1"),
+///     Layer::new("sig1", LayerKind::Activation(Activation::Sigmoid), "ip1", "ip1"),
+///     Layer::new("ip2", LayerKind::FullConnection(FullParam::dense(2)), "ip1", "out"),
+/// ])?;
+/// assert_eq!(net.layers().len(), 4);
+/// assert_eq!(net.output_blobs(), vec!["out".to_string()]);
+/// # Ok::<(), deepburning_model::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+    connections: Vec<Connection>,
+}
+
+/// Error describing an ill-formed network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// Two layers share a name.
+    DuplicateLayer(String),
+    /// A layer consumes a blob that no earlier layer produced.
+    UnknownBlob {
+        /// Consumer layer.
+        layer: String,
+        /// Missing blob.
+        blob: String,
+    },
+    /// A `connect` block references a layer that does not exist.
+    UnknownLayer {
+        /// The connect block name.
+        connection: String,
+        /// The missing layer.
+        layer: String,
+    },
+    /// The network has no input layer.
+    NoInput,
+    /// The network has no layers at all.
+    Empty,
+    /// Shape inference failed.
+    Shape(ShapeError),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::DuplicateLayer(n) => write!(f, "duplicate layer name `{n}`"),
+            NetworkError::UnknownBlob { layer, blob } => {
+                write!(f, "layer `{layer}` consumes undefined blob `{blob}`")
+            }
+            NetworkError::UnknownLayer { connection, layer } => {
+                write!(f, "connection `{connection}` references unknown layer `{layer}`")
+            }
+            NetworkError::NoInput => write!(f, "network has no input layer"),
+            NetworkError::Empty => write!(f, "network has no layers"),
+            NetworkError::Shape(e) => write!(f, "shape inference failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for NetworkError {
+    fn from(e: ShapeError) -> Self {
+        NetworkError::Shape(e)
+    }
+}
+
+impl Network {
+    /// Builds and validates a network from layers in execution order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetworkError`] if names collide, a bottom blob is
+    /// undefined, no input layer exists, or shapes do not infer.
+    pub fn from_layers(name: impl Into<String>, layers: Vec<Layer>) -> Result<Self, NetworkError> {
+        Network::with_connections(name, layers, Vec::new())
+    }
+
+    /// Builds and validates a network with explicit `connect` blocks.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::from_layers`]; additionally rejects connections that
+    /// reference unknown layers.
+    pub fn with_connections(
+        name: impl Into<String>,
+        layers: Vec<Layer>,
+        connections: Vec<Connection>,
+    ) -> Result<Self, NetworkError> {
+        let net = Network {
+            name: name.into(),
+            layers,
+            connections,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+
+    fn validate(&self) -> Result<(), NetworkError> {
+        if self.layers.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        if !self
+            .layers
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::Input { .. }))
+        {
+            return Err(NetworkError::NoInput);
+        }
+        let mut names = BTreeSet::new();
+        let mut produced = BTreeSet::new();
+        for layer in &self.layers {
+            if !names.insert(layer.name.as_str()) {
+                return Err(NetworkError::DuplicateLayer(layer.name.clone()));
+            }
+            for bottom in &layer.bottoms {
+                if !produced.contains(bottom.as_str()) {
+                    return Err(NetworkError::UnknownBlob {
+                        layer: layer.name.clone(),
+                        blob: bottom.clone(),
+                    });
+                }
+            }
+            for top in &layer.tops {
+                produced.insert(top.as_str());
+            }
+        }
+        for conn in &self.connections {
+            for layer in [&conn.from, &conn.to] {
+                if !names.contains(layer.as_str()) {
+                    return Err(NetworkError::UnknownLayer {
+                        connection: conn.name.clone(),
+                        layer: layer.clone(),
+                    });
+                }
+            }
+        }
+        // Shape inference must succeed for the network to be accepted.
+        self.infer_shapes()?;
+        Ok(())
+    }
+
+    /// The network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Explicit `connect` blocks.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// Looks up a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&Layer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Recurrent feedback connections only.
+    pub fn recurrent_connections(&self) -> impl Iterator<Item = &Connection> {
+        self.connections
+            .iter()
+            .filter(|c| c.direction == ConnectDirection::Recurrent)
+    }
+
+    /// Whether the network contains any recurrent path (a recurrent layer
+    /// or an explicit recurrent connection).
+    pub fn is_recurrent(&self) -> bool {
+        self.recurrent_connections().next().is_some()
+            || self
+                .layers
+                .iter()
+                .any(|l| matches!(l.kind, LayerKind::Recurrent { .. }))
+    }
+
+    /// Infers the shape of every blob.
+    ///
+    /// Returns `(blob → shape)`; in-place layers overwrite their blob's
+    /// entry with the (identical) output shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ShapeError`].
+    pub fn infer_shapes(&self) -> Result<BTreeMap<String, Shape>, NetworkError> {
+        let mut shapes: BTreeMap<String, Shape> = BTreeMap::new();
+        for layer in &self.layers {
+            let inputs: Vec<Shape> = layer
+                .bottoms
+                .iter()
+                .map(|b| {
+                    shapes.get(b).copied().ok_or_else(|| NetworkError::UnknownBlob {
+                        layer: layer.name.clone(),
+                        blob: b.clone(),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let out = infer_output(layer, &inputs)?;
+            for top in &layer.tops {
+                shapes.insert(top.clone(), out);
+            }
+        }
+        Ok(shapes)
+    }
+
+    /// Shape of the blob produced by layer `name` (its first top).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownLayer`] if the layer does not exist.
+    pub fn output_shape_of(&self, name: &str) -> Result<Shape, NetworkError> {
+        let layer = self.layer(name).ok_or_else(|| NetworkError::UnknownLayer {
+            connection: String::new(),
+            layer: name.to_string(),
+        })?;
+        let shapes = self.infer_shapes()?;
+        Ok(shapes[&layer.tops[0]])
+    }
+
+    /// Shape of the (first) input layer.
+    pub fn input_shape(&self) -> Shape {
+        self.layers
+            .iter()
+            .find_map(|l| match l.kind {
+                LayerKind::Input {
+                    channels,
+                    height,
+                    width,
+                } => Some(Shape::new(channels, height, width)),
+                _ => None,
+            })
+            .expect("validated network has an input layer")
+    }
+
+    /// Blobs produced but never consumed — the network outputs.
+    pub fn output_blobs(&self) -> Vec<String> {
+        let mut consumed = BTreeSet::new();
+        for layer in &self.layers {
+            for b in &layer.bottoms {
+                // In-place layers consume and re-produce; only count a blob
+                // as consumed if a *different* blob is produced from it.
+                if !layer.tops.contains(b) {
+                    consumed.insert(b.clone());
+                }
+            }
+        }
+        let mut seen = BTreeSet::new();
+        let mut outs = Vec::new();
+        for layer in &self.layers {
+            for t in &layer.tops {
+                if !consumed.contains(t) && seen.insert(t.clone()) {
+                    outs.push(t.clone());
+                }
+            }
+        }
+        outs
+    }
+
+    /// Shape of the final output blob (the last unconsumed top).
+    pub fn output_shape(&self) -> Result<Shape, NetworkError> {
+        let shapes = self.infer_shapes()?;
+        let outs = self.output_blobs();
+        let last = outs.last().ok_or(NetworkError::Empty)?;
+        Ok(shapes[last])
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "network `{}` ({} layers)", self.name, self.layers.len())?;
+        let shapes = self.infer_shapes().map_err(|_| fmt::Error)?;
+        for layer in &self.layers {
+            let out = layer
+                .tops
+                .first()
+                .and_then(|t| shapes.get(t))
+                .map(|s| s.to_string())
+                .unwrap_or_default();
+            writeln!(
+                f,
+                "  {:<12} {:<14} -> {}",
+                layer.name,
+                layer.kind.type_name(),
+                out
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, ConnectType, ConvParam, FullParam, PoolMethod, PoolParam};
+
+    fn lenet_ish() -> Vec<Layer> {
+        vec![
+            Layer::input("data", "data", 1, 28, 28),
+            Layer::new(
+                "conv1",
+                LayerKind::Convolution(ConvParam::new(20, 5, 1)),
+                "data",
+                "conv1",
+            ),
+            Layer::new(
+                "pool1",
+                LayerKind::Pooling(PoolParam {
+                    method: PoolMethod::Max,
+                    kernel_size: 2,
+                    stride: 2,
+                }),
+                "conv1",
+                "pool1",
+            ),
+            Layer::new(
+                "ip1",
+                LayerKind::FullConnection(FullParam::dense(500)),
+                "pool1",
+                "ip1",
+            ),
+            Layer::new("relu1", LayerKind::Activation(Activation::Relu), "ip1", "ip1"),
+            Layer::new(
+                "ip2",
+                LayerKind::FullConnection(FullParam::dense(10)),
+                "ip1",
+                "ip2",
+            ),
+        ]
+    }
+
+    #[test]
+    fn builds_and_infers() {
+        let net = Network::from_layers("lenet", lenet_ish()).expect("valid");
+        let shapes = net.infer_shapes().expect("shapes");
+        assert_eq!(shapes["conv1"], Shape::new(20, 24, 24));
+        assert_eq!(shapes["pool1"], Shape::new(20, 12, 12));
+        assert_eq!(shapes["ip2"], Shape::vector(10));
+        assert_eq!(net.output_blobs(), vec!["ip2".to_string()]);
+        assert_eq!(net.output_shape().expect("shape"), Shape::vector(10));
+    }
+
+    #[test]
+    fn in_place_layer_is_not_an_output() {
+        let net = Network::from_layers("lenet", lenet_ish()).expect("valid");
+        // "ip1" is consumed by ip2 even though relu1 rewrites it in place.
+        assert!(!net.output_blobs().contains(&"ip1".to_string()));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut layers = lenet_ish();
+        layers[2].name = "conv1".into();
+        assert!(matches!(
+            Network::from_layers("bad", layers),
+            Err(NetworkError::DuplicateLayer(_))
+        ));
+    }
+
+    #[test]
+    fn undefined_blob_rejected() {
+        let layers = vec![
+            Layer::input("data", "data", 1, 8, 8),
+            Layer::new(
+                "ip",
+                LayerKind::FullConnection(FullParam::dense(2)),
+                "nonexistent",
+                "out",
+            ),
+        ];
+        assert!(matches!(
+            Network::from_layers("bad", layers),
+            Err(NetworkError::UnknownBlob { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_only_use_before_def_rejected() {
+        // A layer may not consume a blob produced later (forward direction).
+        let layers = vec![
+            Layer::input("data", "data", 1, 8, 8),
+            Layer::new(
+                "a",
+                LayerKind::FullConnection(FullParam::dense(2)),
+                "b_out",
+                "a_out",
+            ),
+            Layer::new(
+                "b",
+                LayerKind::FullConnection(FullParam::dense(2)),
+                "data",
+                "b_out",
+            ),
+        ];
+        assert!(Network::from_layers("bad", layers).is_err());
+    }
+
+    #[test]
+    fn no_input_rejected() {
+        let layers = vec![Layer::new(
+            "ip",
+            LayerKind::FullConnection(FullParam::dense(2)),
+            "x",
+            "y",
+        )];
+        assert!(matches!(
+            Network::from_layers("bad", layers),
+            Err(NetworkError::NoInput)
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            Network::from_layers("bad", vec![]),
+            Err(NetworkError::Empty)
+        ));
+    }
+
+    #[test]
+    fn recurrent_connection_detected() {
+        let layers = vec![
+            Layer::input("data", "data", 8, 1, 1),
+            Layer::new(
+                "ip1",
+                LayerKind::FullConnection(FullParam::dense(8)),
+                "data",
+                "ip1",
+            ),
+        ];
+        let conns = vec![Connection {
+            name: "p2f2".into(),
+            from: "ip1".into(),
+            to: "ip1".into(),
+            direction: ConnectDirection::Recurrent,
+            kind: ConnectType::FileSpecified("w.dat".into()),
+        }];
+        let net = Network::with_connections("rnn", layers, conns).expect("valid");
+        assert!(net.is_recurrent());
+        assert_eq!(net.recurrent_connections().count(), 1);
+    }
+
+    #[test]
+    fn connection_to_unknown_layer_rejected() {
+        let layers = vec![Layer::input("data", "data", 8, 1, 1)];
+        let conns = vec![Connection {
+            name: "c".into(),
+            from: "data".into(),
+            to: "ghost".into(),
+            direction: ConnectDirection::Forward,
+            kind: ConnectType::FullPerChannel,
+        }];
+        assert!(matches!(
+            Network::with_connections("bad", layers, conns),
+            Err(NetworkError::UnknownLayer { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_error_propagates() {
+        let layers = vec![
+            Layer::input("data", "data", 1, 4, 4),
+            Layer::new(
+                "conv",
+                LayerKind::Convolution(ConvParam::new(8, 9, 1)),
+                "data",
+                "out",
+            ),
+        ];
+        assert!(matches!(
+            Network::from_layers("bad", layers),
+            Err(NetworkError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn display_renders_all_layers() {
+        let net = Network::from_layers("lenet", lenet_ish()).expect("valid");
+        let s = net.to_string();
+        assert!(s.contains("conv1"));
+        assert!(s.contains("20x24x24"));
+    }
+}

@@ -1,0 +1,446 @@
+//! Layer definitions of the DeepBurning network IR.
+//!
+//! The set mirrors the paper's §3.2 inventory: "Currently DeepBurning
+//! supports typical convolutional layer, pooling layer, full-connection
+//! layer, recurrent layer, associative layer and other common CNN or ANN
+//! operations" plus LRN, drop-out, activation, classification and inception
+//! layers listed in the block-mapping table.
+
+use std::fmt;
+
+/// Activation function applied by an activation layer (or fused into a
+/// neuron's output stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Rectified linear unit — implemented in logic (a mux), no LUT needed.
+    Relu,
+    /// Logistic sigmoid — served from an Approx LUT.
+    Sigmoid,
+    /// Hyperbolic tangent — served from an Approx LUT.
+    Tanh,
+    /// Pass-through (linear output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Whether this function needs an Approx LUT (versus pure logic).
+    pub fn needs_lut(self) -> bool {
+        matches!(self, Activation::Sigmoid | Activation::Tanh)
+    }
+
+    /// Reference f64 evaluation, used by the trainer and the LUT filler.
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative w.r.t. the pre-activation input, for backprop.
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.eval(x);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => 1.0 - x.tanh().powi(2),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Activation::Relu => "RELU",
+            Activation::Sigmoid => "SIGMOID",
+            Activation::Tanh => "TANH",
+            Activation::Identity => "IDENTITY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pooling reduction method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolMethod {
+    /// Maximum over the window (comparator tree).
+    Max,
+    /// Average over the window (accumulator + shifting latch, the paper's
+    /// "approximate division" via the connection box).
+    Average,
+}
+
+impl fmt::Display for PoolMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PoolMethod::Max => "MAX",
+            PoolMethod::Average => "AVE",
+        })
+    }
+}
+
+/// Parameters of a convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvParam {
+    /// Number of output feature maps (`num_output` in the script).
+    pub num_output: usize,
+    /// Square kernel size `k`.
+    pub kernel_size: usize,
+    /// Stride of the sliding window.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub pad: usize,
+    /// Number of groups (AlexNet-style grouped convolution).
+    pub group: usize,
+}
+
+impl ConvParam {
+    /// Convenience constructor for an ungrouped, unpadded convolution.
+    pub fn new(num_output: usize, kernel_size: usize, stride: usize) -> Self {
+        ConvParam {
+            num_output,
+            kernel_size,
+            stride,
+            pad: 0,
+            group: 1,
+        }
+    }
+
+    /// Returns a copy with padding set.
+    pub fn with_pad(mut self, pad: usize) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Returns a copy with the group count set.
+    pub fn with_group(mut self, group: usize) -> Self {
+        self.group = group;
+        self
+    }
+}
+
+/// Parameters of a pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolParam {
+    /// Reduction method.
+    pub method: PoolMethod,
+    /// Square window size `p`.
+    pub kernel_size: usize,
+    /// Window stride.
+    pub stride: usize,
+}
+
+/// Parameters of a fully-connected (inner-product) layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FullParam {
+    /// Number of output neurons.
+    pub num_output: usize,
+    /// Fraction (per mille) of synapses realised; `1000` is a dense layer.
+    /// The paper notes FC layers "can be partially connected".
+    pub connectivity_permille: u32,
+}
+
+impl FullParam {
+    /// Dense FC layer with `num_output` neurons.
+    pub fn dense(num_output: usize) -> Self {
+        FullParam {
+            num_output,
+            connectivity_permille: 1000,
+        }
+    }
+}
+
+/// Parameters of a local-response-normalisation layer (AlexNet-style LRN,
+/// also covers LCN in the block mapping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrnParam {
+    /// Number of adjacent channels normalised over.
+    pub local_size: usize,
+    /// Scaling coefficient.
+    pub alpha: f64,
+    /// Exponent.
+    pub beta: f64,
+}
+
+impl Default for LrnParam {
+    fn default() -> Self {
+        LrnParam {
+            local_size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+        }
+    }
+}
+
+/// Parameters of an inception (GoogLeNet-style) composite layer: parallel
+/// 1×1 / 3×3 / 5×5 convolutions plus a pooled 1×1 projection, concatenated
+/// over channels. Mapped to "pooling-unit + synergy neuron + accumulators".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InceptionParam {
+    /// Output channels of the 1×1 branch.
+    pub c1x1: usize,
+    /// Output channels of the 3×3 branch.
+    pub c3x3: usize,
+    /// Output channels of the 5×5 branch.
+    pub c5x5: usize,
+    /// Output channels of the pool-projection branch.
+    pub cpool: usize,
+}
+
+impl InceptionParam {
+    /// Total concatenated output channels.
+    pub fn total_output(self) -> usize {
+        self.c1x1 + self.c3x3 + self.c5x5 + self.cpool
+    }
+}
+
+/// The operator a layer performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerKind {
+    /// Network input (`data` blob) with an explicit shape.
+    Input {
+        /// Channels of the input volume.
+        channels: usize,
+        /// Height in pixels.
+        height: usize,
+        /// Width in pixels.
+        width: usize,
+    },
+    /// 2-D convolution.
+    Convolution(ConvParam),
+    /// Spatial pooling.
+    Pooling(PoolParam),
+    /// Fully-connected layer.
+    FullConnection(FullParam),
+    /// Element-wise activation.
+    Activation(Activation),
+    /// Local response normalisation.
+    Lrn(LrnParam),
+    /// Drop-out inserter (inference mode: scales by `1 - ratio`).
+    Dropout {
+        /// Fraction of units dropped during training.
+        ratio: f64,
+    },
+    /// Recurrent layer: an FC layer whose output feeds back through the
+    /// connection box on the next time step.
+    Recurrent {
+        /// Number of state neurons.
+        num_output: usize,
+        /// Steps the network is unrolled for during propagation.
+        steps: usize,
+    },
+    /// Associative (CMAC-style) layer: a sparse table lookup of
+    /// `active_cells` weights per input point.
+    Associative {
+        /// Total number of memory cells.
+        table_size: usize,
+        /// Cells activated (and summed) per query.
+        active_cells: usize,
+    },
+    /// Memory layer — pure connection-box storage of intermediate values.
+    Memory {
+        /// Words retained.
+        words: usize,
+    },
+    /// Classification layer (arg-max / top-k via the K-sorter block).
+    Classifier {
+        /// How many top entries the K-sorter must report.
+        top_k: usize,
+    },
+    /// GoogLeNet-style inception block.
+    Inception(InceptionParam),
+    /// Element-wise concatenation of the bottoms along channels.
+    Concat,
+    /// Element-wise sum of the bottoms.
+    Eltwise,
+}
+
+impl LayerKind {
+    /// Short type tag as it appears in the descriptive script.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            LayerKind::Input { .. } => "INPUT",
+            LayerKind::Convolution(_) => "CONVOLUTION",
+            LayerKind::Pooling(_) => "POOLING",
+            LayerKind::FullConnection(_) => "INNER_PRODUCT",
+            LayerKind::Activation(Activation::Relu) => "RELU",
+            LayerKind::Activation(Activation::Sigmoid) => "SIGMOID",
+            LayerKind::Activation(Activation::Tanh) => "TANH",
+            LayerKind::Activation(Activation::Identity) => "LINEAR",
+            LayerKind::Lrn(_) => "LRN",
+            LayerKind::Dropout { .. } => "DROPOUT",
+            LayerKind::Recurrent { .. } => "RECURRENT",
+            LayerKind::Associative { .. } => "ASSOCIATIVE",
+            LayerKind::Memory { .. } => "MEMORY",
+            LayerKind::Classifier { .. } => "CLASSIFIER",
+            LayerKind::Inception(_) => "INCEPTION",
+            LayerKind::Concat => "CONCAT",
+            LayerKind::Eltwise => "ELTWISE",
+        }
+    }
+
+    /// Whether the layer owns trained weights.
+    pub fn has_weights(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Convolution(_)
+                | LayerKind::FullConnection(_)
+                | LayerKind::Recurrent { .. }
+                | LayerKind::Associative { .. }
+                | LayerKind::Inception(_)
+        )
+    }
+}
+
+/// How a `connect` block routes data between layers (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConnectDirection {
+    /// Normal forward-propagation edge.
+    #[default]
+    Forward,
+    /// Feedback edge closing a recurrent loop; excluded from the
+    /// topological order and replayed across time steps.
+    Recurrent,
+}
+
+/// Connectivity pattern of a `connect` block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum ConnectType {
+    /// Every producer channel feeds the consumer ("full per channel").
+    #[default]
+    FullPerChannel,
+    /// Sparse pattern loaded from a side file ("file_specified"); we keep
+    /// the file name as an opaque tag.
+    FileSpecified(String),
+}
+
+/// An explicit inter-layer connection from the descriptive script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Connection {
+    /// Connection name, e.g. `c2p1`.
+    pub name: String,
+    /// Producer layer name.
+    pub from: String,
+    /// Consumer layer name.
+    pub to: String,
+    /// Forward or recurrent.
+    pub direction: ConnectDirection,
+    /// Connectivity pattern.
+    pub kind: ConnectType,
+}
+
+/// A named layer instance: operator + blob wiring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Unique layer name.
+    pub name: String,
+    /// The operator.
+    pub kind: LayerKind,
+    /// Input blob names (`bottom` in the script).
+    pub bottoms: Vec<String>,
+    /// Output blob names (`top`).
+    pub tops: Vec<String>,
+}
+
+impl Layer {
+    /// Creates a single-input single-output layer.
+    pub fn new(
+        name: impl Into<String>,
+        kind: LayerKind,
+        bottom: impl Into<String>,
+        top: impl Into<String>,
+    ) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+            bottoms: vec![bottom.into()],
+            tops: vec![top.into()],
+        }
+    }
+
+    /// Creates an input layer producing blob `top`.
+    pub fn input(name: impl Into<String>, top: impl Into<String>, c: usize, h: usize, w: usize) -> Self {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Input {
+                channels: c,
+                height: h,
+                width: w,
+            },
+            bottoms: Vec::new(),
+            tops: vec![top.into()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_eval_and_derivative() {
+        assert_eq!(Activation::Relu.eval(-1.0), 0.0);
+        assert_eq!(Activation::Relu.eval(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+        assert!((Activation::Sigmoid.eval(0.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Sigmoid.derivative(0.0) - 0.25).abs() < 1e-12);
+        assert!((Activation::Tanh.eval(0.0)).abs() < 1e-12);
+        assert_eq!(Activation::Identity.eval(3.5), 3.5);
+        assert_eq!(Activation::Identity.derivative(3.5), 1.0);
+    }
+
+    #[test]
+    fn lut_need() {
+        assert!(!Activation::Relu.needs_lut());
+        assert!(Activation::Sigmoid.needs_lut());
+        assert!(Activation::Tanh.needs_lut());
+    }
+
+    #[test]
+    fn conv_param_builder() {
+        let p = ConvParam::new(96, 11, 4).with_pad(2).with_group(2);
+        assert_eq!(p.num_output, 96);
+        assert_eq!(p.pad, 2);
+        assert_eq!(p.group, 2);
+    }
+
+    #[test]
+    fn inception_total() {
+        let p = InceptionParam {
+            c1x1: 64,
+            c3x3: 128,
+            c5x5: 32,
+            cpool: 32,
+        };
+        assert_eq!(p.total_output(), 256);
+    }
+
+    #[test]
+    fn type_names_stable() {
+        assert_eq!(LayerKind::Convolution(ConvParam::new(1, 3, 1)).type_name(), "CONVOLUTION");
+        assert_eq!(LayerKind::Activation(Activation::Relu).type_name(), "RELU");
+        assert_eq!(LayerKind::Classifier { top_k: 1 }.type_name(), "CLASSIFIER");
+    }
+
+    #[test]
+    fn has_weights_classification() {
+        assert!(LayerKind::FullConnection(FullParam::dense(10)).has_weights());
+        assert!(!LayerKind::Pooling(PoolParam {
+            method: PoolMethod::Max,
+            kernel_size: 2,
+            stride: 2
+        })
+        .has_weights());
+    }
+}

@@ -1,0 +1,131 @@
+//! Neural-network IR for DeepBurning: layer definitions, the network graph,
+//! shape inference, static analysis and the Caffe-compatible descriptive
+//! script parser (paper Fig. 4).
+//!
+//! A [`Network`] is the input to the NN-Gen generator: a list of layers in
+//! execution order wired through named blobs, optionally carrying explicit
+//! `connect` blocks for recurrent edges.
+//!
+//! # Examples
+//!
+//! Parse the descriptive script and inspect shapes:
+//!
+//! ```
+//! let src = r#"
+//! name: "tiny"
+//! layers { name: "data" type: INPUT top: "data"
+//!          input_param { channels: 1 height: 12 width: 12 } }
+//! layers { name: "conv1" type: CONVOLUTION bottom: "data" top: "conv1"
+//!          param { num_output: 4 kernel_size: 3 stride: 1 } }
+//! layers { name: "pool1" type: POOLING bottom: "conv1" top: "pool1"
+//!          pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+//! "#;
+//! let net = deepburning_model::parse_network(src)?;
+//! let shapes = net.infer_shapes()?;
+//! assert_eq!(shapes["pool1"].to_string(), "4x5x5");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod analysis;
+mod builder;
+mod graph;
+mod layer;
+mod prototxt;
+mod shape;
+mod writer;
+
+pub use analysis::{
+    decompose, layer_stats, network_stats, training_stats, weight_bytes, Decomposition,
+    LayerStats, NetworkStats, TrainingStats,
+};
+pub use builder::NetworkBuilder;
+pub use graph::{Network, NetworkError};
+pub use layer::{
+    Activation, ConnectDirection, ConnectType, Connection, ConvParam, FullParam, InceptionParam,
+    Layer, LayerKind, LrnParam, PoolMethod, PoolParam,
+};
+pub use prototxt::{parse_network, ParseError, ScriptError};
+pub use shape::{infer_output, Shape, ShapeError};
+pub use writer::emit_prototxt;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_conv() -> impl Strategy<Value = (usize, usize, usize, usize, usize)> {
+        // (in_ch, extent, num_output, kernel, stride)
+        (1usize..8, 4usize..40, 1usize..32, 1usize..6, 1usize..4)
+            .prop_filter("kernel fits", |(_, e, _, k, _)| k <= e)
+    }
+
+    proptest! {
+        #[test]
+        fn conv_output_extent_consistent((ci, e, co, k, s) in arb_conv()) {
+            let l = Layer::new("c", LayerKind::Convolution(ConvParam::new(co, k, s)), "in", "out");
+            let out = infer_output(&l, &[Shape::new(ci, e, e)]).expect("fits");
+            // Re-deriving the input extent from the output must cover the kernel.
+            prop_assert!( (out.height - 1) * s + k <= e );
+            prop_assert!( e < (out.height) * s + k );
+            prop_assert_eq!(out.channels, co);
+        }
+
+        #[test]
+        fn conv_macs_equal_weights_times_spatial((ci, e, co, k, s) in arb_conv()) {
+            let l = Layer::new("c", LayerKind::Convolution(ConvParam::new(co, k, s)), "in", "out");
+            let input = Shape::new(ci, e, e);
+            let out = infer_output(&l, &[input]).expect("fits");
+            let stats = layer_stats(&l, &[input], out);
+            // MACs = (weights - biases) * output spatial positions.
+            let kernel_weights = (co * ci * k * k) as u64;
+            prop_assert_eq!(stats.macs, kernel_weights * (out.height * out.width) as u64);
+        }
+
+        #[test]
+        fn pool_never_increases_extent(e in 2usize..64, k in 1usize..5, s in 1usize..4) {
+            prop_assume!(k <= e);
+            let l = Layer::new("p", LayerKind::Pooling(PoolParam {
+                method: PoolMethod::Max, kernel_size: k, stride: s,
+            }), "in", "out");
+            let out = infer_output(&l, &[Shape::new(3, e, e)]).expect("fits");
+            prop_assert!(out.height <= e && out.width <= e);
+            prop_assert_eq!(out.channels, 3);
+        }
+
+        #[test]
+        fn prototxt_roundtrip_random_chains(
+            specs in proptest::collection::vec((1usize..32, 0usize..3), 1..6)
+        ) {
+            // Random sequential FC/activation chains must round-trip
+            // through emit_prototxt -> parse_network unchanged.
+            let mut b = NetworkBuilder::new("rt", 4, 1, 1);
+            for (i, (n, act)) in specs.iter().enumerate() {
+                b = b.full(&format!("fc{i}"), *n);
+                b = match act {
+                    0 => b,
+                    1 => b.activation(&format!("a{i}"), Activation::Sigmoid),
+                    _ => b.activation(&format!("a{i}"), Activation::Relu),
+                };
+            }
+            let net = b.build().expect("builds");
+            let back = parse_network(&emit_prototxt(&net)).expect("re-parses");
+            prop_assert_eq!(back, net);
+        }
+
+        #[test]
+        fn stats_totals_monotone_in_layer_count(n in 1usize..6) {
+            let mut layers = vec![Layer::input("data", "data", 2, 1, 1)];
+            let mut prev = "data".to_string();
+            for i in 0..n {
+                let name = format!("fc{i}");
+                layers.push(Layer::new(&name, LayerKind::FullConnection(FullParam::dense(4)), &prev, &name));
+                prev = name;
+            }
+            let net = Network::from_layers("chain", layers).expect("valid");
+            let stats = network_stats(&net).expect("stats");
+            prop_assert_eq!(stats.per_layer.len(), n + 1);
+            // First FC: 2*4 MACs, the rest 4*4 each.
+            prop_assert_eq!(stats.total.macs, 8 + 16 * (n as u64 - 1));
+        }
+    }
+}

@@ -1,0 +1,765 @@
+//! Parser for the Caffe-compatible descriptive script (paper Fig. 4).
+//!
+//! The dialect is the prototxt layer syntax with DeepBurning extensions:
+//! "The type of layers is redefinable to support more classes of layer or
+//! operation than that in original Caffe" — we add `RECURRENT`,
+//! `ASSOCIATIVE`, `MEMORY`, `CLASSIFIER` and `INCEPTION` types plus the
+//! `connect { ... }` block that routes recurrent edges.
+
+use crate::graph::{Network, NetworkError};
+use crate::layer::{
+    Activation, ConnectDirection, ConnectType, Connection, ConvParam, FullParam, InceptionParam,
+    Layer, LayerKind, LrnParam, PoolMethod, PoolParam,
+};
+use std::fmt;
+
+/// Error raised while parsing a descriptive script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error returned by [`parse_network`]: either a syntax error or a
+/// semantically invalid network.
+#[derive(Debug)]
+pub enum ScriptError {
+    /// The script did not parse.
+    Parse(ParseError),
+    /// The parsed network failed validation.
+    Network(NetworkError),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Parse(e) => write!(f, "parse error: {e}"),
+            ScriptError::Network(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScriptError::Parse(e) => Some(e),
+            ScriptError::Network(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for ScriptError {
+    fn from(e: ParseError) -> Self {
+        ScriptError::Parse(e)
+    }
+}
+
+impl From<NetworkError> for ScriptError {
+    fn from(e: NetworkError) -> Self {
+        ScriptError::Network(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Number(f64),
+    LBrace,
+    RBrace,
+    Colon,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    token: Token,
+    line: usize,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                out.push(Spanned {
+                    token: Token::LBrace,
+                    line,
+                });
+                chars.next();
+            }
+            '}' => {
+                out.push(Spanned {
+                    token: Token::RBrace,
+                    line,
+                });
+                chars.next();
+            }
+            ':' => {
+                out.push(Spanned {
+                    token: Token::Colon,
+                    line,
+                });
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(ParseError {
+                                line,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || "+-.eE".contains(c) {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = s.parse().map_err(|_| ParseError {
+                    line,
+                    message: format!("malformed number `{s}`"),
+                })?;
+                out.push(Spanned {
+                    token: Token::Number(n),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Ident(s),
+                    line,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A parsed `key: value` or `key { ... }` field tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Ident(String),
+    Number(f64),
+    Block(Vec<(String, Value)>),
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    /// Parses fields until EOF or a closing brace (not consumed by caller).
+    fn parse_fields(&mut self) -> Result<Vec<(String, Value)>, ParseError> {
+        let mut fields = Vec::new();
+        loop {
+            match self.peek().map(|t| t.token.clone()) {
+                None | Some(Token::RBrace) => return Ok(fields),
+                Some(Token::Ident(key)) => {
+                    self.next();
+                    match self.peek().map(|t| t.token.clone()) {
+                        Some(Token::Colon) => {
+                            self.next();
+                            let v = match self.next().map(|t| t.token) {
+                                Some(Token::Str(s)) => Value::Str(s),
+                                Some(Token::Ident(s)) => Value::Ident(s),
+                                Some(Token::Number(n)) => Value::Number(n),
+                                _ => return Err(self.err(format!("expected value after `{key}:`"))),
+                            };
+                            fields.push((key, v));
+                        }
+                        Some(Token::LBrace) => {
+                            self.next();
+                            let inner = self.parse_fields()?;
+                            match self.next().map(|t| t.token) {
+                                Some(Token::RBrace) => {}
+                                _ => return Err(self.err(format!("unclosed block `{key}`"))),
+                            }
+                            fields.push((key, Value::Block(inner)));
+                        }
+                        _ => {
+                            return Err(self.err(format!("expected `:` or `{{` after `{key}`")));
+                        }
+                    }
+                }
+                Some(t) => return Err(self.err(format!("unexpected token {t:?}"))),
+            }
+        }
+    }
+}
+
+fn get_str<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        Value::Str(s) | Value::Ident(s) => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+fn get_num(fields: &[(String, Value)], key: &str) -> Option<f64> {
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        Value::Number(n) => Some(*n),
+        _ => None,
+    })
+}
+
+fn get_usize(fields: &[(String, Value)], key: &str) -> Option<usize> {
+    get_num(fields, key).map(|n| n as usize)
+}
+
+fn get_all<'a>(fields: &'a [(String, Value)], key: &str) -> Vec<&'a Value> {
+    fields
+        .iter()
+        .filter(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .collect()
+}
+
+fn first_block<'a>(fields: &'a [(String, Value)], keys: &[&str]) -> Option<&'a [(String, Value)]> {
+    for key in keys {
+        if let Some(Value::Block(b)) = fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+            return Some(b);
+        }
+    }
+    None
+}
+
+fn layer_kind(
+    type_name: &str,
+    fields: &[(String, Value)],
+    line: usize,
+) -> Result<LayerKind, ParseError> {
+    let missing = |what: &str| ParseError {
+        line,
+        message: format!("{type_name} layer missing `{what}`"),
+    };
+    let param = first_block(fields, &["param", "convolution_param"]);
+    match type_name {
+        "INPUT" | "DATA" => {
+            let p = first_block(fields, &["input_param", "param"]).ok_or_else(|| missing("input_param"))?;
+            Ok(LayerKind::Input {
+                channels: get_usize(p, "channels").ok_or_else(|| missing("channels"))?,
+                height: get_usize(p, "height").ok_or_else(|| missing("height"))?,
+                width: get_usize(p, "width").ok_or_else(|| missing("width"))?,
+            })
+        }
+        "CONVOLUTION" => {
+            let p = param.ok_or_else(|| missing("param"))?;
+            Ok(LayerKind::Convolution(ConvParam {
+                num_output: get_usize(p, "num_output").ok_or_else(|| missing("num_output"))?,
+                kernel_size: get_usize(p, "kernel_size").ok_or_else(|| missing("kernel_size"))?,
+                stride: get_usize(p, "stride").unwrap_or(1),
+                pad: get_usize(p, "pad").unwrap_or(0),
+                group: get_usize(p, "group").unwrap_or(1),
+            }))
+        }
+        "POOLING" => {
+            let p = first_block(fields, &["pooling_param", "param"]).ok_or_else(|| missing("pooling_param"))?;
+            let method = match get_str(p, "pool").unwrap_or("MAX") {
+                "MAX" => PoolMethod::Max,
+                "AVE" | "AVERAGE" => PoolMethod::Average,
+                other => {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unknown pool method `{other}`"),
+                    })
+                }
+            };
+            Ok(LayerKind::Pooling(PoolParam {
+                method,
+                kernel_size: get_usize(p, "kernel_size").ok_or_else(|| missing("kernel_size"))?,
+                stride: get_usize(p, "stride").unwrap_or(1),
+            }))
+        }
+        "INNER_PRODUCT" | "FULL_CONNECTION" | "FC" => {
+            let p = first_block(fields, &["inner_product_param", "param"]).ok_or_else(|| missing("param"))?;
+            Ok(LayerKind::FullConnection(FullParam {
+                num_output: get_usize(p, "num_output").ok_or_else(|| missing("num_output"))?,
+                connectivity_permille: get_usize(p, "connectivity_permille").unwrap_or(1000) as u32,
+            }))
+        }
+        "RELU" => Ok(LayerKind::Activation(Activation::Relu)),
+        "SIGMOID" => Ok(LayerKind::Activation(Activation::Sigmoid)),
+        "TANH" => Ok(LayerKind::Activation(Activation::Tanh)),
+        "LINEAR" => Ok(LayerKind::Activation(Activation::Identity)),
+        "LRN" => {
+            let p = first_block(fields, &["lrn_param", "param"]);
+            let mut lrn = LrnParam::default();
+            if let Some(p) = p {
+                if let Some(n) = get_usize(p, "local_size") {
+                    lrn.local_size = n;
+                }
+                if let Some(a) = get_num(p, "alpha") {
+                    lrn.alpha = a;
+                }
+                if let Some(b) = get_num(p, "beta") {
+                    lrn.beta = b;
+                }
+            }
+            Ok(LayerKind::Lrn(lrn))
+        }
+        "DROPOUT" => {
+            let ratio = first_block(fields, &["dropout_param", "param"])
+                .and_then(|p| get_num(p, "dropout_ratio"))
+                .unwrap_or(0.5);
+            Ok(LayerKind::Dropout { ratio })
+        }
+        "RECURRENT" => {
+            let p = first_block(fields, &["recurrent_param", "param"]).ok_or_else(|| missing("param"))?;
+            Ok(LayerKind::Recurrent {
+                num_output: get_usize(p, "num_output").ok_or_else(|| missing("num_output"))?,
+                steps: get_usize(p, "steps").unwrap_or(1),
+            })
+        }
+        "ASSOCIATIVE" => {
+            let p = first_block(fields, &["associative_param", "param"]).ok_or_else(|| missing("param"))?;
+            Ok(LayerKind::Associative {
+                table_size: get_usize(p, "table_size").ok_or_else(|| missing("table_size"))?,
+                active_cells: get_usize(p, "active_cells").ok_or_else(|| missing("active_cells"))?,
+            })
+        }
+        "MEMORY" => {
+            let p = first_block(fields, &["memory_param", "param"]).ok_or_else(|| missing("param"))?;
+            Ok(LayerKind::Memory {
+                words: get_usize(p, "words").ok_or_else(|| missing("words"))?,
+            })
+        }
+        "CLASSIFIER" | "SOFTMAX" | "ARGMAX" => {
+            let top_k = first_block(fields, &["classifier_param", "param"])
+                .and_then(|p| get_usize(p, "top_k"))
+                .unwrap_or(1);
+            Ok(LayerKind::Classifier { top_k })
+        }
+        "INCEPTION" => {
+            let p = first_block(fields, &["inception_param", "param"]).ok_or_else(|| missing("param"))?;
+            Ok(LayerKind::Inception(InceptionParam {
+                c1x1: get_usize(p, "c1x1").unwrap_or(0),
+                c3x3: get_usize(p, "c3x3").unwrap_or(0),
+                c5x5: get_usize(p, "c5x5").unwrap_or(0),
+                cpool: get_usize(p, "cpool").unwrap_or(0),
+            }))
+        }
+        "CONCAT" => Ok(LayerKind::Concat),
+        "ELTWISE" => Ok(LayerKind::Eltwise),
+        other => Err(ParseError {
+            line,
+            message: format!("unknown layer type `{other}`"),
+        }),
+    }
+}
+
+fn parse_connect(
+    owner: &str,
+    fields: &[(String, Value)],
+    line: usize,
+) -> Result<Connection, ParseError> {
+    let name = get_str(fields, "name")
+        .ok_or_else(|| ParseError {
+            line,
+            message: "connect block missing `name`".into(),
+        })?
+        .to_string();
+    let direction = match get_str(fields, "direction").unwrap_or("forward") {
+        "forward" => ConnectDirection::Forward,
+        "recurrent" => ConnectDirection::Recurrent,
+        other => {
+            return Err(ParseError {
+                line,
+                message: format!("unknown connect direction `{other}`"),
+            })
+        }
+    };
+    let kind = match get_str(fields, "type").unwrap_or("full_per_channel") {
+        "full_per_channel" | "full" => ConnectType::FullPerChannel,
+        "file_specified" => {
+            ConnectType::FileSpecified(get_str(fields, "file").unwrap_or("").to_string())
+        }
+        other => {
+            return Err(ParseError {
+                line,
+                message: format!("unknown connect type `{other}`"),
+            })
+        }
+    };
+    let from = get_str(fields, "from").unwrap_or(owner).to_string();
+    let to = get_str(fields, "to").unwrap_or(owner).to_string();
+    Ok(Connection {
+        name,
+        from,
+        to,
+        direction,
+        kind,
+    })
+}
+
+/// Parses a descriptive script into a validated [`Network`].
+///
+/// # Errors
+///
+/// Returns [`ScriptError::Parse`] on syntax errors (with line numbers) and
+/// [`ScriptError::Network`] if the parsed network fails validation.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+/// name: "tiny"
+/// layers {
+///   name: "data" type: INPUT top: "data"
+///   input_param { channels: 1 height: 8 width: 8 }
+/// }
+/// layers {
+///   name: "ip1" type: INNER_PRODUCT bottom: "data" top: "ip1"
+///   param { num_output: 4 }
+/// }
+/// "#;
+/// let net = deepburning_model::parse_network(src)?;
+/// assert_eq!(net.name(), "tiny");
+/// assert_eq!(net.layers().len(), 2);
+/// # Ok::<(), deepburning_model::ScriptError>(())
+/// ```
+pub fn parse_network(src: &str) -> Result<Network, ScriptError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let fields = parser.parse_fields()?;
+    if parser.peek().is_some() {
+        return Err(ParseError {
+            line: parser.line(),
+            message: "unexpected `}` at top level".into(),
+        }
+        .into());
+    }
+    let net_name = get_str(&fields, "name").unwrap_or("network").to_string();
+    let mut layers = Vec::new();
+    let mut connections = Vec::new();
+    for (key, value) in &fields {
+        if key != "layers" && key != "layer" {
+            continue;
+        }
+        let Value::Block(lf) = value else {
+            return Err(ParseError {
+                line: 0,
+                message: "`layers` must be a block".into(),
+            }
+            .into());
+        };
+        let lname = get_str(lf, "name")
+            .ok_or_else(|| ParseError {
+                line: 0,
+                message: "layer missing `name`".into(),
+            })?
+            .to_string();
+        let ltype = get_str(lf, "type").ok_or_else(|| ParseError {
+            line: 0,
+            message: format!("layer `{lname}` missing `type`"),
+        })?;
+        let kind = layer_kind(ltype, lf, 0)?;
+        let bottoms: Vec<String> = get_all(lf, "bottom")
+            .into_iter()
+            .filter_map(|v| match v {
+                Value::Str(s) | Value::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut tops: Vec<String> = get_all(lf, "top")
+            .into_iter()
+            .filter_map(|v| match v {
+                Value::Str(s) | Value::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        if tops.is_empty() {
+            tops.push(lname.clone());
+        }
+        for c in get_all(lf, "connect") {
+            if let Value::Block(cf) = c {
+                connections.push(parse_connect(&lname, cf, 0)?);
+            }
+        }
+        layers.push(Layer {
+            name: lname,
+            kind,
+            bottoms,
+            tops,
+        });
+    }
+    Ok(Network::with_connections(net_name, layers, connections)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    const PAPER_EXAMPLE: &str = r#"
+    name: "fig4"
+    layers {
+      name: "data" type: INPUT top: "data"
+      input_param { channels: 1 height: 28 width: 28 }
+    }
+    layers {
+      name: "conv1"
+      type: CONVOLUTION
+      bottom: "data"
+      top: "conv1"
+      param {
+        num_output: 20
+        kernel_size: 5
+        stride: 1 }
+      connect {
+        name: "c2p1"
+        direction: forward
+        type: full_per_channel }
+    }
+    layers {
+      name: "pool1"
+      type: POOLING
+      bottom: "conv1"
+      top: "pool1"
+      pooling_param {
+        pool: MAX
+        kernel_size: 2
+        stride: 2
+      }
+    }
+    layers {
+      name: "ip1" type: INNER_PRODUCT bottom: "pool1" top: "ip1"
+      param { num_output: 64 }
+    }
+    layers {
+      name: "relu1"
+      type: RELU
+      bottom: "ip1"
+      top: "ip1"
+      connect {
+        name: "p2f2"
+        direction: recurrent
+        type: file_specified }
+    }
+    "#;
+
+    #[test]
+    fn parses_paper_fig4_script() {
+        let net = parse_network(PAPER_EXAMPLE).expect("parses");
+        assert_eq!(net.name(), "fig4");
+        assert_eq!(net.layers().len(), 5);
+        let shapes = net.infer_shapes().expect("shapes");
+        assert_eq!(shapes["conv1"], Shape::new(20, 24, 24));
+        assert_eq!(shapes["pool1"], Shape::new(20, 12, 12));
+        assert_eq!(net.connections().len(), 2);
+        assert!(net.is_recurrent());
+    }
+
+    #[test]
+    fn connect_defaults_to_owner() {
+        let net = parse_network(PAPER_EXAMPLE).expect("parses");
+        let rec = net.recurrent_connections().next().expect("recurrent edge");
+        assert_eq!(rec.name, "p2f2");
+        assert_eq!(rec.from, "relu1");
+        assert_eq!(rec.to, "relu1");
+    }
+
+    #[test]
+    fn comments_and_whitespace_tolerated() {
+        let src = r#"
+        # a comment
+        name: "c"  # trailing comment
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 2 height: 4 width: 4 } }
+        "#;
+        let net = parse_network(src).expect("parses");
+        assert_eq!(net.input_shape(), Shape::new(2, 4, 4));
+    }
+
+    #[test]
+    fn missing_type_is_an_error() {
+        let src = r#"layers { name: "x" top: "x" }"#;
+        let e = parse_network(src).unwrap_err();
+        assert!(e.to_string().contains("missing `type`"), "{e}");
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        let src = r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 1 height: 4 width: 4 } }
+        layers { name: "x" type: WARP bottom: "data" top: "x" }
+        "#;
+        let e = parse_network(src).unwrap_err();
+        assert!(e.to_string().contains("unknown layer type"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_string_reports_line() {
+        let src = "name: \"oops\nlayers { }";
+        match parse_network(src) {
+            Err(ScriptError::Parse(p)) => assert_eq!(p.line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_block_is_an_error() {
+        let src = r#"layers { name: "data" type: INPUT top: "data" "#;
+        assert!(matches!(parse_network(src), Err(ScriptError::Parse(_))));
+    }
+
+    #[test]
+    fn default_top_is_layer_name() {
+        let src = r#"
+        layers { name: "data" type: INPUT
+                 input_param { channels: 1 height: 4 width: 4 } }
+        layers { name: "fc" type: FC bottom: "data"
+                 param { num_output: 3 } }
+        "#;
+        let net = parse_network(src).expect("parses");
+        assert_eq!(net.output_blobs(), vec!["fc".to_string()]);
+    }
+
+    #[test]
+    fn average_pooling_and_lrn_parse() {
+        let src = r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 4 height: 8 width: 8 } }
+        layers { name: "lrn" type: LRN bottom: "data" top: "lrn"
+                 lrn_param { local_size: 3 alpha: 0.0001 beta: 0.75 } }
+        layers { name: "pool" type: POOLING bottom: "lrn" top: "pool"
+                 pooling_param { pool: AVE kernel_size: 2 stride: 2 } }
+        "#;
+        let net = parse_network(src).expect("parses");
+        assert_eq!(net.output_shape().expect("shape"), Shape::new(4, 4, 4));
+        match &net.layer("lrn").expect("layer").kind {
+            LayerKind::Lrn(p) => {
+                assert_eq!(p.local_size, 3);
+                assert!((p.beta - 0.75).abs() < 1e-12);
+            }
+            other => panic!("expected LRN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantic_error_surfaces_as_network_error() {
+        // References a blob that is never produced.
+        let src = r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 1 height: 4 width: 4 } }
+        layers { name: "fc" type: FC bottom: "ghost" top: "out"
+                 param { num_output: 3 } }
+        "#;
+        assert!(matches!(parse_network(src), Err(ScriptError::Network(_))));
+    }
+
+    #[test]
+    fn recurrent_and_associative_types() {
+        let src = r#"
+        name: "cmac"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 6 height: 1 width: 1 } }
+        layers { name: "assoc" type: ASSOCIATIVE bottom: "data" top: "assoc"
+                 associative_param { table_size: 1024 active_cells: 16 } }
+        layers { name: "rec" type: RECURRENT bottom: "assoc" top: "rec"
+                 recurrent_param { num_output: 8 steps: 4 }
+                 connect { name: "fb" direction: recurrent type: full } }
+        "#;
+        let net = parse_network(src).expect("parses");
+        assert!(net.is_recurrent());
+        assert_eq!(net.output_shape().expect("shape"), Shape::vector(8));
+    }
+
+    #[test]
+    fn number_forms() {
+        let src = r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 1 height: 8 width: 8 } }
+        layers { name: "drop" type: DROPOUT bottom: "data" top: "drop"
+                 dropout_param { dropout_ratio: 0.4 } }
+        "#;
+        let net = parse_network(src).expect("parses");
+        match net.layer("drop").expect("layer").kind {
+            LayerKind::Dropout { ratio } => assert!((ratio - 0.4).abs() < 1e-12),
+            ref other => panic!("expected dropout, got {other:?}"),
+        }
+    }
+}

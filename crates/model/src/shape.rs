@@ -1,0 +1,393 @@
+//! Blob shapes and per-layer shape inference.
+
+use crate::layer::{Layer, LayerKind};
+use std::fmt;
+
+/// The shape of a feature blob: `channels × height × width` (no batch
+/// dimension — the accelerator streams one input set at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Feature maps (`D_in` / `D_out` in paper Fig. 1).
+    pub channels: usize,
+    /// Map height `Y`.
+    pub height: usize,
+    /// Map width `X`.
+    pub width: usize,
+}
+
+impl Shape {
+    /// A volume shape.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Shape {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// A flat vector of `n` values (FC layer I/O).
+    pub fn vector(n: usize) -> Self {
+        Shape {
+            channels: n,
+            height: 1,
+            width: 1,
+        }
+    }
+
+    /// Total element count.
+    pub fn elements(self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Whether this is a flat vector (1×1 spatial extent).
+    pub fn is_vector(self) -> bool {
+        self.height == 1 && self.width == 1
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+/// Error produced when a layer cannot infer its output shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShapeError {
+    /// Kernel (plus padding) larger than the input map.
+    KernelExceedsInput {
+        /// Offending layer.
+        layer: String,
+        /// Kernel size.
+        kernel: usize,
+        /// Input extent (min of padded height/width).
+        input: usize,
+    },
+    /// A stride of zero was specified.
+    ZeroStride {
+        /// Offending layer.
+        layer: String,
+    },
+    /// Grouped convolution whose channel counts don't divide by the group.
+    BadGrouping {
+        /// Offending layer.
+        layer: String,
+        /// Input channels.
+        channels: usize,
+        /// Group count.
+        group: usize,
+    },
+    /// The layer kind requires a vector input but got a volume (or needs at
+    /// least one bottom and got none).
+    BadInput {
+        /// Offending layer.
+        layer: String,
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::KernelExceedsInput {
+                layer,
+                kernel,
+                input,
+            } => write!(
+                f,
+                "layer `{layer}`: kernel {kernel} exceeds padded input extent {input}"
+            ),
+            ShapeError::ZeroStride { layer } => write!(f, "layer `{layer}`: stride must be non-zero"),
+            ShapeError::BadGrouping {
+                layer,
+                channels,
+                group,
+            } => write!(
+                f,
+                "layer `{layer}`: {channels} channels not divisible into {group} groups"
+            ),
+            ShapeError::BadInput { layer, detail } => {
+                write!(f, "layer `{layer}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Output spatial extent of a sliding window: `(in + 2*pad - k) / s + 1`.
+fn window_out(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Infers the output shape of `layer` given its (single merged) input shape.
+///
+/// Multi-input layers (`Concat`, `Eltwise`) receive all bottoms.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] describing the first violated constraint.
+pub fn infer_output(layer: &Layer, inputs: &[Shape]) -> Result<Shape, ShapeError> {
+    let name = || layer.name.clone();
+    let single = || -> Result<Shape, ShapeError> {
+        inputs.first().copied().ok_or_else(|| ShapeError::BadInput {
+            layer: name(),
+            detail: "layer has no input blob".into(),
+        })
+    };
+    match &layer.kind {
+        LayerKind::Input {
+            channels,
+            height,
+            width,
+        } => Ok(Shape::new(*channels, *height, *width)),
+        LayerKind::Convolution(p) => {
+            let input = single()?;
+            if p.stride == 0 {
+                return Err(ShapeError::ZeroStride { layer: name() });
+            }
+            let padded = input.height.min(input.width) + 2 * p.pad;
+            if p.kernel_size > padded {
+                return Err(ShapeError::KernelExceedsInput {
+                    layer: name(),
+                    kernel: p.kernel_size,
+                    input: padded,
+                });
+            }
+            if input.channels % p.group != 0 || p.num_output % p.group != 0 {
+                return Err(ShapeError::BadGrouping {
+                    layer: name(),
+                    channels: input.channels,
+                    group: p.group,
+                });
+            }
+            Ok(Shape::new(
+                p.num_output,
+                window_out(input.height, p.kernel_size, p.stride, p.pad),
+                window_out(input.width, p.kernel_size, p.stride, p.pad),
+            ))
+        }
+        LayerKind::Pooling(p) => {
+            let input = single()?;
+            if p.stride == 0 {
+                return Err(ShapeError::ZeroStride { layer: name() });
+            }
+            if p.kernel_size > input.height.min(input.width) {
+                return Err(ShapeError::KernelExceedsInput {
+                    layer: name(),
+                    kernel: p.kernel_size,
+                    input: input.height.min(input.width),
+                });
+            }
+            Ok(Shape::new(
+                input.channels,
+                window_out(input.height, p.kernel_size, p.stride, 0),
+                window_out(input.width, p.kernel_size, p.stride, 0),
+            ))
+        }
+        LayerKind::FullConnection(p) => {
+            single()?;
+            Ok(Shape::vector(p.num_output))
+        }
+        LayerKind::Recurrent { num_output, .. } => {
+            single()?;
+            Ok(Shape::vector(*num_output))
+        }
+        LayerKind::Associative { active_cells, .. } => {
+            single()?;
+            Ok(Shape::vector(*active_cells))
+        }
+        LayerKind::Memory { words } => {
+            single()?;
+            Ok(Shape::vector(*words))
+        }
+        LayerKind::Activation(_) | LayerKind::Dropout { .. } => single(),
+        LayerKind::Lrn(_) => single(),
+        LayerKind::Classifier { top_k } => {
+            single()?;
+            Ok(Shape::vector(*top_k))
+        }
+        LayerKind::Inception(p) => {
+            let input = single()?;
+            Ok(Shape::new(p.total_output(), input.height, input.width))
+        }
+        LayerKind::Concat => {
+            if inputs.is_empty() {
+                return Err(ShapeError::BadInput {
+                    layer: name(),
+                    detail: "concat needs at least one input".into(),
+                });
+            }
+            let (h, w) = (inputs[0].height, inputs[0].width);
+            if inputs.iter().any(|s| s.height != h || s.width != w) {
+                return Err(ShapeError::BadInput {
+                    layer: name(),
+                    detail: "concat inputs disagree in spatial extent".into(),
+                });
+            }
+            Ok(Shape::new(inputs.iter().map(|s| s.channels).sum(), h, w))
+        }
+        LayerKind::Eltwise => {
+            let first = single()?;
+            if inputs.iter().any(|s| *s != first) {
+                return Err(ShapeError::BadInput {
+                    layer: name(),
+                    detail: "eltwise inputs disagree in shape".into(),
+                });
+            }
+            Ok(first)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, ConvParam, FullParam, PoolMethod, PoolParam};
+
+    fn conv_layer(p: ConvParam) -> Layer {
+        Layer::new("c", LayerKind::Convolution(p), "in", "out")
+    }
+
+    #[test]
+    fn conv_shape_alexnet_conv1() {
+        // AlexNet conv1: 227x227x3, 96 kernels 11x11 stride 4 -> 96x55x55
+        let l = conv_layer(ConvParam::new(96, 11, 4));
+        let out = infer_output(&l, &[Shape::new(3, 227, 227)]).expect("valid");
+        assert_eq!(out, Shape::new(96, 55, 55));
+    }
+
+    #[test]
+    fn conv_shape_with_padding() {
+        // 5x5 pad 2 stride 1 preserves extent.
+        let l = conv_layer(ConvParam::new(256, 5, 1).with_pad(2));
+        let out = infer_output(&l, &[Shape::new(96, 27, 27)]).expect("valid");
+        assert_eq!(out, Shape::new(256, 27, 27));
+    }
+
+    #[test]
+    fn pool_shape() {
+        let l = Layer::new(
+            "p",
+            LayerKind::Pooling(PoolParam {
+                method: PoolMethod::Max,
+                kernel_size: 2,
+                stride: 2,
+            }),
+            "in",
+            "out",
+        );
+        let out = infer_output(&l, &[Shape::new(20, 24, 24)]).expect("valid");
+        assert_eq!(out, Shape::new(20, 12, 12));
+    }
+
+    #[test]
+    fn pool_overlapping() {
+        // AlexNet pool: 3x3 stride 2 on 55x55 -> 27x27
+        let l = Layer::new(
+            "p",
+            LayerKind::Pooling(PoolParam {
+                method: PoolMethod::Max,
+                kernel_size: 3,
+                stride: 2,
+            }),
+            "in",
+            "out",
+        );
+        let out = infer_output(&l, &[Shape::new(96, 55, 55)]).expect("valid");
+        assert_eq!(out, Shape::new(96, 27, 27));
+    }
+
+    #[test]
+    fn fc_flattens() {
+        let l = Layer::new(
+            "fc",
+            LayerKind::FullConnection(FullParam::dense(10)),
+            "in",
+            "out",
+        );
+        let out = infer_output(&l, &[Shape::new(50, 4, 4)]).expect("valid");
+        assert_eq!(out, Shape::vector(10));
+    }
+
+    #[test]
+    fn activation_preserves_shape() {
+        let l = Layer::new("r", LayerKind::Activation(Activation::Relu), "in", "out");
+        let s = Shape::new(96, 27, 27);
+        assert_eq!(infer_output(&l, &[s]).expect("valid"), s);
+    }
+
+    #[test]
+    fn kernel_too_big_rejected() {
+        let l = conv_layer(ConvParam::new(8, 9, 1));
+        assert!(matches!(
+            infer_output(&l, &[Shape::new(1, 5, 5)]),
+            Err(ShapeError::KernelExceedsInput { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        let l = conv_layer(ConvParam::new(8, 3, 0));
+        assert!(matches!(
+            infer_output(&l, &[Shape::new(1, 5, 5)]),
+            Err(ShapeError::ZeroStride { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_grouping_rejected() {
+        let l = conv_layer(ConvParam::new(8, 3, 1).with_group(3));
+        assert!(matches!(
+            infer_output(&l, &[Shape::new(4, 5, 5)]),
+            Err(ShapeError::BadGrouping { .. })
+        ));
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let l = Layer {
+            name: "cat".into(),
+            kind: LayerKind::Concat,
+            bottoms: vec!["a".into(), "b".into()],
+            tops: vec!["out".into()],
+        };
+        let out = infer_output(&l, &[Shape::new(64, 28, 28), Shape::new(32, 28, 28)]).expect("valid");
+        assert_eq!(out, Shape::new(96, 28, 28));
+    }
+
+    #[test]
+    fn concat_spatial_mismatch_rejected() {
+        let l = Layer {
+            name: "cat".into(),
+            kind: LayerKind::Concat,
+            bottoms: vec!["a".into(), "b".into()],
+            tops: vec!["out".into()],
+        };
+        assert!(infer_output(&l, &[Shape::new(64, 28, 28), Shape::new(32, 14, 14)]).is_err());
+    }
+
+    #[test]
+    fn no_input_rejected() {
+        let l = Layer {
+            name: "fc".into(),
+            kind: LayerKind::FullConnection(FullParam::dense(4)),
+            bottoms: vec![],
+            tops: vec!["out".into()],
+        };
+        assert!(matches!(
+            infer_output(&l, &[]),
+            Err(ShapeError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_display_and_elements() {
+        let s = Shape::new(3, 227, 227);
+        assert_eq!(s.to_string(), "3x227x227");
+        assert_eq!(s.elements(), 3 * 227 * 227);
+        assert!(Shape::vector(10).is_vector());
+        assert!(!s.is_vector());
+    }
+}

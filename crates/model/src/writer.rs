@@ -1,0 +1,194 @@
+//! Descriptive-script emission: the inverse of the parser, so networks
+//! built programmatically (e.g. with [`crate::NetworkBuilder`]) can be
+//! saved in the Caffe-compatible dialect and re-loaded.
+
+use crate::graph::Network;
+use crate::layer::{Activation, ConnectDirection, ConnectType, LayerKind};
+use std::fmt::Write as _;
+
+/// Serialises a network to the descriptive-script dialect of paper Fig. 4.
+///
+/// The output round-trips: `parse_network(&emit_prototxt(&net))` rebuilds
+/// an equivalent network (checked by property tests).
+pub fn emit_prototxt(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "name: \"{}\"", net.name());
+    for layer in net.layers() {
+        let _ = writeln!(out, "layers {{");
+        let _ = writeln!(out, "  name: \"{}\"", layer.name);
+        let _ = writeln!(out, "  type: {}", type_tag(&layer.kind));
+        for b in &layer.bottoms {
+            let _ = writeln!(out, "  bottom: \"{b}\"");
+        }
+        for t in &layer.tops {
+            let _ = writeln!(out, "  top: \"{t}\"");
+        }
+        emit_params(&mut out, &layer.kind);
+        for conn in net.connections().iter().filter(|c| c.from == layer.name) {
+            let _ = writeln!(out, "  connect {{");
+            let _ = writeln!(out, "    name: \"{}\"", conn.name);
+            let dir = match conn.direction {
+                ConnectDirection::Forward => "forward",
+                ConnectDirection::Recurrent => "recurrent",
+            };
+            let _ = writeln!(out, "    direction: {dir}");
+            match &conn.kind {
+                ConnectType::FullPerChannel => {
+                    let _ = writeln!(out, "    type: full_per_channel");
+                }
+                ConnectType::FileSpecified(file) => {
+                    let _ = writeln!(out, "    type: file_specified");
+                    if !file.is_empty() {
+                        let _ = writeln!(out, "    file: \"{file}\"");
+                    }
+                }
+            }
+            let _ = writeln!(out, "    to: \"{}\"", conn.to);
+            let _ = writeln!(out, "  }}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn type_tag(kind: &LayerKind) -> &'static str {
+    match kind {
+        LayerKind::Input { .. } => "INPUT",
+        LayerKind::Convolution(_) => "CONVOLUTION",
+        LayerKind::Pooling(_) => "POOLING",
+        LayerKind::FullConnection(_) => "INNER_PRODUCT",
+        LayerKind::Activation(Activation::Relu) => "RELU",
+        LayerKind::Activation(Activation::Sigmoid) => "SIGMOID",
+        LayerKind::Activation(Activation::Tanh) => "TANH",
+        LayerKind::Activation(Activation::Identity) => "LINEAR",
+        LayerKind::Lrn(_) => "LRN",
+        LayerKind::Dropout { .. } => "DROPOUT",
+        LayerKind::Recurrent { .. } => "RECURRENT",
+        LayerKind::Associative { .. } => "ASSOCIATIVE",
+        LayerKind::Memory { .. } => "MEMORY",
+        LayerKind::Classifier { .. } => "CLASSIFIER",
+        LayerKind::Inception(_) => "INCEPTION",
+        LayerKind::Concat => "CONCAT",
+        LayerKind::Eltwise => "ELTWISE",
+    }
+}
+
+fn emit_params(out: &mut String, kind: &LayerKind) {
+    match kind {
+        LayerKind::Input {
+            channels,
+            height,
+            width,
+        } => {
+            let _ = writeln!(
+                out,
+                "  input_param {{ channels: {channels} height: {height} width: {width} }}"
+            );
+        }
+        LayerKind::Convolution(p) => {
+            let _ = writeln!(
+                out,
+                "  param {{ num_output: {} kernel_size: {} stride: {} pad: {} group: {} }}",
+                p.num_output, p.kernel_size, p.stride, p.pad, p.group
+            );
+        }
+        LayerKind::Pooling(p) => {
+            let _ = writeln!(
+                out,
+                "  pooling_param {{ pool: {} kernel_size: {} stride: {} }}",
+                p.method, p.kernel_size, p.stride
+            );
+        }
+        LayerKind::FullConnection(p) => {
+            let _ = writeln!(
+                out,
+                "  param {{ num_output: {} connectivity_permille: {} }}",
+                p.num_output, p.connectivity_permille
+            );
+        }
+        LayerKind::Lrn(p) => {
+            let _ = writeln!(
+                out,
+                "  lrn_param {{ local_size: {} alpha: {} beta: {} }}",
+                p.local_size, p.alpha, p.beta
+            );
+        }
+        LayerKind::Dropout { ratio } => {
+            let _ = writeln!(out, "  dropout_param {{ dropout_ratio: {ratio} }}");
+        }
+        LayerKind::Recurrent { num_output, steps } => {
+            let _ = writeln!(
+                out,
+                "  recurrent_param {{ num_output: {num_output} steps: {steps} }}"
+            );
+        }
+        LayerKind::Associative {
+            table_size,
+            active_cells,
+        } => {
+            let _ = writeln!(
+                out,
+                "  associative_param {{ table_size: {table_size} active_cells: {active_cells} }}"
+            );
+        }
+        LayerKind::Memory { words } => {
+            let _ = writeln!(out, "  memory_param {{ words: {words} }}");
+        }
+        LayerKind::Classifier { top_k } => {
+            let _ = writeln!(out, "  classifier_param {{ top_k: {top_k} }}");
+        }
+        LayerKind::Inception(p) => {
+            let _ = writeln!(
+                out,
+                "  inception_param {{ c1x1: {} c3x3: {} c5x5: {} cpool: {} }}",
+                p.c1x1, p.c3x3, p.c5x5, p.cpool
+            );
+        }
+        LayerKind::Activation(_) | LayerKind::Concat | LayerKind::Eltwise => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::prototxt::parse_network;
+    use crate::layer::PoolMethod;
+
+    #[test]
+    fn roundtrip_sequential() {
+        let net = NetworkBuilder::new("rt", 3, 16, 16)
+            .conv("c1", 8, 3, 1)
+            .activation("r1", Activation::Relu)
+            .pool("p1", PoolMethod::Average, 2, 2)
+            .full("fc", 10)
+            .classifier("cls", 1)
+            .build()
+            .expect("builds");
+        let text = emit_prototxt(&net);
+        let back = parse_network(&text).expect("re-parses");
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn roundtrip_recurrent_with_connection() {
+        let net = NetworkBuilder::new("rnn", 8, 1, 1)
+            .recurrent("state", 8, 4)
+            .full("out", 2)
+            .build()
+            .expect("builds");
+        let text = emit_prototxt(&net);
+        let back = parse_network(&text).expect("re-parses");
+        assert_eq!(back, net);
+        assert!(back.is_recurrent());
+    }
+
+    #[test]
+    fn emitted_text_is_readable() {
+        let net = NetworkBuilder::new("t", 1, 8, 8).conv("c", 4, 3, 1).build().expect("builds");
+        let text = emit_prototxt(&net);
+        assert!(text.contains("name: \"t\""));
+        assert!(text.contains("type: CONVOLUTION"));
+        assert!(text.contains("num_output: 4"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Event-based energy model (paper Fig. 9 substitute for board power
+//! measurement).
+//!
+//! Energy = static power × latency + Σ (event count × per-event energy).
+//! Constants are first-order 28 nm FPGA numbers; the figures the paper
+//! reports are *relative* (DB vs Custom vs CPU), which depend on cycle
+//! counts and resource occupancy, not on absolute calibration.
+
+use crate::timing::TimingReport;
+use deepburning_compiler::CompiledNetwork;
+use deepburning_components::ResourceCost;
+use deepburning_core::AcceleratorDesign;
+
+/// Per-event energies and static-power coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Joules per 16-bit MAC on a DSP slice (including local routing).
+    pub mac_j: f64,
+    /// Joules per aux-unit operation.
+    pub aux_op_j: f64,
+    /// Joules per Approx-LUT evaluation.
+    pub lut_op_j: f64,
+    /// Joules per on-chip buffer word access.
+    pub buffer_word_j: f64,
+    /// Joules per DRAM byte moved.
+    pub dram_byte_j: f64,
+    /// Baseline board static power (PS + clocking), watts.
+    pub base_static_w: f64,
+    /// Static watts per occupied LUT.
+    pub static_per_lut_w: f64,
+    /// Static watts per occupied DSP.
+    pub static_per_dsp_w: f64,
+    /// Static watts per occupied BRAM bit.
+    pub static_per_bram_bit_w: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            mac_j: 4.0e-12,
+            aux_op_j: 1.0e-12,
+            lut_op_j: 2.0e-12,
+            buffer_word_j: 1.2e-12,
+            dram_byte_j: 70.0e-12,
+            base_static_w: 1.2,
+            static_per_lut_w: 6.0e-6,
+            static_per_dsp_w: 1.2e-3,
+            static_per_bram_bit_w: 2.0e-8,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Static power of a design occupying `resources`.
+    pub fn static_power_w(&self, resources: &ResourceCost) -> f64 {
+        self.base_static_w
+            + resources.lut as f64 * self.static_per_lut_w
+            + resources.dsp as f64 * self.static_per_dsp_w
+            + resources.bram_bits as f64 * self.static_per_bram_bit_w
+    }
+}
+
+/// Energy breakdown of one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Dynamic energy of the MAC datapath.
+    pub compute_j: f64,
+    /// Dynamic energy of on-chip buffer traffic.
+    pub buffer_j: f64,
+    /// Dynamic energy of DRAM traffic.
+    pub dram_j: f64,
+    /// Static (leakage + clocking) energy over the run.
+    pub static_j: f64,
+    /// Sum of all components.
+    pub total_j: f64,
+    /// Average power over the run, watts.
+    pub average_power_w: f64,
+}
+
+/// Computes the energy of one inference given its compiled work volumes,
+/// its timing, and the occupied resources.
+pub fn simulate_energy(
+    compiled: &CompiledNetwork,
+    timing: &TimingReport,
+    resources: &ResourceCost,
+    clock_hz: u64,
+    params: &EnergyParams,
+) -> EnergyReport {
+    let work = compiled.folding.total_work();
+    let compute_j = work.macs as f64 * params.mac_j
+        + work.aux_ops as f64 * params.aux_op_j
+        + work.lut_ops as f64 * params.lut_op_j;
+    let buffer_j =
+        (work.buffer_read_words + work.buffer_write_words) as f64 * params.buffer_word_j;
+    let dram_j = (work.dram_read_bytes + work.dram_write_bytes) as f64 * params.dram_byte_j;
+    let seconds = timing.seconds(clock_hz);
+    let static_j = params.static_power_w(resources) * seconds;
+    let total_j = compute_j + buffer_j + dram_j + static_j;
+    EnergyReport {
+        compute_j,
+        buffer_j,
+        dram_j,
+        static_j,
+        total_j,
+        average_power_w: if seconds > 0.0 { total_j / seconds } else { 0.0 },
+    }
+}
+
+/// Convenience: energy of one inference on a generated design.
+pub fn inference_energy(
+    design: &AcceleratorDesign,
+    timing: &TimingReport,
+    params: &EnergyParams,
+) -> EnergyReport {
+    simulate_energy(
+        &design.compiled,
+        timing,
+        &design.resources.total,
+        design.clock_hz(),
+        params,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{simulate_timing, TimingParams};
+    use deepburning_compiler::{compile, CompilerConfig};
+    use deepburning_model::parse_network;
+
+    const SRC: &str = r#"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 1 height: 24 width: 24 } }
+    layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+             param { num_output: 32 kernel_size: 5 stride: 1 } }
+    layers { name: "fc" type: FC bottom: "conv" top: "fc"
+             param { num_output: 10 } }
+    "#;
+
+    fn setup(lanes: u32) -> (CompiledNetwork, TimingReport) {
+        let net = parse_network(SRC).expect("parses");
+        let c = compile(&net, &CompilerConfig { lanes, ..CompilerConfig::default() })
+            .expect("compiles");
+        let t = simulate_timing(&c, &TimingParams::default());
+        (c, t)
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let (c, t) = setup(32);
+        let r = simulate_energy(
+            &c,
+            &t,
+            &ResourceCost::logic(32, 20_000, 10_000),
+            100_000_000,
+            &EnergyParams::default(),
+        );
+        let sum = r.compute_j + r.buffer_j + r.dram_j + r.static_j;
+        assert!((sum - r.total_j).abs() < 1e-15);
+        assert!(r.total_j > 0.0);
+        assert!(r.average_power_w > 0.0);
+    }
+
+    #[test]
+    fn compute_energy_tracks_macs() {
+        let (c, t) = setup(32);
+        let work = c.folding.total_work();
+        let r = simulate_energy(
+            &c,
+            &t,
+            &ResourceCost::ZERO,
+            100_000_000,
+            &EnergyParams::default(),
+        );
+        assert!((r.compute_j - work.macs as f64 * 4.0e-12).abs() / r.compute_j < 0.5);
+    }
+
+    #[test]
+    fn bigger_design_burns_more_static() {
+        let (c, t) = setup(32);
+        let p = EnergyParams::default();
+        let small = simulate_energy(&c, &t, &ResourceCost::logic(8, 1_000, 500), 100_000_000, &p);
+        let big = simulate_energy(
+            &c,
+            &t,
+            &ResourceCost::logic(800, 200_000, 100_000),
+            100_000_000,
+            &p,
+        );
+        assert!(big.static_j > small.static_j);
+    }
+
+    #[test]
+    fn faster_run_dissipates_less_static_energy() {
+        let p = EnergyParams::default();
+        let (c16, t16) = setup(16);
+        let (c128, t128) = setup(128);
+        let res = ResourceCost::logic(128, 50_000, 25_000);
+        let slow = simulate_energy(&c16, &t16, &res, 100_000_000, &p);
+        let fast = simulate_energy(&c128, &t128, &res, 100_000_000, &p);
+        assert!(fast.static_j < slow.static_j);
+    }
+
+    #[test]
+    fn static_power_formula() {
+        let p = EnergyParams::default();
+        let idle = p.static_power_w(&ResourceCost::ZERO);
+        assert!((idle - 1.2).abs() < 1e-12);
+        let loaded = p.static_power_w(&ResourceCost::logic(100, 10_000, 0));
+        assert!(loaded > idle + 0.1);
+    }
+}

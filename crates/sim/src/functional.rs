@@ -1,0 +1,782 @@
+//! Functional fixed-point simulation of the generated datapath.
+//!
+//! Executes a network exactly as the accelerator would: operands quantised
+//! to the datapath's [`QFormat`], MACs through wide saturating
+//! accumulators, activations through the compiler's Approx LUT images, and
+//! average pooling through the connection box's shifting latch. Comparing
+//! the result against the f32 reference (`deepburning_tensor`) yields the
+//! accuracy experiment of paper Fig. 10.
+
+use deepburning_compiler::LutImages;
+use deepburning_fixed::{Accumulator, ApproxLut, Fx, QFormat, Rounding};
+use deepburning_model::{Activation, Layer, LayerKind, Network, PoolMethod, Shape};
+use deepburning_tensor::{cmac_index, Tensor, WeightSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised during functional simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalError {
+    /// The layer where simulation failed.
+    pub layer: String,
+    /// Explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for FunctionalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulating `{}`: {}", self.layer, self.detail)
+    }
+}
+
+impl std::error::Error for FunctionalError {}
+
+fn err(layer: &str, detail: impl Into<String>) -> FunctionalError {
+    FunctionalError {
+        layer: layer.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// A fixed-point blob.
+#[derive(Debug, Clone, PartialEq)]
+struct FxBlob {
+    shape: Shape,
+    data: Vec<Fx>,
+}
+
+impl FxBlob {
+    fn zeros(shape: Shape, fmt: QFormat) -> Self {
+        FxBlob {
+            shape,
+            data: vec![Fx::zero(fmt); shape.elements()],
+        }
+    }
+
+    fn from_tensor(t: &Tensor, fmt: QFormat) -> Self {
+        FxBlob {
+            shape: t.shape(),
+            data: t.as_slice().iter().map(|&v| Fx::from_f64(v as f64, fmt)).collect(),
+        }
+    }
+
+    fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(
+            self.shape,
+            self.data.iter().map(|v| v.to_f64() as f32).collect(),
+        )
+    }
+
+    #[inline]
+    fn get(&self, c: usize, y: usize, x: usize) -> Fx {
+        self.data[(c * self.shape.height + y) * self.shape.width + x]
+    }
+
+    #[inline]
+    fn get_padded(&self, fmt: QFormat, c: usize, y: isize, x: isize) -> Fx {
+        if y < 0 || x < 0 || y >= self.shape.height as isize || x >= self.shape.width as isize {
+            Fx::zero(fmt)
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, c: usize, y: usize, x: usize, v: Fx) {
+        self.data[(c * self.shape.height + y) * self.shape.width + x] = v;
+    }
+
+    fn flat(mut self) -> FxBlob {
+        self.shape = Shape::vector(self.shape.elements());
+        self
+    }
+}
+
+fn quantize_weights(w: &[f32], fmt: QFormat) -> Vec<Fx> {
+    w.iter().map(|&v| Fx::from_f64(v as f64, fmt)).collect()
+}
+
+fn conv_fx(
+    input: &FxBlob,
+    w: &[Fx],
+    b: &[Fx],
+    num_output: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    group: usize,
+    fmt: QFormat,
+) -> FxBlob {
+    let cig = input.shape.channels / group;
+    let cog = num_output / group;
+    let oh = (input.shape.height + 2 * pad - kernel) / stride + 1;
+    let ow = (input.shape.width + 2 * pad - kernel) / stride + 1;
+    let mut out = FxBlob::zeros(Shape::new(num_output, oh, ow), fmt);
+    for co in 0..num_output {
+        let g = co / cog;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = Accumulator::new(fmt);
+                if let Some(bias) = b.get(co) {
+                    acc.add(*bias);
+                }
+                for icg in 0..cig {
+                    let ic = g * cig + icg;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            let wv = w[((co * cig + icg) * kernel + ky) * kernel + kx];
+                            acc.mac(wv, input.get_padded(fmt, ic, iy, ix));
+                        }
+                    }
+                }
+                out.set(co, oy, ox, acc.resolve(Rounding::Truncate));
+            }
+        }
+    }
+    out
+}
+
+fn pool_fx(input: &FxBlob, method: PoolMethod, kernel: usize, stride: usize, fmt: QFormat) -> FxBlob {
+    let oh = (input.shape.height - kernel) / stride + 1;
+    let ow = (input.shape.width - kernel) / stride + 1;
+    let mut out = FxBlob::zeros(Shape::new(input.shape.channels, oh, ow), fmt);
+    let window = kernel * kernel;
+    let recip = Fx::from_f64(1.0 / window as f64, fmt);
+    for c in 0..input.shape.channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let v = match method {
+                    PoolMethod::Max => {
+                        let mut best = Fx::from_raw(fmt.min_raw(), fmt);
+                        for ky in 0..kernel {
+                            for kx in 0..kernel {
+                                best = best.max(input.get(c, oy * stride + ky, ox * stride + kx));
+                            }
+                        }
+                        best
+                    }
+                    PoolMethod::Average => {
+                        let mut acc = Accumulator::new(fmt);
+                        for ky in 0..kernel {
+                            for kx in 0..kernel {
+                                acc.add(input.get(c, oy * stride + ky, ox * stride + kx));
+                            }
+                        }
+                        let sum = acc.resolve(Rounding::Truncate);
+                        if window.is_power_of_two() {
+                            // The shifting latch: approximate division.
+                            sum.shift_right(window.trailing_zeros())
+                        } else {
+                            sum * recip
+                        }
+                    }
+                };
+                out.set(c, oy, ox, v);
+            }
+        }
+    }
+    out
+}
+
+fn fc_fx(input: &FxBlob, w: &[Fx], b: &[Fx], num_output: usize, fmt: QFormat) -> FxBlob {
+    let n = input.data.len();
+    let mut out = FxBlob::zeros(Shape::vector(num_output), fmt);
+    for o in 0..num_output {
+        let mut acc = Accumulator::new(fmt);
+        if let Some(bias) = b.get(o) {
+            acc.add(*bias);
+        }
+        for (x, wv) in input.data.iter().zip(&w[o * n..(o + 1) * n]) {
+            acc.mac(*x, *wv);
+        }
+        out.data[o] = acc.resolve(Rounding::Truncate);
+    }
+    out
+}
+
+fn activation_fx(
+    input: &FxBlob,
+    act: Activation,
+    luts: &LutImages,
+    fmt: QFormat,
+    layer: &str,
+) -> Result<FxBlob, FunctionalError> {
+    let table: Option<&ApproxLut> = match act {
+        Activation::Sigmoid => Some(
+            luts.get("sigmoid")
+                .ok_or_else(|| err(layer, "sigmoid LUT image missing"))?,
+        ),
+        Activation::Tanh => Some(
+            luts.get("tanh")
+                .ok_or_else(|| err(layer, "tanh LUT image missing"))?,
+        ),
+        Activation::Relu | Activation::Identity => None,
+    };
+    let mut out = input.clone();
+    for v in &mut out.data {
+        *v = match (act, table) {
+            (Activation::Relu, _) => v.max(Fx::zero(fmt)),
+            (Activation::Identity, _) => *v,
+            (_, Some(t)) => t.eval(*v),
+            _ => unreachable!("table present for LUT activations"),
+        };
+    }
+    Ok(out)
+}
+
+fn lrn_fx(
+    input: &FxBlob,
+    local_size: usize,
+    lut: &ApproxLut,
+    fmt: QFormat,
+) -> FxBlob {
+    let s = input.shape;
+    let half = local_size / 2;
+    let mut out = FxBlob::zeros(s, fmt);
+    for c in 0..s.channels {
+        for y in 0..s.height {
+            for x in 0..s.width {
+                let lo = c.saturating_sub(half);
+                let hi = (c + half).min(s.channels - 1);
+                let mut acc = Accumulator::new(fmt);
+                for cc in lo..=hi {
+                    let v = input.get(cc, y, x);
+                    acc.mac(v, v);
+                }
+                let energy = acc.resolve(Rounding::Truncate);
+                let factor = lut.eval(energy);
+                out.set(c, y, x, input.get(c, y, x) * factor);
+            }
+        }
+    }
+    out
+}
+
+fn recurrent_fx(
+    input: &FxBlob,
+    w: &[Fx],
+    b: &[Fx],
+    num_output: usize,
+    steps: usize,
+    tanh: &ApproxLut,
+    fmt: QFormat,
+) -> FxBlob {
+    let n_in = input.data.len();
+    let mut h = vec![Fx::zero(fmt); num_output];
+    for _ in 0..steps.max(1) {
+        let mut next = vec![Fx::zero(fmt); num_output];
+        for (o, slot) in next.iter_mut().enumerate() {
+            let row = &w[o * (n_in + num_output)..(o + 1) * (n_in + num_output)];
+            let mut acc = Accumulator::new(fmt);
+            if let Some(bias) = b.get(o) {
+                acc.add(*bias);
+            }
+            for (x, wv) in input.data.iter().zip(&row[..n_in]) {
+                acc.mac(*x, *wv);
+            }
+            for (hv, wv) in h.iter().zip(&row[n_in..]) {
+                acc.mac(*hv, *wv);
+            }
+            *slot = tanh.eval(acc.resolve(Rounding::Truncate));
+        }
+        h = next;
+    }
+    FxBlob {
+        shape: Shape::vector(num_output),
+        data: h,
+    }
+}
+
+/// Runs the fixed-point forward pass, returning all blob values as f32
+/// tensors (for direct comparison with the reference engine).
+///
+/// # Errors
+///
+/// Returns [`FunctionalError`] if weights or LUT images are missing, or the
+/// input shape mismatches.
+pub fn functional_forward_all(
+    net: &Network,
+    weights: &WeightSet,
+    input: &Tensor,
+    luts: &LutImages,
+    fmt: QFormat,
+) -> Result<BTreeMap<String, Tensor>, FunctionalError> {
+    if input.shape() != net.input_shape() {
+        return Err(err("input", "input shape mismatch"));
+    }
+    let mut blobs: BTreeMap<String, FxBlob> = BTreeMap::new();
+    for layer in net.layers() {
+        let out = eval_fx_layer(layer, &blobs, weights, input, luts, fmt)?;
+        for top in &layer.tops {
+            blobs.insert(top.clone(), out.clone());
+        }
+    }
+    Ok(blobs
+        .into_iter()
+        .map(|(k, v)| (k, v.to_tensor()))
+        .collect())
+}
+
+fn eval_fx_layer(
+    layer: &Layer,
+    blobs: &BTreeMap<String, FxBlob>,
+    weights: &WeightSet,
+    input: &Tensor,
+    luts: &LutImages,
+    fmt: QFormat,
+) -> Result<FxBlob, FunctionalError> {
+    let bottom = |i: usize| -> Result<&FxBlob, FunctionalError> {
+        layer
+            .bottoms
+            .get(i)
+            .and_then(|b| blobs.get(b))
+            .ok_or_else(|| err(&layer.name, "input blob not computed"))
+    };
+    let lw = || {
+        weights
+            .get(&layer.name)
+            .ok_or_else(|| err(&layer.name, "weights missing"))
+    };
+    Ok(match &layer.kind {
+        LayerKind::Input { .. } => FxBlob::from_tensor(input, fmt),
+        LayerKind::Convolution(p) => {
+            let lw = lw()?;
+            conv_fx(
+                bottom(0)?,
+                &quantize_weights(&lw.w, fmt),
+                &quantize_weights(&lw.b, fmt),
+                p.num_output,
+                p.kernel_size,
+                p.stride,
+                p.pad,
+                p.group,
+                fmt,
+            )
+        }
+        LayerKind::Pooling(p) => pool_fx(bottom(0)?, p.method, p.kernel_size, p.stride, fmt),
+        LayerKind::FullConnection(p) => {
+            let lw = lw()?;
+            let flat = bottom(0)?.clone().flat();
+            fc_fx(
+                &flat,
+                &quantize_weights(&lw.w, fmt),
+                &quantize_weights(&lw.b, fmt),
+                p.num_output,
+                fmt,
+            )
+        }
+        LayerKind::Activation(a) => activation_fx(bottom(0)?, *a, luts, fmt, &layer.name)?,
+        LayerKind::Lrn(p) => {
+            let lut = luts
+                .get(&format!("lrn:{}", layer.name))
+                .ok_or_else(|| err(&layer.name, "LRN factor LUT missing"))?;
+            lrn_fx(bottom(0)?, p.local_size, lut, fmt)
+        }
+        LayerKind::Dropout { .. } | LayerKind::Memory { .. } => bottom(0)?.clone(),
+        LayerKind::Recurrent { num_output, steps } => {
+            let lw = lw()?;
+            let tanh = luts
+                .get("tanh")
+                .ok_or_else(|| err(&layer.name, "tanh LUT image missing"))?;
+            let flat = bottom(0)?.clone().flat();
+            recurrent_fx(
+                &flat,
+                &quantize_weights(&lw.w, fmt),
+                &quantize_weights(&lw.b, fmt),
+                *num_output,
+                *steps,
+                tanh,
+                fmt,
+            )
+        }
+        LayerKind::Associative {
+            table_size,
+            active_cells,
+        } => {
+            let lw = lw()?;
+            let table = quantize_weights(&lw.w, fmt);
+            let src = bottom(0)?;
+            let x: Vec<f32> = src.data.iter().map(|v| v.to_f64() as f32).collect();
+            let data = (0..*active_cells)
+                .map(|slot| table[cmac_index(&x, slot, *active_cells, *table_size)])
+                .collect();
+            FxBlob {
+                shape: Shape::vector(*active_cells),
+                data,
+            }
+        }
+        LayerKind::Classifier { top_k } => {
+            let src = bottom(0)?;
+            let mut indexed: Vec<(usize, Fx)> =
+                src.data.iter().copied().enumerate().collect();
+            indexed.sort_by(|a, b| b.1.raw().cmp(&a.1.raw()));
+            FxBlob {
+                shape: Shape::vector(*top_k),
+                data: indexed
+                    .iter()
+                    .take(*top_k)
+                    .map(|(i, _)| Fx::from_f64(*i as f64, fmt))
+                    .collect(),
+            }
+        }
+        LayerKind::Inception(p) => {
+            let lw = lw()?;
+            let src = bottom(0)?;
+            let ci = src.shape.channels;
+            let w = quantize_weights(&lw.w, fmt);
+            let b = quantize_weights(&lw.b, fmt);
+            let w1_end = p.c1x1 * ci;
+            let w3_end = w1_end + p.c3x3 * ci * 9;
+            let w5_end = w3_end + p.c5x5 * ci * 25;
+            let o1 = conv_fx(src, &w[..w1_end], &b[..p.c1x1], p.c1x1, 1, 1, 0, 1, fmt);
+            let o3 = conv_fx(
+                src,
+                &w[w1_end..w3_end],
+                &b[p.c1x1..p.c1x1 + p.c3x3],
+                p.c3x3,
+                3,
+                1,
+                1,
+                1,
+                fmt,
+            );
+            let o5 = conv_fx(
+                src,
+                &w[w3_end..w5_end],
+                &b[p.c1x1 + p.c3x3..p.c1x1 + p.c3x3 + p.c5x5],
+                p.c5x5,
+                5,
+                1,
+                2,
+                1,
+                fmt,
+            );
+            // Pool branch: clamped 3x3 max then 1x1 projection.
+            let mut pooled = src.clone();
+            for c in 0..ci {
+                for y in 0..src.shape.height {
+                    for x in 0..src.shape.width {
+                        let mut m = Fx::from_raw(fmt.min_raw(), fmt);
+                        for dy in -1isize..=1 {
+                            for dx in -1isize..=1 {
+                                let yy = y as isize + dy;
+                                let xx = x as isize + dx;
+                                if yy >= 0
+                                    && xx >= 0
+                                    && (yy as usize) < src.shape.height
+                                    && (xx as usize) < src.shape.width
+                                {
+                                    m = m.max(src.get(c, yy as usize, xx as usize));
+                                }
+                            }
+                        }
+                        pooled.set(c, y, x, m);
+                    }
+                }
+            }
+            let op = conv_fx(
+                &pooled,
+                &w[w5_end..],
+                &b[p.c1x1 + p.c3x3 + p.c5x5..],
+                p.cpool,
+                1,
+                1,
+                0,
+                1,
+                fmt,
+            );
+            // Concatenate branches over channels.
+            let (h, wd) = (src.shape.height, src.shape.width);
+            let mut out = FxBlob::zeros(Shape::new(p.total_output(), h, wd), fmt);
+            let mut base = 0;
+            for part in [&o1, &o3, &o5, &op] {
+                for c in 0..part.shape.channels {
+                    for y in 0..h {
+                        for x in 0..wd {
+                            out.set(base + c, y, x, part.get(c, y, x));
+                        }
+                    }
+                }
+                base += part.shape.channels;
+            }
+            out
+        }
+        LayerKind::Concat => {
+            let parts: Vec<&FxBlob> = (0..layer.bottoms.len())
+                .map(bottom)
+                .collect::<Result<_, _>>()?;
+            let (h, w) = (parts[0].shape.height, parts[0].shape.width);
+            let total: usize = parts.iter().map(|p| p.shape.channels).sum();
+            let mut out = FxBlob::zeros(Shape::new(total, h, w), fmt);
+            let mut base = 0;
+            for part in parts {
+                for c in 0..part.shape.channels {
+                    for y in 0..h {
+                        for x in 0..w {
+                            out.set(base + c, y, x, part.get(c, y, x));
+                        }
+                    }
+                }
+                base += part.shape.channels;
+            }
+            out
+        }
+        LayerKind::Eltwise => {
+            let mut out = bottom(0)?.clone();
+            for i in 1..layer.bottoms.len() {
+                let other = bottom(i)?;
+                for (o, v) in out.data.iter_mut().zip(&other.data) {
+                    *o = *o + *v;
+                }
+            }
+            out
+        }
+    })
+}
+
+/// Runs the fixed-point forward pass and returns the final output.
+///
+/// # Errors
+///
+/// See [`functional_forward_all`].
+pub fn functional_forward(
+    net: &Network,
+    weights: &WeightSet,
+    input: &Tensor,
+    luts: &LutImages,
+    fmt: QFormat,
+) -> Result<Tensor, FunctionalError> {
+    let blobs = functional_forward_all(net, weights, input, luts, fmt)?;
+    let outs = net.output_blobs();
+    let last = outs
+        .last()
+        .ok_or_else(|| err("network", "no output blob"))?;
+    Ok(blobs[last].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_compiler::{generate_luts, CompilerConfig};
+    use deepburning_model::{parse_network, ConvParam, FullParam};
+    use deepburning_tensor::{forward, tensor_accuracy, Init};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp_src() -> &'static str {
+        r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 6 height: 1 width: 1 } }
+        layers { name: "h" type: FC bottom: "data" top: "h"
+                 param { num_output: 12 } }
+        layers { name: "sig" type: SIGMOID bottom: "h" top: "h" }
+        layers { name: "o" type: FC bottom: "h" top: "o"
+                 param { num_output: 4 } }
+        "#
+    }
+
+    #[test]
+    fn fixed_point_tracks_f32_reference() {
+        let net = parse_network(mlp_src()).expect("parses");
+        let mut rng = StdRng::seed_from_u64(7);
+        let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let cfg = CompilerConfig::default();
+        let luts = generate_luts(&net, &cfg).expect("luts");
+        let input = Tensor::vector(&[0.5, -0.25, 0.75, 0.1, -0.6, 0.3]);
+        let golden = forward(&net, &ws, &input).expect("reference");
+        let approx = functional_forward(&net, &ws, &input, &luts, cfg.format).expect("sim");
+        let acc = tensor_accuracy(&approx, &golden);
+        assert!(acc > 95.0, "accuracy {acc}%");
+    }
+
+    #[test]
+    fn wider_format_is_more_accurate() {
+        let net = parse_network(mlp_src()).expect("parses");
+        let mut rng = StdRng::seed_from_u64(11);
+        let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let input = Tensor::vector(&[0.3, 0.9, -0.4, 0.2, 0.6, -0.8]);
+        let golden = forward(&net, &ws, &input).expect("reference");
+
+        let narrow_cfg = CompilerConfig {
+            format: QFormat::Q4_4,
+            ..CompilerConfig::default()
+        };
+        let wide_cfg = CompilerConfig {
+            format: QFormat::Q16_16,
+            lut_entries: 256,
+            ..CompilerConfig::default()
+        };
+        let narrow = functional_forward(
+            &net,
+            &ws,
+            &input,
+            &generate_luts(&net, &narrow_cfg).expect("luts"),
+            narrow_cfg.format,
+        )
+        .expect("sim");
+        let wide = functional_forward(
+            &net,
+            &ws,
+            &input,
+            &generate_luts(&net, &wide_cfg).expect("luts"),
+            wide_cfg.format,
+        )
+        .expect("sim");
+        let acc_narrow = tensor_accuracy(&narrow, &golden);
+        let acc_wide = tensor_accuracy(&wide, &golden);
+        assert!(acc_wide >= acc_narrow, "{acc_wide} vs {acc_narrow}");
+        assert!(acc_wide > 99.0, "{acc_wide}");
+    }
+
+    #[test]
+    fn conv_pool_path_matches_reference_shape_and_values() {
+        let src = r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 1 height: 8 width: 8 } }
+        layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+                 param { num_output: 4 kernel_size: 3 stride: 1 } }
+        layers { name: "relu" type: RELU bottom: "conv" top: "conv" }
+        layers { name: "pool" type: POOLING bottom: "conv" top: "pool"
+                 pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+        "#;
+        let net = parse_network(src).expect("parses");
+        let mut rng = StdRng::seed_from_u64(3);
+        let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let cfg = CompilerConfig::default();
+        let luts = generate_luts(&net, &cfg).expect("luts");
+        let input = Tensor::from_fn(Shape::new(1, 8, 8), |_, y, x| ((y * 8 + x) as f32) / 64.0);
+        let golden = forward(&net, &ws, &input).expect("reference");
+        let approx = functional_forward(&net, &ws, &input, &luts, cfg.format).expect("sim");
+        assert_eq!(approx.shape(), golden.shape());
+        let acc = tensor_accuracy(&approx, &golden);
+        assert!(acc > 95.0, "accuracy {acc}%");
+    }
+
+    #[test]
+    fn avg_pool_uses_shift_for_pow2_windows() {
+        let src = r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 1 height: 4 width: 4 } }
+        layers { name: "pool" type: POOLING bottom: "data" top: "pool"
+                 pooling_param { pool: AVE kernel_size: 2 stride: 2 } }
+        "#;
+        let net = parse_network(src).expect("parses");
+        let ws = WeightSet::new();
+        let luts = LutImages::new();
+        let input = Tensor::from_fn(Shape::new(1, 4, 4), |_, _, _| 1.0);
+        let out =
+            functional_forward(&net, &ws, &input, &luts, QFormat::Q8_8).expect("sim");
+        // (1+1+1+1) >> 2 = 1 exactly.
+        assert!(out.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn missing_lut_image_is_an_error() {
+        let net = parse_network(mlp_src()).expect("parses");
+        let mut rng = StdRng::seed_from_u64(1);
+        let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let e = functional_forward(
+            &net,
+            &ws,
+            &Tensor::vector(&[0.0; 6]),
+            &LutImages::new(),
+            QFormat::Q8_8,
+        )
+        .unwrap_err();
+        assert!(e.detail.contains("sigmoid LUT image missing"));
+    }
+
+    #[test]
+    fn classifier_indices_exact() {
+        let src = r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 4 height: 1 width: 1 } }
+        layers { name: "cls" type: CLASSIFIER bottom: "data" top: "cls"
+                 classifier_param { top_k: 2 } }
+        "#;
+        let net = parse_network(src).expect("parses");
+        let out = functional_forward(
+            &net,
+            &WeightSet::new(),
+            &Tensor::vector(&[0.1, 0.9, 0.2, 0.5]),
+            &LutImages::new(),
+            QFormat::Q8_8,
+        )
+        .expect("sim");
+        assert_eq!(out.as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn weights_layout_mismatch_caught() {
+        let net = parse_network(mlp_src()).expect("parses");
+        // No weights at all.
+        let e = functional_forward(
+            &net,
+            &WeightSet::new(),
+            &Tensor::vector(&[0.0; 6]),
+            &LutImages::new(),
+            QFormat::Q8_8,
+        )
+        .unwrap_err();
+        assert!(e.detail.contains("weights missing"));
+    }
+
+    #[test]
+    fn eq1_metric_against_direct_quantization() {
+        // Quantisation alone (no LUT error) keeps the relative-distance
+        // accuracy near 100% for a linear layer.
+        let net = deepburning_model::Network::from_layers(
+            "lin",
+            vec![
+                deepburning_model::Layer::input("data", "data", 4, 1, 1),
+                deepburning_model::Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(4)),
+                    "data",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid");
+        let mut rng = StdRng::seed_from_u64(2);
+        let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let input = Tensor::vector(&[0.25, -0.5, 0.125, 1.0]);
+        let golden = forward(&net, &ws, &input).expect("reference");
+        let approx =
+            functional_forward(&net, &ws, &input, &LutImages::new(), QFormat::Q16_16)
+                .expect("sim");
+        assert!(tensor_accuracy(&approx, &golden) > 99.9);
+    }
+
+    #[test]
+    fn grouped_conv_fx() {
+        let net = deepburning_model::Network::from_layers(
+            "g",
+            vec![
+                deepburning_model::Layer::input("data", "data", 2, 3, 3),
+                deepburning_model::Layer::new(
+                    "conv",
+                    LayerKind::Convolution(ConvParam::new(2, 1, 1).with_group(2)),
+                    "data",
+                    "conv",
+                ),
+            ],
+        )
+        .expect("valid");
+        let mut ws = WeightSet::new();
+        ws.insert(
+            "conv",
+            deepburning_tensor::LayerWeights {
+                w: vec![1.0, 1.0],
+                b: vec![0.0, 0.0],
+            },
+        );
+        let input = Tensor::from_fn(Shape::new(2, 3, 3), |c, _, _| (c + 1) as f32);
+        let out = functional_forward(&net, &ws, &input, &LutImages::new(), QFormat::Q8_8)
+            .expect("sim");
+        assert_eq!(out.as_slice()[0], 1.0);
+        assert_eq!(out.as_slice()[9], 2.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Simulators for generated DeepBurning accelerators.
+//!
+//! Three views of one design:
+//!
+//! * [`simulate_timing`] — transaction-level cycle simulation of the folded
+//!   schedule (replaces the paper's Vivado RTL timing simulation);
+//! * [`simulate_energy`] — event-based energy accounting (replaces board
+//!   power measurement);
+//! * [`functional_forward`] — bit-true fixed-point execution through the
+//!   compiler's Approx LUT images (drives the Fig. 10 accuracy experiment).
+//!
+//! # Examples
+//!
+//! ```
+//! use deepburning_core::{generate, Budget};
+//! use deepburning_sim::{simulate_timing, TimingParams};
+//!
+//! let src = r#"
+//! layers { name: "data" type: INPUT top: "data"
+//!          input_param { channels: 1 height: 12 width: 12 } }
+//! layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+//!          param { num_output: 8 kernel_size: 3 stride: 1 } }
+//! "#;
+//! let net = deepburning_model::parse_network(src)?;
+//! let design = generate(&net, &Budget::Medium)?;
+//! let timing = simulate_timing(&design.compiled, &TimingParams::default());
+//! assert!(timing.total_cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod energy;
+mod functional;
+mod timing;
+
+pub use energy::{inference_energy, simulate_energy, EnergyParams, EnergyReport};
+pub use functional::{functional_forward, functional_forward_all, FunctionalError};
+pub use timing::{
+    aggregate_by_layer, forward_latency, simulate_folding, simulate_timing, PhaseTiming,
+    TimingParams, TimingReport,
+};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use deepburning_compiler::{compile, CompilerConfig};
+    use deepburning_model::{ConvParam, FullParam, Layer, LayerKind, Network};
+    use proptest::prelude::*;
+
+    fn arb_net() -> impl Strategy<Value = Network> {
+        (1usize..4, 8usize..20, 4usize..48, 2usize..5).prop_map(|(ci, ext, co, k)| {
+            let k = k.min(ext);
+            Network::from_layers(
+                "gen",
+                vec![
+                    Layer::input("data", "data", ci, ext, ext),
+                    Layer::new(
+                        "conv",
+                        LayerKind::Convolution(ConvParam::new(co, k, 1)),
+                        "data",
+                        "conv",
+                    ),
+                    Layer::new(
+                        "fc",
+                        LayerKind::FullConnection(FullParam::dense(8)),
+                        "conv",
+                        "fc",
+                    ),
+                ],
+            )
+            .expect("valid")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn timing_monotone_in_lanes(net in arb_net(), lanes in 2u32..64) {
+            let base = compile(&net, &CompilerConfig { lanes, ..CompilerConfig::default() })
+                .expect("compiles");
+            let doubled = compile(&net, &CompilerConfig { lanes: lanes * 2, ..CompilerConfig::default() })
+                .expect("compiles");
+            let p = TimingParams::default();
+            let t1 = simulate_timing(&base, &p).total_cycles;
+            let t2 = simulate_timing(&doubled, &p).total_cycles;
+            prop_assert!(t2 <= t1, "doubling lanes must not slow down: {t1} -> {t2}");
+        }
+
+        #[test]
+        fn energy_positive_and_consistent(net in arb_net(), lanes in 2u32..64) {
+            let c = compile(&net, &CompilerConfig { lanes, ..CompilerConfig::default() })
+                .expect("compiles");
+            let t = simulate_timing(&c, &TimingParams::default());
+            let r = simulate_energy(
+                &c, &t,
+                &deepburning_components::ResourceCost::logic(lanes, 1000 * lanes, 500),
+                100_000_000,
+                &EnergyParams::default(),
+            );
+            prop_assert!(r.total_j > 0.0);
+            prop_assert!(r.compute_j > 0.0);
+            let sum = r.compute_j + r.buffer_j + r.dram_j + r.static_j;
+            prop_assert!((sum - r.total_j).abs() < r.total_j * 1e-9);
+        }
+
+        #[test]
+        fn double_buffering_never_hurts(net in arb_net()) {
+            let c = compile(&net, &CompilerConfig::default()).expect("compiles");
+            let on = simulate_timing(&c, &TimingParams::default()).total_cycles;
+            let off = simulate_timing(&c, &TimingParams {
+                double_buffering: false, ..TimingParams::default()
+            }).total_cycles;
+            prop_assert!(on <= off);
+        }
+    }
+}

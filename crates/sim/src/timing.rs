@@ -1,0 +1,296 @@
+//! Transaction-level cycle-accurate timing simulation.
+//!
+//! This replaces the paper's Vivado RTL simulation of forward propagation:
+//! each coordinator phase is simulated as overlapping compute / DRAM /
+//! buffer streams (double buffering), and the phase latency is the slowest
+//! stream plus the pipeline fill/drain and reconfiguration overhead.
+
+use deepburning_compiler::{CompiledNetwork, Phase, PhaseKind};
+use deepburning_core::AcceleratorDesign;
+
+/// Tunable micro-architecture timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Effective DRAM bandwidth in bytes per accelerator cycle.
+    /// (Zynq DDR3-1066, 32-bit @ 533 MHz ≈ 4.2 GB/s ≈ 42 B/cycle at the
+    /// accelerator's 100 MHz.)
+    pub dram_bytes_per_cycle: f64,
+    /// Bytes per DRAM burst.
+    pub burst_bytes: u64,
+    /// Extra cycles charged per burst (row activation, AXI handshake).
+    pub burst_overhead_cycles: u64,
+    /// Aux-unit operations retired per cycle (pooling/LRN stream width).
+    pub aux_ops_per_cycle: u64,
+    /// Approx-LUT evaluations per cycle (parallel table banks).
+    pub lut_ops_per_cycle: u64,
+    /// Fixed cycles per phase: datapath fill/drain plus the coordinator's
+    /// producer-consumer reconnection.
+    pub phase_overhead_cycles: u64,
+    /// Whether fetch of fold *i+1* overlaps compute of fold *i*.
+    pub double_buffering: bool,
+    /// Hand-tuned designs map their dataflow so every lane stays busy;
+    /// generated designs waste the remainder lanes when a layer's
+    /// parallelism does not match the lane count (the paper's hardware/
+    /// parameter "mis-match").
+    pub assume_full_lane_utilization: bool,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams {
+            dram_bytes_per_cycle: 42.0,
+            burst_bytes: 256,
+            burst_overhead_cycles: 1,
+            aux_ops_per_cycle: 8,
+            lut_ops_per_cycle: 4,
+            phase_overhead_cycles: 32,
+            double_buffering: true,
+            assume_full_lane_utilization: false,
+        }
+    }
+}
+
+/// Cycle breakdown of one simulated phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTiming {
+    /// Phase id.
+    pub phase: usize,
+    /// Cycles the datapath (lanes / aux / LUT / sorter) needs.
+    pub compute_cycles: u64,
+    /// Cycles the DRAM traffic needs.
+    pub dram_cycles: u64,
+    /// Cycles the on-chip buffer traffic needs.
+    pub buffer_cycles: u64,
+    /// The phase's contribution to total latency.
+    pub latency_cycles: u64,
+}
+
+/// The outcome of a timing simulation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimingReport {
+    /// Per-phase breakdown in schedule order.
+    pub phases: Vec<PhaseTiming>,
+    /// End-to-end latency in cycles.
+    pub total_cycles: u64,
+}
+
+impl TimingReport {
+    /// Latency in seconds at `clock_hz`.
+    pub fn seconds(&self, clock_hz: u64) -> f64 {
+        self.total_cycles as f64 / clock_hz as f64
+    }
+
+    /// Total cycles spent waiting on DRAM beyond compute (memory-bound
+    /// slack) — used by the ablation analyses.
+    pub fn memory_bound_cycles(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.dram_cycles.saturating_sub(p.compute_cycles.max(p.buffer_cycles)))
+            .sum()
+    }
+}
+
+fn dram_cycles(bytes: u64, p: &TimingParams) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    let stream = (bytes as f64 / p.dram_bytes_per_cycle).ceil() as u64;
+    let bursts = bytes.div_ceil(p.burst_bytes);
+    stream + bursts * p.burst_overhead_cycles
+}
+
+fn compute_cycles(phase: &Phase, lanes: u32, p: &TimingParams) -> u64 {
+    match phase.kind {
+        PhaseKind::Compute => {
+            let effective = if p.assume_full_lane_utilization {
+                lanes
+            } else {
+                phase.active_lanes.min(lanes)
+            };
+            phase.work.macs.div_ceil(u64::from(effective.max(1)))
+        }
+        PhaseKind::Aux => phase.work.aux_ops.div_ceil(p.aux_ops_per_cycle.max(1)),
+        PhaseKind::Lut => phase.work.lut_ops.div_ceil(p.lut_ops_per_cycle.max(1)),
+        PhaseKind::Sort => phase.work.aux_ops.max(1),
+    }
+}
+
+/// Simulates the schedule of a compiled network.
+pub fn simulate_timing(compiled: &CompiledNetwork, params: &TimingParams) -> TimingReport {
+    simulate_folding(&compiled.folding, compiled.config.lanes, params)
+}
+
+/// Simulates an arbitrary folding plan (used for training-iteration plans
+/// produced by [`deepburning_compiler::plan_training`]).
+pub fn simulate_folding(
+    folding: &deepburning_compiler::FoldingPlan,
+    lanes: u32,
+    params: &TimingParams,
+) -> TimingReport {
+    let mut phases = Vec::with_capacity(folding.phases.len());
+    let mut total = 0u64;
+    for phase in &folding.phases {
+        let compute = compute_cycles(phase, lanes, params);
+        let dram = dram_cycles(
+            phase.work.dram_read_bytes + phase.work.dram_write_bytes,
+            params,
+        );
+        // The buffer bus moves `lanes` words per cycle into the datapath.
+        let buffer = (phase.work.buffer_read_words + phase.work.buffer_write_words)
+            .div_ceil(u64::from(lanes.max(1)));
+        let latency = if params.double_buffering {
+            compute.max(dram).max(buffer) + params.phase_overhead_cycles
+        } else {
+            compute + dram + buffer + params.phase_overhead_cycles
+        };
+        total += latency;
+        phases.push(PhaseTiming {
+            phase: phase.id,
+            compute_cycles: compute,
+            dram_cycles: dram,
+            buffer_cycles: buffer,
+            latency_cycles: latency,
+        });
+    }
+    TimingReport {
+        phases,
+        total_cycles: total,
+    }
+}
+
+/// Aggregates a timing report's phase latencies by layer, descending —
+/// the per-layer profile behind the folding ablations.
+pub fn aggregate_by_layer(
+    folding: &deepburning_compiler::FoldingPlan,
+    report: &TimingReport,
+) -> Vec<(String, u64)> {
+    let mut totals: Vec<(String, u64)> = Vec::new();
+    for (phase, timing) in folding.phases.iter().zip(&report.phases) {
+        match totals.iter_mut().find(|(name, _)| *name == phase.layer) {
+            Some((_, t)) => *t += timing.latency_cycles,
+            None => totals.push((phase.layer.clone(), timing.latency_cycles)),
+        }
+    }
+    totals.sort_by(|a, b| b.1.cmp(&a.1));
+    totals
+}
+
+/// Convenience: simulate a generated design and return the forward-pass
+/// latency in seconds at the design's clock.
+pub fn forward_latency(design: &AcceleratorDesign, params: &TimingParams) -> f64 {
+    simulate_timing(&design.compiled, params).seconds(design.clock_hz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_compiler::{compile, CompilerConfig};
+    use deepburning_model::parse_network;
+
+    const SRC: &str = r#"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 1 height: 28 width: 28 } }
+    layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+             param { num_output: 64 kernel_size: 5 stride: 1 } }
+    layers { name: "pool" type: POOLING bottom: "conv" top: "pool"
+             pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+    layers { name: "fc" type: FC bottom: "pool" top: "fc"
+             param { num_output: 10 } }
+    "#;
+
+    fn compiled(lanes: u32) -> CompiledNetwork {
+        let net = parse_network(SRC).expect("parses");
+        compile(&net, &CompilerConfig { lanes, ..CompilerConfig::default() }).expect("compiles")
+    }
+
+    #[test]
+    fn more_lanes_fewer_cycles() {
+        let p = TimingParams::default();
+        let small = simulate_timing(&compiled(16), &p).total_cycles;
+        let large = simulate_timing(&compiled(128), &p).total_cycles;
+        assert!(
+            large < small,
+            "128 lanes ({large}) should beat 16 lanes ({small})"
+        );
+    }
+
+    #[test]
+    fn lane_scaling_sublinear_due_to_memory() {
+        let p = TimingParams::default();
+        let t16 = simulate_timing(&compiled(16), &p).total_cycles as f64;
+        let t256 = simulate_timing(&compiled(256), &p).total_cycles as f64;
+        let speedup = t16 / t256;
+        assert!(speedup > 2.0, "speedup {speedup}");
+        assert!(speedup < 16.0, "memory should cap scaling, got {speedup}");
+    }
+
+    #[test]
+    fn double_buffering_helps() {
+        let c = compiled(64);
+        let with = simulate_timing(&c, &TimingParams::default()).total_cycles;
+        let without = simulate_timing(
+            &c,
+            &TimingParams {
+                double_buffering: false,
+                ..TimingParams::default()
+            },
+        )
+        .total_cycles;
+        assert!(with < without);
+    }
+
+    #[test]
+    fn phase_count_matches_plan() {
+        let c = compiled(16);
+        let report = simulate_timing(&c, &TimingParams::default());
+        assert_eq!(report.phases.len(), c.folding.phases.len());
+        let sum: u64 = report.phases.iter().map(|p| p.latency_cycles).sum();
+        assert_eq!(sum, report.total_cycles);
+    }
+
+    #[test]
+    fn aggregation_sums_to_total() {
+        let c = compiled(32);
+        let report = simulate_timing(&c, &TimingParams::default());
+        let layers = aggregate_by_layer(&c.folding, &report);
+        let sum: u64 = layers.iter().map(|(_, t)| t).sum();
+        assert_eq!(sum, report.total_cycles);
+        // Descending order.
+        for w in layers.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn seconds_at_100mhz() {
+        let report = TimingReport {
+            phases: vec![],
+            total_cycles: 1_000_000,
+        };
+        assert!((report.seconds(100_000_000) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_cycles_include_burst_overhead() {
+        let p = TimingParams::default();
+        let small = dram_cycles(64, &p);
+        let large = dram_cycles(64 * 100, &p);
+        assert!(large > small * 50, "{large} vs {small}");
+        assert_eq!(dram_cycles(0, &p), 0);
+    }
+
+    #[test]
+    fn slower_dram_increases_latency() {
+        let c = compiled(64);
+        let fast = simulate_timing(&c, &TimingParams::default()).total_cycles;
+        let slow = simulate_timing(
+            &c,
+            &TimingParams {
+                dram_bytes_per_cycle: 4.2,
+                ..TimingParams::default()
+            },
+        )
+        .total_cycles;
+        assert!(slow > fast);
+    }
+}

@@ -1,0 +1,649 @@
+//! Reference (f32) forward propagation for every layer kind.
+//!
+//! This is the "software neural network executed on CPU" the paper uses as
+//! the accuracy baseline, and the golden model the functional fixed-point
+//! simulator is checked against.
+
+use crate::tensor::Tensor;
+use crate::weights::{LayerWeights, WeightSet};
+use deepburning_model::{
+    Activation, Layer, LayerKind, Network, PoolMethod, Shape,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised during forward propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    /// Layer where evaluation failed.
+    pub layer: String,
+    /// Explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluating `{}`: {}", self.layer, self.detail)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn err(layer: &str, detail: impl Into<String>) -> EvalError {
+    EvalError {
+        layer: layer.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// 2-D convolution (grouped, zero-padded).
+pub fn conv2d(
+    input: &Tensor,
+    w: &[f32],
+    b: &[f32],
+    num_output: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    group: usize,
+) -> Tensor {
+    let ishape = input.shape();
+    let ci = ishape.channels;
+    let cig = ci / group;
+    let cog = num_output / group;
+    let oh = (ishape.height + 2 * pad - kernel) / stride + 1;
+    let ow = (ishape.width + 2 * pad - kernel) / stride + 1;
+    let mut out = Tensor::zeros(Shape::new(num_output, oh, ow));
+    for co in 0..num_output {
+        let g = co / cog;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b.get(co).copied().unwrap_or(0.0);
+                for icg in 0..cig {
+                    let ic = g * cig + icg;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            let wv = w[((co * cig + icg) * kernel + ky) * kernel + kx];
+                            acc += wv * input.get_padded(ic, iy, ix);
+                        }
+                    }
+                }
+                out.set(co, oy, ox, acc);
+            }
+        }
+    }
+    out
+}
+
+/// Spatial pooling.
+pub fn pool2d(input: &Tensor, method: PoolMethod, kernel: usize, stride: usize) -> Tensor {
+    let ishape = input.shape();
+    let oh = (ishape.height - kernel) / stride + 1;
+    let ow = (ishape.width - kernel) / stride + 1;
+    let mut out = Tensor::zeros(Shape::new(ishape.channels, oh, ow));
+    for c in 0..ishape.channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut agg = match method {
+                    PoolMethod::Max => f32::NEG_INFINITY,
+                    PoolMethod::Average => 0.0,
+                };
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let v = input.get(c, oy * stride + ky, ox * stride + kx);
+                        match method {
+                            PoolMethod::Max => agg = agg.max(v),
+                            PoolMethod::Average => agg += v,
+                        }
+                    }
+                }
+                if method == PoolMethod::Average {
+                    agg /= (kernel * kernel) as f32;
+                }
+                out.set(c, oy, ox, agg);
+            }
+        }
+    }
+    out
+}
+
+/// Fully-connected layer `y = W·x + b`.
+pub fn full_connection(input: &Tensor, w: &[f32], b: &[f32], num_output: usize) -> Tensor {
+    let x = input.as_slice();
+    let n = x.len();
+    let mut out = vec![0.0f32; num_output];
+    for (o, out_v) in out.iter_mut().enumerate() {
+        let row = &w[o * n..(o + 1) * n];
+        let mut acc = b.get(o).copied().unwrap_or(0.0);
+        for (xv, wv) in x.iter().zip(row) {
+            acc += xv * wv;
+        }
+        *out_v = acc;
+    }
+    Tensor::vector(&out)
+}
+
+/// Element-wise activation.
+pub fn activate(input: &Tensor, act: Activation) -> Tensor {
+    input.map(|v| act.eval(v as f64) as f32)
+}
+
+/// Across-channel local response normalisation (AlexNet formula).
+pub fn lrn(input: &Tensor, local_size: usize, alpha: f64, beta: f64) -> Tensor {
+    let s = input.shape();
+    let half = local_size / 2;
+    Tensor::from_fn(s, |c, y, x| {
+        let lo = c.saturating_sub(half);
+        let hi = (c + half).min(s.channels - 1);
+        let mut sum_sq = 0.0f64;
+        for cc in lo..=hi {
+            let v = input.get(cc, y, x) as f64;
+            sum_sq += v * v;
+        }
+        let denom = (1.0 + alpha / local_size as f64 * sum_sq).powf(beta);
+        (input.get(c, y, x) as f64 / denom) as f32
+    })
+}
+
+/// Recurrent layer: `h ← tanh(Wx·x + Wh·h + b)` iterated `steps` times from
+/// `h = 0`, with the feedback routed through the connection box.
+pub fn recurrent(input: &Tensor, w: &[f32], b: &[f32], num_output: usize, steps: usize) -> Tensor {
+    let x = input.as_slice();
+    let n_in = x.len();
+    let mut h = vec![0.0f32; num_output];
+    for _ in 0..steps.max(1) {
+        let mut next = vec![0.0f32; num_output];
+        for (o, next_v) in next.iter_mut().enumerate() {
+            let row = &w[o * (n_in + num_output)..(o + 1) * (n_in + num_output)];
+            let mut acc = b.get(o).copied().unwrap_or(0.0);
+            for (xv, wv) in x.iter().zip(&row[..n_in]) {
+                acc += xv * wv;
+            }
+            for (hv, wv) in h.iter().zip(&row[n_in..]) {
+                acc += hv * wv;
+            }
+            *next_v = acc.tanh();
+        }
+        h = next;
+    }
+    Tensor::vector(&h)
+}
+
+/// Deterministic CMAC cell index for input `x`, cell slot `slot`.
+///
+/// Quantises each input dimension to a grid, offsets it per slot (the
+/// classic CMAC overlapping-tiling scheme) and hashes into the table.
+pub fn cmac_index(x: &[f32], slot: usize, active_cells: usize, table_size: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in x {
+        let q = ((v * active_cells as f32).floor() as i64 + slot as i64)
+            .div_euclid(active_cells as i64);
+        h ^= q as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= slot as u64;
+    h = h.wrapping_mul(0x1000_0000_01b3);
+    (h % table_size as u64) as usize
+}
+
+/// Associative (CMAC) layer: reads `active_cells` table cells selected by
+/// the quantised input.
+pub fn associative(input: &Tensor, table: &[f32], table_size: usize, active_cells: usize) -> Tensor {
+    let x = input.as_slice();
+    let out: Vec<f32> = (0..active_cells)
+        .map(|slot| table[cmac_index(x, slot, active_cells, table_size)])
+        .collect();
+    Tensor::vector(&out)
+}
+
+/// Classification layer: indices of the `top_k` largest inputs, descending
+/// (the K-sorter block's output).
+pub fn classify(input: &Tensor, top_k: usize) -> Tensor {
+    let mut indexed: Vec<(usize, f32)> = input
+        .as_slice()
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let out: Vec<f32> = indexed.iter().take(top_k).map(|(i, _)| *i as f32).collect();
+    Tensor::vector(&out)
+}
+
+/// Inception block: 1×1, 3×3 (pad 1), 5×5 (pad 2) convolutions plus a 3×3
+/// max-pool → 1×1 projection, concatenated over channels.
+pub fn inception(
+    input: &Tensor,
+    weights: &LayerWeights,
+    c1x1: usize,
+    c3x3: usize,
+    c5x5: usize,
+    cpool: usize,
+) -> Tensor {
+    let ci = input.shape().channels;
+    let (h, w) = (input.shape().height, input.shape().width);
+    let w1_end = c1x1 * ci;
+    let w3_end = w1_end + c3x3 * ci * 9;
+    let w5_end = w3_end + c5x5 * ci * 25;
+    let b = &weights.b;
+    let b1 = &b[..c1x1];
+    let b3 = &b[c1x1..c1x1 + c3x3];
+    let b5 = &b[c1x1 + c3x3..c1x1 + c3x3 + c5x5];
+    let bp = &b[c1x1 + c3x3 + c5x5..];
+    let o1 = conv2d(input, &weights.w[..w1_end], b1, c1x1, 1, 1, 0, 1);
+    let o3 = conv2d(input, &weights.w[w1_end..w3_end], b3, c3x3, 3, 1, 1, 1);
+    let o5 = conv2d(input, &weights.w[w3_end..w5_end], b5, c5x5, 5, 1, 2, 1);
+    // Pool branch: same-extent 3x3 max pool (stride 1, pad 1 emulated by
+    // clamped window) then 1x1 projection.
+    let pooled = Tensor::from_fn(input.shape(), |c, y, x| {
+        let mut m = f32::NEG_INFINITY;
+        for dy in -1isize..=1 {
+            for dx in -1isize..=1 {
+                let yy = y as isize + dy;
+                let xx = x as isize + dx;
+                if yy >= 0 && xx >= 0 && (yy as usize) < h && (xx as usize) < w {
+                    m = m.max(input.get(c, yy as usize, xx as usize));
+                }
+            }
+        }
+        m
+    });
+    let op = conv2d(&pooled, &weights.w[w5_end..], bp, cpool, 1, 1, 0, 1);
+    concat(&[&o1, &o3, &o5, &op])
+}
+
+/// Channel-wise concatenation.
+pub fn concat(inputs: &[&Tensor]) -> Tensor {
+    let (h, w) = (inputs[0].shape().height, inputs[0].shape().width);
+    let total: usize = inputs.iter().map(|t| t.shape().channels).sum();
+    let mut out = Tensor::zeros(Shape::new(total, h, w));
+    let mut base = 0;
+    for t in inputs {
+        for c in 0..t.shape().channels {
+            for y in 0..h {
+                for x in 0..w {
+                    out.set(base + c, y, x, t.get(c, y, x));
+                }
+            }
+        }
+        base += t.shape().channels;
+    }
+    out
+}
+
+/// Evaluates one layer on resolved inputs.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if weights are missing/misshaped or inputs are
+/// incompatible.
+pub fn eval_layer(
+    layer: &Layer,
+    inputs: &[&Tensor],
+    weights: &WeightSet,
+) -> Result<Tensor, EvalError> {
+    let input = || -> Result<&Tensor, EvalError> {
+        inputs
+            .first()
+            .copied()
+            .ok_or_else(|| err(&layer.name, "no input blob"))
+    };
+    let lw = || -> Result<&LayerWeights, EvalError> {
+        weights
+            .get(&layer.name)
+            .ok_or_else(|| err(&layer.name, "weights missing"))
+    };
+    match &layer.kind {
+        LayerKind::Input { .. } => Ok(input()?.clone()),
+        LayerKind::Convolution(p) => {
+            let lw = lw()?;
+            Ok(conv2d(
+                input()?,
+                &lw.w,
+                &lw.b,
+                p.num_output,
+                p.kernel_size,
+                p.stride,
+                p.pad,
+                p.group,
+            ))
+        }
+        LayerKind::Pooling(p) => Ok(pool2d(input()?, p.method, p.kernel_size, p.stride)),
+        LayerKind::FullConnection(p) => {
+            let lw = lw()?;
+            let x = input()?;
+            if lw.w.len() != p.num_output * x.shape().elements() {
+                return Err(err(
+                    &layer.name,
+                    format!(
+                        "weight matrix is {} elements, need {}",
+                        lw.w.len(),
+                        p.num_output * x.shape().elements()
+                    ),
+                ));
+            }
+            Ok(full_connection(x, &lw.w, &lw.b, p.num_output))
+        }
+        LayerKind::Activation(a) => Ok(activate(input()?, *a)),
+        LayerKind::Lrn(p) => Ok(lrn(input()?, p.local_size, p.alpha, p.beta)),
+        LayerKind::Dropout { .. } => Ok(input()?.clone()), // inference: identity
+        LayerKind::Recurrent { num_output, steps } => {
+            let lw = lw()?;
+            Ok(recurrent(input()?, &lw.w, &lw.b, *num_output, *steps))
+        }
+        LayerKind::Associative {
+            table_size,
+            active_cells,
+        } => {
+            let lw = lw()?;
+            Ok(associative(input()?, &lw.w, *table_size, *active_cells))
+        }
+        LayerKind::Memory { .. } => Ok(input()?.clone()),
+        LayerKind::Classifier { top_k } => Ok(classify(input()?, *top_k)),
+        LayerKind::Inception(p) => {
+            let lw = lw()?;
+            Ok(inception(input()?, lw, p.c1x1, p.c3x3, p.c5x5, p.cpool))
+        }
+        LayerKind::Concat => {
+            if inputs.is_empty() {
+                return Err(err(&layer.name, "concat needs inputs"));
+            }
+            Ok(concat(inputs))
+        }
+        LayerKind::Eltwise => {
+            let first = input()?.clone();
+            let mut out = first;
+            for t in &inputs[1..] {
+                if t.shape() != out.shape() {
+                    return Err(err(&layer.name, "eltwise shape mismatch"));
+                }
+                for (o, v) in out.as_mut_slice().iter_mut().zip(t.as_slice()) {
+                    *o += v;
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Runs a full forward pass, returning every blob value.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if the input shape mismatches the network or any
+/// layer fails to evaluate.
+pub fn forward_all(
+    net: &Network,
+    weights: &WeightSet,
+    input: &Tensor,
+) -> Result<BTreeMap<String, Tensor>, EvalError> {
+    if input.shape() != net.input_shape() {
+        return Err(err(
+            "input",
+            format!(
+                "input shape {} does not match network input {}",
+                input.shape(),
+                net.input_shape()
+            ),
+        ));
+    }
+    let mut blobs: BTreeMap<String, Tensor> = BTreeMap::new();
+    for layer in net.layers() {
+        let out = if matches!(layer.kind, LayerKind::Input { .. }) {
+            input.clone()
+        } else {
+            let ins: Vec<&Tensor> = layer
+                .bottoms
+                .iter()
+                .map(|b| {
+                    blobs
+                        .get(b)
+                        .ok_or_else(|| err(&layer.name, format!("blob `{b}` not computed")))
+                })
+                .collect::<Result<_, _>>()?;
+            // FC consumes a flattened view of volumes.
+            let flat;
+            let ins = if matches!(
+                layer.kind,
+                LayerKind::FullConnection(_) | LayerKind::Recurrent { .. }
+            ) && !ins.is_empty()
+                && !ins[0].shape().is_vector()
+            {
+                flat = ins[0].clone().flatten();
+                vec![&flat]
+            } else {
+                ins
+            };
+            eval_layer(layer, &ins, weights)?
+        };
+        for top in &layer.tops {
+            blobs.insert(top.clone(), out.clone());
+        }
+    }
+    Ok(blobs)
+}
+
+/// Runs a forward pass and returns the final output blob.
+///
+/// # Errors
+///
+/// See [`forward_all`].
+pub fn forward(net: &Network, weights: &WeightSet, input: &Tensor) -> Result<Tensor, EvalError> {
+    let blobs = forward_all(net, weights, input)?;
+    let outs = net.output_blobs();
+    let last = outs.last().ok_or_else(|| err("network", "no output blob"))?;
+    Ok(blobs[last].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_model::{ConvParam, FullParam, Layer, PoolParam};
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let input = Tensor::from_fn(Shape::new(1, 3, 3), |_, y, x| (y * 3 + x) as f32);
+        let out = conv2d(&input, &[1.0], &[0.0], 1, 1, 1, 0, 1);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 2x2 input, 2x2 kernel of ones -> sum of all elements.
+        let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let out = conv2d(&input, &[1.0; 4], &[0.5], 1, 2, 1, 0, 1);
+        assert_eq!(out.as_slice(), &[10.5]);
+    }
+
+    #[test]
+    fn conv_padding_extends() {
+        let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let out = conv2d(&input, &[1.0; 9], &[0.0], 1, 3, 1, 1, 1);
+        assert_eq!(out.shape(), Shape::new(1, 2, 2));
+        // center of padded conv at (0,0) covers the whole input
+        assert_eq!(out.get(0, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn grouped_conv_blocks_cross_talk() {
+        // 2 input channels, 2 outputs, group 2: each output sees one input.
+        let input = Tensor::from_vec(Shape::new(2, 1, 1), vec![5.0, 7.0]);
+        let out = conv2d(&input, &[1.0, 1.0], &[0.0, 0.0], 2, 1, 1, 0, 2);
+        assert_eq!(out.as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn max_and_avg_pool() {
+        let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(pool2d(&input, PoolMethod::Max, 2, 2).as_slice(), &[4.0]);
+        assert_eq!(pool2d(&input, PoolMethod::Average, 2, 2).as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn fc_known_values() {
+        let x = Tensor::vector(&[1.0, 2.0]);
+        // W = [[1,1],[2,-1]], b = [0, 1]
+        let out = full_connection(&x, &[1.0, 1.0, 2.0, -1.0], &[0.0, 1.0], 2);
+        assert_eq!(out.as_slice(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn lrn_suppresses_large_neighbourhoods() {
+        let quiet = Tensor::from_vec(Shape::new(3, 1, 1), vec![0.0, 1.0, 0.0]);
+        let loud = Tensor::from_vec(Shape::new(3, 1, 1), vec![10.0, 1.0, 10.0]);
+        let lq = lrn(&quiet, 3, 1.0, 0.75).get(1, 0, 0);
+        let ll = lrn(&loud, 3, 1.0, 0.75).get(1, 0, 0);
+        assert!(ll < lq, "loud {ll} should be suppressed below quiet {lq}");
+    }
+
+    #[test]
+    fn recurrent_converges_on_zero_input_weights() {
+        // Wx = 0, Wh = 0 -> h = tanh(b) after any number of steps.
+        let x = Tensor::vector(&[1.0]);
+        let w = vec![0.0, 0.0]; // one neuron: [wx, wh]
+        let out = recurrent(&x, &w, &[0.5], 1, 5);
+        assert!((out.as_slice()[0] - 0.5f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recurrent_feedback_matters() {
+        let x = Tensor::vector(&[1.0]);
+        let w = vec![1.0, 0.5];
+        let one = recurrent(&x, &w, &[0.0], 1, 1);
+        let three = recurrent(&x, &w, &[0.0], 1, 3);
+        assert_ne!(one.as_slice()[0], three.as_slice()[0]);
+    }
+
+    #[test]
+    fn cmac_indices_deterministic_and_local() {
+        let a = cmac_index(&[0.5, 0.5], 0, 8, 1024);
+        let b = cmac_index(&[0.5, 0.5], 0, 8, 1024);
+        assert_eq!(a, b);
+        // A tiny perturbation keeps most slots identical (CMAC locality).
+        let same: usize = (0..8)
+            .filter(|&s| {
+                cmac_index(&[0.5, 0.5], s, 8, 1024) == cmac_index(&[0.51, 0.5], s, 8, 1024)
+            })
+            .count();
+        assert!(same >= 6, "only {same}/8 slots stable");
+    }
+
+    #[test]
+    fn classify_returns_topk_indices() {
+        let x = Tensor::vector(&[0.1, 0.9, 0.3, 0.7]);
+        let out = classify(&x, 2);
+        assert_eq!(out.as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::from_vec(Shape::new(1, 1, 2), vec![1.0, 2.0]);
+        let b = Tensor::from_vec(Shape::new(2, 1, 2), vec![3.0, 4.0, 5.0, 6.0]);
+        let out = concat(&[&a, &b]);
+        assert_eq!(out.shape(), Shape::new(3, 1, 2));
+        assert_eq!(out.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn forward_chain_matches_manual() {
+        let net = Network::from_layers(
+            "t",
+            vec![
+                Layer::input("data", "data", 1, 4, 4),
+                Layer::new(
+                    "pool",
+                    LayerKind::Pooling(PoolParam {
+                        method: PoolMethod::Average,
+                        kernel_size: 2,
+                        stride: 2,
+                    }),
+                    "data",
+                    "pool",
+                ),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(1)),
+                    "pool",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid");
+        let mut ws = WeightSet::new();
+        ws.insert(
+            "fc",
+            LayerWeights {
+                w: vec![1.0; 4],
+                b: vec![0.0],
+            },
+        );
+        let input = Tensor::from_fn(Shape::new(1, 4, 4), |_, _, _| 2.0);
+        let out = forward(&net, &ws, &input).expect("forward");
+        // avg-pool of 2s is 2, fc sums 4 of them -> 8
+        assert_eq!(out.as_slice(), &[8.0]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_shape() {
+        let net = Network::from_layers(
+            "t",
+            vec![Layer::input("data", "data", 1, 4, 4)],
+        )
+        .expect("valid");
+        let ws = WeightSet::new();
+        let bad = Tensor::zeros(Shape::new(1, 2, 2));
+        assert!(forward(&net, &ws, &bad).is_err());
+    }
+
+    #[test]
+    fn missing_weights_is_an_error() {
+        let net = Network::from_layers(
+            "t",
+            vec![
+                Layer::input("data", "data", 2, 1, 1),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(2)),
+                    "data",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid");
+        let e = forward(&net, &WeightSet::new(), &Tensor::vector(&[1.0, 2.0])).unwrap_err();
+        assert!(e.detail.contains("weights missing"));
+    }
+
+    #[test]
+    fn conv_layer_via_network_matches_direct() {
+        let net = Network::from_layers(
+            "t",
+            vec![
+                Layer::input("data", "data", 1, 5, 5),
+                Layer::new(
+                    "conv",
+                    LayerKind::Convolution(ConvParam::new(2, 3, 1)),
+                    "data",
+                    "conv",
+                ),
+            ],
+        )
+        .expect("valid");
+        let mut ws = WeightSet::new();
+        let w: Vec<f32> = (0..18).map(|i| i as f32 * 0.1).collect();
+        ws.insert(
+            "conv",
+            LayerWeights {
+                w: w.clone(),
+                b: vec![0.1, -0.1],
+            },
+        );
+        let input = Tensor::from_fn(Shape::new(1, 5, 5), |_, y, x| (y + x) as f32 * 0.5);
+        let via_net = forward(&net, &ws, &input).expect("forward");
+        let direct = conv2d(&input, &w, &[0.1, -0.1], 2, 3, 1, 0, 1);
+        assert_eq!(via_net, direct);
+    }
+}

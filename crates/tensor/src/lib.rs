@@ -1,0 +1,132 @@
+//! Reference f32 tensor engine for DeepBurning: golden forward propagation,
+//! SGD training and synthetic datasets.
+//!
+//! This crate is the "software neural network on CPU" of the paper's
+//! evaluation — the baseline every accelerator run is compared against for
+//! both speed (via op counts) and output accuracy — and the trainer that
+//! replaces the paper's Matlab/Caffe training step.
+//!
+//! # Examples
+//!
+//! Train a tiny MLP and evaluate it:
+//!
+//! ```
+//! use deepburning_model::{Activation, FullParam, Layer, LayerKind, Network};
+//! use deepburning_tensor::{forward, train_sgd, Init, Target, Tensor, TrainConfig, WeightSet};
+//! use rand::SeedableRng;
+//!
+//! let net = Network::from_layers("demo", vec![
+//!     Layer::input("data", "data", 1, 1, 1),
+//!     Layer::new("h", LayerKind::FullConnection(FullParam::dense(8)), "data", "h"),
+//!     Layer::new("ht", LayerKind::Activation(Activation::Tanh), "h", "h"),
+//!     Layer::new("o", LayerKind::FullConnection(FullParam::dense(1)), "h", "o"),
+//! ])?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut ws = WeightSet::init(&net, Init::Xavier, &mut rng)?;
+//! let data: Vec<_> = (0..32)
+//!     .map(|i| {
+//!         let x = i as f32 / 32.0;
+//!         (Tensor::vector(&[x]), Target::Values(vec![(x * 3.0).sin()]))
+//!     })
+//!     .collect();
+//! train_sgd(&net, &mut ws, &data, &TrainConfig::default(), &mut rng)?;
+//! let y = forward(&net, &ws, &Tensor::vector(&[0.5]))?;
+//! assert!(y.as_slice()[0].is_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod data;
+mod forward;
+mod metrics;
+mod tensor;
+mod train;
+mod weights;
+
+pub use data::{
+    digits_dataset, fft_reference, jpeg_reference, kmeans_reference, regression_dataset,
+    render_digit, texture_image, textures_dataset,
+};
+pub use forward::{
+    activate, associative, classify, cmac_index, concat, conv2d, eval_layer, forward, forward_all,
+    full_connection, inception, lrn, pool2d, recurrent, EvalError,
+};
+pub use metrics::{mse, percent_correct, relative_accuracy, tensor_accuracy};
+pub use tensor::Tensor;
+pub use train::{
+    classification_accuracy, is_trainable, train_sgd, Target, TrainConfig, TrainError, TrainReport,
+};
+pub use weights::{expected_sizes, Init, LayerWeights, WeightError, WeightSet};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use deepburning_model::{PoolMethod, Shape};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn conv_linearity(scale in -2.0f32..2.0, seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let input = Tensor::from_fn(Shape::new(1, 5, 5), |_, _, _| rng.gen_range(-1.0..1.0f32));
+            let w: Vec<f32> = (0..9).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let y1 = conv2d(&input, &w, &[0.0], 1, 3, 1, 0, 1);
+            let scaled = input.map(|v| v * scale);
+            let y2 = conv2d(&scaled, &w, &[0.0], 1, 3, 1, 0, 1);
+            for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+                prop_assert!((a * scale - b).abs() < 1e-3, "{a} * {scale} != {b}");
+            }
+        }
+
+        #[test]
+        fn max_pool_bounded_by_input(seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let input = Tensor::from_fn(Shape::new(2, 6, 6), |_, _, _| rng.gen_range(-1.0..1.0f32));
+            let out = pool2d(&input, PoolMethod::Max, 2, 2);
+            let in_max = input.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let out_max = out.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out_max <= in_max + 1e-6);
+            // Every pooled value exists in the input.
+            for &v in out.as_slice() {
+                prop_assert!(input.as_slice().contains(&v));
+            }
+        }
+
+        #[test]
+        fn avg_pool_preserves_mean(seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let input = Tensor::from_fn(Shape::new(1, 4, 4), |_, _, _| rng.gen_range(-1.0..1.0f32));
+            let out = pool2d(&input, PoolMethod::Average, 2, 2);
+            // Non-overlapping full tiling: means agree.
+            prop_assert!((input.mean() - out.mean()).abs() < 1e-5);
+        }
+
+        #[test]
+        fn relative_accuracy_bounds(values in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let acc = relative_accuracy(&values, &values);
+            prop_assert_eq!(acc, 100.0);
+        }
+
+        #[test]
+        fn fc_is_affine(seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let w: Vec<f32> = (0..12).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let b: Vec<f32> = (0..3).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let x: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let y: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            let fx = full_connection(&Tensor::vector(&x), &w, &b, 3);
+            let fy = full_connection(&Tensor::vector(&y), &w, &b, 3);
+            let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+            let fsum = full_connection(&Tensor::vector(&sum), &w, &b, 3);
+            let f0 = full_connection(&Tensor::vector(&[0.0; 4]), &w, &b, 3);
+            // f(x+y) = f(x) + f(y) - f(0) for affine maps.
+            for i in 0..3 {
+                let expect = fx.as_slice()[i] + fy.as_slice()[i] - f0.as_slice()[i];
+                prop_assert!((fsum.as_slice()[i] - expect).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Accuracy metrics used by the evaluation (paper §4.2, Fig. 10).
+
+use crate::tensor::Tensor;
+
+/// The paper's Eq. (1): `accuracy = (1 - (A-B)²/B²) × 100%`, evaluated over
+/// vectors as the ratio of squared error energy to reference energy.
+///
+/// `B` is the golden reference, `A` the approximation under test. Returns a
+/// percentage, clamped to `[0, 100]`.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use deepburning_tensor::relative_accuracy;
+///
+/// assert_eq!(relative_accuracy(&[1.0, 2.0], &[1.0, 2.0]), 100.0);
+/// assert!(relative_accuracy(&[1.1, 2.0], &[1.0, 2.0]) > 99.0);
+/// ```
+pub fn relative_accuracy(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "metric operands differ in length");
+    let mut err = 0.0f64;
+    let mut energy = 0.0f64;
+    for (&ai, &bi) in a.iter().zip(b) {
+        let d = (ai - bi) as f64;
+        err += d * d;
+        energy += (bi as f64) * (bi as f64);
+    }
+    if energy == 0.0 {
+        return if err == 0.0 { 100.0 } else { 0.0 };
+    }
+    ((1.0 - err / energy) * 100.0).clamp(0.0, 100.0)
+}
+
+/// Tensor convenience wrapper over [`relative_accuracy`].
+///
+/// # Panics
+///
+/// Panics if the tensors differ in element count.
+pub fn tensor_accuracy(approx: &Tensor, golden: &Tensor) -> f64 {
+    relative_accuracy(approx.as_slice(), golden.as_slice())
+}
+
+/// Mean squared error between two vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "metric operands differ in length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Fraction of predictions matching labels, as a percentage.
+pub fn percent_correct(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "metric operands differ in length");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f64 / predictions.len() as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_is_100() {
+        assert_eq!(relative_accuracy(&[3.0, -1.0], &[3.0, -1.0]), 100.0);
+        assert_eq!(mse(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn gross_error_clamps_to_zero() {
+        assert_eq!(relative_accuracy(&[100.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn zero_reference_handled() {
+        assert_eq!(relative_accuracy(&[0.0], &[0.0]), 100.0);
+        assert_eq!(relative_accuracy(&[0.5], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn small_error_small_penalty() {
+        let acc = relative_accuracy(&[1.01, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert!(acc > 99.9 && acc < 100.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        assert!((mse(&[1.0, 2.0], &[0.0, 4.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_correct_counts() {
+        assert_eq!(percent_correct(&[1, 2, 3, 4], &[1, 2, 0, 4]), 75.0);
+        assert_eq!(percent_correct(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn tensor_wrapper_agrees() {
+        let a = Tensor::vector(&[1.0, 2.0]);
+        let b = Tensor::vector(&[1.0, 2.1]);
+        assert_eq!(
+            tensor_accuracy(&a, &b),
+            relative_accuracy(&[1.0, 2.0], &[1.0, 2.1])
+        );
+    }
+}

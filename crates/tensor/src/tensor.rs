@@ -1,0 +1,234 @@
+//! A minimal f32 tensor in `channels × height × width` layout.
+
+use deepburning_model::Shape;
+use std::fmt;
+
+/// A dense f32 tensor with [`Shape`] semantics matching the model IR.
+///
+/// Storage is row-major within a channel: `data[c*H*W + y*W + x]`.
+///
+/// # Examples
+///
+/// ```
+/// use deepburning_model::Shape;
+/// use deepburning_tensor::Tensor;
+///
+/// let mut t = Tensor::zeros(Shape::new(2, 3, 3));
+/// t.set(1, 2, 2, 7.0);
+/// assert_eq!(t.get(1, 2, 2), 7.0);
+/// assert_eq!(t.as_slice().len(), 18);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero-filled tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            data: vec![0.0; shape.elements()],
+        }
+    }
+
+    /// Builds a tensor by evaluating `f(c, y, x)`.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.elements());
+        for c in 0..shape.channels {
+            for y in 0..shape.height {
+                for x in 0..shape.width {
+                    data.push(f(c, y, x));
+                }
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.elements()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.elements(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A flat vector tensor from a slice.
+    pub fn vector(values: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::vector(values.len()),
+            data: values.to_vec(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Flat read-only view.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    #[inline]
+    fn offset(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.shape.channels && y < self.shape.height && x < self.shape.width);
+        (c * self.shape.height + y) * self.shape.width + x
+    }
+
+    /// Element read.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the coordinates are out of range.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.offset(c, y, x)]
+    }
+
+    /// Element read with zero padding outside the spatial extent.
+    #[inline]
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y >= self.shape.height as isize || x >= self.shape.width as isize {
+            0.0
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+
+    /// Element write.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the coordinates are out of range.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let i = self.offset(c, y, x);
+        self.data[i] = v;
+    }
+
+    /// Adds to an element.
+    #[inline]
+    pub fn add_at(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let i = self.offset(c, y, x);
+        self.data[i] += v;
+    }
+
+    /// Reinterprets as a flat vector without copying.
+    pub fn flatten(mut self) -> Tensor {
+        self.shape = Shape::vector(self.shape.elements());
+        self
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}]", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_chw() {
+        let t = Tensor::from_fn(Shape::new(2, 2, 3), |c, y, x| (c * 100 + y * 10 + x) as f32);
+        assert_eq!(t.as_slice()[0], 0.0);
+        assert_eq!(t.as_slice()[3], 10.0); // c0 y1 x0
+        assert_eq!(t.as_slice()[6], 100.0); // c1 y0 x0
+        assert_eq!(t.get(1, 1, 2), 112.0);
+    }
+
+    #[test]
+    fn padded_reads() {
+        let t = Tensor::from_fn(Shape::new(1, 2, 2), |_, y, x| (y * 2 + x) as f32 + 1.0);
+        assert_eq!(t.get_padded(0, -1, 0), 0.0);
+        assert_eq!(t.get_padded(0, 0, 2), 0.0);
+        assert_eq!(t.get_padded(0, 1, 1), 4.0);
+    }
+
+    #[test]
+    fn argmax_and_mean() {
+        let t = Tensor::vector(&[0.1, 0.9, 0.5]);
+        assert_eq!(t.argmax(), 1);
+        assert!((t.mean() - 0.5).abs() < 1e-6);
+        assert_eq!(Tensor::vector(&[-3.0, 2.0]).max_abs(), 3.0);
+    }
+
+    #[test]
+    fn flatten_preserves_data() {
+        let t = Tensor::from_fn(Shape::new(2, 2, 2), |c, y, x| (c + y + x) as f32);
+        let flat = t.clone().flatten();
+        assert_eq!(flat.shape(), Shape::vector(8));
+        assert_eq!(flat.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(Shape::new(1, 2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn map_applies() {
+        let t = Tensor::vector(&[1.0, -2.0]).map(f32::abs);
+        assert_eq!(t.as_slice(), &[1.0, 2.0]);
+    }
+}

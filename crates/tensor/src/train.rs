@@ -1,0 +1,604 @@
+//! SGD backpropagation trainer for the small benchmark networks.
+//!
+//! The paper trains its ANN/MNIST/Cifar models in Matlab/Caffe; this module
+//! is our substitute. It supports simple sequential networks (single-bottom
+//! chains) of convolution, pooling, full-connection, activation and dropout
+//! layers — exactly what the trainable zoo members use.
+
+use crate::forward::{conv2d, full_connection, pool2d};
+use crate::tensor::Tensor;
+use crate::weights::WeightSet;
+use deepburning_model::{LayerKind, Network, PoolMethod};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// Training target for one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Classification label (softmax cross-entropy loss).
+    Class(usize),
+    /// Regression values (mean-squared-error loss).
+    Values(Vec<f32>),
+}
+
+/// Hyper-parameters for [`train_sgd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Gradient clip (absolute, per component); 0 disables.
+    pub grad_clip: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 0.05,
+            epochs: 20,
+            weight_decay: 1e-5,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainReport {
+    /// Mean loss after each epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Loss after the final epoch.
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// Error raised when a network cannot be trained by this module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainError {
+    /// Explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot train network: {}", self.detail)
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Whether [`train_sgd`] supports this network (a sequential chain of
+/// conv / pool / FC / activation / dropout layers).
+pub fn is_trainable(net: &Network) -> bool {
+    net.layers().iter().all(|l| {
+        matches!(
+            l.kind,
+            LayerKind::Input { .. }
+                | LayerKind::Convolution(_)
+                | LayerKind::Pooling(_)
+                | LayerKind::FullConnection(_)
+                | LayerKind::Activation(_)
+                | LayerKind::Dropout { .. }
+        ) && l.bottoms.len() <= 1
+    })
+}
+
+/// Cached activations of one forward pass (inputs to each layer).
+struct Caches {
+    /// Input tensor to each layer, in execution order.
+    inputs: Vec<Tensor>,
+    /// Final output.
+    output: Tensor,
+}
+
+fn forward_cached(net: &Network, weights: &WeightSet, input: &Tensor) -> Caches {
+    let mut cur = input.clone();
+    let mut inputs = Vec::with_capacity(net.layers().len());
+    for layer in net.layers() {
+        inputs.push(cur.clone());
+        cur = match &layer.kind {
+            LayerKind::Input { .. } => cur,
+            LayerKind::Convolution(p) => {
+                let lw = weights.get(&layer.name).expect("validated weights");
+                conv2d(
+                    &cur,
+                    &lw.w,
+                    &lw.b,
+                    p.num_output,
+                    p.kernel_size,
+                    p.stride,
+                    p.pad,
+                    p.group,
+                )
+            }
+            LayerKind::Pooling(p) => pool2d(&cur, p.method, p.kernel_size, p.stride),
+            LayerKind::FullConnection(p) => {
+                let lw = weights.get(&layer.name).expect("validated weights");
+                full_connection(&cur.flatten(), &lw.w, &lw.b, p.num_output)
+            }
+            LayerKind::Activation(a) => cur.map(|v| a.eval(v as f64) as f32),
+            LayerKind::Dropout { .. } => cur,
+            other => unreachable!("unsupported trainable layer {other:?}"),
+        };
+    }
+    Caches { inputs, output: cur }
+}
+
+/// Computes loss and the gradient w.r.t. the network output.
+fn loss_and_grad(output: &Tensor, target: &Target) -> (f32, Tensor) {
+    match target {
+        Target::Class(t) => {
+            let z = output.as_slice();
+            let zmax = z.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let exps: Vec<f32> = z.iter().map(|&v| (v - zmax).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+            let loss = -(probs[*t].max(1e-12)).ln();
+            let grad: Vec<f32> = probs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| p - if i == *t { 1.0 } else { 0.0 })
+                .collect();
+            (loss, Tensor::vector(&grad))
+        }
+        Target::Values(vals) => {
+            let y = output.as_slice();
+            assert_eq!(y.len(), vals.len(), "target length mismatch");
+            let n = y.len() as f32;
+            let mut loss = 0.0;
+            let grad: Vec<f32> = y
+                .iter()
+                .zip(vals)
+                .map(|(&yi, &ti)| {
+                    let d = yi - ti;
+                    loss += d * d;
+                    2.0 * d / n
+                })
+                .collect();
+            (loss / n, Tensor::vector(&grad))
+        }
+    }
+}
+
+/// Backward pass: updates `weights` in place for one sample.
+#[allow(clippy::too_many_arguments)]
+fn backward_update(
+    net: &Network,
+    weights: &mut WeightSet,
+    caches: &Caches,
+    mut grad: Tensor,
+    cfg: &TrainConfig,
+) {
+    let clip = |g: f32| {
+        if cfg.grad_clip > 0.0 {
+            g.clamp(-cfg.grad_clip, cfg.grad_clip)
+        } else {
+            g
+        }
+    };
+    for (idx, layer) in net.layers().iter().enumerate().rev() {
+        let input = &caches.inputs[idx];
+        match &layer.kind {
+            LayerKind::Input { .. } => {}
+            LayerKind::Activation(a) => {
+                grad = Tensor::from_vec(
+                    input.shape(),
+                    input
+                        .as_slice()
+                        .iter()
+                        .zip(grad.as_slice())
+                        .map(|(&x, &g)| g * a.derivative(x as f64) as f32)
+                        .collect(),
+                );
+            }
+            LayerKind::Dropout { .. } => {}
+            LayerKind::FullConnection(p) => {
+                let flat_in = input.clone().flatten();
+                let x = flat_in.as_slice();
+                let gy = grad.as_slice().to_vec();
+                let lw = weights.get_mut(&layer.name).expect("validated weights");
+                let n = x.len();
+                let mut gx = vec![0.0f32; n];
+                for o in 0..p.num_output {
+                    let g = clip(gy[o]);
+                    let row = &mut lw.w[o * n..(o + 1) * n];
+                    for (i, (xi, wv)) in x.iter().zip(row.iter_mut()).enumerate() {
+                        gx[i] += *wv * g;
+                        *wv -= cfg.learning_rate * (g * xi + cfg.weight_decay * *wv);
+                    }
+                    lw.b[o] -= cfg.learning_rate * g;
+                }
+                grad = Tensor::from_vec(input.shape(), gx);
+            }
+            LayerKind::Pooling(p) => {
+                let mut gx = Tensor::zeros(input.shape());
+                let oshape = grad.shape();
+                for c in 0..oshape.channels {
+                    for oy in 0..oshape.height {
+                        for ox in 0..oshape.width {
+                            let g = grad.get(c, oy, ox);
+                            match p.method {
+                                PoolMethod::Max => {
+                                    // Route the gradient to the (first) max.
+                                    let (mut by, mut bx, mut bv) = (0, 0, f32::NEG_INFINITY);
+                                    for ky in 0..p.kernel_size {
+                                        for kx in 0..p.kernel_size {
+                                            let v = input.get(
+                                                c,
+                                                oy * p.stride + ky,
+                                                ox * p.stride + kx,
+                                            );
+                                            if v > bv {
+                                                bv = v;
+                                                by = ky;
+                                                bx = kx;
+                                            }
+                                        }
+                                    }
+                                    gx.add_at(c, oy * p.stride + by, ox * p.stride + bx, g);
+                                }
+                                PoolMethod::Average => {
+                                    let share = g / (p.kernel_size * p.kernel_size) as f32;
+                                    for ky in 0..p.kernel_size {
+                                        for kx in 0..p.kernel_size {
+                                            gx.add_at(
+                                                c,
+                                                oy * p.stride + ky,
+                                                ox * p.stride + kx,
+                                                share,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                grad = gx;
+            }
+            LayerKind::Convolution(p) => {
+                let ishape = input.shape();
+                let oshape = grad.shape();
+                let cig = ishape.channels / p.group;
+                let cog = p.num_output / p.group;
+                let mut gx = Tensor::zeros(ishape);
+                let lw = weights.get_mut(&layer.name).expect("validated weights");
+                let k = p.kernel_size;
+                for co in 0..p.num_output {
+                    let g_grp = co / cog;
+                    for oy in 0..oshape.height {
+                        for ox in 0..oshape.width {
+                            let g = clip(grad.get(co, oy, ox));
+                            if g == 0.0 {
+                                continue;
+                            }
+                            lw.b[co] -= cfg.learning_rate * g;
+                            for icg in 0..cig {
+                                let ic = g_grp * cig + icg;
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                                        if iy < 0
+                                            || ix < 0
+                                            || iy >= ishape.height as isize
+                                            || ix >= ishape.width as isize
+                                        {
+                                            continue;
+                                        }
+                                        let widx = ((co * cig + icg) * k + ky) * k + kx;
+                                        let xv = input.get(ic, iy as usize, ix as usize);
+                                        gx.add_at(ic, iy as usize, ix as usize, lw.w[widx] * g);
+                                        lw.w[widx] -= cfg.learning_rate
+                                            * (g * xv + cfg.weight_decay * lw.w[widx]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                grad = gx;
+            }
+            other => unreachable!("unsupported trainable layer {other:?}"),
+        }
+        // Gradients w.r.t. volumes may arrive flattened from FC layers.
+        if grad.shape().elements() == caches.inputs[idx].shape().elements()
+            && grad.shape() != caches.inputs[idx].shape()
+        {
+            grad = Tensor::from_vec(caches.inputs[idx].shape(), grad.into_vec());
+        }
+    }
+}
+
+/// Trains `weights` in place by per-sample SGD.
+///
+/// # Errors
+///
+/// Returns [`TrainError`] if the network contains layers this trainer does
+/// not support (see [`is_trainable`]).
+///
+/// # Examples
+///
+/// ```
+/// use deepburning_model::{Layer, LayerKind, Network, FullParam, Activation};
+/// use deepburning_tensor::{train_sgd, Init, Target, Tensor, TrainConfig, WeightSet};
+/// use rand::SeedableRng;
+///
+/// let net = Network::from_layers("xor", vec![
+///     Layer::input("data", "data", 2, 1, 1),
+///     Layer::new("h", LayerKind::FullConnection(FullParam::dense(4)), "data", "h"),
+///     Layer::new("ht", LayerKind::Activation(Activation::Tanh), "h", "h"),
+///     Layer::new("o", LayerKind::FullConnection(FullParam::dense(1)), "h", "o"),
+/// ])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let mut ws = WeightSet::init(&net, Init::Xavier, &mut rng)?;
+/// let data = vec![
+///     (Tensor::vector(&[0.0, 0.0]), Target::Values(vec![0.0])),
+///     (Tensor::vector(&[1.0, 1.0]), Target::Values(vec![0.0])),
+///     (Tensor::vector(&[0.0, 1.0]), Target::Values(vec![1.0])),
+///     (Tensor::vector(&[1.0, 0.0]), Target::Values(vec![1.0])),
+/// ];
+/// let cfg = TrainConfig { learning_rate: 0.1, epochs: 600, ..TrainConfig::default() };
+/// let report = train_sgd(&net, &mut ws, &data, &cfg, &mut rng)?;
+/// assert!(report.final_loss() < 0.05);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn train_sgd<R: Rng>(
+    net: &Network,
+    weights: &mut WeightSet,
+    data: &[(Tensor, Target)],
+    cfg: &TrainConfig,
+    rng: &mut R,
+) -> Result<TrainReport, TrainError> {
+    if !is_trainable(net) {
+        return Err(TrainError {
+            detail: "network contains layers unsupported by the SGD trainer".into(),
+        });
+    }
+    weights.validate(net).map_err(|e| TrainError {
+        detail: e.to_string(),
+    })?;
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut report = TrainReport::default();
+    for _ in 0..cfg.epochs {
+        order.shuffle(rng);
+        let mut epoch_loss = 0.0;
+        for &i in &order {
+            let (input, target) = &data[i];
+            let caches = forward_cached(net, weights, input);
+            let (loss, grad) = loss_and_grad(&caches.output, target);
+            epoch_loss += loss;
+            backward_update(net, weights, &caches, grad, cfg);
+        }
+        report.epoch_losses.push(epoch_loss / data.len().max(1) as f32);
+    }
+    Ok(report)
+}
+
+/// Classification accuracy of `weights` on a labelled set, using argmax of
+/// the network output.
+pub fn classification_accuracy(
+    net: &Network,
+    weights: &WeightSet,
+    data: &[(Tensor, usize)],
+) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = data
+        .iter()
+        .filter(|(x, label)| {
+            crate::forward::forward(net, weights, x)
+                .map(|out| out.argmax() == *label)
+                .unwrap_or(false)
+        })
+        .count();
+    correct as f32 / data.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::Init;
+    use deepburning_model::{Activation, ConvParam, FullParam, Layer, PoolParam, Shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(inputs: usize, hidden: usize, outputs: usize) -> Network {
+        Network::from_layers(
+            "mlp",
+            vec![
+                Layer::input("data", "data", inputs, 1, 1),
+                Layer::new(
+                    "h",
+                    LayerKind::FullConnection(FullParam::dense(hidden)),
+                    "data",
+                    "h",
+                ),
+                Layer::new("ht", LayerKind::Activation(Activation::Tanh), "h", "h"),
+                Layer::new(
+                    "o",
+                    LayerKind::FullConnection(FullParam::dense(outputs)),
+                    "h",
+                    "o",
+                ),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn xor_regression_learns() {
+        let net = mlp(2, 6, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let data = vec![
+            (Tensor::vector(&[0.0, 0.0]), Target::Values(vec![0.0])),
+            (Tensor::vector(&[1.0, 1.0]), Target::Values(vec![0.0])),
+            (Tensor::vector(&[0.0, 1.0]), Target::Values(vec![1.0])),
+            (Tensor::vector(&[1.0, 0.0]), Target::Values(vec![1.0])),
+        ];
+        let cfg = TrainConfig {
+            learning_rate: 0.1,
+            epochs: 600,
+            ..TrainConfig::default()
+        };
+        let report = train_sgd(&net, &mut ws, &data, &cfg, &mut rng).expect("trains");
+        assert!(
+            report.final_loss() < 0.05,
+            "final loss {}",
+            report.final_loss()
+        );
+        assert!(report.final_loss() < report.epoch_losses[0]);
+    }
+
+    #[test]
+    fn classification_on_linearly_separable() {
+        let net = mlp(2, 8, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        // Class 0: x+y < 1, class 1: x+y > 1.
+        let mut data = Vec::new();
+        for i in 0..60 {
+            let x = (i % 10) as f32 / 10.0;
+            let y = (i / 10) as f32 / 6.0;
+            let label = usize::from(x + y > 1.0);
+            data.push((Tensor::vector(&[x, y]), Target::Class(label)));
+        }
+        let cfg = TrainConfig {
+            learning_rate: 0.1,
+            epochs: 120,
+            ..TrainConfig::default()
+        };
+        train_sgd(&net, &mut ws, &data, &cfg, &mut rng).expect("trains");
+        let labelled: Vec<(Tensor, usize)> = data
+            .iter()
+            .map(|(t, tg)| {
+                let Target::Class(c) = tg else { unreachable!() };
+                (t.clone(), *c)
+            })
+            .collect();
+        let acc = classification_accuracy(&net, &ws, &labelled);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn tiny_convnet_learns_orientation() {
+        // Distinguish horizontal vs vertical bars on 6x6 images.
+        let net = Network::from_layers(
+            "cnn",
+            vec![
+                Layer::input("data", "data", 1, 6, 6),
+                Layer::new(
+                    "conv",
+                    LayerKind::Convolution(ConvParam::new(4, 3, 1)),
+                    "data",
+                    "conv",
+                ),
+                Layer::new("relu", LayerKind::Activation(Activation::Relu), "conv", "conv"),
+                Layer::new(
+                    "pool",
+                    LayerKind::Pooling(PoolParam {
+                        method: PoolMethod::Max,
+                        kernel_size: 2,
+                        stride: 2,
+                    }),
+                    "conv",
+                    "pool",
+                ),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(2)),
+                    "pool",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid");
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let mut data = Vec::new();
+        for pos in 1..5 {
+            data.push((
+                Tensor::from_fn(Shape::new(1, 6, 6), |_, y, _| f32::from(y == pos)),
+                Target::Class(0),
+            ));
+            data.push((
+                Tensor::from_fn(Shape::new(1, 6, 6), |_, _, x| f32::from(x == pos)),
+                Target::Class(1),
+            ));
+        }
+        let cfg = TrainConfig {
+            learning_rate: 0.05,
+            epochs: 150,
+            ..TrainConfig::default()
+        };
+        let report = train_sgd(&net, &mut ws, &data, &cfg, &mut rng).expect("trains");
+        assert!(report.final_loss() < 0.2, "loss {}", report.final_loss());
+        let labelled: Vec<(Tensor, usize)> = data
+            .iter()
+            .map(|(t, tg)| {
+                let Target::Class(c) = tg else { unreachable!() };
+                (t.clone(), *c)
+            })
+            .collect();
+        assert!(classification_accuracy(&net, &ws, &labelled) > 0.9);
+    }
+
+    #[test]
+    fn untrainable_network_rejected() {
+        let net = Network::from_layers(
+            "r",
+            vec![
+                Layer::input("data", "data", 4, 1, 1),
+                Layer::new(
+                    "rec",
+                    LayerKind::Recurrent {
+                        num_output: 4,
+                        steps: 2,
+                    },
+                    "data",
+                    "rec",
+                ),
+            ],
+        )
+        .expect("valid");
+        assert!(!is_trainable(&net));
+        let mut ws = WeightSet::init(&net, Init::Xavier, &mut StdRng::seed_from_u64(0)).expect("init");
+        let e = train_sgd(
+            &net,
+            &mut ws,
+            &[],
+            &TrainConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        )
+        .unwrap_err();
+        assert!(e.detail.contains("unsupported"));
+    }
+
+    #[test]
+    fn loss_and_grad_softmax_sane() {
+        let out = Tensor::vector(&[2.0, 0.0]);
+        let (loss, grad) = loss_and_grad(&out, &Target::Class(0));
+        assert!(loss < 0.2);
+        assert!(grad.as_slice()[0] < 0.0); // pushes class 0 logit up
+        assert!(grad.as_slice()[1] > 0.0);
+    }
+
+    #[test]
+    fn loss_and_grad_mse_sane() {
+        let out = Tensor::vector(&[1.0, 3.0]);
+        let (loss, grad) = loss_and_grad(&out, &Target::Values(vec![0.0, 3.0]));
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert!((grad.as_slice()[0] - 1.0).abs() < 1e-6);
+        assert_eq!(grad.as_slice()[1], 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Weight storage and initialisation for the reference engine.
+
+use deepburning_model::{LayerKind, Network, NetworkError, Shape};
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Weights of one layer: a flat kernel/weight buffer plus biases.
+///
+/// Layouts by layer kind:
+/// * convolution — `w[co][ci/group][ky][kx]`, `b[co]`
+/// * full connection — `w[out][in]`, `b[out]`
+/// * recurrent — `w[out][in + out]` (input weights then hidden weights), `b[out]`
+/// * associative — `w[table_size]`, no bias
+/// * inception — branch kernels concatenated in 1×1, 3×3, 5×5, pool-proj
+///   order, `b[total_output]`
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LayerWeights {
+    /// Kernel / weight matrix, flat.
+    pub w: Vec<f32>,
+    /// Bias vector.
+    pub b: Vec<f32>,
+}
+
+impl LayerWeights {
+    /// Total parameter count.
+    pub fn len(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// True when the layer holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty() && self.b.is_empty()
+    }
+}
+
+/// All weights of a network, keyed by layer name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightSet {
+    map: BTreeMap<String, LayerWeights>,
+}
+
+/// Weight initialisation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Init {
+    /// Xavier/Glorot uniform: `U(±sqrt(6/(fan_in+fan_out)))`.
+    #[default]
+    Xavier,
+    /// Uniform in `[-scale, scale]` — the "structured pseudo-random"
+    /// weights used for the untrained AlexNet/NiN accuracy runs.
+    Uniform(f32),
+    /// All zeros (useful in tests).
+    Zero,
+}
+
+/// Error raised when weights don't exist or have the wrong size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightError {
+    /// Layer whose weights are wrong.
+    pub layer: String,
+    /// Explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for WeightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layer `{}`: {}", self.layer, self.detail)
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+/// `(kernel elements, bias elements)` a layer requires, given its input.
+pub fn expected_sizes(kind: &LayerKind, input: Shape) -> (usize, usize) {
+    match kind {
+        LayerKind::Convolution(p) => (
+            p.num_output * (input.channels / p.group) * p.kernel_size * p.kernel_size,
+            p.num_output,
+        ),
+        LayerKind::FullConnection(p) => (p.num_output * input.elements(), p.num_output),
+        LayerKind::Recurrent { num_output, .. } => (
+            num_output * (input.elements() + num_output),
+            *num_output,
+        ),
+        LayerKind::Associative { table_size, .. } => (*table_size, 0),
+        LayerKind::Inception(p) => {
+            let ci = input.channels;
+            (
+                p.c1x1 * ci + p.c3x3 * ci * 9 + p.c5x5 * ci * 25 + p.cpool * ci,
+                p.total_output(),
+            )
+        }
+        _ => (0, 0),
+    }
+}
+
+impl WeightSet {
+    /// An empty weight set.
+    pub fn new() -> Self {
+        WeightSet::default()
+    }
+
+    /// Initialises weights for every parametric layer of `net`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from the network.
+    pub fn init<R: Rng>(net: &Network, init: Init, rng: &mut R) -> Result<Self, NetworkError> {
+        let shapes = net.infer_shapes()?;
+        let mut map = BTreeMap::new();
+        for layer in net.layers() {
+            if !layer.kind.has_weights() {
+                continue;
+            }
+            let input = layer
+                .bottoms
+                .first()
+                .map(|b| shapes[b])
+                .unwrap_or(Shape::vector(0));
+            let (wn, bn) = expected_sizes(&layer.kind, input);
+            let fan_in = if wn == 0 { 1 } else { wn / bn.max(1) };
+            let fan_out = bn.max(1);
+            let scale = match init {
+                Init::Xavier => (6.0 / (fan_in + fan_out) as f32).sqrt(),
+                Init::Uniform(s) => s,
+                Init::Zero => 0.0,
+            };
+            let w = (0..wn)
+                .map(|_| {
+                    if scale == 0.0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-scale..=scale)
+                    }
+                })
+                .collect();
+            let b = vec![0.0; bn];
+            map.insert(layer.name.clone(), LayerWeights { w, b });
+        }
+        Ok(WeightSet { map })
+    }
+
+    /// Inserts (or replaces) one layer's weights.
+    pub fn insert(&mut self, layer: impl Into<String>, weights: LayerWeights) {
+        self.map.insert(layer.into(), weights);
+    }
+
+    /// Reads one layer's weights.
+    pub fn get(&self, layer: &str) -> Option<&LayerWeights> {
+        self.map.get(layer)
+    }
+
+    /// Mutable access to one layer's weights.
+    pub fn get_mut(&mut self, layer: &str) -> Option<&mut LayerWeights> {
+        self.map.get_mut(layer)
+    }
+
+    /// Iterates `(layer name, weights)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &LayerWeights)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total parameter count across all layers.
+    pub fn parameter_count(&self) -> usize {
+        self.map.values().map(LayerWeights::len).sum()
+    }
+
+    /// Checks that every parametric layer of `net` has correctly-sized
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`WeightError`] found.
+    pub fn validate(&self, net: &Network) -> Result<(), WeightError> {
+        let shapes = net.infer_shapes().map_err(|e| WeightError {
+            layer: net.name().to_string(),
+            detail: e.to_string(),
+        })?;
+        for layer in net.layers() {
+            if !layer.kind.has_weights() {
+                continue;
+            }
+            let input = layer
+                .bottoms
+                .first()
+                .map(|b| shapes[b])
+                .unwrap_or(Shape::vector(0));
+            let (wn, bn) = expected_sizes(&layer.kind, input);
+            let lw = self.get(&layer.name).ok_or_else(|| WeightError {
+                layer: layer.name.clone(),
+                detail: "weights missing".into(),
+            })?;
+            if lw.w.len() != wn || lw.b.len() != bn {
+                return Err(WeightError {
+                    layer: layer.name.clone(),
+                    detail: format!(
+                        "expected {wn} weights + {bn} biases, got {} + {}",
+                        lw.w.len(),
+                        lw.b.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_model::{ConvParam, FullParam, Layer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net() -> Network {
+        Network::from_layers(
+            "t",
+            vec![
+                Layer::input("data", "data", 1, 8, 8),
+                Layer::new(
+                    "conv",
+                    LayerKind::Convolution(ConvParam::new(4, 3, 1)),
+                    "data",
+                    "conv",
+                ),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(10)),
+                    "conv",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn init_sizes_match_expected() {
+        let net = small_net();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        assert_eq!(ws.get("conv").expect("conv").w.len(), 4 * 1 * 9);
+        assert_eq!(ws.get("conv").expect("conv").b.len(), 4);
+        // conv output is 4x6x6 = 144 inputs to fc
+        assert_eq!(ws.get("fc").expect("fc").w.len(), 144 * 10);
+        assert!(ws.validate(&net).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_missing_and_misshaped() {
+        let net = small_net();
+        let mut ws = WeightSet::new();
+        assert!(ws.validate(&net).is_err());
+        ws.insert(
+            "conv",
+            LayerWeights {
+                w: vec![0.0; 5],
+                b: vec![0.0; 4],
+            },
+        );
+        let err = ws.validate(&net).unwrap_err();
+        assert_eq!(err.layer, "conv");
+        assert!(err.detail.contains("expected 36"));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let net = small_net();
+        let a = WeightSet::init(&net, Init::Xavier, &mut StdRng::seed_from_u64(7)).expect("init");
+        let b = WeightSet::init(&net, Init::Xavier, &mut StdRng::seed_from_u64(7)).expect("init");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_init_is_zero() {
+        let net = small_net();
+        let ws = WeightSet::init(&net, Init::Zero, &mut StdRng::seed_from_u64(0)).expect("init");
+        assert!(ws.get("fc").expect("fc").w.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn parameter_count_sums() {
+        let net = small_net();
+        let ws =
+            WeightSet::init(&net, Init::Xavier, &mut StdRng::seed_from_u64(0)).expect("init");
+        assert_eq!(ws.parameter_count(), 36 + 4 + 1440 + 10);
+    }
+}

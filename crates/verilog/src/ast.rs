@@ -1,0 +1,588 @@
+//! A compact Verilog-2001 AST sufficient for the netlists NN-Gen emits:
+//! structural instances, continuous assigns, clocked always blocks, memories
+//! and parameterised modules.
+
+use std::fmt;
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Driven from outside.
+    Input,
+    /// Driven by the module.
+    Output,
+}
+
+/// A module port declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Bit width (1 for scalars).
+    pub width: u32,
+    /// Declared `signed`.
+    pub signed: bool,
+}
+
+impl Port {
+    /// An unsigned input port.
+    pub fn input(name: impl Into<String>, width: u32) -> Self {
+        Port {
+            name: name.into(),
+            dir: PortDir::Input,
+            width,
+            signed: false,
+        }
+    }
+
+    /// An unsigned output port.
+    pub fn output(name: impl Into<String>, width: u32) -> Self {
+        Port {
+            name: name.into(),
+            dir: PortDir::Output,
+            width,
+            signed: false,
+        }
+    }
+
+    /// Returns a signed copy of this port.
+    pub fn as_signed(mut self) -> Self {
+        self.signed = true;
+        self
+    }
+}
+
+/// Net class of an internal declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// Continuous-assignment net.
+    Wire,
+    /// Procedural register.
+    Reg,
+}
+
+/// An internal net/register declaration, optionally a memory array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetDecl {
+    /// Net name.
+    pub name: String,
+    /// `wire` or `reg`.
+    pub kind: NetKind,
+    /// Bit width.
+    pub width: u32,
+    /// Declared `signed`.
+    pub signed: bool,
+    /// `Some(depth)` declares a memory `[0:depth-1]`.
+    pub depth: Option<usize>,
+}
+
+impl NetDecl {
+    /// A scalar or vector wire.
+    pub fn wire(name: impl Into<String>, width: u32) -> Self {
+        NetDecl {
+            name: name.into(),
+            kind: NetKind::Wire,
+            width,
+            signed: false,
+            depth: None,
+        }
+    }
+
+    /// A scalar or vector reg.
+    pub fn reg(name: impl Into<String>, width: u32) -> Self {
+        NetDecl {
+            name: name.into(),
+            kind: NetKind::Reg,
+            width,
+            signed: false,
+            depth: None,
+        }
+    }
+
+    /// A reg memory of `depth` words.
+    pub fn memory(name: impl Into<String>, width: u32, depth: usize) -> Self {
+        NetDecl {
+            name: name.into(),
+            kind: NetKind::Reg,
+            width,
+            signed: false,
+            depth: Some(depth),
+        }
+    }
+
+    /// Returns a signed copy.
+    pub fn as_signed(mut self) -> Self {
+        self.signed = true;
+        self
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical not `!`.
+    Not,
+    /// Bitwise not `~`.
+    BitNot,
+    /// Arithmetic negate `-`.
+    Neg,
+    /// Reduction or `|`.
+    RedOr,
+    /// Reduction and `&`.
+    RedAnd,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>>` (arithmetic right shift)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (signed compare when operands signed)
+    Lt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+impl BinaryOp {
+    /// Whether the result is a single-bit flag.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Ge | BinaryOp::LogAnd | BinaryOp::LogOr
+        )
+    }
+}
+
+/// A Verilog expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Identifier reference.
+    Id(String),
+    /// Sized literal `width'dvalue`.
+    Lit {
+        /// Bit width of the literal.
+        width: u32,
+        /// Value (unsigned image of the bits).
+        value: u64,
+    },
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Ternary `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Bit/word select `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Part select `base[hi:lo]`.
+    Slice(Box<Expr>, u32, u32),
+    /// Concatenation `{a, b, ...}`.
+    Concat(Vec<Expr>),
+}
+
+impl Expr {
+    /// Identifier shorthand.
+    pub fn id(name: impl Into<String>) -> Expr {
+        Expr::Id(name.into())
+    }
+
+    /// Sized literal shorthand.
+    pub fn lit(width: u32, value: u64) -> Expr {
+        Expr::Lit { width, value }
+    }
+
+    /// Binary op shorthand.
+    pub fn bin(op: BinaryOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    /// All identifiers referenced by this expression.
+    pub fn idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out
+    }
+
+    fn collect_idents<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Id(n) => out.push(n),
+            Expr::Lit { .. } => {}
+            Expr::Unary(_, e) => e.collect_idents(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_idents(out);
+                r.collect_idents(out);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.collect_idents(out);
+                a.collect_idents(out);
+                b.collect_idents(out);
+            }
+            Expr::Index(b, i) => {
+                b.collect_idents(out);
+                i.collect_idents(out);
+            }
+            Expr::Slice(b, _, _) => b.collect_idents(out),
+            Expr::Concat(es) => {
+                for e in es {
+                    e.collect_idents(out);
+                }
+            }
+        }
+    }
+
+    /// The identifier at the root of an lvalue (through index/slice).
+    pub fn lvalue_root(&self) -> Option<&str> {
+        match self {
+            Expr::Id(n) => Some(n),
+            Expr::Index(b, _) | Expr::Slice(b, _, _) => b.lvalue_root(),
+            _ => None,
+        }
+    }
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Non-blocking assignment `lhs <= rhs;`.
+    NonBlocking(Expr, Expr),
+    /// Blocking assignment `lhs = rhs;`.
+    Blocking(Expr, Expr),
+    /// `if (cond) ... else ...`.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Optional else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `case (subject) arm: ...; default: ...;`.
+    Case {
+        /// Switch subject.
+        subject: Expr,
+        /// `(match value, body)` arms.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// Default body.
+        default: Vec<Stmt>,
+    },
+    /// Free-form comment line.
+    Comment(String),
+}
+
+impl Stmt {
+    /// Identifiers assigned (lvalue roots) anywhere under this statement.
+    pub fn assigned_idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_assigned(&mut out);
+        out
+    }
+
+    fn collect_assigned<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Stmt::NonBlocking(lhs, _) | Stmt::Blocking(lhs, _) => {
+                if let Some(root) = lhs.lvalue_root() {
+                    out.push(root);
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for s in then_body.iter().chain(else_body) {
+                    s.collect_assigned(out);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for (_, body) in arms {
+                    for s in body {
+                        s.collect_assigned(out);
+                    }
+                }
+                for s in default {
+                    s.collect_assigned(out);
+                }
+            }
+            Stmt::Comment(_) => {}
+        }
+    }
+
+    /// Identifiers read anywhere under this statement (rvalues, conditions
+    /// and lvalue indices).
+    pub fn read_idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_read(&mut out);
+        out
+    }
+
+    fn collect_read<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Stmt::NonBlocking(lhs, rhs) | Stmt::Blocking(lhs, rhs) => {
+                // Index expressions on the lvalue are reads.
+                if let Expr::Index(_, i) = lhs {
+                    i.collect_idents(out);
+                }
+                rhs.collect_idents(out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                cond.collect_idents(out);
+                for s in then_body.iter().chain(else_body) {
+                    s.collect_read(out);
+                }
+            }
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                subject.collect_idents(out);
+                for (m, body) in arms {
+                    m.collect_idents(out);
+                    for s in body {
+                        s.collect_read(out);
+                    }
+                }
+                for s in default {
+                    s.collect_read(out);
+                }
+            }
+            Stmt::Comment(_) => {}
+        }
+    }
+}
+
+/// Sensitivity of an always block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// `always @(posedge clk)`.
+    PosEdge(String),
+    /// `always @(*)`.
+    Combinational,
+}
+
+/// A module-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// Internal net declaration.
+    Net(NetDecl),
+    /// Continuous assignment.
+    Assign {
+        /// Target wire (possibly sliced).
+        lhs: Expr,
+        /// Driving expression.
+        rhs: Expr,
+    },
+    /// Procedural block.
+    Always {
+        /// Trigger.
+        sensitivity: Sensitivity,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// Module instantiation.
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// Parameter overrides.
+        params: Vec<(String, i64)>,
+        /// Named port connections.
+        connections: Vec<(String, Expr)>,
+    },
+    /// Free-form comment.
+    Comment(String),
+}
+
+/// A Verilog module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VModule {
+    /// Module name.
+    pub name: String,
+    /// Parameters with defaults.
+    pub params: Vec<(String, i64)>,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Body items.
+    pub items: Vec<Item>,
+}
+
+impl VModule {
+    /// An empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        VModule {
+            name: name.into(),
+            params: Vec::new(),
+            ports: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Adds a port.
+    pub fn port(&mut self, port: Port) -> &mut Self {
+        self.ports.push(port);
+        self
+    }
+
+    /// Adds an item.
+    pub fn item(&mut self, item: Item) -> &mut Self {
+        self.items.push(item);
+        self
+    }
+
+    /// Looks up a port by name.
+    pub fn find_port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// All internal net declarations.
+    pub fn nets(&self) -> impl Iterator<Item = &NetDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Net(n) => Some(n),
+            _ => None,
+        })
+    }
+}
+
+/// A design: a set of modules with a designated top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Design {
+    /// Name of the top module.
+    pub top: String,
+    /// All modules, top included.
+    pub modules: Vec<VModule>,
+}
+
+impl Design {
+    /// A design containing a single top module.
+    pub fn new(top: VModule) -> Self {
+        Design {
+            top: top.name.clone(),
+            modules: vec![top],
+        }
+    }
+
+    /// Adds a module to the design.
+    pub fn add_module(&mut self, module: VModule) -> &mut Self {
+        self.modules.push(module);
+        self
+    }
+
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Option<&VModule> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// The top module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design is inconsistent (no module named `top`).
+    pub fn top_module(&self) -> &VModule {
+        self.module(&self.top).expect("design contains its top module")
+    }
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_idents_collects_all() {
+        let e = Expr::bin(
+            BinaryOp::Add,
+            Expr::id("a"),
+            Expr::Ternary(
+                Box::new(Expr::id("sel")),
+                Box::new(Expr::Index(Box::new(Expr::id("mem")), Box::new(Expr::id("addr")))),
+                Box::new(Expr::lit(8, 0)),
+            ),
+        );
+        let mut ids = e.idents();
+        ids.sort_unstable();
+        assert_eq!(ids, vec!["a", "addr", "mem", "sel"]);
+    }
+
+    #[test]
+    fn lvalue_root_through_slices() {
+        let e = Expr::Slice(
+            Box::new(Expr::Index(Box::new(Expr::id("buf")), Box::new(Expr::id("i")))),
+            7,
+            0,
+        );
+        assert_eq!(e.lvalue_root(), Some("buf"));
+        assert_eq!(Expr::lit(1, 0).lvalue_root(), None);
+    }
+
+    #[test]
+    fn stmt_assigned_and_read() {
+        let s = Stmt::If {
+            cond: Expr::id("en"),
+            then_body: vec![Stmt::NonBlocking(
+                Expr::Index(Box::new(Expr::id("mem")), Box::new(Expr::id("wa"))),
+                Expr::id("din"),
+            )],
+            else_body: vec![Stmt::NonBlocking(Expr::id("q"), Expr::id("d"))],
+        };
+        let mut assigned = s.assigned_idents();
+        assigned.sort_unstable();
+        assert_eq!(assigned, vec!["mem", "q"]);
+        let mut read = s.read_idents();
+        read.sort_unstable();
+        assert_eq!(read, vec!["d", "din", "en", "wa"]);
+    }
+
+    #[test]
+    fn module_and_design_lookup() {
+        let mut m = VModule::new("adder");
+        m.port(Port::input("a", 8)).port(Port::input("b", 8)).port(Port::output("y", 8));
+        let mut d = Design::new(m);
+        d.add_module(VModule::new("helper"));
+        assert_eq!(d.top_module().name, "adder");
+        assert!(d.module("helper").is_some());
+        assert!(d.module("ghost").is_none());
+        assert_eq!(d.top_module().find_port("y").map(|p| p.dir), Some(PortDir::Output));
+    }
+
+    #[test]
+    fn comparison_ops_flagged() {
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+    }
+}

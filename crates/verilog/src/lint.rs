@@ -1,0 +1,678 @@
+//! Structural lint for generated designs.
+//!
+//! The paper verifies generated RTL with Vivado simulation; in this
+//! reproduction every emitted design must pass this lint instead:
+//! undeclared or doubly-driven nets, reg/wire assignment-context mixups,
+//! dangling instance ports and width mismatches are all rejected.
+
+use crate::ast::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Severity of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong (e.g. unused net).
+    Warning,
+    /// The design is structurally broken.
+    Error,
+}
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintIssue {
+    /// Module the finding is in.
+    pub module: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "[{sev}] {}: {}", self.module, self.message)
+    }
+}
+
+/// The outcome of linting a design.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings, errors first.
+    pub issues: Vec<LintIssue>,
+}
+
+impl LintReport {
+    /// True when no error-severity findings exist.
+    pub fn is_clean(&self) -> bool {
+        self.issues.iter().all(|i| i.severity != Severity::Error)
+    }
+
+    /// Error-severity findings only.
+    pub fn errors(&self) -> impl Iterator<Item = &LintIssue> {
+        self.issues.iter().filter(|i| i.severity == Severity::Error)
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.issues.is_empty() {
+            return writeln!(f, "lint clean");
+        }
+        for issue in &self.issues {
+            writeln!(f, "{issue}")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Symbol {
+    width: Option<u32>,
+    is_reg: bool,
+    is_memory: bool,
+    is_input: bool,
+    is_output: bool,
+}
+
+struct ModuleLinter<'a> {
+    module: &'a VModule,
+    design: &'a Design,
+    symbols: BTreeMap<&'a str, Symbol>,
+    issues: Vec<LintIssue>,
+}
+
+impl<'a> ModuleLinter<'a> {
+    fn new(module: &'a VModule, design: &'a Design) -> Self {
+        let mut symbols = BTreeMap::new();
+        let mut issues = Vec::new();
+        for p in &module.ports {
+            if symbols
+                .insert(
+                    p.name.as_str(),
+                    Symbol {
+                        width: Some(p.width),
+                        is_reg: false,
+                        is_memory: false,
+                        is_input: p.dir == PortDir::Input,
+                        is_output: p.dir == PortDir::Output,
+                    },
+                )
+                .is_some()
+            {
+                issues.push(LintIssue {
+                    module: module.name.clone(),
+                    severity: Severity::Error,
+                    message: format!("duplicate declaration of `{}`", p.name),
+                });
+            }
+        }
+        for n in module.nets() {
+            if symbols
+                .insert(
+                    n.name.as_str(),
+                    Symbol {
+                        width: Some(n.width),
+                        is_reg: n.kind == NetKind::Reg,
+                        is_memory: n.depth.is_some(),
+                        is_input: false,
+                        is_output: false,
+                    },
+                )
+                .is_some()
+            {
+                issues.push(LintIssue {
+                    module: module.name.clone(),
+                    severity: Severity::Error,
+                    message: format!("duplicate declaration of `{}`", n.name),
+                });
+            }
+        }
+        for (p, _) in &module.params {
+            symbols.entry(p.as_str()).or_insert(Symbol {
+                width: None,
+                is_reg: false,
+                is_memory: false,
+                is_input: true, // parameters behave like external constants
+                is_output: false,
+            });
+        }
+        ModuleLinter {
+            module,
+            design,
+            symbols,
+            issues,
+        }
+    }
+
+    fn error(&mut self, message: String) {
+        self.issues.push(LintIssue {
+            module: self.module.name.clone(),
+            severity: Severity::Error,
+            message,
+        });
+    }
+
+    fn warn(&mut self, message: String) {
+        self.issues.push(LintIssue {
+            module: self.module.name.clone(),
+            severity: Severity::Warning,
+            message,
+        });
+    }
+
+    fn check_declared(&mut self, idents: &[&str], context: &str) {
+        for id in idents {
+            if !self.symbols.contains_key(id) {
+                self.error(format!("undeclared identifier `{id}` in {context}"));
+            }
+        }
+    }
+
+    /// Infers the bit width of an expression when statically known.
+    fn expr_width(&self, expr: &Expr) -> Option<u32> {
+        match expr {
+            Expr::Id(n) => self.symbols.get(n.as_str()).and_then(|s| s.width),
+            Expr::Lit { width, .. } => Some(*width),
+            Expr::Unary(op, e) => match op {
+                UnaryOp::Not | UnaryOp::RedOr | UnaryOp::RedAnd => Some(1),
+                UnaryOp::BitNot | UnaryOp::Neg => self.expr_width(e),
+            },
+            Expr::Binary(op, l, r) => {
+                if op.is_comparison() {
+                    Some(1)
+                } else if matches!(op, BinaryOp::Shl | BinaryOp::Shr) {
+                    self.expr_width(l)
+                } else {
+                    match (self.expr_width(l), self.expr_width(r)) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    }
+                }
+            }
+            Expr::Ternary(_, a, b) => match (self.expr_width(a), self.expr_width(b)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+            Expr::Index(base, _) => {
+                // Word select on a memory yields the word width; bit select
+                // on a vector yields one bit.
+                if let Some(root) = base.lvalue_root() {
+                    if let Some(sym) = self.symbols.get(root) {
+                        return if sym.is_memory { sym.width } else { Some(1) };
+                    }
+                }
+                None
+            }
+            Expr::Slice(_, hi, lo) => Some(hi - lo + 1),
+            Expr::Concat(es) => {
+                let mut total = 0;
+                for e in es {
+                    total += self.expr_width(e)?;
+                }
+                Some(total)
+            }
+        }
+    }
+
+    fn check_assign_width(&mut self, lhs: &Expr, rhs: &Expr, context: &str) {
+        if let (Some(lw), Some(rw)) = (self.expr_width(lhs), self.expr_width(rhs)) {
+            if lw != rw {
+                self.error(format!(
+                    "width mismatch in {context}: lhs {lw} bits, rhs {rw} bits"
+                ));
+            }
+        }
+    }
+
+    fn run(mut self) -> Vec<LintIssue> {
+        // driver_count tracks whole-net continuous drivers per root name.
+        let mut whole_drivers: BTreeMap<String, u32> = BTreeMap::new();
+        let mut partial_driven: BTreeSet<String> = BTreeSet::new();
+        let mut proc_assigned: BTreeSet<String> = BTreeSet::new();
+        let mut read_anywhere: BTreeSet<String> = BTreeSet::new();
+
+        for item in &self.module.items {
+            match item {
+                Item::Net(_) | Item::Comment(_) => {}
+                Item::Assign { lhs, rhs } => {
+                    self.check_declared(&rhs.idents(), "continuous assign");
+                    for id in rhs.idents() {
+                        read_anywhere.insert(id.to_string());
+                    }
+                    let Some(root) = lhs.lvalue_root().map(str::to_string) else {
+                        self.error("continuous assign to a non-lvalue".into());
+                        continue;
+                    };
+                    self.check_declared(&[root.as_str()], "continuous assign lhs");
+                    if let Some(sym) = self.symbols.get(root.as_str()).copied() {
+                        if sym.is_reg {
+                            self.error(format!(
+                                "continuous assign drives reg `{root}` (must be a wire)"
+                            ));
+                        }
+                        if sym.is_input {
+                            self.error(format!("continuous assign drives input port `{root}`"));
+                        }
+                    }
+                    match lhs {
+                        Expr::Id(_) => {
+                            *whole_drivers.entry(root).or_insert(0) += 1;
+                        }
+                        _ => {
+                            partial_driven.insert(root);
+                        }
+                    }
+                    self.check_assign_width(lhs, rhs, "continuous assign");
+                }
+                Item::Always { body, sensitivity } => {
+                    if let Sensitivity::PosEdge(clk) = sensitivity {
+                        self.check_declared(&[clk.as_str()], "always sensitivity");
+                        read_anywhere.insert(clk.clone());
+                    }
+                    for stmt in body {
+                        for id in stmt.read_idents() {
+                            read_anywhere.insert(id.to_string());
+                        }
+                        self.check_declared(&stmt.read_idents(), "always block");
+                        for id in stmt.assigned_idents() {
+                            self.check_declared(&[id], "always block lvalue");
+                            if let Some(sym) = self.symbols.get(id).copied() {
+                                if !sym.is_reg && !sym.is_output {
+                                    self.error(format!(
+                                        "procedural assignment to wire `{id}` (must be a reg)"
+                                    ));
+                                } else if !sym.is_reg && sym.is_output {
+                                    // Output ports assigned procedurally must be
+                                    // declared reg via a shadow net; we treat
+                                    // the port itself as the reg, matching the
+                                    // emitter's `output reg` shortcut — flag it.
+                                    self.warn(format!(
+                                        "procedural assignment to output port `{id}` assumes `output reg`"
+                                    ));
+                                }
+                            }
+                            proc_assigned.insert(id.to_string());
+                        }
+                    }
+                }
+                Item::Instance {
+                    module,
+                    name,
+                    connections,
+                    ..
+                } => {
+                    let Some(target) = self.design.module(module) else {
+                        self.error(format!("instance `{name}` of unknown module `{module}`"));
+                        continue;
+                    };
+                    let mut bound = BTreeSet::new();
+                    for (port, expr) in connections {
+                        let Some(tport) = target.find_port(port) else {
+                            self.error(format!(
+                                "instance `{name}` binds nonexistent port `{module}.{port}`"
+                            ));
+                            continue;
+                        };
+                        if !bound.insert(port.as_str()) {
+                            self.error(format!("instance `{name}` binds port `{port}` twice"));
+                        }
+                        self.check_declared(&expr.idents(), "instance connection");
+                        if let Some(w) = self.expr_width(expr) {
+                            if w != tport.width {
+                                self.error(format!(
+                                    "instance `{name}` port `{port}` is {} bits, connected to {w} bits",
+                                    tport.width
+                                ));
+                            }
+                        }
+                        match tport.dir {
+                            PortDir::Input => {
+                                for id in expr.idents() {
+                                    read_anywhere.insert(id.to_string());
+                                }
+                            }
+                            PortDir::Output => {
+                                if let Some(root) = expr.lvalue_root() {
+                                    match expr {
+                                        Expr::Id(_) => {
+                                            *whole_drivers.entry(root.to_string()).or_insert(0) += 1;
+                                        }
+                                        _ => {
+                                            partial_driven.insert(root.to_string());
+                                        }
+                                    }
+                                } else {
+                                    self.error(format!(
+                                        "instance `{name}` output `{port}` connected to a non-lvalue"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    for tport in &target.ports {
+                        if tport.dir == PortDir::Input && !bound.contains(tport.name.as_str()) {
+                            self.warn(format!(
+                                "instance `{name}` leaves input `{module}.{}` unconnected",
+                                tport.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Multiple whole-net drivers.
+        for (net, count) in &whole_drivers {
+            if *count > 1 {
+                self.error(format!("net `{net}` has {count} whole-net drivers"));
+            }
+            if partial_driven.contains(net) {
+                self.error(format!(
+                    "net `{net}` mixes whole-net and part-select drivers"
+                ));
+            }
+        }
+        // Output ports must be driven somehow.
+        let outputs: Vec<String> = self
+            .module
+            .ports
+            .iter()
+            .filter(|p| p.dir == PortDir::Output)
+            .map(|p| p.name.clone())
+            .collect();
+        for out in outputs {
+            let driven = whole_drivers.contains_key(out.as_str())
+                || partial_driven.contains(out.as_str())
+                || proc_assigned.contains(out.as_str());
+            if !driven {
+                self.error(format!("output port `{out}` is never driven"));
+            }
+        }
+        // Unused internal nets: declared, never read, never driving anything.
+        // And the dual: wires that are read but never driven carry X into
+        // the datapath — an error.
+        let decl_names: Vec<(String, bool)> = self
+            .module
+            .nets()
+            .map(|n| (n.name.clone(), n.kind == NetKind::Reg))
+            .collect();
+        for (name, is_reg) in decl_names {
+            let driven = whole_drivers.contains_key(name.as_str())
+                || partial_driven.contains(name.as_str())
+                || proc_assigned.contains(name.as_str());
+            let read = read_anywhere.contains(name.as_str());
+            if !driven && !read {
+                self.warn(format!("net `{name}` is declared but never used"));
+            } else if !driven && read && !is_reg {
+                self.error(format!("wire `{name}` is read but never driven"));
+            }
+        }
+        self.issues
+    }
+}
+
+/// Lints every module of a design.
+///
+/// # Examples
+///
+/// ```
+/// use deepburning_verilog::{Design, VModule, Port, Item, Expr, lint_design};
+///
+/// let mut m = VModule::new("buf0");
+/// m.port(Port::input("a", 4)).port(Port::output("y", 4));
+/// m.item(Item::Assign { lhs: Expr::id("y"), rhs: Expr::id("a") });
+/// let report = lint_design(&Design::new(m));
+/// assert!(report.is_clean());
+/// ```
+pub fn lint_design(design: &Design) -> LintReport {
+    let mut issues = Vec::new();
+    let mut names = BTreeSet::new();
+    for m in &design.modules {
+        if !names.insert(m.name.as_str()) {
+            issues.push(LintIssue {
+                module: m.name.clone(),
+                severity: Severity::Error,
+                message: "duplicate module name in design".into(),
+            });
+        }
+    }
+    if design.module(&design.top).is_none() {
+        issues.push(LintIssue {
+            module: design.top.clone(),
+            severity: Severity::Error,
+            message: "design names a top module that does not exist".into(),
+        });
+    }
+    for m in &design.modules {
+        issues.extend(ModuleLinter::new(m, design).run());
+    }
+    issues.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.module.cmp(&b.module)));
+    LintReport { issues }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn passthrough() -> VModule {
+        let mut m = VModule::new("pass");
+        m.port(Port::input("a", 8)).port(Port::output("y", 8));
+        m.item(Item::Assign {
+            lhs: Expr::id("y"),
+            rhs: Expr::id("a"),
+        });
+        m
+    }
+
+    #[test]
+    fn clean_module_passes() {
+        let report = lint_design(&Design::new(passthrough()));
+        assert!(report.is_clean(), "{report}");
+        assert!(report.issues.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn undeclared_identifier_caught() {
+        let mut m = passthrough();
+        m.item(Item::Assign {
+            lhs: Expr::id("y"),
+            rhs: Expr::id("ghost"),
+        });
+        let report = lint_design(&Design::new(m));
+        assert!(!report.is_clean());
+        assert!(report.errors().any(|i| i.message.contains("ghost")));
+    }
+
+    #[test]
+    fn double_driver_caught() {
+        let mut m = passthrough();
+        m.item(Item::Assign {
+            lhs: Expr::id("y"),
+            rhs: Expr::id("a"),
+        });
+        let report = lint_design(&Design::new(m));
+        assert!(report.errors().any(|i| i.message.contains("2 whole-net drivers")), "{report}");
+    }
+
+    #[test]
+    fn undriven_output_caught() {
+        let mut m = VModule::new("dead");
+        m.port(Port::output("y", 4));
+        let report = lint_design(&Design::new(m));
+        assert!(report.errors().any(|i| i.message.contains("never driven")));
+    }
+
+    #[test]
+    fn continuous_assign_to_reg_caught() {
+        let mut m = VModule::new("bad");
+        m.port(Port::output("y", 4));
+        m.item(Item::Net(NetDecl::reg("r", 4)))
+            .item(Item::Assign {
+                lhs: Expr::id("r"),
+                rhs: Expr::lit(4, 0),
+            })
+            .item(Item::Assign {
+                lhs: Expr::id("y"),
+                rhs: Expr::id("r"),
+            });
+        let report = lint_design(&Design::new(m));
+        assert!(report.errors().any(|i| i.message.contains("drives reg")));
+    }
+
+    #[test]
+    fn procedural_assign_to_wire_caught() {
+        let mut m = VModule::new("bad");
+        m.port(Port::input("clk", 1)).port(Port::output("y", 1));
+        m.item(Item::Net(NetDecl::wire("w", 1)))
+            .item(Item::Always {
+                sensitivity: Sensitivity::PosEdge("clk".into()),
+                body: vec![Stmt::NonBlocking(Expr::id("w"), Expr::lit(1, 0))],
+            })
+            .item(Item::Assign {
+                lhs: Expr::id("y"),
+                rhs: Expr::id("w"),
+            });
+        let report = lint_design(&Design::new(m));
+        assert!(report
+            .errors()
+            .any(|i| i.message.contains("procedural assignment to wire")));
+    }
+
+    #[test]
+    fn width_mismatch_caught() {
+        let mut m = VModule::new("bad");
+        m.port(Port::input("a", 4)).port(Port::output("y", 8));
+        m.item(Item::Assign {
+            lhs: Expr::id("y"),
+            rhs: Expr::id("a"),
+        });
+        let report = lint_design(&Design::new(m));
+        assert!(report.errors().any(|i| i.message.contains("width mismatch")));
+    }
+
+    #[test]
+    fn concat_fixes_width() {
+        let mut m = VModule::new("ok");
+        m.port(Port::input("a", 4)).port(Port::output("y", 8));
+        m.item(Item::Assign {
+            lhs: Expr::id("y"),
+            rhs: Expr::Concat(vec![Expr::lit(4, 0), Expr::id("a")]),
+        });
+        let report = lint_design(&Design::new(m));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unknown_instance_module_caught() {
+        let mut m = VModule::new("top");
+        m.item(Item::Instance {
+            module: "missing".into(),
+            name: "u0".into(),
+            params: vec![],
+            connections: vec![],
+        });
+        let report = lint_design(&Design::new(m));
+        assert!(report.errors().any(|i| i.message.contains("unknown module")));
+    }
+
+    #[test]
+    fn bad_instance_port_caught() {
+        let mut top = VModule::new("top");
+        top.port(Port::input("a", 8));
+        top.item(Item::Instance {
+            module: "pass".into(),
+            name: "u0".into(),
+            params: vec![],
+            connections: vec![
+                ("a".into(), Expr::id("a")),
+                ("nope".into(), Expr::id("a")),
+            ],
+        });
+        let mut d = Design::new(top);
+        d.add_module(passthrough());
+        let report = lint_design(&d);
+        assert!(report.errors().any(|i| i.message.contains("nonexistent port")));
+    }
+
+    #[test]
+    fn instance_port_width_mismatch_caught() {
+        let mut top = VModule::new("top");
+        top.port(Port::input("a", 4));
+        top.item(Item::Net(NetDecl::wire("y", 8)))
+            .item(Item::Instance {
+                module: "pass".into(),
+                name: "u0".into(),
+                params: vec![],
+                connections: vec![("a".into(), Expr::id("a")), ("y".into(), Expr::id("y"))],
+            });
+        let mut d = Design::new(top);
+        d.add_module(passthrough());
+        let report = lint_design(&d);
+        assert!(report
+            .errors()
+            .any(|i| i.message.contains("port `a` is 8 bits, connected to 4 bits")));
+    }
+
+    #[test]
+    fn instance_output_counts_as_driver() {
+        let mut top = VModule::new("top");
+        top.port(Port::input("a", 8)).port(Port::output("y", 8));
+        top.item(Item::Instance {
+            module: "pass".into(),
+            name: "u0".into(),
+            params: vec![],
+            connections: vec![("a".into(), Expr::id("a")), ("y".into(), Expr::id("y"))],
+        });
+        let mut d = Design::new(top);
+        d.add_module(passthrough());
+        let report = lint_design(&d);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn missing_top_caught() {
+        let d = Design {
+            top: "ghost".into(),
+            modules: vec![passthrough()],
+        };
+        let report = lint_design(&d);
+        assert!(report.errors().any(|i| i.message.contains("does not exist")));
+    }
+
+    #[test]
+    fn unused_net_warned() {
+        let mut m = passthrough();
+        m.item(Item::Net(NetDecl::wire("dangling", 8)));
+        let report = lint_design(&Design::new(m));
+        assert!(report.is_clean()); // warning, not error
+        assert!(report.issues.iter().any(|i| i.message.contains("never used")));
+    }
+
+    #[test]
+    fn memory_word_select_width() {
+        let mut m = VModule::new("ram");
+        m.port(Port::input("clk", 1))
+            .port(Port::input("addr", 8))
+            .port(Port::output("q", 16));
+        m.item(Item::Net(NetDecl::memory("mem", 16, 256)))
+            .item(Item::Net(NetDecl::reg("qr", 16)))
+            .item(Item::Always {
+                sensitivity: Sensitivity::PosEdge("clk".into()),
+                body: vec![Stmt::NonBlocking(
+                    Expr::id("qr"),
+                    Expr::Index(Box::new(Expr::id("mem")), Box::new(Expr::id("addr"))),
+                )],
+            })
+            .item(Item::Assign {
+                lhs: Expr::id("q"),
+                rhs: Expr::id("qr"),
+            });
+        let report = lint_design(&Design::new(m));
+        assert!(report.is_clean(), "{report}");
+    }
+}

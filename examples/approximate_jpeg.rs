@@ -1,0 +1,60 @@
+//! Approximate computing with a generated accelerator (the AxBench
+//! scenario of the paper's ANN benchmarks): train a small MLP to mimic the
+//! jpeg DCT kernel, burn it into an accelerator, and compare the
+//! fixed-point accelerator output against the golden software kernel with
+//! the paper's Eq. (1) metric.
+//!
+//! ```sh
+//! cargo run --release --example approximate_jpeg
+//! ```
+
+use deepburning::baselines::{train_ann, zoo};
+use deepburning::core::{generate, Budget};
+use deepburning::sim::{functional_forward, simulate_timing, TimingParams};
+use deepburning::tensor::{forward, jpeg_reference, relative_accuracy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. Train ANN-1 (MLP 8-16-16-8) against the orthodox 8-point DCT.
+    println!("training ANN-1 against the jpeg DCT kernel...");
+    let model = train_ann(zoo::ann1(), 300, &mut rng);
+
+    // 2. Generate its accelerator.
+    let design = generate(&model.bench.network, &Budget::Medium)?;
+    let timing = simulate_timing(&design.compiled, &TimingParams::default());
+    println!(
+        "accelerator: {} lanes, {} DSP, one invocation = {:.2} us",
+        design.config.lanes,
+        design.resources.total.dsp,
+        timing.seconds(design.clock_hz()) * 1e6
+    );
+
+    // 3. Accuracy against the golden kernel, Eq. (1).
+    let mut acc_sw = 0.0;
+    let mut acc_hw = 0.0;
+    for (x, _) in &model.regression_test {
+        let golden = jpeg_reference(x.as_slice());
+        let y_sw = forward(&model.bench.network, &model.weights, x)?;
+        let y_hw = functional_forward(
+            &model.bench.network,
+            &model.weights,
+            x,
+            &design.compiled.luts,
+            design.config.format,
+        )?;
+        acc_sw += relative_accuracy(y_sw.as_slice(), &golden);
+        acc_hw += relative_accuracy(y_hw.as_slice(), &golden);
+    }
+    let n = model.regression_test.len() as f64;
+    println!("Eq.(1) accuracy vs golden DCT:");
+    println!("  software NN (f32):          {:.2}%", acc_sw / n);
+    println!("  accelerator (Q7.8 + LUT):   {:.2}%", acc_hw / n);
+    println!(
+        "  fixed-point degradation:    {:.2}%",
+        (acc_sw - acc_hw).abs() / n
+    );
+    Ok(())
+}

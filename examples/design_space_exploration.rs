@@ -1,0 +1,115 @@
+//! Design-space exploration: the paper's motivating workflow — "FPGAs are
+//! fast and power-efficient enough to accelerate the time-consuming NN
+//! training, at the same time [they] possess the reconfigurability to
+//! enable the designers to explore the space of NN models and topologies".
+//!
+//! This example sweeps (a) candidate network topologies for a digit task
+//! and (b) resource budgets, reporting latency / energy / resources for
+//! each point so a developer can pick the knee.
+//!
+//! ```sh
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use deepburning::baselines::mlp4;
+use deepburning::compiler::CompilerConfig;
+use deepburning::core::{generate, generate_with_config, Budget};
+use deepburning::model::{Activation, ConvParam, FullParam, Layer, LayerKind, Network, PoolMethod, PoolParam};
+use deepburning::sim::{inference_energy, simulate_timing, EnergyParams, TimingParams};
+
+fn candidate(conv_maps: usize, hidden: usize) -> Network {
+    Network::from_layers(
+        format!("cand_c{conv_maps}_h{hidden}"),
+        vec![
+            Layer::input("data", "data", 1, 28, 28),
+            Layer::new(
+                "conv1",
+                LayerKind::Convolution(ConvParam::new(conv_maps, 5, 1)),
+                "data",
+                "conv1",
+            ),
+            Layer::new(
+                "pool1",
+                LayerKind::Pooling(PoolParam {
+                    method: PoolMethod::Max,
+                    kernel_size: 2,
+                    stride: 2,
+                }),
+                "conv1",
+                "pool1",
+            ),
+            Layer::new(
+                "ip1",
+                LayerKind::FullConnection(FullParam::dense(hidden)),
+                "pool1",
+                "ip1",
+            ),
+            Layer::new("sig", LayerKind::Activation(Activation::Sigmoid), "ip1", "ip1"),
+            Layer::new(
+                "ip2",
+                LayerKind::FullConnection(FullParam::dense(10)),
+                "ip1",
+                "ip2",
+            ),
+        ],
+    )
+    .expect("candidate topology is well-formed")
+}
+
+fn report(net: &Network) -> Result<(), Box<dyn std::error::Error>> {
+    let design = generate(net, &Budget::Medium)?;
+    let timing = simulate_timing(&design.compiled, &TimingParams::default());
+    let energy = inference_energy(&design, &timing, &EnergyParams::default());
+    println!(
+        "  {:<16} {:>6} lanes  {:>8.3} ms  {:>9.1} uJ  {:>5} DSP  {:>7} LUT",
+        net.name(),
+        design.config.lanes,
+        timing.seconds(design.clock_hz()) * 1e3,
+        energy.total_j * 1e6,
+        design.resources.total.dsp,
+        design.resources.total.lut,
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== topology sweep (medium budget) ==");
+    for conv_maps in [8usize, 20, 32] {
+        for hidden in [50usize, 100, 200] {
+            report(&candidate(conv_maps, hidden))?;
+        }
+    }
+    // A pure-MLP candidate for comparison.
+    report(&mlp4("cand_mlp", 784, 128, 64, 10, Activation::Sigmoid))?;
+
+    println!("\n== budget sweep for the 20/100 candidate ==");
+    let net = candidate(20, 100);
+    for budget in [Budget::Small, Budget::Medium, Budget::Large] {
+        let design = generate(&net, &budget)?;
+        let timing = simulate_timing(&design.compiled, &TimingParams::default());
+        println!(
+            "  {:<5} on {:<10} {:>6} lanes  {:>8.3} ms  fits: {}",
+            budget.tag(),
+            budget.device().name,
+            design.config.lanes,
+            timing.seconds(design.clock_hz()) * 1e3,
+            design.fits.0,
+        );
+    }
+
+    println!("\n== lane sweep under an explicit constraint (generate_with_config) ==");
+    for lanes in [8u32, 32, 128] {
+        let cfg = CompilerConfig {
+            lanes,
+            ..CompilerConfig::default()
+        };
+        let design = generate_with_config(&net, &Budget::Medium, &cfg)?;
+        let timing = simulate_timing(&design.compiled, &TimingParams::default());
+        println!(
+            "  {lanes:>4} lanes: {:>5} phases, {:>8.3} ms",
+            design.compiled.folding.phases.len(),
+            timing.seconds(design.clock_hz()) * 1e3,
+        );
+    }
+    Ok(())
+}

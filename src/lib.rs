@@ -1,0 +1,26 @@
+//! # DeepBurning
+//!
+//! Facade crate re-exporting the full DeepBurning workspace: automatic
+//! generation of FPGA-based learning accelerators for the neural network
+//! family (reproduction of Wang et al., DAC 2016).
+//!
+//! See the individual crates for details:
+//! - [`model`] — network IR and prototxt parser
+//! - [`fixed`] — fixed-point arithmetic and Approx LUT math
+//! - [`tensor`] — f32 reference engine, training, synthetic datasets
+//! - [`verilog`] — Verilog AST/emitter/lint
+//! - [`components`] — the building-block library
+//! - [`compiler`] — folding, tiling, AGU and control-flow synthesis
+//! - [`core`] — NN-Gen, the accelerator generator
+//! - [`sim`] — timing/energy and functional simulators
+//! - [`baselines`] — benchmark zoo, Custom designs, CPU model
+
+pub use deepburning_baselines as baselines;
+pub use deepburning_compiler as compiler;
+pub use deepburning_components as components;
+pub use deepburning_core as core;
+pub use deepburning_fixed as fixed;
+pub use deepburning_model as model;
+pub use deepburning_sim as sim;
+pub use deepburning_tensor as tensor;
+pub use deepburning_verilog as verilog;

@@ -1,0 +1,113 @@
+//! Integration of training, reference execution and the bit-true
+//! functional simulator — the accuracy pipeline behind Fig. 10, kept small
+//! enough for debug-mode CI.
+
+use deepburning::baselines::{hopfield_weights, train_ann, zoo};
+use deepburning::compiler::{generate_luts, CompilerConfig};
+use deepburning::fixed::QFormat;
+use deepburning::sim::{functional_forward, functional_forward_all};
+use deepburning::tensor::{forward, forward_all, relative_accuracy, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn trained_ann0_survives_quantization() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = train_ann(zoo::ann0(), 150, &mut rng);
+    let cfg = CompilerConfig::default();
+    let luts = generate_luts(&model.bench.network, &cfg).expect("luts");
+    let mut sw = 0.0;
+    let mut hw = 0.0;
+    for (x, golden) in &model.regression_test {
+        let y_sw = forward(&model.bench.network, &model.weights, x).expect("forward");
+        let y_hw = functional_forward(&model.bench.network, &model.weights, x, &luts, cfg.format)
+            .expect("functional sim");
+        sw += relative_accuracy(y_sw.as_slice(), golden);
+        hw += relative_accuracy(y_hw.as_slice(), golden);
+    }
+    let n = model.regression_test.len() as f64;
+    let (sw, hw) = (sw / n, hw / n);
+    assert!(sw > 90.0, "software accuracy {sw}");
+    assert!(
+        (sw - hw).abs() < 5.0,
+        "fixed-point delta too large: sw {sw} vs hw {hw}"
+    );
+}
+
+#[test]
+fn hopfield_recall_matches_between_engines() {
+    let bench = zoo::hopfield();
+    let pattern: Vec<f32> = (0..32).map(|i| if i % 4 == 0 { 1.0 } else { -1.0 }).collect();
+    let ws = hopfield_weights(&[pattern.clone()]);
+    let cfg = CompilerConfig::default();
+    let luts = generate_luts(&bench.network, &cfg).expect("luts");
+    let mut probe = pattern.clone();
+    for i in [2, 9, 21] {
+        probe[i] = -probe[i];
+    }
+    let input = Tensor::vector(&probe);
+    let sw = forward_all(&bench.network, &ws, &input).expect("forward");
+    let hw = functional_forward_all(&bench.network, &ws, &input, &luts, cfg.format)
+        .expect("functional sim");
+    let agree = |t: &Tensor| {
+        t.as_slice()
+            .iter()
+            .zip(&pattern)
+            .filter(|(a, b)| a.signum() == b.signum())
+            .count()
+    };
+    let (sw_agree, hw_agree) = (agree(&sw["settle"]), agree(&hw["settle"]));
+    assert!(sw_agree >= 30, "software recall {sw_agree}/32");
+    assert!(
+        (sw_agree as i64 - hw_agree as i64).abs() <= 2,
+        "engines disagree: {sw_agree} vs {hw_agree}"
+    );
+}
+
+#[test]
+fn wider_formats_strictly_reduce_quantization_error() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = train_ann(zoo::ann2(), 100, &mut rng);
+    let formats = [
+        (QFormat::Q4_4, 32usize),
+        (QFormat::Q8_8, 64),
+        (QFormat::Q16_16, 256),
+    ];
+    let mut errors = Vec::new();
+    for (fmt, entries) in formats {
+        let cfg = CompilerConfig {
+            format: fmt,
+            lut_entries: entries,
+            ..CompilerConfig::default()
+        };
+        let luts = generate_luts(&model.bench.network, &cfg).expect("luts");
+        let mut err = 0.0;
+        for (x, _) in &model.regression_test {
+            let y_sw = forward(&model.bench.network, &model.weights, x).expect("forward");
+            let y_hw = functional_forward(&model.bench.network, &model.weights, x, &luts, fmt)
+                .expect("functional sim");
+            err += 100.0 - relative_accuracy(y_hw.as_slice(), y_sw.as_slice());
+        }
+        errors.push(err / model.regression_test.len() as f64);
+    }
+    assert!(
+        errors[0] >= errors[1] && errors[1] >= errors[2],
+        "errors must shrink with width: {errors:?}"
+    );
+    assert!(errors[2] < 0.1, "Q16.16 error {:.4} should be tiny", errors[2]);
+}
+
+#[test]
+fn cmac_engines_agree() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = deepburning::baselines::train_cmac(150, &mut rng);
+    let cfg = CompilerConfig::default();
+    let luts = generate_luts(&model.bench.network, &cfg).expect("luts");
+    for (x, _) in model.regression_test.iter().take(10) {
+        let y_sw = forward(&model.bench.network, &model.weights, x).expect("forward");
+        let y_hw = functional_forward(&model.bench.network, &model.weights, x, &luts, cfg.format)
+            .expect("functional sim");
+        let acc = relative_accuracy(y_hw.as_slice(), y_sw.as_slice());
+        assert!(acc > 98.0, "engines diverge: {acc}");
+    }
+}

@@ -1,0 +1,112 @@
+//! The shipped `.prototxt` assets must parse to the same networks the zoo
+//! builds programmatically — they are the user-facing face of the zoo.
+
+use deepburning::baselines::zoo;
+use deepburning::model::parse_network;
+
+fn asset(name: &str) -> String {
+    let path = format!("{}/assets/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {path}: {e}"))
+}
+
+#[test]
+fn mnist_asset_matches_zoo() {
+    let from_script = parse_network(&asset("mnist.prototxt")).expect("parses");
+    let from_zoo = zoo::mnist().network;
+    assert_eq!(from_script.name(), from_zoo.name());
+    assert_eq!(
+        from_script.infer_shapes().expect("shapes"),
+        from_zoo.infer_shapes().expect("shapes")
+    );
+    assert_eq!(
+        deepburning::model::network_stats(&from_script)
+            .expect("stats")
+            .total,
+        deepburning::model::network_stats(&from_zoo)
+            .expect("stats")
+            .total
+    );
+}
+
+#[test]
+fn cifar_asset_matches_zoo() {
+    let from_script = parse_network(&asset("cifar.prototxt")).expect("parses");
+    let from_zoo = zoo::cifar().network;
+    assert_eq!(
+        from_script.infer_shapes().expect("shapes"),
+        from_zoo.infer_shapes().expect("shapes")
+    );
+}
+
+#[test]
+fn cmac_asset_matches_zoo_and_is_recurrent() {
+    let from_script = parse_network(&asset("cmac.prototxt")).expect("parses");
+    let from_zoo = zoo::cmac().network;
+    assert!(from_script.is_recurrent());
+    assert_eq!(
+        from_script.output_shape().expect("shape"),
+        from_zoo.output_shape().expect("shape")
+    );
+    let rec = from_script
+        .recurrent_connections()
+        .next()
+        .expect("recurrent edge");
+    assert_eq!(rec.to, "assoc");
+}
+
+#[test]
+fn hopfield_asset_matches_zoo() {
+    let from_script = parse_network(&asset("hopfield.prototxt")).expect("parses");
+    let from_zoo = zoo::hopfield().network;
+    assert!(from_script.is_recurrent());
+    assert_eq!(
+        deepburning::model::network_stats(&from_script)
+            .expect("stats")
+            .total
+            .macs,
+        deepburning::model::network_stats(&from_zoo)
+            .expect("stats")
+            .total
+            .macs
+    );
+}
+
+#[test]
+fn ann1_asset_matches_zoo() {
+    let from_script = parse_network(&asset("ann1_jpeg.prototxt")).expect("parses");
+    let from_zoo = zoo::ann1().network;
+    assert_eq!(
+        deepburning::model::network_stats(&from_script).expect("stats").total,
+        deepburning::model::network_stats(&from_zoo).expect("stats").total
+    );
+}
+
+#[test]
+fn alexnet_asset_matches_zoo() {
+    let from_script = parse_network(&asset("alexnet.prototxt")).expect("parses");
+    let from_zoo = zoo::alexnet().network;
+    assert_eq!(
+        from_script.infer_shapes().expect("shapes"),
+        from_zoo.infer_shapes().expect("shapes")
+    );
+    assert_eq!(
+        deepburning::model::network_stats(&from_script).expect("stats").total.macs,
+        deepburning::model::network_stats(&from_zoo).expect("stats").total.macs
+    );
+}
+
+#[test]
+fn every_asset_generates() {
+    for name in [
+        "mnist.prototxt",
+        "cifar.prototxt",
+        "cmac.prototxt",
+        "hopfield.prototxt",
+        "ann1_jpeg.prototxt",
+    ] {
+        let net = parse_network(&asset(name)).expect("parses");
+        let design = deepburning::core::generate(&net, &deepburning::core::Budget::Medium)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(design.lint.is_clean(), "{name}");
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end integration: every zoo benchmark runs the full NN-Gen flow
+//! (parse/build → compile → RTL → lint → resources) on every budget tier.
+
+use deepburning::baselines::all_benchmarks;
+use deepburning::core::{generate, Budget};
+use deepburning::verilog::{lint_design, Severity};
+
+#[test]
+fn every_benchmark_generates_on_every_tier() {
+    for bench in all_benchmarks() {
+        for budget in [Budget::Small, Budget::Medium, Budget::Large] {
+            let design = generate(&bench.network, &budget)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name, budget.tag()));
+            assert!(
+                design.lint.is_clean(),
+                "{} on {}: {}",
+                bench.name,
+                budget.tag(),
+                design.lint
+            );
+            assert!(
+                design.fits.0,
+                "{} on {} does not fit (utilisation {:.2})",
+                bench.name,
+                budget.tag(),
+                design.fits.1
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_verilog_is_substantial_and_relintable() {
+    let bench = deepburning::baselines::mnist();
+    let design = generate(&bench.network, &Budget::Medium).expect("generates");
+    // The emitted text contains every instantiated module.
+    assert!(design.verilog.lines().count() > 300);
+    assert!(design.verilog.contains("module mnist_accelerator"));
+    assert!(design.verilog.matches("endmodule").count() >= 10);
+    // Re-linting the stored Design reproduces the clean verdict.
+    let report = lint_design(&design.design);
+    assert!(report.issues.iter().all(|i| i.severity != Severity::Error));
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let bench = deepburning::baselines::cifar();
+    let a = generate(&bench.network, &Budget::Medium).expect("generates");
+    let b = generate(&bench.network, &Budget::Medium).expect("generates");
+    assert_eq!(a.verilog, b.verilog);
+    assert_eq!(a.resources.total, b.resources.total);
+    assert_eq!(
+        a.compiled.folding.phases.len(),
+        b.compiled.folding.phases.len()
+    );
+}
+
+#[test]
+fn phase_events_are_unique_and_ordered() {
+    let bench = deepburning::baselines::alexnet();
+    let design = generate(&bench.network, &Budget::Medium).expect("generates");
+    let phases = &design.compiled.folding.phases;
+    for (i, p) in phases.iter().enumerate() {
+        assert_eq!(p.id, i, "phase ids must be dense and ordered");
+    }
+    let mut events: Vec<&str> = phases.iter().map(|p| p.event.as_str()).collect();
+    let before = events.len();
+    events.sort_unstable();
+    events.dedup();
+    assert_eq!(before, events.len(), "events must be unique");
+}
+
+#[test]
+fn larger_budget_never_increases_phase_count() {
+    for bench in all_benchmarks() {
+        let m = generate(&bench.network, &Budget::Medium).expect("generates");
+        let l = generate(&bench.network, &Budget::Large).expect("generates");
+        assert!(
+            l.compiled.folding.phases.len() <= m.compiled.folding.phases.len(),
+            "{}: DB-L has more phases than DB",
+            bench.name
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Failure injection: corrupt a known-good generated design in targeted
+//! ways and check that the structural lint (our stand-in for RTL
+//! verification) catches every mutation. A lint that passes everything is
+//! worthless — these tests pin its sensitivity.
+
+use deepburning::baselines::zoo;
+use deepburning::core::{generate, Budget};
+use deepburning::verilog::{lint_design, Design, Expr, Item, NetDecl, Port, PortDir};
+
+fn good_design() -> Design {
+    generate(&zoo::mnist().network, &Budget::Medium)
+        .expect("generates")
+        .design
+}
+
+fn top_index(design: &Design) -> usize {
+    design
+        .modules
+        .iter()
+        .position(|m| m.name == design.top)
+        .expect("top module present")
+}
+
+#[test]
+fn baseline_is_clean() {
+    assert!(lint_design(&good_design()).is_clean());
+}
+
+#[test]
+fn detects_deleted_driver() {
+    let mut design = good_design();
+    let ti = top_index(&design);
+    // Remove the first continuous assign that drives a whole net.
+    let pos = design.modules[ti]
+        .items
+        .iter()
+        .position(|i| matches!(i, Item::Assign { lhs: Expr::Id(_), .. }))
+        .expect("an assign exists");
+    design.modules[ti].items.remove(pos);
+    assert!(
+        !lint_design(&design).is_clean(),
+        "deleting a driver must fail lint"
+    );
+}
+
+#[test]
+fn detects_double_driver() {
+    let mut design = good_design();
+    let ti = top_index(&design);
+    let dup = design.modules[ti]
+        .items
+        .iter()
+        .find(|i| matches!(i, Item::Assign { lhs: Expr::Id(_), .. }))
+        .expect("an assign exists")
+        .clone();
+    design.modules[ti].items.push(dup);
+    let report = lint_design(&design);
+    assert!(report
+        .errors()
+        .any(|e| e.message.contains("whole-net drivers")));
+}
+
+#[test]
+fn detects_dangling_reference() {
+    let mut design = good_design();
+    let ti = top_index(&design);
+    design.modules[ti].items.push(Item::Assign {
+        lhs: Expr::id("dram_wdata"),
+        rhs: Expr::id("signal_that_does_not_exist"),
+    });
+    let report = lint_design(&design);
+    assert!(report
+        .errors()
+        .any(|e| e.message.contains("undeclared identifier")));
+}
+
+#[test]
+fn detects_port_width_corruption() {
+    let mut design = good_design();
+    // Shrink a port of an instantiated module: every connection to it now
+    // mismatches.
+    let victim = design
+        .modules
+        .iter()
+        .position(|m| m.name != design.top && m.ports.iter().any(|p| p.width > 1))
+        .expect("a leaf module with vector ports");
+    let port = design.modules[victim]
+        .ports
+        .iter()
+        .position(|p| p.width > 1)
+        .expect("vector port");
+    design.modules[victim].ports[port].width -= 1;
+    assert!(
+        !lint_design(&design).is_clean(),
+        "port width corruption must fail lint"
+    );
+}
+
+#[test]
+fn detects_removed_module() {
+    let mut design = good_design();
+    let victim = design
+        .modules
+        .iter()
+        .position(|m| m.name != design.top)
+        .expect("a leaf module");
+    design.modules.remove(victim);
+    let report = lint_design(&design);
+    assert!(report.errors().any(|e| e.message.contains("unknown module")));
+}
+
+#[test]
+fn detects_stolen_output_port() {
+    let mut design = good_design();
+    let ti = top_index(&design);
+    // Add an output port nothing drives.
+    design.modules[ti].port(Port {
+        name: "orphan_out".into(),
+        dir: PortDir::Output,
+        width: 8,
+        signed: false,
+    });
+    let report = lint_design(&design);
+    assert!(report.errors().any(|e| e.message.contains("never driven")));
+}
+
+#[test]
+fn warns_on_dead_net() {
+    let mut design = good_design();
+    let ti = top_index(&design);
+    design.modules[ti]
+        .items
+        .push(Item::Net(NetDecl::wire("completely_unused", 4)));
+    let report = lint_design(&design);
+    // Warning, not error.
+    assert!(report.is_clean());
+    assert!(report
+        .issues
+        .iter()
+        .any(|i| i.message.contains("never used")));
+}

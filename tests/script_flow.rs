@@ -1,0 +1,110 @@
+//! Integration of the descriptive-script front end with the generator:
+//! scripts in (including the paper's Fig. 4 fragment), accelerators out.
+
+use deepburning::core::{generate, Budget};
+use deepburning::model::{parse_network, ScriptError};
+
+#[test]
+fn fig4_style_script_generates() {
+    let src = r#"
+    name: "fig4"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 1 height: 28 width: 28 } }
+    layers {
+      name: "conv1"
+      type: CONVOLUTION
+      bottom: "data"
+      top: "conv1"
+      param {
+        num_output: 20
+        kernel_size: 5
+        stride: 1 }
+      connect {
+        name: "c2p1"
+        direction: forward
+        type: full_per_channel }
+    }
+    layers {
+      name: "pool1"
+      type: POOLING
+      bottom: "conv1"
+      top: "pool1"
+      pooling_param {
+        pool: MAX
+        kernel_size: 2
+        stride: 2
+      }
+    }
+    layers { name: "ip1" type: INNER_PRODUCT bottom: "pool1" top: "ip1"
+             param { num_output: 64 } }
+    layers {
+      name: "relu1"
+      type: RELU
+      bottom: "ip1"
+      top: "ip1"
+      connect {
+        name: "p2f2"
+        direction: recurrent
+        type: file_specified }
+    }
+    "#;
+    let net = parse_network(src).expect("parses");
+    assert!(net.is_recurrent());
+    let design = generate(&net, &Budget::Medium).expect("generates");
+    assert!(design.lint.is_clean());
+    assert!(design.verilog.contains("module fig4_accelerator"));
+}
+
+#[test]
+fn recurrent_script_gets_tanh_table() {
+    let src = r#"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 16 height: 1 width: 1 } }
+    layers { name: "rec" type: RECURRENT bottom: "data" top: "rec"
+             recurrent_param { num_output: 16 steps: 4 } }
+    "#;
+    let net = parse_network(src).expect("parses");
+    let design = generate(&net, &Budget::Small).expect("generates");
+    assert!(design.compiled.luts.contains_key("tanh"));
+    assert!(design.verilog.contains("approx_lut"));
+}
+
+#[test]
+fn syntax_and_semantic_errors_are_distinguished() {
+    // Syntax: unclosed block.
+    match parse_network("layers { name: \"x\"") {
+        Err(ScriptError::Parse(_)) => {}
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    // Semantics: undefined blob.
+    let src = r#"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 1 height: 4 width: 4 } }
+    layers { name: "fc" type: FC bottom: "ghost" top: "fc"
+             param { num_output: 2 } }
+    "#;
+    match parse_network(src) {
+        Err(ScriptError::Network(_)) => {}
+        other => panic!("expected network error, got {other:?}"),
+    }
+}
+
+#[test]
+fn lrn_script_gets_per_layer_factor_table_and_unit() {
+    let src = r#"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 8 height: 12 width: 12 } }
+    layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+             param { num_output: 8 kernel_size: 3 stride: 1 } }
+    layers { name: "norm" type: LRN bottom: "conv" top: "norm"
+             lrn_param { local_size: 5 alpha: 0.0001 beta: 0.75 } }
+    "#;
+    let net = parse_network(src).expect("parses");
+    let design = generate(&net, &Budget::Medium).expect("generates");
+    assert!(design.compiled.luts.contains_key("lrn:norm"));
+    assert!(design
+        .resources
+        .items
+        .iter()
+        .any(|(n, _)| n.contains("LRN unit")));
+}

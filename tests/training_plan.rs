@@ -1,0 +1,65 @@
+//! Integration of the training-iteration planner with the simulator and
+//! the analytic training stats.
+
+use deepburning::baselines::zoo;
+use deepburning::compiler::plan_training;
+use deepburning::core::{generate, Budget};
+use deepburning::model::training_stats;
+use deepburning::sim::{simulate_folding, simulate_timing, TimingParams};
+
+#[test]
+fn training_costs_more_than_inference_everywhere() {
+    for bench in [zoo::mnist(), zoo::cifar(), zoo::ann1()] {
+        let design = generate(&bench.network, &Budget::Medium).expect("generates");
+        let fwd = simulate_timing(&design.compiled, &TimingParams::default()).total_cycles;
+        let plan = plan_training(&bench.network, &design.config).expect("plans");
+        let train = simulate_folding(&plan, design.config.lanes, &TimingParams::default())
+            .total_cycles;
+        assert!(
+            train > fwd * 2,
+            "{}: training ({train}) should cost >2x inference ({fwd})",
+            bench.name
+        );
+        assert!(
+            train < fwd * 12,
+            "{}: training ({train}) implausibly above inference ({fwd})",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn training_plan_work_matches_analysis() {
+    for bench in [zoo::mnist(), zoo::ann0()] {
+        let design = generate(&bench.network, &Budget::Medium).expect("generates");
+        let plan = plan_training(&bench.network, &design.config).expect("plans");
+        let work = plan.total_work();
+        let ts = training_stats(&bench.network).expect("stats");
+        assert_eq!(
+            work.macs,
+            ts.forward.macs + ts.backward_macs + ts.update_ops,
+            "{}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn more_lanes_speed_up_training_too() {
+    let bench = zoo::cifar();
+    let db = generate(&bench.network, &Budget::Medium).expect("generates");
+    let dbl = generate(&bench.network, &Budget::Large).expect("generates");
+    let t_db = simulate_folding(
+        &plan_training(&bench.network, &db.config).expect("plans"),
+        db.config.lanes,
+        &TimingParams::default(),
+    )
+    .total_cycles;
+    let t_dbl = simulate_folding(
+        &plan_training(&bench.network, &dbl.config).expect("plans"),
+        dbl.config.lanes,
+        &TimingParams::default(),
+    )
+    .total_cycles;
+    assert!(t_dbl < t_db, "DB-L training {t_dbl} vs DB {t_db}");
+}
