@@ -54,8 +54,7 @@ impl CpuModel {
     pub fn forward_time(&self, net: &Network) -> Result<f64, NetworkError> {
         let stats = network_stats(net)?;
         let mac_s = stats.total.macs as f64 / self.effective_mac_per_s;
-        let aux_s =
-            (stats.total.aux_ops + stats.total.lut_ops) as f64 / self.effective_aux_per_s;
+        let aux_s = (stats.total.aux_ops + stats.total.lut_ops) as f64 / self.effective_aux_per_s;
         // FC-heavy models stream f32 weights from DRAM; the CPU is bound
         // by whichever of compute and weight traffic is slower.
         let weight_s = stats.total.weights as f64 * 4.0 / self.mem_bandwidth_bps;
@@ -75,8 +74,7 @@ impl CpuModel {
             + ts.backward_aux as f64 / self.effective_aux_per_s;
         // Backward touches weights twice (read for dX, write dW) and the
         // update streams them again — all in f32.
-        let weight_s =
-            ts.forward.weights as f64 * 4.0 * 3.0 / self.mem_bandwidth_bps;
+        let weight_s = ts.forward.weights as f64 * 4.0 * 3.0 / self.mem_bandwidth_bps;
         let update_s = ts.update_ops as f64 / self.effective_mac_per_s;
         Ok(fwd + back_s.max(weight_s) + update_s)
     }
@@ -158,6 +156,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn zhang_constants() {
         assert!(ZhangFpga15::LATENCY_S > 0.02 && ZhangFpga15::LATENCY_S < 0.025);
         assert!((ZhangFpga15::ENERGY_J - 0.5).abs() < 1e-12);

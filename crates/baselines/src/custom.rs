@@ -55,7 +55,9 @@ pub fn custom_config(bench: &Benchmark, budget: &Budget) -> CompilerConfig {
         .max()
         .unwrap_or(1)
         * wb;
-    let feature_buffer_bytes = (largest_blob * 2).min(generated.feature_buffer_bytes).max(1024);
+    let feature_buffer_bytes = (largest_blob * 2)
+        .min(generated.feature_buffer_bytes)
+        .max(1024);
     let largest_layer_weights = stats
         .per_layer
         .iter()
@@ -118,9 +120,8 @@ pub fn custom_design(
             total.fits_in(&budget.envelope()),
             total.utilization(&budget.envelope()),
         );
-        let at_floor = cfg.lanes == 1
-            && cfg.feature_buffer_bytes <= 1024
-            && cfg.weight_buffer_bytes <= 1024;
+        let at_floor =
+            cfg.lanes == 1 && cfg.feature_buffer_bytes <= 1024 && cfg.weight_buffer_bytes <= 1024;
         if design.fits.0 || at_floor {
             return Ok(design);
         }
@@ -153,8 +154,16 @@ mod tests {
         for bench in zoo::all_benchmarks() {
             let gen = derive_config(&Budget::Medium, 16);
             let cus = custom_config(&bench, &Budget::Medium);
-            assert!(cus.feature_buffer_bytes <= gen.feature_buffer_bytes, "{}", bench.name);
-            assert!(cus.weight_buffer_bytes <= gen.weight_buffer_bytes, "{}", bench.name);
+            assert!(
+                cus.feature_buffer_bytes <= gen.feature_buffer_bytes,
+                "{}",
+                bench.name
+            );
+            assert!(
+                cus.weight_buffer_bytes <= gen.weight_buffer_bytes,
+                "{}",
+                bench.name
+            );
         }
     }
 
@@ -164,8 +173,8 @@ mod tests {
         let mut wins = 0;
         let mut total = 0;
         for bench in [zoo::mnist(), zoo::cifar(), zoo::ann1()] {
-            let db = deepburning_core::generate(&bench.network, &Budget::Medium)
-                .expect("db design");
+            let db =
+                deepburning_core::generate(&bench.network, &Budget::Medium).expect("db design");
             let cu = custom_design(&bench, &Budget::Medium).expect("custom design");
             let t_db = simulate_timing(&db.compiled, &TimingParams::default()).total_cycles;
             let t_cu = simulate_timing(&cu.compiled, &custom_timing_params()).total_cycles;

@@ -25,8 +25,7 @@ pub use custom::{
     HANDWIRED_CONTROL_FACTOR,
 };
 pub use trained::{
-    hopfield_weights, pseudo_weights, train_ann, train_cifar, train_cmac, train_mnist,
-    TrainedModel,
+    hopfield_weights, pseudo_weights, train_ann, train_cifar, train_cmac, train_mnist, TrainedModel,
 };
 pub use zoo::{
     alexnet, alexnet_micro, all_benchmarks, ann0, ann1, ann2, cifar, cmac, googlenet_slice,

@@ -31,7 +31,11 @@ pub struct TrainedModel {
     pub classification_test: Vec<(Tensor, usize)>,
 }
 
-fn reference_for(app: &str) -> Option<(fn(&[f32]) -> Vec<f32>, usize)> {
+/// An orthodox-program reference: the golden function plus its output
+/// arity.
+type Reference = (fn(&[f32]) -> Vec<f32>, usize);
+
+fn reference_for(app: &str) -> Option<Reference> {
     match app {
         "fft" => Some((fft_reference, 1)),
         "jpeg" => Some((jpeg_reference, 8)),
@@ -148,13 +152,7 @@ pub fn hopfield_weights(patterns: &[Vec<f32>]) -> WeightSet {
         }
     }
     let mut ws = WeightSet::new();
-    ws.insert(
-        "settle",
-        LayerWeights {
-            w,
-            b: vec![0.0; n],
-        },
-    );
+    ws.insert("settle", LayerWeights { w, b: vec![0.0; n] });
     ws
 }
 
@@ -204,13 +202,13 @@ pub fn train_cmac<R: Rng>(samples: usize, rng: &mut R) -> TrainedModel {
             let idxs: Vec<usize> = (0..active)
                 .map(|s| cmac_index(&x, s, active, table_size))
                 .collect();
-            for o in 0..2 {
+            for (o, yo) in y.iter().enumerate().take(2) {
                 let own = if o == 0 { 0..half } else { half..active };
                 let pred: f32 = own
                     .clone()
                     .map(|s| table[idxs[s]] * 2.0 / active as f32)
                     .sum();
-                let err = y[o] - pred;
+                let err = yo - pred;
                 // Per-cell correction sized so the prediction moves by
                 // lr * err after updating the output's own half.
                 for s in own {
@@ -288,16 +286,18 @@ mod tests {
 
     #[test]
     fn hopfield_recalls_stored_pattern() {
-        let pattern: Vec<f32> = (0..32).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
-        let ws = hopfield_weights(&[pattern.clone()]);
+        let pattern: Vec<f32> = (0..32)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let ws = hopfield_weights(std::slice::from_ref(&pattern));
         // Probe with a corrupted copy (4 bits flipped).
         let mut probe = pattern.clone();
         for i in [1, 7, 13, 22] {
             probe[i] = -probe[i];
         }
         let net = zoo::hopfield().network;
-        let blobs = deepburning_tensor::forward_all(&net, &ws, &Tensor::vector(&probe))
-            .expect("forward");
+        let blobs =
+            deepburning_tensor::forward_all(&net, &ws, &Tensor::vector(&probe)).expect("forward");
         let settled = &blobs["settle"];
         // Sign agreement with the stored pattern.
         let agree = settled

@@ -44,7 +44,12 @@ fn pool(name: &str, bottom: &str, method: PoolMethod, k: usize, s: usize) -> Lay
 }
 
 fn fc(name: &str, bottom: &str, n: usize) -> Layer {
-    Layer::new(name, LayerKind::FullConnection(FullParam::dense(n)), bottom, name)
+    Layer::new(
+        name,
+        LayerKind::FullConnection(FullParam::dense(n)),
+        bottom,
+        name,
+    )
 }
 
 fn act(name: &str, blob: &str, a: Activation) -> Layer {
@@ -216,17 +221,39 @@ pub fn alexnet() -> Benchmark {
                 Layer::input("data", "data", 3, 227, 227),
                 conv("conv1", "data", ConvParam::new(96, 11, 4)),
                 act("relu1", "conv1", Activation::Relu),
-                Layer::new("norm1", LayerKind::Lrn(LrnParam::default()), "conv1", "norm1"),
+                Layer::new(
+                    "norm1",
+                    LayerKind::Lrn(LrnParam::default()),
+                    "conv1",
+                    "norm1",
+                ),
                 pool("pool1", "norm1", PoolMethod::Max, 3, 2),
-                conv("conv2", "pool1", ConvParam::new(256, 5, 1).with_pad(2).with_group(2)),
+                conv(
+                    "conv2",
+                    "pool1",
+                    ConvParam::new(256, 5, 1).with_pad(2).with_group(2),
+                ),
                 act("relu2", "conv2", Activation::Relu),
-                Layer::new("norm2", LayerKind::Lrn(LrnParam::default()), "conv2", "norm2"),
+                Layer::new(
+                    "norm2",
+                    LayerKind::Lrn(LrnParam::default()),
+                    "conv2",
+                    "norm2",
+                ),
                 pool("pool2", "norm2", PoolMethod::Max, 3, 2),
                 conv("conv3", "pool2", ConvParam::new(384, 3, 1).with_pad(1)),
                 act("relu3", "conv3", Activation::Relu),
-                conv("conv4", "conv3", ConvParam::new(384, 3, 1).with_pad(1).with_group(2)),
+                conv(
+                    "conv4",
+                    "conv3",
+                    ConvParam::new(384, 3, 1).with_pad(1).with_group(2),
+                ),
                 act("relu4", "conv4", Activation::Relu),
-                conv("conv5", "conv4", ConvParam::new(256, 3, 1).with_pad(1).with_group(2)),
+                conv(
+                    "conv5",
+                    "conv4",
+                    ConvParam::new(256, 3, 1).with_pad(1).with_group(2),
+                ),
                 act("relu5", "conv5", Activation::Relu),
                 pool("pool5", "conv5", PoolMethod::Max, 3, 2),
                 fc("fc6", "pool5", 4096),
@@ -254,9 +281,18 @@ pub fn alexnet_micro() -> Benchmark {
                 Layer::input("data", "data", 3, 27, 27),
                 conv("conv1", "data", ConvParam::new(12, 5, 2)),
                 act("relu1", "conv1", Activation::Relu),
-                Layer::new("norm1", LayerKind::Lrn(LrnParam::default()), "conv1", "norm1"),
+                Layer::new(
+                    "norm1",
+                    LayerKind::Lrn(LrnParam::default()),
+                    "conv1",
+                    "norm1",
+                ),
                 pool("pool1", "norm1", PoolMethod::Max, 3, 2),
-                conv("conv2", "pool1", ConvParam::new(16, 3, 1).with_pad(1).with_group(2)),
+                conv(
+                    "conv2",
+                    "pool1",
+                    ConvParam::new(16, 3, 1).with_pad(1).with_group(2),
+                ),
                 act("relu2", "conv2", Activation::Relu),
                 conv("conv3", "conv2", ConvParam::new(16, 3, 1).with_pad(1)),
                 act("relu3", "conv3", Activation::Relu),
@@ -460,10 +496,16 @@ mod tests {
     #[test]
     fn micro_variants_are_small() {
         let full = network_stats(&alexnet().network).expect("stats").total.macs;
-        let micro = network_stats(&alexnet_micro().network).expect("stats").total.macs;
+        let micro = network_stats(&alexnet_micro().network)
+            .expect("stats")
+            .total
+            .macs;
         assert!(micro * 100 < full, "micro should be <1% of full");
         let nin_full = network_stats(&nin().network).expect("stats").total.macs;
-        let nin_m = network_stats(&nin_micro().network).expect("stats").total.macs;
+        let nin_m = network_stats(&nin_micro().network)
+            .expect("stats")
+            .total
+            .macs;
         assert!(nin_m * 100 < nin_full);
     }
 

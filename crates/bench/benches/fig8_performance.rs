@@ -14,17 +14,12 @@ fn bench_fig8(c: &mut Criterion) {
     group.sample_size(10);
     for bench in [zoo::ann1(), zoo::mnist(), zoo::cifar()] {
         for (budget, tag) in [(Budget::Medium, "DB"), (Budget::Large, "DB-L")] {
-            group.bench_with_input(
-                BenchmarkId::new(bench.name, tag),
-                &bench,
-                |b, bench| {
-                    b.iter(|| {
-                        let design =
-                            generate(black_box(&bench.network), &budget).expect("generates");
-                        simulate_timing(&design.compiled, &TimingParams::default()).total_cycles
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(bench.name, tag), &bench, |b, bench| {
+                b.iter(|| {
+                    let design = generate(black_box(&bench.network), &budget).expect("generates");
+                    simulate_timing(&design.compiled, &TimingParams::default()).total_cycles
+                })
+            });
         }
     }
     group.finish();

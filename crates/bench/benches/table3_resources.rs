@@ -15,10 +15,7 @@ fn bench_table3(c: &mut Criterion) {
             BenchmarkId::from_parameter(bench.name),
             &(bench, design),
             |b, (bench, design)| {
-                b.iter(|| {
-                    estimate_resources(black_box(&bench.network), &design.compiled)
-                        .total
-                })
+                b.iter(|| estimate_resources(black_box(&bench.network), &design.compiled).total)
             },
         );
     }

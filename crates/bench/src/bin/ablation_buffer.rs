@@ -9,7 +9,10 @@ use deepburning_sim::{simulate_timing, TimingParams};
 
 fn main() {
     let bench = zoo::cifar();
-    println!("Ablation: feature-buffer capacity sweep on {}\n", bench.name);
+    println!(
+        "Ablation: feature-buffer capacity sweep on {}\n",
+        bench.name
+    );
     let widths = [12usize, 14, 14, 14];
     print_row(
         &[

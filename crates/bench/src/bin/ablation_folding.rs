@@ -42,10 +42,7 @@ fn main() {
                 compiled.folding.phases.len().to_string(),
                 fmt_seconds(on.seconds(clock)),
                 fmt_seconds(off.seconds(clock)),
-                format!(
-                    "{:.2}x",
-                    off.total_cycles as f64 / on.total_cycles as f64
-                ),
+                format!("{:.2}x", off.total_cycles as f64 / on.total_cycles as f64),
             ],
             &widths,
         );

@@ -14,7 +14,14 @@ fn main() {
     println!("Ablation: Method-1 tiling vs row-major layout\n");
     // (label, image width, kernel, stride, port width, maps)
     let cases = [
-        ("Fig.7 (57px,k12,s4)", 57usize, 12usize, 4usize, 12usize, 3usize),
+        (
+            "Fig.7 (57px,k12,s4)",
+            57usize,
+            12usize,
+            4usize,
+            12usize,
+            3usize,
+        ),
         ("AlexNet conv1", 227, 11, 4, 16, 3),
         ("AlexNet conv2", 27, 5, 1, 16, 96),
         ("MNIST conv1", 28, 5, 1, 16, 1),

@@ -1,0 +1,101 @@
+//! Differential verification sweep: every zoo benchmark, every budget
+//! tier, one quantised input through the three execution views.
+//!
+//! For each (network, budget) pair the accelerator is generated end to
+//! end (compile → RTL → lint), then [`deepburning_sim::diff_design`]
+//! runs the same input through
+//!
+//! * the `f32` tensor reference,
+//! * the bit-true fixed-point functional simulator, and
+//! * the generated block RTL on the Verilog interpreter,
+//!
+//! comparing functional↔RTL bit-exactly and tensor↔functional under
+//! derived quantisation bounds. Any divergence is a generator bug; the
+//! process exits nonzero so CI fails.
+//!
+//! Run with `--release` — the RTL view interprets elaborated netlists.
+
+use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
+use deepburning_core::{generate, Budget};
+use deepburning_sim::{diff_design, DiffOptions};
+use deepburning_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
+
+fn benchmarks() -> Vec<Benchmark> {
+    // The full Alexnet/NiN networks take minutes per tier through the
+    // interpreter; the micro variants exercise the identical layer kinds
+    // (the zoo sanctions the substitution for bit-true work), and the
+    // GoogleNet slice adds LRN / Inception / Classifier coverage.
+    vec![
+        zoo::ann0(),
+        zoo::ann1(),
+        zoo::ann2(),
+        zoo::cmac(),
+        zoo::hopfield(),
+        zoo::mnist(),
+        zoo::cifar(),
+        zoo::alexnet_micro(),
+        zoo::nin_micro(),
+        zoo::googlenet_slice(),
+    ]
+}
+
+fn main() -> ExitCode {
+    let verbose = std::env::args().any(|a| a == "--verbose" || a == "-v");
+    let opts = DiffOptions {
+        max_rtl_samples: 32,
+        ..DiffOptions::default()
+    };
+    let tiers = [Budget::Small, Budget::Medium, Budget::Large];
+    let mut failures = 0usize;
+    let mut runs = 0usize;
+    println!("differential check: tensor / functional / rtl views\n");
+    for bench in benchmarks() {
+        for budget in &tiers {
+            let label = format!("{} @ {}", bench.name, budget.tag());
+            let design = match generate(&bench.network, budget) {
+                Ok(d) => d,
+                Err(e) => {
+                    println!("FAIL  {label:<24} generation: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            // Same seed across tiers: a tier-dependent divergence then
+            // points at configuration handling, not at the input.
+            let mut rng = StdRng::seed_from_u64(0xD1FF ^ bench.name.len() as u64);
+            let ws = pseudo_weights(&bench, &mut rng);
+            let input = Tensor::from_fn(bench.network.input_shape(), |_, _, _| {
+                rng.gen_range(-1.0..1.0f32)
+            });
+            match diff_design(&design, &bench.network, &ws, &input, &opts) {
+                Ok(report) => {
+                    runs += 1;
+                    if report.is_clean() {
+                        let exact = report.rtl_checked();
+                        println!("ok    {label:<24} {exact:>5} rtl-exact elements");
+                        if verbose {
+                            print!("{report}");
+                        }
+                    } else {
+                        failures += 1;
+                        println!("FAIL  {label:<24}");
+                        print!("{report}");
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("FAIL  {label:<24} {e}");
+                }
+            }
+        }
+    }
+    println!("\n{runs} clean runs, {failures} failures");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -23,7 +23,10 @@ fn main() {
     let luts = generate_luts(net, &cfg).expect("luts");
 
     let widths = [10usize, 14, 14];
-    print_row(&["blob".into(), "Eq.(1) %".into(), "max |err|".into()], &widths);
+    print_row(
+        &["blob".into(), "Eq.(1) %".into(), "max |err|".into()],
+        &widths,
+    );
 
     // Average over a few test images.
     let samples: Vec<_> = model.classification_test.iter().take(8).collect();
@@ -40,8 +43,10 @@ fn main() {
             }
             acc
         });
-    let mut per_blob: Vec<(String, f64, f64)> =
-        blob_order.iter().map(|b| (b.clone(), 0.0, 0.0f64)).collect();
+    let mut per_blob: Vec<(String, f64, f64)> = blob_order
+        .iter()
+        .map(|b| (b.clone(), 0.0, 0.0f64))
+        .collect();
     for (x, _) in &samples {
         let golden = forward_all(net, &model.weights, x).expect("reference");
         let approx =

@@ -86,8 +86,10 @@ fn classification_row(
 /// Hopfield recall rate on corrupted probes.
 fn hopfield_row(cfg: &CompilerConfig, rng: &mut StdRng) -> Row {
     let bench = hopfield();
-    let pattern: Vec<f32> = (0..32).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
-    let ws = hopfield_weights(&[pattern.clone()]);
+    let pattern: Vec<f32> = (0..32)
+        .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let ws = hopfield_weights(std::slice::from_ref(&pattern));
     let luts = luts_for(&bench.network, cfg);
     let trials = 40;
     let mut cpu_ok = 0;
@@ -95,7 +97,7 @@ fn hopfield_row(cfg: &CompilerConfig, rng: &mut StdRng) -> Row {
     for _ in 0..trials {
         let mut probe = pattern.clone();
         for _ in 0..4 {
-            let i = rng.gen_range(0..32);
+            let i = rng.gen_range(0..32usize);
             probe[i] = -probe[i];
         }
         let input = Tensor::vector(&probe);
@@ -110,14 +112,9 @@ fn hopfield_row(cfg: &CompilerConfig, rng: &mut StdRng) -> Row {
         };
         let blobs = forward_all(&bench.network, &ws, &input).expect("forward");
         cpu_ok += usize::from(recall(&blobs["settle"]));
-        let db_blobs = deepburning_sim::functional_forward_all(
-            &bench.network,
-            &ws,
-            &input,
-            &luts,
-            cfg.format,
-        )
-        .expect("functional sim");
+        let db_blobs =
+            deepburning_sim::functional_forward_all(&bench.network, &ws, &input, &luts, cfg.format)
+                .expect("functional sim");
         db_ok += usize::from(recall(&db_blobs["settle"]));
     }
     Row {
@@ -159,14 +156,15 @@ fn main() {
     println!("Fig 10: accuracy comparison (CPU software NN vs DeepBurning accelerator)");
     println!("(training on synthetic datasets; see DESIGN.md for the substitutions)\n");
 
-    let mut rows = Vec::new();
-    rows.push(regression_row("ANN-0", &train_ann(zoo::ann0(), 200, &mut rng), &cfg));
-    rows.push(regression_row("ANN-1", &train_ann(zoo::ann1(), 200, &mut rng), &cfg));
-    rows.push(regression_row("ANN-2", &train_ann(zoo::ann2(), 200, &mut rng), &cfg));
-    rows.push(regression_row("CMAC", &train_cmac(300, &mut rng), &cfg));
-    rows.push(hopfield_row(&cfg, &mut rng));
-    rows.push(classification_row("MNIST", &train_mnist(150, &mut rng), &cfg, 40));
-    rows.push(classification_row("Cifar", &train_cifar(100, &mut rng), &cfg, 25));
+    let mut rows = vec![
+        regression_row("ANN-0", &train_ann(zoo::ann0(), 200, &mut rng), &cfg),
+        regression_row("ANN-1", &train_ann(zoo::ann1(), 200, &mut rng), &cfg),
+        regression_row("ANN-2", &train_ann(zoo::ann2(), 200, &mut rng), &cfg),
+        regression_row("CMAC", &train_cmac(300, &mut rng), &cfg),
+        hopfield_row(&cfg, &mut rng),
+        classification_row("MNIST", &train_mnist(150, &mut rng), &cfg, 40),
+        classification_row("Cifar", &train_cifar(100, &mut rng), &cfg, 25),
+    ];
     let am = alexnet_micro();
     let am_ws = pseudo_weights(&am, &mut rng);
     rows.push(eq1_vs_software_row("Alexnet", &am, &am_ws, &cfg, &mut rng));
@@ -176,12 +174,7 @@ fn main() {
 
     let widths = [10usize, 12, 12, 12];
     print_row(
-        &[
-            "".into(),
-            "CPU %".into(),
-            "DB %".into(),
-            "|delta|".into(),
-        ],
+        &["".into(), "CPU %".into(), "DB %".into(), "|delta|".into()],
         &widths,
     );
     let mut deltas = Vec::new();

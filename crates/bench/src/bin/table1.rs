@@ -8,12 +8,19 @@ use deepburning_bench::print_row;
 use deepburning_model::{decompose, Decomposition};
 
 fn main() {
-    let mlp = deepburning_baselines::mlp4("mlp", 8, 16, 16, 4, deepburning_model::Activation::Sigmoid);
+    let mlp =
+        deepburning_baselines::mlp4("mlp", 8, 16, 16, 4, deepburning_model::Activation::Sigmoid);
     let columns: Vec<(&str, Decomposition)> = vec![
         ("MLP", decompose(&mlp)),
-        ("Hopfield", decompose(&deepburning_baselines::hopfield().network)),
+        (
+            "Hopfield",
+            decompose(&deepburning_baselines::hopfield().network),
+        ),
         ("CMAC", decompose(&deepburning_baselines::cmac().network)),
-        ("Alexnet", decompose(&deepburning_baselines::alexnet().network)),
+        (
+            "Alexnet",
+            decompose(&deepburning_baselines::alexnet().network),
+        ),
         ("Mnist", decompose(&deepburning_baselines::mnist().network)),
         (
             "GoogleNet",

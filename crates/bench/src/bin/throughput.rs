@@ -42,10 +42,10 @@ fn main() {
                 continue;
             }
         };
-        let t_cold = simulate_timing(&cold.compiled, &TimingParams::default())
-            .seconds(cold.clock_hz());
-        let t_warm = simulate_timing(&warm.compiled, &TimingParams::default())
-            .seconds(warm.clock_hz());
+        let t_cold =
+            simulate_timing(&cold.compiled, &TimingParams::default()).seconds(cold.clock_hz());
+        let t_warm =
+            simulate_timing(&warm.compiled, &TimingParams::default()).seconds(warm.clock_hz());
         let resident = warm.compiled.folding.total_work().dram_read_bytes
             < cold.compiled.folding.total_work().dram_read_bytes;
         print_row(

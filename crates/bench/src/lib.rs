@@ -159,8 +159,16 @@ mod tests {
     #[test]
     fn fig9_shape_holds_on_mnist() {
         let rows = evaluate_benchmark(&zoo::mnist()).expect("evaluates");
-        let get = |s: &str| rows.iter().find(|r| r.scheme == s).expect("scheme").energy_j;
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.scheme == s)
+                .expect("scheme")
+                .energy_j
+        };
         assert!(get("CPU") > get("DB") * 5.0, "CPU energy must dwarf DB");
-        assert!(get("Custom") <= get("DB"), "Custom must not burn more than DB");
+        assert!(
+            get("Custom") <= get("DB"),
+            "Custom must not burn more than DB"
+        );
     }
 }

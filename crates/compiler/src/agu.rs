@@ -9,6 +9,7 @@
 use crate::config::CompilerConfig;
 use crate::folding::{FoldingPlan, PhaseKind};
 use crate::tiling::{plan_tiling, TilePlan};
+use crate::CompileError;
 use deepburning_components::AguPattern;
 use deepburning_model::{LayerKind, Network, NetworkError, Shape};
 use std::collections::BTreeMap;
@@ -59,9 +60,9 @@ impl MemoryMap {
 
     /// Whether segments are disjoint and sorted — the map's invariant.
     pub fn is_consistent(&self) -> bool {
-        self.segments.windows(2).all(|w| {
-            w[0].offset + w[0].len_words <= w[1].offset
-        })
+        self.segments
+            .windows(2)
+            .all(|w| w[0].offset + w[0].len_words <= w[1].offset)
     }
 }
 
@@ -109,7 +110,12 @@ pub fn build_memory_map(net: &Network, cfg: &CompilerConfig) -> Result<MemoryMap
         .map(|s| s.elements() as u64)
         .max()
         .unwrap_or(1);
-    push("spill".into(), largest * 2, SegmentKind::Activations, &mut cursor);
+    push(
+        "spill".into(),
+        largest * 2,
+        SegmentKind::Activations,
+        &mut cursor,
+    );
     let out_words = net.output_shape()?.elements() as u64;
     push("output".into(), out_words, SegmentKind::Output, &mut cursor);
     Ok(MemoryMap { segments })
@@ -162,19 +168,32 @@ pub fn plan_layer_tiling(
     Ok(plans)
 }
 
+/// Converts a stream length to the AGU's 32-bit `x_len` field, refusing
+/// streams the hardware counter cannot express instead of silently
+/// truncating the address program.
+fn pattern_len(words: u64, phase: usize, stream: &'static str) -> Result<u32, CompileError> {
+    u32::try_from(words).map_err(|_| CompileError::AguOverflow {
+        phase,
+        stream,
+        words,
+    })
+}
+
 /// Synthesises the per-phase AGU programs.
 ///
 /// # Errors
 ///
-/// Propagates shape-inference failures.
+/// Propagates shape-inference failures, and rejects networks whose
+/// streams exceed the AGU's 32-bit length counters
+/// ([`CompileError::AguOverflow`]).
 pub fn synthesize_agus(
     net: &Network,
     plan: &FoldingPlan,
     map: &MemoryMap,
     tile_plans: &BTreeMap<String, TilePlan>,
     cfg: &CompilerConfig,
-) -> Result<Vec<AguProgram>, NetworkError> {
-    let shapes = net.infer_shapes()?;
+) -> Result<Vec<AguProgram>, CompileError> {
+    let shapes = net.infer_shapes().map_err(CompileError::Network)?;
     let mut programs = Vec::with_capacity(plan.phases.len());
     for phase in &plan.phases {
         let layer = net
@@ -191,40 +210,48 @@ pub fn synthesize_agus(
         // Main AGU: fetch input (if not resident) and this fold's weights;
         // write back the output slice when it spills.
         if !phase.input_resident {
-            let src = map
-                .segment("input")
-                .map(|s| s.offset)
-                .unwrap_or_default();
+            let src = map.segment("input").map(|s| s.offset).unwrap_or_default();
             prog.main.push(AguPattern::linear(
                 src,
-                u32::try_from(in_words).unwrap_or(u32::MAX),
+                pattern_len(in_words, phase.id, "input fetch")?,
             ));
         }
         if let Some(seg) = map.segment(&phase.layer) {
-            let fold_words = seg.len_words / phase.folds as u64;
-            prog.main.push(AguPattern {
-                start: seg.offset,
-                offset: fold_words * phase.fold as u64,
-                x_len: u32::try_from(fold_words.max(1)).unwrap_or(u32::MAX),
-                y_len: 1,
-                x_stride: 1,
-                y_stride: 0,
-            });
+            // Round the per-fold slice up and clamp the final fold to the
+            // segment end: a weight count that does not divide evenly by
+            // the fold count must still be fetched completely (flooring
+            // here used to drop the trailing words of the last fold).
+            let fold_words = seg.len_words.div_ceil(phase.folds.max(1) as u64);
+            let offset = fold_words * phase.fold as u64;
+            let words = fold_words.min(seg.len_words.saturating_sub(offset));
+            if words > 0 {
+                prog.main.push(AguPattern {
+                    start: seg.offset,
+                    offset,
+                    x_len: pattern_len(words, phase.id, "weight fetch")?,
+                    y_len: 1,
+                    x_stride: 1,
+                    y_stride: 0,
+                });
+            }
         }
         if phase.output_to_dram {
-            let dst = map
-                .segment("spill")
-                .map(|s| s.offset)
-                .unwrap_or_default();
-            let slice = out_words / phase.folds as u64;
-            prog.main.push(AguPattern {
-                start: dst,
-                offset: slice * phase.fold as u64,
-                x_len: u32::try_from(slice.max(1)).unwrap_or(u32::MAX),
-                y_len: 1,
-                x_stride: 1,
-                y_stride: 0,
-            });
+            let dst = map.segment("spill").map(|s| s.offset).unwrap_or_default();
+            // Same round-up-and-clamp as the weight fetch above, so the
+            // spill write-back covers every output word.
+            let slice = out_words.div_ceil(phase.folds.max(1) as u64);
+            let offset = slice * phase.fold as u64;
+            let words = slice.min(out_words.saturating_sub(offset));
+            if words > 0 {
+                prog.main.push(AguPattern {
+                    start: dst,
+                    offset,
+                    x_len: pattern_len(words, phase.id, "spill write-back")?,
+                    y_len: 1,
+                    x_stride: 1,
+                    y_stride: 0,
+                });
+            }
         }
         // Data AGU: window walks for spatial layers, linear sweep otherwise.
         match &layer.kind {
@@ -255,15 +282,17 @@ pub fn synthesize_agus(
             _ => {
                 prog.data.push(AguPattern::linear(
                     0,
-                    u32::try_from(in_words).unwrap_or(u32::MAX),
+                    pattern_len(in_words, phase.id, "data sweep")?,
                 ));
             }
         }
         // Weight AGU: one linear stream over the fold's weights.
         if phase.kind == PhaseKind::Compute {
-            let words = phase.work.buffer_read_words.min(u64::from(u32::MAX));
-            prog.weight
-                .push(AguPattern::linear(0, (words.max(1)) as u32));
+            let words = phase.work.buffer_read_words.max(1);
+            prog.weight.push(AguPattern::linear(
+                0,
+                pattern_len(words, phase.id, "weight sweep")?,
+            ));
         }
         programs.push(prog);
     }
@@ -352,7 +381,11 @@ mod tests {
         assert_eq!(programs.len(), plan.phases.len());
         for (prog, phase) in programs.iter().zip(&plan.phases) {
             assert_eq!(prog.phase, phase.id);
-            assert!(!prog.data.is_empty(), "phase {} has no data pattern", phase.id);
+            assert!(
+                !prog.data.is_empty(),
+                "phase {} has no data pattern",
+                phase.id
+            );
         }
     }
 
@@ -394,6 +427,79 @@ mod tests {
             .expect("weight fetch");
         assert_eq!(fold0.offset, 0);
         assert!(fold1.offset > 0);
+    }
+
+    #[test]
+    fn non_divisible_folds_cover_whole_weight_segment() {
+        let n = net();
+        // conv1 has 64 maps x 3x3 kernel x 3 channels = 576 parallel
+        // units; 120 lanes -> 5 folds, and the conv1 weight segment
+        // (1792 words before alignment) does not divide by 5.
+        let cfg = CompilerConfig {
+            lanes: 120,
+            ..CompilerConfig::default()
+        };
+        let plan = plan_folding(&n, &cfg).expect("plan");
+        let map = build_memory_map(&n, &cfg).expect("map");
+        let tiles = plan_layer_tiling(&n, &cfg).expect("tiles");
+        let programs = synthesize_agus(&n, &plan, &map, &tiles, &cfg).expect("agus");
+        let seg = map.segment("conv1").expect("seg");
+        let mut slices: Vec<(u64, u64)> = plan
+            .phases
+            .iter()
+            .filter(|p| p.layer == "conv1")
+            .flat_map(|p| &programs[p.id].main)
+            .filter(|pat| pat.start == seg.offset)
+            .map(|pat| (pat.offset, u64::from(pat.x_len)))
+            .collect();
+        assert!(slices.len() >= 2, "expected several weight folds");
+        assert_ne!(
+            seg.len_words % slices.len() as u64,
+            0,
+            "test needs a non-divisible fold count to bite"
+        );
+        slices.sort_unstable();
+        let mut cursor = 0u64;
+        for (offset, len) in &slices {
+            assert_eq!(*offset, cursor, "fold slices must be contiguous");
+            assert!(*len > 0);
+            cursor += len;
+        }
+        assert_eq!(
+            cursor, seg.len_words,
+            "fold slices must cover the whole weight segment"
+        );
+    }
+
+    #[test]
+    fn oversized_stream_is_a_compile_error() {
+        // 70000x70000 input: ~4.9G words, beyond the AGU's 32-bit
+        // length counter. This used to silently cap at u32::MAX.
+        let n = Network::from_layers(
+            "huge",
+            vec![
+                Layer::input("data", "data", 1, 70_000, 70_000),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(4)),
+                    "data",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid");
+        let cfg = CompilerConfig::default();
+        let plan = plan_folding(&n, &cfg).expect("plan");
+        let map = build_memory_map(&n, &cfg).expect("map");
+        let tiles = plan_layer_tiling(&n, &cfg).expect("tiles");
+        let err = synthesize_agus(&n, &plan, &map, &tiles, &cfg)
+            .expect_err("4.9G-word stream must be rejected");
+        match err {
+            CompileError::AguOverflow { words, .. } => {
+                assert!(words > u64::from(u32::MAX));
+            }
+            other => panic!("expected AguOverflow, got {other}"),
+        }
     }
 
     #[test]

@@ -170,10 +170,7 @@ pub fn plan_folding(net: &Network, cfg: &CompilerConfig) -> Result<FoldingPlan, 
     // Steady-state residency: when the whole weight set fits on chip and
     // the caller declared repeated inference, weights are fetched once per
     // session, not per forward pass.
-    let total_weight_bytes: u64 = deepburning_model::network_stats(net)?
-        .total
-        .weights
-        * wb;
+    let total_weight_bytes: u64 = deepburning_model::network_stats(net)?.total.weights * wb;
     let weights_stay = cfg.weights_resident && total_weight_bytes <= cfg.weight_buffer_bytes;
     let mut phases = Vec::new();
     let mut id = 0usize;
@@ -193,10 +190,7 @@ pub fn plan_folding(net: &Network, cfg: &CompilerConfig) -> Result<FoldingPlan, 
         } else {
             1
         };
-        let active_lanes = units
-            .div_ceil(folds as u64)
-            .min(cfg.lanes as u64)
-            .max(1) as u32;
+        let active_lanes = units.div_ceil(folds as u64).min(cfg.lanes as u64).max(1) as u32;
         let in_bytes = stats.input_elems * wb;
         let out_bytes = stats.output_elems * wb;
         let weight_bytes = stats.weights * wb;
@@ -296,7 +290,12 @@ mod tests {
                     "conv1",
                     "pool1",
                 ),
-                Layer::new("sig", LayerKind::Activation(Activation::Sigmoid), "pool1", "pool1"),
+                Layer::new(
+                    "sig",
+                    LayerKind::Activation(Activation::Sigmoid),
+                    "pool1",
+                    "pool1",
+                ),
                 Layer::new(
                     "fc",
                     LayerKind::FullConnection(FullParam::dense(10)),

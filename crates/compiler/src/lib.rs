@@ -46,12 +46,12 @@ pub use config::CompilerConfig;
 pub use folding::{plan_folding, FoldingPlan, Phase, PhaseKind, PhaseWork};
 pub use lutgen::{generate_luts, LutImages, ACTIVATION_RANGE};
 pub use schedule::{blocks, build_schedule, ControlSchedule, ControlStep, Reconnection};
-pub use training::plan_training;
-pub use weights_layout::{layer_weight_order, plan_weight_layout, WeightOrder};
 pub use tiling::{
     bandwidth_utilization, layout_order, plan_tiling, rows_touched_linear, rows_touched_tiled,
     TilePlan, TilingCase,
 };
+pub use training::plan_training;
+pub use weights_layout::{layer_weight_order, plan_weight_layout, WeightOrder};
 
 use deepburning_fixed::BuildLutError;
 use deepburning_model::{Network, NetworkError};
@@ -87,6 +87,17 @@ pub enum CompileError {
     Network(NetworkError),
     /// A LUT could not be sampled.
     Lut(BuildLutError),
+    /// An address stream exceeds the AGU's 32-bit length counter — the
+    /// network is too large for the generated address generators, and
+    /// silently truncating the program would corrupt the transfer.
+    AguOverflow {
+        /// Phase whose program overflowed.
+        phase: usize,
+        /// Which stream (input fetch, weight fetch, …) overflowed.
+        stream: &'static str,
+        /// The requested stream length in words.
+        words: u64,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -94,6 +105,15 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Network(e) => write!(f, "network error: {e}"),
             CompileError::Lut(e) => write!(f, "LUT generation failed: {e}"),
+            CompileError::AguOverflow {
+                phase,
+                stream,
+                words,
+            } => write!(
+                f,
+                "phase {phase}: {stream} of {words} words exceeds the AGU's \
+                 32-bit length counter"
+            ),
         }
     }
 }
@@ -103,6 +123,7 @@ impl std::error::Error for CompileError {
         match self {
             CompileError::Network(e) => Some(e),
             CompileError::Lut(e) => Some(e),
+            CompileError::AguOverflow { .. } => None,
         }
     }
 }

@@ -96,14 +96,24 @@ mod tests {
                 "data",
                 "fc1",
             ),
-            Layer::new("s1", LayerKind::Activation(Activation::Sigmoid), "fc1", "fc1"),
+            Layer::new(
+                "s1",
+                LayerKind::Activation(Activation::Sigmoid),
+                "fc1",
+                "fc1",
+            ),
             Layer::new(
                 "fc2",
                 LayerKind::FullConnection(FullParam::dense(4)),
                 "fc1",
                 "fc2",
             ),
-            Layer::new("s2", LayerKind::Activation(Activation::Sigmoid), "fc2", "fc2"),
+            Layer::new(
+                "s2",
+                LayerKind::Activation(Activation::Sigmoid),
+                "fc2",
+                "fc2",
+            ),
         ]);
         let luts = generate_luts(&net, &CompilerConfig::default()).expect("luts");
         assert_eq!(luts.len(), 1);
@@ -188,10 +198,10 @@ mod tests {
             ..CompilerConfig::default()
         };
         let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
-        let coarse = generate_luts(&net, &coarse_cfg).expect("luts")["sigmoid"]
-            .max_error(sigmoid, 1000);
-        let fine = generate_luts(&net, &fine_cfg).expect("luts")["sigmoid"]
-            .max_error(sigmoid, 1000);
+        let coarse =
+            generate_luts(&net, &coarse_cfg).expect("luts")["sigmoid"].max_error(sigmoid, 1000);
+        let fine =
+            generate_luts(&net, &fine_cfg).expect("luts")["sigmoid"].max_error(sigmoid, 1000);
         assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
     }
 

@@ -143,7 +143,12 @@ mod tests {
                     "conv",
                     "pool",
                 ),
-                Layer::new("sig", LayerKind::Activation(Activation::Sigmoid), "pool", "pool"),
+                Layer::new(
+                    "sig",
+                    LayerKind::Activation(Activation::Sigmoid),
+                    "pool",
+                    "pool",
+                ),
                 Layer::new(
                     "fc",
                     LayerKind::FullConnection(FullParam::dense(10)),
@@ -154,8 +159,14 @@ mod tests {
             ],
         )
         .expect("valid");
-        plan_folding(&net, &CompilerConfig { lanes: 32, ..CompilerConfig::default() })
-            .expect("plan")
+        plan_folding(
+            &net,
+            &CompilerConfig {
+                lanes: 32,
+                ..CompilerConfig::default()
+            },
+        )
+        .expect("plan")
     }
 
     #[test]
@@ -173,18 +184,14 @@ mod tests {
     fn compute_phase_wires_neurons_to_accumulators() {
         let s = build_schedule(&plan());
         let first = &s.steps[0];
-        assert!(first
-            .reconnections
-            .contains(&Reconnection {
-                from: blocks::NEURONS,
-                to: blocks::ACCUMULATORS
-            }));
-        assert!(first
-            .reconnections
-            .contains(&Reconnection {
-                from: blocks::WEIGHT_BUF,
-                to: blocks::NEURONS
-            }));
+        assert!(first.reconnections.contains(&Reconnection {
+            from: blocks::NEURONS,
+            to: blocks::ACCUMULATORS
+        }));
+        assert!(first.reconnections.contains(&Reconnection {
+            from: blocks::WEIGHT_BUF,
+            to: blocks::NEURONS
+        }));
     }
 
     #[test]
@@ -196,12 +203,10 @@ mod tests {
             .iter()
             .position(|ph| ph.layer == "pool")
             .expect("pool phase");
-        assert!(s.steps[pool_step]
-            .reconnections
-            .contains(&Reconnection {
-                from: blocks::CONNECTION_BOX,
-                to: blocks::POOLING
-            }));
+        assert!(s.steps[pool_step].reconnections.contains(&Reconnection {
+            from: blocks::CONNECTION_BOX,
+            to: blocks::POOLING
+        }));
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub fn plan_tiling(kernel: usize, stride: usize, port_width: usize, maps: usize)
         "tiling parameters must be non-zero"
     );
     if kernel == port_width {
-        if stride > 1 && kernel % stride == 0 && port_width % stride == 0 {
+        if stride > 1 && kernel.is_multiple_of(stride) && port_width.is_multiple_of(stride) {
             // Case 2: finer s×s partition for window reuse.
             return TilePlan {
                 tile: stride,

@@ -58,7 +58,8 @@ pub fn plan_training(net: &Network, cfg: &CompilerConfig) -> Result<FoldingPlan,
         };
         let act_bytes = (ls.input_elems + ls.output_elems) * wb;
         for fold in 0..fwd_folds {
-            let split = |v: u64| v / fwd_folds as u64 + u64::from(fold == 0) * (v % fwd_folds as u64);
+            let split =
+                |v: u64| v / fwd_folds as u64 + u64::from(fold == 0) * (v % fwd_folds as u64);
             plan.phases.push(Phase {
                 id,
                 layer: layer.name.clone(),
@@ -76,7 +77,9 @@ pub fn plan_training(net: &Network, cfg: &CompilerConfig) -> Result<FoldingPlan,
                     // Cached forward activations + weights in, gradients out.
                     dram_read_bytes: split(act_bytes + ls.weights * wb),
                     dram_write_bytes: split(ls.input_elems * wb),
-                    buffer_read_words: split(macs.max(ls.input_elems) / cfg.port_width_words.max(1) as u64),
+                    buffer_read_words: split(
+                        macs.max(ls.input_elems) / cfg.port_width_words.max(1) as u64,
+                    ),
                     buffer_write_words: split(ls.input_elems),
                 },
                 event: format!("layer{li}-back{fold}"),

@@ -33,7 +33,11 @@ impl WeightOrder {
     ///
     /// Panics if `weights.len()` differs from the order length.
     pub fn apply<T: Copy>(&self, weights: &[T]) -> Vec<T> {
-        assert_eq!(weights.len(), self.order.len(), "weight buffer length mismatch");
+        assert_eq!(
+            weights.len(),
+            self.order.len(),
+            "weight buffer length mismatch"
+        );
         self.order.iter().map(|&i| weights[i]).collect()
     }
 
@@ -160,10 +164,7 @@ mod tests {
         )
         .expect("weighted layer");
         // Beat structure: col0 of o0,o1; col1 of o0,o1; col2 of o0,o1; then fold 2.
-        assert_eq!(
-            order.order,
-            vec![0, 3, 1, 4, 2, 5, 6, 9, 7, 10, 8, 11]
-        );
+        assert_eq!(order.order, vec![0, 3, 1, 4, 2, 5, 6, 9, 7, 10, 8, 11]);
         assert!(order.is_permutation());
         assert_eq!(order.units_per_fold, 2);
     }

@@ -3,9 +3,7 @@
 
 use crate::cost::{adder_luts, comparator_luts, mux_luts, ResourceCost};
 use crate::Block;
-use deepburning_verilog::{
-    BinaryOp, Expr, Item, NetDecl, Port, Sensitivity, Stmt, VModule,
-};
+use deepburning_verilog::{BinaryOp, Expr, Item, NetDecl, Port, Sensitivity, Stmt, VModule};
 
 /// One memory access pattern of an AGU (the key fields of Fig. 6:
 /// "starting address, footprint (size), x_length, y_length, stride,
@@ -137,7 +135,12 @@ impl AguBlock {
 
 impl Block for AguBlock {
     fn module_name(&self) -> String {
-        format!("agu_{}_a{}_p{}", self.class.tag(), self.addr_width, self.patterns.len())
+        format!(
+            "agu_{}_a{}_p{}",
+            self.class.tag(),
+            self.addr_width,
+            self.patterns.len()
+        )
     }
 
     fn generate(&self) -> VModule {
@@ -264,10 +267,7 @@ impl Block for AguBlock {
                         then_body: vec![Stmt::Case {
                             subject: Expr::id("pat"),
                             arms,
-                            default: vec![Stmt::NonBlocking(
-                                Expr::id("running"),
-                                Expr::lit(1, 0),
-                            )],
+                            default: vec![Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 0))],
                         }],
                         else_body: vec![],
                     }],
@@ -518,12 +518,7 @@ mod tests {
     #[test]
     fn agu_cost_grows_with_patterns() {
         let one = AguBlock::new(AguClass::Main, 32, vec![AguPattern::linear(0, 8)]).cost();
-        let four = AguBlock::new(
-            AguClass::Main,
-            32,
-            vec![AguPattern::linear(0, 8); 4],
-        )
-        .cost();
+        let four = AguBlock::new(AguClass::Main, 32, vec![AguPattern::linear(0, 8); 4]).cost();
         assert!(four.lut > one.lut);
     }
 

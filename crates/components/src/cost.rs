@@ -188,7 +188,10 @@ mod tests {
     #[test]
     fn zero_budget_axis() {
         let budget = ResourceCost::logic(0, 100, 100);
-        assert_eq!(ResourceCost::logic(1, 0, 0).utilization(&budget), f64::INFINITY);
+        assert_eq!(
+            ResourceCost::logic(1, 0, 0).utilization(&budget),
+            f64::INFINITY
+        );
         assert_eq!(ResourceCost::logic(0, 50, 0).utilization(&budget), 0.5);
     }
 

@@ -1,18 +1,69 @@
 //! Arithmetic building blocks: synergy neurons, accumulators, pooling,
 //! activation, drop-out and the K-sorter classifier (paper Fig. 5).
 
-use crate::cost::{
-    adder_luts, comparator_luts, dsps_per_multiplier, mux_luts, ResourceCost,
-};
+use crate::cost::{adder_luts, comparator_luts, dsps_per_multiplier, mux_luts, ResourceCost};
 use crate::Block;
 use deepburning_fixed::{Accumulator, Fx, QFormat, Rounding};
 use deepburning_model::PoolMethod;
 use deepburning_verilog::{
-    BinaryOp, Expr, Item, NetDecl, Port, Sensitivity, Stmt, VModule,
+    BinaryOp, Expr, Item, NetDecl, Port, Sensitivity, Stmt, UnaryOp, VModule,
 };
 
 fn slice(bus: &str, lane: u32, width: u32) -> Expr {
-    Expr::Slice(Box::new(Expr::id(bus)), (lane + 1) * width - 1, lane * width)
+    Expr::Slice(
+        Box::new(Expr::id(bus)),
+        (lane + 1) * width - 1,
+        lane * width,
+    )
+}
+
+/// Sign-extends the `from`-bit signal `name` to `to` bits.
+pub(crate) fn sign_extend_expr(name: &str, from: u32, to: u32) -> Expr {
+    if to <= from {
+        return Expr::id(name);
+    }
+    let ext = to - from;
+    let ones = if ext >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << ext) - 1
+    };
+    let sign = Expr::Slice(Box::new(Expr::id(name)), from - 1, from - 1);
+    Expr::Ternary(
+        Box::new(sign),
+        Box::new(Expr::Concat(vec![Expr::lit(ext, ones), Expr::id(name)])),
+        Box::new(Expr::Concat(vec![Expr::lit(ext, 0), Expr::id(name)])),
+    )
+}
+
+/// Saturates the `wide`-bit two's-complement signal `src` down to `narrow`
+/// bits: the value passes through when the discarded high bits all equal the
+/// narrow sign bit, and clamps to the most positive / most negative
+/// `narrow`-bit pattern otherwise. This mirrors `QFormat::saturate` exactly.
+pub(crate) fn saturate_expr(src: &str, wide: u32, narrow: u32) -> Expr {
+    if wide <= narrow {
+        return Expr::id(src);
+    }
+    let top = Expr::Slice(Box::new(Expr::id(src)), wide - 1, narrow - 1);
+    let in_range = Expr::bin(
+        BinaryOp::Or,
+        Expr::Unary(UnaryOp::RedAnd, Box::new(top.clone())),
+        Expr::Unary(
+            UnaryOp::Not,
+            Box::new(Expr::Unary(UnaryOp::RedOr, Box::new(top))),
+        ),
+    );
+    let sign = Expr::Slice(Box::new(Expr::id(src)), wide - 1, wide - 1);
+    let min_pattern = 1u64 << (narrow - 1);
+    Expr::Ternary(
+        Box::new(in_range),
+        Box::new(Expr::Slice(Box::new(Expr::id(src)), narrow - 1, 0)),
+        Box::new(Expr::Ternary(
+            Box::new(sign),
+            Box::new(Expr::lit(narrow, min_pattern)),
+            Box::new(Expr::lit(narrow, min_pattern - 1)),
+        )),
+    )
 }
 
 /// A bank of synergy neurons: `lanes` parallel multiply units feeding an
@@ -56,6 +107,15 @@ impl SynergyNeuron {
         self
     }
 
+    /// Width of the wide accumulator register: raw products carry `2 * width`
+    /// bits, plus headroom for summation, capped at the interpreter's 64-bit
+    /// signal limit. For `width <= 24` this leaves at least 16 bits of
+    /// headroom, so the register tracks the behavioural [`Accumulator`]
+    /// exactly over any realistic dot-product length.
+    pub fn acc_width(&self) -> u32 {
+        (2 * self.width + 16).min(64)
+    }
+
     /// Fixed-point behavioural model of one beat sequence: the dot product
     /// of `features` and `weights` as the hardware computes it.
     ///
@@ -74,11 +134,15 @@ impl SynergyNeuron {
 
 impl Block for SynergyNeuron {
     fn module_name(&self) -> String {
-        format!("synergy_neuron_w{}_f{}_l{}", self.width, self.frac_bits, self.lanes)
+        format!(
+            "synergy_neuron_w{}_f{}_l{}",
+            self.width, self.frac_bits, self.lanes
+        )
     }
 
     fn generate(&self) -> VModule {
         let w = self.width;
+        let aw = self.acc_width();
         let mut m = VModule::new(self.module_name());
         m.port(Port::input("clk", 1))
             .port(Port::input("rst", 1))
@@ -87,20 +151,10 @@ impl Block for SynergyNeuron {
             .port(Port::input("din", w * self.lanes))
             .port(Port::input("weight", w * self.lanes))
             .port(Port::output("sum_out", w));
-        // Per-lane fixed-point products: sign-extend both operands to 2W,
-        // multiply, arithmetic-shift by the fraction width and keep the
-        // aligned field [W+F-1 : F].
-        let sign_extend = |name: &str, w: u32| -> Expr {
-            let sign = Expr::Slice(Box::new(Expr::id(name)), w - 1, w - 1);
-            Expr::Ternary(
-                Box::new(sign),
-                Box::new(Expr::Concat(vec![
-                    Expr::lit(w, u64::MAX & ((1u64 << w.min(63)) - 1)),
-                    Expr::id(name),
-                ])),
-                Box::new(Expr::Concat(vec![Expr::lit(w, 0), Expr::id(name)])),
-            )
-        };
+        // Per-lane fixed-point products: sign-extend both operands to the
+        // accumulator width and multiply. The raw product keeps all 2F
+        // fraction bits — alignment and saturation happen once, at readout,
+        // exactly as the behavioural `Accumulator` resolves.
         for lane in 0..self.lanes {
             let (fl, wl) = (format!("lane_f{lane}"), format!("lane_w{lane}"));
             m.item(Item::Net(NetDecl::wire(&fl, w)));
@@ -113,20 +167,14 @@ impl Block for SynergyNeuron {
                 lhs: Expr::id(&wl),
                 rhs: slice("weight", lane, w),
             });
-            let wide = format!("prod_wide{lane}");
-            m.item(Item::Net(NetDecl::wire(&wide, 2 * w)));
-            m.item(Item::Assign {
-                lhs: Expr::id(&wide),
-                rhs: Expr::bin(
-                    BinaryOp::Shr,
-                    Expr::bin(BinaryOp::Mul, sign_extend(&fl, w), sign_extend(&wl, w)),
-                    Expr::lit(2 * w, u64::from(self.frac_bits)),
-                ),
-            });
-            m.item(Item::Net(NetDecl::wire(format!("prod{lane}"), w)));
+            m.item(Item::Net(NetDecl::wire(format!("prod{lane}"), aw)));
             m.item(Item::Assign {
                 lhs: Expr::id(format!("prod{lane}")),
-                rhs: Expr::Slice(Box::new(Expr::id(&wide)), w - 1, 0),
+                rhs: Expr::bin(
+                    BinaryOp::Mul,
+                    sign_extend_expr(&fl, w, aw),
+                    sign_extend_expr(&wl, w, aw),
+                ),
             });
         }
         // Linear adder chain (synthesis retimes it into a tree).
@@ -134,17 +182,17 @@ impl Block for SynergyNeuron {
         for lane in 1..self.lanes {
             sum = Expr::bin(BinaryOp::Add, sum, Expr::id(format!("prod{lane}")));
         }
-        m.item(Item::Net(NetDecl::wire("tree_sum", w)));
+        m.item(Item::Net(NetDecl::wire("tree_sum", aw)));
         m.item(Item::Assign {
             lhs: Expr::id("tree_sum"),
             rhs: sum,
         });
-        m.item(Item::Net(NetDecl::reg("acc", w)));
+        m.item(Item::Net(NetDecl::reg("acc", aw)));
         m.item(Item::Always {
             sensitivity: Sensitivity::PosEdge("clk".into()),
             body: vec![Stmt::If {
                 cond: Expr::bin(BinaryOp::LogOr, Expr::id("rst"), Expr::id("clear")),
-                then_body: vec![Stmt::NonBlocking(Expr::id("acc"), Expr::lit(w, 0))],
+                then_body: vec![Stmt::NonBlocking(Expr::id("acc"), Expr::lit(aw, 0))],
                 else_body: vec![Stmt::If {
                     cond: Expr::id("en"),
                     then_body: vec![Stmt::NonBlocking(
@@ -155,27 +203,42 @@ impl Block for SynergyNeuron {
                 }],
             }],
         });
+        // Readout: arithmetic-shift the fraction bits away, then saturate to
+        // the datapath width — bit-for-bit `Accumulator::resolve(Truncate)`.
+        m.item(Item::Net(NetDecl::wire("acc_shifted", aw)));
+        m.item(Item::Assign {
+            lhs: Expr::id("acc_shifted"),
+            rhs: Expr::bin(
+                BinaryOp::Shr,
+                Expr::id("acc"),
+                Expr::lit(32, u64::from(self.frac_bits)),
+            ),
+        });
         m.item(Item::Assign {
             lhs: Expr::id("sum_out"),
-            rhs: Expr::id("acc"),
+            rhs: saturate_expr("acc_shifted", aw, w),
         });
         m
     }
 
     fn cost(&self) -> ResourceCost {
         let mul_dsp = dsps_per_multiplier(self.width) * self.lanes;
-        // Adder tree: lanes-1 adders; accumulator: one adder + register.
-        let lut = adder_luts(self.width) * self.lanes + mux_luts(self.width);
-        let ff = self.width * 2;
+        // Adder tree: lanes-1 adders; accumulator: one adder + register;
+        // saturation: one mux stage.
+        let lut = adder_luts(self.width) * self.lanes + 2 * mux_luts(self.width);
+        let ff = self.acc_width();
         ResourceCost::logic(mul_dsp, lut, ff)
     }
 
     fn describe(&self) -> String {
-        format!("synergy neuron bank: {} lanes x {} bits", self.lanes, self.width)
+        format!(
+            "synergy neuron bank: {} lanes x {} bits",
+            self.lanes, self.width
+        )
     }
 }
 
-/// A standalone saturating accumulator used to merge partial sums across
+/// A standalone wrapping accumulator used to merge partial sums across
 /// folds and to chain convolution partial products.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccumulatorBlock {
@@ -240,7 +303,18 @@ pub struct PoolingUnit {
 }
 
 impl PoolingUnit {
+    /// Width of the average-pool sum register: the datapath width plus
+    /// summation headroom, capped at the interpreter's 64-bit signal limit.
+    pub fn acc_width(&self) -> u32 {
+        (self.width + 16).min(64)
+    }
+
     /// Behavioural model: reduce a window of values.
+    ///
+    /// Average pooling divides by the window size the way the generated
+    /// datapath does: a power-of-two window uses the connection box's
+    /// shifting latch, anything else multiplies by the quantised reciprocal
+    /// in a neuron lane — identical to the functional simulator's `pool_fx`.
     pub fn simulate(&self, window: &[Fx], fmt: QFormat) -> Fx {
         match self.method {
             PoolMethod::Max => window
@@ -253,9 +327,12 @@ impl PoolingUnit {
                     acc.add(*v);
                 }
                 let sum = acc.resolve(Rounding::Truncate);
-                // Approximate division via the shifting latch.
-                let shift = (window.len() as f64).log2().round() as u32;
-                sum.shift_right(shift)
+                let n = window.len().max(1);
+                if n.is_power_of_two() {
+                    sum.shift_right(n.trailing_zeros())
+                } else {
+                    sum * Fx::from_f64(1.0 / n as f64, fmt)
+                }
             }
         }
     }
@@ -279,46 +356,83 @@ impl Block for PoolingUnit {
             .port(Port::input("clear", 1))
             .port(Port::input("din", w))
             .port(Port::output("dout", w));
-        m.item(Item::Net(NetDecl::reg("agg", w)));
-        let update = match self.method {
-            PoolMethod::Max => Stmt::If {
-                // Signed compare approximated with Lt on raw bits; the
-                // generator biases pooled domains to be non-negative
-                // (post-ReLU), matching the hardware shortcut.
-                cond: Expr::bin(BinaryOp::Lt, Expr::id("agg"), Expr::id("din")),
-                then_body: vec![Stmt::NonBlocking(Expr::id("agg"), Expr::id("din"))],
-                else_body: vec![],
-            },
-            PoolMethod::Average => Stmt::NonBlocking(
-                Expr::id("agg"),
-                Expr::bin(BinaryOp::Add, Expr::id("agg"), Expr::id("din")),
-            ),
-        };
-        m.item(Item::Always {
-            sensitivity: Sensitivity::PosEdge("clk".into()),
-            body: vec![Stmt::If {
-                cond: Expr::bin(BinaryOp::LogOr, Expr::id("rst"), Expr::id("clear")),
-                then_body: vec![Stmt::NonBlocking(Expr::id("agg"), Expr::lit(w, 0))],
-                else_body: vec![Stmt::If {
-                    cond: Expr::id("en"),
-                    then_body: vec![update],
-                    else_body: vec![],
-                }],
-            }],
-        });
-        m.item(Item::Assign {
-            lhs: Expr::id("dout"),
-            rhs: Expr::id("agg"),
-        });
+        match self.method {
+            PoolMethod::Max => {
+                // Signed running max: reset to the most negative raw pattern
+                // so negative pre-activation windows (pooling before ReLU)
+                // reduce exactly like the behavioural `Fx::max` fold.
+                m.item(Item::Net(NetDecl::reg("agg", w)));
+                m.item(Item::Always {
+                    sensitivity: Sensitivity::PosEdge("clk".into()),
+                    body: vec![Stmt::If {
+                        cond: Expr::bin(BinaryOp::LogOr, Expr::id("rst"), Expr::id("clear")),
+                        then_body: vec![Stmt::NonBlocking(
+                            Expr::id("agg"),
+                            Expr::lit(w, 1u64 << (w - 1)),
+                        )],
+                        else_body: vec![Stmt::If {
+                            cond: Expr::id("en"),
+                            then_body: vec![Stmt::If {
+                                cond: Expr::bin(BinaryOp::Slt, Expr::id("agg"), Expr::id("din")),
+                                then_body: vec![Stmt::NonBlocking(
+                                    Expr::id("agg"),
+                                    Expr::id("din"),
+                                )],
+                                else_body: vec![],
+                            }],
+                            else_body: vec![],
+                        }],
+                    }],
+                });
+                m.item(Item::Assign {
+                    lhs: Expr::id("dout"),
+                    rhs: Expr::id("agg"),
+                });
+            }
+            PoolMethod::Average => {
+                // Wide running sum with a saturating readout, mirroring the
+                // behavioural `Accumulator::add` + `resolve` pair. Division
+                // happens downstream (shifting latch or reciprocal lane).
+                let aw = self.acc_width();
+                m.item(Item::Net(NetDecl::reg("agg", aw)));
+                m.item(Item::Always {
+                    sensitivity: Sensitivity::PosEdge("clk".into()),
+                    body: vec![Stmt::If {
+                        cond: Expr::bin(BinaryOp::LogOr, Expr::id("rst"), Expr::id("clear")),
+                        then_body: vec![Stmt::NonBlocking(Expr::id("agg"), Expr::lit(aw, 0))],
+                        else_body: vec![Stmt::If {
+                            cond: Expr::id("en"),
+                            then_body: vec![Stmt::NonBlocking(
+                                Expr::id("agg"),
+                                Expr::bin(
+                                    BinaryOp::Add,
+                                    Expr::id("agg"),
+                                    sign_extend_expr("din", w, aw),
+                                ),
+                            )],
+                            else_body: vec![],
+                        }],
+                    }],
+                });
+                m.item(Item::Assign {
+                    lhs: Expr::id("dout"),
+                    rhs: saturate_expr("agg", aw, w),
+                });
+            }
+        }
         m
     }
 
     fn cost(&self) -> ResourceCost {
         let lut = match self.method {
             PoolMethod::Max => comparator_luts(self.width) + mux_luts(self.width),
-            PoolMethod::Average => adder_luts(self.width),
+            PoolMethod::Average => adder_luts(self.width) + mux_luts(self.width),
         };
-        ResourceCost::logic(0, lut, self.width)
+        let ff = match self.method {
+            PoolMethod::Max => self.width,
+            PoolMethod::Average => self.acc_width(),
+        };
+        ResourceCost::logic(0, lut, ff)
     }
 
     fn describe(&self) -> String {
@@ -444,15 +558,21 @@ impl KSorter {
     /// Behavioural model of the scheduled top-k: the coordinator replays
     /// the selection network `k` times, masking the previous winner.
     pub fn simulate_topk(&self, values: &[Fx], k: usize) -> Vec<usize> {
-        let mut masked: Vec<(usize, i64)> =
-            values.iter().enumerate().map(|(i, v)| (i, v.raw())).collect();
+        let mut masked: Vec<(usize, i64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.raw()))
+            .collect();
         let mut out = Vec::with_capacity(k);
         for _ in 0..k.min(values.len()) {
-            let (pos, _) = masked
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, (_, raw))| *raw)
-                .expect("non-empty");
+            // Strict compare: ties keep the earliest index, exactly like the
+            // comparator chain (and the functional classifier's stable sort).
+            let mut pos = 0usize;
+            for (i, (_, raw)) in masked.iter().enumerate() {
+                if *raw > masked[pos].1 {
+                    pos = i;
+                }
+            }
             out.push(masked[pos].0);
             masked.remove(pos);
         }
@@ -489,7 +609,7 @@ impl Block for KSorter {
             let cur_i = format!("best_idx{i}");
             m.item(Item::Net(NetDecl::wire(&cur_v, w)));
             m.item(Item::Net(NetDecl::wire(&cur_i, iw)));
-            let wins = Expr::bin(BinaryOp::Lt, Expr::id(&prev_v), slice("din", i, w));
+            let wins = Expr::bin(BinaryOp::Slt, Expr::id(&prev_v), slice("din", i, w));
             m.item(Item::Assign {
                 lhs: Expr::id(&cur_v),
                 rhs: Expr::Ternary(
@@ -520,7 +640,8 @@ impl Block for KSorter {
     }
 
     fn cost(&self) -> ResourceCost {
-        let per_stage = comparator_luts(self.width) + mux_luts(self.width) + mux_luts(self.index_width());
+        let per_stage =
+            comparator_luts(self.width) + mux_luts(self.width) + mux_luts(self.index_width());
         ResourceCost::logic(0, per_stage * (self.inputs - 1), 0)
     }
 
@@ -532,9 +653,13 @@ impl Block for KSorter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deepburning_verilog::{lint_design, Design};
+    use deepburning_verilog::{lint_design, Design, Interpreter};
 
     const F: QFormat = QFormat::Q8_8;
+
+    fn raw16(v: f64) -> u64 {
+        Fx::from_f64(v, F).raw() as u64 & 0xFFFF
+    }
 
     #[test]
     fn neuron_rtl_lints_clean() {
@@ -548,10 +673,116 @@ mod tests {
     #[test]
     fn neuron_simulation_matches_dot_product() {
         let n = SynergyNeuron::new(16, 4);
-        let f: Vec<Fx> = [1.0, -2.0, 0.5, 3.0].iter().map(|&v| Fx::from_f64(v, F)).collect();
-        let w: Vec<Fx> = [0.5, 0.25, -1.0, 2.0].iter().map(|&v| Fx::from_f64(v, F)).collect();
+        let f: Vec<Fx> = [1.0, -2.0, 0.5, 3.0]
+            .iter()
+            .map(|&v| Fx::from_f64(v, F))
+            .collect();
+        let w: Vec<Fx> = [0.5, 0.25, -1.0, 2.0]
+            .iter()
+            .map(|&v| Fx::from_f64(v, F))
+            .collect();
         let out = n.simulate(&f, &w, F);
         assert!((out.to_f64() - (0.5 - 0.5 - 0.5 + 6.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn neuron_rtl_is_bit_exact_with_the_accumulator() {
+        // Mixed-sign values whose running sum leaves the 16-bit window
+        // mid-stream: the wide accumulator must carry the excursion and the
+        // readout must land exactly on `Accumulator::resolve(Truncate)`.
+        let n = SynergyNeuron::new(16, 2);
+        let beats: &[([f64; 2], [f64; 2])] = &[
+            ([100.0, -50.0], [100.0, 100.0]),
+            ([-127.0, 3.75], [100.0, -2.5]),
+            ([0.004, 90.0], [0.004, -90.0]),
+        ];
+        let mut sim =
+            Interpreter::elaborate(&Design::new(n.generate()), &n.module_name()).expect("elab");
+        sim.poke("rst", 1).unwrap();
+        sim.clock().unwrap();
+        sim.poke("rst", 0).unwrap();
+        sim.poke("en", 1).unwrap();
+        let mut flat_f = Vec::new();
+        let mut flat_w = Vec::new();
+        for (fb, wb) in beats {
+            sim.poke("din", raw16(fb[0]) | (raw16(fb[1]) << 16))
+                .unwrap();
+            sim.poke("weight", raw16(wb[0]) | (raw16(wb[1]) << 16))
+                .unwrap();
+            sim.clock().unwrap();
+            flat_f.extend(fb.iter().map(|&v| Fx::from_f64(v, F)));
+            flat_w.extend(wb.iter().map(|&v| Fx::from_f64(v, F)));
+        }
+        let got = sim.read("sum_out").unwrap();
+        let want = n.simulate(&flat_f, &flat_w, F).raw() as u64 & 0xFFFF;
+        assert_eq!(got, want, "RTL {got:#06x} vs model {want:#06x}");
+    }
+
+    #[test]
+    fn pooling_max_rtl_handles_negative_windows() {
+        // Pooling ahead of ReLU sees negative values; the comparator must be
+        // signed and the reset value the most negative pattern, not zero.
+        let p = PoolingUnit {
+            width: 16,
+            method: PoolMethod::Max,
+        };
+        let window = [-3.0, -1.5, -2.0];
+        let mut sim =
+            Interpreter::elaborate(&Design::new(p.generate()), &p.module_name()).expect("elab");
+        sim.poke("rst", 1).unwrap();
+        sim.clock().unwrap();
+        sim.poke("rst", 0).unwrap();
+        sim.poke("en", 1).unwrap();
+        for v in window {
+            sim.poke("din", raw16(v)).unwrap();
+            sim.clock().unwrap();
+        }
+        let got = sim.read("dout").unwrap();
+        let fx: Vec<Fx> = window.iter().map(|&v| Fx::from_f64(v, F)).collect();
+        let want = p.simulate(&fx, F).raw() as u64 & 0xFFFF;
+        assert_eq!(
+            got, want,
+            "max of negatives: RTL {got:#06x} vs model {want:#06x}"
+        );
+        assert_eq!(want, raw16(-1.5));
+    }
+
+    #[test]
+    fn pooling_avg_rtl_sum_saturates_like_the_model() {
+        let p = PoolingUnit {
+            width: 16,
+            method: PoolMethod::Average,
+        };
+        // 16 x 120.0 overflows the 16-bit sum; the model saturates at
+        // resolve, so the RTL readout must clamp to max_raw.
+        let mut sim =
+            Interpreter::elaborate(&Design::new(p.generate()), &p.module_name()).expect("elab");
+        sim.poke("rst", 1).unwrap();
+        sim.clock().unwrap();
+        sim.poke("rst", 0).unwrap();
+        sim.poke("en", 1).unwrap();
+        for _ in 0..16 {
+            sim.poke("din", raw16(120.0)).unwrap();
+            sim.clock().unwrap();
+        }
+        let got = sim.read("dout").unwrap();
+        assert_eq!(got, F.max_raw() as u64 & 0xFFFF);
+    }
+
+    #[test]
+    fn ksorter_rtl_handles_negative_scores() {
+        let k = KSorter {
+            width: 16,
+            inputs: 3,
+        };
+        let vals = [-0.5, -0.25, -1.0];
+        let mut sim =
+            Interpreter::elaborate(&Design::new(k.generate()), &k.module_name()).expect("elab");
+        let bus = raw16(vals[0]) | (raw16(vals[1]) << 16) | (raw16(vals[2]) << 32);
+        sim.poke("din", bus).unwrap();
+        let fx: Vec<Fx> = vals.iter().map(|&v| Fx::from_f64(v, F)).collect();
+        assert_eq!(sim.read("idx_out").unwrap(), k.simulate(&fx) as u64);
+        assert_eq!(k.simulate(&fx), 1);
     }
 
     #[test]
@@ -586,10 +817,19 @@ mod tests {
 
     #[test]
     fn pooling_simulation_max_and_avg() {
-        let vals: Vec<Fx> = [1.0, 4.0, 2.0, 3.0].iter().map(|&v| Fx::from_f64(v, F)).collect();
-        let max = PoolingUnit { width: 16, method: PoolMethod::Max };
+        let vals: Vec<Fx> = [1.0, 4.0, 2.0, 3.0]
+            .iter()
+            .map(|&v| Fx::from_f64(v, F))
+            .collect();
+        let max = PoolingUnit {
+            width: 16,
+            method: PoolMethod::Max,
+        };
         assert_eq!(max.simulate(&vals, F).to_f64(), 4.0);
-        let avg = PoolingUnit { width: 16, method: PoolMethod::Average };
+        let avg = PoolingUnit {
+            width: 16,
+            method: PoolMethod::Average,
+        };
         assert_eq!(avg.simulate(&vals, F).to_f64(), 2.5);
     }
 
@@ -609,7 +849,10 @@ mod tests {
 
     #[test]
     fn ksorter_argmax_and_rtl() {
-        let k = KSorter { width: 16, inputs: 10 };
+        let k = KSorter {
+            width: 16,
+            inputs: 10,
+        };
         assert_eq!(k.index_width(), 4);
         assert!(lint_design(&Design::new(k.generate())).is_clean());
         let vals: Vec<Fx> = [0.1, 0.9, 0.3, 0.95, 0.2]
@@ -621,7 +864,10 @@ mod tests {
 
     #[test]
     fn ksorter_topk_matches_sorting() {
-        let k = KSorter { width: 16, inputs: 8 };
+        let k = KSorter {
+            width: 16,
+            inputs: 8,
+        };
         let vals: Vec<Fx> = [0.3, 0.9, 0.1, 0.7, 0.5]
             .iter()
             .map(|&v| Fx::from_f64(v, F))
@@ -633,8 +879,16 @@ mod tests {
 
     #[test]
     fn ksorter_cost_scales_with_inputs() {
-        let small = KSorter { width: 16, inputs: 4 }.cost();
-        let big = KSorter { width: 16, inputs: 16 }.cost();
+        let small = KSorter {
+            width: 16,
+            inputs: 4,
+        }
+        .cost();
+        let big = KSorter {
+            width: 16,
+            inputs: 16,
+        }
+        .cost();
         // 15 comparator stages vs 3, with a slightly wider index mux.
         assert!(big.lut >= small.lut * 5, "{} vs {}", big.lut, small.lut);
     }

@@ -25,9 +25,7 @@ mod datapath;
 mod memory;
 
 pub use control::{AguBlock, AguClass, AguPattern, Coordinator};
-pub use cost::{
-    adder_luts, comparator_luts, dsps_per_multiplier, mux_luts, ResourceCost,
-};
+pub use cost::{adder_luts, comparator_luts, dsps_per_multiplier, mux_luts, ResourceCost};
 pub use datapath::{
     AccumulatorBlock, ActivationUnit, DropOutUnit, KSorter, PoolingUnit, SynergyNeuron,
 };

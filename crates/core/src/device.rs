@@ -110,9 +110,7 @@ pub fn max_parallel_units(net: &deepburning_model::Network) -> u32 {
                 Some((p.num_output * p.kernel_size * p.kernel_size) as u32)
             }
             deepburning_model::LayerKind::FullConnection(p) => Some(p.num_output as u32),
-            deepburning_model::LayerKind::Recurrent { num_output, .. } => {
-                Some(*num_output as u32)
-            }
+            deepburning_model::LayerKind::Recurrent { num_output, .. } => Some(*num_output as u32),
             deepburning_model::LayerKind::Inception(p) => Some((p.total_output() * 9) as u32),
             deepburning_model::LayerKind::Associative { active_cells, .. } => {
                 Some(*active_cells as u32)

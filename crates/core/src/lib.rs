@@ -123,7 +123,12 @@ pub fn generate(net: &Network, budget: &Budget) -> Result<AcceleratorDesign, Gen
     config.lanes = config.lanes.min(max_parallel_units(net)).max(1);
     if let Ok(shapes) = net.infer_shapes() {
         let wb = config.word_bytes();
-        let largest_blob = shapes.values().map(|s| s.elements() as u64).max().unwrap_or(1) * wb;
+        let largest_blob = shapes
+            .values()
+            .map(|s| s.elements() as u64)
+            .max()
+            .unwrap_or(1)
+            * wb;
         config.feature_buffer_bytes = config
             .feature_buffer_bytes
             .min((largest_blob * 4).max(4096));

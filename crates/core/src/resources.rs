@@ -7,7 +7,7 @@
 use deepburning_compiler::{CompiledNetwork, PhaseKind};
 use deepburning_components::{
     AccumulatorBlock, ActivationUnit, AguBlock, AguClass, AguPattern, ApproxLutBlock, Block,
-    BufferBlock, Coordinator, ConnectionBox, DropOutUnit, KSorter, LrnUnit, PoolingUnit,
+    BufferBlock, ConnectionBox, Coordinator, DropOutUnit, KSorter, LrnUnit, PoolingUnit,
     ResourceCost, SynergyNeuron,
 };
 use deepburning_model::{LayerKind, Network, PoolMethod};
@@ -76,7 +76,10 @@ pub fn context_words(compiled: &CompiledNetwork) -> Vec<[u64; 3]> {
             let mut words = [0u64; 3];
             for (slot, source) in [&prog.main, &prog.data, &prog.weight].iter().enumerate() {
                 if let Some(first) = source.first() {
-                    let canon = AguPattern { offset: 0, ..*first };
+                    let canon = AguPattern {
+                        offset: 0,
+                        ..*first
+                    };
                     if let Some(idx) = sets[slot].iter().position(|p| *p == canon) {
                         words[slot] = 1u64 << idx.min(63);
                     }
@@ -168,8 +171,7 @@ pub fn estimate_resources(net: &Network, compiled: &CompiledNetwork) -> Resource
     });
 
     // Buffers: feature rows feed all lanes, weights likewise.
-    let feature_words =
-        (cfg.feature_buffer_bytes * 8 / u64::from(w * cfg.lanes)).max(2) as usize;
+    let feature_words = (cfg.feature_buffer_bytes * 8 / u64::from(w * cfg.lanes)).max(2) as usize;
     report.push(&BufferBlock {
         width: w * cfg.lanes,
         depth: feature_words,
@@ -248,7 +250,10 @@ mod tests {
         let (net, c) = compiled(16);
         let report = estimate_resources(&net, &c);
         let names: Vec<&str> = report.items.iter().map(|(n, _)| n.as_str()).collect();
-        assert!(names.iter().any(|n| n.contains("synergy neuron")), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.contains("synergy neuron")),
+            "{names:?}"
+        );
         assert!(names.iter().any(|n| n.contains("pooling unit (MAX)")));
         assert!(names.iter().any(|n| n.contains("approx LUT `sigmoid`")));
         assert!(names.iter().any(|n| n.contains("K-sorter")));

@@ -9,17 +9,12 @@ use crate::resources::collect_patterns;
 use deepburning_compiler::CompiledNetwork;
 use deepburning_components::{
     AccumulatorBlock, ActivationUnit, AguBlock, AguClass, ApproxLutBlock, Block, BufferBlock,
-    Coordinator, ConnectionBox, KSorter, PoolingUnit, SynergyNeuron,
+    ConnectionBox, Coordinator, KSorter, PoolingUnit, SynergyNeuron,
 };
 use deepburning_model::{LayerKind, Network, PoolMethod};
 use deepburning_verilog::{Design, Expr, Item, NetDecl, Port, VModule};
 
-fn instance(
-    top: &mut VModule,
-    module: &str,
-    name: &str,
-    connections: Vec<(&str, Expr)>,
-) {
+fn instance(top: &mut VModule, module: &str, name: &str, connections: Vec<(&str, Expr)>) {
     top.item(Item::Instance {
         module: module.to_string(),
         name: name.to_string(),
@@ -71,8 +66,16 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
         width: bus,
         depth: weight_depth,
     };
-    let agu_main = AguBlock::new(AguClass::Main, 32, collect_patterns(compiled, AguClass::Main));
-    let agu_data = AguBlock::new(AguClass::Data, 32, collect_patterns(compiled, AguClass::Data));
+    let agu_main = AguBlock::new(
+        AguClass::Main,
+        32,
+        collect_patterns(compiled, AguClass::Main),
+    );
+    let agu_data = AguBlock::new(
+        AguClass::Data,
+        32,
+        collect_patterns(compiled, AguClass::Data),
+    );
     let agu_weight = AguBlock::new(
         AguClass::Weight,
         32,
@@ -83,9 +86,10 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
         .values()
         .next()
         .map(|image| ApproxLutBlock::new(w, image.clone()));
-    let needs_pool = net.layers().iter().any(|l| {
-        matches!(l.kind, LayerKind::Pooling(_) | LayerKind::Inception(_))
-    });
+    let needs_pool = net
+        .layers()
+        .iter()
+        .any(|l| matches!(l.kind, LayerKind::Pooling(_) | LayerKind::Inception(_)));
     let pool = PoolingUnit {
         width: w,
         method: PoolMethod::Max,
@@ -120,7 +124,10 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
     // ---- coordinator + context ROMs -------------------------------------
     let pw = coord.phase_width();
     for n in ["phase_w", "busy_w", "fire_w", "phase_done"] {
-        top.item(Item::Net(NetDecl::wire(n, if n == "phase_w" { pw } else { 1 })));
+        top.item(Item::Net(NetDecl::wire(
+            n,
+            if n == "phase_w" { pw } else { 1 },
+        )));
     }
     instance(
         &mut top,
@@ -176,7 +183,11 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
         top.item(Item::Net(NetDecl::wire(format!("agu_{class}_valid"), 1)));
         top.item(Item::Net(NetDecl::wire(format!("agu_{class}_done"), 1)));
     }
-    for (agu, tag) in [(&agu_main, "main"), (&agu_data, "data"), (&agu_weight, "weight")] {
+    for (agu, tag) in [
+        (&agu_main, "main"),
+        (&agu_data, "data"),
+        (&agu_weight, "weight"),
+    ] {
         instance(
             &mut top,
             &agu.module_name(),
@@ -318,7 +329,10 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
                 ("rst", Expr::id("rst")),
                 ("en", Expr::id("agu_data_valid")),
                 ("clear", Expr::id("fire_w")),
-                ("din", Expr::Slice(Box::new(Expr::id("fbuf_rdata")), w - 1, 0)),
+                (
+                    "din",
+                    Expr::Slice(Box::new(Expr::id("fbuf_rdata")), w - 1, 0),
+                ),
                 ("dout", Expr::id("pool_out")),
             ],
         );
@@ -352,14 +366,21 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
             ),
             (
                 "shift",
-                Expr::Index(Box::new(Expr::id("ctx_shift")), Box::new(Expr::id("phase_w"))),
+                Expr::Index(
+                    Box::new(Expr::id("ctx_shift")),
+                    Box::new(Expr::id("phase_w")),
+                ),
             ),
             ("dout", Expr::id("cbox_out")),
         ],
     );
     top.item(Item::Assign {
         lhs: Expr::id("writeback"),
-        rhs: zero_extend(Expr::Slice(Box::new(Expr::id("cbox_out")), w - 1, 0), w, bus),
+        rhs: zero_extend(
+            Expr::Slice(Box::new(Expr::id("cbox_out")), w - 1, 0),
+            w,
+            bus,
+        ),
     });
 
     // ---- classifier ----------------------------------------------------------
@@ -446,7 +467,13 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
 fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         out.insert(0, 'n');
@@ -477,8 +504,14 @@ mod tests {
 
     fn design() -> Design {
         let net = parse_network(SRC).expect("parses");
-        let compiled = compile(&net, &CompilerConfig { lanes: 8, ..CompilerConfig::default() })
-            .expect("compiles");
+        let compiled = compile(
+            &net,
+            &CompilerConfig {
+                lanes: 8,
+                ..CompilerConfig::default()
+            },
+        )
+        .expect("compiles");
         assemble_top(&net, &compiled)
     }
 

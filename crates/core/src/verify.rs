@@ -214,9 +214,9 @@ pub fn verify_coordinator_rtl(coord: &Coordinator) -> Result<(), VerifyError> {
 /// Streams `beats` of lane data through the generated synergy-neuron bank
 /// and checks the accumulated sum against the fixed-point model.
 ///
-/// Values are kept small enough that neither the RTL's wrapping adder nor
-/// the model's saturating accumulator clips (where they intentionally
-/// differ; see `SynergyNeuron::simulate`).
+/// The RTL accumulates raw products in a wide register and saturates at
+/// readout, so the comparison is bit-exact even when the dot product
+/// clips — saturating inputs are fair game here.
 ///
 /// # Errors
 ///
@@ -275,9 +275,7 @@ pub fn verify_neuron_rtl(
 /// # Errors
 ///
 /// Returns the first [`VerifyError`].
-pub fn verify_design_control_path(
-    design: &crate::AcceleratorDesign,
-) -> Result<(), VerifyError> {
+pub fn verify_design_control_path(design: &crate::AcceleratorDesign) -> Result<(), VerifyError> {
     use crate::resources::collect_patterns;
     use deepburning_components::AguClass;
     for class in [AguClass::Main, AguClass::Data, AguClass::Weight] {
@@ -392,6 +390,22 @@ mod tests {
     }
 
     #[test]
+    fn neuron_rtl_saturates_like_the_model() {
+        // Large same-sign products push the dot product far past the Q8.8
+        // ceiling; the RTL must clamp exactly where the model does instead
+        // of wrapping.
+        let neuron = SynergyNeuron::new(16, 2);
+        let features = vec![vec![120.0, 115.0]; 4];
+        let weights = vec![vec![90.0, 85.0]; 4];
+        verify_neuron_rtl(&neuron, &features, &weights, QFormat::Q8_8)
+            .expect("saturating dot product verifies");
+        // And the negative rail.
+        let weights_neg = vec![vec![-90.0, -85.0]; 4];
+        verify_neuron_rtl(&neuron, &features, &weights_neg, QFormat::Q8_8)
+            .expect("negative saturation verifies");
+    }
+
+    #[test]
     fn generated_design_control_path_verifies() {
         let src = r#"
         layers { name: "data" type: INPUT top: "data"
@@ -422,14 +436,16 @@ mod proptests {
             1u64..8,
             0u64..512,
         )
-            .prop_map(|(start, offset, x_len, y_len, x_stride, y_stride)| AguPattern {
-                start,
-                offset,
-                x_len,
-                y_len,
-                x_stride,
-                y_stride,
-            })
+            .prop_map(
+                |(start, offset, x_len, y_len, x_stride, y_stride)| AguPattern {
+                    start,
+                    offset,
+                    x_len,
+                    y_len,
+                    x_stride,
+                    y_stride,
+                },
+            )
     }
 
     proptest! {

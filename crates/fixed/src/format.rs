@@ -114,7 +114,7 @@ impl QFormat {
 
     /// Smallest representable increment (one LSB) as `f64`.
     pub fn resolution(self) -> f64 {
-        (self.frac_bits as f64 * -1.0).exp2()
+        (-(self.frac_bits as f64)).exp2()
     }
 
     /// Largest raw integer representable.
@@ -183,7 +183,9 @@ impl std::str::FromStr for QFormat {
     ///
     /// [`Display`]: fmt::Display
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let reject = || ParseFormatError { input: s.to_string() };
+        let reject = || ParseFormatError {
+            input: s.to_string(),
+        };
         let body = s.strip_prefix(['Q', 'q']).ok_or_else(reject)?;
         let (int_s, frac_s) = body.split_once('.').ok_or_else(reject)?;
         let int: u32 = int_s.parse().map_err(|_| reject())?;

@@ -89,7 +89,7 @@ impl ApproxLut {
         if entries < 2 {
             return Err(BuildLutError::TooFewEntries(entries));
         }
-        if !(lo < hi) {
+        if lo >= hi {
             return Err(BuildLutError::EmptyRange { lo, hi });
         }
         let key_points: Vec<f64> = match sampling {
@@ -98,16 +98,27 @@ impl ApproxLut {
                 .collect(),
             Sampling::ErrorEqualizing => error_equalizing_keys(&f, lo, hi, entries),
         };
-        let mut keys = Vec::with_capacity(entries);
+        let mut keys: Vec<Fx> = Vec::with_capacity(entries);
         let mut values = Vec::with_capacity(entries);
         for x in key_points {
             let k = Fx::from_f64(x, fmt);
-            // Deduplicate keys that quantised onto the same point.
-            if keys.last() == Some(&k) {
+            // Drop keys that quantised onto (or behind) an already-stored
+            // point: the table must stay strictly ascending for the
+            // binary search / comparator tree to be valid.
+            if keys.last().is_some_and(|last| k.raw() <= last.raw()) {
                 continue;
             }
             keys.push(k);
             values.push(Fx::from_f64(f(k.to_f64()), fmt));
+        }
+        // The clamp range must span exactly [Q(lo), Q(hi)]: if dedup or a
+        // non-monotone key placement dropped the hi endpoint, re-append
+        // it so out-of-range inputs clamp to f(hi) rather than to some
+        // interior sample.
+        let k_hi = Fx::from_f64(hi, fmt);
+        if keys.last().is_none_or(|last| last.raw() < k_hi.raw()) {
+            keys.push(k_hi);
+            values.push(Fx::from_f64(f(k_hi.to_f64()), fmt));
         }
         Ok(ApproxLut {
             keys,
@@ -179,7 +190,10 @@ impl ApproxLut {
         let span = (k1.raw() - k0.raw()) as i128;
         let dv = (v1.raw() - v0.raw()) as i128;
         let raw = v0.raw() as i128 + dv * dx / span;
-        Fx::from_raw(raw.clamp(i64::MIN as i128, i64::MAX as i128) as i64, self.fmt)
+        Fx::from_raw(
+            raw.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+            self.fmt,
+        )
     }
 
     /// Convenience: quantise an `f64`, evaluate, return `f64`.
@@ -260,14 +274,21 @@ mod tests {
         // surrounding entries.
         let x = 0.55;
         let y = lut.eval_f64(x);
-        assert!((y - sigmoid(x)).abs() < 0.05, "err {}", (y - sigmoid(x)).abs());
+        assert!(
+            (y - sigmoid(x)).abs() < 0.05,
+            "err {}",
+            (y - sigmoid(x)).abs()
+        );
     }
 
     #[test]
     fn clamps_outside_range() {
         let lut = ApproxLut::sample(sigmoid, -4.0, 4.0, 16, QFormat::Q8_8, Sampling::Uniform)
             .expect("valid lut");
-        assert_eq!(lut.eval_f64(100.0), lut.values()[lut.entries() - 1].to_f64());
+        assert_eq!(
+            lut.eval_f64(100.0),
+            lut.values()[lut.entries() - 1].to_f64()
+        );
         assert_eq!(lut.eval_f64(-100.0), lut.values()[0].to_f64());
     }
 
@@ -319,6 +340,34 @@ mod tests {
             .expect("valid lut");
         for w in lut.values().windows(2) {
             assert!(w[0].raw() <= w[1].raw());
+        }
+    }
+
+    #[test]
+    fn endpoints_survive_quantisation_and_dedup() {
+        // 256 sample points over a range with only ~253 representable
+        // Q4_4 keys: the pigeonhole principle forces key collisions, and
+        // the dedup used to be able to drop the final `hi` key,
+        // shrinking the clamp range.
+        for sampling in [Sampling::Uniform, Sampling::ErrorEqualizing] {
+            let lut = ApproxLut::sample(sigmoid, -7.9, 7.9, 256, QFormat::Q4_4, sampling)
+                .expect("valid lut");
+            assert_eq!(
+                lut.keys()[0],
+                Fx::from_f64(-7.9, QFormat::Q4_4),
+                "{sampling:?}: first key must be the quantised lo endpoint"
+            );
+            assert_eq!(
+                *lut.keys().last().expect("non-empty"),
+                Fx::from_f64(7.9, QFormat::Q4_4),
+                "{sampling:?}: last key must be the quantised hi endpoint"
+            );
+            for w in lut.keys().windows(2) {
+                assert!(
+                    w[0].raw() < w[1].raw(),
+                    "{sampling:?}: keys must stay strictly ascending"
+                );
+            }
         }
     }
 

@@ -314,7 +314,10 @@ impl Accumulator {
                 }
             }
         };
-        Fx::from_raw(raw.clamp(i64::MIN as i128, i64::MAX as i128) as i64, self.fmt)
+        Fx::from_raw(
+            raw.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+            self.fmt,
+        )
     }
 
     /// The format values resolve to.

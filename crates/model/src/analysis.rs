@@ -309,7 +309,10 @@ pub fn decompose(net: &Network) -> Decomposition {
 }
 
 /// Weight bytes needed at a given word width, per layer.
-pub fn weight_bytes(net: &Network, bits_per_word: u32) -> Result<BTreeMap<String, u64>, NetworkError> {
+pub fn weight_bytes(
+    net: &Network,
+    bits_per_word: u32,
+) -> Result<BTreeMap<String, u64>, NetworkError> {
     let stats = network_stats(net)?;
     Ok(stats
         .per_layer
@@ -350,7 +353,12 @@ mod tests {
                     "pool1",
                     "ip1",
                 ),
-                Layer::new("sig", LayerKind::Activation(Activation::Sigmoid), "ip1", "ip1"),
+                Layer::new(
+                    "sig",
+                    LayerKind::Activation(Activation::Sigmoid),
+                    "ip1",
+                    "ip1",
+                ),
                 Layer::new(
                     "ip2",
                     LayerKind::FullConnection(FullParam::dense(10)),
@@ -367,10 +375,7 @@ mod tests {
         let net = mnist_like();
         let stats = network_stats(&net).expect("stats");
         // conv1: 20 maps of 24x24, each output = 1*5*5 MACs
-        assert_eq!(
-            stats.layer("conv1").expect("layer").macs,
-            20 * 24 * 24 * 25
-        );
+        assert_eq!(stats.layer("conv1").expect("layer").macs, 20 * 24 * 24 * 25);
         assert_eq!(stats.layer("conv1").expect("layer").weights, 20 * 25 + 20);
     }
 

@@ -87,14 +87,21 @@ impl NetworkBuilder {
 
     /// Appends a dense full-connection layer.
     pub fn full(self, name: &str, num_output: usize) -> Self {
-        self.push(name, LayerKind::FullConnection(FullParam::dense(num_output)))
+        self.push(
+            name,
+            LayerKind::FullConnection(FullParam::dense(num_output)),
+        )
     }
 
     /// Appends an in-place activation on the previous blob.
     pub fn activation(mut self, name: &str, act: Activation) -> Self {
         let blob = self.last_blob.clone();
-        self.layers
-            .push(Layer::new(name, LayerKind::Activation(act), blob.clone(), blob));
+        self.layers.push(Layer::new(
+            name,
+            LayerKind::Activation(act),
+            blob.clone(),
+            blob,
+        ));
         self
     }
 
@@ -106,8 +113,12 @@ impl NetworkBuilder {
     /// Appends a drop-out inserter (in place).
     pub fn dropout(mut self, name: &str, ratio: f64) -> Self {
         let blob = self.last_blob.clone();
-        self.layers
-            .push(Layer::new(name, LayerKind::Dropout { ratio }, blob.clone(), blob));
+        self.layers.push(Layer::new(
+            name,
+            LayerKind::Dropout { ratio },
+            blob.clone(),
+            blob,
+        ));
         self
     }
 
@@ -210,12 +221,20 @@ mod tests {
 
     #[test]
     fn builder_matches_manual_construction() {
-        let built = NetworkBuilder::new("m", 1, 8, 8).conv("c", 4, 3, 1).build().expect("builds");
+        let built = NetworkBuilder::new("m", 1, 8, 8)
+            .conv("c", 4, 3, 1)
+            .build()
+            .expect("builds");
         let manual = Network::from_layers(
             "m",
             vec![
                 Layer::input("data", "data", 1, 8, 8),
-                Layer::new("c", LayerKind::Convolution(ConvParam::new(4, 3, 1)), "data", "c"),
+                Layer::new(
+                    "c",
+                    LayerKind::Convolution(ConvParam::new(4, 3, 1)),
+                    "data",
+                    "c",
+                ),
             ],
         )
         .expect("valid");

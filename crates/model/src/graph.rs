@@ -68,7 +68,10 @@ impl fmt::Display for NetworkError {
                 write!(f, "layer `{layer}` consumes undefined blob `{blob}`")
             }
             NetworkError::UnknownLayer { connection, layer } => {
-                write!(f, "connection `{connection}` references unknown layer `{layer}`")
+                write!(
+                    f,
+                    "connection `{connection}` references unknown layer `{layer}`"
+                )
             }
             NetworkError::NoInput => write!(f, "network has no input layer"),
             NetworkError::Empty => write!(f, "network has no layers"),
@@ -219,10 +222,13 @@ impl Network {
                 .bottoms
                 .iter()
                 .map(|b| {
-                    shapes.get(b).copied().ok_or_else(|| NetworkError::UnknownBlob {
-                        layer: layer.name.clone(),
-                        blob: b.clone(),
-                    })
+                    shapes
+                        .get(b)
+                        .copied()
+                        .ok_or_else(|| NetworkError::UnknownBlob {
+                            layer: layer.name.clone(),
+                            blob: b.clone(),
+                        })
                 })
                 .collect::<Result<_, _>>()?;
             let out = infer_output(layer, &inputs)?;
@@ -348,7 +354,12 @@ mod tests {
                 "pool1",
                 "ip1",
             ),
-            Layer::new("relu1", LayerKind::Activation(Activation::Relu), "ip1", "ip1"),
+            Layer::new(
+                "relu1",
+                LayerKind::Activation(Activation::Relu),
+                "ip1",
+                "ip1",
+            ),
             Layer::new(
                 "ip2",
                 LayerKind::FullConnection(FullParam::dense(10)),

@@ -369,7 +369,13 @@ impl Layer {
     }
 
     /// Creates an input layer producing blob `top`.
-    pub fn input(name: impl Into<String>, top: impl Into<String>, c: usize, h: usize, w: usize) -> Self {
+    pub fn input(
+        name: impl Into<String>,
+        top: impl Into<String>,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> Self {
         Layer {
             name: name.into(),
             kind: LayerKind::Input {
@@ -428,7 +434,10 @@ mod tests {
 
     #[test]
     fn type_names_stable() {
-        assert_eq!(LayerKind::Convolution(ConvParam::new(1, 3, 1)).type_name(), "CONVOLUTION");
+        assert_eq!(
+            LayerKind::Convolution(ConvParam::new(1, 3, 1)).type_name(),
+            "CONVOLUTION"
+        );
         assert_eq!(LayerKind::Activation(Activation::Relu).type_name(), "RELU");
         assert_eq!(LayerKind::Classifier { top_k: 1 }.type_name(), "CLASSIFIER");
     }

@@ -35,8 +35,8 @@ mod shape;
 mod writer;
 
 pub use analysis::{
-    decompose, layer_stats, network_stats, training_stats, weight_bytes, Decomposition,
-    LayerStats, NetworkStats, TrainingStats,
+    decompose, layer_stats, network_stats, training_stats, weight_bytes, Decomposition, LayerStats,
+    NetworkStats, TrainingStats,
 };
 pub use builder::NetworkBuilder;
 pub use graph::{Network, NetworkError};

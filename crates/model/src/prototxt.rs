@@ -272,17 +272,23 @@ impl Parser {
 }
 
 fn get_str<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a str> {
-    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
-        Value::Str(s) | Value::Ident(s) => Some(s.as_str()),
-        _ => None,
-    })
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::Str(s) | Value::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
 }
 
 fn get_num(fields: &[(String, Value)], key: &str) -> Option<f64> {
-    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
-        Value::Number(n) => Some(*n),
-        _ => None,
-    })
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        })
 }
 
 fn get_usize(fields: &[(String, Value)], key: &str) -> Option<usize> {
@@ -318,7 +324,8 @@ fn layer_kind(
     let param = first_block(fields, &["param", "convolution_param"]);
     match type_name {
         "INPUT" | "DATA" => {
-            let p = first_block(fields, &["input_param", "param"]).ok_or_else(|| missing("input_param"))?;
+            let p = first_block(fields, &["input_param", "param"])
+                .ok_or_else(|| missing("input_param"))?;
             Ok(LayerKind::Input {
                 channels: get_usize(p, "channels").ok_or_else(|| missing("channels"))?,
                 height: get_usize(p, "height").ok_or_else(|| missing("height"))?,
@@ -336,7 +343,8 @@ fn layer_kind(
             }))
         }
         "POOLING" => {
-            let p = first_block(fields, &["pooling_param", "param"]).ok_or_else(|| missing("pooling_param"))?;
+            let p = first_block(fields, &["pooling_param", "param"])
+                .ok_or_else(|| missing("pooling_param"))?;
             let method = match get_str(p, "pool").unwrap_or("MAX") {
                 "MAX" => PoolMethod::Max,
                 "AVE" | "AVERAGE" => PoolMethod::Average,
@@ -354,7 +362,8 @@ fn layer_kind(
             }))
         }
         "INNER_PRODUCT" | "FULL_CONNECTION" | "FC" => {
-            let p = first_block(fields, &["inner_product_param", "param"]).ok_or_else(|| missing("param"))?;
+            let p = first_block(fields, &["inner_product_param", "param"])
+                .ok_or_else(|| missing("param"))?;
             Ok(LayerKind::FullConnection(FullParam {
                 num_output: get_usize(p, "num_output").ok_or_else(|| missing("num_output"))?,
                 connectivity_permille: get_usize(p, "connectivity_permille").unwrap_or(1000) as u32,
@@ -387,21 +396,25 @@ fn layer_kind(
             Ok(LayerKind::Dropout { ratio })
         }
         "RECURRENT" => {
-            let p = first_block(fields, &["recurrent_param", "param"]).ok_or_else(|| missing("param"))?;
+            let p = first_block(fields, &["recurrent_param", "param"])
+                .ok_or_else(|| missing("param"))?;
             Ok(LayerKind::Recurrent {
                 num_output: get_usize(p, "num_output").ok_or_else(|| missing("num_output"))?,
                 steps: get_usize(p, "steps").unwrap_or(1),
             })
         }
         "ASSOCIATIVE" => {
-            let p = first_block(fields, &["associative_param", "param"]).ok_or_else(|| missing("param"))?;
+            let p = first_block(fields, &["associative_param", "param"])
+                .ok_or_else(|| missing("param"))?;
             Ok(LayerKind::Associative {
                 table_size: get_usize(p, "table_size").ok_or_else(|| missing("table_size"))?,
-                active_cells: get_usize(p, "active_cells").ok_or_else(|| missing("active_cells"))?,
+                active_cells: get_usize(p, "active_cells")
+                    .ok_or_else(|| missing("active_cells"))?,
             })
         }
         "MEMORY" => {
-            let p = first_block(fields, &["memory_param", "param"]).ok_or_else(|| missing("param"))?;
+            let p =
+                first_block(fields, &["memory_param", "param"]).ok_or_else(|| missing("param"))?;
             Ok(LayerKind::Memory {
                 words: get_usize(p, "words").ok_or_else(|| missing("words"))?,
             })
@@ -413,7 +426,8 @@ fn layer_kind(
             Ok(LayerKind::Classifier { top_k })
         }
         "INCEPTION" => {
-            let p = first_block(fields, &["inception_param", "param"]).ok_or_else(|| missing("param"))?;
+            let p = first_block(fields, &["inception_param", "param"])
+                .ok_or_else(|| missing("param"))?;
             Ok(LayerKind::Inception(InceptionParam {
                 c1x1: get_usize(p, "c1x1").unwrap_or(0),
                 c3x3: get_usize(p, "c3x3").unwrap_or(0),

@@ -98,7 +98,9 @@ impl fmt::Display for ShapeError {
                 f,
                 "layer `{layer}`: kernel {kernel} exceeds padded input extent {input}"
             ),
-            ShapeError::ZeroStride { layer } => write!(f, "layer `{layer}`: stride must be non-zero"),
+            ShapeError::ZeroStride { layer } => {
+                write!(f, "layer `{layer}`: stride must be non-zero")
+            }
             ShapeError::BadGrouping {
                 layer,
                 channels,
@@ -353,7 +355,8 @@ mod tests {
             bottoms: vec!["a".into(), "b".into()],
             tops: vec!["out".into()],
         };
-        let out = infer_output(&l, &[Shape::new(64, 28, 28), Shape::new(32, 28, 28)]).expect("valid");
+        let out =
+            infer_output(&l, &[Shape::new(64, 28, 28), Shape::new(32, 28, 28)]).expect("valid");
         assert_eq!(out, Shape::new(96, 28, 28));
     }
 

@@ -152,8 +152,8 @@ fn emit_params(out: &mut String, kind: &LayerKind) {
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;
-    use crate::prototxt::parse_network;
     use crate::layer::PoolMethod;
+    use crate::prototxt::parse_network;
 
     #[test]
     fn roundtrip_sequential() {
@@ -185,7 +185,10 @@ mod tests {
 
     #[test]
     fn emitted_text_is_readable() {
-        let net = NetworkBuilder::new("t", 1, 8, 8).conv("c", 4, 3, 1).build().expect("builds");
+        let net = NetworkBuilder::new("t", 1, 8, 8)
+            .conv("c", 4, 3, 1)
+            .build()
+            .expect("builds");
         let text = emit_prototxt(&net);
         assert!(text.contains("name: \"t\""));
         assert!(text.contains("type: CONVOLUTION"));

@@ -90,8 +90,7 @@ pub fn simulate_energy(
     let compute_j = work.macs as f64 * params.mac_j
         + work.aux_ops as f64 * params.aux_op_j
         + work.lut_ops as f64 * params.lut_op_j;
-    let buffer_j =
-        (work.buffer_read_words + work.buffer_write_words) as f64 * params.buffer_word_j;
+    let buffer_j = (work.buffer_read_words + work.buffer_write_words) as f64 * params.buffer_word_j;
     let dram_j = (work.dram_read_bytes + work.dram_write_bytes) as f64 * params.dram_byte_j;
     let seconds = timing.seconds(clock_hz);
     let static_j = params.static_power_w(resources) * seconds;
@@ -102,7 +101,11 @@ pub fn simulate_energy(
         dram_j,
         static_j,
         total_j,
-        average_power_w: if seconds > 0.0 { total_j / seconds } else { 0.0 },
+        average_power_w: if seconds > 0.0 {
+            total_j / seconds
+        } else {
+            0.0
+        },
     }
 }
 
@@ -139,8 +142,14 @@ mod tests {
 
     fn setup(lanes: u32) -> (CompiledNetwork, TimingReport) {
         let net = parse_network(SRC).expect("parses");
-        let c = compile(&net, &CompilerConfig { lanes, ..CompilerConfig::default() })
-            .expect("compiles");
+        let c = compile(
+            &net,
+            &CompilerConfig {
+                lanes,
+                ..CompilerConfig::default()
+            },
+        )
+        .expect("compiles");
         let t = simulate_timing(&c, &TimingParams::default());
         (c, t)
     }

@@ -40,27 +40,31 @@ fn err(layer: &str, detail: impl Into<String>) -> FunctionalError {
 
 /// A fixed-point blob.
 #[derive(Debug, Clone, PartialEq)]
-struct FxBlob {
-    shape: Shape,
-    data: Vec<Fx>,
+pub(crate) struct FxBlob {
+    pub(crate) shape: Shape,
+    pub(crate) data: Vec<Fx>,
 }
 
 impl FxBlob {
-    fn zeros(shape: Shape, fmt: QFormat) -> Self {
+    pub(crate) fn zeros(shape: Shape, fmt: QFormat) -> Self {
         FxBlob {
             shape,
             data: vec![Fx::zero(fmt); shape.elements()],
         }
     }
 
-    fn from_tensor(t: &Tensor, fmt: QFormat) -> Self {
+    pub(crate) fn from_tensor(t: &Tensor, fmt: QFormat) -> Self {
         FxBlob {
             shape: t.shape(),
-            data: t.as_slice().iter().map(|&v| Fx::from_f64(v as f64, fmt)).collect(),
+            data: t
+                .as_slice()
+                .iter()
+                .map(|&v| Fx::from_f64(v as f64, fmt))
+                .collect(),
         }
     }
 
-    fn to_tensor(&self) -> Tensor {
+    pub(crate) fn to_tensor(&self) -> Tensor {
         Tensor::from_vec(
             self.shape,
             self.data.iter().map(|v| v.to_f64() as f32).collect(),
@@ -68,12 +72,12 @@ impl FxBlob {
     }
 
     #[inline]
-    fn get(&self, c: usize, y: usize, x: usize) -> Fx {
+    pub(crate) fn get(&self, c: usize, y: usize, x: usize) -> Fx {
         self.data[(c * self.shape.height + y) * self.shape.width + x]
     }
 
     #[inline]
-    fn get_padded(&self, fmt: QFormat, c: usize, y: isize, x: isize) -> Fx {
+    pub(crate) fn get_padded(&self, fmt: QFormat, c: usize, y: isize, x: isize) -> Fx {
         if y < 0 || x < 0 || y >= self.shape.height as isize || x >= self.shape.width as isize {
             Fx::zero(fmt)
         } else {
@@ -82,20 +86,21 @@ impl FxBlob {
     }
 
     #[inline]
-    fn set(&mut self, c: usize, y: usize, x: usize, v: Fx) {
+    pub(crate) fn set(&mut self, c: usize, y: usize, x: usize, v: Fx) {
         self.data[(c * self.shape.height + y) * self.shape.width + x] = v;
     }
 
-    fn flat(mut self) -> FxBlob {
+    pub(crate) fn flat(mut self) -> FxBlob {
         self.shape = Shape::vector(self.shape.elements());
         self
     }
 }
 
-fn quantize_weights(w: &[f32], fmt: QFormat) -> Vec<Fx> {
+pub(crate) fn quantize_weights(w: &[f32], fmt: QFormat) -> Vec<Fx> {
     w.iter().map(|&v| Fx::from_f64(v as f64, fmt)).collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn conv_fx(
     input: &FxBlob,
     w: &[Fx],
@@ -138,7 +143,13 @@ fn conv_fx(
     out
 }
 
-fn pool_fx(input: &FxBlob, method: PoolMethod, kernel: usize, stride: usize, fmt: QFormat) -> FxBlob {
+fn pool_fx(
+    input: &FxBlob,
+    method: PoolMethod,
+    kernel: usize,
+    stride: usize,
+    fmt: QFormat,
+) -> FxBlob {
     let oh = (input.shape.height - kernel) / stride + 1;
     let ow = (input.shape.width - kernel) / stride + 1;
     let mut out = FxBlob::zeros(Shape::new(input.shape.channels, oh, ow), fmt);
@@ -226,12 +237,7 @@ fn activation_fx(
     Ok(out)
 }
 
-fn lrn_fx(
-    input: &FxBlob,
-    local_size: usize,
-    lut: &ApproxLut,
-    fmt: QFormat,
-) -> FxBlob {
+fn lrn_fx(input: &FxBlob, local_size: usize, lut: &ApproxLut, fmt: QFormat) -> FxBlob {
     let s = input.shape;
     let half = local_size / 2;
     let mut out = FxBlob::zeros(s, fmt);
@@ -313,13 +319,10 @@ pub fn functional_forward_all(
             blobs.insert(top.clone(), out.clone());
         }
     }
-    Ok(blobs
-        .into_iter()
-        .map(|(k, v)| (k, v.to_tensor()))
-        .collect())
+    Ok(blobs.into_iter().map(|(k, v)| (k, v.to_tensor())).collect())
 }
 
-fn eval_fx_layer(
+pub(crate) fn eval_fx_layer(
     layer: &Layer,
     blobs: &BTreeMap<String, FxBlob>,
     weights: &WeightSet,
@@ -409,9 +412,8 @@ fn eval_fx_layer(
         }
         LayerKind::Classifier { top_k } => {
             let src = bottom(0)?;
-            let mut indexed: Vec<(usize, Fx)> =
-                src.data.iter().copied().enumerate().collect();
-            indexed.sort_by(|a, b| b.1.raw().cmp(&a.1.raw()));
+            let mut indexed: Vec<(usize, Fx)> = src.data.iter().copied().enumerate().collect();
+            indexed.sort_by_key(|&(_, v)| std::cmp::Reverse(v.raw()));
             FxBlob {
                 shape: Shape::vector(*top_k),
                 data: indexed
@@ -666,8 +668,7 @@ mod tests {
         let ws = WeightSet::new();
         let luts = LutImages::new();
         let input = Tensor::from_fn(Shape::new(1, 4, 4), |_, _, _| 1.0);
-        let out =
-            functional_forward(&net, &ws, &input, &luts, QFormat::Q8_8).expect("sim");
+        let out = functional_forward(&net, &ws, &input, &luts, QFormat::Q8_8).expect("sim");
         // (1+1+1+1) >> 2 = 1 exactly.
         assert!(out.as_slice().iter().all(|&v| v == 1.0));
     }
@@ -745,8 +746,7 @@ mod tests {
         let input = Tensor::vector(&[0.25, -0.5, 0.125, 1.0]);
         let golden = forward(&net, &ws, &input).expect("reference");
         let approx =
-            functional_forward(&net, &ws, &input, &LutImages::new(), QFormat::Q16_16)
-                .expect("sim");
+            functional_forward(&net, &ws, &input, &LutImages::new(), QFormat::Q16_16).expect("sim");
         assert!(tensor_accuracy(&approx, &golden) > 99.9);
     }
 
@@ -774,8 +774,8 @@ mod tests {
             },
         );
         let input = Tensor::from_fn(Shape::new(2, 3, 3), |c, _, _| (c + 1) as f32);
-        let out = functional_forward(&net, &ws, &input, &LutImages::new(), QFormat::Q8_8)
-            .expect("sim");
+        let out =
+            functional_forward(&net, &ws, &input, &LutImages::new(), QFormat::Q8_8).expect("sim");
         assert_eq!(out.as_slice()[0], 1.0);
         assert_eq!(out.as_slice()[9], 2.0);
     }

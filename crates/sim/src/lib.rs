@@ -28,10 +28,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod diff;
 mod energy;
 mod functional;
 mod timing;
 
+pub use diff::{
+    diff_design, diff_network, DiffError, DiffOptions, DiffReport, Divergence, LayerAudit, View,
+};
 pub use energy::{inference_energy, simulate_energy, EnergyParams, EnergyReport};
 pub use functional::{functional_forward, functional_forward_all, FunctionalError};
 pub use timing::{
@@ -111,6 +115,115 @@ mod proptests {
                 double_buffering: false, ..TimingParams::default()
             }).total_cycles;
             prop_assert!(on <= off);
+        }
+    }
+}
+
+#[cfg(test)]
+mod diff_proptests {
+    use super::*;
+    use deepburning_compiler::{generate_luts, CompilerConfig};
+    use deepburning_model::{
+        Activation, ConvParam, FullParam, Layer, LayerKind, Network, PoolMethod, PoolParam,
+    };
+    use deepburning_tensor::{Init, Tensor, WeightSet};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Randomised small networks covering the datapath block family:
+    /// conv → (relu | sigmoid | tanh | none) → (max | avg | no pool) → fc,
+    /// with randomised shapes, kernels and strides.
+    fn arb_diff_net() -> impl Strategy<Value = Network> {
+        (
+            1usize..3,  // input channels
+            6usize..12, // input extent
+            2usize..6,  // conv outputs
+            2usize..4,  // conv kernel
+            0usize..4,  // activation selector
+            0usize..3,  // pooling selector
+        )
+            .prop_map(|(ci, ext, co, k, act, pool)| {
+                let k = k.min(ext);
+                let mut layers = vec![
+                    Layer::input("data", "data", ci, ext, ext),
+                    Layer::new(
+                        "conv",
+                        LayerKind::Convolution(ConvParam::new(co, k, 1)),
+                        "data",
+                        "conv",
+                    ),
+                ];
+                let mut last = "conv";
+                match act {
+                    1 => layers.push(Layer::new(
+                        "act",
+                        LayerKind::Activation(Activation::Relu),
+                        last,
+                        last,
+                    )),
+                    2 => layers.push(Layer::new(
+                        "act",
+                        LayerKind::Activation(Activation::Sigmoid),
+                        last,
+                        last,
+                    )),
+                    3 => layers.push(Layer::new(
+                        "act",
+                        LayerKind::Activation(Activation::Tanh),
+                        last,
+                        last,
+                    )),
+                    _ => {}
+                }
+                let pooled_ext = ext - k + 1;
+                if pool > 0 && pooled_ext >= 2 {
+                    let method = if pool == 1 {
+                        PoolMethod::Max
+                    } else {
+                        PoolMethod::Average
+                    };
+                    layers.push(Layer::new(
+                        "pool",
+                        LayerKind::Pooling(PoolParam {
+                            method,
+                            kernel_size: 2,
+                            stride: 2,
+                        }),
+                        last,
+                        "pool",
+                    ));
+                    last = "pool";
+                }
+                layers.push(Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(5)),
+                    last,
+                    "fc",
+                ));
+                Network::from_layers("gen-diff", layers).expect("valid")
+            })
+    }
+
+    proptest! {
+        // Each case elaborates and drives block RTL, so keep the count
+        // modest; the deterministic zoo sweep (diffcheck) covers breadth.
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The tentpole property: for any generated network, the three
+        /// execution views agree under the derived tolerance rules.
+        #[test]
+        fn three_views_agree_on_random_networks(net in arb_diff_net(), seed in 0u64..1024) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+            let cfg = CompilerConfig::default();
+            let luts = generate_luts(&net, &cfg).expect("luts");
+            let input = Tensor::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0f32));
+            let opts = DiffOptions { max_rtl_samples: 24, ..DiffOptions::default() };
+            let report = diff_network(&net, &ws, &input, &luts, cfg.format, cfg.lanes, &opts)
+                .expect("diff executes");
+            prop_assert!(report.is_clean(), "{report}");
+            prop_assert!(report.rtl_checked() > 0);
         }
     }
 }

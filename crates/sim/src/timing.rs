@@ -85,7 +85,10 @@ impl TimingReport {
     pub fn memory_bound_cycles(&self) -> u64 {
         self.phases
             .iter()
-            .map(|p| p.dram_cycles.saturating_sub(p.compute_cycles.max(p.buffer_cycles)))
+            .map(|p| {
+                p.dram_cycles
+                    .saturating_sub(p.compute_cycles.max(p.buffer_cycles))
+            })
             .sum()
     }
 }
@@ -171,7 +174,7 @@ pub fn aggregate_by_layer(
             None => totals.push((phase.layer.clone(), timing.latency_cycles)),
         }
     }
-    totals.sort_by(|a, b| b.1.cmp(&a.1));
+    totals.sort_by_key(|e| std::cmp::Reverse(e.1));
     totals
 }
 
@@ -200,7 +203,14 @@ mod tests {
 
     fn compiled(lanes: u32) -> CompiledNetwork {
         let net = parse_network(SRC).expect("parses");
-        compile(&net, &CompilerConfig { lanes, ..CompilerConfig::default() }).expect("compiles")
+        compile(
+            &net,
+            &CompilerConfig {
+                lanes,
+                ..CompilerConfig::default()
+            },
+        )
+        .expect("compiles")
     }
 
     #[test]

@@ -15,16 +15,36 @@ use rand::Rng;
 
 /// 5×7 bitmaps of the ten digits (classic font), row-major, `#` = ink.
 const DIGIT_GLYPHS: [[&str; 7]; 10] = [
-    [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "], // 0
-    ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "], // 1
-    [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"], // 2
-    [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "], // 3
-    ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "], // 4
-    ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "], // 5
-    [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "], // 6
-    ["#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "], // 7
-    [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "], // 8
-    [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "], // 9
+    [
+        " ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### ",
+    ], // 0
+    [
+        "  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### ",
+    ], // 1
+    [
+        " ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####",
+    ], // 2
+    [
+        " ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### ",
+    ], // 3
+    [
+        "   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # ",
+    ], // 4
+    [
+        "#####", "#    ", "#### ", "    #", "    #", "#   #", " ### ",
+    ], // 5
+    [
+        " ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### ",
+    ], // 6
+    [
+        "#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   ",
+    ], // 7
+    [
+        " ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### ",
+    ], // 8
+    [
+        " ### ", "#   #", "#   #", " ####", "    #", "    #", " ### ",
+    ], // 9
 ];
 
 /// Renders one digit glyph into a `shape`-sized image with sub-pixel jitter
@@ -51,7 +71,12 @@ pub fn render_digit<R: Rng>(digit: usize, shape: Shape, noise: f32, rng: &mut R)
 }
 
 /// A labelled digit dataset of `n` samples.
-pub fn digits_dataset<R: Rng>(n: usize, shape: Shape, noise: f32, rng: &mut R) -> Vec<(Tensor, usize)> {
+pub fn digits_dataset<R: Rng>(
+    n: usize,
+    shape: Shape,
+    noise: f32,
+    rng: &mut R,
+) -> Vec<(Tensor, usize)> {
     (0..n)
         .map(|i| {
             let d = i % 10;
@@ -63,7 +88,13 @@ pub fn digits_dataset<R: Rng>(n: usize, shape: Shape, noise: f32, rng: &mut R) -
 /// Oriented-texture image classes (CIFAR stand-in): class `k` is a sinusoid
 /// of class-specific orientation and frequency, per channel phase-shifted,
 /// plus noise.
-pub fn texture_image<R: Rng>(class: usize, classes: usize, shape: Shape, noise: f32, rng: &mut R) -> Tensor {
+pub fn texture_image<R: Rng>(
+    class: usize,
+    classes: usize,
+    shape: Shape,
+    noise: f32,
+    rng: &mut R,
+) -> Tensor {
     let angle = std::f32::consts::PI * class as f32 / classes as f32;
     let freq = 0.5 + class as f32 * 0.35;
     let (s, c) = angle.sin_cos();
@@ -153,7 +184,9 @@ pub fn regression_dataset<R: Rng>(
 ) -> Vec<(Tensor, Vec<f32>)> {
     (0..n)
         .map(|_| {
-            let x: Vec<f32> = (0..input_dims).map(|_| rng.gen_range(0.0..1.0f32)).collect();
+            let x: Vec<f32> = (0..input_dims)
+                .map(|_| rng.gen_range(0.0..1.0f32))
+                .collect();
             let y = reference(&x);
             (Tensor::vector(&x), y)
         })

@@ -6,9 +6,7 @@
 
 use crate::tensor::Tensor;
 use crate::weights::{LayerWeights, WeightSet};
-use deepburning_model::{
-    Activation, Layer, LayerKind, Network, PoolMethod, Shape,
-};
+use deepburning_model::{Activation, Layer, LayerKind, Network, PoolMethod, Shape};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -37,6 +35,7 @@ fn err(layer: &str, detail: impl Into<String>) -> EvalError {
 }
 
 /// 2-D convolution (grouped, zero-padded).
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d(
     input: &Tensor,
     w: &[f32],
@@ -190,7 +189,12 @@ pub fn cmac_index(x: &[f32], slot: usize, active_cells: usize, table_size: usize
 
 /// Associative (CMAC) layer: reads `active_cells` table cells selected by
 /// the quantised input.
-pub fn associative(input: &Tensor, table: &[f32], table_size: usize, active_cells: usize) -> Tensor {
+pub fn associative(
+    input: &Tensor,
+    table: &[f32],
+    table_size: usize,
+    active_cells: usize,
+) -> Tensor {
     let x = input.as_slice();
     let out: Vec<f32> = (0..active_cells)
         .map(|slot| table[cmac_index(x, slot, active_cells, table_size)])
@@ -201,12 +205,7 @@ pub fn associative(input: &Tensor, table: &[f32], table_size: usize, active_cell
 /// Classification layer: indices of the `top_k` largest inputs, descending
 /// (the K-sorter block's output).
 pub fn classify(input: &Tensor, top_k: usize) -> Tensor {
-    let mut indexed: Vec<(usize, f32)> = input
-        .as_slice()
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut indexed: Vec<(usize, f32)> = input.as_slice().iter().copied().enumerate().collect();
     indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let out: Vec<f32> = indexed.iter().take(top_k).map(|(i, _)| *i as f32).collect();
     Tensor::vector(&out)
@@ -433,7 +432,9 @@ pub fn forward_all(
 pub fn forward(net: &Network, weights: &WeightSet, input: &Tensor) -> Result<Tensor, EvalError> {
     let blobs = forward_all(net, weights, input)?;
     let outs = net.output_blobs();
-    let last = outs.last().ok_or_else(|| err("network", "no output blob"))?;
+    let last = outs
+        .last()
+        .ok_or_else(|| err("network", "no output blob"))?;
     Ok(blobs[last].clone())
 }
 
@@ -588,11 +589,8 @@ mod tests {
 
     #[test]
     fn forward_rejects_wrong_input_shape() {
-        let net = Network::from_layers(
-            "t",
-            vec![Layer::input("data", "data", 1, 4, 4)],
-        )
-        .expect("valid");
+        let net =
+            Network::from_layers("t", vec![Layer::input("data", "data", 1, 4, 4)]).expect("valid");
         let ws = WeightSet::new();
         let bad = Tensor::zeros(Shape::new(1, 2, 2));
         assert!(forward(&net, &ws, &bad).is_err());

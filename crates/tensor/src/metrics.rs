@@ -66,7 +66,11 @@ pub fn mse(a: &[f32], b: &[f32]) -> f64 {
 
 /// Fraction of predictions matching labels, as a percentage.
 pub fn percent_correct(predictions: &[usize], labels: &[usize]) -> f64 {
-    assert_eq!(predictions.len(), labels.len(), "metric operands differ in length");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "metric operands differ in length"
+    );
     if predictions.is_empty() {
         return 0.0;
     }

@@ -129,7 +129,10 @@ fn forward_cached(net: &Network, weights: &WeightSet, input: &Tensor) -> Caches 
             other => unreachable!("unsupported trainable layer {other:?}"),
         };
     }
-    Caches { inputs, output: cur }
+    Caches {
+        inputs,
+        output: cur,
+    }
 }
 
 /// Computes loss and the gradient w.r.t. the network output.
@@ -207,8 +210,8 @@ fn backward_update(
                 let lw = weights.get_mut(&layer.name).expect("validated weights");
                 let n = x.len();
                 let mut gx = vec![0.0f32; n];
-                for o in 0..p.num_output {
-                    let g = clip(gy[o]);
+                for (o, gyo) in gy.iter().enumerate().take(p.num_output) {
+                    let g = clip(*gyo);
                     let row = &mut lw.w[o * n..(o + 1) * n];
                     for (i, (xi, wv)) in x.iter().zip(row.iter_mut()).enumerate() {
                         gx[i] += *wv * g;
@@ -378,7 +381,9 @@ pub fn train_sgd<R: Rng>(
             epoch_loss += loss;
             backward_update(net, weights, &caches, grad, cfg);
         }
-        report.epoch_losses.push(epoch_loss / data.len().max(1) as f32);
+        report
+            .epoch_losses
+            .push(epoch_loss / data.len().max(1) as f32);
     }
     Ok(report)
 }
@@ -503,7 +508,12 @@ mod tests {
                     "data",
                     "conv",
                 ),
-                Layer::new("relu", LayerKind::Activation(Activation::Relu), "conv", "conv"),
+                Layer::new(
+                    "relu",
+                    LayerKind::Activation(Activation::Relu),
+                    "conv",
+                    "conv",
+                ),
                 Layer::new(
                     "pool",
                     LayerKind::Pooling(PoolParam {
@@ -572,7 +582,8 @@ mod tests {
         )
         .expect("valid");
         assert!(!is_trainable(&net));
-        let mut ws = WeightSet::init(&net, Init::Xavier, &mut StdRng::seed_from_u64(0)).expect("init");
+        let mut ws =
+            WeightSet::init(&net, Init::Xavier, &mut StdRng::seed_from_u64(0)).expect("init");
         let e = train_sgd(
             &net,
             &mut ws,

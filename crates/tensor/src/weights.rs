@@ -78,10 +78,9 @@ pub fn expected_sizes(kind: &LayerKind, input: Shape) -> (usize, usize) {
             p.num_output,
         ),
         LayerKind::FullConnection(p) => (p.num_output * input.elements(), p.num_output),
-        LayerKind::Recurrent { num_output, .. } => (
-            num_output * (input.elements() + num_output),
-            *num_output,
-        ),
+        LayerKind::Recurrent { num_output, .. } => {
+            (num_output * (input.elements() + num_output), *num_output)
+        }
         LayerKind::Associative { table_size, .. } => (*table_size, 0),
         LayerKind::Inception(p) => {
             let ci = input.channels;
@@ -239,7 +238,7 @@ mod tests {
         let net = small_net();
         let mut rng = StdRng::seed_from_u64(1);
         let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
-        assert_eq!(ws.get("conv").expect("conv").w.len(), 4 * 1 * 9);
+        assert_eq!(ws.get("conv").expect("conv").w.len(), 4 * 9);
         assert_eq!(ws.get("conv").expect("conv").b.len(), 4);
         // conv output is 4x6x6 = 144 inputs to fc
         assert_eq!(ws.get("fc").expect("fc").w.len(), 144 * 10);
@@ -281,8 +280,7 @@ mod tests {
     #[test]
     fn parameter_count_sums() {
         let net = small_net();
-        let ws =
-            WeightSet::init(&net, Init::Xavier, &mut StdRng::seed_from_u64(0)).expect("init");
+        let ws = WeightSet::init(&net, Init::Xavier, &mut StdRng::seed_from_u64(0)).expect("init");
         assert_eq!(ws.parameter_count(), 36 + 4 + 1440 + 10);
     }
 }

@@ -143,6 +143,8 @@ pub enum BinaryOp {
     Sub,
     /// `*`
     Mul,
+    /// `/` on `$signed` operands (truncating toward zero).
+    Div,
     /// `&`
     And,
     /// `|`
@@ -157,8 +159,10 @@ pub enum BinaryOp {
     Eq,
     /// `!=`
     Ne,
-    /// `<` (signed compare when operands signed)
+    /// `<` (unsigned compare on the raw bits)
     Lt,
+    /// `<` on `$signed` operands (two's-complement compare)
+    Slt,
     /// `>=`
     Ge,
     /// `&&`
@@ -172,7 +176,13 @@ impl BinaryOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Ge | BinaryOp::LogAnd | BinaryOp::LogOr
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Slt
+                | BinaryOp::Ge
+                | BinaryOp::LogAnd
+                | BinaryOp::LogOr
         )
     }
 }
@@ -506,7 +516,8 @@ impl Design {
     ///
     /// Panics if the design is inconsistent (no module named `top`).
     pub fn top_module(&self) -> &VModule {
-        self.module(&self.top).expect("design contains its top module")
+        self.module(&self.top)
+            .expect("design contains its top module")
     }
 }
 
@@ -530,7 +541,10 @@ mod tests {
             Expr::id("a"),
             Expr::Ternary(
                 Box::new(Expr::id("sel")),
-                Box::new(Expr::Index(Box::new(Expr::id("mem")), Box::new(Expr::id("addr")))),
+                Box::new(Expr::Index(
+                    Box::new(Expr::id("mem")),
+                    Box::new(Expr::id("addr")),
+                )),
                 Box::new(Expr::lit(8, 0)),
             ),
         );
@@ -542,7 +556,10 @@ mod tests {
     #[test]
     fn lvalue_root_through_slices() {
         let e = Expr::Slice(
-            Box::new(Expr::Index(Box::new(Expr::id("buf")), Box::new(Expr::id("i")))),
+            Box::new(Expr::Index(
+                Box::new(Expr::id("buf")),
+                Box::new(Expr::id("i")),
+            )),
             7,
             0,
         );
@@ -571,13 +588,18 @@ mod tests {
     #[test]
     fn module_and_design_lookup() {
         let mut m = VModule::new("adder");
-        m.port(Port::input("a", 8)).port(Port::input("b", 8)).port(Port::output("y", 8));
+        m.port(Port::input("a", 8))
+            .port(Port::input("b", 8))
+            .port(Port::output("y", 8));
         let mut d = Design::new(m);
         d.add_module(VModule::new("helper"));
         assert_eq!(d.top_module().name, "adder");
         assert!(d.module("helper").is_some());
         assert!(d.module("ghost").is_none());
-        assert_eq!(d.top_module().find_port("y").map(|p| p.dir), Some(PortDir::Output));
+        assert_eq!(
+            d.top_module().find_port("y").map(|p| p.dir),
+            Some(PortDir::Output)
+        );
     }
 
     #[test]

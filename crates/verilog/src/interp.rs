@@ -134,9 +134,7 @@ fn rewrite_expr(e: &Expr, prefix: &str, binds: &BTreeMap<String, Expr>) -> Expr 
             Box::new(rewrite_expr(b, prefix, binds)),
             Box::new(rewrite_expr(i, prefix, binds)),
         ),
-        Expr::Slice(b, hi, lo) => {
-            Expr::Slice(Box::new(rewrite_expr(b, prefix, binds)), *hi, *lo)
-        }
+        Expr::Slice(b, hi, lo) => Expr::Slice(Box::new(rewrite_expr(b, prefix, binds)), *hi, *lo),
         Expr::Concat(es) => {
             Expr::Concat(es.iter().map(|e| rewrite_expr(e, prefix, binds)).collect())
         }
@@ -179,7 +177,9 @@ fn rewrite_stmt(s: &Stmt, prefix: &str, binds: &BTreeMap<String, Expr>) -> Stmt 
                 .map(|(m, body)| {
                     (
                         rewrite_expr(m, prefix, binds),
-                        body.iter().map(|s| rewrite_stmt(s, prefix, binds)).collect(),
+                        body.iter()
+                            .map(|s| rewrite_stmt(s, prefix, binds))
+                            .collect(),
                     )
                 })
                 .collect(),
@@ -223,7 +223,12 @@ impl Interpreter {
         Ok(interp)
     }
 
-    fn declare(&mut self, name: &str, width: u32, depth: Option<usize>) -> Result<(), SimulateError> {
+    fn declare(
+        &mut self,
+        name: &str,
+        width: u32,
+        depth: Option<usize>,
+    ) -> Result<(), SimulateError> {
         if width > 64 {
             return Err(err(format!(
                 "signal `{name}` is {width} bits; the interpreter handles at most 64"
@@ -233,7 +238,8 @@ impl Interpreter {
             Some(d) => Value::Memory(vec![0; d]),
             None => Value::Scalar(0),
         };
-        self.signals.insert(name.to_string(), Signal { width, value });
+        self.signals
+            .insert(name.to_string(), Signal { width, value });
         Ok(())
     }
 
@@ -261,9 +267,7 @@ impl Interpreter {
                             // Resolve the clock through the binds.
                             match binds.get(c) {
                                 Some(Expr::Id(parent)) => parent.clone(),
-                                Some(_) => {
-                                    return Err(err("clock bound to a non-identifier"))
-                                }
+                                Some(_) => return Err(err("clock bound to a non-identifier")),
                                 None => prefixed(prefix, c),
                             }
                         }
@@ -291,8 +295,7 @@ impl Interpreter {
                     let child_prefix = prefixed(prefix, name);
                     let mut child_binds = BTreeMap::new();
                     for (port, expr) in connections {
-                        child_binds
-                            .insert(port.clone(), rewrite_expr(expr, prefix, binds));
+                        child_binds.insert(port.clone(), rewrite_expr(expr, prefix, binds));
                     }
                     // Unconnected child ports become local nets.
                     for p in &child.ports {
@@ -323,10 +326,8 @@ impl Interpreter {
                     let mut inner_binds = child_binds.clone();
                     for p in &child.ports {
                         if p.dir == PortDir::Output {
-                            inner_binds.insert(
-                                p.name.clone(),
-                                Expr::Id(prefixed(&child_prefix, &p.name)),
-                            );
+                            inner_binds
+                                .insert(p.name.clone(), Expr::Id(prefixed(&child_prefix, &p.name)));
                         }
                     }
                     self.flatten(design, child, &child_prefix, &inner_binds)?;
@@ -387,6 +388,17 @@ impl Interpreter {
                     BinaryOp::Add => (lv.wrapping_add(rv) & m, w),
                     BinaryOp::Sub => (lv.wrapping_sub(rv) & m, w),
                     BinaryOp::Mul => (lv.wrapping_mul(rv) & m, w),
+                    BinaryOp::Div => {
+                        // `$signed` division truncating toward zero. Division
+                        // by zero yields 0 — the two-state stand-in for `x`.
+                        let d = signed(rv, rw);
+                        let q = if d == 0 {
+                            0
+                        } else {
+                            signed(lv, lw).wrapping_div(d)
+                        };
+                        ((q as u64) & m, w)
+                    }
                     BinaryOp::And => (lv & rv, w),
                     BinaryOp::Or => (lv | rv, w),
                     BinaryOp::Xor => (lv ^ rv, w),
@@ -399,6 +411,7 @@ impl Interpreter {
                     BinaryOp::Eq => (u64::from((lv & m) == (rv & m)), 1),
                     BinaryOp::Ne => (u64::from((lv & m) != (rv & m)), 1),
                     BinaryOp::Lt => (u64::from(lv < rv), 1),
+                    BinaryOp::Slt => (u64::from(signed(lv, lw) < signed(rv, rw)), 1),
                     BinaryOp::Ge => (u64::from(lv >= rv), 1),
                     BinaryOp::LogAnd => (u64::from(lv != 0 && rv != 0), 1),
                     BinaryOp::LogOr => (u64::from(lv != 0 || rv != 0), 1),
@@ -533,11 +546,7 @@ impl Interpreter {
         })
     }
 
-    fn run_stmts(
-        &self,
-        stmts: &[Stmt],
-        nba: &mut Vec<(Expr, u64)>,
-    ) -> Result<(), SimulateError> {
+    fn run_stmts(&self, stmts: &[Stmt], nba: &mut Vec<(Expr, u64)>) -> Result<(), SimulateError> {
         for s in stmts {
             match s {
                 Stmt::NonBlocking(lhs, rhs) => {

@@ -46,14 +46,16 @@ mod proptests {
     /// A random chain of pass-through modules must emit and lint clean.
     fn chain_design(stages: usize, width: u32) -> Design {
         let mut leaf = VModule::new("stage");
-        leaf.port(Port::input("d", width)).port(Port::output("q", width));
+        leaf.port(Port::input("d", width))
+            .port(Port::output("q", width));
         leaf.item(Item::Assign {
             lhs: Expr::id("q"),
             rhs: Expr::id("d"),
         });
 
         let mut top = VModule::new("chain");
-        top.port(Port::input("din", width)).port(Port::output("dout", width));
+        top.port(Port::input("din", width))
+            .port(Port::output("dout", width));
         let mut prev = "din".to_string();
         for i in 0..stages {
             let net = format!("n{i}");

@@ -340,7 +340,8 @@ impl<'a> ModuleLinter<'a> {
                                 if let Some(root) = expr.lvalue_root() {
                                     match expr {
                                         Expr::Id(_) => {
-                                            *whole_drivers.entry(root.to_string()).or_insert(0) += 1;
+                                            *whole_drivers.entry(root.to_string()).or_insert(0) +=
+                                                1;
                                         }
                                         _ => {
                                             partial_driven.insert(root.to_string());
@@ -496,7 +497,12 @@ mod tests {
             rhs: Expr::id("a"),
         });
         let report = lint_design(&Design::new(m));
-        assert!(report.errors().any(|i| i.message.contains("2 whole-net drivers")), "{report}");
+        assert!(
+            report
+                .errors()
+                .any(|i| i.message.contains("2 whole-net drivers")),
+            "{report}"
+        );
     }
 
     #[test]
@@ -552,7 +558,9 @@ mod tests {
             rhs: Expr::id("a"),
         });
         let report = lint_design(&Design::new(m));
-        assert!(report.errors().any(|i| i.message.contains("width mismatch")));
+        assert!(report
+            .errors()
+            .any(|i| i.message.contains("width mismatch")));
     }
 
     #[test]
@@ -577,7 +585,9 @@ mod tests {
             connections: vec![],
         });
         let report = lint_design(&Design::new(m));
-        assert!(report.errors().any(|i| i.message.contains("unknown module")));
+        assert!(report
+            .errors()
+            .any(|i| i.message.contains("unknown module")));
     }
 
     #[test]
@@ -588,15 +598,14 @@ mod tests {
             module: "pass".into(),
             name: "u0".into(),
             params: vec![],
-            connections: vec![
-                ("a".into(), Expr::id("a")),
-                ("nope".into(), Expr::id("a")),
-            ],
+            connections: vec![("a".into(), Expr::id("a")), ("nope".into(), Expr::id("a"))],
         });
         let mut d = Design::new(top);
         d.add_module(passthrough());
         let report = lint_design(&d);
-        assert!(report.errors().any(|i| i.message.contains("nonexistent port")));
+        assert!(report
+            .errors()
+            .any(|i| i.message.contains("nonexistent port")));
     }
 
     #[test]
@@ -613,9 +622,9 @@ mod tests {
         let mut d = Design::new(top);
         d.add_module(passthrough());
         let report = lint_design(&d);
-        assert!(report
-            .errors()
-            .any(|i| i.message.contains("port `a` is 8 bits, connected to 4 bits")));
+        assert!(report.errors().any(|i| i
+            .message
+            .contains("port `a` is 8 bits, connected to 4 bits")));
     }
 
     #[test]
@@ -641,7 +650,9 @@ mod tests {
             modules: vec![passthrough()],
         };
         let report = lint_design(&d);
-        assert!(report.errors().any(|i| i.message.contains("does not exist")));
+        assert!(report
+            .errors()
+            .any(|i| i.message.contains("does not exist")));
     }
 
     #[test]
@@ -650,7 +661,10 @@ mod tests {
         m.item(Item::Net(NetDecl::wire("dangling", 8)));
         let report = lint_design(&Design::new(m));
         assert!(report.is_clean()); // warning, not error
-        assert!(report.issues.iter().any(|i| i.message.contains("never used")));
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| i.message.contains("never used")));
     }
 
     #[test]

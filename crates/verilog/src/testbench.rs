@@ -36,7 +36,11 @@ pub fn emit_testbench(design: &Design, options: &TestbenchOptions) -> String {
     let top = design.top_module();
     let mut out = String::new();
     let _ = writeln!(out, "`timescale 1ns/1ps");
-    let _ = writeln!(out, "// Self-checking testbench for `{}` (generated).", top.name);
+    let _ = writeln!(
+        out,
+        "// Self-checking testbench for `{}` (generated).",
+        top.name
+    );
     let _ = writeln!(out, "module tb_{};", top.name);
     // Declarations.
     for p in &top.ports {
@@ -97,10 +101,16 @@ pub fn emit_testbench(design: &Design, options: &TestbenchOptions) -> String {
         let _ = writeln!(out, "            cycles = cycles + 1;");
         let _ = writeln!(out, "        end");
         let _ = writeln!(out, "        if (done !== 1'b1) begin");
-        let _ = writeln!(out, "            $display(\"FAIL: timeout after %0d cycles\", cycles);");
+        let _ = writeln!(
+            out,
+            "            $display(\"FAIL: timeout after %0d cycles\", cycles);"
+        );
         let _ = writeln!(out, "            $fatal(1);");
         let _ = writeln!(out, "        end");
-        let _ = writeln!(out, "        $display(\"PASS: done after %0d cycles\", cycles);");
+        let _ = writeln!(
+            out,
+            "        $display(\"PASS: done after %0d cycles\", cycles);"
+        );
     } else {
         let _ = writeln!(out, "        repeat (1000) @(posedge clk);");
         let _ = writeln!(out, "        $display(\"PASS: ran 1000 cycles\");");
@@ -182,6 +192,9 @@ mod tests {
     #[test]
     fn balanced_begin_end() {
         let tb = emit_testbench(&accel_like(), &TestbenchOptions::default());
-        assert_eq!(tb.matches("begin").count(), tb.matches("end").count() - tb.matches("endmodule").count());
+        assert_eq!(
+            tb.matches("begin").count(),
+            tb.matches("end").count() - tb.matches("endmodule").count()
+        );
     }
 }

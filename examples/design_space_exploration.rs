@@ -14,7 +14,9 @@
 use deepburning::baselines::mlp4;
 use deepburning::compiler::CompilerConfig;
 use deepburning::core::{generate, generate_with_config, Budget};
-use deepburning::model::{Activation, ConvParam, FullParam, Layer, LayerKind, Network, PoolMethod, PoolParam};
+use deepburning::model::{
+    Activation, ConvParam, FullParam, Layer, LayerKind, Network, PoolMethod, PoolParam,
+};
 use deepburning::sim::{inference_energy, simulate_timing, EnergyParams, TimingParams};
 
 fn candidate(conv_maps: usize, hidden: usize) -> Network {
@@ -44,7 +46,12 @@ fn candidate(conv_maps: usize, hidden: usize) -> Network {
                 "pool1",
                 "ip1",
             ),
-            Layer::new("sig", LayerKind::Activation(Activation::Sigmoid), "ip1", "ip1"),
+            Layer::new(
+                "sig",
+                LayerKind::Activation(Activation::Sigmoid),
+                "ip1",
+                "ip1",
+            ),
             Layer::new(
                 "ip2",
                 LayerKind::FullConnection(FullParam::dense(10)),

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The RTL.
     let rtl_path = dir.join(format!("{}.v", design.network));
     fs::write(&rtl_path, &design.verilog)?;
-    println!("wrote {} ({} lines)", rtl_path.display(), design.verilog.lines().count());
+    println!(
+        "wrote {} ({} lines)",
+        rtl_path.display(),
+        design.verilog.lines().count()
+    );
 
     // 1b. A self-checking testbench for stock simulators.
     let tb = deepburning::verilog::emit_testbench(
@@ -50,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut f = fs::File::create(&map_path)?;
     writeln!(f, "# segment  offset(words)  length(words)")?;
     for seg in &design.compiled.memory_map.segments {
-        writeln!(f, "{:<12} {:>10} {:>10}  {:?}", seg.name, seg.offset, seg.len_words, seg.kind)?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>10}  {:?}",
+            seg.name, seg.offset, seg.len_words, seg.kind
+        )?;
     }
     println!("wrote {}", map_path.display());
 
@@ -64,7 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|r| format!("{}->{}", r.from, r.to))
             .collect();
-        writeln!(f, "{:>5}  {:<16} {}", step.phase, step.event, edges.join(", "))?;
+        writeln!(
+            f,
+            "{:>5}  {:<16} {}",
+            step.phase,
+            step.event,
+            edges.join(", ")
+        )?;
     }
     println!("wrote {}", sched_path.display());
 

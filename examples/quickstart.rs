@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .skip_while(|l| !l.contains("module quickstart_accelerator"))
         .take(12)
         .collect();
-    println!("\ngenerated RTL (top module header):\n{}", header.join("\n"));
+    println!(
+        "\ngenerated RTL (top module header):\n{}",
+        header.join("\n")
+    );
 
     // 4. Simulate one forward propagation at 100 MHz.
     let timing = simulate_timing(&design.compiled, &TimingParams::default());

@@ -10,8 +10,8 @@
 use deepburning::core::{generate, verify_design_control_path, Budget};
 use deepburning::model::{decompose, network_stats, parse_network, Network};
 use deepburning::sim::{inference_energy, simulate_timing, EnergyParams, TimingParams};
-use std::fs;
 use std::fmt::Write as _;
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -151,7 +151,11 @@ fn cmd_generate(net: &Network, budget: &Budget, out: &Path) -> ExitCode {
         design.fits.0, design.fits.1
     );
     for (name, cost) in &design.resources.items {
-        let _ = writeln!(report, "  {name}: dsp={} lut={} ff={}", cost.dsp, cost.lut, cost.ff);
+        let _ = writeln!(
+            report,
+            "  {name}: dsp={} lut={} ff={}",
+            cost.dsp, cost.lut, cost.ff
+        );
     }
     let _ = fs::write(out.join("report.txt"), report);
     println!(

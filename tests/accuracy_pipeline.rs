@@ -37,8 +37,10 @@ fn trained_ann0_survives_quantization() {
 #[test]
 fn hopfield_recall_matches_between_engines() {
     let bench = zoo::hopfield();
-    let pattern: Vec<f32> = (0..32).map(|i| if i % 4 == 0 { 1.0 } else { -1.0 }).collect();
-    let ws = hopfield_weights(&[pattern.clone()]);
+    let pattern: Vec<f32> = (0..32)
+        .map(|i| if i % 4 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let ws = hopfield_weights(std::slice::from_ref(&pattern));
     let cfg = CompilerConfig::default();
     let luts = generate_luts(&bench.network, &cfg).expect("luts");
     let mut probe = pattern.clone();
@@ -94,7 +96,11 @@ fn wider_formats_strictly_reduce_quantization_error() {
         errors[0] >= errors[1] && errors[1] >= errors[2],
         "errors must shrink with width: {errors:?}"
     );
-    assert!(errors[2] < 0.1, "Q16.16 error {:.4} should be tiny", errors[2]);
+    assert!(
+        errors[2] < 0.1,
+        "Q16.16 error {:.4} should be tiny",
+        errors[2]
+    );
 }
 
 #[test]

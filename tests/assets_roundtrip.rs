@@ -76,8 +76,12 @@ fn ann1_asset_matches_zoo() {
     let from_script = parse_network(&asset("ann1_jpeg.prototxt")).expect("parses");
     let from_zoo = zoo::ann1().network;
     assert_eq!(
-        deepburning::model::network_stats(&from_script).expect("stats").total,
-        deepburning::model::network_stats(&from_zoo).expect("stats").total
+        deepburning::model::network_stats(&from_script)
+            .expect("stats")
+            .total,
+        deepburning::model::network_stats(&from_zoo)
+            .expect("stats")
+            .total
     );
 }
 
@@ -90,8 +94,14 @@ fn alexnet_asset_matches_zoo() {
         from_zoo.infer_shapes().expect("shapes")
     );
     assert_eq!(
-        deepburning::model::network_stats(&from_script).expect("stats").total.macs,
-        deepburning::model::network_stats(&from_zoo).expect("stats").total.macs
+        deepburning::model::network_stats(&from_script)
+            .expect("stats")
+            .total
+            .macs,
+        deepburning::model::network_stats(&from_zoo)
+            .expect("stats")
+            .total
+            .macs
     );
 }
 

@@ -6,9 +6,7 @@ use deepburning::baselines::{
     all_benchmarks, custom_design, custom_timing_params, CpuModel, ZhangFpga15,
 };
 use deepburning::core::{generate, Budget};
-use deepburning::sim::{
-    inference_energy, simulate_timing, EnergyParams, TimingParams,
-};
+use deepburning::sim::{inference_energy, simulate_timing, EnergyParams, TimingParams};
 
 fn db_seconds(bench: &deepburning::baselines::Benchmark, budget: Budget) -> f64 {
     let d = generate(&bench.network, &budget).expect("generates");
@@ -78,12 +76,20 @@ fn fig9_energy_ordering() {
         let t = simulate_timing(&d.compiled, &TimingParams::default());
         let e_db = inference_energy(&d, &t, &EnergyParams::default()).total_j;
         let e_cpu = cpu.forward_energy(&bench.network).expect("cpu energy");
-        assert!(e_cpu > e_db * 5.0, "{}: CPU energy only {}x DB", bench.name, e_cpu / e_db);
+        assert!(
+            e_cpu > e_db * 5.0,
+            "{}: CPU energy only {}x DB",
+            bench.name,
+            e_cpu / e_db
+        );
         ratios.push(e_cpu / e_db);
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     // "about 58x more energy than DB on average" — accept 25x..120x.
-    assert!((25.0..120.0).contains(&mean), "mean CPU/DB energy {mean:.1}x");
+    assert!(
+        (25.0..120.0).contains(&mean),
+        "mean CPU/DB energy {mean:.1}x"
+    );
 }
 
 #[test]
@@ -96,12 +102,19 @@ fn fig9_custom_cheaper_than_db() {
         let t_cu = simulate_timing(&cu.compiled, &custom_timing_params());
         let e_db = inference_energy(&db, &t_db, &EnergyParams::default()).total_j;
         let e_cu = inference_energy(&cu, &t_cu, &EnergyParams::default()).total_j;
-        assert!(e_cu <= e_db * 1.05, "{}: Custom burns more than DB", bench.name);
+        assert!(
+            e_cu <= e_db * 1.05,
+            "{}: Custom burns more than DB",
+            bench.name
+        );
         ratios.push(e_db / e_cu);
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     // "DB consumes 1.8x more energy than Custom" — accept 1.2x..2.5x.
-    assert!((1.2..2.5).contains(&mean), "mean DB/Custom energy {mean:.2}x");
+    assert!(
+        (1.2..2.5).contains(&mean),
+        "mean DB/Custom energy {mean:.2}x"
+    );
 }
 
 #[test]

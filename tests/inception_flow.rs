@@ -47,9 +47,7 @@ fn inception_fixed_point_tracks_reference() {
     let ws = WeightSet::init(&net, Init::Uniform(0.2), &mut rng).expect("init");
     let cfg = CompilerConfig::default();
     let luts = generate_luts(&net, &cfg).expect("luts");
-    let input = Tensor::from_fn(net.input_shape(), |c, y, x| {
-        ((c + y + x) % 7) as f32 / 7.0
-    });
+    let input = Tensor::from_fn(net.input_shape(), |c, y, x| ((c + y + x) % 7) as f32 / 7.0);
     let golden = forward(&net, &ws, &input).expect("reference");
     let approx = functional_forward(&net, &ws, &input, &luts, cfg.format).expect("fx sim");
     assert_eq!(approx.shape(), golden.shape());

@@ -34,7 +34,15 @@ fn detects_deleted_driver() {
     let pos = design.modules[ti]
         .items
         .iter()
-        .position(|i| matches!(i, Item::Assign { lhs: Expr::Id(_), .. }))
+        .position(|i| {
+            matches!(
+                i,
+                Item::Assign {
+                    lhs: Expr::Id(_),
+                    ..
+                }
+            )
+        })
         .expect("an assign exists");
     design.modules[ti].items.remove(pos);
     assert!(
@@ -50,7 +58,15 @@ fn detects_double_driver() {
     let dup = design.modules[ti]
         .items
         .iter()
-        .find(|i| matches!(i, Item::Assign { lhs: Expr::Id(_), .. }))
+        .find(|i| {
+            matches!(
+                i,
+                Item::Assign {
+                    lhs: Expr::Id(_),
+                    ..
+                }
+            )
+        })
         .expect("an assign exists")
         .clone();
     design.modules[ti].items.push(dup);
@@ -106,7 +122,9 @@ fn detects_removed_module() {
         .expect("a leaf module");
     design.modules.remove(victim);
     let report = lint_design(&design);
-    assert!(report.errors().any(|e| e.message.contains("unknown module")));
+    assert!(report
+        .errors()
+        .any(|e| e.message.contains("unknown module")));
 }
 
 #[test]

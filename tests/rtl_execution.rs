@@ -24,19 +24,30 @@ layers { name: "fc2" type: FC bottom: "fc1" top: "fc2"
 fn generated_top_runs_to_completion() {
     let net = parse_network(SRC).expect("parses");
     let design = generate(&net, &Budget::Medium).expect("generates");
-    assert!(design.config.lanes * design.config.word_bits <= 64, "bus fits interpreter");
+    assert!(
+        design.config.lanes * design.config.word_bits <= 64,
+        "bus fits interpreter"
+    );
 
-    let mut sim =
-        Interpreter::elaborate(&design.design, &design.design.top).expect("elaborates");
+    let mut sim = Interpreter::elaborate(&design.design, &design.design.top).expect("elaborates");
 
     // Fill the context ROMs with the compiler's real trigger words.
     let ctx = context_words(&design.compiled);
-    sim.load_memory("ctx_trig_main", &ctx.iter().map(|w| w[0]).collect::<Vec<_>>())
-        .expect("ctx main");
-    sim.load_memory("ctx_trig_data", &ctx.iter().map(|w| w[1]).collect::<Vec<_>>())
-        .expect("ctx data");
-    sim.load_memory("ctx_trig_weight", &ctx.iter().map(|w| w[2]).collect::<Vec<_>>())
-        .expect("ctx weight");
+    sim.load_memory(
+        "ctx_trig_main",
+        &ctx.iter().map(|w| w[0]).collect::<Vec<_>>(),
+    )
+    .expect("ctx main");
+    sim.load_memory(
+        "ctx_trig_data",
+        &ctx.iter().map(|w| w[1]).collect::<Vec<_>>(),
+    )
+    .expect("ctx data");
+    sim.load_memory(
+        "ctx_trig_weight",
+        &ctx.iter().map(|w| w[2]).collect::<Vec<_>>(),
+    )
+    .expect("ctx weight");
 
     // Reset and start.
     sim.poke("rst", 1).expect("poke");
@@ -70,10 +81,7 @@ fn generated_top_runs_to_completion() {
     // The first fetch targets the input segment at offset 0.
     assert_eq!(dram_addrs[0], 0, "first fetch reads the input segment");
     // Addresses within one burst are consecutive.
-    let consecutive = dram_addrs
-        .windows(2)
-        .filter(|w| w[1] == w[0] + 1)
-        .count();
+    let consecutive = dram_addrs.windows(2).filter(|w| w[1] == w[0] + 1).count();
     assert!(
         consecutive >= dram_addrs.len() / 2,
         "main AGU bursts should be mostly sequential"
@@ -84,8 +92,7 @@ fn generated_top_runs_to_completion() {
 fn top_coordinator_walks_all_phases() {
     let net = parse_network(SRC).expect("parses");
     let design = generate(&net, &Budget::Medium).expect("generates");
-    let mut sim =
-        Interpreter::elaborate(&design.design, &design.design.top).expect("elaborates");
+    let mut sim = Interpreter::elaborate(&design.design, &design.design.top).expect("elaborates");
     let phases = design.compiled.folding.phases.len() as u64;
     let ctx = context_words(&design.compiled);
     for (slot, rom) in ["ctx_trig_main", "ctx_trig_data", "ctx_trig_weight"]

@@ -13,8 +13,8 @@ fn training_costs_more_than_inference_everywhere() {
         let design = generate(&bench.network, &Budget::Medium).expect("generates");
         let fwd = simulate_timing(&design.compiled, &TimingParams::default()).total_cycles;
         let plan = plan_training(&bench.network, &design.config).expect("plans");
-        let train = simulate_folding(&plan, design.config.lanes, &TimingParams::default())
-            .total_cycles;
+        let train =
+            simulate_folding(&plan, design.config.lanes, &TimingParams::default()).total_cycles;
         assert!(
             train > fwd * 2,
             "{}: training ({train}) should cost >2x inference ({fwd})",
