@@ -1,0 +1,237 @@
+//! End-to-end pipeline tracing: runs one zoo benchmark through
+//! generation, timing simulation and the three-view differential check
+//! with the instrumentation layer installed, then writes the full trace
+//! artifact set:
+//!
+//! * `trace.json` — Chrome trace-event JSON (open in Perfetto or
+//!   `chrome://tracing`): wall-clock compiler/generator spans, counter
+//!   tracks, and the simulated schedule as a virtual timeline (one
+//!   microsecond per cycle);
+//! * `metrics.json` — aggregated span durations, counter totals and
+//!   gauges, machine-readable;
+//! * a human-readable summary on stdout.
+//!
+//! ```text
+//! dbtrace <benchmark> [--budget small|medium|large] [--out DIR]
+//!         [--rtl-samples N] [--check]
+//! ```
+//!
+//! `--check` re-validates the emitted trace (valid JSON, non-empty,
+//! balanced spans) and asserts the metrics carry compiler-stage spans and
+//! interpreter counters, exiting nonzero otherwise — the CI smoke mode.
+
+use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
+use deepburning_core::{generate, Budget};
+use deepburning_sim::{
+    diff_design, functional_forward_all, simulate_timing, DiffOptions, TimingParams,
+};
+use deepburning_tensor::Tensor;
+use deepburning_trace as trace;
+use deepburning_trace::json::Json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn benchmarks() -> Vec<Benchmark> {
+    let mut list = zoo::all_benchmarks();
+    for extra in [
+        zoo::alexnet_micro(),
+        zoo::nin_micro(),
+        zoo::googlenet_slice(),
+    ] {
+        if !list.iter().any(|b| b.name == extra.name) {
+            list.push(extra);
+        }
+    }
+    list
+}
+
+/// Name matching ignores case and punctuation so `alexnet-micro` finds
+/// `Alexnet(micro)` and `ann0` finds `ANN-0`.
+fn canon(name: &str) -> String {
+    name.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+struct Args {
+    benchmark: String,
+    budget: Budget,
+    out: PathBuf,
+    rtl_samples: usize,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        benchmark: String::new(),
+        budget: Budget::Medium,
+        out: PathBuf::from("target/dbtrace"),
+        rtl_samples: 16,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                args.budget = match v.as_str() {
+                    "small" => Budget::Small,
+                    "medium" => Budget::Medium,
+                    "large" => Budget::Large,
+                    other => return Err(format!("unknown budget `{other}`")),
+                };
+            }
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--rtl-samples" => {
+                args.rtl_samples = it
+                    .next()
+                    .ok_or("--rtl-samples needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--rtl-samples: {e}"))?;
+            }
+            "--check" => args.check = true,
+            other if args.benchmark.is_empty() && !other.starts_with('-') => {
+                args.benchmark = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.benchmark.is_empty() {
+        return Err("usage: dbtrace <benchmark> [--budget small|medium|large] \
+                    [--out DIR] [--rtl-samples N] [--check]"
+            .into());
+    }
+    Ok(args)
+}
+
+/// Asserts the metrics document carries the stages the pipeline must have
+/// traced: compiler spans plus functional/RTL interpreter counters.
+fn check_metrics(metrics: &Json) -> Result<(), String> {
+    let spans = metrics
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("metrics missing spans array")?;
+    for required in [
+        "compiler.compile",
+        "compiler.folding",
+        "core.generate",
+        "sim.timing",
+    ] {
+        if !spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some(required))
+        {
+            return Err(format!("span `{required}` missing from metrics"));
+        }
+    }
+    let counters = metrics
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or("metrics missing counters object")?;
+    for required in ["fx.layers", "rtl.evals", "sim.timing.total_cycles"] {
+        let positive = counters
+            .iter()
+            .find(|(n, _)| n == required)
+            .and_then(|(_, v)| v.as_f64())
+            .is_some_and(|v| v > 0.0);
+        if !positive {
+            return Err(format!("counter `{required}` missing or zero"));
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| canon(b.name) == canon(&args.benchmark))
+        .ok_or_else(|| {
+            format!(
+                "unknown benchmark `{}`; available: {}",
+                args.benchmark,
+                benchmarks()
+                    .iter()
+                    .map(|b| b.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+
+    let tracer = trace::Tracer::new();
+    {
+        let _session = trace::install(&tracer);
+        let design = generate(&bench.network, &args.budget)
+            .map_err(|e| format!("generation failed: {e}"))?;
+        let timing = simulate_timing(&design.compiled, &TimingParams::default());
+        let mut rng = StdRng::seed_from_u64(0xD8);
+        let ws = pseudo_weights(&bench, &mut rng);
+        let input = Tensor::from_fn(bench.network.input_shape(), |_, _, _| {
+            rng.gen_range(-1.0..1.0f32)
+        });
+        let cfg = &design.compiled.config;
+        functional_forward_all(
+            &bench.network,
+            &ws,
+            &input,
+            &design.compiled.luts,
+            cfg.format,
+        )
+        .map_err(|e| format!("functional run failed: {e}"))?;
+        let opts = DiffOptions {
+            max_rtl_samples: args.rtl_samples.max(1),
+            ..DiffOptions::default()
+        };
+        let report = diff_design(&design, &bench.network, &ws, &input, &opts)
+            .map_err(|e| format!("differential run failed: {e}"))?;
+        println!(
+            "{} @ {}: {} phases, {} simulated cycles, {} rtl-exact elements{}",
+            bench.name,
+            args.budget.tag(),
+            design.compiled.folding.phases.len(),
+            timing.total_cycles,
+            report.rtl_checked(),
+            if report.is_clean() {
+                ""
+            } else {
+                " (DIVERGED — see report)"
+            }
+        );
+        if !report.is_clean() {
+            print!("{report}");
+        }
+    }
+
+    let chrome = tracer.chrome_trace();
+    let metrics = tracer.metrics();
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("mkdir {:?}: {e}", args.out))?;
+    let trace_path = args.out.join("trace.json");
+    let metrics_path = args.out.join("metrics.json");
+    std::fs::write(&trace_path, &chrome).map_err(|e| format!("write {trace_path:?}: {e}"))?;
+    std::fs::write(&metrics_path, metrics.render())
+        .map_err(|e| format!("write {metrics_path:?}: {e}"))?;
+    println!("\n{}", tracer.summary());
+    println!("wrote {} ({} events)", trace_path.display(), tracer.len());
+    println!("wrote {}", metrics_path.display());
+
+    if args.check {
+        let n = trace::validate_chrome_trace(&chrome)
+            .map_err(|e| format!("chrome trace invalid: {e}"))?;
+        check_metrics(&metrics)?;
+        println!("check ok: {n} trace events, required spans and counters present");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dbtrace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

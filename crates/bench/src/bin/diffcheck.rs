@@ -11,16 +11,21 @@
 //!
 //! comparing functional↔RTL bit-exactly and tensor↔functional under
 //! derived quantisation bounds. Any divergence is a generator bug; the
-//! process exits nonzero so CI fails.
+//! process exits nonzero so CI fails, and a divergence bundle (layer
+//! audit JSON + VCD waveforms of the blocks the diverging layer
+//! exercised) is written under `--artifacts DIR` (default
+//! `target/diffcheck-artifacts`) for CI to upload.
 //!
 //! Run with `--release` — the RTL view interprets elaborated netlists.
 
 use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
+use deepburning_bench::write_divergence_bundle;
 use deepburning_core::{generate, Budget};
 use deepburning_sim::{diff_design, DiffOptions};
 use deepburning_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn benchmarks() -> Vec<Benchmark> {
@@ -43,7 +48,16 @@ fn benchmarks() -> Vec<Benchmark> {
 }
 
 fn main() -> ExitCode {
-    let verbose = std::env::args().any(|a| a == "--verbose" || a == "-v");
+    let argv: Vec<String> = std::env::args().collect();
+    let verbose = argv.iter().any(|a| a == "--verbose" || a == "-v");
+    let artifacts_dir = argv
+        .iter()
+        .position(|a| a == "--artifacts")
+        .and_then(|i| argv.get(i + 1))
+        .map_or_else(
+            || PathBuf::from("target/diffcheck-artifacts"),
+            PathBuf::from,
+        );
     let opts = DiffOptions {
         max_rtl_samples: 32,
         ..DiffOptions::default()
@@ -83,6 +97,25 @@ fn main() -> ExitCode {
                         failures += 1;
                         println!("FAIL  {label:<24}");
                         print!("{report}");
+                        match write_divergence_bundle(
+                            &artifacts_dir,
+                            &label,
+                            &bench.network,
+                            &ws,
+                            &input,
+                            &design.compiled.luts,
+                            design.compiled.config.format,
+                            design.compiled.config.lanes,
+                            &opts,
+                            &report,
+                        ) {
+                            Ok(paths) => {
+                                for p in paths {
+                                    println!("      wrote {}", p.display());
+                                }
+                            }
+                            Err(e) => println!("      artifact bundle failed: {e}"),
+                        }
                     }
                 }
                 Err(e) => {

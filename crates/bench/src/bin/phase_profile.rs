@@ -26,12 +26,17 @@ fn main() {
     let t_dbl = simulate_timing(&dbl.compiled, &TimingParams::default());
     let prof_db = aggregate_by_layer(&db.compiled.folding, &t_db);
     let prof_dbl = aggregate_by_layer(&dbl.compiled.folding, &t_dbl);
-    for (layer, cycles) in prof_db.iter().take(12) {
+    const SHOWN: usize = 12;
+    let mut shown_db = 0u64;
+    let mut shown_dbl = 0u64;
+    for (layer, cycles) in prof_db.iter().take(SHOWN) {
         let dbl_cycles = prof_dbl
             .iter()
             .find(|(l, _)| l == layer)
             .map(|(_, c)| *c)
             .unwrap_or(0);
+        shown_db += cycles;
+        shown_dbl += dbl_cycles;
         print_row(
             &[
                 layer.clone(),
@@ -41,6 +46,25 @@ fn main() {
                 format!(
                     "{:.1}%",
                     dbl_cycles as f64 / t_dbl.total_cycles as f64 * 100.0
+                ),
+            ],
+            &widths,
+        );
+    }
+    // Everything past the displayed rows folds into one aggregate line so
+    // the percentage columns account for the full schedule.
+    if prof_db.len() > SHOWN {
+        let other_db = t_db.total_cycles.saturating_sub(shown_db);
+        let other_dbl = t_dbl.total_cycles.saturating_sub(shown_dbl);
+        print_row(
+            &[
+                "(other)".into(),
+                other_db.to_string(),
+                format!("{:.1}%", other_db as f64 / t_db.total_cycles as f64 * 100.0),
+                other_dbl.to_string(),
+                format!(
+                    "{:.1}%",
+                    other_dbl as f64 / t_dbl.total_cycles as f64 * 100.0
                 ),
             ],
             &widths,

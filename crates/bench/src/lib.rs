@@ -5,6 +5,10 @@
 //! <id>` binary (run with `--release` — the accuracy figure trains models)
 //! and a matching Criterion bench measuring the pipeline that produces it.
 
+mod artifacts;
+
+pub use artifacts::write_divergence_bundle;
+
 use deepburning_baselines::{
     custom_design, custom_timing_params, Benchmark, CpuModel, ZhangFpga15,
 };

@@ -147,13 +147,55 @@ impl From<BuildLutError> for CompileError {
 /// Returns [`CompileError`] if shape inference fails or a LUT cannot be
 /// sampled with the configured entry count.
 pub fn compile(net: &Network, config: &CompilerConfig) -> Result<CompiledNetwork, CompileError> {
-    let folding = plan_folding(net, config)?;
-    let memory_map = build_memory_map(net, config)?;
-    let tile_plans = plan_layer_tiling(net, config)?;
-    let agu_programs = synthesize_agus(net, &folding, &memory_map, &tile_plans, config)?;
-    let schedule = build_schedule(&folding);
-    let luts = generate_luts(net, config)?;
-    let weight_layout = plan_weight_layout(net, config)?;
+    use deepburning_trace as trace;
+    let mut compile_span = trace::span("compiler", "compiler.compile");
+    let folding = {
+        let _s = trace::span("compiler", "compiler.folding");
+        plan_folding(net, config)?
+    };
+    let memory_map = {
+        let _s = trace::span("compiler", "compiler.memory_map");
+        build_memory_map(net, config)?
+    };
+    let tile_plans = {
+        let _s = trace::span("compiler", "compiler.tiling");
+        plan_layer_tiling(net, config)?
+    };
+    let agu_programs = {
+        let _s = trace::span("compiler", "compiler.agu_synthesis");
+        synthesize_agus(net, &folding, &memory_map, &tile_plans, config)?
+    };
+    let schedule = {
+        let _s = trace::span("compiler", "compiler.schedule");
+        build_schedule(&folding)
+    };
+    let luts = {
+        let _s = trace::span("compiler", "compiler.lutgen");
+        generate_luts(net, config)?
+    };
+    let weight_layout = {
+        let _s = trace::span("compiler", "compiler.weight_layout");
+        plan_weight_layout(net, config)?
+    };
+    if trace::active() {
+        trace::counter("compiler", "compiler.phases", folding.phases.len() as f64);
+        trace::counter(
+            "compiler",
+            "compiler.agu_programs",
+            agu_programs.len() as f64,
+        );
+        trace::counter("compiler", "compiler.lut_images", luts.len() as f64);
+        trace::counter(
+            "compiler",
+            "compiler.control_steps",
+            schedule.steps.len() as f64,
+        );
+        trace::gauge("compiler", "compiler.lanes", f64::from(config.lanes));
+        compile_span.arg(
+            "phases",
+            trace::json::Json::num(folding.phases.len() as f64),
+        );
+    }
     Ok(CompiledNetwork {
         config: *config,
         folding,

@@ -149,6 +149,16 @@ pub fn derive_config(budget: &Budget, word_bits: u32) -> CompilerConfig {
     }
 }
 
+/// Derives the compiler configuration from a budget with an explicit
+/// fixed-point format (e.g. Q4.12 for activation-heavy nets, Q12.4 for
+/// wide-range accumulations). The word width follows the format; lane
+/// count and buffer sizes are budgeted exactly as in [`derive_config`].
+pub fn derive_config_for_format(budget: &Budget, format: QFormat) -> CompilerConfig {
+    let mut cfg = derive_config(budget, format.total_bits());
+    cfg.format = format;
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +217,19 @@ mod tests {
     fn clock_is_100mhz() {
         assert_eq!(Z7045.clock_hz, 100_000_000);
         assert_eq!(Z7020.clock_hz, 100_000_000);
+    }
+
+    #[test]
+    fn format_override_sets_word_bits() {
+        let q412 = QFormat::new(16, 12).expect("valid");
+        let cfg = derive_config_for_format(&Budget::Medium, q412);
+        assert_eq!(cfg.format, q412);
+        assert_eq!(cfg.word_bits, 16);
+        let q124 = QFormat::new(16, 4).expect("valid");
+        let cfg = derive_config_for_format(&Budget::Medium, q124);
+        assert_eq!(cfg.format, q124);
+        // Same word width, same lane budget as the default Q8.8.
+        assert_eq!(cfg.lanes, derive_config(&Budget::Medium, 16).lanes);
     }
 
     #[test]

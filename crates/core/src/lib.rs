@@ -35,7 +35,9 @@ mod resources;
 mod rtl;
 mod verify;
 
-pub use device::{derive_config, max_parallel_units, Budget, Device, Z7020, Z7045};
+pub use device::{
+    derive_config, derive_config_for_format, max_parallel_units, Budget, Device, Z7020, Z7045,
+};
 pub use resources::{
     check_fit, collect_patterns, context_words, estimate_resources, uses_lanes, ResourceReport,
 };
@@ -47,6 +49,7 @@ pub use verify::{
 
 use deepburning_compiler::{compile, CompileError, CompiledNetwork, CompilerConfig};
 use deepburning_model::Network;
+use deepburning_trace as trace;
 use deepburning_verilog::{emit_design, lint_design, Design, LintReport};
 use std::fmt;
 
@@ -115,6 +118,7 @@ impl From<CompileError> for GenerateError {
 /// Returns [`GenerateError`] if compilation fails or (defensively) if the
 /// assembled RTL does not lint clean.
 pub fn generate(net: &Network, budget: &Budget) -> Result<AcceleratorDesign, GenerateError> {
+    let _gen = trace::span("core", "core.generate");
     let mut config = derive_config(budget, 16);
     // "Properly-scaled hardware structure": never instantiate more lanes
     // than the network can keep busy, and keep buffer headroom bounded by
@@ -149,11 +153,14 @@ pub fn generate(net: &Network, budget: &Budget) -> Result<AcceleratorDesign, Gen
     // Constraint-driven scaling: if the estimate exceeds the envelope,
     // fold harder (fewer lanes, smaller buffers) until it fits.
     loop {
+        trace::counter("core", "core.constraint_iterations", 1.0);
         let design = generate_with_config(net, budget, &config)?;
         let at_floor = config.lanes == 1
             && config.feature_buffer_bytes <= 1024
             && config.weight_buffer_bytes <= 1024;
         if design.fits.0 || at_floor {
+            trace::gauge("core", "core.lanes", f64::from(config.lanes));
+            trace::gauge("core", "core.utilisation", design.fits.1);
             return Ok(design);
         }
         config.lanes = (config.lanes * 4 / 5).max(1);
@@ -174,14 +181,30 @@ pub fn generate_with_config(
     config: &CompilerConfig,
 ) -> Result<AcceleratorDesign, GenerateError> {
     let compiled = compile(net, config)?;
-    let design = assemble_top(net, &compiled);
-    let lint = lint_design(&design);
+    let design = {
+        let _s = trace::span("core", "core.assemble_rtl");
+        assemble_top(net, &compiled)
+    };
+    let lint = {
+        let _s = trace::span("core", "core.lint");
+        lint_design(&design)
+    };
     if !lint.is_clean() {
         return Err(GenerateError::Lint(lint));
     }
-    let verilog = emit_design(&design);
-    let resources = estimate_resources(net, &compiled);
+    let verilog = {
+        let _s = trace::span("core", "core.emit_verilog");
+        emit_design(&design)
+    };
+    let resources = {
+        let _s = trace::span("core", "core.estimate_resources");
+        estimate_resources(net, &compiled)
+    };
     let fits = check_fit(&resources, &budget.envelope());
+    if trace::active() {
+        trace::counter("core", "core.verilog_bytes", verilog.len() as f64);
+        trace::counter("core", "core.rtl_modules", design.modules.len() as f64);
+    }
     Ok(AcceleratorDesign {
         network: net.name().to_string(),
         budget: *budget,

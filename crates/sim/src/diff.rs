@@ -38,6 +38,8 @@ use deepburning_core::AcceleratorDesign;
 use deepburning_fixed::{ApproxLut, Fx, QFormat};
 use deepburning_model::{Activation, Layer, LayerKind, Network, PoolMethod};
 use deepburning_tensor::{cmac_index, eval_layer, Tensor, WeightSet};
+use deepburning_trace as trace;
+use deepburning_trace::json::Json;
 use deepburning_verilog::{lint_design, Design, Interpreter, SimulateError};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -125,6 +127,21 @@ pub struct LayerAudit {
     pub skip_reason: Option<&'static str>,
 }
 
+/// Interpreter work attributed to one RTL block of the bank — makes the
+/// diffcheck hotspot visible (settle passes over continuous assigns
+/// dominate the wall time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlModuleStats {
+    /// Block tag (`neuron`, `pool_max`, `lut:sigmoid`, …).
+    pub module: String,
+    /// Clock edges driven into the block.
+    pub clock_edges: u64,
+    /// Settle passes run over the block's continuous assigns.
+    pub settle_passes: u64,
+    /// Expression evaluations (assign re-evaluations + NBA commits).
+    pub evals: u64,
+}
+
 /// The outcome of a three-view differential run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffReport {
@@ -136,6 +153,8 @@ pub struct DiffReport {
     pub layers: Vec<LayerAudit>,
     /// Every divergence found (capped per layer; see audits for counts).
     pub divergences: Vec<Divergence>,
+    /// Per-RTL-block interpreter work, descending by evaluation count.
+    pub rtl_modules: Vec<RtlModuleStats>,
 }
 
 impl DiffReport {
@@ -183,6 +202,16 @@ impl fmt::Display for DiffReport {
         }
         for d in &self.divergences {
             writeln!(f, "  DIVERGED: {d}")?;
+        }
+        if !self.rtl_modules.is_empty() {
+            writeln!(f, "  rtl interpreter work:")?;
+            for m in &self.rtl_modules {
+                writeln!(
+                    f,
+                    "    {:<16} {:>8} edges {:>9} settles {:>12} evals",
+                    m.module, m.clock_edges, m.settle_passes, m.evals
+                )?;
+            }
         }
         Ok(())
     }
@@ -236,6 +265,10 @@ pub struct DiffOptions {
     /// Cap on probes used for [`ApproxLut::max_error`] when deriving
     /// activation-table bounds.
     pub lut_error_probes: usize,
+    /// Testing hook: flip the LSB of every RTL readback for the layer at
+    /// this index in execution order, forcing a functional↔RTL divergence
+    /// (exercises the divergence-artifact path end to end).
+    pub inject_rtl_fault: Option<usize>,
 }
 
 impl Default for DiffOptions {
@@ -243,6 +276,7 @@ impl Default for DiffOptions {
         DiffOptions {
             max_rtl_samples: 96,
             lut_error_probes: 1024,
+            inject_rtl_fault: None,
         }
     }
 }
@@ -303,6 +337,9 @@ struct RtlBank {
     lrn_units: BTreeMap<String, Interpreter>,
     /// Associative tables keyed by layer name.
     assoc_tables: BTreeMap<String, Interpreter>,
+    /// When set, every interpreter (including lazily elaborated ones)
+    /// records a VCD waveform.
+    vcd_enabled: bool,
 }
 
 fn elaborate_block(design: &Design, top: &str) -> Result<Interpreter, DiffError> {
@@ -359,6 +396,7 @@ impl RtlBank {
             act_luts: BTreeMap::new(),
             lrn_units: BTreeMap::new(),
             assoc_tables: BTreeMap::new(),
+            vcd_enabled: false,
         };
         for sim in [&mut bank.neuron, &mut bank.pool_max, &mut bank.pool_avg] {
             sim.poke("rst", 1)?;
@@ -368,6 +406,76 @@ impl RtlBank {
             sim.poke("clear", 0)?;
         }
         Ok(bank)
+    }
+
+    /// Every block interpreter, tagged. Lazily elaborated blocks appear
+    /// once created.
+    fn modules_mut(&mut self) -> Vec<(String, &mut Interpreter)> {
+        let mut mods: Vec<(String, &mut Interpreter)> = vec![
+            ("neuron".to_string(), &mut self.neuron),
+            ("relu".to_string(), &mut self.relu),
+            ("pool_max".to_string(), &mut self.pool_max),
+            ("pool_avg".to_string(), &mut self.pool_avg),
+            ("cbox".to_string(), &mut self.cbox),
+            ("sorter".to_string(), &mut self.sorter),
+        ];
+        mods.extend(
+            self.act_luts
+                .iter_mut()
+                .map(|(k, v)| (format!("lut:{k}"), v)),
+        );
+        mods.extend(
+            self.lrn_units
+                .iter_mut()
+                .map(|(k, v)| (format!("lrn:{k}"), v)),
+        );
+        mods.extend(
+            self.assoc_tables
+                .iter_mut()
+                .map(|(k, v)| (format!("assoc:{k}"), v)),
+        );
+        mods
+    }
+
+    /// Turns on VCD recording for every block (existing and future).
+    fn enable_vcd(&mut self) {
+        self.vcd_enabled = true;
+        for (name, sim) in self.modules_mut() {
+            sim.vcd_begin(&name.replace(':', "_"));
+        }
+    }
+
+    /// Ends recording and returns `(tag, vcd text)` for every block that
+    /// was actually exercised (more than the initial dump).
+    fn collect_vcds(&mut self) -> Vec<(String, String)> {
+        self.modules_mut()
+            .into_iter()
+            .filter_map(|(name, sim)| {
+                let exercised = sim.vcd_timesteps() > 1;
+                sim.vcd_end().filter(|_| exercised).map(|text| (name, text))
+            })
+            .collect()
+    }
+
+    /// Interpreter work per block, descending by evaluation count; idle
+    /// blocks are omitted.
+    fn module_stats(&mut self) -> Vec<RtlModuleStats> {
+        let mut out: Vec<RtlModuleStats> = self
+            .modules_mut()
+            .into_iter()
+            .map(|(module, sim)| {
+                let s = sim.stats();
+                RtlModuleStats {
+                    module,
+                    clock_edges: s.clock_edges,
+                    settle_passes: s.settle_passes,
+                    evals: s.evals(),
+                }
+            })
+            .filter(|m| m.evals > 0)
+            .collect();
+        out.sort_by_key(|m| std::cmp::Reverse(m.evals));
+        out
     }
 
     fn to_fx(&self, bus: u64) -> Fx {
@@ -415,6 +523,7 @@ impl RtlBank {
     fn relu_eval(&mut self, x: Fx) -> Result<Fx, DiffError> {
         self.relu.poke("din", x.raw() as u64 & self.mask)?;
         let out = self.relu.read("dout")?;
+        self.relu.vcd_sample_now();
         Ok(self.to_fx(out))
     }
 
@@ -461,11 +570,15 @@ impl RtlBank {
             let (keys, vals) = block.rom_words();
             sim.load_memory("key_rom", &keys)?;
             sim.load_memory("val_rom", &vals)?;
+            if self.vcd_enabled {
+                sim.vcd_begin(&format!("lut_{tag}").replace(':', "_"));
+            }
             self.act_luts.insert(tag.to_string(), sim);
         }
         let sim = self.act_luts.get_mut(tag).expect("just inserted");
         sim.poke("din", x.raw() as u64 & self.mask)?;
         let out = sim.read("dout")?;
+        sim.vcd_sample_now();
         Ok(self.to_fx(out))
     }
 
@@ -492,6 +605,9 @@ impl RtlBank {
             let (keys, vals) = lut_block.rom_words();
             sim.load_memory("u_factor_lut.key_rom", &keys)?;
             sim.load_memory("u_factor_lut.val_rom", &vals)?;
+            if self.vcd_enabled {
+                sim.vcd_begin("lrn_unit");
+            }
             self.lrn_units.insert(layer.to_string(), sim);
         }
         let sim = self.lrn_units.get_mut(layer).expect("just inserted");
@@ -506,6 +622,7 @@ impl RtlBank {
         sim.poke("en", 0)?;
         sim.poke("centre", centre.raw() as u64 & self.mask)?;
         let out = sim.read("dout")?;
+        sim.vcd_sample_now();
         Ok(self.to_fx(out))
     }
 
@@ -522,6 +639,9 @@ impl RtlBank {
             sim.poke("we", 0)?;
             sim.poke("waddr", 0)?;
             sim.poke("wdata", 0)?;
+            if self.vcd_enabled {
+                sim.vcd_begin("assoc_table");
+            }
             self.assoc_tables.insert(layer.to_string(), sim);
         }
         let sim = self.assoc_tables.get_mut(layer).expect("just inserted");
@@ -554,6 +674,7 @@ impl RtlBank {
                 }
                 self.sorter.poke("din", bus)?;
                 let local = self.sorter.read("idx_out")? as usize;
+                self.sorter.vcd_sample_now();
                 next.push(chunk[local.min(chunk.len() - 1)]);
             }
             cands = next;
@@ -591,6 +712,7 @@ fn rtl_check_layer(
     weights: &WeightSet,
     luts: &LutImages,
     opts: &DiffOptions,
+    inject_fault: bool,
     divs: &mut Vec<Divergence>,
 ) -> Result<usize, DiffError> {
     let fmt = bank.fmt;
@@ -599,6 +721,13 @@ fn rtl_check_layer(
     let mut checked = 0usize;
     let mut mismatches = 0usize;
     let mut check = |idx: usize, got: Fx, want: Fx, divs: &mut Vec<Divergence>| {
+        // The fault-injection hook corrupts the RTL readback's LSB so the
+        // divergence-artifact machinery can be exercised on demand.
+        let got = if inject_fault {
+            Fx::from_raw(got.raw() ^ 1, fmt)
+        } else {
+            got
+        };
         checked += 1;
         if got.raw() != want.raw() {
             mismatches += 1;
@@ -1097,8 +1226,10 @@ pub fn diff_network(
         budget: String::new(),
         layers: Vec::new(),
         divergences: Vec::new(),
+        rtl_modules: Vec::new(),
     };
-    for layer in net.layers() {
+    let _span = trace::span("sim", "sim.diff");
+    for (layer_idx, layer) in net.layers().iter().enumerate() {
         // Functional view first: it defines the quantised truth the RTL
         // must match bit-for-bit.
         let fx_out = eval_fx_layer(layer, &fx_blobs, weights, input, luts, fmt)?;
@@ -1132,6 +1263,7 @@ pub fn diff_network(
             weights,
             luts,
             opts,
+            opts.inject_rtl_fault == Some(layer_idx),
             &mut report.divergences,
         )?;
         // Bounded tensor↔functional comparison.
@@ -1223,6 +1355,16 @@ pub fn diff_network(
             poisoned.insert(top.clone(), poison_out);
         }
     }
+    report.rtl_modules = bank.module_stats();
+    if trace::active() {
+        trace::counter("rtl", "rtl.checked", report.rtl_checked() as f64);
+        for agg in &report.rtl_modules {
+            trace::counter("rtl", "rtl.clock_edges", agg.clock_edges as f64);
+            trace::counter("rtl", "rtl.settle_passes", agg.settle_passes as f64);
+            trace::counter("rtl", "rtl.evals", agg.evals as f64);
+            trace::counter("rtl", format!("rtl.evals.{}", agg.module), agg.evals as f64);
+        }
+    }
     Ok(report)
 }
 
@@ -1294,6 +1436,148 @@ pub fn diff_design(
     )?;
     report.budget = design.budget.tag().to_string();
     Ok(report)
+}
+
+/// Re-executes a single layer through the RTL view with VCD waveform
+/// recording on every block interpreter, returning `(block tag, vcd
+/// text)` pairs for the blocks the layer exercised. This is the
+/// divergence-bundle capture path: after [`diff_network`] flags a layer,
+/// the harness replays just that layer and dumps the waveforms a hardware
+/// engineer would inspect.
+///
+/// The functional view is walked (without comparisons) up to `layer_name`
+/// to reconstruct the layer's quantised inputs.
+///
+/// # Errors
+///
+/// Returns [`DiffError`] if the layer does not exist or any view fails to
+/// execute.
+#[allow(clippy::too_many_arguments)]
+pub fn capture_layer_vcd(
+    net: &Network,
+    weights: &WeightSet,
+    input: &Tensor,
+    luts: &LutImages,
+    fmt: QFormat,
+    design_lanes: u32,
+    opts: &DiffOptions,
+    layer_name: &str,
+) -> Result<Vec<(String, String)>, DiffError> {
+    if input.shape() != net.input_shape() {
+        return Err(DiffError::Reference("input shape mismatch".into()));
+    }
+    let _span = trace::span("sim", "sim.capture_vcd");
+    let mut bank = RtlBank::new(fmt, design_lanes)?;
+    bank.enable_vcd();
+    let mut fx_blobs: BTreeMap<String, FxBlob> = BTreeMap::new();
+    for (layer_idx, layer) in net.layers().iter().enumerate() {
+        let fx_out = eval_fx_layer(layer, &fx_blobs, weights, input, luts, fmt)?;
+        if layer.name == layer_name {
+            let fx_ins: Vec<&FxBlob> = layer
+                .bottoms
+                .iter()
+                .filter_map(|b| fx_blobs.get(b))
+                .collect();
+            let mut divs = Vec::new();
+            rtl_check_layer(
+                &mut bank,
+                layer,
+                &fx_ins,
+                &fx_out,
+                weights,
+                luts,
+                opts,
+                opts.inject_rtl_fault == Some(layer_idx),
+                &mut divs,
+            )?;
+            return Ok(bank.collect_vcds());
+        }
+        for top in &layer.tops {
+            fx_blobs.insert(top.clone(), fx_out.clone());
+        }
+    }
+    Err(DiffError::Rtl(format!("layer `{layer_name}` not found")))
+}
+
+/// Renders a [`DiffReport`] as a machine-readable JSON document (the
+/// layer-audit half of a divergence artifact bundle).
+pub fn diff_report_json(report: &DiffReport) -> Json {
+    Json::obj([
+        ("network", Json::str(report.network.clone())),
+        ("budget", Json::str(report.budget.clone())),
+        ("clean", Json::Bool(report.is_clean())),
+        (
+            "layers",
+            Json::Arr(
+                report
+                    .layers
+                    .iter()
+                    .map(|l| {
+                        Json::obj([
+                            ("layer", Json::str(l.layer.clone())),
+                            ("kind", Json::str(l.kind.clone())),
+                            ("rtl_checked", Json::num(l.rtl_checked as f64)),
+                            ("ref_checked", Json::num(l.ref_checked as f64)),
+                            ("ref_skipped", Json::num(l.ref_skipped as f64)),
+                            ("tolerance", Json::num(l.tolerance)),
+                            ("max_ref_error", Json::num(l.max_ref_error)),
+                            (
+                                "skip_reason",
+                                match l.skip_reason {
+                                    Some(r) => Json::str(r),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "divergences",
+            Json::Arr(
+                report
+                    .divergences
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("layer", Json::str(d.layer.clone())),
+                            ("kind", Json::str(d.kind.clone())),
+                            (
+                                "views",
+                                Json::Arr(vec![
+                                    Json::str(d.views.0.to_string()),
+                                    Json::str(d.views.1.to_string()),
+                                ]),
+                            ),
+                            ("index", Json::num(d.index as f64)),
+                            ("lhs", Json::num(d.lhs)),
+                            ("rhs", Json::num(d.rhs)),
+                            ("tolerance", Json::num(d.tolerance)),
+                            ("detail", Json::str(d.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rtl_modules",
+            Json::Arr(
+                report
+                    .rtl_modules
+                    .iter()
+                    .map(|m| {
+                        Json::obj([
+                            ("module", Json::str(m.module.clone())),
+                            ("clock_edges", Json::num(m.clock_edges as f64)),
+                            ("settle_passes", Json::num(m.settle_passes as f64)),
+                            ("evals", Json::num(m.evals as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -1483,11 +1767,205 @@ mod tests {
             budget: "DB".into(),
             layers: vec![],
             divergences: vec![d],
+            rtl_modules: vec![],
         };
         assert!(!r.is_clean());
         assert_eq!(r.first_divergence().expect("one").layer, "conv1");
         let text = r.to_string();
         assert!(text.contains("DIVERGED"), "{text}");
         assert!(text.contains("conv1"), "{text}");
+    }
+
+    const MLP_SRC: &str = r#"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 6 height: 1 width: 1 } }
+    layers { name: "h" type: FC bottom: "data" top: "h"
+             param { num_output: 12 } }
+    layers { name: "sig" type: SIGMOID bottom: "h" top: "h" }
+    layers { name: "o" type: FC bottom: "h" top: "o"
+             param { num_output: 4 } }
+    "#;
+
+    fn mlp_fixture() -> (
+        deepburning_model::Network,
+        WeightSet,
+        LutImages,
+        Tensor,
+        CompilerConfig,
+    ) {
+        let net = parse_network(MLP_SRC).expect("parses");
+        let mut rng = StdRng::seed_from_u64(19);
+        let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let cfg = CompilerConfig::default();
+        let luts = generate_luts(&net, &cfg).expect("luts");
+        let input = Tensor::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0f32));
+        (net, ws, luts, input, cfg)
+    }
+
+    #[test]
+    fn injected_fault_forces_rtl_divergence() {
+        let (net, ws, luts, input, cfg) = mlp_fixture();
+        let opts = DiffOptions {
+            inject_rtl_fault: Some(1), // the "h" FC layer
+            ..DiffOptions::default()
+        };
+        let report =
+            diff_network(&net, &ws, &input, &luts, cfg.format, cfg.lanes, &opts).expect("runs");
+        assert!(!report.is_clean());
+        let d = report.first_divergence().expect("diverges");
+        assert_eq!(d.layer, "h");
+        assert_eq!(d.views, (View::Functional, View::Rtl));
+        assert_eq!(d.tolerance, 0.0);
+    }
+
+    #[test]
+    fn report_carries_rtl_module_stats() {
+        let (net, ws, luts, input, cfg) = mlp_fixture();
+        let report = diff_network(
+            &net,
+            &ws,
+            &input,
+            &luts,
+            cfg.format,
+            cfg.lanes,
+            &DiffOptions::default(),
+        )
+        .expect("runs");
+        assert!(!report.rtl_modules.is_empty());
+        let neuron = report
+            .rtl_modules
+            .iter()
+            .find(|m| m.module == "neuron")
+            .expect("neuron worked");
+        assert!(neuron.clock_edges > 0);
+        assert!(neuron.evals > 0);
+        // Descending by evals.
+        for w in report.rtl_modules.windows(2) {
+            assert!(w[0].evals >= w[1].evals);
+        }
+        let text = report.to_string();
+        assert!(text.contains("rtl interpreter work"), "{text}");
+    }
+
+    #[test]
+    fn capture_layer_vcd_dumps_exercised_blocks() {
+        let (net, ws, luts, input, cfg) = mlp_fixture();
+        let vcds = capture_layer_vcd(
+            &net,
+            &ws,
+            &input,
+            &luts,
+            cfg.format,
+            cfg.lanes,
+            &DiffOptions::default(),
+            "h",
+        )
+        .expect("captures");
+        assert_eq!(vcds.len(), 1, "only the neuron ran: {vcds:?}");
+        let (tag, text) = &vcds[0];
+        assert_eq!(tag, "neuron");
+        assert!(text.contains("$timescale 1 ns $end"), "{text}");
+        assert!(text.contains("$dumpvars"), "{text}");
+        assert!(text.contains("$enddefinitions $end"), "{text}");
+        // The sigmoid layer additionally exercises the LUT interpolator.
+        let vcds = capture_layer_vcd(
+            &net,
+            &ws,
+            &input,
+            &luts,
+            cfg.format,
+            cfg.lanes,
+            &DiffOptions::default(),
+            "sig",
+        )
+        .expect("captures");
+        assert!(
+            vcds.iter().any(|(t, _)| t == "lut:sigmoid"),
+            "{:?}",
+            vcds.iter().map(|(t, _)| t).collect::<Vec<_>>()
+        );
+        assert!(capture_layer_vcd(
+            &net,
+            &ws,
+            &input,
+            &luts,
+            cfg.format,
+            cfg.lanes,
+            &DiffOptions::default(),
+            "nonexistent",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let (net, ws, luts, input, cfg) = mlp_fixture();
+        let opts = DiffOptions {
+            inject_rtl_fault: Some(3),
+            ..DiffOptions::default()
+        };
+        let report =
+            diff_network(&net, &ws, &input, &luts, cfg.format, cfg.lanes, &opts).expect("runs");
+        let doc = diff_report_json(&report);
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("valid json");
+        assert!(
+            matches!(parsed.get("clean"), Some(Json::Bool(false))),
+            "{text}"
+        );
+        let layers = parsed.get("layers").and_then(Json::as_arr).expect("layers");
+        assert_eq!(layers.len(), report.layers.len());
+        let divs = parsed
+            .get("divergences")
+            .and_then(Json::as_arr)
+            .expect("divs");
+        assert!(!divs.is_empty());
+        assert_eq!(
+            divs[0].get("layer").and_then(Json::as_str),
+            Some("o"),
+            "{text}"
+        );
+        let modules = parsed
+            .get("rtl_modules")
+            .and_then(Json::as_arr)
+            .expect("modules");
+        assert!(!modules.is_empty());
+    }
+
+    #[test]
+    fn diff_emits_rtl_counters_when_traced() {
+        let (net, ws, luts, input, cfg) = mlp_fixture();
+        let tracer = deepburning_trace::Tracer::new();
+        {
+            let _session = deepburning_trace::install(&tracer);
+            diff_network(
+                &net,
+                &ws,
+                &input,
+                &luts,
+                cfg.format,
+                cfg.lanes,
+                &DiffOptions::default(),
+            )
+            .expect("runs");
+        }
+        let metrics = tracer.metrics();
+        let counters = metrics.get("counters").expect("counters");
+        assert!(
+            counters
+                .get("rtl.evals")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                > 0.0
+        );
+        assert!(
+            counters
+                .get("fx.layers")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                == 0.0,
+            "diff walks eval_fx_layer directly, not functional_forward_all"
+        );
+        deepburning_trace::validate_chrome_trace(&tracer.chrome_trace()).expect("valid trace");
     }
 }

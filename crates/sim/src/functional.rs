@@ -309,12 +309,28 @@ pub fn functional_forward_all(
     luts: &LutImages,
     fmt: QFormat,
 ) -> Result<BTreeMap<String, Tensor>, FunctionalError> {
+    use deepburning_trace as trace;
     if input.shape() != net.input_shape() {
         return Err(err("input", "input shape mismatch"));
     }
+    let _span = trace::span("sim", "sim.functional");
     let mut blobs: BTreeMap<String, FxBlob> = BTreeMap::new();
     for layer in net.layers() {
         let out = eval_fx_layer(layer, &blobs, weights, input, luts, fmt)?;
+        // One counter bump per layer, not per element — keeps the hot loops
+        // untouched.
+        if trace::active() {
+            trace::counter("sim", "fx.layers", 1.0);
+            trace::counter("sim", "fx.elements", out.data.len() as f64);
+            if matches!(
+                layer.kind,
+                LayerKind::Activation(Activation::Sigmoid | Activation::Tanh)
+                    | LayerKind::Lrn(_)
+                    | LayerKind::Recurrent { .. }
+            ) {
+                trace::counter("sim", "fx.lut_evals", out.data.len() as f64);
+            }
+        }
         for top in &layer.tops {
             blobs.insert(top.clone(), out.clone());
         }

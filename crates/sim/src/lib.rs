@@ -34,7 +34,8 @@ mod functional;
 mod timing;
 
 pub use diff::{
-    diff_design, diff_network, DiffError, DiffOptions, DiffReport, Divergence, LayerAudit, View,
+    capture_layer_vcd, diff_design, diff_network, diff_report_json, DiffError, DiffOptions,
+    DiffReport, Divergence, LayerAudit, RtlModuleStats, View,
 };
 pub use energy::{inference_energy, simulate_energy, EnergyParams, EnergyReport};
 pub use functional::{functional_forward, functional_forward_all, FunctionalError};

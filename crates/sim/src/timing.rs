@@ -130,6 +130,9 @@ pub fn simulate_folding(
     lanes: u32,
     params: &TimingParams,
 ) -> TimingReport {
+    use deepburning_trace as trace;
+    use deepburning_trace::json::Json;
+    let _span = trace::span("sim", "sim.timing");
     let mut phases = Vec::with_capacity(folding.phases.len());
     let mut total = 0u64;
     for phase in &folding.phases {
@@ -146,6 +149,23 @@ pub fn simulate_folding(
         } else {
             compute + dram + buffer + params.phase_overhead_cycles
         };
+        if trace::active() {
+            // One virtual microsecond per simulated cycle; each phase is a
+            // complete event on the "timing" track with its cycle
+            // attribution attached.
+            trace::virtual_event(
+                "sim",
+                "timing",
+                format!("{}#{}", phase.layer, phase.id),
+                total as f64,
+                latency as f64,
+                vec![
+                    ("compute_cycles".to_string(), Json::num(compute as f64)),
+                    ("dram_cycles".to_string(), Json::num(dram as f64)),
+                    ("buffer_cycles".to_string(), Json::num(buffer as f64)),
+                ],
+            );
+        }
         total += latency;
         phases.push(PhaseTiming {
             phase: phase.id,
@@ -154,6 +174,25 @@ pub fn simulate_folding(
             buffer_cycles: buffer,
             latency_cycles: latency,
         });
+    }
+    if trace::active() {
+        trace::counter("sim", "sim.timing.phases", phases.len() as f64);
+        trace::counter("sim", "sim.timing.total_cycles", total as f64);
+        trace::counter(
+            "sim",
+            "sim.timing.compute_cycles",
+            phases.iter().map(|p| p.compute_cycles).sum::<u64>() as f64,
+        );
+        trace::counter(
+            "sim",
+            "sim.timing.dram_cycles",
+            phases.iter().map(|p| p.dram_cycles).sum::<u64>() as f64,
+        );
+        trace::counter(
+            "sim",
+            "sim.timing.buffer_cycles",
+            phases.iter().map(|p| p.buffer_cycles).sum::<u64>() as f64,
+        );
     }
     TimingReport {
         phases,

@@ -15,6 +15,7 @@
 //! * module instances flattened recursively at construction.
 
 use crate::ast::*;
+use crate::vcd::VcdRecorder;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -59,6 +60,29 @@ struct Signal {
     value: Value,
 }
 
+/// Execution counters for one interpreter instance — the attribution data
+/// behind "where does the RTL view spend its time".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterpStats {
+    /// Rising clock edges executed.
+    pub clock_edges: u64,
+    /// Settle passes over the continuous assigns (each pass re-evaluates
+    /// every assign once).
+    pub settle_passes: u64,
+    /// Continuous-assign right-hand sides evaluated.
+    pub assign_evals: u64,
+    /// Non-blocking assignments committed on clock edges.
+    pub nba_writes: u64,
+}
+
+impl InterpStats {
+    /// Total expression evaluations attributable to this instance (the
+    /// assign fixed-point dominates interpreter cost).
+    pub fn evals(&self) -> u64 {
+        self.assign_evals + self.nba_writes
+    }
+}
+
 /// A flattened, executable instance of a [`Design`]'s module.
 ///
 /// # Examples
@@ -97,6 +121,12 @@ pub struct Interpreter {
     inputs: Vec<String>,
     /// Cycles executed so far.
     cycles: u64,
+    /// Execution counters.
+    stats: InterpStats,
+    /// Active waveform recorder (see [`Interpreter::vcd_begin`]) and the
+    /// dumped signal names in recorder order.
+    vcd: Option<Box<VcdRecorder>>,
+    vcd_names: Vec<String>,
 }
 
 fn prefixed(prefix: &str, name: &str) -> String {
@@ -210,6 +240,9 @@ impl Interpreter {
             clocked: Vec::new(),
             inputs: Vec::new(),
             cycles: 0,
+            stats: InterpStats::default(),
+            vcd: None,
+            vcd_names: Vec::new(),
         };
         // Top ports become plain signals the testbench reads/writes.
         for p in &module.ports {
@@ -522,6 +555,8 @@ impl Interpreter {
         for _ in 0..(self.assigns.len() + 2) {
             let mut changed = false;
             let assigns = self.assigns.clone();
+            self.stats.settle_passes += 1;
+            self.stats.assign_evals += assigns.len() as u64;
             for (lhs, rhs) in &assigns {
                 let (v, _) = self.eval(rhs)?;
                 let before = self.eval_lhs_current(lhs)?;
@@ -664,11 +699,15 @@ impl Interpreter {
                 self.run_stmts(body, &mut nba)?;
             }
         }
+        self.stats.nba_writes += nba.len() as u64;
         for (lhs, v) in nba {
             self.write_signal(&lhs, v)?;
         }
         self.cycles += 1;
-        self.settle()
+        self.stats.clock_edges += 1;
+        self.settle()?;
+        self.vcd_capture();
+        Ok(())
     }
 
     /// Cycles executed so far.
@@ -676,9 +715,66 @@ impl Interpreter {
         self.cycles
     }
 
+    /// Execution counters accumulated so far.
+    pub fn stats(&self) -> InterpStats {
+        self.stats
+    }
+
     /// Number of flattened signals (diagnostics).
     pub fn signal_count(&self) -> usize {
         self.signals.len()
+    }
+
+    // -- waveform recording -------------------------------------------------
+
+    /// Starts VCD waveform recording: every subsequent clock edge becomes
+    /// one 10 ns timestep (the paper's 100 MHz clock). Scalar signals are
+    /// dumped; memories are skipped. The current state is captured as the
+    /// `#0` initial dump.
+    pub fn vcd_begin(&mut self, top: &str) {
+        let signals: Vec<(String, u32)> = self
+            .signals
+            .iter()
+            .filter(|(_, s)| matches!(s.value, Value::Scalar(_)))
+            .map(|(name, s)| (name.clone(), s.width))
+            .collect();
+        self.vcd_names = signals.iter().map(|(n, _)| n.clone()).collect();
+        self.vcd = Some(Box::new(VcdRecorder::new(top, &signals, 10)));
+        self.vcd_capture();
+    }
+
+    /// Forces a sample outside a clock edge (used for purely combinational
+    /// blocks driven through pokes).
+    pub fn vcd_sample_now(&mut self) {
+        self.vcd_capture();
+    }
+
+    /// Stops recording and returns the VCD document, or `None` if
+    /// [`Interpreter::vcd_begin`] was never called.
+    pub fn vcd_end(&mut self) -> Option<String> {
+        self.vcd_names.clear();
+        self.vcd.take().map(|rec| rec.render())
+    }
+
+    /// Timesteps recorded so far (including the initial dump), or 0 when
+    /// not recording.
+    pub fn vcd_timesteps(&self) -> u64 {
+        self.vcd.as_ref().map(|r| r.timesteps()).unwrap_or(0)
+    }
+
+    fn vcd_capture(&mut self) {
+        if let Some(mut rec) = self.vcd.take() {
+            let values: Vec<u64> = self
+                .vcd_names
+                .iter()
+                .map(|n| match self.signals.get(n).map(|s| (&s.value, s.width)) {
+                    Some((Value::Scalar(v), w)) => *v & mask(w),
+                    _ => 0,
+                })
+                .collect();
+            rec.sample(&values);
+            self.vcd = Some(rec);
+        }
     }
 }
 
@@ -873,6 +969,69 @@ mod tests {
         assert_eq!(sim.read("y").expect("read"), 0b1100_0000); // -64
         sim.poke("x", 8).expect("poke");
         assert_eq!(sim.read("y").expect("read"), 4);
+    }
+
+    #[test]
+    fn stats_count_edges_and_evals() {
+        let mut sim = Interpreter::elaborate(&Design::new(counter(8)), "counter").expect("elab");
+        let after_elab = sim.stats();
+        assert!(after_elab.settle_passes > 0, "elaboration settles once");
+        for _ in 0..5 {
+            sim.clock().expect("clock");
+        }
+        let s = sim.stats();
+        assert_eq!(s.clock_edges, 5);
+        assert_eq!(s.nba_writes, 5);
+        assert!(s.assign_evals > after_elab.assign_evals);
+        assert!(s.evals() >= s.assign_evals);
+    }
+
+    #[test]
+    fn vcd_records_cycles_and_header() {
+        let mut sim = Interpreter::elaborate(&Design::new(counter(4)), "counter").expect("elab");
+        sim.vcd_begin("counter");
+        for _ in 0..7 {
+            sim.clock().expect("clock");
+        }
+        // Initial dump + one timestep per clock edge.
+        assert_eq!(sim.vcd_timesteps(), 1 + sim.cycles());
+        let vcd = sim.vcd_end().expect("recording was active");
+        assert!(sim.vcd_end().is_none(), "recording stops after vcd_end");
+        assert!(vcd.starts_with("$date"), "{vcd}");
+        assert!(vcd.contains("$timescale 1 ns $end"), "{vcd}");
+        assert!(vcd.contains("$scope module counter $end"), "{vcd}");
+        assert!(vcd.contains("$enddefinitions $end"), "{vcd}");
+        assert!(vcd.contains("$dumpvars"), "{vcd}");
+        // 7 clocks at 10 ns: the last change stamp is #70.
+        assert!(vcd.contains("\n#70\n"), "{vcd}");
+        // The 4-bit count register is dumped as a binary vector.
+        assert!(vcd.contains("b0111 "), "{vcd}");
+    }
+
+    #[test]
+    fn vcd_hierarchy_scopes() {
+        let mut top = VModule::new("top");
+        top.port(Port::input("clk", 1))
+            .port(Port::input("rst", 1))
+            .port(Port::output("q", 8));
+        top.item(Item::Instance {
+            module: "counter".into(),
+            name: "u0".into(),
+            params: vec![],
+            connections: vec![
+                ("clk".into(), Expr::id("clk")),
+                ("rst".into(), Expr::id("rst")),
+                ("q".into(), Expr::id("q")),
+            ],
+        });
+        let mut d = Design::new(top);
+        d.add_module(counter(8));
+        let mut sim = Interpreter::elaborate(&d, "top").expect("elab");
+        sim.vcd_begin("top");
+        sim.clock().expect("clock");
+        let vcd = sim.vcd_end().expect("vcd");
+        assert!(vcd.contains("$scope module u0 $end"), "{vcd}");
+        assert!(vcd.contains("$var wire 8 "), "{vcd}");
     }
 
     #[test]

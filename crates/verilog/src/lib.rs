@@ -28,15 +28,17 @@ mod emit;
 mod interp;
 mod lint;
 mod testbench;
+mod vcd;
 
 pub use ast::{
     BinaryOp, Design, Expr, Item, NetDecl, NetKind, Port, PortDir, Sensitivity, Stmt, UnaryOp,
     VModule,
 };
 pub use emit::{emit_design, emit_expr, emit_module};
-pub use interp::{Interpreter, SimulateError};
+pub use interp::{InterpStats, Interpreter, SimulateError};
 pub use lint::{lint_design, LintIssue, LintReport, Severity};
 pub use testbench::{emit_testbench, TestbenchOptions};
+pub use vcd::VcdRecorder;
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,155 @@
+//! End-to-end acceptance tests for the instrumentation layer: QFormat
+//! overrides stay differentially clean, the tracer captures the full
+//! pipeline, and a forced RTL divergence yields an artifact bundle.
+
+use deepburning_bench::write_divergence_bundle;
+use deepburning_core::{derive_config_for_format, generate, generate_with_config, Budget};
+use deepburning_fixed::QFormat;
+use deepburning_model::{parse_network, Network};
+use deepburning_sim::{diff_design, DiffOptions};
+use deepburning_tensor::{Init, Tensor, WeightSet};
+use deepburning_trace as trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_net() -> Network {
+    parse_network(
+        r#"
+        layers { name: "data" type: INPUT top: "data"
+                 input_param { channels: 6 height: 1 width: 1 } }
+        layers { name: "h" type: FC bottom: "data" top: "h"
+                 param { num_output: 10 } }
+        layers { name: "relu" type: RELU bottom: "h" top: "h" }
+        layers { name: "o" type: FC bottom: "h" top: "o"
+                 param { num_output: 4 } }
+        "#,
+    )
+    .expect("parses")
+}
+
+fn fixture(net: &Network, seed: u64) -> (WeightSet, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ws = WeightSet::init(net, Init::Xavier, &mut rng).expect("init");
+    let input = Tensor::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0f32));
+    (ws, input)
+}
+
+/// Satellite: non-default quantisation formats flow from the budget
+/// derivation through generation and stay clean under the differential
+/// checker — Q4.12 (precision-heavy) and Q12.4 (range-heavy).
+#[test]
+fn qformat_overrides_diff_clean() {
+    let net = small_net();
+    let (ws, input) = fixture(&net, 41);
+    for (frac, label) in [(12u32, "Q4.12"), (4u32, "Q12.4")] {
+        let fmt = QFormat::new(16, frac).expect("valid format");
+        let cfg = derive_config_for_format(&Budget::Small, fmt);
+        assert_eq!(cfg.format, fmt, "{label}: override must stick");
+        let design = generate_with_config(&net, &Budget::Small, &cfg).expect("generates");
+        assert_eq!(design.compiled.config.format, fmt, "{label}");
+        let report =
+            diff_design(&design, &net, &ws, &input, &DiffOptions::default()).expect("diff runs");
+        assert!(report.is_clean(), "{label} diverged:\n{report}");
+        assert!(report.rtl_checked() > 0, "{label}: rtl view must run");
+    }
+}
+
+/// Tentpole: one tracer installed around the whole pipeline captures
+/// compiler stages, generator stages and interpreter work, and both
+/// export sinks are valid.
+#[test]
+fn pipeline_trace_is_complete_and_valid() {
+    let net = small_net();
+    let (ws, input) = fixture(&net, 42);
+    let tracer = trace::Tracer::new();
+    {
+        let _session = trace::install(&tracer);
+        let design = generate(&net, &Budget::Small).expect("generates");
+        let report =
+            diff_design(&design, &net, &ws, &input, &DiffOptions::default()).expect("diff runs");
+        assert!(report.is_clean(), "{report}");
+    }
+    let events = trace::validate_chrome_trace(&tracer.chrome_trace()).expect("valid trace");
+    assert!(events > 0);
+    let metrics = tracer.metrics();
+    let spans = metrics
+        .get("spans")
+        .and_then(|s| s.as_arr())
+        .expect("spans");
+    for required in ["core.generate", "compiler.compile", "sim.diff"] {
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.get("name").and_then(|n| n.as_str()) == Some(required)),
+            "span {required} missing"
+        );
+    }
+    let counters = metrics
+        .get("counters")
+        .and_then(|c| c.as_obj())
+        .expect("counters");
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or(0.0)
+    };
+    assert!(counter("rtl.evals") > 0.0, "interpreter eval counter");
+    assert!(counter("compiler.phases") > 0.0, "compiler counter");
+}
+
+/// Tentpole: a forced Functional↔RTL divergence produces the artifact
+/// bundle — layer-audit JSON naming the diverging layer plus VCD
+/// waveforms of the blocks that layer exercised.
+#[test]
+fn forced_divergence_writes_bundle() {
+    let net = small_net();
+    let (ws, input) = fixture(&net, 43);
+    let design = generate(&net, &Budget::Small).expect("generates");
+    let opts = DiffOptions {
+        inject_rtl_fault: Some(1), // layer index 1 = "h"
+        ..DiffOptions::default()
+    };
+    let report = diff_design(&design, &net, &ws, &input, &opts).expect("diff runs");
+    assert!(!report.is_clean(), "fault injection must diverge");
+    assert_eq!(report.first_divergence().expect("divergence").layer, "h");
+
+    let dir = std::env::temp_dir().join(format!("db-observability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let written = write_divergence_bundle(
+        &dir,
+        "observability @ DB-S",
+        &net,
+        &ws,
+        &input,
+        &design.compiled.luts,
+        design.compiled.config.format,
+        design.compiled.config.lanes,
+        &opts,
+        &report,
+    )
+    .expect("bundle writes");
+    let has = |ext: &str| {
+        written
+            .iter()
+            .any(|p| p.extension().is_some_and(|e| e == ext))
+    };
+    assert!(has("json"), "audit json in {written:?}");
+    assert!(has("vcd"), "waveform in {written:?}");
+    let audit = written
+        .iter()
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .unwrap();
+    let doc = trace::json::Json::parse(&std::fs::read_to_string(audit).expect("readable"))
+        .expect("valid json");
+    assert!(matches!(
+        doc.get("clean"),
+        Some(trace::json::Json::Bool(false))
+    ));
+    assert!(doc
+        .get("divergences")
+        .and_then(|d| d.as_arr())
+        .is_some_and(|d| !d.is_empty()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
