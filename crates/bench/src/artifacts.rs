@@ -98,6 +98,7 @@ mod tests {
             layers: vec![],
             divergences: vec![],
             rtl_modules: vec![],
+            counters: None,
         };
         let net = parse_network(
             r#"layers { name: "data" type: INPUT top: "data"

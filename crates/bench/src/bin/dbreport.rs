@@ -1,0 +1,232 @@
+//! Performance-counter observability report: runs one zoo benchmark
+//! through generation and the analytic timing model, cross-checks the
+//! generated `perf_counters` RTL block against the analytic counter set
+//! (the fourth verification view, DESIGN.md §10), and writes:
+//!
+//! * `report.json` — per-layer utilisation, compute-vs-memory stall
+//!   breakdown, buffer-occupancy series and roofline placement;
+//! * a human-readable table on stdout.
+//!
+//! ```text
+//! dbreport <benchmark> [--budget small|medium|large] [--out DIR]
+//!          [--beat-cap N] [--bench-json] [--check]
+//! ```
+//!
+//! `--bench-json` additionally writes `BENCH_<name>.json` (headline
+//! cycles, utilisation, stall split) — the committed-baseline format the
+//! CI drift diff uses. `--check` re-parses `report.json` and validates
+//! the schema plus a clean counter cross-check, exiting nonzero
+//! otherwise — the CI smoke mode.
+
+use deepburning_baselines::{zoo, Benchmark};
+use deepburning_bench::{bench_summary_json, build_report, render_report_table, report_json};
+use deepburning_core::{generate, Budget};
+use deepburning_sim::{verify_counters, TimingParams, DEFAULT_BEAT_CAP};
+use deepburning_trace::json::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn benchmarks() -> Vec<Benchmark> {
+    let mut list = zoo::all_benchmarks();
+    for extra in [
+        zoo::alexnet_micro(),
+        zoo::nin_micro(),
+        zoo::googlenet_slice(),
+    ] {
+        if !list.iter().any(|b| b.name == extra.name) {
+            list.push(extra);
+        }
+    }
+    list
+}
+
+/// Name matching ignores case and punctuation so `alexnet-micro` finds
+/// `Alexnet(micro)` and `ann0` finds `ANN-0`.
+fn canon(name: &str) -> String {
+    name.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+struct Args {
+    benchmark: String,
+    budget: Budget,
+    out: PathBuf,
+    beat_cap: u64,
+    bench_json: bool,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        benchmark: String::new(),
+        budget: Budget::Medium,
+        out: PathBuf::from("target/dbreport"),
+        beat_cap: DEFAULT_BEAT_CAP,
+        bench_json: false,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                args.budget = match v.as_str() {
+                    "small" => Budget::Small,
+                    "medium" => Budget::Medium,
+                    "large" => Budget::Large,
+                    other => return Err(format!("unknown budget `{other}`")),
+                };
+            }
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--beat-cap" => {
+                args.beat_cap = it
+                    .next()
+                    .ok_or("--beat-cap needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--beat-cap: {e}"))?;
+            }
+            "--bench-json" => args.bench_json = true,
+            "--check" => args.check = true,
+            other if args.benchmark.is_empty() && !other.starts_with('-') => {
+                args.benchmark = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.benchmark.is_empty() {
+        return Err("usage: dbreport <benchmark> [--budget small|medium|large] \
+                    [--out DIR] [--beat-cap N] [--bench-json] [--check]"
+            .into());
+    }
+    Ok(args)
+}
+
+/// Validates the `report.json` schema: required top-level keys, the eight
+/// register-map counters, roofline and stall fields, and a clean counter
+/// cross-check.
+fn check_report(doc: &Json) -> Result<(), String> {
+    for key in ["benchmark", "budget", "lanes", "counters", "layers"] {
+        if doc.get(key).is_none() {
+            return Err(format!("report.json missing `{key}`"));
+        }
+    }
+    let counters = doc.get("counters").ok_or("missing counters")?;
+    for reg in deepburning_components::PERF_REG_NAMES {
+        let key = if reg == "buffer_peak" {
+            "buffer_peak_words".to_string()
+        } else {
+            reg.to_string()
+        };
+        if counters.get(&key).and_then(Json::as_f64).is_none() {
+            return Err(format!("report.json counters missing `{key}`"));
+        }
+    }
+    let stalls = doc.get("stalls").ok_or("report.json missing `stalls`")?;
+    for key in [
+        "total_cycles",
+        "active_cycles",
+        "memory_bound_cycles",
+        "overhead_cycles",
+    ] {
+        if stalls.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("report.json stalls missing `{key}`"));
+        }
+    }
+    let roof = doc
+        .get("roofline")
+        .ok_or("report.json missing `roofline`")?;
+    for key in [
+        "intensity_ops_per_byte",
+        "attained_ops_per_cycle",
+        "lane_peak_ops_per_cycle",
+        "dsp_peak_ops_per_cycle",
+        "bandwidth_ops_per_cycle",
+    ] {
+        if roof.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("report.json roofline missing `{key}`"));
+        }
+    }
+    if !matches!(
+        roof.get("bound").and_then(Json::as_str),
+        Some("compute") | Some("memory")
+    ) {
+        return Err("report.json roofline `bound` must be compute|memory".into());
+    }
+    let check = doc
+        .get("counter_check")
+        .ok_or("report.json missing `counter_check`")?;
+    match check.get("clean") {
+        Some(Json::Bool(true)) => Ok(()),
+        Some(Json::Bool(false)) => Err("counter cross-check diverged".into()),
+        _ => Err("report.json counter_check missing `clean`".into()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| canon(b.name) == canon(&args.benchmark))
+        .ok_or_else(|| {
+            format!(
+                "unknown benchmark `{}`; available: {}",
+                args.benchmark,
+                benchmarks()
+                    .iter()
+                    .map(|b| b.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+
+    let params = TimingParams::default();
+    let design =
+        generate(&bench.network, &args.budget).map_err(|e| format!("generation failed: {e}"))?;
+    let mut report = build_report(bench.name, &design, &params);
+    let check = verify_counters(&design.design, &design.compiled, &params, args.beat_cap)
+        .map_err(|e| format!("counter cross-check failed: {e}"))?;
+    report.counter_check = Some((check.is_clean(), check.cycle_slack));
+
+    print!("{}", render_report_table(&report));
+    if !check.is_clean() {
+        for d in &check.divergences {
+            eprintln!("dbreport: counter divergence: {d}");
+        }
+    }
+
+    let doc = report_json(&report);
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("mkdir {:?}: {e}", args.out))?;
+    let report_path = args.out.join("report.json");
+    std::fs::write(&report_path, doc.render())
+        .map_err(|e| format!("write {report_path:?}: {e}"))?;
+    println!("wrote {}", report_path.display());
+    if args.bench_json {
+        let bench_path = args.out.join(format!("BENCH_{}.json", canon(bench.name)));
+        std::fs::write(&bench_path, bench_summary_json(&report).render())
+            .map_err(|e| format!("write {bench_path:?}: {e}"))?;
+        println!("wrote {}", bench_path.display());
+    }
+
+    if args.check {
+        let text = std::fs::read_to_string(&report_path)
+            .map_err(|e| format!("read back {report_path:?}: {e}"))?;
+        let parsed = Json::parse(&text).map_err(|e| format!("report.json invalid: {e}"))?;
+        check_report(&parsed)?;
+        println!("check ok: schema valid, counter cross-check clean");
+    } else if !check.is_clean() {
+        return Err("counter cross-check diverged".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dbreport: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

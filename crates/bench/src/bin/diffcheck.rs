@@ -16,11 +16,19 @@
 //! exercised) is written under `--artifacts DIR` (default
 //! `target/diffcheck-artifacts`) for CI to upload.
 //!
+//! `--formats Q4.12,Q12.4` switches to the fixed-point-format sweep: a
+//! reduced subset of tiny zoo networks is regenerated at the Small tier
+//! under each QFormat override (`derive_config_for_format`) and run
+//! through the same differential check, covering the quantisation
+//! corners the default Q8.8 sweep never exercises. `Q<i>.<f>` means `i`
+//! integer bits (sign included) and `f` fraction bits.
+//!
 //! Run with `--release` — the RTL view interprets elaborated netlists.
 
 use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
 use deepburning_bench::write_divergence_bundle;
-use deepburning_core::{generate, Budget};
+use deepburning_core::{derive_config_for_format, generate, generate_with_config, Budget};
+use deepburning_fixed::QFormat;
 use deepburning_sim::{diff_design, DiffOptions};
 use deepburning_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -47,6 +55,104 @@ fn benchmarks() -> Vec<Benchmark> {
     ]
 }
 
+/// The tiny networks of the `--formats` sweep: small enough that every
+/// format runs in seconds, yet together they cover conv, pooling,
+/// activation-LUT and FC quantisation paths.
+fn format_sweep_benchmarks() -> Vec<Benchmark> {
+    vec![
+        zoo::ann0(),
+        zoo::ann1(),
+        zoo::ann2(),
+        zoo::cmac(),
+        zoo::mnist(),
+    ]
+}
+
+/// Parses `Q<i>.<f>` with `i` integer bits (sign included) and `f`
+/// fraction bits, e.g. `Q4.12` → 16-bit word with 12 fraction bits.
+fn parse_format(spec: &str) -> Result<QFormat, String> {
+    let body = spec
+        .trim()
+        .strip_prefix(['Q', 'q'])
+        .ok_or_else(|| format!("format `{spec}` must start with `Q`"))?;
+    let (int, frac) = body
+        .split_once('.')
+        .ok_or_else(|| format!("format `{spec}` must look like Q<int>.<frac>"))?;
+    let int: u32 = int
+        .parse()
+        .map_err(|e| format!("format `{spec}` integer bits: {e}"))?;
+    let frac: u32 = frac
+        .parse()
+        .map_err(|e| format!("format `{spec}` fraction bits: {e}"))?;
+    QFormat::new(int + frac, frac).map_err(|e| format!("format `{spec}`: {e}"))
+}
+
+struct Sweep {
+    verbose: bool,
+    artifacts_dir: PathBuf,
+    opts: DiffOptions,
+    runs: usize,
+    failures: usize,
+}
+
+impl Sweep {
+    fn run_one(
+        &mut self,
+        bench: &Benchmark,
+        design: &deepburning_core::AcceleratorDesign,
+        label: &str,
+    ) {
+        // Same seed across tiers and formats: a configuration-dependent
+        // divergence then points at configuration handling, not at the
+        // input.
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ bench.name.len() as u64);
+        let ws = pseudo_weights(bench, &mut rng);
+        let input = Tensor::from_fn(bench.network.input_shape(), |_, _, _| {
+            rng.gen_range(-1.0..1.0f32)
+        });
+        match diff_design(design, &bench.network, &ws, &input, &self.opts) {
+            Ok(report) => {
+                self.runs += 1;
+                if report.is_clean() {
+                    let exact = report.rtl_checked();
+                    println!("ok    {label:<24} {exact:>5} rtl-exact elements");
+                    if self.verbose {
+                        print!("{report}");
+                    }
+                } else {
+                    self.runs -= 1;
+                    self.failures += 1;
+                    println!("FAIL  {label:<24}");
+                    print!("{report}");
+                    match write_divergence_bundle(
+                        &self.artifacts_dir,
+                        label,
+                        &bench.network,
+                        &ws,
+                        &input,
+                        &design.compiled.luts,
+                        design.compiled.config.format,
+                        design.compiled.config.lanes,
+                        &self.opts,
+                        &report,
+                    ) {
+                        Ok(paths) => {
+                            for p in paths {
+                                println!("      wrote {}", p.display());
+                            }
+                        }
+                        Err(e) => println!("      artifact bundle failed: {e}"),
+                    }
+                }
+            }
+            Err(e) => {
+                self.failures += 1;
+                println!("FAIL  {label:<24} {e}");
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().collect();
     let verbose = argv.iter().any(|a| a == "--verbose" || a == "-v");
@@ -58,75 +164,64 @@ fn main() -> ExitCode {
             || PathBuf::from("target/diffcheck-artifacts"),
             PathBuf::from,
         );
-    let opts = DiffOptions {
-        max_rtl_samples: 32,
-        ..DiffOptions::default()
+    let formats: Vec<QFormat> = match argv
+        .iter()
+        .position(|a| a == "--formats")
+        .and_then(|i| argv.get(i + 1))
+    {
+        Some(list) => match list.split(',').map(parse_format).collect() {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("diffcheck: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Vec::new(),
     };
-    let tiers = [Budget::Small, Budget::Medium, Budget::Large];
-    let mut failures = 0usize;
-    let mut runs = 0usize;
-    println!("differential check: tensor / functional / rtl views\n");
-    for bench in benchmarks() {
-        for budget in &tiers {
-            let label = format!("{} @ {}", bench.name, budget.tag());
-            let design = match generate(&bench.network, budget) {
-                Ok(d) => d,
-                Err(e) => {
-                    println!("FAIL  {label:<24} generation: {e}");
-                    failures += 1;
-                    continue;
-                }
-            };
-            // Same seed across tiers: a tier-dependent divergence then
-            // points at configuration handling, not at the input.
-            let mut rng = StdRng::seed_from_u64(0xD1FF ^ bench.name.len() as u64);
-            let ws = pseudo_weights(&bench, &mut rng);
-            let input = Tensor::from_fn(bench.network.input_shape(), |_, _, _| {
-                rng.gen_range(-1.0..1.0f32)
-            });
-            match diff_design(&design, &bench.network, &ws, &input, &opts) {
-                Ok(report) => {
-                    runs += 1;
-                    if report.is_clean() {
-                        let exact = report.rtl_checked();
-                        println!("ok    {label:<24} {exact:>5} rtl-exact elements");
-                        if verbose {
-                            print!("{report}");
-                        }
-                    } else {
-                        failures += 1;
-                        println!("FAIL  {label:<24}");
-                        print!("{report}");
-                        match write_divergence_bundle(
-                            &artifacts_dir,
-                            &label,
-                            &bench.network,
-                            &ws,
-                            &input,
-                            &design.compiled.luts,
-                            design.compiled.config.format,
-                            design.compiled.config.lanes,
-                            &opts,
-                            &report,
-                        ) {
-                            Ok(paths) => {
-                                for p in paths {
-                                    println!("      wrote {}", p.display());
-                                }
-                            }
-                            Err(e) => println!("      artifact bundle failed: {e}"),
-                        }
+    let mut sweep = Sweep {
+        verbose,
+        artifacts_dir,
+        opts: DiffOptions {
+            max_rtl_samples: 32,
+            ..DiffOptions::default()
+        },
+        runs: 0,
+        failures: 0,
+    };
+    if formats.is_empty() {
+        let tiers = [Budget::Small, Budget::Medium, Budget::Large];
+        println!("differential check: tensor / functional / rtl views\n");
+        for bench in benchmarks() {
+            for budget in &tiers {
+                let label = format!("{} @ {}", bench.name, budget.tag());
+                match generate(&bench.network, budget) {
+                    Ok(d) => sweep.run_one(&bench, &d, &label),
+                    Err(e) => {
+                        println!("FAIL  {label:<24} generation: {e}");
+                        sweep.failures += 1;
                     }
                 }
-                Err(e) => {
-                    failures += 1;
-                    println!("FAIL  {label:<24} {e}");
+            }
+        }
+    } else {
+        println!("differential check: QFormat override sweep\n");
+        let budget = Budget::Small;
+        for format in &formats {
+            for bench in format_sweep_benchmarks() {
+                let label = format!("{} @ {}/{}", bench.name, budget.tag(), format);
+                let cfg = derive_config_for_format(&budget, *format);
+                match generate_with_config(&bench.network, &budget, &cfg) {
+                    Ok(d) => sweep.run_one(&bench, &d, &label),
+                    Err(e) => {
+                        println!("FAIL  {label:<24} generation: {e}");
+                        sweep.failures += 1;
+                    }
                 }
             }
         }
     }
-    println!("\n{runs} clean runs, {failures} failures");
-    if failures == 0 {
+    println!("\n{} clean runs, {} failures", sweep.runs, sweep.failures);
+    if sweep.failures == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -6,8 +6,13 @@
 //! and a matching Criterion bench measuring the pipeline that produces it.
 
 mod artifacts;
+mod report;
 
 pub use artifacts::write_divergence_bundle;
+pub use report::{
+    bench_summary_json, build_report, render_report_table, report_json, LayerProfile, PerfReport,
+    Roofline, StallBreakdown,
+};
 
 use deepburning_baselines::{
     custom_design, custom_timing_params, Benchmark, CpuModel, ZhangFpga15,

@@ -49,6 +49,11 @@ pub struct ControlStep {
     pub event: String,
     /// Crossbar configuration for the phase.
     pub reconnections: Vec<Reconnection>,
+    /// Synergy lanes the phase keeps busy — the per-phase MAC increment
+    /// the generated `perf_counters` block charges on every data-valid
+    /// cycle (zero for non-compute phases). Stored in the `ctx_lanes`
+    /// context ROM.
+    pub counter_lanes: u32,
 }
 
 /// The full control schedule.
@@ -67,6 +72,15 @@ impl ControlSchedule {
         configs.sort();
         configs.dedup();
         configs.len()
+    }
+
+    /// The `ctx_lanes` ROM image: one word per phase holding the phase's
+    /// MAC-per-cycle increment for the performance counters.
+    pub fn counter_lane_words(&self) -> Vec<u64> {
+        self.steps
+            .iter()
+            .map(|s| u64::from(s.counter_lanes))
+            .collect()
     }
 }
 
@@ -107,6 +121,11 @@ pub fn build_schedule(plan: &FoldingPlan) -> ControlSchedule {
                 phase: phase.id,
                 event: phase.event.clone(),
                 reconnections,
+                counter_lanes: if phase.kind == PhaseKind::Compute {
+                    phase.active_lanes.max(1)
+                } else {
+                    0
+                },
             }
         })
         .collect();
@@ -215,6 +234,22 @@ mod tests {
         let s = build_schedule(&p);
         let last = s.steps.last().expect("steps");
         assert!(last.reconnections.iter().any(|r| r.to == blocks::KSORTER));
+    }
+
+    #[test]
+    fn counter_lanes_follow_phase_kind() {
+        let p = plan();
+        let s = build_schedule(&p);
+        let words = s.counter_lane_words();
+        assert_eq!(words.len(), p.phases.len());
+        for (phase, word) in p.phases.iter().zip(&words) {
+            if phase.kind == PhaseKind::Compute {
+                assert_eq!(*word, u64::from(phase.active_lanes.max(1)));
+                assert!(*word > 0);
+            } else {
+                assert_eq!(*word, 0, "non-compute phase {} charges MACs", phase.id);
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ mod control;
 mod cost;
 mod datapath;
 mod memory;
+mod perf;
 
 pub use control::{AguBlock, AguClass, AguPattern, Coordinator};
 pub use cost::{adder_luts, comparator_luts, dsps_per_multiplier, mux_luts, ResourceCost};
@@ -30,6 +31,10 @@ pub use datapath::{
     AccumulatorBlock, ActivationUnit, DropOutUnit, KSorter, PoolingUnit, SynergyNeuron,
 };
 pub use memory::{ApproxLutBlock, BufferBlock, ConnectionBox, LrnUnit};
+pub use perf::{
+    PerfCounters, PERF_REG_NAMES, PERF_SEL_ACTIVE, PERF_SEL_BUF_READS, PERF_SEL_BUF_WRITES,
+    PERF_SEL_BURSTS, PERF_SEL_CYCLES, PERF_SEL_MACS, PERF_SEL_PEAK, PERF_SEL_STALL,
+};
 
 use deepburning_verilog::VModule;
 

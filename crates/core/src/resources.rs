@@ -7,8 +7,8 @@
 use deepburning_compiler::{CompiledNetwork, PhaseKind};
 use deepburning_components::{
     AccumulatorBlock, ActivationUnit, AguBlock, AguClass, AguPattern, ApproxLutBlock, Block,
-    BufferBlock, ConnectionBox, Coordinator, DropOutUnit, KSorter, LrnUnit, PoolingUnit,
-    ResourceCost, SynergyNeuron,
+    BufferBlock, ConnectionBox, Coordinator, DropOutUnit, KSorter, LrnUnit, PerfCounters,
+    PoolingUnit, ResourceCost, SynergyNeuron,
 };
 use deepburning_model::{LayerKind, Network, PoolMethod};
 
@@ -192,6 +192,9 @@ pub fn estimate_resources(net: &Network, compiled: &CompiledNetwork) -> Resource
     report.push(&Coordinator {
         phases: compiled.folding.phases.len().max(1) as u32,
     });
+
+    // Performance counters (always instantiated by `assemble_top`).
+    report.push(&PerfCounters::default());
 
     report
 }

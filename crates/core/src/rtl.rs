@@ -9,7 +9,7 @@ use crate::resources::collect_patterns;
 use deepburning_compiler::CompiledNetwork;
 use deepburning_components::{
     AccumulatorBlock, ActivationUnit, AguBlock, AguClass, ApproxLutBlock, Block, BufferBlock,
-    ConnectionBox, Coordinator, KSorter, PoolingUnit, SynergyNeuron,
+    ConnectionBox, Coordinator, KSorter, PerfCounters, PoolingUnit, SynergyNeuron,
 };
 use deepburning_model::{LayerKind, Network, PoolMethod};
 use deepburning_verilog::{Design, Expr, Item, NetDecl, Port, VModule};
@@ -111,6 +111,7 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
     });
 
     let mut top = VModule::new(format!("{}_accelerator", sanitize(net.name())));
+    let perf = PerfCounters::default();
     top.port(Port::input("clk", 1))
         .port(Port::input("rst", 1))
         .port(Port::input("start", 1))
@@ -119,7 +120,9 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
         .port(Port::input("dram_rdata", bus))
         .port(Port::output("dram_wdata", bus))
         .port(Port::output("dram_req", 1))
-        .port(Port::output("dram_we", 1));
+        .port(Port::output("dram_we", 1))
+        .port(Port::input("perf_sel", perf.sel_width()))
+        .port(Port::output("perf_rdata", perf.width));
 
     // ---- coordinator + context ROMs -------------------------------------
     let pw = coord.phase_width();
@@ -155,6 +158,7 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
         ("ctx_trig_weight", pn_weight),
         ("ctx_sel", cbox.select_width() * 2),
         ("ctx_shift", 8u32),
+        ("ctx_lanes", perf.inc_width),
     ] {
         top.item(Item::Net(NetDecl::memory(rom, width, phases as usize)));
     }
@@ -432,6 +436,79 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
         ),
     });
 
+    // ---- performance counters -------------------------------------------------
+    // DRAM traffic in flight while the datapath sweep is idle = a transfer
+    // stall; MACs retire at the phase's lane count (ctx_lanes ROM) on every
+    // data-valid cycle; the feature-buffer write pointer is the occupancy
+    // high-water proxy.
+    let iw = perf.inc_width;
+    let one_bit = |name: &str| zero_extend(Expr::id(name), 1, iw);
+    top.item(Item::Net(NetDecl::wire("perf_stall", 1)));
+    top.item(Item::Assign {
+        lhs: Expr::id("perf_stall"),
+        rhs: Expr::bin(
+            deepburning_verilog::BinaryOp::LogAnd,
+            Expr::id("agu_main_valid"),
+            Expr::Unary(
+                deepburning_verilog::UnaryOp::Not,
+                Box::new(Expr::id("agu_data_valid")),
+            ),
+        ),
+    });
+    top.item(Item::Net(NetDecl::wire("perf_mac_inc", iw)));
+    top.item(Item::Assign {
+        lhs: Expr::id("perf_mac_inc"),
+        rhs: Expr::Ternary(
+            Box::new(Expr::id("agu_data_valid")),
+            Box::new(Expr::Index(
+                Box::new(Expr::id("ctx_lanes")),
+                Box::new(Expr::id("phase_w")),
+            )),
+            Box::new(Expr::lit(iw, 0)),
+        ),
+    });
+    top.item(Item::Net(NetDecl::wire("perf_rd_inc", iw)));
+    top.item(Item::Assign {
+        lhs: Expr::id("perf_rd_inc"),
+        rhs: Expr::bin(
+            deepburning_verilog::BinaryOp::Add,
+            one_bit("agu_data_valid"),
+            one_bit("agu_weight_valid"),
+        ),
+    });
+    let occ_bits = f_aw.min(iw);
+    top.item(Item::Net(NetDecl::wire("perf_rdata_w", perf.width)));
+    instance(
+        &mut top,
+        &perf.module_name(),
+        "u_perf_counters",
+        vec![
+            ("clk", Expr::id("clk")),
+            ("rst", Expr::id("rst")),
+            ("en", Expr::id("busy_w")),
+            ("active", Expr::id("agu_data_valid")),
+            ("stall", Expr::id("perf_stall")),
+            ("mac_inc", Expr::id("perf_mac_inc")),
+            ("rd_inc", Expr::id("perf_rd_inc")),
+            ("wr_inc", one_bit("agu_main_valid")),
+            ("burst_inc", one_bit("agu_main_valid")),
+            (
+                "occupancy",
+                zero_extend(
+                    Expr::Slice(Box::new(Expr::id("agu_main_addr")), occ_bits - 1, 0),
+                    occ_bits,
+                    iw,
+                ),
+            ),
+            ("sel", Expr::id("perf_sel")),
+            ("rdata", Expr::id("perf_rdata_w")),
+        ],
+    );
+    top.item(Item::Assign {
+        lhs: Expr::id("perf_rdata"),
+        rhs: Expr::id("perf_rdata_w"),
+    });
+
     // ---- collect the module set -------------------------------------------------
     let mut design = Design::new(top);
     let mut added: Vec<String> = Vec::new();
@@ -443,6 +520,7 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
         }
     };
     add(&mut design, &coord);
+    add(&mut design, &perf);
     add(&mut design, &agu_main);
     add(&mut design, &agu_data);
     add(&mut design, &agu_weight);
@@ -536,6 +614,7 @@ mod tests {
             "u_synergy_neurons",
             "u_accumulators",
             "u_connection_box",
+            "u_perf_counters",
             "u_approx_lut",
             "u_pooling_unit",
             "u_ksorter",

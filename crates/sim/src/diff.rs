@@ -29,7 +29,9 @@
 //! deterministic sample of output positions (the harness marshals data
 //! between blocks exactly as the coordinator/AGUs would).
 
+use crate::counters::{verify_counters, CounterCheck};
 use crate::functional::{eval_fx_layer, quantize_weights, FunctionalError, FxBlob};
+use crate::timing::{CounterSet, TimingParams};
 use deepburning_compiler::LutImages;
 use deepburning_components::{
     ApproxLutBlock, Block, BufferBlock, ConnectionBox, KSorter, LrnUnit, PoolingUnit, SynergyNeuron,
@@ -44,7 +46,7 @@ use deepburning_verilog::{lint_design, Design, Interpreter, SimulateError};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// One of the three execution views.
+/// One of the four execution views.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum View {
     /// The `f32` software reference.
@@ -53,6 +55,8 @@ pub enum View {
     Functional,
     /// The generated RTL on the Verilog interpreter.
     Rtl,
+    /// The analytic timing model (performance-counter comparisons).
+    Timing,
 }
 
 impl fmt::Display for View {
@@ -61,6 +65,7 @@ impl fmt::Display for View {
             View::Tensor => "tensor",
             View::Functional => "functional",
             View::Rtl => "rtl",
+            View::Timing => "timing",
         })
     }
 }
@@ -155,6 +160,10 @@ pub struct DiffReport {
     pub divergences: Vec<Divergence>,
     /// Per-RTL-block interpreter work, descending by evaluation count.
     pub rtl_modules: Vec<RtlModuleStats>,
+    /// The fourth-view counter cross-check (populated by [`diff_design`];
+    /// `None` for plain [`diff_network`] runs, which have no generated
+    /// `perf_counters` block to read).
+    pub counters: Option<CounterCheck>,
 }
 
 impl DiffReport {
@@ -213,6 +222,20 @@ impl fmt::Display for DiffReport {
                 )?;
             }
         }
+        if let Some(c) = &self.counters {
+            writeln!(
+                f,
+                "  perf counters: {} | cycles rtl {} vs analytic {} (slack {}) | macs {} reads {} writes {} bursts {}",
+                if c.is_clean() { "clean" } else { "DIVERGED" },
+                c.rtl.cycles,
+                c.analytic.cycles,
+                c.cycle_slack,
+                c.rtl.mac_ops,
+                c.rtl.buffer_reads,
+                c.rtl.buffer_writes,
+                c.rtl.agu_bursts,
+            )?;
+        }
         Ok(())
     }
 }
@@ -269,6 +292,10 @@ pub struct DiffOptions {
     /// this index in execution order, forcing a functional↔RTL divergence
     /// (exercises the divergence-artifact path end to end).
     pub inject_rtl_fault: Option<usize>,
+    /// Per-phase beat cap for the performance-counter replay run by
+    /// [`diff_design`] (see [`verify_counters`]). Larger caps tighten the
+    /// cycle-counter slack at interpreter cost.
+    pub counter_beat_cap: u64,
 }
 
 impl Default for DiffOptions {
@@ -277,6 +304,7 @@ impl Default for DiffOptions {
             max_rtl_samples: 96,
             lut_error_probes: 1024,
             inject_rtl_fault: None,
+            counter_beat_cap: crate::counters::DEFAULT_BEAT_CAP,
         }
     }
 }
@@ -1227,6 +1255,7 @@ pub fn diff_network(
         layers: Vec::new(),
         divergences: Vec::new(),
         rtl_modules: Vec::new(),
+        counters: None,
     };
     let _span = trace::span("sim", "sim.diff");
     for (layer_idx, layer) in net.layers().iter().enumerate() {
@@ -1414,9 +1443,17 @@ fn compare_bounded(
 /// design's compiled LUT images, format and lane count, and stamps the
 /// budget tag into the report.
 ///
+/// Beyond the three per-layer views of [`diff_network`], this also runs
+/// the fourth view: the design's own `perf_counters` RTL block is replayed
+/// from the compiled schedule and cross-checked against the analytic
+/// [`crate::CounterSet`] (deterministic counters bit-for-bit, cycle
+/// counters within the documented slack — DESIGN.md §10). Counter
+/// divergences are appended to the report's divergence list.
+///
 /// # Errors
 ///
-/// See [`diff_network`].
+/// See [`diff_network`]; additionally fails if the design lacks a
+/// `perf_counters` module or the counter replay cannot elaborate.
 pub fn diff_design(
     design: &AcceleratorDesign,
     net: &Network,
@@ -1435,6 +1472,14 @@ pub fn diff_design(
         opts,
     )?;
     report.budget = design.budget.tag().to_string();
+    let check = verify_counters(
+        &design.design,
+        &design.compiled,
+        &TimingParams::default(),
+        opts.counter_beat_cap,
+    )?;
+    report.divergences.extend(check.divergences.iter().cloned());
+    report.counters = Some(check);
     Ok(report)
 }
 
@@ -1577,6 +1622,34 @@ pub fn diff_report_json(report: &DiffReport) -> Json {
                     .collect(),
             ),
         ),
+        (
+            "counters",
+            match &report.counters {
+                Some(c) => Json::obj([
+                    ("clean", Json::Bool(c.is_clean())),
+                    ("cycle_slack", Json::num(c.cycle_slack as f64)),
+                    ("replayed_cycles", Json::num(c.replayed_cycles as f64)),
+                    ("analytic", counter_set_json(&c.analytic)),
+                    ("rtl", counter_set_json(&c.rtl)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// JSON image of a [`CounterSet`], keyed by the register-map names of
+/// DESIGN.md §10.
+pub fn counter_set_json(c: &CounterSet) -> Json {
+    Json::obj([
+        ("cycles", Json::num(c.cycles as f64)),
+        ("active_cycles", Json::num(c.active_cycles as f64)),
+        ("stall_cycles", Json::num(c.stall_cycles as f64)),
+        ("mac_ops", Json::num(c.mac_ops as f64)),
+        ("buffer_reads", Json::num(c.buffer_reads as f64)),
+        ("buffer_writes", Json::num(c.buffer_writes as f64)),
+        ("agu_bursts", Json::num(c.agu_bursts as f64)),
+        ("buffer_peak_words", Json::num(c.buffer_peak_words as f64)),
     ])
 }
 
@@ -1768,6 +1841,7 @@ mod tests {
             layers: vec![],
             divergences: vec![d],
             rtl_modules: vec![],
+            counters: None,
         };
         assert!(!r.is_clean());
         assert_eq!(r.first_divergence().expect("one").layer, "conv1");

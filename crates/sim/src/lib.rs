@@ -1,13 +1,16 @@
 //! Simulators for generated DeepBurning accelerators.
 //!
-//! Three views of one design:
+//! Four views of one design:
 //!
 //! * [`simulate_timing`] — transaction-level cycle simulation of the folded
 //!   schedule (replaces the paper's Vivado RTL timing simulation);
 //! * [`simulate_energy`] — event-based energy accounting (replaces board
 //!   power measurement);
 //! * [`functional_forward`] — bit-true fixed-point execution through the
-//!   compiler's Approx LUT images (drives the Fig. 10 accuracy experiment).
+//!   compiler's Approx LUT images (drives the Fig. 10 accuracy experiment);
+//! * [`verify_counters`] — replays the compiled schedule into the generated
+//!   `perf_counters` RTL block and cross-checks the hardware counters
+//!   against the analytic [`CounterSet`] (DESIGN.md §10).
 //!
 //! # Examples
 //!
@@ -28,20 +31,22 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod counters;
 mod diff;
 mod energy;
 mod functional;
 mod timing;
 
+pub use counters::{verify_counters, CounterCheck, DEFAULT_BEAT_CAP};
 pub use diff::{
-    capture_layer_vcd, diff_design, diff_network, diff_report_json, DiffError, DiffOptions,
-    DiffReport, Divergence, LayerAudit, RtlModuleStats, View,
+    capture_layer_vcd, counter_set_json, diff_design, diff_network, diff_report_json, DiffError,
+    DiffOptions, DiffReport, Divergence, LayerAudit, RtlModuleStats, View,
 };
 pub use energy::{inference_energy, simulate_energy, EnergyParams, EnergyReport};
 pub use functional::{functional_forward, functional_forward_all, FunctionalError};
 pub use timing::{
-    aggregate_by_layer, forward_latency, simulate_folding, simulate_timing, PhaseTiming,
-    TimingParams, TimingReport,
+    aggregate_by_layer, forward_latency, simulate_folding, simulate_timing, CounterSet,
+    PhaseTiming, TimingParams, TimingReport,
 };
 
 #[cfg(test)]

@@ -65,6 +65,31 @@ pub struct PhaseTiming {
     pub latency_cycles: u64,
 }
 
+/// The analytic performance-counter set — one field per register of the
+/// generated `perf_counters` RTL block, in register-map order (DESIGN.md
+/// §10). [`simulate_timing`]/[`simulate_folding`] derive it from the
+/// folding plan; the differential harness replays the same schedule into
+/// the RTL block and checks the deterministic fields bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSet {
+    /// Total cycles the accelerator is busy (free-running counter).
+    pub cycles: u64,
+    /// Cycles the neuron array / aux datapath is actively retiring work.
+    pub active_cycles: u64,
+    /// Cycles stalled on DRAM transfers beyond compute/buffer overlap.
+    pub stall_cycles: u64,
+    /// MAC operations retired (deterministic).
+    pub mac_ops: u64,
+    /// Words read from the on-chip buffers (deterministic).
+    pub buffer_reads: u64,
+    /// Words written into the on-chip buffers (deterministic).
+    pub buffer_writes: u64,
+    /// DRAM bursts issued by the main AGU (deterministic).
+    pub agu_bursts: u64,
+    /// Peak single-phase buffer fill in words (deterministic).
+    pub buffer_peak_words: u64,
+}
+
 /// The outcome of a timing simulation.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimingReport {
@@ -72,6 +97,8 @@ pub struct TimingReport {
     pub phases: Vec<PhaseTiming>,
     /// End-to-end latency in cycles.
     pub total_cycles: u64,
+    /// The analytic performance-counter set for the whole run.
+    pub counters: CounterSet,
 }
 
 impl TimingReport {
@@ -89,7 +116,7 @@ impl TimingReport {
                 p.dram_cycles
                     .saturating_sub(p.compute_cycles.max(p.buffer_cycles))
             })
-            .sum()
+            .fold(0u64, u64::saturating_add)
     }
 }
 
@@ -97,9 +124,23 @@ fn dram_cycles(bytes: u64, p: &TimingParams) -> u64 {
     if bytes == 0 {
         return 0;
     }
-    let stream = (bytes as f64 / p.dram_bytes_per_cycle).ceil() as u64;
-    let bursts = bytes.div_ceil(p.burst_bytes);
-    stream + bursts * p.burst_overhead_cycles
+    // Saturate rather than wrap: a zero-bandwidth link never finishes.
+    let stream = if p.dram_bytes_per_cycle > 0.0 {
+        let c = (bytes as f64 / p.dram_bytes_per_cycle).ceil();
+        if c >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            c as u64
+        }
+    } else {
+        u64::MAX
+    };
+    let bursts = dram_bursts(bytes, p);
+    stream.saturating_add(bursts.saturating_mul(p.burst_overhead_cycles))
+}
+
+fn dram_bursts(bytes: u64, p: &TimingParams) -> u64 {
+    bytes.div_ceil(p.burst_bytes.max(1))
 }
 
 fn compute_cycles(phase: &Phase, lanes: u32, p: &TimingParams) -> u64 {
@@ -135,20 +176,40 @@ pub fn simulate_folding(
     let _span = trace::span("sim", "sim.timing");
     let mut phases = Vec::with_capacity(folding.phases.len());
     let mut total = 0u64;
+    let mut counters = CounterSet::default();
     for phase in &folding.phases {
         let compute = compute_cycles(phase, lanes, params);
-        let dram = dram_cycles(
-            phase.work.dram_read_bytes + phase.work.dram_write_bytes,
-            params,
-        );
+        let dram_bytes = phase.work.dram_read_bytes + phase.work.dram_write_bytes;
+        let dram = dram_cycles(dram_bytes, params);
         // The buffer bus moves `lanes` words per cycle into the datapath.
         let buffer = (phase.work.buffer_read_words + phase.work.buffer_write_words)
             .div_ceil(u64::from(lanes.max(1)));
         let latency = if params.double_buffering {
-            compute.max(dram).max(buffer) + params.phase_overhead_cycles
+            compute
+                .max(dram)
+                .max(buffer)
+                .saturating_add(params.phase_overhead_cycles)
         } else {
-            compute + dram + buffer + params.phase_overhead_cycles
+            compute
+                .saturating_add(dram)
+                .saturating_add(buffer)
+                .saturating_add(params.phase_overhead_cycles)
         };
+        counters.active_cycles = counters.active_cycles.saturating_add(compute);
+        counters.stall_cycles = counters
+            .stall_cycles
+            .saturating_add(dram.saturating_sub(compute.max(buffer)));
+        counters.mac_ops += phase.work.macs;
+        counters.buffer_reads += phase.work.buffer_read_words;
+        counters.buffer_writes += phase.work.buffer_write_words;
+        counters.agu_bursts += if dram_bytes == 0 {
+            0
+        } else {
+            dram_bursts(dram_bytes, params)
+        };
+        counters.buffer_peak_words = counters
+            .buffer_peak_words
+            .max(phase.work.buffer_write_words);
         if trace::active() {
             // One virtual microsecond per simulated cycle; each phase is a
             // complete event on the "timing" track with its cycle
@@ -166,7 +227,7 @@ pub fn simulate_folding(
                 ],
             );
         }
-        total += latency;
+        total = total.saturating_add(latency);
         phases.push(PhaseTiming {
             phase: phase.id,
             compute_cycles: compute,
@@ -194,9 +255,11 @@ pub fn simulate_folding(
             phases.iter().map(|p| p.buffer_cycles).sum::<u64>() as f64,
         );
     }
+    counters.cycles = total;
     TimingReport {
         phases,
         total_cycles: total,
+        counters,
     }
 }
 
@@ -315,8 +378,101 @@ mod tests {
         let report = TimingReport {
             phases: vec![],
             total_cycles: 1_000_000,
+            counters: CounterSet::default(),
         };
         assert!((report.seconds(100_000_000) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_set_is_consistent_with_plan() {
+        let c = compiled(32);
+        let report = simulate_timing(&c, &TimingParams::default());
+        let k = &report.counters;
+        assert_eq!(k.cycles, report.total_cycles);
+        assert_eq!(k.mac_ops, c.folding.total_work().macs);
+        assert_eq!(k.stall_cycles, report.memory_bound_cycles());
+        assert_eq!(
+            k.active_cycles,
+            report.phases.iter().map(|p| p.compute_cycles).sum::<u64>()
+        );
+        let reads: u64 = c
+            .folding
+            .phases
+            .iter()
+            .map(|p| p.work.buffer_read_words)
+            .sum();
+        let writes: u64 = c
+            .folding
+            .phases
+            .iter()
+            .map(|p| p.work.buffer_write_words)
+            .sum();
+        assert_eq!(k.buffer_reads, reads);
+        assert_eq!(k.buffer_writes, writes);
+        assert!(k.agu_bursts > 0, "DRAM traffic must issue bursts");
+        assert!(k.buffer_peak_words > 0);
+        assert!(k.active_cycles <= k.cycles);
+    }
+
+    #[test]
+    fn memory_bound_cycles_empty_report_is_zero() {
+        assert_eq!(TimingReport::default().memory_bound_cycles(), 0);
+        assert_eq!(TimingReport::default().counters, CounterSet::default());
+    }
+
+    #[test]
+    fn zero_bandwidth_saturates_instead_of_panicking() {
+        let c = compiled(16);
+        let report = simulate_timing(
+            &c,
+            &TimingParams {
+                dram_bytes_per_cycle: 0.0,
+                ..TimingParams::default()
+            },
+        );
+        // Every DRAM-touching phase saturates; the totals must too, and
+        // the deterministic counters stay finite and exact.
+        assert_eq!(report.total_cycles, u64::MAX);
+        assert!(report.memory_bound_cycles() > 0);
+        assert_eq!(report.counters.mac_ops, c.folding.total_work().macs);
+    }
+
+    #[test]
+    fn aggregate_by_layer_empty_plan() {
+        let folding = deepburning_compiler::FoldingPlan {
+            lanes: 8,
+            phases: vec![],
+        };
+        let report = simulate_folding(&folding, 8, &TimingParams::default());
+        assert_eq!(report.total_cycles, 0);
+        assert!(aggregate_by_layer(&folding, &report).is_empty());
+    }
+
+    #[test]
+    fn aggregate_by_layer_single_phase_network() {
+        let net = parse_network(
+            r#"
+            layers { name: "data" type: INPUT top: "data"
+                     input_param { channels: 4 height: 1 width: 1 } }
+            layers { name: "fc" type: FC bottom: "data" top: "fc"
+                     param { num_output: 3 } }
+            "#,
+        )
+        .expect("parses");
+        let c = compile(
+            &net,
+            &CompilerConfig {
+                lanes: 64,
+                ..CompilerConfig::default()
+            },
+        )
+        .expect("compiles");
+        assert_eq!(c.folding.phases.len(), 1, "expected a single-phase plan");
+        let report = simulate_timing(&c, &TimingParams::default());
+        let layers = aggregate_by_layer(&c.folding, &report);
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0].0, "fc");
+        assert_eq!(layers[0].1, report.total_cycles);
     }
 
     #[test]
