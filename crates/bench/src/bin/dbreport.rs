@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! dbreport <benchmark> [--budget small|medium|large] [--out DIR]
-//!          [--beat-cap N] [--bench-json] [--check]
+//!          [--beat-cap N] [--engine tree|compiled] [--bench-json] [--check]
 //! ```
 //!
 //! `--bench-json` additionally writes `BENCH_<name>.json` (headline
@@ -21,7 +21,7 @@
 use deepburning_baselines::{zoo, Benchmark};
 use deepburning_bench::{bench_summary_json, build_report, render_report_table, report_json};
 use deepburning_core::{generate, Budget};
-use deepburning_sim::{verify_counters, TimingParams, DEFAULT_BEAT_CAP};
+use deepburning_sim::{verify_counters, SimEngine, TimingParams, DEFAULT_BEAT_CAP};
 use deepburning_trace::json::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -54,6 +54,7 @@ struct Args {
     budget: Budget,
     out: PathBuf,
     beat_cap: u64,
+    engine: SimEngine,
     bench_json: bool,
     check: bool,
 }
@@ -64,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         budget: Budget::Medium,
         out: PathBuf::from("target/dbreport"),
         beat_cap: DEFAULT_BEAT_CAP,
+        engine: SimEngine::default(),
         bench_json: false,
         check: false,
     };
@@ -87,6 +89,9 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--beat-cap: {e}"))?;
             }
+            "--engine" => {
+                args.engine = it.next().ok_or("--engine needs a value")?.parse()?;
+            }
             "--bench-json" => args.bench_json = true,
             "--check" => args.check = true,
             other if args.benchmark.is_empty() && !other.starts_with('-') => {
@@ -97,7 +102,8 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.benchmark.is_empty() {
         return Err("usage: dbreport <benchmark> [--budget small|medium|large] \
-                    [--out DIR] [--beat-cap N] [--bench-json] [--check]"
+                    [--out DIR] [--beat-cap N] [--engine tree|compiled] \
+                    [--bench-json] [--check]"
             .into());
     }
     Ok(args)
@@ -185,9 +191,22 @@ fn run() -> Result<(), String> {
     let design =
         generate(&bench.network, &args.budget).map_err(|e| format!("generation failed: {e}"))?;
     let mut report = build_report(bench.name, &design, &params);
-    let check = verify_counters(&design.design, &design.compiled, &params, args.beat_cap)
-        .map_err(|e| format!("counter cross-check failed: {e}"))?;
+    let replay_start = std::time::Instant::now();
+    let check = verify_counters(
+        &design.design,
+        &design.compiled,
+        &params,
+        args.beat_cap,
+        args.engine,
+    )
+    .map_err(|e| format!("counter cross-check failed: {e}"))?;
+    let replay_elapsed = replay_start.elapsed();
     report.counter_check = Some((check.is_clean(), check.cycle_slack));
+    println!(
+        "counter replay: engine {} in {:.3}s",
+        args.engine,
+        replay_elapsed.as_secs_f64()
+    );
 
     print!("{}", render_report_table(&report));
     if !check.is_clean() {

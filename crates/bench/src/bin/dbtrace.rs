@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! dbtrace <benchmark> [--budget small|medium|large] [--out DIR]
-//!         [--rtl-samples N] [--check]
+//!         [--rtl-samples N] [--engine tree|compiled] [--check]
 //! ```
 //!
 //! `--check` re-validates the emitted trace (valid JSON, non-empty,
@@ -23,7 +23,7 @@
 use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
 use deepburning_core::{generate, Budget};
 use deepburning_sim::{
-    diff_design, functional_forward_all, simulate_timing, DiffOptions, TimingParams,
+    diff_design, functional_forward_all, simulate_timing, DiffOptions, SimEngine, TimingParams,
 };
 use deepburning_tensor::Tensor;
 use deepburning_trace as trace;
@@ -61,6 +61,7 @@ struct Args {
     budget: Budget,
     out: PathBuf,
     rtl_samples: usize,
+    engine: SimEngine,
     check: bool,
 }
 
@@ -70,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         budget: Budget::Medium,
         out: PathBuf::from("target/dbtrace"),
         rtl_samples: 16,
+        engine: SimEngine::default(),
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -92,6 +94,9 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--rtl-samples: {e}"))?;
             }
+            "--engine" => {
+                args.engine = it.next().ok_or("--engine needs a value")?.parse()?;
+            }
             "--check" => args.check = true,
             other if args.benchmark.is_empty() && !other.starts_with('-') => {
                 args.benchmark = other.to_string();
@@ -101,7 +106,7 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.benchmark.is_empty() {
         return Err("usage: dbtrace <benchmark> [--budget small|medium|large] \
-                    [--out DIR] [--rtl-samples N] [--check]"
+                    [--out DIR] [--rtl-samples N] [--engine tree|compiled] [--check]"
             .into());
     }
     Ok(args)
@@ -183,17 +188,23 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("functional run failed: {e}"))?;
         let opts = DiffOptions {
             max_rtl_samples: args.rtl_samples.max(1),
+            engine: args.engine,
             ..DiffOptions::default()
         };
+        let diff_start = std::time::Instant::now();
         let report = diff_design(&design, &bench.network, &ws, &input, &opts)
             .map_err(|e| format!("differential run failed: {e}"))?;
+        let diff_elapsed = diff_start.elapsed();
         println!(
-            "{} @ {}: {} phases, {} simulated cycles, {} rtl-exact elements{}",
+            "{} @ {}: {} phases, {} simulated cycles, {} rtl-exact elements \
+             (engine {} in {:.3}s){}",
             bench.name,
             args.budget.tag(),
             design.compiled.folding.phases.len(),
             timing.total_cycles,
             report.rtl_checked(),
+            args.engine,
+            diff_elapsed.as_secs_f64(),
             if report.is_clean() {
                 ""
             } else {

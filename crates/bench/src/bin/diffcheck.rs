@@ -23,13 +23,18 @@
 //! corners the default Q8.8 sweep never exercises. `Q<i>.<f>` means `i`
 //! integer bits (sign included) and `f` fraction bits.
 //!
+//! `--engine tree|compiled` selects the RTL evaluation engine: the
+//! levelized event-driven `CompiledSim` (default) or the tree-walking
+//! `Interpreter` reference. Both produce bit-identical reports; the
+//! total sweep wall time is printed per engine so CI can compare them.
+//!
 //! Run with `--release` — the RTL view interprets elaborated netlists.
 
 use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
 use deepburning_bench::write_divergence_bundle;
 use deepburning_core::{derive_config_for_format, generate, generate_with_config, Budget};
 use deepburning_fixed::QFormat;
-use deepburning_sim::{diff_design, DiffOptions};
+use deepburning_sim::{diff_design, DiffOptions, SimEngine};
 use deepburning_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,12 +115,17 @@ impl Sweep {
         let input = Tensor::from_fn(bench.network.input_shape(), |_, _, _| {
             rng.gen_range(-1.0..1.0f32)
         });
+        let run_start = std::time::Instant::now();
         match diff_design(design, &bench.network, &ws, &input, &self.opts) {
             Ok(report) => {
+                let elapsed = run_start.elapsed();
                 self.runs += 1;
                 if report.is_clean() {
                     let exact = report.rtl_checked();
-                    println!("ok    {label:<24} {exact:>5} rtl-exact elements");
+                    println!(
+                        "ok    {label:<24} {exact:>5} rtl-exact elements  {:>8.3}s",
+                        elapsed.as_secs_f64()
+                    );
                     if self.verbose {
                         print!("{report}");
                     }
@@ -178,16 +188,32 @@ fn main() -> ExitCode {
         },
         None => Vec::new(),
     };
+    let engine: SimEngine = match argv
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| argv.get(i + 1))
+    {
+        Some(name) => match name.parse() {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("diffcheck: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => SimEngine::default(),
+    };
     let mut sweep = Sweep {
         verbose,
         artifacts_dir,
         opts: DiffOptions {
             max_rtl_samples: 32,
+            engine,
             ..DiffOptions::default()
         },
         runs: 0,
         failures: 0,
     };
+    let sweep_start = std::time::Instant::now();
     if formats.is_empty() {
         let tiers = [Budget::Small, Budget::Medium, Budget::Large];
         println!("differential check: tensor / functional / rtl views\n");
@@ -220,7 +246,11 @@ fn main() -> ExitCode {
             }
         }
     }
-    println!("\n{} clean runs, {} failures", sweep.runs, sweep.failures);
+    println!(
+        "\nsweep wall time: {:.2}s (engine {engine})",
+        sweep_start.elapsed().as_secs_f64()
+    );
+    println!("{} clean runs, {} failures", sweep.runs, sweep.failures);
     if sweep.failures == 0 {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,226 @@
+//! Bench-baseline gating: compares fresh `dbreport --bench-json` output
+//! against the committed `BENCH_*.json` baselines (DESIGN.md §11).
+//!
+//! Policy: deterministic counters must match exactly — `benchmark` and
+//! `budget` (strings) and `mac_ops` (a pure function of the network) —
+//! while cycle-denominated quantities may drift within a relative
+//! tolerance (default ±2%): `cycles`, the `stalls.*` split and
+//! `utilization`, which is derived from cycles. Missing files, missing
+//! fields or malformed JSON are violations, never silent passes.
+//!
+//! CI runs this as the hard `bench-gate` job via the `benchgate` binary;
+//! a `[bench-reset]` commit message skips the gate and publishes
+//! refreshed baselines for committing instead.
+
+use deepburning_trace::json::Json;
+
+/// Tolerances for the baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatePolicy {
+    /// Relative tolerance for cycle-denominated fields (0.02 = ±2%).
+    pub cycle_tolerance: f64,
+}
+
+impl Default for GatePolicy {
+    fn default() -> Self {
+        GatePolicy {
+            cycle_tolerance: 0.02,
+        }
+    }
+}
+
+/// Fields that must match bit-for-bit: generation is deterministic, so
+/// any drift here is a real counter regression.
+const EXACT_STRINGS: [&str; 2] = ["benchmark", "budget"];
+const EXACT_NUMBERS: [&str; 1] = ["mac_ops"];
+
+/// Fields allowed to drift within [`GatePolicy::cycle_tolerance`]: the
+/// analytic cycle model may shift slightly as timing parameters are
+/// tuned, and `utilization` is derived from cycles.
+const TOLERANCED_NUMBERS: [&str; 5] = [
+    "cycles",
+    "utilization",
+    "stalls.active_cycles",
+    "stalls.memory_bound_cycles",
+    "stalls.overhead_cycles",
+];
+
+fn lookup<'a>(doc: &'a Json, path: &str) -> Result<&'a Json, String> {
+    let mut node = doc;
+    for seg in path.split('.') {
+        node = node.get(seg).ok_or_else(|| format!("missing `{path}`"))?;
+    }
+    Ok(node)
+}
+
+fn lookup_num(doc: &Json, path: &str, side: &str) -> Result<f64, String> {
+    lookup(doc, path)?
+        .as_f64()
+        .ok_or_else(|| format!("{side} `{path}` is not a number"))
+}
+
+/// Compares a fresh bench summary against its committed baseline and
+/// returns the list of policy violations (empty = gate passes).
+#[must_use]
+pub fn compare_bench_summaries(baseline: &Json, fresh: &Json, policy: &GatePolicy) -> Vec<String> {
+    let mut violations = Vec::new();
+    for path in EXACT_STRINGS {
+        let pair = lookup(baseline, path)
+            .map_err(|e| format!("baseline: {e}"))
+            .and_then(|b| {
+                lookup(fresh, path)
+                    .map_err(|e| format!("fresh: {e}"))
+                    .map(|f| (b, f))
+            });
+        match pair {
+            Ok((b, f)) => {
+                if b.as_str() != f.as_str() {
+                    violations.push(format!(
+                        "`{path}` changed: baseline {b:?} vs fresh {f:?} (exact match required)"
+                    ));
+                }
+            }
+            Err(e) => violations.push(e),
+        }
+    }
+    for path in EXACT_NUMBERS {
+        match (
+            lookup_num(baseline, path, "baseline"),
+            lookup_num(fresh, path, "fresh"),
+        ) {
+            (Ok(b), Ok(f)) => {
+                if b != f {
+                    violations.push(format!(
+                        "`{path}` regressed: baseline {b} vs fresh {f} \
+                         (deterministic counter, exact match required)"
+                    ));
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => violations.push(e),
+        }
+    }
+    for path in TOLERANCED_NUMBERS {
+        match (
+            lookup_num(baseline, path, "baseline"),
+            lookup_num(fresh, path, "fresh"),
+        ) {
+            (Ok(b), Ok(f)) => {
+                if (f - b).abs() > policy.cycle_tolerance * b.abs() {
+                    violations.push(format!(
+                        "`{path}` drifted beyond ±{:.1}%: baseline {b} vs fresh {f}",
+                        policy.cycle_tolerance * 100.0
+                    ));
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => violations.push(e),
+        }
+    }
+    violations
+}
+
+/// Parses both JSON texts and runs [`compare_bench_summaries`].
+///
+/// # Errors
+///
+/// Returns an error if either side is not valid JSON.
+pub fn gate_bench_text(
+    baseline_text: &str,
+    fresh_text: &str,
+    policy: &GatePolicy,
+) -> Result<Vec<String>, String> {
+    let baseline = Json::parse(baseline_text).map_err(|e| format!("baseline JSON: {e}"))?;
+    let fresh = Json::parse(fresh_text).map_err(|e| format!("fresh JSON: {e}"))?;
+    Ok(compare_bench_summaries(&baseline, &fresh, policy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(cycles: f64, mac_ops: f64, active: f64) -> Json {
+        Json::obj([
+            ("benchmark", Json::str("MNIST")),
+            ("budget", Json::str("DB")),
+            ("cycles", Json::num(cycles)),
+            ("mac_ops", Json::num(mac_ops)),
+            ("utilization", Json::num(mac_ops / (64.0 * cycles))),
+            (
+                "stalls",
+                Json::obj([
+                    ("active_cycles", Json::num(active)),
+                    ("memory_bound_cycles", Json::num(cycles - active - 100.0)),
+                    ("overhead_cycles", Json::num(100.0)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let b = summary(21321.0, 577000.0, 10757.0);
+        assert!(compare_bench_summaries(&b, &b, &GatePolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn cycles_within_two_percent_pass() {
+        let b = summary(21321.0, 577000.0, 10757.0);
+        let f = summary(21321.0 * 1.019, 577000.0, 10757.0 * 1.019);
+        assert!(compare_bench_summaries(&b, &f, &GatePolicy::default()).is_empty());
+    }
+
+    #[test]
+    fn cycles_beyond_two_percent_fail() {
+        let b = summary(21321.0, 577000.0, 10757.0);
+        let f = summary(21321.0 * 1.03, 577000.0, 10757.0);
+        let v = compare_bench_summaries(&b, &f, &GatePolicy::default());
+        assert!(
+            v.iter().any(|m| m.contains("`cycles` drifted")),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn mac_ops_regression_fails_even_off_by_one() {
+        let b = summary(21321.0, 577000.0, 10757.0);
+        let f = summary(21321.0, 576999.0, 10757.0);
+        let v = compare_bench_summaries(&b, &f, &GatePolicy::default());
+        assert!(
+            v.iter().any(|m| m.contains("`mac_ops` regressed")),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_field_is_a_violation() {
+        let b = summary(21321.0, 577000.0, 10757.0);
+        let f = Json::obj([("benchmark", Json::str("MNIST"))]);
+        let v = compare_bench_summaries(&b, &f, &GatePolicy::default());
+        assert!(
+            v.iter().any(|m| m.contains("missing `cycles`")),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn benchmark_rename_is_a_violation() {
+        let b = summary(21321.0, 577000.0, 10757.0);
+        let mut f = summary(21321.0, 577000.0, 10757.0);
+        if let Json::Obj(fields) = &mut f {
+            fields[0].1 = Json::str("CIFAR");
+        }
+        let v = compare_bench_summaries(&b, &f, &GatePolicy::default());
+        assert!(
+            v.iter().any(|m| m.contains("`benchmark` changed")),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn text_gate_round_trips_and_rejects_garbage() {
+        let b = summary(21321.0, 577000.0, 10757.0).render();
+        assert!(gate_bench_text(&b, &b, &GatePolicy::default())
+            .expect("parses")
+            .is_empty());
+        assert!(gate_bench_text(&b, "not json", &GatePolicy::default()).is_err());
+    }
+}

@@ -6,9 +6,11 @@
 //! and a matching Criterion bench measuring the pipeline that produces it.
 
 mod artifacts;
+mod gate;
 mod report;
 
 pub use artifacts::write_divergence_bundle;
+pub use gate::{compare_bench_summaries, gate_bench_text, GatePolicy};
 pub use report::{
     bench_summary_json, build_report, render_report_table, report_json, LayerProfile, PerfReport,
     Roofline, StallBreakdown,

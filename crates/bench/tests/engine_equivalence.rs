@@ -1,0 +1,157 @@
+//! Differential-of-the-differential: the three-view harness itself must
+//! be engine-invariant. For a spread of zoo benchmarks the full
+//! [`diff_design`] report — layer audits, divergence list, RTL module
+//! stats and the fourth-view counter cross-check — is computed once
+//! under the tree-walking interpreter and once under the compiled
+//! levelized engine, and the two reports must be equal field for field.
+//! The divergence-bundle VCD capture path is held to the same standard:
+//! both engines must dump byte-identical waveforms.
+
+use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
+use deepburning_core::{generate, Budget};
+use deepburning_sim::{capture_layer_vcd, diff_design, DiffOptions, DiffReport, SimEngine};
+use deepburning_tensor::{Tensor, WeightSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn opts(engine: SimEngine) -> DiffOptions {
+    DiffOptions {
+        max_rtl_samples: 8,
+        engine,
+        ..DiffOptions::default()
+    }
+}
+
+/// Normalises the per-module *effort* counters (`settle_passes`,
+/// `evals`) that are documented to differ between engines — the
+/// event-driven tape evaluates only dirty fanout cones — while keeping
+/// `clock_edges`, which both engines must count bit-for-bit. Modules are
+/// re-sorted by name because the default ordering is by eval count.
+fn normalised(mut report: DiffReport) -> DiffReport {
+    for m in &mut report.rtl_modules {
+        m.settle_passes = 0;
+        m.evals = 0;
+    }
+    report.rtl_modules.sort_by(|a, b| a.module.cmp(&b.module));
+    report
+}
+
+fn stimulus(bench: &Benchmark) -> (WeightSet, Tensor) {
+    let mut rng = StdRng::seed_from_u64(0xE9E ^ bench.name.len() as u64);
+    let ws = pseudo_weights(bench, &mut rng);
+    let input = Tensor::from_fn(bench.network.input_shape(), |_, _, _| {
+        rng.gen_range(-1.0..1.0f32)
+    });
+    (ws, input)
+}
+
+/// Every layer kind the zoo exercises, both budget extremes: the tree
+/// and compiled engines must produce the *same report object*, down to
+/// the counter cross-check.
+#[test]
+fn tree_and_compiled_reports_are_identical_across_zoo() {
+    let cases = [
+        (zoo::ann0(), Budget::Small),
+        (zoo::ann2(), Budget::Large),
+        (zoo::cmac(), Budget::Small),
+        (zoo::hopfield(), Budget::Medium),
+        (zoo::mnist(), Budget::Small),
+        (zoo::alexnet_micro(), Budget::Small),
+    ];
+    for (bench, budget) in cases {
+        let design = generate(&bench.network, &budget)
+            .unwrap_or_else(|e| panic!("{}: generation failed: {e}", bench.name));
+        let (ws, input) = stimulus(&bench);
+        let tree = diff_design(&design, &bench.network, &ws, &input, &opts(SimEngine::Tree))
+            .unwrap_or_else(|e| panic!("{}: tree diff failed: {e}", bench.name));
+        let compiled = diff_design(
+            &design,
+            &bench.network,
+            &ws,
+            &input,
+            &opts(SimEngine::Compiled),
+        )
+        .unwrap_or_else(|e| panic!("{}: compiled diff failed: {e}", bench.name));
+        assert!(tree.is_clean(), "{}: tree diff diverged", bench.name);
+        // The counter cross-check rides inside the report; assert the
+        // RTL-read registers explicitly so a mismatch names the engine.
+        let (tc, cc) = (
+            tree.counters.as_ref().expect("tree counters"),
+            compiled.counters.as_ref().expect("compiled counters"),
+        );
+        assert_eq!(
+            tc.rtl, cc.rtl,
+            "{}: RTL counter readback differs",
+            bench.name
+        );
+        assert_eq!(tc.cycle_slack, cc.cycle_slack, "{}", bench.name);
+        assert_eq!(
+            normalised(tree),
+            normalised(compiled),
+            "{}: engines disagree on the diff report",
+            bench.name
+        );
+    }
+}
+
+/// The injected-fault path flags the same divergences under both
+/// engines: a harness that only agrees on clean runs proves nothing.
+#[test]
+fn injected_fault_reports_are_identical() {
+    let bench = zoo::mnist();
+    let design = generate(&bench.network, &Budget::Small).expect("generates");
+    let (ws, input) = stimulus(&bench);
+    let fault = |engine| DiffOptions {
+        inject_rtl_fault: Some(2),
+        ..opts(engine)
+    };
+    let tree = diff_design(
+        &design,
+        &bench.network,
+        &ws,
+        &input,
+        &fault(SimEngine::Tree),
+    )
+    .expect("tree diff");
+    let compiled = diff_design(
+        &design,
+        &bench.network,
+        &ws,
+        &input,
+        &fault(SimEngine::Compiled),
+    )
+    .expect("compiled diff");
+    assert!(!tree.is_clean(), "fault injection must diverge");
+    assert_eq!(
+        normalised(tree),
+        normalised(compiled),
+        "engines disagree on the faulted report"
+    );
+}
+
+/// Divergence-bundle waveforms: the VCD text a hardware engineer would
+/// inspect is byte-identical whichever engine replayed the layer.
+#[test]
+fn vcd_capture_is_byte_identical_between_engines() {
+    let bench = zoo::mnist();
+    let design = generate(&bench.network, &Budget::Small).expect("generates");
+    let (ws, input) = stimulus(&bench);
+    let layer = &bench.network.layers()[1].name;
+    let capture = |engine| {
+        capture_layer_vcd(
+            &bench.network,
+            &ws,
+            &input,
+            &design.compiled.luts,
+            design.compiled.config.format,
+            design.compiled.config.lanes,
+            &opts(engine),
+            layer,
+        )
+        .expect("capture")
+    };
+    let tree = capture(SimEngine::Tree);
+    let compiled = capture(SimEngine::Compiled);
+    assert!(!tree.is_empty(), "layer must exercise at least one block");
+    assert_eq!(tree, compiled, "VCD dumps differ between engines");
+}

@@ -69,7 +69,9 @@ impl Fx {
         if value.is_nan() {
             return Fx::zero(fmt);
         }
-        let scaled = value * (fmt.frac_bits() as f64).exp2();
+        // `1 << frac` is exact in f64 for any frac_bits < 53 and avoids a
+        // libm exp2 call on what is the weight-quantisation hot path.
+        let scaled = value * (1u64 << fmt.frac_bits()) as f64;
         let raw = if scaled >= fmt.max_raw() as f64 {
             fmt.max_raw()
         } else if scaled <= fmt.min_raw() as f64 {

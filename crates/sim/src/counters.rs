@@ -24,7 +24,7 @@ use deepburning_components::{
     PERF_SEL_MACS, PERF_SEL_PEAK, PERF_SEL_STALL,
 };
 use deepburning_trace as trace;
-use deepburning_verilog::{Design, Interpreter};
+use deepburning_verilog::{Design, SimEngine};
 
 /// Default per-phase beat cap used by `diff_design`. Bounds interpreter
 /// work per phase while keeping short phases cycle-exact.
@@ -77,6 +77,7 @@ pub fn verify_counters(
     compiled: &CompiledNetwork,
     params: &TimingParams,
     beat_cap: u64,
+    engine: SimEngine,
 ) -> Result<CounterCheck, DiffError> {
     let _span = trace::span("sim", "sim.verify_counters");
     let module = design
@@ -93,7 +94,7 @@ pub fn verify_counters(
     } else {
         (1u64 << inc_width) - 1
     };
-    let mut it = Interpreter::elaborate(design, &module.name)?;
+    let mut it = engine.elaborate(design, &module.name)?;
 
     let report = simulate_folding(&compiled.folding, compiled.config.lanes, params);
     let cap = beat_cap.max(1);
@@ -293,6 +294,7 @@ mod tests {
             &design.compiled,
             &TimingParams::default(),
             DEFAULT_BEAT_CAP,
+            SimEngine::default(),
         )
         .expect("replays");
         assert!(
@@ -317,6 +319,7 @@ mod tests {
             &design.compiled,
             &TimingParams::default(),
             u64::MAX,
+            SimEngine::default(),
         )
         .expect("replays");
         assert_eq!(check.cycle_slack, 0);
@@ -332,6 +335,7 @@ mod tests {
             &design.compiled,
             &TimingParams::default(),
             4,
+            SimEngine::default(),
         )
         .expect("replays");
         assert!(check.is_clean(), "{:?}", check.divergences);
@@ -351,8 +355,32 @@ mod tests {
             &design.compiled,
             &TimingParams::default(),
             DEFAULT_BEAT_CAP,
+            SimEngine::default(),
         );
         assert!(matches!(err, Err(DiffError::Rtl(_))));
+    }
+
+    #[test]
+    fn both_engines_read_back_identical_counters() {
+        let net = parse_network(SRC).expect("parses");
+        let design = generate(&net, &Budget::Small).expect("generates");
+        let run = |engine| {
+            verify_counters(
+                &design.design,
+                &design.compiled,
+                &TimingParams::default(),
+                DEFAULT_BEAT_CAP,
+                engine,
+            )
+            .expect("replays")
+        };
+        let tree = run(SimEngine::Tree);
+        let compiled = run(SimEngine::Compiled);
+        assert_eq!(tree.rtl, compiled.rtl, "register readbacks must match");
+        assert_eq!(tree.analytic, compiled.analytic);
+        assert_eq!(tree.replayed_cycles, compiled.replayed_cycles);
+        assert_eq!(tree.cycle_slack, compiled.cycle_slack);
+        assert_eq!(tree.divergences, compiled.divergences);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use deepburning_model::{Activation, Layer, LayerKind, Network, PoolMethod};
 use deepburning_tensor::{cmac_index, eval_layer, Tensor, WeightSet};
 use deepburning_trace as trace;
 use deepburning_trace::json::Json;
-use deepburning_verilog::{lint_design, Design, Interpreter, SimulateError};
+use deepburning_verilog::{lint_design, Design, SimEngine, SimulateError, Simulator};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -296,6 +296,11 @@ pub struct DiffOptions {
     /// [`diff_design`] (see [`verify_counters`]). Larger caps tighten the
     /// cycle-counter slack at interpreter cost.
     pub counter_beat_cap: u64,
+    /// Which simulation engine executes the RTL view: the levelized
+    /// [`SimEngine::Compiled`] tape (default) or the tree-walking
+    /// [`SimEngine::Tree`] reference. Both produce bit-identical
+    /// divergence reports, counters and VCDs by construction.
+    pub engine: SimEngine,
 }
 
 impl Default for DiffOptions {
@@ -305,6 +310,7 @@ impl Default for DiffOptions {
             lut_error_probes: 1024,
             inject_rtl_fault: None,
             counter_beat_cap: crate::counters::DEFAULT_BEAT_CAP,
+            engine: SimEngine::default(),
         }
     }
 }
@@ -351,35 +357,41 @@ struct RtlBank {
     w: u32,
     mask: u64,
     lanes: u32,
-    neuron: Interpreter,
-    relu: Interpreter,
-    pool_max: Interpreter,
-    pool_avg: Interpreter,
-    cbox: Interpreter,
+    engine: SimEngine,
+    neuron: Box<dyn Simulator>,
+    relu: Box<dyn Simulator>,
+    pool_max: Box<dyn Simulator>,
+    pool_avg: Box<dyn Simulator>,
+    cbox: Box<dyn Simulator>,
     sorter_inputs: u32,
-    sorter: Interpreter,
+    sorter: Box<dyn Simulator>,
     /// Approx-LUT interpolators keyed by image tag (`sigmoid`, `tanh`,
     /// `lrn:<layer>`).
-    act_luts: BTreeMap<String, Interpreter>,
+    act_luts: BTreeMap<String, Box<dyn Simulator>>,
     /// LRN units keyed by layer name.
-    lrn_units: BTreeMap<String, Interpreter>,
+    lrn_units: BTreeMap<String, Box<dyn Simulator>>,
     /// Associative tables keyed by layer name.
-    assoc_tables: BTreeMap<String, Interpreter>,
-    /// When set, every interpreter (including lazily elaborated ones)
+    assoc_tables: BTreeMap<String, Box<dyn Simulator>>,
+    /// When set, every simulator (including lazily elaborated ones)
     /// records a VCD waveform.
     vcd_enabled: bool,
 }
 
-fn elaborate_block(design: &Design, top: &str) -> Result<Interpreter, DiffError> {
+fn elaborate_block(
+    design: &Design,
+    top: &str,
+    engine: SimEngine,
+) -> Result<Box<dyn Simulator>, DiffError> {
+    let _span = trace::span("sim", "sim.rtl_elaborate");
     let lint = lint_design(design);
     if !lint.is_clean() {
         return Err(DiffError::Lint(format!("{top}: {lint}")));
     }
-    Ok(Interpreter::elaborate(design, top)?)
+    Ok(engine.elaborate(design, top)?)
 }
 
 impl RtlBank {
-    fn new(fmt: QFormat, design_lanes: u32) -> Result<Self, DiffError> {
+    fn new(fmt: QFormat, design_lanes: u32, engine: SimEngine) -> Result<Self, DiffError> {
         let w = fmt.total_bits();
         // Bus widths must fit the interpreter's 64-bit signals; the wide
         // accumulator makes the dot product independent of lane grouping,
@@ -414,13 +426,22 @@ impl RtlBank {
             w,
             mask: if w >= 64 { u64::MAX } else { (1u64 << w) - 1 },
             lanes,
-            neuron: elaborate_block(&Design::new(neuron.generate()), &neuron.module_name())?,
-            relu: elaborate_block(&Design::new(relu.generate()), &relu.module_name())?,
-            pool_max: elaborate_block(&Design::new(pmax.generate()), &pmax.module_name())?,
-            pool_avg: elaborate_block(&Design::new(pavg.generate()), &pavg.module_name())?,
-            cbox: elaborate_block(&Design::new(cbox.generate()), &cbox.module_name())?,
+            engine,
+            neuron: elaborate_block(
+                &Design::new(neuron.generate()),
+                &neuron.module_name(),
+                engine,
+            )?,
+            relu: elaborate_block(&Design::new(relu.generate()), &relu.module_name(), engine)?,
+            pool_max: elaborate_block(&Design::new(pmax.generate()), &pmax.module_name(), engine)?,
+            pool_avg: elaborate_block(&Design::new(pavg.generate()), &pavg.module_name(), engine)?,
+            cbox: elaborate_block(&Design::new(cbox.generate()), &cbox.module_name(), engine)?,
             sorter_inputs,
-            sorter: elaborate_block(&Design::new(sorter.generate()), &sorter.module_name())?,
+            sorter: elaborate_block(
+                &Design::new(sorter.generate()),
+                &sorter.module_name(),
+                engine,
+            )?,
             act_luts: BTreeMap::new(),
             lrn_units: BTreeMap::new(),
             assoc_tables: BTreeMap::new(),
@@ -436,31 +457,31 @@ impl RtlBank {
         Ok(bank)
     }
 
-    /// Every block interpreter, tagged. Lazily elaborated blocks appear
+    /// Every block simulator, tagged. Lazily elaborated blocks appear
     /// once created.
-    fn modules_mut(&mut self) -> Vec<(String, &mut Interpreter)> {
-        let mut mods: Vec<(String, &mut Interpreter)> = vec![
-            ("neuron".to_string(), &mut self.neuron),
-            ("relu".to_string(), &mut self.relu),
-            ("pool_max".to_string(), &mut self.pool_max),
-            ("pool_avg".to_string(), &mut self.pool_avg),
-            ("cbox".to_string(), &mut self.cbox),
-            ("sorter".to_string(), &mut self.sorter),
+    fn modules_mut(&mut self) -> Vec<(String, &mut dyn Simulator)> {
+        let mut mods: Vec<(String, &mut dyn Simulator)> = vec![
+            ("neuron".to_string(), self.neuron.as_mut()),
+            ("relu".to_string(), self.relu.as_mut()),
+            ("pool_max".to_string(), self.pool_max.as_mut()),
+            ("pool_avg".to_string(), self.pool_avg.as_mut()),
+            ("cbox".to_string(), self.cbox.as_mut()),
+            ("sorter".to_string(), self.sorter.as_mut()),
         ];
         mods.extend(
             self.act_luts
                 .iter_mut()
-                .map(|(k, v)| (format!("lut:{k}"), v)),
+                .map(|(k, v)| (format!("lut:{k}"), v.as_mut() as &mut dyn Simulator)),
         );
         mods.extend(
             self.lrn_units
                 .iter_mut()
-                .map(|(k, v)| (format!("lrn:{k}"), v)),
+                .map(|(k, v)| (format!("lrn:{k}"), v.as_mut() as &mut dyn Simulator)),
         );
         mods.extend(
             self.assoc_tables
                 .iter_mut()
-                .map(|(k, v)| (format!("assoc:{k}"), v)),
+                .map(|(k, v)| (format!("assoc:{k}"), v.as_mut() as &mut dyn Simulator)),
         );
         mods
     }
@@ -594,7 +615,11 @@ impl RtlBank {
     fn lut_eval(&mut self, tag: &str, image: &ApproxLut, x: Fx) -> Result<Fx, DiffError> {
         if !self.act_luts.contains_key(tag) {
             let block = ApproxLutBlock::new(self.w, image.clone());
-            let mut sim = elaborate_block(&Design::new(block.generate()), &block.module_name())?;
+            let mut sim = elaborate_block(
+                &Design::new(block.generate()),
+                &block.module_name(),
+                self.engine,
+            )?;
             let (keys, vals) = block.rom_words();
             sim.load_memory("key_rom", &keys)?;
             sim.load_memory("val_rom", &vals)?;
@@ -629,7 +654,7 @@ impl RtlBank {
             let lut_block = ApproxLutBlock::new(self.w, image.clone());
             let mut d = Design::new(unit.generate());
             d.add_module(lut_block.generate());
-            let mut sim = elaborate_block(&d, &unit.module_name())?;
+            let mut sim = elaborate_block(&d, &unit.module_name(), self.engine)?;
             let (keys, vals) = lut_block.rom_words();
             sim.load_memory("u_factor_lut.key_rom", &keys)?;
             sim.load_memory("u_factor_lut.val_rom", &vals)?;
@@ -661,7 +686,11 @@ impl RtlBank {
                 width: self.w,
                 depth: table.len().max(2),
             };
-            let mut sim = elaborate_block(&Design::new(block.generate()), &block.module_name())?;
+            let mut sim = elaborate_block(
+                &Design::new(block.generate()),
+                &block.module_name(),
+                self.engine,
+            )?;
             let words: Vec<u64> = table.iter().map(|v| v.raw() as u64 & self.mask).collect();
             sim.load_memory("mem", &words)?;
             sim.poke("we", 0)?;
@@ -822,16 +851,18 @@ fn rtl_check_layer(
         }
         LayerKind::FullConnection(p) => {
             let src = bottoms[0].clone().flat();
-            let w = quantize_weights(&lw()?.w, fmt);
-            let b = quantize_weights(&lw()?.b, fmt);
+            let lw = lw()?;
             let n = src.data.len();
+            // Quantise only the sampled rows: materialising the full
+            // matrix costs more than every sampled dot product combined
+            // on the large FC layers.
             for o in sample_indices(p.num_output, cap) {
                 let mut pairs = Vec::with_capacity(n + 1);
-                if let Some(bias) = b.get(o) {
-                    pairs.push((*bias, one));
+                if let Some(bias) = lw.b.get(o) {
+                    pairs.push((Fx::from_f64(f64::from(*bias), fmt), one));
                 }
-                for (x, wv) in src.data.iter().zip(&w[o * n..(o + 1) * n]) {
-                    pairs.push((*x, *wv));
+                for (x, wv) in src.data.iter().zip(&lw.w[o * n..(o + 1) * n]) {
+                    pairs.push((*x, Fx::from_f64(f64::from(*wv), fmt)));
                 }
                 let got = bank.dot(&pairs)?;
                 check(o, got, fx_out.data[o], divs);
@@ -1244,7 +1275,7 @@ pub fn diff_network(
     if input.shape() != net.input_shape() {
         return Err(DiffError::Reference("input shape mismatch".into()));
     }
-    let mut bank = RtlBank::new(fmt, design_lanes)?;
+    let mut bank = RtlBank::new(fmt, design_lanes, opts.engine)?;
     let mut ref_blobs: BTreeMap<String, Tensor> = BTreeMap::new();
     let mut fx_blobs: BTreeMap<String, FxBlob> = BTreeMap::new();
     let mut tol: BTreeMap<String, f64> = BTreeMap::new();
@@ -1477,6 +1508,7 @@ pub fn diff_design(
         &design.compiled,
         &TimingParams::default(),
         opts.counter_beat_cap,
+        opts.engine,
     )?;
     report.divergences.extend(check.divergences.iter().cloned());
     report.counters = Some(check);
@@ -1512,7 +1544,7 @@ pub fn capture_layer_vcd(
         return Err(DiffError::Reference("input shape mismatch".into()));
     }
     let _span = trace::span("sim", "sim.capture_vcd");
-    let mut bank = RtlBank::new(fmt, design_lanes)?;
+    let mut bank = RtlBank::new(fmt, design_lanes, opts.engine)?;
     bank.enable_vcd();
     let mut fx_blobs: BTreeMap<String, FxBlob> = BTreeMap::new();
     for (layer_idx, layer) in net.layers().iter().enumerate() {

@@ -114,29 +114,44 @@ fn conv_fx(
 ) -> FxBlob {
     let cig = input.shape.channels / group;
     let cog = num_output / group;
-    let oh = (input.shape.height + 2 * pad - kernel) / stride + 1;
-    let ow = (input.shape.width + 2 * pad - kernel) / stride + 1;
+    let (ih, iw) = (input.shape.height, input.shape.width);
+    let oh = (ih + 2 * pad - kernel) / stride + 1;
+    let ow = (iw + 2 * pad - kernel) / stride + 1;
     let mut out = FxBlob::zeros(Shape::new(num_output, oh, ow), fmt);
+    // The MAC chain runs on raw i64 values with a local i128 sum: blob
+    // and weight formats are uniform by construction, so this computes
+    // bit-for-bit what `Accumulator::mac` + `resolve(Truncate)` compute
+    // (i128 addition is exact and order-independent) without per-MAC
+    // format checks or padded-access branches in the innermost loop.
+    let frac = fmt.frac_bits();
     for co in 0..num_output {
         let g = co / cog;
+        let bias: i128 = b.get(co).map_or(0, |v| (v.raw() as i128) << frac);
         for oy in 0..oh {
             for ox in 0..ow {
-                let mut acc = Accumulator::new(fmt);
-                if let Some(bias) = b.get(co) {
-                    acc.add(*bias);
-                }
+                let mut wide = bias;
                 for icg in 0..cig {
                     let ic = g * cig + icg;
+                    let wbase = (co * cig + icg) * kernel * kernel;
                     for ky in 0..kernel {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        let row = (ic * ih + iy as usize) * iw;
+                        let wrow = wbase + ky * kernel;
                         for kx in 0..kernel {
-                            let iy = (oy * stride + ky) as isize - pad as isize;
                             let ix = (ox * stride + kx) as isize - pad as isize;
-                            let wv = w[((co * cig + icg) * kernel + ky) * kernel + kx];
-                            acc.mac(wv, input.get_padded(fmt, ic, iy, ix));
+                            if ix < 0 || ix >= iw as isize {
+                                continue;
+                            }
+                            wide += w[wrow + kx].raw() as i128
+                                * input.data[row + ix as usize].raw() as i128;
                         }
                     }
                 }
-                out.set(co, oy, ox, acc.resolve(Rounding::Truncate));
+                let raw = (wide >> frac).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+                out.set(co, oy, ox, Fx::from_raw(raw, fmt));
             }
         }
     }
@@ -191,18 +206,23 @@ fn pool_fx(
     out
 }
 
-fn fc_fx(input: &FxBlob, w: &[Fx], b: &[Fx], num_output: usize, fmt: QFormat) -> FxBlob {
+/// [`fc_fx`] over unquantised `f32` weights: quantises each weight on
+/// the fly (bit-identical to `quantize_weights` + [`fc_fx`]) instead of
+/// materialising the quantised matrix — for the large FC layers that
+/// allocation dwarfs the dot product itself.
+fn fc_fx_f32(input: &FxBlob, w: &[f32], b: &[f32], num_output: usize, fmt: QFormat) -> FxBlob {
     let n = input.data.len();
     let mut out = FxBlob::zeros(Shape::vector(num_output), fmt);
+    let frac = fmt.frac_bits();
     for o in 0..num_output {
-        let mut acc = Accumulator::new(fmt);
-        if let Some(bias) = b.get(o) {
-            acc.add(*bias);
-        }
+        let mut wide: i128 = b.get(o).map_or(0, |v| {
+            (Fx::from_f64(f64::from(*v), fmt).raw() as i128) << frac
+        });
         for (x, wv) in input.data.iter().zip(&w[o * n..(o + 1) * n]) {
-            acc.mac(*x, *wv);
+            wide += x.raw() as i128 * Fx::from_f64(f64::from(*wv), fmt).raw() as i128;
         }
-        out.data[o] = acc.resolve(Rounding::Truncate);
+        let raw = (wide >> frac).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        out.data[o] = Fx::from_raw(raw, fmt);
     }
     out
 }
@@ -378,13 +398,7 @@ pub(crate) fn eval_fx_layer(
         LayerKind::FullConnection(p) => {
             let lw = lw()?;
             let flat = bottom(0)?.clone().flat();
-            fc_fx(
-                &flat,
-                &quantize_weights(&lw.w, fmt),
-                &quantize_weights(&lw.b, fmt),
-                p.num_output,
-                fmt,
-            )
+            fc_fx_f32(&flat, &lw.w, &lw.b, p.num_output, fmt)
         }
         LayerKind::Activation(a) => activation_fx(bottom(0)?, *a, luts, fmt, &layer.name)?,
         LayerKind::Lrn(p) => {

@@ -83,6 +83,246 @@ impl InterpStats {
     }
 }
 
+/// The common testbench surface over both simulation engines: the
+/// tree-walking [`Interpreter`] (the semantic reference) and the
+/// levelized [`CompiledSim`](crate::CompiledSim). Everything downstream
+/// of elaboration — the differential harness, the counter replay, the
+/// VCD divergence bundles — drives a `dyn Simulator`, so the engines are
+/// interchangeable behind [`SimEngine`](crate::SimEngine).
+pub trait Simulator {
+    /// Drives a top-level input, then settles the combinational nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown or non-input signals.
+    fn poke(&mut self, name: &str, value: u64) -> Result<(), SimulateError>;
+
+    /// Reads any signal's current value (hierarchical names use `.`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown signals or whole-memory reads.
+    fn read(&self, name: &str) -> Result<u64, SimulateError>;
+
+    /// Writes a memory word-for-word (testbench backdoor for ROM images).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the signal is not a memory.
+    fn load_memory(&mut self, name: &str, words: &[u64]) -> Result<(), SimulateError>;
+
+    /// One rising edge of the clock named `clk`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    fn clock(&mut self) -> Result<(), SimulateError> {
+        self.clock_named("clk")
+    }
+
+    /// One rising edge of a specific clock signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    fn clock_named(&mut self, clk: &str) -> Result<(), SimulateError>;
+
+    /// Cycles executed so far.
+    fn cycles(&self) -> u64;
+
+    /// Execution counters accumulated so far. `clock_edges` and
+    /// `nba_writes` are engine-independent; `settle_passes` and
+    /// `assign_evals` count the engine's own work (the compiled engine
+    /// evaluates only dirty fanout cones, so its counts are lower).
+    fn stats(&self) -> InterpStats;
+
+    /// Number of flattened signals (diagnostics).
+    fn signal_count(&self) -> usize;
+
+    /// Expression evaluations attributed to the flattened instance path
+    /// that produced each instruction (`""` is the top module). Engines
+    /// without per-instruction attribution return an empty list.
+    fn evals_by_module(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Starts VCD waveform recording (see [`Interpreter::vcd_begin`]).
+    fn vcd_begin(&mut self, top: &str);
+
+    /// Forces a sample outside a clock edge.
+    fn vcd_sample_now(&mut self);
+
+    /// Stops recording and returns the VCD document, if recording.
+    fn vcd_end(&mut self) -> Option<String>;
+
+    /// Timesteps recorded so far, or 0 when not recording.
+    fn vcd_timesteps(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Shared elaboration: hierarchy flattening.
+// ---------------------------------------------------------------------------
+
+/// One flattened signal declaration.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatSignal {
+    /// Hierarchical dot-separated name.
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// `Some(depth)` for memories.
+    pub depth: Option<usize>,
+}
+
+/// A [`Design`] flattened to executable primitives: every instance
+/// inlined, every identifier rewritten to its hierarchical name. Both
+/// engines elaborate from this.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlatDesign {
+    /// Signals in declaration order (top ports first).
+    pub signals: Vec<FlatSignal>,
+    /// Continuous assigns, flattened, in declaration order.
+    pub assigns: Vec<(Expr, Expr)>,
+    /// `(clock name, body)` for every flattened posedge block.
+    pub clocked: Vec<(String, Vec<Stmt>)>,
+    /// Top-level input port names (writable from the testbench).
+    pub inputs: Vec<String>,
+}
+
+impl FlatDesign {
+    fn declare(
+        &mut self,
+        name: &str,
+        width: u32,
+        depth: Option<usize>,
+    ) -> Result<(), SimulateError> {
+        if width > 64 {
+            return Err(err(format!(
+                "signal `{name}` is {width} bits; the interpreter handles at most 64"
+            )));
+        }
+        self.signals.push(FlatSignal {
+            name: name.to_string(),
+            width,
+            depth,
+        });
+        Ok(())
+    }
+
+    fn flatten(
+        &mut self,
+        design: &Design,
+        module: &VModule,
+        prefix: &str,
+        binds: &BTreeMap<String, Expr>,
+    ) -> Result<(), SimulateError> {
+        for item in &module.items {
+            match item {
+                Item::Net(n) => {
+                    self.declare(&prefixed(prefix, &n.name), n.width, n.depth)?;
+                }
+                Item::Assign { lhs, rhs } => {
+                    self.assigns.push((
+                        rewrite_expr(lhs, prefix, binds),
+                        rewrite_expr(rhs, prefix, binds),
+                    ));
+                }
+                Item::Always { sensitivity, body } => {
+                    let clk = match sensitivity {
+                        Sensitivity::PosEdge(c) => {
+                            // Resolve the clock through the binds.
+                            match binds.get(c) {
+                                Some(Expr::Id(parent)) => parent.clone(),
+                                Some(_) => return Err(err("clock bound to a non-identifier")),
+                                None => prefixed(prefix, c),
+                            }
+                        }
+                        Sensitivity::Combinational => {
+                            return Err(err(
+                                "combinational always blocks are not supported; use assigns",
+                            ))
+                        }
+                    };
+                    let body = body
+                        .iter()
+                        .map(|s| rewrite_stmt(s, prefix, binds))
+                        .collect();
+                    self.clocked.push((clk, body));
+                }
+                Item::Instance {
+                    module: child_name,
+                    name,
+                    connections,
+                    ..
+                } => {
+                    let child = design
+                        .module(child_name)
+                        .ok_or_else(|| err(format!("no module `{child_name}`")))?;
+                    let child_prefix = prefixed(prefix, name);
+                    let mut child_binds = BTreeMap::new();
+                    for (port, expr) in connections {
+                        child_binds.insert(port.clone(), rewrite_expr(expr, prefix, binds));
+                    }
+                    // Unconnected child ports become local nets.
+                    for p in &child.ports {
+                        if !child_binds.contains_key(&p.name) {
+                            let local = prefixed(&child_prefix, &p.name);
+                            self.declare(&local, p.width, None)?;
+                            child_binds.insert(p.name.clone(), Expr::Id(local));
+                        }
+                    }
+                    // Output ports drive the bound expression: model as a
+                    // continuous assign parent_expr = child_port_signal.
+                    for p in &child.ports {
+                        let local = prefixed(&child_prefix, &p.name);
+                        match p.dir {
+                            PortDir::Output => {
+                                self.declare(&local, p.width, None)?;
+                                let parent = child_binds[&p.name].clone();
+                                self.assigns.push((parent, Expr::Id(local.clone())));
+                            }
+                            PortDir::Input => {
+                                // Inputs read the parent's expression
+                                // directly through the bind map.
+                            }
+                        }
+                    }
+                    // Inside the child, output port writes go to the local
+                    // signal; input port reads go through the bind.
+                    let mut inner_binds = child_binds.clone();
+                    for p in &child.ports {
+                        if p.dir == PortDir::Output {
+                            inner_binds
+                                .insert(p.name.clone(), Expr::Id(prefixed(&child_prefix, &p.name)));
+                        }
+                    }
+                    self.flatten(design, child, &child_prefix, &inner_binds)?;
+                }
+                Item::Comment(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Flattens `design`'s module `top` (instantiating submodules
+/// recursively) into executable primitives.
+pub(crate) fn flatten_design(design: &Design, top: &str) -> Result<FlatDesign, SimulateError> {
+    let module = design
+        .module(top)
+        .ok_or_else(|| err(format!("no module `{top}`")))?;
+    let mut flat = FlatDesign::default();
+    // Top ports become plain signals the testbench reads/writes.
+    for p in &module.ports {
+        flat.declare(&p.name, p.width, None)?;
+        if p.dir == PortDir::Input {
+            flat.inputs.push(p.name.clone());
+        }
+    }
+    flat.flatten(design, module, "", &BTreeMap::new())?;
+    Ok(flat)
+}
+
 /// A flattened, executable instance of a [`Design`]'s module.
 ///
 /// # Examples
@@ -231,144 +471,33 @@ impl Interpreter {
     /// Returns [`SimulateError`] on unknown modules, unbound output ports
     /// connected to non-identifiers, or signals wider than 64 bits.
     pub fn elaborate(design: &Design, top: &str) -> Result<Self, SimulateError> {
-        let module = design
-            .module(top)
-            .ok_or_else(|| err(format!("no module `{top}`")))?;
+        let flat = flatten_design(design, top)?;
+        let mut signals = BTreeMap::new();
+        for sig in &flat.signals {
+            let value = match sig.depth {
+                Some(d) => Value::Memory(vec![0; d]),
+                None => Value::Scalar(0),
+            };
+            signals.insert(
+                sig.name.clone(),
+                Signal {
+                    width: sig.width,
+                    value,
+                },
+            );
+        }
         let mut interp = Interpreter {
-            signals: BTreeMap::new(),
-            assigns: Vec::new(),
-            clocked: Vec::new(),
-            inputs: Vec::new(),
+            signals,
+            assigns: flat.assigns,
+            clocked: flat.clocked,
+            inputs: flat.inputs,
             cycles: 0,
             stats: InterpStats::default(),
             vcd: None,
             vcd_names: Vec::new(),
         };
-        // Top ports become plain signals the testbench reads/writes.
-        for p in &module.ports {
-            interp.declare(&p.name, p.width, None)?;
-            if p.dir == PortDir::Input {
-                interp.inputs.push(p.name.clone());
-            }
-        }
-        interp.flatten(design, module, "", &BTreeMap::new())?;
         interp.settle()?;
         Ok(interp)
-    }
-
-    fn declare(
-        &mut self,
-        name: &str,
-        width: u32,
-        depth: Option<usize>,
-    ) -> Result<(), SimulateError> {
-        if width > 64 {
-            return Err(err(format!(
-                "signal `{name}` is {width} bits; the interpreter handles at most 64"
-            )));
-        }
-        let value = match depth {
-            Some(d) => Value::Memory(vec![0; d]),
-            None => Value::Scalar(0),
-        };
-        self.signals
-            .insert(name.to_string(), Signal { width, value });
-        Ok(())
-    }
-
-    fn flatten(
-        &mut self,
-        design: &Design,
-        module: &VModule,
-        prefix: &str,
-        binds: &BTreeMap<String, Expr>,
-    ) -> Result<(), SimulateError> {
-        for item in &module.items {
-            match item {
-                Item::Net(n) => {
-                    self.declare(&prefixed(prefix, &n.name), n.width, n.depth)?;
-                }
-                Item::Assign { lhs, rhs } => {
-                    self.assigns.push((
-                        rewrite_expr(lhs, prefix, binds),
-                        rewrite_expr(rhs, prefix, binds),
-                    ));
-                }
-                Item::Always { sensitivity, body } => {
-                    let clk = match sensitivity {
-                        Sensitivity::PosEdge(c) => {
-                            // Resolve the clock through the binds.
-                            match binds.get(c) {
-                                Some(Expr::Id(parent)) => parent.clone(),
-                                Some(_) => return Err(err("clock bound to a non-identifier")),
-                                None => prefixed(prefix, c),
-                            }
-                        }
-                        Sensitivity::Combinational => {
-                            return Err(err(
-                                "combinational always blocks are not supported; use assigns",
-                            ))
-                        }
-                    };
-                    let body = body
-                        .iter()
-                        .map(|s| rewrite_stmt(s, prefix, binds))
-                        .collect();
-                    self.clocked.push((clk, body));
-                }
-                Item::Instance {
-                    module: child_name,
-                    name,
-                    connections,
-                    ..
-                } => {
-                    let child = design
-                        .module(child_name)
-                        .ok_or_else(|| err(format!("no module `{child_name}`")))?;
-                    let child_prefix = prefixed(prefix, name);
-                    let mut child_binds = BTreeMap::new();
-                    for (port, expr) in connections {
-                        child_binds.insert(port.clone(), rewrite_expr(expr, prefix, binds));
-                    }
-                    // Unconnected child ports become local nets.
-                    for p in &child.ports {
-                        if !child_binds.contains_key(&p.name) {
-                            let local = prefixed(&child_prefix, &p.name);
-                            self.declare(&local, p.width, None)?;
-                            child_binds.insert(p.name.clone(), Expr::Id(local));
-                        }
-                    }
-                    // Output ports drive the bound expression: model as a
-                    // continuous assign parent_expr = child_port_signal.
-                    for p in &child.ports {
-                        let local = prefixed(&child_prefix, &p.name);
-                        match p.dir {
-                            PortDir::Output => {
-                                self.declare(&local, p.width, None)?;
-                                let parent = child_binds[&p.name].clone();
-                                self.assigns.push((parent, Expr::Id(local.clone())));
-                            }
-                            PortDir::Input => {
-                                // Inputs read the parent's expression
-                                // directly through the bind map.
-                            }
-                        }
-                    }
-                    // Inside the child, output port writes go to the local
-                    // signal; input port reads go through the bind.
-                    let mut inner_binds = child_binds.clone();
-                    for p in &child.ports {
-                        if p.dir == PortDir::Output {
-                            inner_binds
-                                .insert(p.name.clone(), Expr::Id(prefixed(&child_prefix, &p.name)));
-                        }
-                    }
-                    self.flatten(design, child, &child_prefix, &inner_binds)?;
-                }
-                Item::Comment(_) => {}
-            }
-        }
-        Ok(())
     }
 
     fn width_of(&self, name: &str) -> Result<u32, SimulateError> {
@@ -775,6 +904,52 @@ impl Interpreter {
             rec.sample(&values);
             self.vcd = Some(rec);
         }
+    }
+}
+
+impl Simulator for Interpreter {
+    fn poke(&mut self, name: &str, value: u64) -> Result<(), SimulateError> {
+        Interpreter::poke(self, name, value)
+    }
+
+    fn read(&self, name: &str) -> Result<u64, SimulateError> {
+        Interpreter::read(self, name)
+    }
+
+    fn load_memory(&mut self, name: &str, words: &[u64]) -> Result<(), SimulateError> {
+        Interpreter::load_memory(self, name, words)
+    }
+
+    fn clock_named(&mut self, clk: &str) -> Result<(), SimulateError> {
+        Interpreter::clock_named(self, clk)
+    }
+
+    fn cycles(&self) -> u64 {
+        Interpreter::cycles(self)
+    }
+
+    fn stats(&self) -> InterpStats {
+        Interpreter::stats(self)
+    }
+
+    fn signal_count(&self) -> usize {
+        Interpreter::signal_count(self)
+    }
+
+    fn vcd_begin(&mut self, top: &str) {
+        Interpreter::vcd_begin(self, top);
+    }
+
+    fn vcd_sample_now(&mut self) {
+        Interpreter::vcd_sample_now(self);
+    }
+
+    fn vcd_end(&mut self) -> Option<String> {
+        Interpreter::vcd_end(self)
+    }
+
+    fn vcd_timesteps(&self) -> u64 {
+        Interpreter::vcd_timesteps(self)
     }
 }
 

@@ -24,6 +24,7 @@
 //! ```
 
 mod ast;
+mod compile;
 mod emit;
 mod interp;
 mod lint;
@@ -34,8 +35,9 @@ pub use ast::{
     BinaryOp, Design, Expr, Item, NetDecl, NetKind, Port, PortDir, Sensitivity, Stmt, UnaryOp,
     VModule,
 };
+pub use compile::{CompiledSim, SimEngine};
 pub use emit::{emit_design, emit_expr, emit_module};
-pub use interp::{InterpStats, Interpreter, SimulateError};
+pub use interp::{InterpStats, Interpreter, SimulateError, Simulator};
 pub use lint::{lint_design, LintIssue, LintReport, Severity};
 pub use testbench::{emit_testbench, TestbenchOptions};
 pub use vcd::VcdRecorder;
