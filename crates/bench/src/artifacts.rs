@@ -99,6 +99,8 @@ mod tests {
             divergences: vec![],
             rtl_modules: vec![],
             counters: None,
+            range_proofs: vec![],
+            lint: None,
         };
         let net = parse_network(
             r#"layers { name: "data" type: INPUT top: "data"

@@ -126,6 +126,22 @@ impl Sweep {
                         "ok    {label:<24} {exact:>5} rtl-exact elements  {:>8.3}s",
                         elapsed.as_secs_f64()
                     );
+                    let blind = report.skip_audited();
+                    if !blind.is_empty() {
+                        println!(
+                            "      {} layers skip-audited ({})",
+                            blind.len(),
+                            blind
+                                .iter()
+                                .map(|l| format!(
+                                    "{}: {}",
+                                    l.layer,
+                                    l.skip_reason.unwrap_or("all elements near saturation")
+                                ))
+                                .collect::<Vec<_>>()
+                                .join("; ")
+                        );
+                    }
                     if self.verbose {
                         print!("{report}");
                     }

@@ -11,7 +11,7 @@ fn main() {
     let widths = [10usize, 8, 12, 12, 12, 12, 12];
     print_row(
         &[
-            "".into(),
+            String::new(),
             "tier".into(),
             "compute".into(),
             "buffer".into(),

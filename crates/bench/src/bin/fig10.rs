@@ -174,7 +174,12 @@ fn main() {
 
     let widths = [10usize, 12, 12, 12];
     print_row(
-        &["".into(), "CPU %".into(), "DB %".into(), "|delta|".into()],
+        &[
+            String::new(),
+            "CPU %".into(),
+            "DB %".into(),
+            "|delta|".into(),
+        ],
         &widths,
     );
     let mut deltas = Vec::new();

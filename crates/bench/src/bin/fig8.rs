@@ -13,7 +13,7 @@ fn main() {
     let widths = [10usize, 12, 12, 12, 12, 12, 10, 10];
     print_row(
         &[
-            "".into(),
+            String::new(),
             "Custom".into(),
             "DB".into(),
             "DB-L".into(),
@@ -67,15 +67,15 @@ fn main() {
                     "-".into(),
                     "-".into(),
                     "-".into(),
-                    "".into(),
-                    "".into(),
+                    String::new(),
+                    String::new(),
                 ],
                 &widths,
             );
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    let max_speedup = speedups.iter().cloned().fold(0.0f64, f64::max);
+    let max_speedup = speedups.iter().copied().fold(0.0f64, f64::max);
     println!();
     println!("max CPU/DB speedup: {max_speedup:.2}x   (paper: up to 4.7x)");
     println!(

@@ -12,7 +12,7 @@ fn main() {
     let widths = [10usize, 12, 12, 12, 12, 12, 10, 10];
     print_row(
         &[
-            "".into(),
+            String::new(),
             "Custom".into(),
             "DB".into(),
             "DB-L".into(),
@@ -66,8 +66,8 @@ fn main() {
                     "-".into(),
                     "-".into(),
                     "-".into(),
-                    "".into(),
-                    "".into(),
+                    String::new(),
+                    String::new(),
                 ],
                 &widths,
             );

@@ -9,7 +9,7 @@ fn main() {
     let widths = [10usize, 6, 6, 6, 24];
     print_row(
         &[
-            "".into(),
+            String::new(),
             "Conv".into(),
             "FC.".into(),
             "Rec.".into(),

@@ -14,7 +14,7 @@ fn main() {
     let widths = [12usize, 8, 8, 10, 10, 10, 10];
     print_row(
         &[
-            "".into(),
+            String::new(),
             "DSP(CU)".into(),
             "DSP(DB)".into(),
             "LUT(CU)".into(),

@@ -15,7 +15,7 @@ fn main() {
     let widths = [10usize, 14, 14, 14, 12];
     print_row(
         &[
-            "".into(),
+            String::new(),
             "cold".into(),
             "steady".into(),
             "inf/s".into(),

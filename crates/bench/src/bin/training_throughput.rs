@@ -18,7 +18,7 @@ fn main() {
     let widths = [10usize, 14, 14, 14, 10];
     print_row(
         &[
-            "".into(),
+            String::new(),
             "DB iter".into(),
             "CPU iter".into(),
             "DB iter/s".into(),

@@ -210,7 +210,20 @@ pub fn synthesize_agus(
         // Main AGU: fetch input (if not resident) and this fold's weights;
         // write back the output slice when it spills.
         if !phase.input_resident {
-            let src = map.segment("input").map(|s| s.offset).unwrap_or_default();
+            // The network input streams from the `input` segment; every
+            // other layer's input is a spilled upstream activation and
+            // streams from `spill`. (Fetching everything from `input`
+            // used to run mid-network fetches past the segment end into
+            // unrelated weight segments — caught by the static AGU
+            // bounds pass.)
+            let from_input = net
+                .layers()
+                .iter()
+                .filter(|l| matches!(l.kind, LayerKind::Input { .. }))
+                .flat_map(|l| &l.tops)
+                .any(|t| *t == layer.bottoms[0]);
+            let seg_name = if from_input { "input" } else { "spill" };
+            let src = map.segment(seg_name).map(|s| s.offset).unwrap_or_default();
             prog.main.push(AguPattern::linear(
                 src,
                 pattern_len(in_words, phase.id, "input fetch")?,

@@ -1,0 +1,331 @@
+//! Pass 3: FSM reachability.
+//!
+//! Finds literal-encoded state machines — registers whose every clocked
+//! assignment is a literal constant and that are compared against
+//! literals — and computes the reachable state set from the power-on
+//! value by propagating assignments under their `if`/`case` state
+//! guards. States that appear in the machine (assigned or guarded
+//! against) but can never be reached are dead: either leftover encodings
+//! or transitions that can never fire.
+//!
+//! Counter-style registers (assigned `r + 1`) are deliberately out of
+//! scope: their reachability is arithmetic, not structural, and flagging
+//! them would false-positive on every phase counter the generator emits.
+
+use crate::{Diagnostic, Severity};
+use deepburning_verilog::{
+    BinaryOp, Design, Expr, Item, NetDecl, NetKind, Sensitivity, Stmt, VModule,
+};
+use std::collections::BTreeSet;
+
+/// State registers narrower than 2 bits cannot encode a machine worth
+/// checking; wider than this cap they are datapath, not control.
+const MAX_STATE_BITS: u32 = 12;
+
+/// `Some(v)` when `cond` being true implies `reg == v`. Conjunctions
+/// recurse so `rst == 0 && state == 2` still constrains `state`.
+fn constrains(cond: &Expr, reg: &str) -> Option<u64> {
+    match cond {
+        Expr::Binary(BinaryOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+            (Expr::Id(id), Expr::Lit { value, .. }) if id == reg => Some(*value),
+            (Expr::Lit { value, .. }, Expr::Id(id)) if id == reg => Some(*value),
+            _ => None,
+        },
+        Expr::Binary(BinaryOp::LogAnd, l, r) => constrains(l, reg).or_else(|| constrains(r, reg)),
+        _ => None,
+    }
+}
+
+/// The source states an edge can fire from: `None` = any state.
+type FromSet = Option<BTreeSet<u64>>;
+
+struct Machine<'a> {
+    reg: &'a str,
+    /// `(from, to)` transition edges.
+    edges: Vec<(FromSet, u64)>,
+    /// Every literal the register is assigned.
+    assigned: BTreeSet<u64>,
+    /// Every literal the register is compared against.
+    compared: BTreeSet<u64>,
+    /// True while all observed assignments have literal right-hand sides.
+    literal_only: bool,
+}
+
+impl<'a> Machine<'a> {
+    fn walk(&mut self, stmts: &[Stmt], from: &FromSet) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::NonBlocking(lhs, rhs) | Stmt::Blocking(lhs, rhs) => {
+                    if matches!(lhs, Expr::Id(id) if id == self.reg) {
+                        if let Expr::Lit { value, .. } = rhs {
+                            self.assigned.insert(*value);
+                            self.edges.push((from.clone(), *value));
+                        } else {
+                            self.literal_only = false;
+                        }
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.note_comparisons(cond);
+                    if let Some(v) = constrains(cond, self.reg) {
+                        let then_from = match from {
+                            None => Some(BTreeSet::from([v])),
+                            Some(s) => {
+                                Some(s.intersection(&BTreeSet::from([v])).copied().collect())
+                            }
+                        };
+                        let else_from = from.clone().map(|mut s: BTreeSet<u64>| {
+                            s.remove(&v);
+                            s
+                        });
+                        self.walk(then_body, &then_from);
+                        self.walk(else_body, &else_from);
+                    } else {
+                        self.walk(then_body, from);
+                        self.walk(else_body, from);
+                    }
+                }
+                Stmt::Case {
+                    subject,
+                    arms,
+                    default,
+                } => {
+                    let on_reg = matches!(subject, Expr::Id(id) if id == self.reg);
+                    let mut covered = BTreeSet::new();
+                    for (guard, body) in arms {
+                        if on_reg {
+                            if let Expr::Lit { value, .. } = guard {
+                                self.compared.insert(*value);
+                                covered.insert(*value);
+                                let arm_from = match from {
+                                    None => Some(BTreeSet::from([*value])),
+                                    Some(s) if s.contains(value) => Some(BTreeSet::from([*value])),
+                                    Some(_) => Some(BTreeSet::new()),
+                                };
+                                self.walk(body, &arm_from);
+                                continue;
+                            }
+                        }
+                        self.walk(body, from);
+                    }
+                    let default_from = if on_reg {
+                        from.clone().map(|mut s: BTreeSet<u64>| {
+                            s.retain(|v| !covered.contains(v));
+                            s
+                        })
+                    } else {
+                        from.clone()
+                    };
+                    self.walk(default, &default_from);
+                }
+                Stmt::Comment(_) => {}
+            }
+        }
+    }
+
+    fn note_comparisons(&mut self, cond: &Expr) {
+        if let Some(v) = constrains(cond, self.reg) {
+            self.compared.insert(v);
+        }
+        match cond {
+            Expr::Unary(_, e) => self.note_comparisons(e),
+            Expr::Binary(_, l, r) => {
+                self.note_comparisons(l);
+                self.note_comparisons(r);
+            }
+            Expr::Ternary(c, a, b) => {
+                self.note_comparisons(c);
+                self.note_comparisons(a);
+                self.note_comparisons(b);
+            }
+            _ => {}
+        }
+    }
+
+    /// Closure over the edges starting from the power-on value 0.
+    fn reachable(&self) -> BTreeSet<u64> {
+        let mut reach = BTreeSet::from([0u64]);
+        loop {
+            let before = reach.len();
+            for (from, to) in &self.edges {
+                let fires = match from {
+                    None => true,
+                    Some(s) => s.iter().any(|v| reach.contains(v)),
+                };
+                if fires {
+                    reach.insert(*to);
+                }
+            }
+            if reach.len() == before {
+                return reach;
+            }
+        }
+    }
+}
+
+fn check_module(module: &VModule) -> Vec<Diagnostic> {
+    let regs: Vec<&NetDecl> = module
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Net(n)
+                if n.kind == NetKind::Reg
+                    && n.depth.is_none()
+                    && (2..=MAX_STATE_BITS).contains(&n.width) =>
+            {
+                Some(n)
+            }
+            _ => None,
+        })
+        .collect();
+    if regs.is_empty() {
+        return Vec::new();
+    }
+    let clocked: Vec<&Vec<Stmt>> = module
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Always {
+                sensitivity: Sensitivity::PosEdge(_),
+                body,
+            } => Some(body),
+            _ => None,
+        })
+        .collect();
+    let mut diags = Vec::new();
+    for reg in regs {
+        let mut machine = Machine {
+            reg: &reg.name,
+            edges: Vec::new(),
+            assigned: BTreeSet::new(),
+            compared: BTreeSet::new(),
+            literal_only: true,
+        };
+        for body in &clocked {
+            machine.walk(body, &None);
+        }
+        // Only literal-encoded machines that branch on their own state
+        // qualify — everything else is a counter or a datapath register.
+        if !machine.literal_only || machine.assigned.is_empty() || machine.compared.is_empty() {
+            continue;
+        }
+        let universe: BTreeSet<u64> = machine.assigned.union(&machine.compared).copied().collect();
+        let reach = machine.reachable();
+        for dead in universe.difference(&reach) {
+            let role = if machine.assigned.contains(dead) {
+                "is assigned but never reached"
+            } else {
+                "guards transitions but is never entered"
+            };
+            diags.push(
+                Diagnostic::new(
+                    "fsm/dead-state",
+                    Severity::Warning,
+                    format!(
+                        "state {dead} of `{}` {role} (reachable states: {:?})",
+                        reg.name, reach
+                    ),
+                )
+                .in_module(module.name.clone())
+                .on_signal(reg.name.clone())
+                .suggest("remove the dead state or add a transition into it"),
+            );
+        }
+    }
+    diags
+}
+
+/// Runs FSM reachability over every module of the design.
+pub fn run(design: &Design) -> Vec<Diagnostic> {
+    design.modules.iter().flat_map(check_module).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_verilog::{Port, VModule};
+
+    fn eq(reg: &str, v: u64) -> Expr {
+        Expr::bin(BinaryOp::Eq, Expr::id(reg), Expr::lit(2, v))
+    }
+
+    fn fsm_module(include_state_3: bool) -> VModule {
+        let mut m = VModule::new("ctrl");
+        m.port(Port::input("clk", 1));
+        m.port(Port::input("rst", 1));
+        let mut body = vec![Stmt::If {
+            cond: Expr::id("rst"),
+            then_body: vec![Stmt::NonBlocking(Expr::id("state"), Expr::lit(2, 0))],
+            else_body: vec![Stmt::If {
+                cond: eq("state", 0),
+                then_body: vec![Stmt::NonBlocking(Expr::id("state"), Expr::lit(2, 1))],
+                else_body: vec![Stmt::If {
+                    cond: eq("state", 1),
+                    then_body: vec![Stmt::NonBlocking(Expr::id("state"), Expr::lit(2, 2))],
+                    else_body: vec![Stmt::If {
+                        cond: eq("state", 2),
+                        then_body: vec![Stmt::NonBlocking(Expr::id("state"), Expr::lit(2, 0))],
+                        else_body: vec![],
+                    }],
+                }],
+            }],
+        }];
+        if include_state_3 {
+            // Transition *out of* state 3, but nothing ever enters it.
+            body.push(Stmt::If {
+                cond: eq("state", 3),
+                then_body: vec![Stmt::NonBlocking(Expr::id("state"), Expr::lit(2, 0))],
+                else_body: vec![],
+            });
+        }
+        m.item(Item::Net(NetDecl::reg("state", 2)));
+        m.item(Item::Always {
+            sensitivity: Sensitivity::PosEdge("clk".into()),
+            body,
+        });
+        m
+    }
+
+    /// Injected defect: a guard on state 3 that is never assigned must
+    /// raise `fsm/dead-state` naming the state register.
+    #[test]
+    fn dead_state_fires() {
+        let diags = run(&Design::new(fsm_module(true)));
+        let hit = diags
+            .iter()
+            .find(|d| d.rule == "fsm/dead-state")
+            .expect("dead state 3 detected");
+        assert_eq!(hit.signal.as_deref(), Some("state"));
+        assert!(hit.message.contains("state 3"), "{}", hit.message);
+    }
+
+    /// The same machine without the dead guard is clean.
+    #[test]
+    fn live_fsm_is_clean() {
+        assert!(run(&Design::new(fsm_module(false))).is_empty());
+    }
+
+    /// A counter (`r <= r + 1`) must not be treated as an FSM.
+    #[test]
+    fn counters_are_ignored() {
+        let mut m = VModule::new("cnt");
+        m.port(Port::input("clk", 1));
+        m.item(Item::Net(NetDecl::reg("n", 4)));
+        m.item(Item::Always {
+            sensitivity: Sensitivity::PosEdge("clk".into()),
+            body: vec![Stmt::If {
+                cond: Expr::bin(BinaryOp::Eq, Expr::id("n"), Expr::lit(4, 9)),
+                then_body: vec![Stmt::NonBlocking(Expr::id("n"), Expr::lit(4, 0))],
+                else_body: vec![Stmt::NonBlocking(
+                    Expr::id("n"),
+                    Expr::bin(BinaryOp::Add, Expr::id("n"), Expr::lit(4, 1)),
+                )],
+            }],
+        });
+        assert!(run(&Design::new(m)).is_empty());
+    }
+}

@@ -1,0 +1,527 @@
+//! Pass 4: static fixed-point range analysis.
+//!
+//! Propagates interval bounds on the *quantised* datapath through the
+//! layer graph, proving per-layer that the accumulator never reaches the
+//! `QFormat` saturation clamp. The bound model mirrors the functional
+//! engine exactly:
+//!
+//! * MAC layers accumulate `Σ ŵᵢ·x̂ᵢ + b̂` in a wide integer with a single
+//!   truncate-and-clamp at the end, so by the triangle inequality the
+//!   final value is bounded by `W₁·B_in + |b̂|_max + q` where `W₁` is the
+//!   worst per-row L1 norm of the quantised weights, `B_in` bounds the
+//!   (already quantised) inputs and `q` is one resolution step of
+//!   truncation error.
+//! * Approx-LUT outputs interpolate linearly between stored samples, so
+//!   they are bounded by the largest stored value no matter the input —
+//!   `tanh`/`sigmoid` squash every bound back to ≈1.
+//! * Quantising a weight moves it by at most `q` (round-to-nearest), so
+//!   `|ŵ| ≤ min(|w| + q, max)` without touching `Fx` per element.
+//!
+//! A layer is **proven** when its worst-case accumulator stays strictly
+//! below `QFormat::max_value`; it is **chain-proven** when every upstream
+//! layer is proven too, i.e. the bound holds end-to-end from the network
+//! input. Chain-proven layers need no dynamic saturation guard — this is
+//! what lets the diff harness fully audit large-fanin layers instead of
+//! skip-auditing them under the pessimistic per-term MAC bound.
+//!
+//! Layers that cannot overflow by construction (pure routing, LUT reads,
+//! max-pooling) are proven trivially; layers whose semantics are not
+//! value-arithmetic (classifier ranking, associative addressing) are
+//! never proven and simply clamp their bound at the format maximum,
+//! which is still a valid bound because every stored `Fx` saturates.
+
+use crate::{Diagnostic, Severity};
+use deepburning_compiler::LutImages;
+use deepburning_fixed::QFormat;
+use deepburning_model::{Activation, Layer, LayerKind, Network, Shape};
+use deepburning_tensor::WeightSet;
+use deepburning_trace::json::Json;
+use std::collections::BTreeMap;
+
+/// Default bound on the network input stimulus: the harness drives
+/// normalised activations in `[-1, 1]`.
+pub const DEFAULT_INPUT_BOUND: f64 = 1.0;
+
+/// The per-layer result of the range analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeProof {
+    /// Layer name.
+    pub layer: String,
+    /// Layer type (prototxt spelling).
+    pub kind: String,
+    /// Worst-case MAC terms per output (0 for non-MAC layers).
+    pub terms: usize,
+    /// Worst per-row L1 norm of the quantised weights (0 for non-MAC).
+    pub w1: f64,
+    /// Bound on the layer's (quantised) input magnitude.
+    pub in_bound: f64,
+    /// Worst-case accumulator magnitude before clamping.
+    pub pre_act_bound: f64,
+    /// Bound on the layer's output magnitude.
+    pub out_bound: f64,
+    /// The accumulator provably stays below the format maximum.
+    pub proven: bool,
+    /// This layer and every upstream layer are proven.
+    pub chain_proven: bool,
+}
+
+impl RangeProof {
+    /// JSON rendering used by `dblint --json` and the diff report.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("layer", Json::str(self.layer.clone())),
+            ("kind", Json::str(self.kind.clone())),
+            ("terms", Json::num(self.terms as f64)),
+            ("w1", Json::num(self.w1)),
+            ("in_bound", Json::num(self.in_bound)),
+            ("pre_act_bound", Json::num(self.pre_act_bound)),
+            ("out_bound", Json::num(self.out_bound)),
+            ("proven", Json::Bool(self.proven)),
+            ("chain_proven", Json::Bool(self.chain_proven)),
+        ])
+    }
+}
+
+/// `|ŵ| ≤ min(|w| + q, max)`: round-to-nearest moves a value at most one
+/// step, and out-of-range values saturate.
+fn quant_abs(w: f32, q: f64, max: f64) -> f64 {
+    (f64::from(w).abs() + q).min(max)
+}
+
+/// Worst per-row quantised L1 norm and the row length.
+fn row_stats(w: &[f32], row_len: usize, q: f64, max: f64) -> (f64, usize) {
+    if row_len == 0 || w.is_empty() {
+        return (0.0, 0);
+    }
+    let w1 = w
+        .chunks(row_len)
+        .map(|row| row.iter().map(|v| quant_abs(*v, q, max)).sum::<f64>())
+        .fold(0.0f64, f64::max);
+    (w1, row_len)
+}
+
+/// Largest absolute stored LUT value, or `default` when the image is
+/// absent. Interpolation between samples never exceeds the endpoint
+/// values, so this bounds the LUT output for *any* input.
+fn lut_abs_max(luts: Option<&LutImages>, name: &str, default: f64) -> f64 {
+    luts.and_then(|l| l.get(name))
+        .map(|lut| {
+            lut.values()
+                .iter()
+                .map(|v| v.to_f64().abs())
+                .fold(0.0f64, f64::max)
+        })
+        .unwrap_or(default)
+}
+
+/// Largest quantised bias magnitude, plus a diagnostic if any raw weight
+/// or bias is unrepresentable in the format.
+fn bias_max(b: &[f32], q: f64, max: f64) -> f64 {
+    b.iter()
+        .map(|v| quant_abs(*v, q, max))
+        .fold(0.0f64, f64::max)
+}
+
+struct Ctx<'a> {
+    luts: Option<&'a LutImages>,
+    q: f64,
+    max: f64,
+}
+
+struct LayerBound {
+    terms: usize,
+    w1: f64,
+    pre_act: f64,
+    out: f64,
+    proven: bool,
+}
+
+impl LayerBound {
+    fn routing(out: f64) -> LayerBound {
+        LayerBound {
+            terms: 0,
+            w1: 0.0,
+            pre_act: out,
+            out,
+            proven: true,
+        }
+    }
+
+    fn unprovable(max: f64) -> LayerBound {
+        LayerBound {
+            terms: 0,
+            w1: 0.0,
+            pre_act: max,
+            out: max,
+            proven: false,
+        }
+    }
+}
+
+/// One MAC bank: `pre = W₁·B_in + b_max + q`, proven iff below the clamp.
+fn mac_bank(w: &[f32], b: &[f32], row_len: usize, in_bound: f64, ctx: &Ctx) -> LayerBound {
+    let (w1, terms) = row_stats(w, row_len, ctx.q, ctx.max);
+    let pre = w1 * in_bound + bias_max(b, ctx.q, ctx.max) + ctx.q;
+    LayerBound {
+        terms,
+        w1,
+        pre_act: pre,
+        out: pre.min(ctx.max),
+        proven: pre < ctx.max,
+    }
+}
+
+fn layer_bound(
+    layer: &Layer,
+    w: &[f32],
+    b: &[f32],
+    in_shape: Shape,
+    in_bound: f64,
+    sum_in_bound: f64,
+    ctx: &Ctx,
+) -> LayerBound {
+    let name = layer.name.as_str();
+    match &layer.kind {
+        LayerKind::Input { .. } => LayerBound::routing(in_bound),
+        LayerKind::Convolution(p) => {
+            let row = (in_shape.channels / p.group.max(1)) * p.kernel_size * p.kernel_size;
+            mac_bank(w, b, row, in_bound, ctx)
+        }
+        LayerKind::FullConnection(p) => {
+            let _ = p;
+            mac_bank(w, b, in_shape.elements(), in_bound, ctx)
+        }
+        LayerKind::Recurrent { num_output, steps } => {
+            let n_in = in_shape.elements();
+            let row = n_in + num_output;
+            let (w1, terms) = row_stats(w, row, ctx.q, ctx.max);
+            let bmax = bias_max(b, ctx.q, ctx.max);
+            let tanh_cap = lut_abs_max(ctx.luts, "tanh", 1.0);
+            // The state is squashed through the tanh LUT every step, so
+            // its bound is the LUT cap regardless of the accumulator —
+            // but the proof needs every step's accumulator in range.
+            let mut h_bound = 0.0f64;
+            let mut worst = 0.0f64;
+            let mut proven = true;
+            for _ in 0..(*steps).max(1) {
+                let pre = w1 * in_bound.max(h_bound) + bmax + ctx.q;
+                worst = worst.max(pre);
+                proven &= pre < ctx.max;
+                h_bound = tanh_cap;
+            }
+            LayerBound {
+                terms,
+                w1,
+                pre_act: worst,
+                out: tanh_cap,
+                proven,
+            }
+        }
+        LayerKind::Inception(p) => {
+            let ci = in_shape.channels;
+            let w1_end = p.c1x1 * ci;
+            let w3_end = w1_end + p.c3x3 * ci * 9;
+            let w5_end = w3_end + p.c5x5 * ci * 25;
+            let banks = [
+                (&w[..w1_end.min(w.len())], &b[..p.c1x1.min(b.len())], ci),
+                (
+                    &w[w1_end.min(w.len())..w3_end.min(w.len())],
+                    &b[p.c1x1.min(b.len())..(p.c1x1 + p.c3x3).min(b.len())],
+                    ci * 9,
+                ),
+                (
+                    &w[w3_end.min(w.len())..w5_end.min(w.len())],
+                    &b[(p.c1x1 + p.c3x3).min(b.len())..(p.c1x1 + p.c3x3 + p.c5x5).min(b.len())],
+                    ci * 25,
+                ),
+                (
+                    &w[w5_end.min(w.len())..],
+                    &b[(p.c1x1 + p.c3x3 + p.c5x5).min(b.len())..],
+                    ci,
+                ),
+            ];
+            let mut out = LayerBound {
+                terms: 0,
+                w1: 0.0,
+                pre_act: 0.0,
+                out: 0.0,
+                proven: true,
+            };
+            for (bw, bb, row) in banks {
+                let bank = mac_bank(bw, bb, row, in_bound, ctx);
+                out.terms = out.terms.max(bank.terms);
+                out.w1 = out.w1.max(bank.w1);
+                out.pre_act = out.pre_act.max(bank.pre_act);
+                out.out = out.out.max(bank.out);
+                out.proven &= bank.proven;
+            }
+            out
+        }
+        LayerKind::Activation(a) => match a {
+            Activation::Relu | Activation::Identity => LayerBound::routing(in_bound),
+            Activation::Sigmoid => LayerBound::routing(lut_abs_max(ctx.luts, "sigmoid", 1.0)),
+            Activation::Tanh => LayerBound::routing(lut_abs_max(ctx.luts, "tanh", 1.0)),
+        },
+        LayerKind::Pooling(p) => match p.method {
+            deepburning_model::PoolMethod::Max => LayerBound::routing(in_bound),
+            deepburning_model::PoolMethod::Average => {
+                // The window sum resolves to the format *before* the
+                // reciprocal multiply, so the sum itself must fit.
+                let window = (p.kernel_size * p.kernel_size) as f64;
+                let sum = window * in_bound + ctx.q;
+                let recip = (1.0 / window + ctx.q).min(ctx.max);
+                LayerBound {
+                    terms: p.kernel_size * p.kernel_size,
+                    w1: 0.0,
+                    pre_act: sum,
+                    out: (sum.min(ctx.max) * recip + ctx.q).min(ctx.max),
+                    proven: sum < ctx.max,
+                }
+            }
+        },
+        LayerKind::Lrn(p) => {
+            // Energy = Σ v² over the local window, resolved to the format
+            // before indexing the factor LUT.
+            let window = p.local_size.max(1) as f64;
+            let energy = window * in_bound * in_bound + ctx.q;
+            let factor = lut_abs_max(ctx.luts, &format!("lrn:{name}"), 1.0);
+            LayerBound {
+                terms: p.local_size,
+                w1: 0.0,
+                pre_act: energy,
+                out: (in_bound * factor + ctx.q).min(ctx.max),
+                proven: energy < ctx.max,
+            }
+        }
+        LayerKind::Dropout { .. } | LayerKind::Memory { .. } => LayerBound::routing(in_bound),
+        LayerKind::Concat => LayerBound::routing(in_bound),
+        LayerKind::Eltwise => {
+            let sum = sum_in_bound + ctx.q;
+            LayerBound {
+                terms: 0,
+                w1: 0.0,
+                pre_act: sum,
+                out: sum.min(ctx.max),
+                proven: sum < ctx.max,
+            }
+        }
+        LayerKind::Associative { .. } => {
+            // Table reads return stored (saturated) values; addressing is
+            // not value arithmetic, so there is nothing to prove but the
+            // output is bounded by the largest stored magnitude.
+            let cap = bias_max(w, ctx.q, ctx.max).max(ctx.q);
+            LayerBound {
+                terms: 0,
+                w1: 0.0,
+                pre_act: cap,
+                out: cap,
+                proven: true,
+            }
+        }
+        LayerKind::Classifier { .. } => LayerBound::unprovable(ctx.max),
+    }
+}
+
+/// Runs the range analysis over the full layer graph.
+///
+/// Returns one [`RangeProof`] per non-input layer plus diagnostics:
+/// `range/definite-overflow` (error) when a raw weight or bias is
+/// unrepresentable in `fmt` — quantisation will silently saturate the
+/// stored parameter — and `range/may-saturate` (info) when an
+/// accumulator bound reaches the clamp, meaning the layer relies on
+/// saturation arithmetic and cannot be chain-proven.
+pub fn analyze_ranges(
+    net: &Network,
+    weights: &WeightSet,
+    luts: Option<&LutImages>,
+    fmt: QFormat,
+    input_bound: f64,
+) -> (Vec<RangeProof>, Vec<Diagnostic>) {
+    let _span = deepburning_trace::span("lint", "lint.range");
+    let ctx = Ctx {
+        luts,
+        q: fmt.resolution(),
+        max: fmt.max_value(),
+    };
+    let shapes = match net.infer_shapes() {
+        Ok(s) => s,
+        Err(_) => return (Vec::new(), Vec::new()),
+    };
+    let empty: (Vec<f32>, Vec<f32>) = (Vec::new(), Vec::new());
+    // Blob name → (bound on quantised magnitude, every producer proven).
+    let mut blobs: BTreeMap<&str, (f64, bool)> = BTreeMap::new();
+    let mut proofs = Vec::new();
+    let mut diags = Vec::new();
+    for layer in net.layers() {
+        if let LayerKind::Input { .. } = layer.kind {
+            for top in &layer.tops {
+                blobs.insert(top, (input_bound.min(ctx.max), true));
+            }
+            continue;
+        }
+        let ins: Vec<(f64, bool)> = layer
+            .bottoms
+            .iter()
+            .map(|b| blobs.get(b.as_str()).copied().unwrap_or((ctx.max, false)))
+            .collect();
+        let in_bound = ins.iter().map(|(b, _)| *b).fold(0.0f64, f64::max);
+        let sum_in = ins.iter().map(|(b, _)| *b).sum::<f64>();
+        let upstream_proven = ins.iter().all(|(_, p)| *p);
+        let in_shape = layer
+            .bottoms
+            .first()
+            .and_then(|b| shapes.get(b).copied())
+            .unwrap_or(Shape::vector(1));
+        let (w, b) = weights
+            .get(&layer.name)
+            .map_or((&empty.0[..], &empty.1[..]), |lw| (&lw.w[..], &lw.b[..]));
+        if let Some(bad) = w.iter().chain(b).find(|v| f64::from(v.abs()) >= ctx.max) {
+            diags.push(
+                Diagnostic::new(
+                    "range/definite-overflow",
+                    Severity::Error,
+                    format!(
+                        "parameter {bad} of layer `{}` is unrepresentable in {fmt} \
+                         (max {:.6}); quantisation saturates the stored value",
+                        layer.name, ctx.max
+                    ),
+                )
+                .in_module(layer.name.clone())
+                .suggest("widen the integer field of the QFormat or rescale the layer"),
+            );
+        }
+        let bound = layer_bound(layer, w, b, in_shape, in_bound, sum_in, &ctx);
+        let chain = bound.proven && upstream_proven;
+        if !bound.proven && bound.terms > 0 {
+            diags.push(
+                Diagnostic::new(
+                    "range/may-saturate",
+                    Severity::Info,
+                    format!(
+                        "layer `{}` accumulator bound {:.1} reaches the {fmt} clamp \
+                         ({:.1}); saturation arithmetic is load-bearing and the \
+                         layer cannot be statically proven overflow-free",
+                        layer.name, bound.pre_act, ctx.max
+                    ),
+                )
+                .in_module(layer.name.clone()),
+            );
+        }
+        for top in &layer.tops {
+            blobs.insert(top, (bound.out, chain));
+        }
+        proofs.push(RangeProof {
+            layer: layer.name.clone(),
+            kind: layer.kind.type_name().to_string(),
+            terms: bound.terms,
+            w1: bound.w1,
+            in_bound,
+            pre_act_bound: bound.pre_act,
+            out_bound: bound.out,
+            proven: bound.proven,
+            chain_proven: chain,
+        });
+    }
+    (proofs, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_model::{FullParam, Layer};
+    use deepburning_tensor::LayerWeights;
+
+    fn fc_net(bias: f32) -> (Network, WeightSet) {
+        let net = Network::from_layers(
+            "t",
+            vec![
+                Layer::input("data", "data", 1, 2, 2),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam {
+                        num_output: 2,
+                        connectivity_permille: 1000,
+                    }),
+                    "data",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid");
+        let mut ws = WeightSet::new();
+        ws.insert(
+            "fc",
+            LayerWeights {
+                w: vec![0.5, -0.5, 0.25, 0.25, 0.1, 0.1, 0.1, 0.1],
+                b: vec![bias, 0.0],
+            },
+        );
+        (net, ws)
+    }
+
+    /// Injected defect: a bias of 100.0 is unrepresentable in Q4.12
+    /// (max ≈ 8) — `range/definite-overflow` must fire at error severity.
+    #[test]
+    fn overflowing_q4_12_layer_fires() {
+        let (net, ws) = fc_net(100.0);
+        let fmt = QFormat::new(16, 12).expect("Q4.12");
+        let (proofs, diags) = analyze_ranges(&net, &ws, None, fmt, 1.0);
+        let hit = diags
+            .iter()
+            .find(|d| d.rule == "range/definite-overflow")
+            .expect("definite overflow fires");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.module.as_deref(), Some("fc"));
+        let p = proofs.iter().find(|p| p.layer == "fc").expect("proof row");
+        assert!(!p.chain_proven || p.pre_act_bound < fmt.max_value());
+    }
+
+    /// A small FC layer with mild weights is chain-proven in Q8.8.
+    #[test]
+    fn small_fc_is_chain_proven() {
+        let (net, ws) = fc_net(0.5);
+        let (proofs, diags) = analyze_ranges(&net, &ws, None, QFormat::Q8_8, 1.0);
+        assert!(diags.is_empty(), "{diags:?}");
+        let p = proofs.iter().find(|p| p.layer == "fc").expect("proof row");
+        assert!(p.proven && p.chain_proven, "{p:?}");
+        // W1 row = |0.5|+|-0.5|+|0.25|+|0.25| = 1.5 plus quantisation slack.
+        assert!(p.w1 >= 1.5 && p.w1 < 1.6, "{}", p.w1);
+        assert!(p.pre_act_bound < 2.2);
+    }
+
+    /// The bound is monotone: a huge fan-in with uniform weights exceeds
+    /// the Q8.8 clamp and the layer is reported, at info severity, as
+    /// relying on saturation.
+    #[test]
+    fn oversized_fanin_is_not_proven() {
+        let net = Network::from_layers(
+            "t",
+            vec![
+                Layer::input("data", "data", 8, 16, 16),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam {
+                        num_output: 4,
+                        connectivity_permille: 1000,
+                    }),
+                    "data",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid");
+        let n = 8 * 16 * 16;
+        let mut ws = WeightSet::new();
+        ws.insert(
+            "fc",
+            LayerWeights {
+                w: vec![0.25; n * 4],
+                b: vec![0.0; 4],
+            },
+        );
+        let (proofs, diags) = analyze_ranges(&net, &ws, None, QFormat::Q8_8, 1.0);
+        let p = proofs.iter().find(|p| p.layer == "fc").expect("proof row");
+        assert!(!p.proven, "W1 ≈ 512 must exceed 127.996: {p:?}");
+        assert!(diags.iter().any(|d| d.rule == "range/may-saturate"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Pass 6: counter/schedule consistency.
+//!
+//! The compiler derives three views of the same control flow — the
+//! folding plan, the control schedule, and the AGU program list — and
+//! the generator bakes the schedule's `counter_lanes` column into the
+//! `ctx_lanes` context ROM that drives the performance counters. A
+//! mismatch anywhere silently corrupts the MAC counter cross-check, so
+//! this pass re-derives every invariant:
+//!
+//! * one schedule step and one AGU program per folding phase, in phase
+//!   order (`sched/phase-count`, `sched/phase-order`, `sched/agu-count`);
+//! * `counter_lanes` equals the phase's active lane count for compute
+//!   phases and zero otherwise (`sched/ctx-lanes`);
+//! * every ROM word fits the counter increment bus
+//!   (`sched/lanes-overflow`);
+//! * the `ctx_lanes` ROM declared in the top module has one word per
+//!   phase at the increment-bus width (`sched/rom-shape`).
+
+use crate::{Diagnostic, Severity};
+use deepburning_compiler::{CompiledNetwork, PhaseKind};
+use deepburning_components::PerfCounters;
+use deepburning_verilog::{Design, Item, NetKind};
+
+/// Checks schedule/counter consistency, and the ROM geometry when the
+/// assembled design is available.
+pub fn run(compiled: &CompiledNetwork, design: Option<&Design>) -> Vec<Diagnostic> {
+    let _span = deepburning_trace::span("lint", "lint.sched");
+    let mut diags = Vec::new();
+    let phases = &compiled.folding.phases;
+    let steps = &compiled.schedule.steps;
+    let inc_width = PerfCounters::default().inc_width;
+    if steps.len() != phases.len() {
+        diags.push(
+            Diagnostic::new(
+                "sched/phase-count",
+                Severity::Error,
+                format!(
+                    "schedule has {} steps for {} folding phases",
+                    steps.len(),
+                    phases.len()
+                ),
+            )
+            .suggest("rebuild the schedule from the folding plan"),
+        );
+    }
+    for (phase, step) in phases.iter().zip(steps) {
+        if step.phase != phase.id {
+            diags.push(
+                Diagnostic::new(
+                    "sched/phase-order",
+                    Severity::Error,
+                    format!(
+                        "schedule step for phase {} sits at position {} ({})",
+                        step.phase, phase.id, phase.layer
+                    ),
+                )
+                .in_module(phase.layer.clone()),
+            );
+            continue;
+        }
+        let expected = if phase.kind == PhaseKind::Compute {
+            phase.active_lanes.max(1)
+        } else {
+            0
+        };
+        if step.counter_lanes != expected {
+            diags.push(
+                Diagnostic::new(
+                    "sched/ctx-lanes",
+                    Severity::Error,
+                    format!(
+                        "phase {} ({}): ctx_lanes ROM word is {} but the folding \
+                         plan keeps {} lanes busy",
+                        phase.id, phase.layer, step.counter_lanes, expected
+                    ),
+                )
+                .in_module(phase.layer.clone())
+                .on_signal("ctx_lanes")
+                .suggest("regenerate the schedule so counter_lanes matches active_lanes"),
+            );
+        }
+    }
+    for (i, word) in compiled.schedule.counter_lane_words().iter().enumerate() {
+        if inc_width < 64 && *word >= (1u64 << inc_width) {
+            diags.push(
+                Diagnostic::new(
+                    "sched/lanes-overflow",
+                    Severity::Error,
+                    format!(
+                        "ctx_lanes word {word} of phase {i} does not fit the \
+                         {inc_width}-bit counter increment bus"
+                    ),
+                )
+                .on_signal("ctx_lanes"),
+            );
+        }
+    }
+    if compiled.agu_programs.len() != phases.len() {
+        diags.push(Diagnostic::new(
+            "sched/agu-count",
+            Severity::Error,
+            format!(
+                "{} AGU programs for {} folding phases",
+                compiled.agu_programs.len(),
+                phases.len()
+            ),
+        ));
+    }
+    if let Some(design) = design {
+        let rom = design
+            .modules
+            .iter()
+            .find(|m| m.name == design.top)
+            .and_then(|top| {
+                top.items.iter().find_map(|i| match i {
+                    Item::Net(n) if n.name == "ctx_lanes" && n.kind == NetKind::Reg => Some(n),
+                    _ => None,
+                })
+            });
+        match rom {
+            None => diags.push(
+                Diagnostic::new(
+                    "sched/rom-shape",
+                    Severity::Error,
+                    format!("top module `{}` declares no ctx_lanes ROM", design.top),
+                )
+                .in_module(design.top.clone())
+                .on_signal("ctx_lanes"),
+            ),
+            Some(n) => {
+                if n.depth != Some(steps.len().max(1)) || n.width != inc_width {
+                    diags.push(
+                        Diagnostic::new(
+                            "sched/rom-shape",
+                            Severity::Error,
+                            format!(
+                                "ctx_lanes ROM is {}x{:?} words but the schedule needs \
+                                 {}x{} bits",
+                                n.width,
+                                n.depth,
+                                inc_width,
+                                steps.len()
+                            ),
+                        )
+                        .in_module(design.top.clone())
+                        .on_signal("ctx_lanes"),
+                    );
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepburning_core::{generate, Budget};
+    use deepburning_model::parse_network;
+
+    const SRC: &str = r#"
+    name: "s"
+    layers { name: "data" type: INPUT top: "data"
+             input_param { channels: 1 height: 8 width: 8 } }
+    layers { name: "conv" type: CONVOLUTION bottom: "data" top: "conv"
+             param { num_output: 4 kernel_size: 3 stride: 1 } }
+    layers { name: "fc" type: FC bottom: "conv" top: "fc"
+             param { num_output: 4 } }
+    "#;
+
+    #[test]
+    fn generated_schedule_is_consistent() {
+        let net = parse_network(SRC).expect("parses");
+        let acc = generate(&net, &Budget::Small).expect("generates");
+        let diags = run(&acc.compiled, Some(&acc.design));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// Injected defect: corrupting one ctx_lanes ROM word must raise
+    /// `sched/ctx-lanes` naming the phase's layer.
+    #[test]
+    fn corrupted_ctx_lanes_fires() {
+        let net = parse_network(SRC).expect("parses");
+        let mut acc = generate(&net, &Budget::Small).expect("generates");
+        let step = acc.compiled.schedule.steps.first_mut().expect("has steps");
+        step.counter_lanes += 7;
+        let diags = run(&acc.compiled, Some(&acc.design));
+        let hit = diags
+            .iter()
+            .find(|d| d.rule == "sched/ctx-lanes")
+            .expect("ROM corruption detected");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.signal.as_deref(), Some("ctx_lanes"));
+    }
+
+    /// Injected defect: dropping a schedule step must raise
+    /// `sched/phase-count`.
+    #[test]
+    fn dropped_step_fires() {
+        let net = parse_network(SRC).expect("parses");
+        let mut acc = generate(&net, &Budget::Small).expect("generates");
+        acc.compiled.schedule.steps.pop();
+        let diags = run(&acc.compiled, None);
+        assert!(
+            diags.iter().any(|d| d.rule == "sched/phase-count"),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Source spans into the emitted Verilog.
+//!
+//! The generator works on the AST, so findings carry `(module, signal)`
+//! pairs; users read the emitted text. [`SpanIndex`] scans that text once
+//! and maps each declaration (port, wire, reg, memory) to its 1-based
+//! line so diagnostics can point into the file the user actually sees.
+
+use std::collections::BTreeMap;
+
+const KEYWORDS: &[&str] = &[
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "signed",
+    "assign",
+    "always",
+    "parameter",
+];
+
+/// Maps `(module, signal)` to the declaration line in emitted Verilog.
+#[derive(Debug, Clone, Default)]
+pub struct SpanIndex {
+    lines: BTreeMap<(String, String), usize>,
+}
+
+fn is_ident(tok: &str) -> bool {
+    let mut chars = tok.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && tok.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// The declared name on a declaration line: the first identifier token
+/// that is not a keyword or a width/depth specifier.
+fn declared_name(line: &str) -> Option<&str> {
+    line.split(|c: char| c.is_whitespace() || c == ';' || c == ',' || c == '(')
+        .filter(|t| !t.is_empty())
+        .filter(|t| !t.starts_with('['))
+        .filter(|t| !KEYWORDS.contains(t))
+        .find(|t| is_ident(t))
+}
+
+impl SpanIndex {
+    /// Builds the index from emitted Verilog text.
+    pub fn build(verilog: &str) -> SpanIndex {
+        let mut lines = BTreeMap::new();
+        let mut module = String::new();
+        for (idx, raw) in verilog.lines().enumerate() {
+            let line = raw.trim_start();
+            if let Some(rest) = line.strip_prefix("module ") {
+                module = rest
+                    .split(|c: char| c == '(' || c.is_whitespace() || c == ';')
+                    .next()
+                    .unwrap_or("")
+                    .to_string();
+                continue;
+            }
+            if module.is_empty() {
+                continue;
+            }
+            let is_decl = ["input", "output", "wire", "reg"]
+                .iter()
+                .any(|k| line.starts_with(k) && line[k.len()..].starts_with([' ', '\t']));
+            if !is_decl {
+                continue;
+            }
+            if let Some(name) = declared_name(line) {
+                lines
+                    .entry((module.clone(), name.to_string()))
+                    .or_insert(idx + 1);
+            }
+        }
+        SpanIndex { lines }
+    }
+
+    /// The 1-based declaration line of `signal` in `module`, if indexed.
+    pub fn resolve(&self, module: &str, signal: &str) -> Option<usize> {
+        self.lines
+            .get(&(module.to_string(), signal.to_string()))
+            .copied()
+    }
+
+    /// Number of indexed declarations.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_ports_nets_and_memories() {
+        let text = "\
+module top (\n  input wire clk,\n  output wire [7:0] q\n);\n\
+wire [3:0] t;\nreg [7:0] mem [0:15];\nassign q = {t, t};\nendmodule\n";
+        let idx = SpanIndex::build(text);
+        assert_eq!(idx.resolve("top", "clk"), Some(2));
+        assert_eq!(idx.resolve("top", "q"), Some(3));
+        assert_eq!(idx.resolve("top", "t"), Some(5));
+        assert_eq!(idx.resolve("top", "mem"), Some(6));
+        assert_eq!(idx.resolve("top", "nope"), None);
+        assert_eq!(idx.resolve("other", "clk"), None);
+    }
+
+    #[test]
+    fn first_declaration_wins() {
+        let text = "module m (\n);\nwire a;\nwire a;\nendmodule\n";
+        let idx = SpanIndex::build(text);
+        assert_eq!(idx.resolve("m", "a"), Some(3));
+    }
+}

@@ -38,6 +38,7 @@ use deepburning_components::{
 };
 use deepburning_core::AcceleratorDesign;
 use deepburning_fixed::{ApproxLut, Fx, QFormat};
+use deepburning_lint::{analyze_ranges, AnalysisReport, RangeProof};
 use deepburning_model::{Activation, Layer, LayerKind, Network, PoolMethod};
 use deepburning_tensor::{cmac_index, eval_layer, Tensor, WeightSet};
 use deepburning_trace as trace;
@@ -130,6 +131,10 @@ pub struct LayerAudit {
     pub max_ref_error: f64,
     /// Why the bounded comparison was skipped wholesale, if it was.
     pub skip_reason: Option<&'static str>,
+    /// The static range analysis chain-proved this layer free of
+    /// saturation, so the bounded comparison drops its dynamic
+    /// near-the-rail skip guard and audits every element.
+    pub range_proven: bool,
 }
 
 /// Interpreter work attributed to one RTL block of the bank — makes the
@@ -164,6 +169,14 @@ pub struct DiffReport {
     /// `None` for plain [`diff_network`] runs, which have no generated
     /// `perf_counters` block to read).
     pub counters: Option<CounterCheck>,
+    /// Per-layer static range proofs from the analyzer (what justified
+    /// each audit's `range_proven` flag).
+    pub range_proofs: Vec<RangeProof>,
+    /// The full static-analysis report (populated by [`diff_design`],
+    /// which has the compiled artifacts and netlist the passes need;
+    /// `None` for plain [`diff_network`] runs). Divergence bundles carry
+    /// it so a failing run ships its lint context alongside waveforms.
+    pub lint: Option<AnalysisReport>,
 }
 
 impl DiffReport {
@@ -180,6 +193,16 @@ impl DiffReport {
     /// Total elements checked bit-exactly against the RTL.
     pub fn rtl_checked(&self) -> usize {
         self.layers.iter().map(|l| l.rtl_checked).sum()
+    }
+
+    /// Layers whose bounded tensor↔functional comparison checked nothing
+    /// at all — every element was skipped. These are the audit's blind
+    /// spots; the static range analysis exists to shrink this list.
+    pub fn skip_audited(&self) -> Vec<&LayerAudit> {
+        self.layers
+            .iter()
+            .filter(|l| l.ref_checked == 0 && l.ref_skipped > 0)
+            .collect()
     }
 }
 
@@ -203,7 +226,28 @@ impl fmt::Display for DiffReport {
                 l.ref_skipped,
                 l.max_ref_error,
                 l.tolerance,
-                l.skip_reason.map(|r| format!(" ({r})")).unwrap_or_default()
+                match (l.range_proven, l.skip_reason) {
+                    (true, _) => " [range-proven]".to_string(),
+                    (false, Some(r)) => format!(" ({r})"),
+                    (false, None) => String::new(),
+                }
+            )?;
+        }
+        let blind = self.skip_audited();
+        if !blind.is_empty() {
+            writeln!(
+                f,
+                "  {} layers skip-audited ({})",
+                blind.len(),
+                blind
+                    .iter()
+                    .map(|l| format!(
+                        "{}: {}",
+                        l.layer,
+                        l.skip_reason.unwrap_or("all elements near saturation")
+                    ))
+                    .collect::<Vec<_>>()
+                    .join("; ")
             )?;
         }
         if self.divergences.is_empty() {
@@ -234,6 +278,17 @@ impl fmt::Display for DiffReport {
                 c.rtl.buffer_reads,
                 c.rtl.buffer_writes,
                 c.rtl.agu_bursts,
+            )?;
+        }
+        if let Some(lint) = &self.lint {
+            let errors = lint.count_at(deepburning_lint::Severity::Error);
+            let warnings = lint.count_at(deepburning_lint::Severity::Warning) - errors;
+            writeln!(
+                f,
+                "  static analysis: {} error(s) {} warning(s) | {} range proofs",
+                errors,
+                warnings,
+                lint.proofs.len()
             )?;
         }
         Ok(())
@@ -1081,12 +1136,46 @@ fn absmax(t: &Tensor) -> f64 {
 }
 
 /// The bound a MAC reduction adds: `terms` products of `|x| <= xmax`
-/// against quantised weights of magnitude `<= wmax`, plus bias
-/// quantisation and readout truncation.
-fn mac_bound(terms: usize, xmax: f64, wmax: f64, tol_in: f64, fmt: QFormat) -> f64 {
+/// against quantised weights, plus bias quantisation and readout
+/// truncation.
+///
+/// Per product, `|ŵx̂ − wx| <= (|w| + q)·tol_in + |x|·q`. Summed over a
+/// row, the weight-magnitude factor is the row's L1 norm, so the input
+/// error amplifies by `min(w1, terms·wmax)` — `w1` (the worst per-row L1
+/// norm) is never larger than `terms·wmax` and is drastically tighter
+/// for layers whose weights are not all at the maximum. Callers without
+/// the row layout pass `f64::INFINITY` to fall back to the per-term
+/// product bound.
+fn mac_bound(terms: usize, xmax: f64, wmax: f64, w1: f64, tol_in: f64, fmt: QFormat) -> f64 {
     let ulp = fmt.resolution();
     let q = ulp / 2.0;
-    terms as f64 * (xmax * q + (wmax + q) * tol_in) + q + ulp
+    let gain = w1.min(terms as f64 * wmax);
+    terms as f64 * (xmax + tol_in) * q + gain * tol_in + q + ulp
+}
+
+/// Worst per-row raw L1 norm of a weight matrix stored as consecutive
+/// rows of `row_len`, or `INFINITY` when the layout is unknown.
+fn row_l1_max(w: &[f32], row_len: usize) -> f64 {
+    if row_len == 0 || w.is_empty() {
+        return f64::INFINITY;
+    }
+    w.chunks(row_len)
+        .map(|row| row.iter().map(|v| f64::from(v.abs())).sum::<f64>())
+        .fold(0.0f64, f64::max)
+}
+
+/// Largest absolute stored value of a LUT image — interpolation never
+/// exceeds the endpoint samples, so this bounds the LUT output for *any*
+/// input. `INFINITY` when the image is absent (no cap available).
+fn lut_cap(luts: &LutImages, tag: &str) -> f64 {
+    luts.get(tag)
+        .map(|img| {
+            img.values()
+                .iter()
+                .map(|v| v.to_f64().abs())
+                .fold(0.0f64, f64::max)
+        })
+        .unwrap_or(f64::INFINITY)
 }
 
 /// How the tensor↔functional comparison treats a layer.
@@ -1129,17 +1218,25 @@ fn derive_ref_rule(
         LayerKind::Convolution(p) => {
             let src = &ref_ins[0];
             let cig = src.shape().channels / p.group;
-            let terms = cig * p.kernel_size * p.kernel_size + 1;
-            RefRule::Scalar(mac_bound(terms, xmax, wmax, tol_in, fmt))
+            let row = cig * p.kernel_size * p.kernel_size;
+            let w1 = weights
+                .get(&layer.name)
+                .map_or(f64::INFINITY, |lw| row_l1_max(&lw.w, row));
+            RefRule::Scalar(mac_bound(row + 1, xmax, wmax, w1, tol_in, fmt))
         }
         LayerKind::FullConnection(_) => {
-            let terms = ref_ins[0].shape().elements() + 1;
-            RefRule::Scalar(mac_bound(terms, xmax, wmax, tol_in, fmt))
+            let n = ref_ins[0].shape().elements();
+            let w1 = weights
+                .get(&layer.name)
+                .map_or(f64::INFINITY, |lw| row_l1_max(&lw.w, n));
+            RefRule::Scalar(mac_bound(n + 1, xmax, wmax, w1, tol_in, fmt))
         }
         LayerKind::Inception(_) => {
+            // The per-bank row layouts are heterogeneous; fall back to
+            // the per-term product bound.
             let ci = ref_ins[0].shape().channels;
             let terms = (ci * 25).max(ci * 9).max(ci) + 1;
-            RefRule::Scalar(mac_bound(terms, xmax, wmax, tol_in, fmt))
+            RefRule::Scalar(mac_bound(terms, xmax, wmax, f64::INFINITY, tol_in, fmt))
         }
         LayerKind::Pooling(p) => {
             let n = p.kernel_size * p.kernel_size;
@@ -1170,8 +1267,13 @@ fn derive_ref_rule(
                     .get(tag)
                     .map(|img| img.max_error(move |x| act.eval(x), opts.lut_error_probes))
                     .unwrap_or(0.0);
-                // Both activations are 1-Lipschitz (sigmoid tighter).
-                RefRule::Scalar(tol_in + lut_err + ulp)
+                // Both activations are 1-Lipschitz (sigmoid tighter),
+                // and both outputs are bounded: the reference by 1, the
+                // quantised view by the LUT's largest stored sample. The
+                // error can never exceed their sum, which stops upstream
+                // tolerance from compounding through squashing layers.
+                let cap = 1.0 + lut_cap(luts, tag);
+                RefRule::Scalar((tol_in + lut_err + ulp).min(cap))
             }
         },
         LayerKind::Lrn(p) => {
@@ -1229,15 +1331,23 @@ fn derive_ref_rule(
         }
         LayerKind::Recurrent { num_output, steps } => {
             let n_in = ref_ins[0].shape().elements();
+            let w1 = weights
+                .get(&layer.name)
+                .map_or(f64::INFINITY, |lw| row_l1_max(&lw.w, n_in + num_output));
             let tanh_err = luts
                 .get("tanh")
                 .map(|img| img.max_error(|x| x.tanh(), opts.lut_error_probes))
                 .unwrap_or(0.0);
+            // Every step squashes the state through the tanh LUT: the
+            // reference state is bounded by 1 and the quantised one by
+            // the LUT's largest stored sample, so the per-step error is
+            // capped and cannot compound exponentially across steps.
+            let cap = 1.0 + lut_cap(luts, "tanh");
             let mut tol_h = 0.0f64;
             for _ in 0..(*steps).max(1) {
-                let pre = mac_bound(n_in, xmax, wmax, tol_in, fmt)
-                    + mac_bound(*num_output, 1.0, wmax, tol_h, fmt);
-                tol_h = pre + tanh_err + ulp;
+                let pre = mac_bound(n_in, xmax, wmax, w1, tol_in, fmt)
+                    + mac_bound(*num_output, 1.0, wmax, w1, tol_h, fmt);
+                tol_h = (pre + tanh_err + ulp).min(cap);
             }
             RefRule::Scalar(tol_h)
         }
@@ -1280,6 +1390,16 @@ pub fn diff_network(
     let mut fx_blobs: BTreeMap<String, FxBlob> = BTreeMap::new();
     let mut tol: BTreeMap<String, f64> = BTreeMap::new();
     let mut poisoned: BTreeMap<String, bool> = BTreeMap::new();
+    // Static range analysis over the actual stimulus bound: chain-proven
+    // layers provably never saturate, so their bounded comparison can
+    // audit every element instead of skipping values near the rail.
+    let input_bound = absmax(input) + fmt.resolution();
+    let (range_proofs, _) = analyze_ranges(net, weights, Some(luts), fmt, input_bound);
+    let chain_proven: std::collections::BTreeSet<&str> = range_proofs
+        .iter()
+        .filter(|p| p.chain_proven)
+        .map(|p| p.layer.as_str())
+        .collect();
     let mut report = DiffReport {
         network: net.name().to_string(),
         budget: String::new(),
@@ -1287,6 +1407,8 @@ pub fn diff_network(
         divergences: Vec::new(),
         rtl_modules: Vec::new(),
         counters: None,
+        range_proofs: Vec::new(),
+        lint: None,
     };
     let _span = trace::span("sim", "sim.diff");
     for (layer_idx, layer) in net.layers().iter().enumerate() {
@@ -1346,6 +1468,7 @@ pub fn diff_network(
             tolerance: 0.0,
             max_ref_error: 0.0,
             skip_reason: None,
+            range_proven: chain_proven.contains(layer.name.as_str()),
         };
         let mut poison_out = upstream_poison;
         if ref_out.shape() != fx_tensor.shape() {
@@ -1416,6 +1539,7 @@ pub fn diff_network(
         }
     }
     report.rtl_modules = bank.module_stats();
+    report.range_proofs = range_proofs;
     if trace::active() {
         trace::counter("rtl", "rtl.checked", report.rtl_checked() as f64);
         for agg in &report.rtl_modules {
@@ -1430,6 +1554,9 @@ pub fn diff_network(
 
 /// Elementwise tensor↔functional check under a per-element bound,
 /// skipping saturated values (the fixed-point view clips by design).
+/// When the static range analysis chain-proved the layer, the
+/// near-the-rail reference guard is dropped — the quantised value
+/// provably never clips, so every finite element is audited.
 fn compare_bounded(
     layer: &Layer,
     ref_out: &Tensor,
@@ -1443,8 +1570,9 @@ fn compare_bounded(
     for (i, (r, v)) in ref_out.as_slice().iter().zip(&fx_out.data).enumerate() {
         let b = bound(i);
         let r = f64::from(*r);
-        let saturated =
-            v.raw() >= fmt.max_raw() || v.raw() <= fmt.min_raw() || r.abs() >= fmt.max_value() - b;
+        let saturated = v.raw() >= fmt.max_raw()
+            || v.raw() <= fmt.min_raw()
+            || (!audit.range_proven && r.abs() >= fmt.max_value() - b);
         if !r.is_finite() || !b.is_finite() || saturated {
             audit.ref_skipped += 1;
             continue;
@@ -1512,6 +1640,16 @@ pub fn diff_design(
     )?;
     report.divergences.extend(check.divergences.iter().cloned());
     report.counters = Some(check);
+    // Attach the full static-analysis report so a divergence bundle
+    // ships its lint context (structural/comb/fsm/agu/sched findings
+    // plus range proofs) alongside the waveforms.
+    report.lint = Some(deepburning_lint::analyze(
+        net,
+        &design.compiled,
+        &design.design,
+        Some(weights),
+        Some(&design.verilog),
+    ));
     Ok(report)
 }
 
@@ -1584,6 +1722,10 @@ pub fn diff_report_json(report: &DiffReport) -> Json {
         ("budget", Json::str(report.budget.clone())),
         ("clean", Json::Bool(report.is_clean())),
         (
+            "skip_audited",
+            Json::num(report.skip_audited().len() as f64),
+        ),
+        (
             "layers",
             Json::Arr(
                 report
@@ -1605,6 +1747,7 @@ pub fn diff_report_json(report: &DiffReport) -> Json {
                                     None => Json::Null,
                                 },
                             ),
+                            ("range_proven", Json::Bool(l.range_proven)),
                         ])
                     })
                     .collect(),
@@ -1664,6 +1807,17 @@ pub fn diff_report_json(report: &DiffReport) -> Json {
                     ("analytic", counter_set_json(&c.analytic)),
                     ("rtl", counter_set_json(&c.rtl)),
                 ]),
+                None => Json::Null,
+            },
+        ),
+        (
+            "range_proofs",
+            Json::arr(report.range_proofs.iter().map(RangeProof::to_json)),
+        ),
+        (
+            "lint",
+            match &report.lint {
+                Some(l) => l.to_json(),
                 None => Json::Null,
             },
         ),
@@ -1849,6 +2003,67 @@ mod tests {
             fc.ref_skipped, 4,
             "saturated outputs skip the bounded check"
         );
+        assert!(
+            !fc.range_proven,
+            "a provably saturating layer must not be chain-proven"
+        );
+    }
+
+    #[test]
+    fn recurrent_layer_is_range_proven_and_fully_audited() {
+        // Before the static range pass, the recurrent tolerance
+        // compounded exponentially with step count: by step 8 the bound
+        // exceeded the format maximum, the near-the-rail guard fired for
+        // every element and the layer was skip-audited. The tanh output
+        // cap plus the chain proof keep the bound small and audit every
+        // element.
+        let net = parse_network(
+            r#"
+            layers { name: "data" type: INPUT top: "data"
+                     input_param { channels: 8 height: 1 width: 1 } }
+            layers { name: "settle" type: RECURRENT bottom: "data" top: "settle"
+                     recurrent_param { num_output: 8 steps: 8 } }
+            "#,
+        )
+        .expect("parses");
+        let mut rng = StdRng::seed_from_u64(5);
+        let ws = WeightSet::init(&net, Init::Uniform(0.25), &mut rng).expect("init");
+        let cfg = CompilerConfig::default();
+        let luts = generate_luts(&net, &cfg).expect("luts");
+        let input = Tensor::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0f32));
+        let report = diff_network(
+            &net,
+            &ws,
+            &input,
+            &luts,
+            cfg.format,
+            cfg.lanes,
+            &DiffOptions::default(),
+        )
+        .expect("runs");
+        assert!(report.is_clean(), "{report}");
+        let settle = report
+            .layers
+            .iter()
+            .find(|l| l.layer == "settle")
+            .expect("settle");
+        assert!(settle.range_proven, "chain proof expected:\n{report}");
+        assert!(
+            settle.ref_checked > 0 && settle.ref_skipped == 0,
+            "fully audited:\n{report}"
+        );
+        assert!(
+            settle.tolerance < 3.0,
+            "per-step cap must stop compounding, got {}",
+            settle.tolerance
+        );
+        assert!(report.skip_audited().is_empty(), "{report}");
+        let proof = report
+            .range_proofs
+            .iter()
+            .find(|p| p.layer == "settle")
+            .expect("proof row");
+        assert!(proof.chain_proven && proof.w1 < 20.0, "{proof:?}");
     }
 
     #[test]
@@ -1874,6 +2089,8 @@ mod tests {
             divergences: vec![d],
             rtl_modules: vec![],
             counters: None,
+            range_proofs: vec![],
+            lint: None,
         };
         assert!(!r.is_clean());
         assert_eq!(r.first_divergence().expect("one").layer, "conv1");

@@ -84,8 +84,8 @@ mod proptests {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let input = Tensor::from_fn(Shape::new(2, 6, 6), |_, _, _| rng.gen_range(-1.0..1.0f32));
             let out = pool2d(&input, PoolMethod::Max, 2, 2);
-            let in_max = input.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let out_max = out.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let in_max = input.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let out_max = out.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
             prop_assert!(out_max <= in_max + 1e-6);
             // Every pooled value exists in the input.
             for &v in out.as_slice() {

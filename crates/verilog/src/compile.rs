@@ -702,12 +702,22 @@ impl CompiledSim {
             }
         }
         if order.len() != instrs.len() {
+            // Name the module instance and local signal stuck on the
+            // cycle, so the failure is actionable without rerunning the
+            // full cycle diagnosis (`find_comb_cycle`).
             let stuck = indegree
                 .iter()
                 .position(|&d| d > 0)
                 .and_then(|i| instrs[i].dst.slot())
                 .and_then(|s| names.iter().find(|(_, &id)| id == s))
-                .map_or_else(String::new, |(n, _)| format!(" involving `{n}`"));
+                .map_or_else(String::new, |(n, _)| {
+                    let (path, sig) = n.rsplit_once('.').unwrap_or(("", n));
+                    if path.is_empty() {
+                        format!(" involving signal `{sig}` in top module `{top}`")
+                    } else {
+                        format!(" involving signal `{sig}` in instance `{path}`")
+                    }
+                });
             return Err(err(format!(
                 "combinational loop: continuous assigns do not levelize{stuck}"
             )));
@@ -1259,6 +1269,98 @@ impl Simulator for CompiledSim {
     fn vcd_timesteps(&self) -> u64 {
         CompiledSim::vcd_timesteps(self)
     }
+}
+
+/// Finds a combinational cycle among the flattened continuous assigns of
+/// `top`, returning the hierarchical signal names along the cycle (the
+/// first name is repeated at the end to close the loop), or `None` when
+/// the assigns levelize.
+///
+/// Granularity matches the levelizer in [`CompiledSim::compile`]: a read
+/// of any part of a signal depends on every driver of that signal, so a
+/// cycle reported here is exactly a cycle the compiled engine rejects.
+///
+/// # Errors
+///
+/// Returns [`SimulateError`] when the design cannot be flattened (unknown
+/// modules or over-wide signals).
+pub fn find_comb_cycle(design: &Design, top: &str) -> Result<Option<Vec<String>>, SimulateError> {
+    let flat = flatten_design(design, top)?;
+    // Name-level dependency graph: one node per driven signal, an edge
+    // dst -> src for every signal an assign driving `dst` reads.
+    let mut node_of: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut node_names: Vec<&str> = Vec::new();
+    for (lhs, _) in &flat.assigns {
+        if let Some(root) = lhs.lvalue_root() {
+            node_of.entry(root).or_insert_with(|| {
+                node_names.push(root);
+                node_names.len() - 1
+            });
+        }
+    }
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); node_names.len()];
+    for (lhs, rhs) in &flat.assigns {
+        let Some(root) = lhs.lvalue_root() else {
+            continue;
+        };
+        let dst = node_of[root];
+        // Reads of this assign: the whole rhs plus any dynamic index on
+        // the lhs (everything but the root itself).
+        for id in rhs
+            .idents()
+            .into_iter()
+            .chain(lhs.idents().into_iter().filter(|id| *id != root))
+        {
+            if let Some(&src) = node_of.get(id) {
+                if !succs[dst].contains(&src) {
+                    succs[dst].push(src);
+                }
+            }
+        }
+    }
+    // Iterative 3-colour DFS; a back edge closes the cycle.
+    const WHITE: u8 = 0;
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut colour = vec![WHITE; node_names.len()];
+    for start in 0..node_names.len() {
+        if colour[start] != WHITE {
+            continue;
+        }
+        // Stack of (node, next-successor index); doubles as the path.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        colour[start] = GREY;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if let Some(&succ) = succs[node].get(*next) {
+                *next += 1;
+                match colour[succ] {
+                    WHITE => {
+                        colour[succ] = GREY;
+                        stack.push((succ, 0));
+                    }
+                    GREY => {
+                        // Found: the cycle is the path suffix from
+                        // `succ` plus the closing edge.
+                        let from = stack
+                            .iter()
+                            .position(|&(n, _)| n == succ)
+                            .expect("grey nodes are on the stack");
+                        let mut cycle: Vec<String> = stack[from..]
+                            .iter()
+                            .map(|&(n, _)| node_names[n].to_string())
+                            .collect();
+                        cycle.push(node_names[succ].to_string());
+                        return Ok(Some(cycle));
+                    }
+                    _ => {}
+                }
+            } else {
+                colour[node] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ pub use ast::{
     BinaryOp, Design, Expr, Item, NetDecl, NetKind, Port, PortDir, Sensitivity, Stmt, UnaryOp,
     VModule,
 };
-pub use compile::{CompiledSim, SimEngine};
+pub use compile::{find_comb_cycle, CompiledSim, SimEngine};
 pub use emit::{emit_design, emit_expr, emit_module};
 pub use interp::{InterpStats, Interpreter, SimulateError, Simulator};
 pub use lint::{lint_design, LintIssue, LintReport, Severity};

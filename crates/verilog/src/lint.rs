@@ -25,6 +25,11 @@ pub struct LintIssue {
     pub module: String,
     /// Severity.
     pub severity: Severity,
+    /// Stable machine-readable rule identifier (e.g. `undriven-net`).
+    pub rule: &'static str,
+    /// Signal (or port/instance) name the finding is about, when one
+    /// exists.
+    pub signal: Option<String>,
     /// Human-readable description.
     pub message: String,
 }
@@ -35,7 +40,7 @@ impl fmt::Display for LintIssue {
             Severity::Warning => "warning",
             Severity::Error => "error",
         };
-        write!(f, "[{sev}] {}: {}", self.module, self.message)
+        write!(f, "[{sev} {}] {}: {}", self.rule, self.module, self.message)
     }
 }
 
@@ -107,6 +112,8 @@ impl<'a> ModuleLinter<'a> {
                 issues.push(LintIssue {
                     module: module.name.clone(),
                     severity: Severity::Error,
+                    rule: "dup-decl",
+                    signal: Some(p.name.clone()),
                     message: format!("duplicate declaration of `{}`", p.name),
                 });
             }
@@ -128,6 +135,8 @@ impl<'a> ModuleLinter<'a> {
                 issues.push(LintIssue {
                     module: module.name.clone(),
                     severity: Severity::Error,
+                    rule: "dup-decl",
+                    signal: Some(n.name.clone()),
                     message: format!("duplicate declaration of `{}`", n.name),
                 });
             }
@@ -149,18 +158,22 @@ impl<'a> ModuleLinter<'a> {
         }
     }
 
-    fn error(&mut self, message: String) {
+    fn error(&mut self, rule: &'static str, signal: Option<String>, message: String) {
         self.issues.push(LintIssue {
             module: self.module.name.clone(),
             severity: Severity::Error,
+            rule,
+            signal,
             message,
         });
     }
 
-    fn warn(&mut self, message: String) {
+    fn warn(&mut self, rule: &'static str, signal: Option<String>, message: String) {
         self.issues.push(LintIssue {
             module: self.module.name.clone(),
             severity: Severity::Warning,
+            rule,
+            signal,
             message,
         });
     }
@@ -168,7 +181,11 @@ impl<'a> ModuleLinter<'a> {
     fn check_declared(&mut self, idents: &[&str], context: &str) {
         for id in idents {
             if !self.symbols.contains_key(id) {
-                self.error(format!("undeclared identifier `{id}` in {context}"));
+                self.error(
+                    "undeclared-id",
+                    Some((*id).to_string()),
+                    format!("undeclared identifier `{id}` in {context}"),
+                );
             }
         }
     }
@@ -222,9 +239,16 @@ impl<'a> ModuleLinter<'a> {
     fn check_assign_width(&mut self, lhs: &Expr, rhs: &Expr, context: &str) {
         if let (Some(lw), Some(rw)) = (self.expr_width(lhs), self.expr_width(rhs)) {
             if lw != rw {
-                self.error(format!(
-                    "width mismatch in {context}: lhs {lw} bits, rhs {rw} bits"
-                ));
+                let trunc = if rw > lw {
+                    " (implicit truncation)"
+                } else {
+                    " (implicit zero-extension)"
+                };
+                self.error(
+                    "width-mismatch",
+                    lhs.lvalue_root().map(str::to_string),
+                    format!("width mismatch in {context}: lhs {lw} bits, rhs {rw} bits{trunc}"),
+                );
             }
         }
     }
@@ -245,18 +269,28 @@ impl<'a> ModuleLinter<'a> {
                         read_anywhere.insert(id.to_string());
                     }
                     let Some(root) = lhs.lvalue_root().map(str::to_string) else {
-                        self.error("continuous assign to a non-lvalue".into());
+                        self.error(
+                            "bad-lvalue",
+                            None,
+                            "continuous assign to a non-lvalue".into(),
+                        );
                         continue;
                     };
                     self.check_declared(&[root.as_str()], "continuous assign lhs");
                     if let Some(sym) = self.symbols.get(root.as_str()).copied() {
                         if sym.is_reg {
-                            self.error(format!(
-                                "continuous assign drives reg `{root}` (must be a wire)"
-                            ));
+                            self.error(
+                                "assign-to-reg",
+                                Some(root.clone()),
+                                format!("continuous assign drives reg `{root}` (must be a wire)"),
+                            );
                         }
                         if sym.is_input {
-                            self.error(format!("continuous assign drives input port `{root}`"));
+                            self.error(
+                                "assign-to-input",
+                                Some(root.clone()),
+                                format!("continuous assign drives input port `{root}`"),
+                            );
                         }
                     }
                     match lhs {
@@ -283,17 +317,25 @@ impl<'a> ModuleLinter<'a> {
                             self.check_declared(&[id], "always block lvalue");
                             if let Some(sym) = self.symbols.get(id).copied() {
                                 if !sym.is_reg && !sym.is_output {
-                                    self.error(format!(
-                                        "procedural assignment to wire `{id}` (must be a reg)"
-                                    ));
+                                    self.error(
+                                        "proc-assign-to-wire",
+                                        Some(id.to_string()),
+                                        format!(
+                                            "procedural assignment to wire `{id}` (must be a reg)"
+                                        ),
+                                    );
                                 } else if !sym.is_reg && sym.is_output {
                                     // Output ports assigned procedurally must be
                                     // declared reg via a shadow net; we treat
                                     // the port itself as the reg, matching the
                                     // emitter's `output reg` shortcut — flag it.
-                                    self.warn(format!(
-                                        "procedural assignment to output port `{id}` assumes `output reg`"
-                                    ));
+                                    self.warn(
+                                        "output-reg-port",
+                                        Some(id.to_string()),
+                                        format!(
+                                            "procedural assignment to output port `{id}` assumes `output reg`"
+                                        ),
+                                    );
                                 }
                             }
                             proc_assigned.insert(id.to_string());
@@ -307,27 +349,43 @@ impl<'a> ModuleLinter<'a> {
                     ..
                 } => {
                     let Some(target) = self.design.module(module) else {
-                        self.error(format!("instance `{name}` of unknown module `{module}`"));
+                        self.error(
+                            "unknown-module",
+                            Some(name.clone()),
+                            format!("instance `{name}` of unknown module `{module}`"),
+                        );
                         continue;
                     };
                     let mut bound = BTreeSet::new();
                     for (port, expr) in connections {
                         let Some(tport) = target.find_port(port) else {
-                            self.error(format!(
-                                "instance `{name}` binds nonexistent port `{module}.{port}`"
-                            ));
+                            self.error(
+                                "unknown-port",
+                                Some(port.clone()),
+                                format!(
+                                    "instance `{name}` binds nonexistent port `{module}.{port}`"
+                                ),
+                            );
                             continue;
                         };
                         if !bound.insert(port.as_str()) {
-                            self.error(format!("instance `{name}` binds port `{port}` twice"));
+                            self.error(
+                                "dup-port-bind",
+                                Some(port.clone()),
+                                format!("instance `{name}` binds port `{port}` twice"),
+                            );
                         }
                         self.check_declared(&expr.idents(), "instance connection");
                         if let Some(w) = self.expr_width(expr) {
                             if w != tport.width {
-                                self.error(format!(
-                                    "instance `{name}` port `{port}` is {} bits, connected to {w} bits",
-                                    tport.width
-                                ));
+                                self.error(
+                                    "port-width-mismatch",
+                                    Some(port.clone()),
+                                    format!(
+                                        "instance `{name}` port `{port}` is {} bits, connected to {w} bits",
+                                        tport.width
+                                    ),
+                                );
                             }
                         }
                         match tport.dir {
@@ -348,19 +406,27 @@ impl<'a> ModuleLinter<'a> {
                                         }
                                     }
                                 } else {
-                                    self.error(format!(
-                                        "instance `{name}` output `{port}` connected to a non-lvalue"
-                                    ));
+                                    self.error(
+                                        "bad-lvalue",
+                                        Some(port.clone()),
+                                        format!(
+                                            "instance `{name}` output `{port}` connected to a non-lvalue"
+                                        ),
+                                    );
                                 }
                             }
                         }
                     }
                     for tport in &target.ports {
                         if tport.dir == PortDir::Input && !bound.contains(tport.name.as_str()) {
-                            self.warn(format!(
-                                "instance `{name}` leaves input `{module}.{}` unconnected",
-                                tport.name
-                            ));
+                            self.warn(
+                                "unconnected-input",
+                                Some(tport.name.clone()),
+                                format!(
+                                    "instance `{name}` leaves input `{module}.{}` unconnected",
+                                    tport.name
+                                ),
+                            );
                         }
                     }
                 }
@@ -370,12 +436,18 @@ impl<'a> ModuleLinter<'a> {
         // Multiple whole-net drivers.
         for (net, count) in &whole_drivers {
             if *count > 1 {
-                self.error(format!("net `{net}` has {count} whole-net drivers"));
+                self.error(
+                    "multi-driver",
+                    Some(net.clone()),
+                    format!("net `{net}` has {count} whole-net drivers"),
+                );
             }
             if partial_driven.contains(net) {
-                self.error(format!(
-                    "net `{net}` mixes whole-net and part-select drivers"
-                ));
+                self.error(
+                    "mixed-driver",
+                    Some(net.clone()),
+                    format!("net `{net}` mixes whole-net and part-select drivers"),
+                );
             }
         }
         // Output ports must be driven somehow.
@@ -391,7 +463,11 @@ impl<'a> ModuleLinter<'a> {
                 || partial_driven.contains(out.as_str())
                 || proc_assigned.contains(out.as_str());
             if !driven {
-                self.error(format!("output port `{out}` is never driven"));
+                self.error(
+                    "undriven-output",
+                    Some(out.clone()),
+                    format!("output port `{out}` is never driven"),
+                );
             }
         }
         // Unused internal nets: declared, never read, never driving anything.
@@ -408,9 +484,17 @@ impl<'a> ModuleLinter<'a> {
                 || proc_assigned.contains(name.as_str());
             let read = read_anywhere.contains(name.as_str());
             if !driven && !read {
-                self.warn(format!("net `{name}` is declared but never used"));
+                self.warn(
+                    "unused-net",
+                    Some(name.clone()),
+                    format!("net `{name}` is declared but never used"),
+                );
             } else if !driven && read && !is_reg {
-                self.error(format!("wire `{name}` is read but never driven"));
+                self.error(
+                    "undriven-net",
+                    Some(name.clone()),
+                    format!("wire `{name}` is read but never driven"),
+                );
             }
         }
         self.issues
@@ -438,6 +522,8 @@ pub fn lint_design(design: &Design) -> LintReport {
             issues.push(LintIssue {
                 module: m.name.clone(),
                 severity: Severity::Error,
+                rule: "dup-module",
+                signal: None,
                 message: "duplicate module name in design".into(),
             });
         }
@@ -446,6 +532,8 @@ pub fn lint_design(design: &Design) -> LintReport {
         issues.push(LintIssue {
             module: design.top.clone(),
             severity: Severity::Error,
+            rule: "missing-top",
+            signal: None,
             message: "design names a top module that does not exist".into(),
         });
     }

@@ -12,6 +12,7 @@
 //! - [`components`] — the building-block library
 //! - [`compiler`] — folding, tiling, AGU and control-flow synthesis
 //! - [`core`] — NN-Gen, the accelerator generator
+//! - [`lint`] — static netlist analyzer (pass pipeline, range proofs)
 //! - [`sim`] — timing/energy and functional simulators
 //! - [`baselines`] — benchmark zoo, Custom designs, CPU model
 
@@ -20,6 +21,7 @@ pub use deepburning_compiler as compiler;
 pub use deepburning_components as components;
 pub use deepburning_core as core;
 pub use deepburning_fixed as fixed;
+pub use deepburning_lint as lint;
 pub use deepburning_model as model;
 pub use deepburning_sim as sim;
 pub use deepburning_tensor as tensor;
