@@ -34,7 +34,11 @@ fn slug(s: &str) -> String {
 /// see [`diff_report_json`]) and one `<label>-<layer>-<block>.vcd` per
 /// RTL block the first diverging layer exercised. A failed waveform
 /// replay degrades to a `<label>-capture-error.txt` note instead of
-/// aborting the sweep.
+/// aborting the sweep. When the report carries a full-network run, its
+/// control-top waveform (coordinator `phase_w`/`fire_w`/`busy_w` plus the
+/// three AGU `valid`/`pat_cur` streams) lands as
+/// `<label>-control-top.vcd` so the divergence can be traced to the
+/// phase and burst that produced it.
 ///
 /// # Errors
 ///
@@ -63,6 +67,11 @@ pub fn write_divergence_bundle(
     let audit_path = dir.join(format!("{label}-audit.json"));
     std::fs::write(&audit_path, diff_report_json(report).render())?;
     written.push(audit_path);
+    if let Some(vcd) = report.full_run.as_ref().and_then(|f| f.vcd.as_ref()) {
+        let path = dir.join(format!("{label}-control-top.vcd"));
+        std::fs::write(&path, vcd)?;
+        written.push(path);
+    }
     match capture_layer_vcd(net, weights, input, luts, fmt, lanes, opts, &div.layer) {
         Ok(vcds) => {
             for (tag, text) in vcds {
@@ -101,6 +110,7 @@ mod tests {
             counters: None,
             range_proofs: vec![],
             lint: None,
+            full_run: None,
         };
         let net = parse_network(
             r#"layers { name: "data" type: INPUT top: "data"
@@ -171,6 +181,61 @@ mod tests {
         let wave = std::fs::read_to_string(vcd).expect("readable");
         assert!(wave.contains("$enddefinitions $end"), "{wave}");
         assert!(wave.contains("$dumpvars"), "{wave}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_rtl_bundle_carries_control_top_waveform() {
+        let net = parse_network(
+            r#"
+            layers { name: "data" type: INPUT top: "data"
+                     input_param { channels: 4 height: 1 width: 1 } }
+            layers { name: "fc" type: FC bottom: "data" top: "fc"
+                     param { num_output: 3 } }
+            "#,
+        )
+        .expect("parses");
+        let mut rng = StdRng::seed_from_u64(29);
+        let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let input = Tensor::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0f32));
+        let design =
+            deepburning_core::generate(&net, &deepburning_core::Budget::Small).expect("generates");
+        let opts = DiffOptions {
+            full_rtl: true,
+            inject_rtl_fault: Some(1),
+            ..DiffOptions::default()
+        };
+        let report =
+            deepburning_sim::diff_design(&design, &net, &ws, &input, &opts).expect("diff runs");
+        assert!(!report.is_clean());
+        assert!(report.full_run.is_some());
+        let dir = std::env::temp_dir().join(format!("db-bundle-full-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = design.compiled.config;
+        let written = write_divergence_bundle(
+            &dir,
+            "fc-full",
+            &net,
+            &ws,
+            &input,
+            &design.compiled.luts,
+            cfg.format,
+            cfg.lanes,
+            &opts,
+            &report,
+        )
+        .expect("writes");
+        let ctl = written
+            .iter()
+            .find(|p| {
+                p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().ends_with("-control-top.vcd"))
+            })
+            .expect("control-top waveform in bundle");
+        let wave = std::fs::read_to_string(ctl).expect("readable");
+        for signal in ["phase_w", "fire_w", "busy_w"] {
+            assert!(wave.contains(signal), "coordinator signal {signal} dumped");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

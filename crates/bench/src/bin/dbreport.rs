@@ -9,20 +9,35 @@
 //!
 //! ```text
 //! dbreport <benchmark> [--budget small|medium|large] [--out DIR]
-//!          [--beat-cap N] [--engine tree|compiled] [--bench-json] [--check]
+//!          [--beat-cap N] [--engine tree|compiled] [--bench-json]
+//!          [--check] [--analytic]
 //! ```
 //!
+//! By default the roofline's attained point is driven by *RTL-read*
+//! counters: a full-network run (DESIGN.md §13) drives the coordinator
+//! FSM across every layer and the `perf_rdata` registers are read back
+//! out of the fabric, cross-checked against the fabric cycle prediction
+//! within the documented slack. `--analytic` skips the full run and
+//! falls back to the analytic timing model (the pre-§13 behaviour).
+//!
 //! `--bench-json` additionally writes `BENCH_<name>.json` (headline
-//! cycles, utilisation, stall split) — the committed-baseline format the
-//! CI drift diff uses. `--check` re-parses `report.json` and validates
-//! the schema plus a clean counter cross-check, exiting nonzero
-//! otherwise — the CI smoke mode.
+//! cycles, utilisation, stall split, RTL-read registers) — the
+//! committed-baseline format the CI drift diff uses. `--check` re-parses
+//! `report.json` and validates the schema plus a clean counter
+//! cross-check, exiting nonzero otherwise — the CI smoke mode.
 
-use deepburning_baselines::{zoo, Benchmark};
-use deepburning_bench::{bench_summary_json, build_report, render_report_table, report_json};
+use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
+use deepburning_bench::{
+    attach_full_run, bench_summary_json, build_report, render_report_table, report_json,
+};
 use deepburning_core::{generate, Budget};
-use deepburning_sim::{verify_counters, SimEngine, TimingParams, DEFAULT_BEAT_CAP};
+use deepburning_sim::{
+    full_network_run, verify_counters, FullRunOptions, SimEngine, TimingParams, DEFAULT_BEAT_CAP,
+};
+use deepburning_tensor::Tensor;
 use deepburning_trace::json::Json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -57,6 +72,7 @@ struct Args {
     engine: SimEngine,
     bench_json: bool,
     check: bool,
+    analytic: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         engine: SimEngine::default(),
         bench_json: false,
         check: false,
+        analytic: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -94,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bench-json" => args.bench_json = true,
             "--check" => args.check = true,
+            "--analytic" => args.analytic = true,
             other if args.benchmark.is_empty() && !other.starts_with('-') => {
                 args.benchmark = other.to_string();
             }
@@ -103,7 +121,7 @@ fn parse_args() -> Result<Args, String> {
     if args.benchmark.is_empty() {
         return Err("usage: dbreport <benchmark> [--budget small|medium|large] \
                     [--out DIR] [--beat-cap N] [--engine tree|compiled] \
-                    [--bench-json] [--check]"
+                    [--bench-json] [--check] [--analytic]"
             .into());
     }
     Ok(args)
@@ -160,6 +178,20 @@ fn check_report(doc: &Json) -> Result<(), String> {
     ) {
         return Err("report.json roofline `bound` must be compute|memory".into());
     }
+    match doc.get("counter_source").and_then(Json::as_str) {
+        Some("rtl") => {
+            if doc
+                .get("rtl_counters")
+                .and_then(|c| c.get("cycles"))
+                .and_then(Json::as_f64)
+                .is_none()
+            {
+                return Err("counter_source is `rtl` but `rtl_counters` is missing".into());
+            }
+        }
+        Some("analytic") => {}
+        _ => return Err("report.json `counter_source` must be rtl|analytic".into()),
+    }
     let check = doc
         .get("counter_check")
         .ok_or("report.json missing `counter_check`")?;
@@ -207,6 +239,48 @@ fn run() -> Result<(), String> {
         args.engine,
         replay_elapsed.as_secs_f64()
     );
+
+    if !args.analytic {
+        // Fifth view (DESIGN.md §13): drive the coordinator FSM across
+        // the whole network and read the perf registers out of the
+        // fabric; the roofline's attained point then comes from
+        // hardware-read counters, not the analytic model.
+        let mut rng = StdRng::seed_from_u64(0xD8 ^ bench.name.len() as u64);
+        let ws = pseudo_weights(&bench, &mut rng);
+        let input = Tensor::from_fn(bench.network.input_shape(), |_, _, _| {
+            rng.gen_range(-1.0..1.0f32)
+        });
+        let full_start = std::time::Instant::now();
+        let full = full_network_run(
+            &design,
+            &bench.network,
+            &ws,
+            &input,
+            &FullRunOptions {
+                engine: args.engine,
+                ..FullRunOptions::default()
+            },
+        )
+        .map_err(|e| format!("full-network run failed: {e}"))?;
+        if !full.is_clean() {
+            for d in &full.divergences {
+                eprintln!("dbreport: full-network divergence: {d}");
+            }
+            return Err(format!(
+                "full-network run diverged ({} divergences; re-fed layers: {})",
+                full.divergences.len(),
+                full.refed_layers.join(", ")
+            ));
+        }
+        println!(
+            "full-network run: {} cycles ({} predicted, slack {}) in {:.3}s",
+            full.cycles,
+            full.predicted_cycles,
+            full.cycle_slack,
+            full_start.elapsed().as_secs_f64()
+        );
+        attach_full_run(&mut report, &full.rtl_counters);
+    }
 
     print!("{}", render_report_table(&report));
     if !check.is_clean() {

@@ -28,6 +28,17 @@
 //! `Interpreter` reference. Both produce bit-identical reports; the
 //! total sweep wall time is printed per engine so CI can compare them.
 //!
+//! `--full-rtl` adds the fifth view: one continuous coordinator-driven
+//! RTL run across every layer of the generated top, activations flowing
+//! through the real `input`/`spill` memory segments, checked bit-exactly
+//! against the chained per-layer RTL view (DESIGN.md §13). On a
+//! divergence the run bisects by re-feeding the offending layer from
+//! functional values, and the control-top waveform joins the bundle.
+//!
+//! `--only NAME[,NAME...]` restricts the sweep to the named zoo
+//! benchmarks (the CI full-network smoke step runs a fast subset this
+//! way; the nightly sweep covers the whole grid).
+//!
 //! Run with `--release` — the RTL view interprets elaborated netlists.
 
 use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
@@ -126,6 +137,15 @@ impl Sweep {
                         "ok    {label:<24} {exact:>5} rtl-exact elements  {:>8.3}s",
                         elapsed.as_secs_f64()
                     );
+                    if let Some(full) = &report.full_run {
+                        println!(
+                            "      full-rtl: {} cycles ({} predicted, slack {}), {} output words exact",
+                            full.cycles,
+                            full.predicted_cycles,
+                            full.cycle_slack,
+                            full.output_words
+                        );
+                    }
                     let blind = report.skip_audited();
                     if !blind.is_empty() {
                         println!(
@@ -182,6 +202,14 @@ impl Sweep {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().collect();
     let verbose = argv.iter().any(|a| a == "--verbose" || a == "-v");
+    let full_rtl = argv.iter().any(|a| a == "--full-rtl");
+    let only: Vec<String> = argv
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| argv.get(i + 1))
+        .map(|list| list.split(',').map(|s| s.trim().to_string()).collect())
+        .unwrap_or_default();
+    let selected = |name: &str| only.is_empty() || only.iter().any(|o| o == name);
     let artifacts_dir = argv
         .iter()
         .position(|a| a == "--artifacts")
@@ -224,6 +252,7 @@ fn main() -> ExitCode {
         opts: DiffOptions {
             max_rtl_samples: 32,
             engine,
+            full_rtl,
             ..DiffOptions::default()
         },
         runs: 0,
@@ -234,6 +263,9 @@ fn main() -> ExitCode {
         let tiers = [Budget::Small, Budget::Medium, Budget::Large];
         println!("differential check: tensor / functional / rtl views\n");
         for bench in benchmarks() {
+            if !selected(bench.name) {
+                continue;
+            }
             for budget in &tiers {
                 let label = format!("{} @ {}", bench.name, budget.tag());
                 match generate(&bench.network, budget) {
@@ -250,6 +282,9 @@ fn main() -> ExitCode {
         let budget = Budget::Small;
         for format in &formats {
             for bench in format_sweep_benchmarks() {
+                if !selected(bench.name) {
+                    continue;
+                }
                 let label = format!("{} @ {}/{}", bench.name, budget.tag(), format);
                 let cfg = derive_config_for_format(&budget, *format);
                 match generate_with_config(&bench.network, &budget, &cfg) {

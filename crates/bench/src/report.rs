@@ -96,6 +96,32 @@ pub struct PerfReport {
     pub roofline: Roofline,
     /// `(clean, cycle_slack)` when the RTL counter cross-check ran.
     pub counter_check: Option<(bool, u64)>,
+    /// The RTL-read register set from a full-network run (`perf_rdata`
+    /// readback of the generated `perf_counters` block), when one ran.
+    pub rtl_counters: Option<CounterSet>,
+    /// What drives the roofline's attained point: `"rtl"` when
+    /// [`attach_full_run`] installed hardware-read counters (the default
+    /// `dbreport` path), `"analytic"` for model-only runs.
+    pub counter_source: &'static str,
+}
+
+/// Installs the RTL-read counter set from a full-network run and
+/// re-derives the roofline's attained throughput from hardware registers
+/// instead of the analytic model. Operational intensity (MACs per DRAM
+/// byte) is a property of the compiled schedule, so the roofs and the
+/// compute/memory bound classification are unchanged; only the attained
+/// point moves to what the fabric actually measured. Note the fabric
+/// counts one transaction per cycle with no DRAM beat model, so
+/// RTL-read cycles sit on a different scale than the analytic
+/// bandwidth-model cycles (DESIGN.md §13).
+pub fn attach_full_run(report: &mut PerfReport, rtl: &CounterSet) {
+    report.rtl_counters = Some(*rtl);
+    report.counter_source = "rtl";
+    report.roofline.attained_ops_per_cycle = if rtl.cycles == 0 {
+        0.0
+    } else {
+        rtl.mac_ops as f64 / rtl.cycles as f64
+    };
 }
 
 /// Builds the observability report for a generated design by running the
@@ -205,6 +231,8 @@ pub fn build_report(
         occupancy,
         roofline,
         counter_check: None,
+        rtl_counters: None,
+        counter_source: "analytic",
     }
 }
 
@@ -303,6 +331,14 @@ pub fn report_json(r: &PerfReport) -> Json {
                 None => Json::Null,
             },
         ),
+        ("counter_source", Json::str(r.counter_source)),
+        (
+            "rtl_counters",
+            match &r.rtl_counters {
+                Some(c) => counter_set_json(c),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -334,6 +370,19 @@ pub fn bench_summary_json(r: &PerfReport) -> Json {
                     Json::num(r.stalls.overhead_cycles as f64),
                 ),
             ]),
+        ),
+        (
+            "rtl",
+            match &r.rtl_counters {
+                Some(c) => Json::obj([
+                    ("cycles", Json::num(c.cycles as f64)),
+                    ("mac_ops", Json::num(c.mac_ops as f64)),
+                    ("active_cycles", Json::num(c.active_cycles as f64)),
+                    ("stall_cycles", Json::num(c.stall_cycles as f64)),
+                    ("agu_bursts", Json::num(c.agu_bursts as f64)),
+                ]),
+                None => Json::Null,
+            },
         ),
     ])
 }
@@ -409,6 +458,13 @@ pub fn render_report_table(r: &PerfReport) -> String {
         }
         None => {}
     }
+    if let Some(c) = &r.rtl_counters {
+        let _ = writeln!(
+            out,
+            "  rtl-read counters: {} cycles, {} macs, {} active / {} stall (roofline source: {})",
+            c.cycles, c.mac_ops, c.active_cycles, c.stall_cycles, r.counter_source,
+        );
+    }
     out
 }
 
@@ -472,5 +528,46 @@ mod tests {
         let table = render_report_table(&r);
         assert!(table.contains("roofline"), "{table}");
         assert!(table.contains("counter cross-check: clean"), "{table}");
+    }
+
+    #[test]
+    fn attach_full_run_switches_roofline_to_rtl_counters() {
+        let mut r = report();
+        assert_eq!(r.counter_source, "analytic");
+        let rtl = CounterSet {
+            cycles: 100,
+            active_cycles: 60,
+            stall_cycles: 10,
+            mac_ops: 30,
+            agu_bursts: 5,
+            ..CounterSet::default()
+        };
+        attach_full_run(&mut r, &rtl);
+        assert_eq!(r.counter_source, "rtl");
+        assert_eq!(r.rtl_counters, Some(rtl));
+        assert!((r.roofline.attained_ops_per_cycle - 0.3).abs() < 1e-12);
+        let json = report_json(&r);
+        let parsed = deepburning_trace::json::Json::parse(&json.render()).expect("valid json");
+        assert_eq!(
+            parsed.get("counter_source").and_then(Json::as_str),
+            Some("rtl")
+        );
+        assert_eq!(
+            parsed
+                .get("rtl_counters")
+                .and_then(|c| c.get("cycles"))
+                .and_then(Json::as_f64),
+            Some(100.0)
+        );
+        let summary = bench_summary_json(&r);
+        assert_eq!(
+            summary
+                .get("rtl")
+                .and_then(|c| c.get("mac_ops"))
+                .and_then(Json::as_f64),
+            Some(30.0)
+        );
+        let table = render_report_table(&r);
+        assert!(table.contains("rtl-read counters"), "{table}");
     }
 }

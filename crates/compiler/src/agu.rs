@@ -14,6 +14,193 @@ use deepburning_components::AguPattern;
 use deepburning_model::{LayerKind, Network, NetworkError, Shape};
 use std::collections::BTreeMap;
 
+/// Where a (versioned) activation blob lives in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlobPlace {
+    /// The network input segment.
+    Input,
+    /// The network output segment.
+    Output,
+    /// A slot inside the `spill` segment; the word offset within the
+    /// segment is `slot × SpillPlan::slot_words`.
+    Spill(u64),
+}
+
+/// Liveness-driven slot assignment for spilled inter-layer activations.
+///
+/// Every production of a blob is treated as a fresh version (in-place
+/// layers read version *v* and write version *v+1*), and each spilled
+/// version gets a slot that stays reserved until its last consumer has
+/// run. This is what makes the spill segment's double buffering real:
+/// a producer never writes into the slot a consumer (or its own input
+/// refetch) is still reading. The final version of each network output
+/// blob lives in the `output` segment instead — the last layer's
+/// write-back used to land in `spill`, leaving `output` permanently
+/// stale.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpillPlan {
+    /// Words per slot (the largest blob, aligned to the port width).
+    pub slot_words: u64,
+    /// Number of slots the `spill` segment provides.
+    pub slots: u64,
+    /// Per layer: each bottom blob and where it is fetched from.
+    pub sources: BTreeMap<String, Vec<(String, BlobPlace)>>,
+    /// Per layer: the top blob and where its write-back lands.
+    pub dest: BTreeMap<String, (String, BlobPlace)>,
+}
+
+impl SpillPlan {
+    /// Word offset of `place` within its segment.
+    pub fn place_offset(&self, place: BlobPlace) -> u64 {
+        match place {
+            BlobPlace::Input | BlobPlace::Output => 0,
+            BlobPlace::Spill(slot) => slot * self.slot_words,
+        }
+    }
+}
+
+/// Computes the spill-slot plan for a network (see [`SpillPlan`]).
+///
+/// # Errors
+///
+/// Propagates shape-inference failures.
+pub fn plan_spill_slots(net: &Network, cfg: &CompilerConfig) -> Result<SpillPlan, NetworkError> {
+    let shapes = net.infer_shapes()?;
+    let align = cfg.port_width_words.max(1) as u64;
+    let largest = shapes
+        .values()
+        .map(|s| s.elements() as u64)
+        .max()
+        .unwrap_or(1);
+    let slot_words = largest.max(1).div_ceil(align) * align;
+
+    // Pass 1: version every blob production and record liveness.
+    struct Rec {
+        last_use: usize,
+        place: Option<BlobPlace>,
+    }
+    let mut cur: BTreeMap<String, usize> = BTreeMap::new();
+    let mut recs: BTreeMap<(String, usize), Rec> = BTreeMap::new();
+    // Per layer: resolved (blob, version) keys for bottoms and top.
+    let mut layer_bottoms: Vec<(String, Vec<(String, usize)>)> = Vec::new();
+    let mut layer_top: Vec<(String, Option<(String, usize)>)> = Vec::new();
+    for (idx, layer) in net.layers().iter().enumerate() {
+        let is_input = matches!(layer.kind, LayerKind::Input { .. });
+        let mut bots = Vec::new();
+        if !is_input {
+            for b in &layer.bottoms {
+                let ver = cur.get(b).copied().unwrap_or(0);
+                let rec = recs.entry((b.clone(), ver)).or_insert(Rec {
+                    last_use: idx,
+                    place: None,
+                });
+                rec.last_use = idx;
+                bots.push((b.clone(), ver));
+            }
+        }
+        let mut top_key = None;
+        for t in &layer.tops {
+            let ver = cur.get(t).map(|v| v + 1).unwrap_or(0);
+            cur.insert(t.clone(), ver);
+            recs.insert(
+                (t.clone(), ver),
+                Rec {
+                    last_use: idx,
+                    place: if is_input {
+                        Some(BlobPlace::Input)
+                    } else {
+                        None
+                    },
+                },
+            );
+            if top_key.is_none() {
+                top_key = Some((t.clone(), ver));
+            }
+        }
+        layer_bottoms.push((layer.name.clone(), bots));
+        layer_top.push((layer.name.clone(), if is_input { None } else { top_key }));
+    }
+    // The final version of each output blob lands in the output segment.
+    for out in net.output_blobs() {
+        if let Some(&ver) = cur.get(&out) {
+            if let Some(rec) = recs.get_mut(&(out.clone(), ver)) {
+                if rec.place.is_none() {
+                    rec.place = Some(BlobPlace::Output);
+                }
+            }
+        }
+    }
+
+    // Pass 2: greedy slot allocation in layer order; a slot frees once its
+    // blob's last consumer has run.
+    let mut active: Vec<(u64, usize)> = Vec::new(); // (slot, last_use)
+    let mut free: Vec<u64> = Vec::new();
+    let mut next_slot = 0u64;
+    for (idx, layer) in net.layers().iter().enumerate() {
+        active.retain(|&(slot, last_use)| {
+            if last_use < idx {
+                free.push(slot);
+                false
+            } else {
+                true
+            }
+        });
+        for t in &layer.tops {
+            let ver = match layer_top[idx].1 {
+                Some((ref name, ver)) if name == t => ver,
+                _ => continue,
+            };
+            let rec = recs.get_mut(&(t.clone(), ver)).expect("recorded above");
+            if rec.place.is_none() {
+                free.sort_unstable();
+                let slot = if let Some(s) = free.first().copied() {
+                    free.remove(0);
+                    s
+                } else {
+                    let s = next_slot;
+                    next_slot += 1;
+                    s
+                };
+                rec.place = Some(BlobPlace::Spill(slot));
+                active.push((slot, rec.last_use));
+            }
+        }
+    }
+    let slots = active
+        .iter()
+        .map(|&(s, _)| s + 1)
+        .chain(free.iter().map(|&s| s + 1))
+        .max()
+        .unwrap_or(0)
+        .max(2);
+
+    // Resolve per-layer source/dest places.
+    let place_of = |key: &(String, usize)| -> BlobPlace {
+        recs.get(key)
+            .and_then(|r| r.place)
+            .unwrap_or(BlobPlace::Spill(0))
+    };
+    let mut sources = BTreeMap::new();
+    let mut dest = BTreeMap::new();
+    for (i, (lname, bots)) in layer_bottoms.iter().enumerate() {
+        sources.insert(
+            lname.clone(),
+            bots.iter()
+                .map(|k| (k.0.clone(), place_of(k)))
+                .collect::<Vec<_>>(),
+        );
+        if let (_, Some(top_key)) = &layer_top[i] {
+            dest.insert(lname.clone(), (top_key.0.clone(), place_of(top_key)));
+        }
+    }
+    Ok(SpillPlan {
+        slot_words,
+        slots,
+        sources,
+        dest,
+    })
+}
+
 /// What a DRAM segment holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SegmentKind {
@@ -73,7 +260,6 @@ impl MemoryMap {
 ///
 /// Propagates shape-inference failures.
 pub fn build_memory_map(net: &Network, cfg: &CompilerConfig) -> Result<MemoryMap, NetworkError> {
-    let shapes = net.infer_shapes()?;
     let stats = deepburning_model::network_stats(net)?;
     let align = cfg.port_width_words.max(1) as u64;
     let round = |v: u64| v.div_ceil(align) * align;
@@ -104,15 +290,13 @@ pub fn build_memory_map(net: &Network, cfg: &CompilerConfig) -> Result<MemoryMap
             push(layer.name.clone(), w, SegmentKind::Weights, &mut cursor);
         }
     }
-    // Spill region: the largest inter-layer blob (double-buffered).
-    let largest = shapes
-        .values()
-        .map(|s| s.elements() as u64)
-        .max()
-        .unwrap_or(1);
+    // Spill region: one slot per live inter-layer blob (at least two, so
+    // a producer/consumer pair always ping-pongs), sized by the liveness
+    // plan rather than a flat "largest × 2" guess.
+    let spill = plan_spill_slots(net, cfg)?;
     push(
         "spill".into(),
-        largest * 2,
+        spill.slots * spill.slot_words,
         SegmentKind::Activations,
         &mut cursor,
     );
@@ -128,6 +312,11 @@ pub struct AguProgram {
     pub phase: usize,
     /// Main AGU (DRAM ↔ buffer) patterns.
     pub main: Vec<AguPattern>,
+    /// Transfer direction per `main` pattern: `true` for DRAM writes
+    /// (spill/output write-back), `false` for fetches. The top level
+    /// turns this into the per-pattern `dram_we` mask — without it every
+    /// main transaction, reads included, strobed the DRAM write enable.
+    pub main_write: Vec<bool>,
     /// Data AGU (feature buffer → datapath) patterns.
     pub data: Vec<AguPattern>,
     /// Weight AGU (weight buffer → datapath) patterns.
@@ -194,6 +383,15 @@ pub fn synthesize_agus(
     cfg: &CompilerConfig,
 ) -> Result<Vec<AguProgram>, CompileError> {
     let shapes = net.infer_shapes().map_err(CompileError::Network)?;
+    let spill = plan_spill_slots(net, cfg).map_err(CompileError::Network)?;
+    let seg_base = |place: BlobPlace| -> u64 {
+        let name = match place {
+            BlobPlace::Input => "input",
+            BlobPlace::Output => "output",
+            BlobPlace::Spill(_) => "spill",
+        };
+        map.segment(name).map(|s| s.offset).unwrap_or_default()
+    };
     let mut programs = Vec::with_capacity(plan.phases.len());
     for phase in &plan.phases {
         let layer = net
@@ -207,27 +405,32 @@ pub fn synthesize_agus(
         };
         let in_words = input.elements() as u64;
         let out_words = output.elements() as u64;
-        // Main AGU: fetch input (if not resident) and this fold's weights;
-        // write back the output slice when it spills.
+        // Main AGU: fetch inputs (if not resident) and this fold's
+        // weights; write back the output slice when it spills.
         if !phase.input_resident {
-            // The network input streams from the `input` segment; every
-            // other layer's input is a spilled upstream activation and
-            // streams from `spill`. (Fetching everything from `input`
-            // used to run mid-network fetches past the segment end into
-            // unrelated weight segments — caught by the static AGU
-            // bounds pass.)
-            let from_input = net
-                .layers()
-                .iter()
-                .filter(|l| matches!(l.kind, LayerKind::Input { .. }))
-                .flat_map(|l| &l.tops)
-                .any(|t| *t == layer.bottoms[0]);
-            let seg_name = if from_input { "input" } else { "spill" };
-            let src = map.segment(seg_name).map(|s| s.offset).unwrap_or_default();
-            prog.main.push(AguPattern::linear(
-                src,
-                pattern_len(in_words, phase.id, "input fetch")?,
-            ));
+            // Each bottom streams from wherever its producing version
+            // lives: the network input from `input`, anything else from
+            // its spill slot. (Fetching everything from `input` used to
+            // run mid-network fetches past the segment end into
+            // unrelated weight segments; fetching everything from spill
+            // offset 0 made every producer/consumer pair clobber the
+            // same slot.)
+            let fetches = spill.sources.get(&phase.layer).cloned().unwrap_or_default();
+            for (blob, place) in fetches {
+                let words = shapes
+                    .get(&blob)
+                    .map(|s| s.elements() as u64)
+                    .unwrap_or(in_words);
+                prog.main.push(AguPattern {
+                    start: seg_base(place),
+                    offset: spill.place_offset(place),
+                    x_len: pattern_len(words, phase.id, "input fetch")?,
+                    y_len: 1,
+                    x_stride: 1,
+                    y_stride: 0,
+                });
+                prog.main_write.push(false);
+            }
         }
         if let Some(seg) = map.segment(&phase.layer) {
             // Round the per-fold slice up and clamp the final fold to the
@@ -246,24 +449,34 @@ pub fn synthesize_agus(
                     x_stride: 1,
                     y_stride: 0,
                 });
+                prog.main_write.push(false);
             }
         }
         if phase.output_to_dram {
-            let dst = map.segment("spill").map(|s| s.offset).unwrap_or_default();
+            // Write back to wherever this layer's top lives: its spill
+            // slot mid-network, the `output` segment for the network's
+            // final activation. (The last layer used to write `spill`
+            // too, leaving the output segment permanently stale.)
+            let place = spill
+                .dest
+                .get(&phase.layer)
+                .map(|(_, p)| *p)
+                .unwrap_or(BlobPlace::Spill(0));
             // Same round-up-and-clamp as the weight fetch above, so the
-            // spill write-back covers every output word.
+            // write-back covers every output word.
             let slice = out_words.div_ceil(phase.folds.max(1) as u64);
             let offset = slice * phase.fold as u64;
             let words = slice.min(out_words.saturating_sub(offset));
             if words > 0 {
                 prog.main.push(AguPattern {
-                    start: dst,
-                    offset,
+                    start: seg_base(place),
+                    offset: spill.place_offset(place) + offset,
                     x_len: pattern_len(words, phase.id, "spill write-back")?,
                     y_len: 1,
                     x_stride: 1,
                     y_stride: 0,
                 });
+                prog.main_write.push(true);
             }
         }
         // Data AGU: window walks for spatial layers, linear sweep otherwise.
@@ -521,5 +734,122 @@ mod tests {
         assert!(tiles.contains_key("conv1"));
         assert!(tiles.contains_key("pool1"));
         assert!(!tiles.contains_key("fc"));
+    }
+
+    #[test]
+    fn spill_plan_separates_live_blobs_and_targets_output() {
+        let n = net();
+        let spill = plan_spill_slots(&n, &CompilerConfig::default()).expect("plan");
+        assert!(spill.slots >= 2);
+        // conv1's activation is still live while pool1 produces its own,
+        // so the two must not share a slot (they used to: everything
+        // landed at spill offset 0).
+        let conv_dst = spill.dest.get("conv1").expect("conv1 dest").1;
+        let pool_dst = spill.dest.get("pool1").expect("pool1 dest").1;
+        assert_ne!(conv_dst, pool_dst);
+        // pool1 fetches conv1's activation from where conv1 wrote it.
+        let pool_src = &spill.sources.get("pool1").expect("pool1 src")[0];
+        assert_eq!(pool_src.0, "conv1");
+        assert_eq!(pool_src.1, conv_dst);
+        // The network's final activation lands in the output segment.
+        assert_eq!(spill.dest.get("fc").expect("fc dest").1, BlobPlace::Output);
+        // Input fetches come from the input segment.
+        let conv_src = &spill.sources.get("conv1").expect("conv1 src")[0];
+        assert_eq!(conv_src.1, BlobPlace::Input);
+    }
+
+    #[test]
+    fn in_place_layers_get_fresh_versions() {
+        use deepburning_model::Activation;
+        // conv -> relu (in place on "conv") -> fc: relu reads version 0
+        // of "conv" and writes version 1, which must live in a different
+        // slot — otherwise the element-wise pass overwrites words of its
+        // own input mid-stream.
+        let n = Network::from_layers(
+            "inplace",
+            vec![
+                Layer::input("data", "data", 1, 8, 8),
+                Layer::new(
+                    "conv",
+                    LayerKind::Convolution(ConvParam::new(4, 3, 1)),
+                    "data",
+                    "conv",
+                ),
+                Layer::new(
+                    "relu",
+                    LayerKind::Activation(Activation::Relu),
+                    "conv",
+                    "conv",
+                ),
+                Layer::new(
+                    "fc",
+                    LayerKind::FullConnection(FullParam::dense(4)),
+                    "conv",
+                    "fc",
+                ),
+            ],
+        )
+        .expect("valid");
+        let spill = plan_spill_slots(&n, &CompilerConfig::default()).expect("plan");
+        let conv_v0 = spill.dest.get("conv").expect("conv dest").1;
+        let relu_src = spill.sources.get("relu").expect("relu src")[0].1;
+        let relu_dst = spill.dest.get("relu").expect("relu dest").1;
+        assert_eq!(relu_src, conv_v0, "relu reads the version conv wrote");
+        assert_ne!(relu_dst, relu_src, "in-place write needs a fresh slot");
+        // fc reads the *post-relu* version, not the raw conv output.
+        assert_eq!(spill.sources.get("fc").expect("fc src")[0].1, relu_dst);
+        assert_eq!(spill.dest.get("fc").expect("fc dest").1, BlobPlace::Output);
+    }
+
+    #[test]
+    fn final_write_back_targets_output_segment() {
+        let n = net();
+        let cfg = CompilerConfig::default();
+        let plan = plan_folding(&n, &cfg).expect("plan");
+        let map = build_memory_map(&n, &cfg).expect("map");
+        let tiles = plan_layer_tiling(&n, &cfg).expect("tiles");
+        let programs = synthesize_agus(&n, &plan, &map, &tiles, &cfg).expect("agus");
+        let out_seg = map.segment("output").expect("output segment");
+        let last_fc_phase = plan
+            .phases
+            .iter()
+            .rfind(|p| p.layer == "fc")
+            .expect("fc phases");
+        let prog = &programs[last_fc_phase.id];
+        let (idx, wb) = prog
+            .main
+            .iter()
+            .enumerate()
+            .find(|(i, _)| prog.main_write[*i])
+            .expect("fc write-back");
+        assert_eq!(
+            wb.start, out_seg.offset,
+            "final activation must land in `output`, not `spill`"
+        );
+        assert!(wb.offset + u64::from(wb.x_len) <= out_seg.len_words);
+        let _ = idx;
+    }
+
+    #[test]
+    fn main_write_flags_parallel_main_patterns() {
+        let n = net();
+        let cfg = CompilerConfig::default();
+        let plan = plan_folding(&n, &cfg).expect("plan");
+        let map = build_memory_map(&n, &cfg).expect("map");
+        let tiles = plan_layer_tiling(&n, &cfg).expect("tiles");
+        let programs = synthesize_agus(&n, &plan, &map, &tiles, &cfg).expect("agus");
+        let spill_seg = map.segment("spill").expect("spill");
+        let out_seg = map.segment("output").expect("output");
+        for prog in &programs {
+            assert_eq!(prog.main.len(), prog.main_write.len());
+            for (pat, &write) in prog.main.iter().zip(&prog.main_write) {
+                if write {
+                    assert!(
+                        pat.start == spill_seg.offset || pat.start == out_seg.offset,
+                        "writes only land in spill/output"
+                    );
+                }
+            }
+        }
     }
 }

@@ -39,8 +39,8 @@ mod training;
 mod weights_layout;
 
 pub use agu::{
-    build_memory_map, plan_layer_tiling, synthesize_agus, AguProgram, MemoryMap, Segment,
-    SegmentKind,
+    build_memory_map, plan_layer_tiling, plan_spill_slots, synthesize_agus, AguProgram, BlobPlace,
+    MemoryMap, Segment, SegmentKind, SpillPlan,
 };
 pub use config::CompilerConfig;
 pub use folding::{plan_folding, FoldingPlan, Phase, PhaseKind, PhaseWork};

@@ -103,6 +103,17 @@ impl AguClass {
 /// An AGU specialised ("reduced from the template") to a fixed set of
 /// patterns. Triggered by a one-hot event, it streams the pattern's
 /// addresses one per cycle and raises `done`.
+///
+/// The *main* AGU class additionally chains: a multi-bit trigger word is
+/// latched into a pending set and the patterns launch back-to-back, lowest
+/// bit first, with `done` raised only after the whole set drains. Each
+/// launch adds the runtime `offset` input (the per-phase fold displacement
+/// from the context buffer) to the pattern's base address; `pat_next`
+/// exposes the index of the pattern about to launch so the environment can
+/// present the matching offset, and `pat_cur` the one currently streaming.
+/// A phase's full DRAM program (input fetch + weight fetch + write-back)
+/// therefore runs off one trigger word — firing only the lowest bit was
+/// the marshalling bug that left every other stream of the phase silent.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AguBlock {
     /// Which traffic class this AGU drives.
@@ -128,8 +139,31 @@ impl AguBlock {
         }
     }
 
-    fn pattern_index_width(&self) -> u32 {
+    /// Width of the pattern index (`pat_next`/`pat_cur` ports).
+    pub fn pattern_index_width(&self) -> u32 {
         32 - (self.patterns.len().max(2) as u32 - 1).leading_zeros()
+    }
+
+    /// Width of the `x_cnt`/`y_cnt` trip counters: wide enough for the
+    /// largest trip count in the pattern set, never narrower than 16.
+    /// A fixed 16-bit counter silently truncated the `x_len-1` terminal
+    /// comparison for bursts past 64Ki addresses (large FC weight
+    /// fetches), ending them thousands of transactions early — the first
+    /// marshalling bug the full-network RTL run surfaced.
+    pub fn counter_width(&self) -> u32 {
+        let max_cnt = self
+            .patterns
+            .iter()
+            .map(|p| p.x_len.max(p.y_len).max(1) - 1)
+            .max()
+            .unwrap_or(0);
+        (32 - max_cnt.max(1).leading_zeros()).max(16)
+    }
+
+    /// Whether this AGU chains multi-bit trigger words and applies the
+    /// runtime `offset` input (main class only).
+    pub fn is_chained(&self) -> bool {
+        self.class == AguClass::Main
     }
 }
 
@@ -147,47 +181,101 @@ impl Block for AguBlock {
         let a = self.addr_width;
         let pn = self.patterns.len() as u32;
         let pw = self.pattern_index_width();
+        let cw = self.counter_width();
+        let chained = self.is_chained();
         let mut m = VModule::new(self.module_name());
         m.port(Port::input("clk", 1))
             .port(Port::input("rst", 1))
-            .port(Port::input("trigger", pn))
-            .port(Port::output("addr", a))
+            .port(Port::input("trigger", pn));
+        if chained {
+            m.port(Port::input("offset", a))
+                .port(Port::output("pat_next", pw))
+                .port(Port::output("pat_cur", pw));
+        }
+        m.port(Port::output("addr", a))
             .port(Port::output("valid", 1))
             .port(Port::output("done", 1));
         m.item(Item::Net(NetDecl::reg("pat", pw)));
-        m.item(Item::Net(NetDecl::reg("x_cnt", 16)));
-        m.item(Item::Net(NetDecl::reg("y_cnt", 16)));
+        m.item(Item::Net(NetDecl::reg("x_cnt", cw)));
+        m.item(Item::Net(NetDecl::reg("y_cnt", cw)));
         m.item(Item::Net(NetDecl::reg("addr_r", a)));
         m.item(Item::Net(NetDecl::reg("running", 1)));
         m.item(Item::Net(NetDecl::reg("done_r", 1)));
-
-        // Trigger decode: priority chain, lowest bit wins.
-        let mut launch: Vec<Stmt> = Vec::new();
-        for (i, p) in self.patterns.iter().enumerate().rev() {
-            let this = vec![
-                Stmt::NonBlocking(Expr::id("pat"), Expr::lit(pw, i as u64)),
-                Stmt::NonBlocking(Expr::id("x_cnt"), Expr::lit(16, 0)),
-                Stmt::NonBlocking(Expr::id("y_cnt"), Expr::lit(16, 0)),
-                Stmt::NonBlocking(
-                    Expr::id("addr_r"),
-                    Expr::lit(a, (p.start.wrapping_add(p.offset)) & mask(a)),
-                ),
-                Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 1)),
-                Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 0)),
-            ];
-            if launch.is_empty() {
-                launch = this;
-            } else {
-                launch = vec![Stmt::If {
-                    cond: Expr::Index(
-                        Box::new(Expr::id("trigger")),
-                        Box::new(Expr::lit(32, i as u64)),
-                    ),
-                    then_body: this,
-                    else_body: launch,
-                }];
-            }
+        if chained {
+            m.item(Item::Net(NetDecl::reg("pending", pn)));
         }
+
+        // Launch decode: priority chain over `src`, lowest bit wins. The
+        // chained (main) AGU adds the runtime offset to the pattern base
+        // and latches the remaining bits into `pending`.
+        let launch_from = |src: &'static str| -> Vec<Stmt> {
+            let mut launch: Vec<Stmt> = Vec::new();
+            for (i, p) in self.patterns.iter().enumerate().rev() {
+                let addr_init = if chained {
+                    Expr::bin(
+                        BinaryOp::Add,
+                        Expr::lit(a, p.start & mask(a)),
+                        Expr::id("offset"),
+                    )
+                } else {
+                    Expr::lit(a, (p.start.wrapping_add(p.offset)) & mask(a))
+                };
+                let mut this = vec![
+                    Stmt::NonBlocking(Expr::id("pat"), Expr::lit(pw, i as u64)),
+                    Stmt::NonBlocking(Expr::id("x_cnt"), Expr::lit(cw, 0)),
+                    Stmt::NonBlocking(Expr::id("y_cnt"), Expr::lit(cw, 0)),
+                    Stmt::NonBlocking(Expr::id("addr_r"), addr_init),
+                    Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 1)),
+                    Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 0)),
+                ];
+                if chained {
+                    this.push(Stmt::NonBlocking(
+                        Expr::id("pending"),
+                        Expr::bin(
+                            BinaryOp::And,
+                            Expr::id(src),
+                            Expr::lit(pn, !(1u64 << i) & mask(pn)),
+                        ),
+                    ));
+                }
+                if launch.is_empty() {
+                    launch = this;
+                } else {
+                    launch = vec![Stmt::If {
+                        cond: Expr::Index(
+                            Box::new(Expr::id(src)),
+                            Box::new(Expr::lit(32, i as u64)),
+                        ),
+                        then_body: this,
+                        else_body: launch,
+                    }];
+                }
+            }
+            launch
+        };
+        let launch = launch_from("trigger");
+
+        // What happens when the running pattern's last address retires:
+        // the plain AGU stops; the chained AGU launches the next pending
+        // pattern back-to-back and only stops once the set drains.
+        let finish: Vec<Stmt> = if chained {
+            vec![Stmt::If {
+                cond: Expr::Unary(
+                    deepburning_verilog::UnaryOp::RedOr,
+                    Box::new(Expr::id("pending")),
+                ),
+                then_body: launch_from("pending"),
+                else_body: vec![
+                    Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 0)),
+                    Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 1)),
+                ],
+            }]
+        } else {
+            vec![
+                Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 0)),
+                Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 1)),
+            ]
+        };
 
         // Per-pattern advance logic.
         let mut arms = Vec::new();
@@ -195,26 +283,23 @@ impl Block for AguBlock {
             let x_last = Expr::bin(
                 BinaryOp::Eq,
                 Expr::id("x_cnt"),
-                Expr::lit(16, (p.x_len - 1) as u64),
+                Expr::lit(cw, (p.x_len - 1) as u64),
             );
             let y_last = Expr::bin(
                 BinaryOp::Eq,
                 Expr::id("y_cnt"),
-                Expr::lit(16, (p.y_len - 1) as u64),
+                Expr::lit(cw, (p.y_len - 1) as u64),
             );
             let body = vec![Stmt::If {
                 cond: x_last,
                 then_body: vec![Stmt::If {
                     cond: y_last,
-                    then_body: vec![
-                        Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 0)),
-                        Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 1)),
-                    ],
+                    then_body: finish.clone(),
                     else_body: vec![
-                        Stmt::NonBlocking(Expr::id("x_cnt"), Expr::lit(16, 0)),
+                        Stmt::NonBlocking(Expr::id("x_cnt"), Expr::lit(cw, 0)),
                         Stmt::NonBlocking(
                             Expr::id("y_cnt"),
-                            Expr::bin(BinaryOp::Add, Expr::id("y_cnt"), Expr::lit(16, 1)),
+                            Expr::bin(BinaryOp::Add, Expr::id("y_cnt"), Expr::lit(cw, 1)),
                         ),
                         Stmt::NonBlocking(
                             Expr::id("addr_r"),
@@ -229,7 +314,7 @@ impl Block for AguBlock {
                 else_body: vec![
                     Stmt::NonBlocking(
                         Expr::id("x_cnt"),
-                        Expr::bin(BinaryOp::Add, Expr::id("x_cnt"), Expr::lit(16, 1)),
+                        Expr::bin(BinaryOp::Add, Expr::id("x_cnt"), Expr::lit(cw, 1)),
                     ),
                     Stmt::NonBlocking(
                         Expr::id("addr_r"),
@@ -244,18 +329,22 @@ impl Block for AguBlock {
             arms.push((Expr::lit(pw, i as u64), body));
         }
 
+        let mut reset_body = vec![
+            Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 0)),
+            Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 0)),
+            Stmt::NonBlocking(Expr::id("pat"), Expr::lit(pw, 0)),
+            Stmt::NonBlocking(Expr::id("x_cnt"), Expr::lit(cw, 0)),
+            Stmt::NonBlocking(Expr::id("y_cnt"), Expr::lit(cw, 0)),
+            Stmt::NonBlocking(Expr::id("addr_r"), Expr::lit(a, 0)),
+        ];
+        if chained {
+            reset_body.push(Stmt::NonBlocking(Expr::id("pending"), Expr::lit(pn, 0)));
+        }
         m.item(Item::Always {
             sensitivity: Sensitivity::PosEdge("clk".into()),
             body: vec![Stmt::If {
                 cond: Expr::id("rst"),
-                then_body: vec![
-                    Stmt::NonBlocking(Expr::id("running"), Expr::lit(1, 0)),
-                    Stmt::NonBlocking(Expr::id("done_r"), Expr::lit(1, 0)),
-                    Stmt::NonBlocking(Expr::id("pat"), Expr::lit(pw, 0)),
-                    Stmt::NonBlocking(Expr::id("x_cnt"), Expr::lit(16, 0)),
-                    Stmt::NonBlocking(Expr::id("y_cnt"), Expr::lit(16, 0)),
-                    Stmt::NonBlocking(Expr::id("addr_r"), Expr::lit(a, 0)),
-                ],
+                then_body: reset_body,
                 else_body: vec![Stmt::If {
                     cond: Expr::Unary(
                         deepburning_verilog::UnaryOp::RedOr,
@@ -286,16 +375,53 @@ impl Block for AguBlock {
             lhs: Expr::id("done"),
             rhs: Expr::id("done_r"),
         });
+        if chained {
+            // Priority encoder over a launch source, lowest bit first.
+            let encode = |src: &'static str| -> Expr {
+                let mut acc = Expr::lit(pw, (pn - 1) as u64);
+                for i in (0..pn.saturating_sub(1)).rev() {
+                    acc = Expr::Ternary(
+                        Box::new(Expr::Index(
+                            Box::new(Expr::id(src)),
+                            Box::new(Expr::lit(32, i as u64)),
+                        )),
+                        Box::new(Expr::lit(pw, i as u64)),
+                        Box::new(acc),
+                    );
+                }
+                acc
+            };
+            m.item(Item::Assign {
+                lhs: Expr::id("pat_next"),
+                rhs: Expr::Ternary(
+                    Box::new(Expr::Unary(
+                        deepburning_verilog::UnaryOp::RedOr,
+                        Box::new(Expr::id("trigger")),
+                    )),
+                    Box::new(encode("trigger")),
+                    Box::new(encode("pending")),
+                ),
+            });
+            m.item(Item::Assign {
+                lhs: Expr::id("pat_cur"),
+                rhs: Expr::id("pat"),
+            });
+        }
         m
     }
 
     fn cost(&self) -> ResourceCost {
         // Counters + adder + per-pattern constant mux.
-        let lut = adder_luts(self.addr_width)
+        let mut lut = adder_luts(self.addr_width)
             + adder_luts(16) * 2
             + comparator_luts(16) * 2
             + mux_luts(self.addr_width) * self.patterns.len() as u32;
-        let ff = self.addr_width + 16 * 2 + self.pattern_index_width() + 2;
+        let mut ff = self.addr_width + 16 * 2 + self.pattern_index_width() + 2;
+        if self.is_chained() {
+            // Pending-set register, offset adder, launch priority encoders.
+            lut += adder_luts(self.addr_width) + mux_luts(self.pattern_index_width()) * 2;
+            ff += self.patterns.len() as u32;
+        }
         ResourceCost::logic(0, lut, ff)
     }
 
@@ -516,6 +642,28 @@ mod tests {
     }
 
     #[test]
+    fn chained_main_agu_lints_clean() {
+        let agu = AguBlock::new(
+            AguClass::Main,
+            32,
+            vec![
+                AguPattern::linear(0, 16),
+                AguPattern::linear(256, 8),
+                AguPattern::linear(512, 4),
+            ],
+        );
+        assert!(agu.is_chained());
+        let report = lint_design(&Design::new(agu.generate()));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn data_agu_is_not_chained() {
+        let agu = AguBlock::new(AguClass::Data, 32, vec![AguPattern::linear(0, 4)]);
+        assert!(!agu.is_chained());
+    }
+
+    #[test]
     fn agu_cost_grows_with_patterns() {
         let one = AguBlock::new(AguClass::Main, 32, vec![AguPattern::linear(0, 8)]).cost();
         let four = AguBlock::new(AguClass::Main, 32, vec![AguPattern::linear(0, 8); 4]).cost();
@@ -550,5 +698,63 @@ mod tests {
         assert_eq!(AguClass::Main.tag(), "main");
         assert_eq!(AguClass::Data.tag(), "data");
         assert_eq!(AguClass::Weight.tag(), "weight");
+    }
+
+    #[test]
+    fn counter_width_scales_with_trip_count() {
+        let small = AguBlock::new(AguClass::Data, 32, vec![AguPattern::linear(0, 4)]);
+        assert_eq!(small.counter_width(), 16);
+        let big = AguBlock::new(AguClass::Weight, 32, vec![AguPattern::linear(0, 70_000)]);
+        assert_eq!(big.counter_width(), 17);
+        let tall = AguBlock::new(
+            AguClass::Data,
+            32,
+            vec![AguPattern {
+                start: 0,
+                offset: 0,
+                x_len: 2,
+                y_len: 100_000,
+                x_stride: 1,
+                y_stride: 2,
+            }],
+        );
+        assert_eq!(tall.counter_width(), 17);
+    }
+
+    /// Regression for the first marshalling bug the full-network RTL run
+    /// surfaced: with fixed 16-bit trip counters, a burst longer than
+    /// 64Ki addresses (a large FC weight fetch) terminated early because
+    /// the `x_cnt == x_len-1` literal truncated. The generated AGU must
+    /// stream *every* address of an oversized pattern.
+    #[test]
+    fn oversized_burst_streams_to_completion() {
+        use deepburning_verilog::SimEngine;
+        let x_len: u32 = (1 << 16) + 50;
+        let agu = AguBlock::new(AguClass::Weight, 32, vec![AguPattern::linear(0x100, x_len)]);
+        let design = Design::new(agu.generate());
+        let mut sim = SimEngine::Tree
+            .elaborate(&design, &agu.module_name())
+            .expect("elaborates");
+        sim.poke("rst", 1).unwrap();
+        sim.poke("trigger", 0).unwrap();
+        sim.clock().unwrap();
+        sim.poke("rst", 0).unwrap();
+        sim.poke("trigger", 1).unwrap();
+        sim.clock().unwrap();
+        sim.poke("trigger", 0).unwrap();
+        let mut streamed = 0u64;
+        let mut last_addr = 0u64;
+        for _ in 0..(u64::from(x_len) + 8) {
+            if sim.read("valid").unwrap() == 1 {
+                streamed += 1;
+                last_addr = sim.read("addr").unwrap();
+            }
+            if sim.read("done").unwrap() == 1 {
+                break;
+            }
+            sim.clock().unwrap();
+        }
+        assert_eq!(streamed, u64::from(x_len), "burst truncated");
+        assert_eq!(last_addr, 0x100 + u64::from(x_len) - 1);
     }
 }

@@ -39,12 +39,13 @@ pub use device::{
     derive_config, derive_config_for_format, max_parallel_units, Budget, Device, Z7020, Z7045,
 };
 pub use resources::{
-    check_fit, collect_patterns, context_words, estimate_resources, uses_lanes, ResourceReport,
+    check_fit, collect_main_patterns, collect_patterns, context_offsets, context_words,
+    estimate_resources, main_write_mask, uses_lanes, ResourceReport,
 };
-pub use rtl::assemble_top;
+pub use rtl::{assemble_control_top, assemble_top};
 pub use verify::{
-    verify_agu_rtl, verify_coordinator_rtl, verify_design_control_path, verify_neuron_rtl,
-    VerifyError,
+    verify_agu_chaining, verify_agu_rtl, verify_coordinator_rtl, verify_design_control_path,
+    verify_neuron_rtl, VerifyError,
 };
 
 use deepburning_compiler::{compile, CompileError, CompiledNetwork, CompilerConfig};

@@ -36,10 +36,16 @@ impl ResourceReport {
 /// context buffer at each `layer{i}-fold{j}` event, so per-fold
 /// displacements do not multiply the pattern ROM.
 pub fn collect_patterns(compiled: &CompiledNetwork, class: AguClass) -> Vec<AguPattern> {
+    if class == AguClass::Main {
+        return collect_main_patterns(compiled)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+    }
     let mut patterns: Vec<AguPattern> = Vec::new();
     for prog in &compiled.agu_programs {
         let source = match class {
-            AguClass::Main => &prog.main,
+            AguClass::Main => unreachable!("handled above"),
             AguClass::Data => &prog.data,
             AguClass::Weight => &prog.weight,
         };
@@ -56,16 +62,78 @@ pub fn collect_patterns(compiled: &CompiledNetwork, class: AguClass) -> Vec<AguP
     patterns
 }
 
+/// Collects the main AGU's hardware pattern set with transfer directions.
+///
+/// The dedup key is `(canonical pattern, is_write)`: a fetch and a
+/// write-back with the same shape must stay distinct hardware patterns
+/// because the top level derives `dram_we` from the running pattern index
+/// — merging them used to strobe the DRAM write enable on read traffic.
+/// When one phase needs the *same* (pattern, direction) twice (two
+/// equally-shaped bottoms fetched from different spill slots), the set
+/// keeps one copy per concurrent use so each gets its own trigger bit and
+/// runtime offset.
+pub fn collect_main_patterns(compiled: &CompiledNetwork) -> Vec<(AguPattern, bool)> {
+    let mut set: Vec<(AguPattern, bool)> = Vec::new();
+    for prog in &compiled.agu_programs {
+        let mut occ: Vec<((AguPattern, bool), usize)> = Vec::new();
+        for (i, p) in prog.main.iter().enumerate() {
+            let write = prog.main_write.get(i).copied().unwrap_or(false);
+            let key = (AguPattern { offset: 0, ..*p }, write);
+            let n = bump_occurrence(&mut occ, key);
+            let have = set.iter().filter(|e| **e == key).count();
+            if have < n + 1 {
+                set.push(key);
+            }
+        }
+    }
+    if set.is_empty() {
+        set.push((AguPattern::linear(0, 1), false));
+    }
+    set
+}
+
+/// Counts the occurrences of `key` so far (returning the previous count
+/// and incrementing) — used to map a phase's i-th use of a hardware
+/// pattern to the i-th copy in the deduplicated set.
+fn bump_occurrence(occ: &mut Vec<((AguPattern, bool), usize)>, key: (AguPattern, bool)) -> usize {
+    if let Some(e) = occ.iter_mut().find(|e| e.0 == key) {
+        e.1 += 1;
+        e.1 - 1
+    } else {
+        occ.push((key, 1));
+        0
+    }
+}
+
+/// Index of the `occurrence`-th copy of `key` in the deduplicated set.
+fn main_slot(
+    set: &[(AguPattern, bool)],
+    key: (AguPattern, bool),
+    occurrence: usize,
+) -> Option<usize> {
+    set.iter()
+        .enumerate()
+        .filter(|(_, e)| **e == key)
+        .map(|(i, _)| i)
+        .nth(occurrence)
+}
+
 /// The context-buffer images for the generated top: for every phase, the
-/// one-hot trigger word of each AGU class (bit = index of the phase's
-/// pattern in the deduplicated pattern set of [`collect_patterns`]).
+/// trigger word of each AGU class — one bit per pattern the phase runs,
+/// at that pattern's index in the deduplicated set of
+/// [`collect_patterns`].
+///
+/// A phase's main word may have several bits set (input fetch, weight
+/// fetch, write-back); the chained main AGU drains them lowest-first.
+/// Encoding only the first pattern per class — as this table used to —
+/// silently dropped the weight fetch and the write-back of every phase.
 ///
 /// These are the words the `ctx_trig_*` ROMs hold; `verify_design_control_path`
 /// and the RTL execution tests load them through the interpreter backdoor,
 /// and `export_rtl` writes them next to the netlist.
 pub fn context_words(compiled: &CompiledNetwork) -> Vec<[u64; 3]> {
+    let main_set = collect_main_patterns(compiled);
     let sets = [
-        collect_patterns(compiled, AguClass::Main),
         collect_patterns(compiled, AguClass::Data),
         collect_patterns(compiled, AguClass::Weight),
     ];
@@ -74,20 +142,67 @@ pub fn context_words(compiled: &CompiledNetwork) -> Vec<[u64; 3]> {
         .iter()
         .map(|prog| {
             let mut words = [0u64; 3];
-            for (slot, source) in [&prog.main, &prog.data, &prog.weight].iter().enumerate() {
-                if let Some(first) = source.first() {
-                    let canon = AguPattern {
-                        offset: 0,
-                        ..*first
-                    };
-                    if let Some(idx) = sets[slot].iter().position(|p| *p == canon) {
-                        words[slot] = 1u64 << idx.min(63);
+            let mut occ: Vec<((AguPattern, bool), usize)> = Vec::new();
+            for (i, p) in prog.main.iter().enumerate() {
+                let write = prog.main_write.get(i).copied().unwrap_or(false);
+                let key = (AguPattern { offset: 0, ..*p }, write);
+                let n = bump_occurrence(&mut occ, key);
+                if let Some(slot) = main_slot(&main_set, key, n) {
+                    words[0] |= 1u64 << slot.min(63);
+                }
+            }
+            for (slot, source) in [&prog.data, &prog.weight].iter().enumerate() {
+                for p in source.iter() {
+                    let canon = AguPattern { offset: 0, ..*p };
+                    if let Some(idx) = sets[slot].iter().position(|q| *q == canon) {
+                        words[slot + 1] |= 1u64 << idx.min(63);
                     }
                 }
             }
             words
         })
         .collect()
+}
+
+/// Per-phase runtime offsets for the main AGU's hardware patterns: entry
+/// `[phase][slot]` is the offset the AGU must add when it launches
+/// hardware pattern `slot` during `phase` (0 when the phase does not
+/// trigger that pattern). These are the words of the `ctx_off_main` ROM,
+/// indexed by `{phase, pat_next}` — they are what makes weight-fold
+/// slices and spill-slot displacements real in hardware instead of
+/// compile-time fictions canonicalised away by the pattern dedup.
+pub fn context_offsets(compiled: &CompiledNetwork) -> Vec<Vec<u64>> {
+    let set = collect_main_patterns(compiled);
+    compiled
+        .agu_programs
+        .iter()
+        .map(|prog| {
+            let mut offs = vec![0u64; set.len()];
+            let mut occ: Vec<((AguPattern, bool), usize)> = Vec::new();
+            for (i, p) in prog.main.iter().enumerate() {
+                let write = prog.main_write.get(i).copied().unwrap_or(false);
+                let key = (AguPattern { offset: 0, ..*p }, write);
+                let n = bump_occurrence(&mut occ, key);
+                if let Some(slot) = main_slot(&set, key, n) {
+                    offs[slot] = p.offset;
+                }
+            }
+            offs
+        })
+        .collect()
+}
+
+/// One bit per main hardware pattern, set when that pattern writes DRAM.
+/// The top level indexes this constant with the running pattern
+/// (`pat_cur`) to drive `dram_we` only during write-back traffic.
+pub fn main_write_mask(compiled: &CompiledNetwork) -> u64 {
+    collect_main_patterns(compiled)
+        .iter()
+        .enumerate()
+        .fold(
+            0u64,
+            |m, (i, &(_, w))| if w { m | (1u64 << i.min(63)) } else { m },
+        )
 }
 
 /// Enumerates the block instances a compiled network needs and totals
@@ -312,5 +427,57 @@ mod tests {
     fn network_uses_lanes() {
         let (_, c) = compiled(16);
         assert!(uses_lanes(&c));
+    }
+
+    #[test]
+    fn context_words_trigger_every_main_pattern() {
+        let (_, c) = compiled(16);
+        let words = context_words(&c);
+        for (prog, w) in c.agu_programs.iter().zip(&words) {
+            assert_eq!(
+                w[0].count_ones() as usize,
+                prog.main.len(),
+                "phase {} main trigger word must cover all {} patterns",
+                prog.phase,
+                prog.main.len()
+            );
+        }
+    }
+
+    #[test]
+    fn context_offsets_match_programs() {
+        let (_, c) = compiled(16);
+        let set = collect_main_patterns(&c);
+        let offs = context_offsets(&c);
+        assert_eq!(offs.len(), c.agu_programs.len());
+        for (prog, po) in c.agu_programs.iter().zip(&offs) {
+            assert_eq!(po.len(), set.len());
+            // Every non-zero program offset must appear in the ROM row.
+            for p in &prog.main {
+                if p.offset != 0 {
+                    assert!(
+                        po.contains(&p.offset),
+                        "phase {}: offset {} missing from ctx row {po:?}",
+                        prog.phase,
+                        p.offset
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_mask_separates_fetches_from_write_backs() {
+        let (_, c) = compiled(16);
+        let set = collect_main_patterns(&c);
+        let mask = main_write_mask(&c);
+        assert!(mask != 0, "network spills, so some pattern writes DRAM");
+        assert!(
+            set.iter().any(|&(_, w)| !w),
+            "fetch patterns must exist too"
+        );
+        for (i, &(_, w)) in set.iter().enumerate() {
+            assert_eq!((mask >> i) & 1 == 1, w);
+        }
     }
 }

@@ -5,14 +5,14 @@
 //! the buffers and the datapath blocks, and wires the context ROMs whose
 //! contents (trigger words, crossbar selects) the compiler fills.
 
-use crate::resources::collect_patterns;
+use crate::resources::{collect_patterns, main_write_mask};
 use deepburning_compiler::CompiledNetwork;
 use deepburning_components::{
     AccumulatorBlock, ActivationUnit, AguBlock, AguClass, ApproxLutBlock, Block, BufferBlock,
     ConnectionBox, Coordinator, KSorter, PerfCounters, PoolingUnit, SynergyNeuron,
 };
 use deepburning_model::{LayerKind, Network, PoolMethod};
-use deepburning_verilog::{Design, Expr, Item, NetDecl, Port, VModule};
+use deepburning_verilog::{BinaryOp, Design, Expr, Item, NetDecl, Port, UnaryOp, VModule};
 
 fn instance(top: &mut VModule, module: &str, name: &str, connections: Vec<(&str, Expr)>) {
     top.item(Item::Instance {
@@ -32,6 +32,267 @@ fn zero_extend(expr: Expr, from: u32, to: u32) -> Expr {
     } else {
         expr
     }
+}
+
+/// Wires the control fabric shared by [`assemble_top`] and
+/// [`assemble_control_top`]: coordinator, context ROMs, the three AGUs,
+/// phase sequencing, the DRAM command side and the performance counters.
+/// `cbox_sel_width` adds the crossbar's `ctx_sel`/`ctx_shift` ROMs when
+/// the caller instantiates a connection box; `occ_src_bits` is the
+/// feature-buffer address width used for the occupancy proxy.
+#[allow(clippy::too_many_arguments)]
+fn wire_control_fabric(
+    top: &mut VModule,
+    compiled: &CompiledNetwork,
+    coord: &Coordinator,
+    agu_main: &AguBlock,
+    agu_data: &AguBlock,
+    agu_weight: &AguBlock,
+    perf: &PerfCounters,
+    cbox_sel_width: Option<u32>,
+    occ_src_bits: u32,
+) {
+    let phases = coord.phases;
+    let pw = coord.phase_width();
+    for n in ["phase_w", "busy_w", "fire_w", "phase_done"] {
+        top.item(Item::Net(NetDecl::wire(
+            n,
+            if n == "phase_w" { pw } else { 1 },
+        )));
+    }
+    instance(
+        top,
+        &coord.module_name(),
+        "u_coordinator",
+        vec![
+            ("clk", Expr::id("clk")),
+            ("rst", Expr::id("rst")),
+            ("start", Expr::id("start")),
+            ("phase_done", Expr::id("phase_done")),
+            ("phase", Expr::id("phase_w")),
+            ("busy", Expr::id("busy_w")),
+            ("fire", Expr::id("fire_w")),
+        ],
+    );
+    top.item(Item::Comment(
+        "context ROMs below are initialised from the compiler's schedule".into(),
+    ));
+    let pn_main = agu_main.patterns.len() as u32;
+    let pn_data = agu_data.patterns.len() as u32;
+    let pn_weight = agu_weight.patterns.len() as u32;
+    let pw_main = agu_main.pattern_index_width();
+    let mut roms = vec![
+        ("ctx_trig_main", pn_main),
+        ("ctx_trig_data", pn_data),
+        ("ctx_trig_weight", pn_weight),
+        ("ctx_lanes", perf.inc_width),
+    ];
+    if let Some(sel_w) = cbox_sel_width {
+        roms.push(("ctx_sel", sel_w * 2));
+        roms.push(("ctx_shift", 8u32));
+    }
+    for (rom, width) in roms {
+        top.item(Item::Net(NetDecl::memory(rom, width, phases as usize)));
+    }
+    // Main-AGU runtime offsets, one word per {phase, hardware pattern}:
+    // this ROM is what turns the compiler's per-fold weight slices and
+    // spill-slot displacements into real addresses — the canonicalised
+    // pattern set alone always replayed offset 0.
+    top.item(Item::Net(NetDecl::memory(
+        "ctx_off_main",
+        32,
+        (phases as usize) << pw_main,
+    )));
+    for (wire, rom, width) in [
+        ("trig_main", "ctx_trig_main", pn_main),
+        ("trig_data", "ctx_trig_data", pn_data),
+        ("trig_weight", "ctx_trig_weight", pn_weight),
+    ] {
+        top.item(Item::Net(NetDecl::wire(wire, width)));
+        top.item(Item::Assign {
+            lhs: Expr::id(wire),
+            rhs: Expr::Ternary(
+                Box::new(Expr::id("fire_w")),
+                Box::new(Expr::Index(
+                    Box::new(Expr::id(rom)),
+                    Box::new(Expr::id("phase_w")),
+                )),
+                Box::new(Expr::lit(width, 0)),
+            ),
+        });
+    }
+
+    // ---- AGUs ------------------------------------------------------------
+    for class in ["main", "data", "weight"] {
+        top.item(Item::Net(NetDecl::wire(format!("agu_{class}_addr"), 32)));
+        top.item(Item::Net(NetDecl::wire(format!("agu_{class}_valid"), 1)));
+        top.item(Item::Net(NetDecl::wire(format!("agu_{class}_done"), 1)));
+    }
+    top.item(Item::Net(NetDecl::wire("agu_main_pat_next", pw_main)));
+    top.item(Item::Net(NetDecl::wire("agu_main_pat_cur", pw_main)));
+    top.item(Item::Net(NetDecl::wire("agu_main_off", 32)));
+    // The offset the main AGU latches at each launch: indexed by the
+    // pattern it is about to run (`pat_next`), within the current phase.
+    top.item(Item::Assign {
+        lhs: Expr::id("agu_main_off"),
+        rhs: Expr::Index(
+            Box::new(Expr::id("ctx_off_main")),
+            Box::new(Expr::Concat(vec![
+                Expr::id("phase_w"),
+                Expr::id("agu_main_pat_next"),
+            ])),
+        ),
+    });
+    for (agu, tag) in [
+        (agu_main, "main"),
+        (agu_data, "data"),
+        (agu_weight, "weight"),
+    ] {
+        let mut conns = vec![
+            ("clk", Expr::id("clk")),
+            ("rst", Expr::id("rst")),
+            ("trigger", Expr::id(format!("trig_{tag}"))),
+        ];
+        if agu.is_chained() {
+            conns.push(("offset", Expr::id("agu_main_off")));
+            conns.push(("pat_next", Expr::id("agu_main_pat_next")));
+            conns.push(("pat_cur", Expr::id("agu_main_pat_cur")));
+        }
+        conns.push(("addr", Expr::id(format!("agu_{tag}_addr"))));
+        conns.push(("valid", Expr::id(format!("agu_{tag}_valid"))));
+        conns.push(("done", Expr::id(format!("agu_{tag}_done"))));
+        instance(top, &agu.module_name(), &format!("u_agu_{tag}"), conns);
+    }
+    // A phase completes when its data sweep (and any DRAM traffic)
+    // drains. Gated off during the fire cycle: the AGUs' `done`
+    // registers still hold 1 from the previous phase on the cycle the
+    // coordinator pulses `fire`, and sampling them then made the
+    // coordinator advance two phases per boundary, skipping every other
+    // phase's transfers.
+    top.item(Item::Assign {
+        lhs: Expr::id("phase_done"),
+        rhs: Expr::bin(
+            BinaryOp::LogAnd,
+            Expr::Unary(UnaryOp::Not, Box::new(Expr::id("fire_w"))),
+            Expr::bin(
+                BinaryOp::LogAnd,
+                Expr::id("agu_data_done"),
+                Expr::bin(
+                    BinaryOp::LogOr,
+                    Expr::id("agu_main_done"),
+                    Expr::Unary(UnaryOp::Not, Box::new(Expr::id("agu_main_valid"))),
+                ),
+            ),
+        ),
+    });
+
+    // ---- DRAM command side ------------------------------------------------
+    top.item(Item::Assign {
+        lhs: Expr::id("dram_addr"),
+        rhs: Expr::id("agu_main_addr"),
+    });
+    top.item(Item::Assign {
+        lhs: Expr::id("dram_req"),
+        rhs: Expr::id("agu_main_valid"),
+    });
+    // Write strobe only for write-back patterns: the per-pattern
+    // direction mask, indexed by the running pattern. `valid && busy`
+    // alone strobed writes for every fetch too, shredding the DRAM image
+    // the fetches were reading.
+    top.item(Item::Net(NetDecl::wire("main_wmask", pn_main)));
+    top.item(Item::Assign {
+        lhs: Expr::id("main_wmask"),
+        rhs: Expr::lit(pn_main, main_write_mask(compiled)),
+    });
+    top.item(Item::Assign {
+        lhs: Expr::id("dram_we"),
+        rhs: Expr::bin(
+            BinaryOp::LogAnd,
+            Expr::bin(
+                BinaryOp::LogAnd,
+                Expr::id("agu_main_valid"),
+                Expr::id("busy_w"),
+            ),
+            Expr::Index(
+                Box::new(Expr::id("main_wmask")),
+                Box::new(Expr::id("agu_main_pat_cur")),
+            ),
+        ),
+    });
+    top.item(Item::Assign {
+        lhs: Expr::id("done"),
+        rhs: Expr::Unary(UnaryOp::Not, Box::new(Expr::id("busy_w"))),
+    });
+
+    // ---- performance counters ---------------------------------------------
+    // DRAM traffic in flight while the datapath sweep is idle = a transfer
+    // stall; MACs retire at the phase's lane count (ctx_lanes ROM) on every
+    // data-valid cycle; the feature-buffer write pointer is the occupancy
+    // high-water proxy.
+    let iw = perf.inc_width;
+    let one_bit = |name: &str| zero_extend(Expr::id(name), 1, iw);
+    top.item(Item::Net(NetDecl::wire("perf_stall", 1)));
+    top.item(Item::Assign {
+        lhs: Expr::id("perf_stall"),
+        rhs: Expr::bin(
+            BinaryOp::LogAnd,
+            Expr::id("agu_main_valid"),
+            Expr::Unary(UnaryOp::Not, Box::new(Expr::id("agu_data_valid"))),
+        ),
+    });
+    top.item(Item::Net(NetDecl::wire("perf_mac_inc", iw)));
+    top.item(Item::Assign {
+        lhs: Expr::id("perf_mac_inc"),
+        rhs: Expr::Ternary(
+            Box::new(Expr::id("agu_data_valid")),
+            Box::new(Expr::Index(
+                Box::new(Expr::id("ctx_lanes")),
+                Box::new(Expr::id("phase_w")),
+            )),
+            Box::new(Expr::lit(iw, 0)),
+        ),
+    });
+    top.item(Item::Net(NetDecl::wire("perf_rd_inc", iw)));
+    top.item(Item::Assign {
+        lhs: Expr::id("perf_rd_inc"),
+        rhs: Expr::bin(
+            BinaryOp::Add,
+            one_bit("agu_data_valid"),
+            one_bit("agu_weight_valid"),
+        ),
+    });
+    let occ_bits = occ_src_bits.min(iw);
+    top.item(Item::Net(NetDecl::wire("perf_rdata_w", perf.width)));
+    instance(
+        top,
+        &perf.module_name(),
+        "u_perf_counters",
+        vec![
+            ("clk", Expr::id("clk")),
+            ("rst", Expr::id("rst")),
+            ("en", Expr::id("busy_w")),
+            ("active", Expr::id("agu_data_valid")),
+            ("stall", Expr::id("perf_stall")),
+            ("mac_inc", Expr::id("perf_mac_inc")),
+            ("rd_inc", Expr::id("perf_rd_inc")),
+            ("wr_inc", one_bit("agu_main_valid")),
+            ("burst_inc", one_bit("agu_main_valid")),
+            (
+                "occupancy",
+                zero_extend(
+                    Expr::Slice(Box::new(Expr::id("agu_main_addr")), occ_bits - 1, 0),
+                    occ_bits,
+                    iw,
+                ),
+            ),
+            ("sel", Expr::id("perf_sel")),
+            ("rdata", Expr::id("perf_rdata_w")),
+        ],
+    );
+    top.item(Item::Assign {
+        lhs: Expr::id("perf_rdata"),
+        rhs: Expr::id("perf_rdata_w"),
+    });
 }
 
 /// Assembles the accelerator top-level for a compiled network.
@@ -124,110 +385,24 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
         .port(Port::input("perf_sel", perf.sel_width()))
         .port(Port::output("perf_rdata", perf.width));
 
-    // ---- coordinator + context ROMs -------------------------------------
-    let pw = coord.phase_width();
-    for n in ["phase_w", "busy_w", "fire_w", "phase_done"] {
-        top.item(Item::Net(NetDecl::wire(
-            n,
-            if n == "phase_w" { pw } else { 1 },
-        )));
-    }
-    instance(
+    // ---- control fabric (coordinator, ROMs, AGUs, DRAM commands, perf) ---
+    let f_aw = fbuf.addr_width();
+    wire_control_fabric(
         &mut top,
-        &coord.module_name(),
-        "u_coordinator",
-        vec![
-            ("clk", Expr::id("clk")),
-            ("rst", Expr::id("rst")),
-            ("start", Expr::id("start")),
-            ("phase_done", Expr::id("phase_done")),
-            ("phase", Expr::id("phase_w")),
-            ("busy", Expr::id("busy_w")),
-            ("fire", Expr::id("fire_w")),
-        ],
+        compiled,
+        &coord,
+        &agu_main,
+        &agu_data,
+        &agu_weight,
+        &perf,
+        Some(cbox.select_width()),
+        f_aw,
     );
-    top.item(Item::Comment(
-        "context ROMs below are initialised from the compiler's schedule".into(),
-    ));
-    let pn_main = agu_main.patterns.len() as u32;
-    let pn_data = agu_data.patterns.len() as u32;
-    let pn_weight = agu_weight.patterns.len() as u32;
-    for (rom, width) in [
-        ("ctx_trig_main", pn_main),
-        ("ctx_trig_data", pn_data),
-        ("ctx_trig_weight", pn_weight),
-        ("ctx_sel", cbox.select_width() * 2),
-        ("ctx_shift", 8u32),
-        ("ctx_lanes", perf.inc_width),
-    ] {
-        top.item(Item::Net(NetDecl::memory(rom, width, phases as usize)));
-    }
-    for (wire, rom, width) in [
-        ("trig_main", "ctx_trig_main", pn_main),
-        ("trig_data", "ctx_trig_data", pn_data),
-        ("trig_weight", "ctx_trig_weight", pn_weight),
-    ] {
-        top.item(Item::Net(NetDecl::wire(wire, width)));
-        top.item(Item::Assign {
-            lhs: Expr::id(wire),
-            rhs: Expr::Ternary(
-                Box::new(Expr::id("fire_w")),
-                Box::new(Expr::Index(
-                    Box::new(Expr::id(rom)),
-                    Box::new(Expr::id("phase_w")),
-                )),
-                Box::new(Expr::lit(width, 0)),
-            ),
-        });
-    }
-
-    // ---- AGUs ------------------------------------------------------------
-    for class in ["main", "data", "weight"] {
-        top.item(Item::Net(NetDecl::wire(format!("agu_{class}_addr"), 32)));
-        top.item(Item::Net(NetDecl::wire(format!("agu_{class}_valid"), 1)));
-        top.item(Item::Net(NetDecl::wire(format!("agu_{class}_done"), 1)));
-    }
-    for (agu, tag) in [
-        (&agu_main, "main"),
-        (&agu_data, "data"),
-        (&agu_weight, "weight"),
-    ] {
-        instance(
-            &mut top,
-            &agu.module_name(),
-            &format!("u_agu_{tag}"),
-            vec![
-                ("clk", Expr::id("clk")),
-                ("rst", Expr::id("rst")),
-                ("trigger", Expr::id(format!("trig_{tag}"))),
-                ("addr", Expr::id(format!("agu_{tag}_addr"))),
-                ("valid", Expr::id(format!("agu_{tag}_valid"))),
-                ("done", Expr::id(format!("agu_{tag}_done"))),
-            ],
-        );
-    }
-    // A phase completes when its data sweep (and any DRAM traffic) drains.
-    top.item(Item::Assign {
-        lhs: Expr::id("phase_done"),
-        rhs: Expr::bin(
-            deepburning_verilog::BinaryOp::LogAnd,
-            Expr::id("agu_data_done"),
-            Expr::bin(
-                deepburning_verilog::BinaryOp::LogOr,
-                Expr::id("agu_main_done"),
-                Expr::Unary(
-                    deepburning_verilog::UnaryOp::Not,
-                    Box::new(Expr::id("agu_main_valid")),
-                ),
-            ),
-        ),
-    });
 
     // ---- buffers ----------------------------------------------------------
     top.item(Item::Net(NetDecl::wire("fbuf_rdata", bus)));
     top.item(Item::Net(NetDecl::wire("wbuf_rdata", bus)));
     top.item(Item::Net(NetDecl::wire("writeback", bus)));
-    let f_aw = fbuf.addr_width();
     let w_aw = wbuf.addr_width();
     instance(
         &mut top,
@@ -407,106 +582,10 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
         );
     }
 
-    // ---- DRAM side ------------------------------------------------------------
-    top.item(Item::Assign {
-        lhs: Expr::id("dram_addr"),
-        rhs: Expr::id("agu_main_addr"),
-    });
-    top.item(Item::Assign {
-        lhs: Expr::id("dram_req"),
-        rhs: Expr::id("agu_main_valid"),
-    });
+    // ---- DRAM write data (commands live in the control fabric) ---------------
     top.item(Item::Assign {
         lhs: Expr::id("dram_wdata"),
         rhs: Expr::id("writeback"),
-    });
-    top.item(Item::Assign {
-        lhs: Expr::id("dram_we"),
-        rhs: Expr::bin(
-            deepburning_verilog::BinaryOp::LogAnd,
-            Expr::id("agu_main_valid"),
-            Expr::id("busy_w"),
-        ),
-    });
-    top.item(Item::Assign {
-        lhs: Expr::id("done"),
-        rhs: Expr::Unary(
-            deepburning_verilog::UnaryOp::Not,
-            Box::new(Expr::id("busy_w")),
-        ),
-    });
-
-    // ---- performance counters -------------------------------------------------
-    // DRAM traffic in flight while the datapath sweep is idle = a transfer
-    // stall; MACs retire at the phase's lane count (ctx_lanes ROM) on every
-    // data-valid cycle; the feature-buffer write pointer is the occupancy
-    // high-water proxy.
-    let iw = perf.inc_width;
-    let one_bit = |name: &str| zero_extend(Expr::id(name), 1, iw);
-    top.item(Item::Net(NetDecl::wire("perf_stall", 1)));
-    top.item(Item::Assign {
-        lhs: Expr::id("perf_stall"),
-        rhs: Expr::bin(
-            deepburning_verilog::BinaryOp::LogAnd,
-            Expr::id("agu_main_valid"),
-            Expr::Unary(
-                deepburning_verilog::UnaryOp::Not,
-                Box::new(Expr::id("agu_data_valid")),
-            ),
-        ),
-    });
-    top.item(Item::Net(NetDecl::wire("perf_mac_inc", iw)));
-    top.item(Item::Assign {
-        lhs: Expr::id("perf_mac_inc"),
-        rhs: Expr::Ternary(
-            Box::new(Expr::id("agu_data_valid")),
-            Box::new(Expr::Index(
-                Box::new(Expr::id("ctx_lanes")),
-                Box::new(Expr::id("phase_w")),
-            )),
-            Box::new(Expr::lit(iw, 0)),
-        ),
-    });
-    top.item(Item::Net(NetDecl::wire("perf_rd_inc", iw)));
-    top.item(Item::Assign {
-        lhs: Expr::id("perf_rd_inc"),
-        rhs: Expr::bin(
-            deepburning_verilog::BinaryOp::Add,
-            one_bit("agu_data_valid"),
-            one_bit("agu_weight_valid"),
-        ),
-    });
-    let occ_bits = f_aw.min(iw);
-    top.item(Item::Net(NetDecl::wire("perf_rdata_w", perf.width)));
-    instance(
-        &mut top,
-        &perf.module_name(),
-        "u_perf_counters",
-        vec![
-            ("clk", Expr::id("clk")),
-            ("rst", Expr::id("rst")),
-            ("en", Expr::id("busy_w")),
-            ("active", Expr::id("agu_data_valid")),
-            ("stall", Expr::id("perf_stall")),
-            ("mac_inc", Expr::id("perf_mac_inc")),
-            ("rd_inc", Expr::id("perf_rd_inc")),
-            ("wr_inc", one_bit("agu_main_valid")),
-            ("burst_inc", one_bit("agu_main_valid")),
-            (
-                "occupancy",
-                zero_extend(
-                    Expr::Slice(Box::new(Expr::id("agu_main_addr")), occ_bits - 1, 0),
-                    occ_bits,
-                    iw,
-                ),
-            ),
-            ("sel", Expr::id("perf_sel")),
-            ("rdata", Expr::id("perf_rdata_w")),
-        ],
-    );
-    top.item(Item::Assign {
-        lhs: Expr::id("perf_rdata"),
-        rhs: Expr::id("perf_rdata_w"),
     });
 
     // ---- collect the module set -------------------------------------------------
@@ -539,6 +618,83 @@ pub fn assemble_top(net: &Network, compiled: &CompiledNetwork) -> Design {
     if let Some(ks) = &ksorter {
         add(&mut design, ks);
     }
+    design
+}
+
+/// Assembles the control-only top for a compiled network: coordinator,
+/// the three AGUs, context ROMs and performance counters — no datapath,
+/// no buffers. Every signal is 64 bits or narrower, so the interpreter
+/// can execute the *entire network* in one continuous simulation (the
+/// full datapath's `word_bits × lanes` bus exceeds the interpreter's
+/// 64-bit signal cap). The full-network RTL run drives this top, follows
+/// its DRAM command stream word-for-word, and the captured VCD exposes
+/// the coordinator FSM (`phase_w`, `busy_w`, `fire_w`), the AGU valids
+/// and the running main pattern (`agu_main_pat_cur`) for divergence
+/// bundles.
+pub fn assemble_control_top(net: &Network, compiled: &CompiledNetwork) -> Design {
+    let cfg = &compiled.config;
+    let bus = cfg.word_bits * cfg.lanes;
+    let phases = compiled.folding.phases.len().max(1) as u32;
+    let coord = Coordinator { phases };
+    let perf = PerfCounters::default();
+    let agu_main = AguBlock::new(
+        AguClass::Main,
+        32,
+        collect_patterns(compiled, AguClass::Main),
+    );
+    let agu_data = AguBlock::new(
+        AguClass::Data,
+        32,
+        collect_patterns(compiled, AguClass::Data),
+    );
+    let agu_weight = AguBlock::new(
+        AguClass::Weight,
+        32,
+        collect_patterns(compiled, AguClass::Weight),
+    );
+    // Same occupancy proxy width as the full top's feature buffer.
+    let f_aw = BufferBlock {
+        width: bus,
+        depth: (cfg.feature_buffer_bytes * 8 / u64::from(bus)).max(2) as usize,
+    }
+    .addr_width();
+
+    let mut top = VModule::new(format!("{}_control", sanitize(net.name())));
+    top.port(Port::input("clk", 1))
+        .port(Port::input("rst", 1))
+        .port(Port::input("start", 1))
+        .port(Port::output("done", 1))
+        .port(Port::output("dram_addr", 32))
+        .port(Port::output("dram_req", 1))
+        .port(Port::output("dram_we", 1))
+        .port(Port::input("perf_sel", perf.sel_width()))
+        .port(Port::output("perf_rdata", perf.width));
+    wire_control_fabric(
+        &mut top,
+        compiled,
+        &coord,
+        &agu_main,
+        &agu_data,
+        &agu_weight,
+        &perf,
+        None,
+        f_aw,
+    );
+
+    let mut design = Design::new(top);
+    let mut added: Vec<String> = Vec::new();
+    let mut add = |design: &mut Design, block: &dyn Block| {
+        let name = block.module_name();
+        if !added.contains(&name) {
+            design.add_module(block.generate());
+            added.push(name);
+        }
+    };
+    add(&mut design, &coord);
+    add(&mut design, &perf);
+    add(&mut design, &agu_main);
+    add(&mut design, &agu_data);
+    add(&mut design, &agu_weight);
     design
 }
 
@@ -636,6 +792,48 @@ mod tests {
     fn sanitize_names() {
         assert_eq!(sanitize("LeNet-5"), "lenet_5");
         assert_eq!(sanitize("5net"), "n5net");
+    }
+
+    #[test]
+    fn control_top_lints_clean_and_is_interpreter_sized() {
+        let net = parse_network(SRC).expect("parses");
+        let compiled = compile(
+            &net,
+            &CompilerConfig {
+                lanes: 8,
+                ..CompilerConfig::default()
+            },
+        )
+        .expect("compiles");
+        let d = assemble_control_top(&net, &compiled);
+        let report = lint_design(&d);
+        assert!(report.is_clean(), "{report}");
+        // Every net fits the interpreter's 64-bit signal cap — this is
+        // the property that lets the full network run in one simulation.
+        for m in &d.modules {
+            for item in &m.items {
+                if let Item::Net(n) = item {
+                    assert!(n.width <= 64, "{}.{} is {} bits", m.name, n.name, n.width);
+                }
+            }
+        }
+        let text = emit_design(&d);
+        for inst in ["u_coordinator", "u_agu_main", "u_perf_counters"] {
+            assert!(text.contains(inst), "missing {inst}");
+        }
+        assert!(
+            !text.contains("u_synergy_neurons"),
+            "control top has no datapath"
+        );
+    }
+
+    #[test]
+    fn full_top_wires_offset_rom_and_write_mask() {
+        let d = design();
+        let text = emit_design(&d);
+        assert!(text.contains("ctx_off_main"));
+        assert!(text.contains("main_wmask"));
+        assert!(text.contains("agu_main_pat_cur"));
     }
 
     #[test]

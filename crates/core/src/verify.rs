@@ -87,7 +87,12 @@ pub fn verify_agu_rtl(agu: &AguBlock) -> Result<(), VerifyError> {
         (1u64 << agu.addr_width) - 1
     };
     for (i, pattern) in agu.patterns.iter().enumerate() {
-        // One-cycle trigger pulse on bit i.
+        // One-cycle trigger pulse on bit i. The chained (main) AGU takes
+        // its fold displacement from the runtime `offset` input; present
+        // the pattern's own offset so the model stream matches.
+        if agu.is_chained() {
+            sim.poke("offset", pattern.offset & addr_mask)?;
+        }
         sim.poke("trigger", 1 << i)?;
         sim.clock()?;
         sim.poke("trigger", 0)?;
@@ -127,6 +132,87 @@ pub fn verify_agu_rtl(agu: &AguBlock) -> Result<(), VerifyError> {
                 got: sim.read("done")?,
             });
         }
+    }
+    Ok(())
+}
+
+/// Fires every pattern of a chained (main-class) AGU in one trigger word
+/// and checks that the RTL streams the whole set back-to-back, lowest
+/// index first, applying each pattern's runtime offset at launch — the
+/// end-to-end behaviour a phase's full DRAM program (input fetch + weight
+/// fetch + write-back) relies on.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] on the first divergence.
+pub fn verify_agu_chaining(agu: &AguBlock) -> Result<(), VerifyError> {
+    assert!(agu.is_chained(), "chaining only exists on the main AGU");
+    let design = Design::new(agu.generate());
+    let mut sim = Interpreter::elaborate(&design, &agu.module_name())?;
+    sim.poke("rst", 1)?;
+    sim.clock()?;
+    sim.poke("rst", 0)?;
+    let addr_mask = if agu.addr_width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << agu.addr_width) - 1
+    };
+    let n = agu.patterns.len().min(64);
+    let word = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+    // The environment presents the offset of the pattern about to launch,
+    // exactly as the top level muxes the context offset ROM by `pat_next`.
+    let offset_for = |sim: &mut Interpreter| -> Result<(), VerifyError> {
+        let next = sim.read("pat_next")? as usize;
+        let off = agu.patterns.get(next).map(|p| p.offset).unwrap_or(0);
+        sim.poke("offset", off & addr_mask)?;
+        Ok(())
+    };
+    sim.poke("trigger", word)?;
+    offset_for(&mut sim)?;
+    sim.clock()?;
+    sim.poke("trigger", 0)?;
+    let expected: Vec<u64> = agu.patterns[..n]
+        .iter()
+        .flat_map(|p| p.addresses().map(|a| a & addr_mask).collect::<Vec<_>>())
+        .collect();
+    let mut got = Vec::with_capacity(expected.len());
+    let bound = expected.len() * 2 + 8 * n;
+    for _ in 0..bound {
+        if sim.read("valid")? == 0 {
+            break;
+        }
+        got.push(sim.read("addr")?);
+        offset_for(&mut sim)?;
+        sim.clock()?;
+    }
+    if got != expected {
+        if got.len() != expected.len() {
+            return Err(VerifyError::LengthMismatch {
+                what: "chained address stream".into(),
+                expected: expected.len(),
+                got: got.len(),
+            });
+        }
+        let (j, (e, g)) = expected
+            .iter()
+            .zip(&got)
+            .enumerate()
+            .find(|(_, (e, g))| e != g)
+            .expect("lengths equal, values differ");
+        return Err(VerifyError::Mismatch {
+            what: "chained address".into(),
+            index: j,
+            expected: *e,
+            got: *g,
+        });
+    }
+    if sim.read("done")? != 1 {
+        return Err(VerifyError::Mismatch {
+            what: "chained done flag".into(),
+            index: expected.len(),
+            expected: 1,
+            got: sim.read("done")?,
+        });
     }
     Ok(())
 }
@@ -292,6 +378,9 @@ pub fn verify_design_control_path(design: &crate::AcceleratorDesign) -> Result<(
             .collect();
         let agu = AguBlock::new(class, 32, bounded);
         verify_agu_rtl(&agu)?;
+        if agu.is_chained() && agu.patterns.len() > 1 {
+            verify_agu_chaining(&agu)?;
+        }
     }
     verify_coordinator_rtl(&Coordinator {
         phases: (design.compiled.folding.phases.len().max(1) as u32).min(64),
@@ -353,6 +442,34 @@ mod tests {
             ],
         );
         verify_agu_rtl(&agu).expect("multi-pattern AGU verifies");
+    }
+
+    #[test]
+    fn chained_main_agu_streams_whole_trigger_word() {
+        let agu = AguBlock::new(
+            AguClass::Main,
+            32,
+            vec![
+                AguPattern::linear(0, 9),
+                AguPattern {
+                    start: 640,
+                    offset: 128,
+                    x_len: 4,
+                    y_len: 2,
+                    x_stride: 1,
+                    y_stride: 16,
+                },
+                AguPattern {
+                    start: 2048,
+                    offset: 32,
+                    x_len: 5,
+                    y_len: 1,
+                    x_stride: 1,
+                    y_stride: 0,
+                },
+            ],
+        );
+        verify_agu_chaining(&agu).expect("chained stream verifies");
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub enum View {
     Rtl,
     /// The analytic timing model (performance-counter comparisons).
     Timing,
+    /// The full-network RTL run: the control-only top executes every
+    /// phase in one continuous simulation, with activations marshalled
+    /// through the real `input`/`spill`/`output` DRAM segments at the
+    /// addresses the coordinator/AGU fabric emits.
+    FullRtl,
 }
 
 impl fmt::Display for View {
@@ -67,6 +72,7 @@ impl fmt::Display for View {
             View::Functional => "functional",
             View::Rtl => "rtl",
             View::Timing => "timing",
+            View::FullRtl => "full-rtl",
         })
     }
 }
@@ -177,6 +183,12 @@ pub struct DiffReport {
     /// `None` for plain [`diff_network`] runs). Divergence bundles carry
     /// it so a failing run ships its lint context alongside waveforms.
     pub lint: Option<AnalysisReport>,
+    /// The fifth-view full-network RTL run (populated by [`diff_design`]
+    /// when [`DiffOptions::full_rtl`] is set): the coordinator FSM and
+    /// AGU programs drive one continuous simulation across every layer,
+    /// with activations flowing through the real `input`/`spill` memory
+    /// segments instead of per-layer re-marshalling.
+    pub full_run: Option<crate::fullrun::FullRunReport>,
 }
 
 impl DiffReport {
@@ -356,6 +368,13 @@ pub struct DiffOptions {
     /// [`SimEngine::Tree`] reference. Both produce bit-identical
     /// divergence reports, counters and VCDs by construction.
     pub engine: SimEngine,
+    /// Run the fifth view: the full-network RTL execution
+    /// ([`crate::full_network_run`]) that chains the coordinator and AGU
+    /// programs across every layer in one continuous simulation and
+    /// cross-checks it against the chained per-layer views bit-exactly.
+    /// Off by default — it replays the whole network through the
+    /// interpreter a second time.
+    pub full_rtl: bool,
 }
 
 impl Default for DiffOptions {
@@ -366,6 +385,7 @@ impl Default for DiffOptions {
             inject_rtl_fault: None,
             counter_beat_cap: crate::counters::DEFAULT_BEAT_CAP,
             engine: SimEngine::default(),
+            full_rtl: false,
         }
     }
 }
@@ -379,7 +399,7 @@ fn sample_indices(n: usize, cap: usize) -> Vec<usize> {
     }
 }
 
-fn kind_tag(kind: &LayerKind) -> &'static str {
+pub(crate) fn kind_tag(kind: &LayerKind) -> &'static str {
     match kind {
         LayerKind::Input { .. } => "input",
         LayerKind::Convolution(_) => "conv",
@@ -1409,6 +1429,7 @@ pub fn diff_network(
         counters: None,
         range_proofs: Vec::new(),
         lint: None,
+        full_run: None,
     };
     let _span = trace::span("sim", "sim.diff");
     for (layer_idx, layer) in net.layers().iter().enumerate() {
@@ -1640,6 +1661,35 @@ pub fn diff_design(
     )?;
     report.divergences.extend(check.divergences.iter().cloned());
     report.counters = Some(check);
+    if opts.full_rtl {
+        // Fifth view: one continuous coordinator-driven run across every
+        // layer, activations flowing through the real memory segments.
+        // The control-top VCD is captured lazily: a clean run on a large
+        // network spans 10^8 cycles and its waveform text would dominate
+        // memory, so the run executes without capture first and re-runs
+        // with waveforms only when a divergence bundle will ship them
+        // (coordinator/AGU signals: phase_w, fire_w, pat_cur).
+        let base = crate::fullrun::FullRunOptions {
+            engine: opts.engine,
+            ..crate::fullrun::FullRunOptions::default()
+        };
+        let mut full = crate::fullrun::full_network_run(design, net, weights, input, &base)?;
+        report.divergences.extend(full.divergences.iter().cloned());
+        if !report.divergences.is_empty() {
+            let wave = crate::fullrun::full_network_run(
+                design,
+                net,
+                weights,
+                input,
+                &crate::fullrun::FullRunOptions {
+                    capture_vcd: true,
+                    ..base
+                },
+            )?;
+            full.vcd = wave.vcd;
+        }
+        report.full_run = Some(full);
+    }
     // Attach the full static-analysis report so a divergence bundle
     // ships its lint context (structural/comb/fsm/agu/sched findings
     // plus range proofs) alongside the waveforms.
@@ -1818,6 +1868,29 @@ pub fn diff_report_json(report: &DiffReport) -> Json {
             "lint",
             match &report.lint {
                 Some(l) => l.to_json(),
+                None => Json::Null,
+            },
+        ),
+        (
+            "full_run",
+            match &report.full_run {
+                Some(f) => Json::obj([
+                    ("clean", Json::Bool(f.is_clean())),
+                    ("cycles", Json::num(f.cycles as f64)),
+                    ("predicted_cycles", Json::num(f.predicted_cycles as f64)),
+                    ("cycle_slack", Json::num(f.cycle_slack as f64)),
+                    ("output_words", Json::num(f.output_words as f64)),
+                    (
+                        "refed_layers",
+                        Json::Arr(
+                            f.refed_layers
+                                .iter()
+                                .map(|l| Json::str(l.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("rtl", counter_set_json(&f.rtl_counters)),
+                ]),
                 None => Json::Null,
             },
         ),
@@ -2091,6 +2164,7 @@ mod tests {
             counters: None,
             range_proofs: vec![],
             lint: None,
+            full_run: None,
         };
         assert!(!r.is_clean());
         assert_eq!(r.first_divergence().expect("one").layer, "conv1");
@@ -2290,5 +2364,39 @@ mod tests {
             "diff walks eval_fx_layer directly, not functional_forward_all"
         );
         deepburning_trace::validate_chrome_trace(&tracer.chrome_trace()).expect("valid trace");
+    }
+
+    #[test]
+    fn diff_design_full_rtl_populates_fifth_view() {
+        use deepburning_core::{generate, Budget};
+        let net = parse_network(MLP_SRC).expect("parses");
+        let mut rng = StdRng::seed_from_u64(23);
+        let ws = WeightSet::init(&net, Init::Xavier, &mut rng).expect("init");
+        let input = Tensor::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0f32));
+        let design = generate(&net, &Budget::Small).expect("generates");
+        let opts = DiffOptions {
+            full_rtl: true,
+            ..DiffOptions::default()
+        };
+        let report = diff_design(&design, &net, &ws, &input, &opts).expect("runs");
+        assert!(report.is_clean(), "{report}");
+        let full = report.full_run.as_ref().expect("fifth view ran");
+        assert!(full.is_clean());
+        assert!(full.cycles > 0);
+        assert!(full.rtl_counters.cycles == full.cycles);
+        assert!(
+            full.vcd.is_none(),
+            "clean runs skip waveform capture (it is re-run lazily for bundles)"
+        );
+        // The full-run outcome rides along in the bundle JSON.
+        let doc = diff_report_json(&report);
+        let parsed = Json::parse(&doc.render()).expect("valid json");
+        let fr = parsed.get("full_run").expect("full_run key");
+        assert!(matches!(fr.get("clean"), Some(Json::Bool(true))));
+        assert!(fr.get("cycles").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+        // Without the flag the fifth view stays off.
+        let report =
+            diff_design(&design, &net, &ws, &input, &DiffOptions::default()).expect("runs");
+        assert!(report.full_run.is_none());
     }
 }

@@ -34,6 +34,7 @@
 mod counters;
 mod diff;
 mod energy;
+mod fullrun;
 mod functional;
 mod timing;
 
@@ -44,6 +45,9 @@ pub use diff::{
     DiffOptions, DiffReport, Divergence, LayerAudit, RtlModuleStats, View,
 };
 pub use energy::{inference_energy, simulate_energy, EnergyParams, EnergyReport};
+pub use fullrun::{
+    full_network_run, FullRunOptions, FullRunReport, CYCLE_SLACK_PER_PHASE, PHASE_HANDSHAKE_CYCLES,
+};
 pub use functional::{functional_forward, functional_forward_all, FunctionalError};
 pub use timing::{
     aggregate_by_layer, forward_latency, simulate_folding, simulate_timing, CounterSet,
