@@ -34,11 +34,13 @@ fn slug(s: &str) -> String {
 /// see [`diff_report_json`]) and one `<label>-<layer>-<block>.vcd` per
 /// RTL block the first diverging layer exercised. A failed waveform
 /// replay degrades to a `<label>-capture-error.txt` note instead of
-/// aborting the sweep. When the report carries a full-network run, its
-/// control-top waveform (coordinator `phase_w`/`fire_w`/`busy_w` plus the
-/// three AGU `valid`/`pat_cur` streams) lands as
-/// `<label>-control-top.vcd` so the divergence can be traced to the
-/// phase and burst that produced it.
+/// aborting the sweep. When the report carries a full-network run, the
+/// flight recorder's frozen window — the last cycles of the control-top
+/// (coordinator `phase_w`/`fire_w`/`busy_w`, AGU `valid` streams, DRAM
+/// strobes) around the first divergence — lands as
+/// `<label>-flight-window.vcd`, a fully captured control-top run lands
+/// as `<label>-control-top.vcd`, and a streamed full-run VCD on disk is
+/// referenced from `<label>-stream-vcd.txt`.
 ///
 /// # Errors
 ///
@@ -67,10 +69,22 @@ pub fn write_divergence_bundle(
     let audit_path = dir.join(format!("{label}-audit.json"));
     std::fs::write(&audit_path, diff_report_json(report).render())?;
     written.push(audit_path);
-    if let Some(vcd) = report.full_run.as_ref().and_then(|f| f.vcd.as_ref()) {
-        let path = dir.join(format!("{label}-control-top.vcd"));
-        std::fs::write(&path, vcd)?;
-        written.push(path);
+    if let Some(full) = report.full_run.as_ref() {
+        if let Some(vcd) = full.vcd.as_ref() {
+            let path = dir.join(format!("{label}-control-top.vcd"));
+            std::fs::write(&path, vcd)?;
+            written.push(path);
+        }
+        if let Some(window) = full.flight_window.as_ref() {
+            let path = dir.join(format!("{label}-flight-window.vcd"));
+            std::fs::write(&path, &window.vcd)?;
+            written.push(path);
+        }
+        if let Some(stream) = full.vcd_path.as_ref() {
+            let path = dir.join(format!("{label}-stream-vcd.txt"));
+            std::fs::write(&path, format!("{}\n", stream.display()))?;
+            written.push(path);
+        }
     }
     match capture_layer_vcd(net, weights, input, luts, fmt, lanes, opts, &div.layer) {
         Ok(vcds) => {
@@ -225,15 +239,15 @@ mod tests {
             &report,
         )
         .expect("writes");
-        let ctl = written
+        let window = written
             .iter()
             .find(|p| {
                 p.file_name()
-                    .is_some_and(|n| n.to_string_lossy().ends_with("-control-top.vcd"))
+                    .is_some_and(|n| n.to_string_lossy().ends_with("-flight-window.vcd"))
             })
-            .expect("control-top waveform in bundle");
-        let wave = std::fs::read_to_string(ctl).expect("readable");
-        for signal in ["phase_w", "fire_w", "busy_w"] {
+            .expect("flight-recorder window in bundle");
+        let wave = std::fs::read_to_string(window).expect("readable");
+        for signal in ["phase_w", "fire_w", "busy_w", "dram_addr"] {
             assert!(wave.contains(signal), "coordinator signal {signal} dumped");
         }
         let _ = std::fs::remove_dir_all(&dir);

@@ -10,7 +10,7 @@
 //! ```text
 //! dbreport <benchmark> [--budget small|medium|large] [--out DIR]
 //!          [--beat-cap N] [--engine tree|compiled] [--bench-json]
-//!          [--check] [--analytic]
+//!          [--check] [--analytic] [--timeline]
 //! ```
 //!
 //! By default the roofline's attained point is driven by *RTL-read*
@@ -20,6 +20,12 @@
 //! within the documented slack. `--analytic` skips the full run and
 //! falls back to the analytic timing model (the pre-§13 behaviour).
 //!
+//! `--timeline` renders the phase timeline the full run observed on the
+//! control wires — per-phase durations, DRAM transactions, stall cycles,
+//! log-scale p50/p95 distribution summaries and per-segment bandwidth —
+//! and writes it as `timeline.json` (requires the full run, so it cannot
+//! combine with `--analytic`).
+//!
 //! `--bench-json` additionally writes `BENCH_<name>.json` (headline
 //! cycles, utilisation, stall split, RTL-read registers) — the
 //! committed-baseline format the CI drift diff uses. `--check` re-parses
@@ -28,7 +34,8 @@
 
 use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
 use deepburning_bench::{
-    attach_full_run, bench_summary_json, build_report, render_report_table, report_json,
+    attach_full_run, bench_summary_json, build_report, render_report_table, render_timeline_table,
+    report_json,
 };
 use deepburning_core::{generate, Budget};
 use deepburning_sim::{
@@ -73,6 +80,7 @@ struct Args {
     bench_json: bool,
     check: bool,
     analytic: bool,
+    timeline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -85,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         bench_json: false,
         check: false,
         analytic: false,
+        timeline: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -112,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
             "--bench-json" => args.bench_json = true,
             "--check" => args.check = true,
             "--analytic" => args.analytic = true,
+            "--timeline" => args.timeline = true,
             other if args.benchmark.is_empty() && !other.starts_with('-') => {
                 args.benchmark = other.to_string();
             }
@@ -121,8 +131,11 @@ fn parse_args() -> Result<Args, String> {
     if args.benchmark.is_empty() {
         return Err("usage: dbreport <benchmark> [--budget small|medium|large] \
                     [--out DIR] [--beat-cap N] [--engine tree|compiled] \
-                    [--bench-json] [--check] [--analytic]"
+                    [--bench-json] [--check] [--analytic] [--timeline]"
             .into());
+    }
+    if args.timeline && args.analytic {
+        return Err("--timeline needs the full-network run; drop --analytic".into());
     }
     Ok(args)
 }
@@ -240,6 +253,7 @@ fn run() -> Result<(), String> {
         replay_elapsed.as_secs_f64()
     );
 
+    let mut timeline = None;
     if !args.analytic {
         // Fifth view (DESIGN.md §13): drive the coordinator FSM across
         // the whole network and read the perf registers out of the
@@ -280,9 +294,16 @@ fn run() -> Result<(), String> {
             full_start.elapsed().as_secs_f64()
         );
         attach_full_run(&mut report, &full.rtl_counters);
+        if args.timeline {
+            timeline = Some(full.timeline);
+        }
     }
 
     print!("{}", render_report_table(&report));
+    let timeline_doc = timeline.map(|tl| {
+        print!("{}", render_timeline_table(&tl));
+        tl.to_json()
+    });
     if !check.is_clean() {
         for d in &check.divergences {
             eprintln!("dbreport: counter divergence: {d}");
@@ -295,6 +316,11 @@ fn run() -> Result<(), String> {
     std::fs::write(&report_path, doc.render())
         .map_err(|e| format!("write {report_path:?}: {e}"))?;
     println!("wrote {}", report_path.display());
+    if let Some(tl) = timeline_doc {
+        let tl_path = args.out.join("timeline.json");
+        std::fs::write(&tl_path, tl.render()).map_err(|e| format!("write {tl_path:?}: {e}"))?;
+        println!("wrote {}", tl_path.display());
+    }
     if args.bench_json {
         let bench_path = args.out.join(format!("BENCH_{}.json", canon(bench.name)));
         std::fs::write(&bench_path, bench_summary_json(&report).render())

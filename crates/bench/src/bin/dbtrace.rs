@@ -13,12 +13,21 @@
 //!
 //! ```text
 //! dbtrace <benchmark> [--budget small|medium|large] [--out DIR]
-//!         [--rtl-samples N] [--engine tree|compiled] [--check]
+//!         [--rtl-samples N] [--engine tree|compiled] [--full-rtl]
+//!         [--check]
 //! ```
+//!
+//! `--full-rtl` adds the fifth view to the traced pipeline: the
+//! continuous coordinator-driven run streams its phase timeline into the
+//! trace as `fullrtl.fsm` track events and `fullrtl.seg.*` bandwidth
+//! counters, so the Perfetto timeline shows the simulated schedule as the
+//! hardware executed it.
 //!
 //! `--check` re-validates the emitted trace (valid JSON, non-empty,
 //! balanced spans) and asserts the metrics carry compiler-stage spans and
-//! interpreter counters, exiting nonzero otherwise — the CI smoke mode.
+//! interpreter counters (plus the `sim.full_rtl` span and `fullrtl.cycles`
+//! counter under `--full-rtl`), exiting nonzero otherwise — the CI smoke
+//! mode.
 
 use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
 use deepburning_core::{generate, Budget};
@@ -62,6 +71,7 @@ struct Args {
     out: PathBuf,
     rtl_samples: usize,
     engine: SimEngine,
+    full_rtl: bool,
     check: bool,
 }
 
@@ -72,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("target/dbtrace"),
         rtl_samples: 16,
         engine: SimEngine::default(),
+        full_rtl: false,
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -97,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
             "--engine" => {
                 args.engine = it.next().ok_or("--engine needs a value")?.parse()?;
             }
+            "--full-rtl" => args.full_rtl = true,
             "--check" => args.check = true,
             other if args.benchmark.is_empty() && !other.starts_with('-') => {
                 args.benchmark = other.to_string();
@@ -106,25 +118,31 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.benchmark.is_empty() {
         return Err("usage: dbtrace <benchmark> [--budget small|medium|large] \
-                    [--out DIR] [--rtl-samples N] [--engine tree|compiled] [--check]"
+                    [--out DIR] [--rtl-samples N] [--engine tree|compiled] \
+                    [--full-rtl] [--check]"
             .into());
     }
     Ok(args)
 }
 
 /// Asserts the metrics document carries the stages the pipeline must have
-/// traced: compiler spans plus functional/RTL interpreter counters.
-fn check_metrics(metrics: &Json) -> Result<(), String> {
+/// traced: compiler spans plus functional/RTL interpreter counters, and
+/// the full-network span/counters when the fifth view ran.
+fn check_metrics(metrics: &Json, full_rtl: bool) -> Result<(), String> {
     let spans = metrics
         .get("spans")
         .and_then(Json::as_arr)
         .ok_or("metrics missing spans array")?;
-    for required in [
+    let mut required_spans = vec![
         "compiler.compile",
         "compiler.folding",
         "core.generate",
         "sim.timing",
-    ] {
+    ];
+    if full_rtl {
+        required_spans.push("sim.full_rtl");
+    }
+    for required in required_spans {
         if !spans
             .iter()
             .any(|s| s.get("name").and_then(Json::as_str) == Some(required))
@@ -136,7 +154,11 @@ fn check_metrics(metrics: &Json) -> Result<(), String> {
         .get("counters")
         .and_then(Json::as_obj)
         .ok_or("metrics missing counters object")?;
-    for required in ["fx.layers", "rtl.evals", "sim.timing.total_cycles"] {
+    let mut required_counters = vec!["fx.layers", "rtl.evals", "sim.timing.total_cycles"];
+    if full_rtl {
+        required_counters.push("fullrtl.cycles");
+    }
+    for required in required_counters {
         let positive = counters
             .iter()
             .find(|(n, _)| n == required)
@@ -189,6 +211,7 @@ fn run() -> Result<(), String> {
         let opts = DiffOptions {
             max_rtl_samples: args.rtl_samples.max(1),
             engine: args.engine,
+            full_rtl: args.full_rtl,
             ..DiffOptions::default()
         };
         let diff_start = std::time::Instant::now();
@@ -211,6 +234,14 @@ fn run() -> Result<(), String> {
                 " (DIVERGED — see report)"
             }
         );
+        if let Some(full) = &report.full_run {
+            println!(
+                "full-rtl: {} cycles, {} timeline phases, phase p95 {} cycles",
+                full.cycles,
+                full.timeline.phases.len(),
+                full.timeline.phase_cycles.p95(),
+            );
+        }
         if !report.is_clean() {
             print!("{report}");
         }
@@ -231,7 +262,10 @@ fn run() -> Result<(), String> {
     if args.check {
         let n = trace::validate_chrome_trace(&chrome)
             .map_err(|e| format!("chrome trace invalid: {e}"))?;
-        check_metrics(&metrics)?;
+        check_metrics(&metrics, args.full_rtl)?;
+        if args.full_rtl && !chrome.contains("fullrtl.fsm") {
+            return Err("trace.json missing the `fullrtl.fsm` timeline track".into());
+        }
         println!("check ok: {n} trace events, required spans and counters present");
     }
     Ok(())

@@ -12,8 +12,8 @@ mod report;
 pub use artifacts::write_divergence_bundle;
 pub use gate::{compare_bench_summaries, gate_bench_text, GatePolicy};
 pub use report::{
-    attach_full_run, bench_summary_json, build_report, render_report_table, report_json,
-    LayerProfile, PerfReport, Roofline, StallBreakdown,
+    attach_full_run, bench_summary_json, build_report, render_report_table, render_timeline_table,
+    report_json, LayerProfile, PerfReport, Roofline, StallBreakdown,
 };
 
 use deepburning_baselines::{

@@ -10,7 +10,9 @@
 
 use deepburning_components::dsps_per_multiplier;
 use deepburning_core::AcceleratorDesign;
-use deepburning_sim::{counter_set_json, simulate_timing, CounterSet, TimingParams, TimingReport};
+use deepburning_sim::{
+    counter_set_json, simulate_timing, CounterSet, RunTimeline, TimingParams, TimingReport,
+};
 use deepburning_trace::json::Json;
 
 /// Aggregated timing profile of one network layer (all its phases).
@@ -463,6 +465,74 @@ pub fn render_report_table(r: &PerfReport) -> String {
             out,
             "  rtl-read counters: {} cycles, {} macs, {} active / {} stall (roofline source: {})",
             c.cycles, c.mac_ops, c.active_cycles, c.stall_cycles, r.counter_source,
+        );
+    }
+    out
+}
+
+/// Renders the phase-timeline tables of a full-network run (`dbreport
+/// --timeline`): one row per coordinator-FSM phase (duration, DRAM
+/// transactions, stall cycles, share of the run), the log-scale
+/// distribution summaries (p50/p95/max), and per-segment DRAM bandwidth
+/// in words per kilocycle.
+pub fn render_timeline_table(tl: &RunTimeline) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let total = tl.total_cycles();
+    let _ = writeln!(
+        out,
+        "  timeline: {} phases over {} busy cycles",
+        tl.phases.len(),
+        total
+    );
+    let _ = writeln!(
+        out,
+        "  {:<6} {:<14} {:>10} {:>10} {:>8} {:>8} {:>6}",
+        "phase", "layer", "start", "cycles", "xacts", "stall", "share"
+    );
+    for p in &tl.phases {
+        let _ = writeln!(
+            out,
+            "  p{:<5} {:<14} {:>10} {:>10} {:>8} {:>8} {:>5.1}%",
+            p.phase,
+            p.layer,
+            p.start_cycle,
+            p.cycles,
+            p.xacts,
+            p.stall_cycles,
+            p.cycles as f64 * 100.0 / total.max(1) as f64,
+        );
+    }
+    for (name, h) in [
+        ("phase cycles", &tl.phase_cycles),
+        ("burst length", &tl.burst_lengths),
+        ("stall cycles", &tl.stall_cycles),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {:<13} p50 {:>8} p95 {:>8} max {:>8}  ({} samples)",
+            name,
+            h.p50(),
+            h.p95(),
+            h.max(),
+            h.count(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>10} {:>10} {:>10} {:>14}",
+        "segment", "reads", "writes", "words", "words/kcycle"
+    );
+    for s in &tl.segments {
+        let words = s.reads + s.writes;
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10} {:>10} {:>10} {:>14.2}",
+            s.segment,
+            s.reads,
+            s.writes,
+            words,
+            words as f64 * 1000.0 / total.max(1) as f64,
         );
     }
     out

@@ -173,9 +173,10 @@ fn full_network_runs_are_identical_between_engines() {
             bench.name
         );
         assert_eq!(tf.cycles, cf.cycles, "{}", bench.name);
-        // Clean diff_design runs skip waveform capture (it is re-run
-        // lazily for divergence bundles), so drive the standalone API
-        // with capture on to hold the control-top VCDs byte-identical.
+        // Clean diff_design runs skip full waveform capture (divergence
+        // bundles ship the flight-recorder window instead), so drive the
+        // standalone API with capture on to hold the control-top VCDs
+        // byte-identical.
         let wave = |engine| {
             full_network_run(
                 &design,
@@ -215,6 +216,61 @@ fn vcd_digest(text: &str) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// The streaming VCD sink is held to the capture standard: whole-run
+/// waveforms streamed to disk by either engine are byte-identical to each
+/// other *and* to the buffered in-memory capture — streaming changes where
+/// the bytes go, never what they are.
+#[test]
+fn streamed_vcd_files_are_byte_identical_between_engines() {
+    let bench = zoo::cmac();
+    let design = generate(&bench.network, &Budget::Small).expect("generates");
+    let (ws, input) = stimulus(&bench);
+    let buffered = full_network_run(
+        &design,
+        &bench.network,
+        &ws,
+        &input,
+        &FullRunOptions {
+            capture_vcd: true,
+            ..FullRunOptions::default()
+        },
+    )
+    .expect("buffered run")
+    .vcd
+    .expect("buffered control-top vcd");
+    let stream_digest = |engine: SimEngine| {
+        let path = std::env::temp_dir().join(format!(
+            "deepburning-eq-stream-{}-{engine}.vcd",
+            std::process::id()
+        ));
+        let report = full_network_run(
+            &design,
+            &bench.network,
+            &ws,
+            &input,
+            &FullRunOptions {
+                engine,
+                vcd_stream: Some(path.clone()),
+                ..FullRunOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{engine}: streamed run failed: {e}"));
+        assert_eq!(report.vcd, None, "{engine}: streaming must not buffer");
+        assert_eq!(report.vcd_path.as_deref(), Some(path.as_path()));
+        let text = std::fs::read_to_string(&path).expect("streamed file readable");
+        let _ = std::fs::remove_file(&path);
+        vcd_digest(&text)
+    };
+    let tree = stream_digest(SimEngine::Tree);
+    let compiled = stream_digest(SimEngine::Compiled);
+    assert_eq!(tree, compiled, "streamed VCD file digests differ");
+    assert_eq!(
+        tree,
+        vcd_digest(&buffered),
+        "streamed file differs from the buffered capture"
+    );
 }
 
 /// Divergence-bundle waveforms: the VCD text a hardware engineer would

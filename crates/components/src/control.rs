@@ -721,6 +721,38 @@ mod tests {
         assert_eq!(tall.counter_width(), 17);
     }
 
+    /// The 64Ki boundary, exactly: a pattern of `2^16` trips still fits a
+    /// 16-bit counter (the terminal comparison is against `x_len - 1 =
+    /// 0xFFFF`), and one more trip is what forces the 17th bit. An
+    /// off-by-one in either direction re-opens the truncated-burst bug.
+    #[test]
+    fn counter_width_is_exact_at_the_64ki_boundary() {
+        let width_for = |trips: u32| {
+            AguBlock::new(AguClass::Weight, 32, vec![AguPattern::linear(0, trips)]).counter_width()
+        };
+        assert_eq!(width_for((1 << 16) - 1), 16, "max count 0xFFFE fits");
+        assert_eq!(width_for(1 << 16), 16, "max count 0xFFFF still fits");
+        assert_eq!(
+            width_for((1 << 16) + 1),
+            17,
+            "max count 0x10000 needs bit 16"
+        );
+        // The y counter shares the width derivation.
+        let tall = AguBlock::new(
+            AguClass::Data,
+            32,
+            vec![AguPattern {
+                start: 0,
+                offset: 0,
+                x_len: 1,
+                y_len: (1 << 16) + 1,
+                x_stride: 1,
+                y_stride: 1,
+            }],
+        );
+        assert_eq!(tall.counter_width(), 17);
+    }
+
     /// Regression for the first marshalling bug the full-network RTL run
     /// surfaced: with fixed 16-bit trip counters, a burst longer than
     /// 64Ki addresses (a large FC weight fetch) terminated early because

@@ -1664,30 +1664,21 @@ pub fn diff_design(
     if opts.full_rtl {
         // Fifth view: one continuous coordinator-driven run across every
         // layer, activations flowing through the real memory segments.
-        // The control-top VCD is captured lazily: a clean run on a large
-        // network spans 10^8 cycles and its waveform text would dominate
-        // memory, so the run executes without capture first and re-runs
-        // with waveforms only when a divergence bundle will ship them
-        // (coordinator/AGU signals: phase_w, fire_w, pat_cur).
+        // Whole-run waveforms stay off (a clean run on a large network
+        // spans 10^8 cycles); the flight recorder inside the run keeps a
+        // bounded ring of the control signals (phase_w, fire_w, AGU
+        // valids, DRAM strobes) and freezes the window around the first
+        // divergence, so the bundle ships waveforms from this single run.
         let base = crate::fullrun::FullRunOptions {
             engine: opts.engine,
+            // A per-layer view already diverged: a bundle will ship, so
+            // keep the control-top's final window even if the full run
+            // itself stays clean.
+            flight_force: !report.divergences.is_empty(),
             ..crate::fullrun::FullRunOptions::default()
         };
-        let mut full = crate::fullrun::full_network_run(design, net, weights, input, &base)?;
+        let full = crate::fullrun::full_network_run(design, net, weights, input, &base)?;
         report.divergences.extend(full.divergences.iter().cloned());
-        if !report.divergences.is_empty() {
-            let wave = crate::fullrun::full_network_run(
-                design,
-                net,
-                weights,
-                input,
-                &crate::fullrun::FullRunOptions {
-                    capture_vcd: true,
-                    ..base
-                },
-            )?;
-            full.vcd = wave.vcd;
-        }
         report.full_run = Some(full);
     }
     // Attach the full static-analysis report so a divergence bundle

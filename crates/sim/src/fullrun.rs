@@ -53,7 +53,9 @@ use deepburning_fixed::Fx;
 use deepburning_model::Network;
 use deepburning_tensor::{Tensor, WeightSet};
 use deepburning_trace as trace;
-use deepburning_verilog::SimEngine;
+use deepburning_trace::json::Json;
+use deepburning_trace::Histogram;
+use deepburning_verilog::{FlightRecorder, FlightWindow, SimEngine};
 
 use crate::diff::{kind_tag, DiffError, Divergence, View};
 use crate::functional::{eval_fx_layer, quantize_weights, FxBlob};
@@ -72,18 +74,153 @@ pub const PHASE_HANDSHAKE_CYCLES: u64 = 2;
 /// cycle count — slip through.
 pub const CYCLE_SLACK_PER_PHASE: u64 = 2;
 
+/// Default flight-recorder depth (see [`FullRunOptions::flight_depth`]).
+pub const DEFAULT_FLIGHT_DEPTH: usize = 256;
+
 /// Knobs for a full-network run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FullRunOptions {
     /// Engine the control top runs on (both produce identical reports).
     pub engine: SimEngine,
     /// Record a VCD of the whole run (coordinator FSM state, segment
     /// addresses, AGU valids — the top-level context a divergence bundle
-    /// ships).
+    /// ships), buffered in memory and returned in
+    /// [`FullRunReport::vcd`]. For long runs prefer
+    /// [`FullRunOptions::vcd_stream`].
     pub capture_vcd: bool,
+    /// Stream the whole-run VCD incrementally to this file instead of
+    /// buffering it: resident memory stays constant however many cycles
+    /// the run spans (GoogleNet-scale runs dump to disk). Takes
+    /// precedence over `capture_vcd`; the path lands in
+    /// [`FullRunReport::vcd_path`].
+    pub vcd_stream: Option<std::path::PathBuf>,
+    /// Flight-recorder depth in cycles: the run keeps a ring of the last
+    /// N cycles of the control signals (FSM phase, AGU valids, DRAM
+    /// strobes) and freezes it at the first mismatching DRAM transaction,
+    /// so a divergence bundle carries the window *before* the failure
+    /// without re-running. `0` disables the recorder.
+    pub flight_depth: usize,
+    /// Freeze and render the flight window at end-of-run even when the
+    /// run itself stayed clean — set by harnesses that already know a
+    /// divergence bundle will ship (e.g. a per-layer view diverged) and
+    /// want the control-top's final window as context.
+    pub flight_force: bool,
     /// Hard cap on simulated cycles; `0` derives `4 * predicted + 1024`
     /// from the fabric model, so a hung coordinator terminates.
     pub cycle_cap: u64,
+}
+
+impl Default for FullRunOptions {
+    fn default() -> Self {
+        FullRunOptions {
+            engine: SimEngine::default(),
+            capture_vcd: false,
+            vcd_stream: None,
+            flight_depth: DEFAULT_FLIGHT_DEPTH,
+            flight_force: false,
+            cycle_cap: 0,
+        }
+    }
+}
+
+/// One coordinator-FSM phase as observed on the wires: where it started,
+/// how long it ran, how many DRAM transactions it issued and how many
+/// cycles the main AGU spent stalled waiting on the data sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSlice {
+    /// FSM phase index (`phase_w`).
+    pub phase: u64,
+    /// Layer the compiled schedule maps this phase to.
+    pub layer: String,
+    /// Cycle (since `start`) the coordinator entered the phase.
+    pub start_cycle: u64,
+    /// Cycles spent in the phase.
+    pub cycles: u64,
+    /// DRAM transactions issued during the phase.
+    pub xacts: u64,
+    /// Cycles the `perf_stall` wire was high (main traffic in flight
+    /// while the datapath sweep was idle).
+    pub stall_cycles: u64,
+}
+
+/// DRAM traffic attributed to one memory-map segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentTraffic {
+    /// Segment name (`input`, `spill`, `output`, or a layer's weights).
+    pub segment: String,
+    /// Read transactions that landed in the segment.
+    pub reads: u64,
+    /// Write transactions that landed in the segment.
+    pub writes: u64,
+}
+
+/// The phase timeline of a full-network run: per-phase slices, per-segment
+/// traffic totals, and log-scale distributions of phase durations, DRAM
+/// burst lengths and stall cycles. Built from per-cycle observations of
+/// the control wires, so it is engine-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunTimeline {
+    /// One slice per FSM phase, in execution order.
+    pub phases: Vec<PhaseSlice>,
+    /// Traffic per memory-map segment, sorted by segment name.
+    pub segments: Vec<SegmentTraffic>,
+    /// Distribution of per-phase durations (cycles).
+    pub phase_cycles: Histogram,
+    /// Distribution of DRAM burst lengths (maximal runs of consecutive
+    /// `dram_req` cycles).
+    pub burst_lengths: Histogram,
+    /// Distribution of per-phase stall cycles.
+    pub stall_cycles: Histogram,
+}
+
+impl RunTimeline {
+    /// Busy cycles covered by the timeline.
+    pub fn total_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.cycles).sum()
+    }
+
+    /// JSON image for reports: phase rows, segment totals and the three
+    /// histograms with their bucket layouts.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("phase", Json::num(p.phase as f64)),
+                                ("layer", Json::str(p.layer.clone())),
+                                ("start_cycle", Json::num(p.start_cycle as f64)),
+                                ("cycles", Json::num(p.cycles as f64)),
+                                ("xacts", Json::num(p.xacts as f64)),
+                                ("stall_cycles", Json::num(p.stall_cycles as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "segments",
+                Json::Arr(
+                    self.segments
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("segment", Json::str(s.segment.clone())),
+                                ("reads", Json::num(s.reads as f64)),
+                                ("writes", Json::num(s.writes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("phase_cycles", self.phase_cycles.to_json()),
+            ("burst_lengths", self.burst_lengths.to_json()),
+            ("stall_cycles", self.stall_cycles.to_json()),
+        ])
+    }
 }
 
 /// The outcome of one full-network RTL execution.
@@ -114,6 +251,14 @@ pub struct FullRunReport {
     pub output_words: usize,
     /// VCD text of the control top when requested.
     pub vcd: Option<String>,
+    /// Where the streamed VCD went when [`FullRunOptions::vcd_stream`]
+    /// was set.
+    pub vcd_path: Option<std::path::PathBuf>,
+    /// Flight-recorder window around the first mismatching DRAM
+    /// transaction; `None` on clean runs or when the recorder is off.
+    pub flight_window: Option<FlightWindow>,
+    /// The phase timeline observed on the control wires.
+    pub timeline: RunTimeline,
 }
 
 impl FullRunReport {
@@ -246,6 +391,188 @@ fn predicted_phase_cycles(prog: &AguProgram) -> u64 {
     main.max(data) + PHASE_HANDSHAKE_CYCLES
 }
 
+/// Accumulates the [`RunTimeline`] from one per-cycle observation of the
+/// control wires. Constant memory: open-slice state plus the bounded
+/// phase list and three fixed-size histograms.
+#[derive(Default)]
+struct TimelineBuilder {
+    timeline: RunTimeline,
+    /// `(phase, start_cycle, xacts, stall_cycles)` of the open slice.
+    open: Option<(u64, u64, u64, u64)>,
+    /// `(start_cycle, length)` of the open DRAM burst.
+    burst: Option<(u64, u64)>,
+}
+
+impl TimelineBuilder {
+    fn close_slice(&mut self, cycle: u64) {
+        if let Some((phase, start, xacts, stall)) = self.open.take() {
+            let cycles = cycle - start;
+            self.timeline.phase_cycles.record(cycles);
+            self.timeline.stall_cycles.record(stall);
+            self.timeline.phases.push(PhaseSlice {
+                phase,
+                layer: String::new(), // resolved in finish()
+                start_cycle: start,
+                cycles,
+                xacts,
+                stall_cycles: stall,
+            });
+        }
+    }
+
+    fn close_burst(&mut self, emit_trace: bool) {
+        if let Some((start, len)) = self.burst.take() {
+            self.timeline.burst_lengths.record(len);
+            if emit_trace {
+                trace::virtual_event(
+                    "sim",
+                    "fullrtl.dram",
+                    format!("burst x{len}"),
+                    start as f64,
+                    len as f64,
+                    vec![],
+                );
+            }
+        }
+    }
+
+    /// One observed cycle: the FSM phase, whether a DRAM transaction
+    /// issued, and whether the stall wire was high.
+    fn tick(&mut self, cycle: u64, phase: u64, req: bool, stall: bool, emit_trace: bool) {
+        match &mut self.open {
+            Some((p, ..)) if *p == phase => {}
+            _ => {
+                self.close_slice(cycle);
+                self.open = Some((phase, cycle, 0, 0));
+            }
+        }
+        if let Some((_, _, xacts, stalls)) = &mut self.open {
+            if req {
+                *xacts += 1;
+            }
+            if stall {
+                *stalls += 1;
+            }
+        }
+        match (&mut self.burst, req) {
+            (Some((_, len)), true) => *len += 1,
+            (Some(_), false) => self.close_burst(emit_trace),
+            (None, true) => self.burst = Some((cycle, 1)),
+            (None, false) => {}
+        }
+    }
+
+    /// Closes open state, resolves layer names, attributes the captured
+    /// transactions to memory-map segments, and emits the Perfetto view.
+    fn finish(
+        mut self,
+        end_cycle: u64,
+        compiled: &CompiledNetwork,
+        captured: &[(u64, bool)],
+        emit_trace: bool,
+    ) -> RunTimeline {
+        self.close_slice(end_cycle);
+        self.close_burst(emit_trace);
+        let phases = &compiled.folding.phases;
+        for slice in &mut self.timeline.phases {
+            slice.layer = phases
+                .get(slice.phase as usize)
+                .map(|p| p.layer.clone())
+                .unwrap_or_default();
+        }
+        let mut traffic: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for &(addr, we) in captured {
+            let seg = compiled
+                .memory_map
+                .segments
+                .iter()
+                .find(|s| addr >= s.offset && addr < s.offset + s.len_words)
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| "unmapped".into());
+            let e = traffic.entry(seg).or_insert((0, 0));
+            if we {
+                e.1 += 1;
+            } else {
+                e.0 += 1;
+            }
+        }
+        self.timeline.segments = traffic
+            .into_iter()
+            .map(|(segment, (reads, writes))| SegmentTraffic {
+                segment,
+                reads,
+                writes,
+            })
+            .collect();
+        if emit_trace {
+            for slice in &self.timeline.phases {
+                trace::virtual_event(
+                    "sim",
+                    "fullrtl.fsm",
+                    format!("p{} {}", slice.phase, slice.layer),
+                    slice.start_cycle as f64,
+                    slice.cycles as f64,
+                    vec![
+                        ("xacts".to_string(), Json::num(slice.xacts as f64)),
+                        ("stall".to_string(), Json::num(slice.stall_cycles as f64)),
+                    ],
+                );
+            }
+            for seg in &self.timeline.segments {
+                trace::counter(
+                    "sim",
+                    format!("fullrtl.seg.{}.reads", seg.segment),
+                    seg.reads as f64,
+                );
+                trace::counter(
+                    "sim",
+                    format!("fullrtl.seg.{}.writes", seg.segment),
+                    seg.writes as f64,
+                );
+            }
+        }
+        self.timeline
+    }
+}
+
+/// Lazily walks the compiled schedule's expected DRAM transaction stream,
+/// one phase materialised at a time — the flight recorder's online
+/// trigger cannot afford the whole stream of a GoogleNet-scale run.
+struct ExpectedStream<'a> {
+    compiled: &'a CompiledNetwork,
+    main_set: &'a [(AguPattern, bool)],
+    phase: usize,
+    buf: Vec<Xact>,
+    pos: usize,
+}
+
+impl<'a> ExpectedStream<'a> {
+    fn new(
+        compiled: &'a CompiledNetwork,
+        main_set: &'a [(AguPattern, bool)],
+    ) -> ExpectedStream<'a> {
+        ExpectedStream {
+            compiled,
+            main_set,
+            phase: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<(u64, bool)> {
+        while self.pos == self.buf.len() {
+            let prog = self.compiled.agu_programs.get(self.phase)?;
+            self.buf = expected_xacts(prog, self.main_set);
+            self.pos = 0;
+            self.phase += 1;
+        }
+        let x = self.buf[self.pos];
+        self.pos += 1;
+        Some((x.addr, x.we))
+    }
+}
+
 /// Builds the DRAM image the host prepares: quantised input activations in
 /// `input`, the reordered quantised weight stream plus biases per layer
 /// segment, zeros elsewhere.
@@ -312,6 +639,36 @@ pub fn full_network_run(
     input: &Tensor,
     opts: &FullRunOptions,
 ) -> Result<FullRunReport, DiffError> {
+    let sink: Option<Box<dyn std::io::Write + Send>> = match &opts.vcd_stream {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| DiffError::Rtl(format!("cannot open VCD stream {path:?}: {e}")))?;
+            Some(Box::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    full_network_run_to_sink(design, net, weights, input, opts, sink)
+}
+
+/// [`full_network_run`] with the streaming-VCD sink supplied directly
+/// instead of opened from [`FullRunOptions::vcd_stream`]. The waveform is
+/// written incrementally into `vcd_sink` as the simulation advances —
+/// never accumulated — so a byte-counting sink observes the run's true
+/// peak buffering (the memory-bound CI test injects a capped writer
+/// here). [`FullRunReport::vcd_path`] is only set when the sink came from
+/// `opts.vcd_stream`.
+///
+/// # Errors
+///
+/// See [`full_network_run`].
+pub fn full_network_run_to_sink(
+    design: &AcceleratorDesign,
+    net: &Network,
+    weights: &WeightSet,
+    input: &Tensor,
+    opts: &FullRunOptions,
+    vcd_sink: Option<Box<dyn std::io::Write + Send>>,
+) -> Result<FullRunReport, DiffError> {
     let _span = trace::span("sim", "sim.full_rtl");
     let compiled = &design.compiled;
     let cfg = &compiled.config;
@@ -361,9 +718,38 @@ pub fn full_network_run(
         }
     }
     sim.load_memory("ctx_off_main", &off_image)?;
-    if opts.capture_vcd {
+    let mut vcd_path = None;
+    let streaming = vcd_sink.is_some();
+    if let Some(sink) = vcd_sink {
+        sim.vcd_begin_streaming(&ctl.top, sink);
+        vcd_path = opts.vcd_stream.clone();
+    } else if opts.capture_vcd {
         sim.vcd_begin(&ctl.top);
     }
+    // Flight recorder: watch the coordinator FSM, the AGU valids and the
+    // DRAM command wires; trigger on the first transaction that departs
+    // from the compiled schedule, so divergence bundles carry the window
+    // *before* the failure without a second run.
+    let mut flight = (opts.flight_depth > 0).then(|| {
+        let watch: Vec<(String, u32)> = [
+            "phase_w",
+            "busy_w",
+            "fire_w",
+            "phase_done",
+            "done",
+            "dram_req",
+            "dram_addr",
+            "dram_we",
+            "agu_main_valid",
+            "agu_data_valid",
+            "agu_weight_valid",
+        ]
+        .iter()
+        .filter_map(|n| sim.signal_width(n).map(|w| (n.to_string(), w)))
+        .collect();
+        FlightRecorder::new(&ctl.top, watch, opts.flight_depth)
+    });
+    let mut expected_stream = ExpectedStream::new(compiled, &main_set);
     sim.poke("rst", 1)?;
     sim.poke("start", 0)?;
     sim.poke("perf_sel", PERF_SEL_CYCLES)?;
@@ -385,9 +771,34 @@ pub fn full_network_run(
     };
     let mut captured: Vec<(u64, bool)> = Vec::new();
     let mut spent = 0u64;
+    let emit_trace = trace::active();
+    let mut tl = TimelineBuilder::default();
     while sim.read("done")? == 0 {
-        if sim.read("dram_req")? == 1 {
-            captured.push((sim.read("dram_addr")?, sim.read("dram_we")? == 1));
+        let req = sim.read("dram_req")? == 1;
+        if req {
+            let xact = (sim.read("dram_addr")?, sim.read("dram_we")? == 1);
+            captured.push(xact);
+            // Online trigger: freeze the flight window at the first
+            // transaction the compiled schedule did not predict.
+            if let Some(fr) = flight.as_mut() {
+                if !fr.triggered() && expected_stream.next() != Some(xact) {
+                    fr.trigger();
+                }
+            }
+        }
+        tl.tick(
+            spent,
+            sim.read("phase_w")?,
+            req,
+            sim.read("perf_stall").unwrap_or(0) == 1,
+            emit_trace,
+        );
+        if let Some(fr) = flight.as_mut() {
+            let values: Vec<u64> = fr
+                .watched()
+                .map(|n| sim.read(n).unwrap_or(0))
+                .collect::<Vec<_>>();
+            fr.sample(values);
         }
         sim.clock()?;
         spent += 1;
@@ -398,6 +809,7 @@ pub fn full_network_run(
             )));
         }
     }
+    let timeline = tl.finish(spent, compiled, &captured, emit_trace);
 
     // ---- counter readback -------------------------------------------------
     // `en` follows `busy_w`, which has dropped, so these extra edges do not
@@ -417,7 +829,9 @@ pub fn full_network_run(
         agu_bursts: read_reg(PERF_SEL_BURSTS)?,
         buffer_peak_words: read_reg(PERF_SEL_PEAK)?,
     };
-    let vcd = if opts.capture_vcd {
+    // Buffered captures return the text; streamed captures flush their
+    // sink and return `None` (the file at `vcd_path` has the document).
+    let vcd = if streaming || opts.capture_vcd {
         sim.vcd_end()
     } else {
         None
@@ -663,6 +1077,17 @@ pub fn full_network_run(
         trace::counter("sim", "fullrtl.xacts", captured.len() as f64);
     }
 
+    // The stream trigger fires online at the first transaction departing
+    // from the schedule. Marshal/output divergences replay against the
+    // *scheduled* addresses and only surface here — for those the best
+    // bounded evidence is the end-of-run window, so freeze it now.
+    if let Some(fr) = flight.as_mut() {
+        if (!divergences.is_empty() || opts.flight_force) && !fr.triggered() {
+            fr.trigger();
+        }
+    }
+    let flight_window = flight.as_ref().and_then(FlightRecorder::render_vcd);
+
     Ok(FullRunReport {
         network: net.name().to_string(),
         budget: design.budget.tag().to_string(),
@@ -674,6 +1099,9 @@ pub fn full_network_run(
         refed_layers: refed,
         output_words,
         vcd,
+        vcd_path,
+        flight_window,
+        timeline,
     })
 }
 
@@ -829,6 +1257,138 @@ mod tests {
             .divergences
             .iter()
             .any(|d| d.layer == victim.1 && d.views == (View::Functional, View::FullRtl)));
+    }
+
+    /// The observed timeline must tile the run: one slice per FSM phase
+    /// in order, slice cycles summing to the busy-cycle counter, DRAM
+    /// traffic attributed to real memory-map segments, and the histograms
+    /// covering every phase.
+    #[test]
+    fn timeline_tiles_the_run_exactly() {
+        let (net, design, ws, input) = fixture();
+        let report =
+            full_network_run(&design, &net, &ws, &input, &FullRunOptions::default()).expect("runs");
+        let tl = &report.timeline;
+        assert_eq!(
+            tl.phases.len(),
+            design.compiled.folding.phases.len(),
+            "one slice per scheduled phase"
+        );
+        for (i, slice) in tl.phases.iter().enumerate() {
+            assert_eq!(slice.phase, i as u64, "phases observed in order");
+            assert_eq!(
+                slice.layer, design.compiled.folding.phases[i].layer,
+                "slice maps back to its layer"
+            );
+            assert!(slice.cycles > 0);
+        }
+        // The FSM runs one idle cycle before `busy` rises; the slices
+        // must cover the busy window the counter measured.
+        assert!(
+            tl.total_cycles() >= report.cycles && tl.total_cycles() <= report.cycles + 2,
+            "slices ({}) must tile the busy window ({})",
+            tl.total_cycles(),
+            report.cycles
+        );
+        assert_eq!(tl.phase_cycles.count(), tl.phases.len() as u64);
+        assert_eq!(tl.stall_cycles.count(), tl.phases.len() as u64);
+        assert!(tl.burst_lengths.count() > 0, "the run moved DRAM words");
+        let names: Vec<&str> = tl.segments.iter().map(|s| s.segment.as_str()).collect();
+        assert!(names.contains(&"input"), "{names:?}");
+        assert!(names.contains(&"output"), "{names:?}");
+        assert!(
+            !names.contains(&"unmapped"),
+            "every transaction lands in a mapped segment: {names:?}"
+        );
+        let total_xacts: u64 = tl.segments.iter().map(|s| s.reads + s.writes).sum();
+        let per_phase: u64 = tl.phases.iter().map(|p| p.xacts).sum();
+        assert_eq!(total_xacts, per_phase, "segment and phase views agree");
+        let j = tl.to_json();
+        assert!(j.get("phase_cycles").and_then(|h| h.get("p95")).is_some());
+    }
+
+    /// Clean runs carry no flight window; a diverging run freezes the
+    /// window at the first bad transaction, pre-trigger cycles included.
+    #[test]
+    fn flight_recorder_freezes_on_stream_divergence() {
+        let (net, mut design, ws, input) = fixture();
+        let clean =
+            full_network_run(&design, &net, &ws, &input, &FullRunOptions::default()).expect("runs");
+        assert!(clean.flight_window.is_none(), "clean run must not trigger");
+        // Corrupt one mid-stream fetch address (as in the spill test).
+        let spill_seg = design
+            .compiled
+            .memory_map
+            .segment("spill")
+            .expect("spill segment")
+            .offset;
+        let mut patched = false;
+        'outer: for prog in &mut design.compiled.agu_programs {
+            for i in 0..prog.main.len() {
+                if !prog.main_write[i] && prog.main[i].start == spill_seg {
+                    prog.main[i].offset += 1;
+                    patched = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(patched, "fixture must have a spill fetch to corrupt");
+        let report =
+            full_network_run(&design, &net, &ws, &input, &FullRunOptions::default()).expect("runs");
+        assert!(!report.is_clean());
+        let w = report
+            .flight_window
+            .expect("diverging run freezes a window");
+        assert!(w.first_cycle <= w.trigger_cycle && w.trigger_cycle <= w.last_cycle);
+        assert!(w.vcd.contains("phase_w"), "window shows the FSM: {}", w.vcd);
+        assert!(w.vcd.contains("dram_addr"), "{}", w.vcd);
+        assert!(
+            w.last_cycle - w.first_cycle < DEFAULT_FLIGHT_DEPTH as u64 + 8,
+            "window stays bounded"
+        );
+    }
+
+    /// Streaming writes the same bytes to disk that the buffered capture
+    /// returns, and the report records the path instead of the text.
+    #[test]
+    fn streamed_vcd_file_matches_buffered_capture() {
+        let (net, design, ws, input) = fixture();
+        let buffered = full_network_run(
+            &design,
+            &net,
+            &ws,
+            &input,
+            &FullRunOptions {
+                capture_vcd: true,
+                ..FullRunOptions::default()
+            },
+        )
+        .expect("buffered run");
+        let text = buffered.vcd.as_deref().expect("buffered vcd text");
+        let path = std::env::temp_dir().join(format!(
+            "deepburning-fullrun-stream-{}.vcd",
+            std::process::id()
+        ));
+        let streamed = full_network_run(
+            &design,
+            &net,
+            &ws,
+            &input,
+            &FullRunOptions {
+                vcd_stream: Some(path.clone()),
+                ..FullRunOptions::default()
+            },
+        )
+        .expect("streamed run");
+        assert!(streamed.vcd.is_none(), "streamed run buffers nothing");
+        assert_eq!(streamed.vcd_path.as_deref(), Some(path.as_path()));
+        let bytes = std::fs::read(&path).expect("streamed file exists");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            String::from_utf8(bytes).expect("utf8"),
+            text,
+            "streamed file and buffered text must be byte-identical"
+        );
     }
 
     /// A coordinator that double-advances (the `phase_done` gating bug)

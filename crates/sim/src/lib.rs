@@ -39,14 +39,16 @@ mod functional;
 mod timing;
 
 pub use counters::{verify_counters, CounterCheck, DEFAULT_BEAT_CAP};
-pub use deepburning_verilog::{SimEngine, Simulator};
+pub use deepburning_verilog::{FlightRecorder, FlightWindow, SimEngine, Simulator};
 pub use diff::{
     capture_layer_vcd, counter_set_json, diff_design, diff_network, diff_report_json, DiffError,
     DiffOptions, DiffReport, Divergence, LayerAudit, RtlModuleStats, View,
 };
 pub use energy::{inference_energy, simulate_energy, EnergyParams, EnergyReport};
 pub use fullrun::{
-    full_network_run, FullRunOptions, FullRunReport, CYCLE_SLACK_PER_PHASE, PHASE_HANDSHAKE_CYCLES,
+    full_network_run, full_network_run_to_sink, FullRunOptions, FullRunReport, PhaseSlice,
+    RunTimeline, SegmentTraffic, CYCLE_SLACK_PER_PHASE, DEFAULT_FLIGHT_DEPTH,
+    PHASE_HANDSHAKE_CYCLES,
 };
 pub use functional::{functional_forward, functional_forward_all, FunctionalError};
 pub use timing::{

@@ -1,0 +1,292 @@
+//! Log-scale histograms for cycle-domain distributions.
+//!
+//! Full-network RTL runs produce distributions — DRAM burst lengths,
+//! coordinator phase durations, stall cycles — whose tails matter more
+//! than their means: one 10⁶-cycle phase among thousands of 10²-cycle
+//! phases is exactly what a roofline analysis needs to see. A
+//! [`Histogram`] buckets `u64` samples by power of two (bucket *i* holds
+//! values with bit length *i*, so bucket bounds are `[2^(i-1), 2^i)`),
+//! which keeps storage constant (65 counters) while spanning the full
+//! `u64` range, and reports p50/p95 as bucket upper bounds alongside
+//! exact count/sum/min/max.
+//!
+//! Percentiles are therefore *conservative*: a reported p95 is an upper
+//! bound at most 2× the true value — the right bias for spotting
+//! bandwidth and stall regressions.
+
+use crate::json::Json;
+
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples. Constant storage,
+/// deterministic (no interpolation), exact count/sum/min/max.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .finish()
+    }
+}
+
+/// Bucket index for a value: its bit length (0 for 0), so bucket `i > 0`
+/// covers `[2^(i-1), 2^i)`.
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` (0.0..=1.0) as a conservative upper
+    /// bound: the inclusive upper edge of the first bucket whose
+    /// cumulative count reaches `q * count`, clamped to the exact
+    /// observed maximum. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound (see [`Histogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile upper bound (see [`Histogram::percentile`]).
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// JSON image: summary stats plus the non-empty buckets with their
+    /// inclusive `[lo, hi]` value ranges.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Json::obj([
+                    ("lo", Json::num(bucket_lo(i) as f64)),
+                    ("hi", Json::num(bucket_hi(i) as f64)),
+                    ("count", Json::num(c as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("count", Json::num(self.count as f64)),
+            ("sum", Json::num(self.sum as f64)),
+            ("min", Json::num(self.min() as f64)),
+            ("max", Json::num(self.max as f64)),
+            ("p50", Json::num(self.p50() as f64)),
+            ("p95", Json::num(self.p95() as f64)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..64 {
+            assert_eq!(bucket_of(bucket_lo(i)), i);
+            assert_eq!(bucket_of(bucket_hi(i)), i);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_conservative_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.sum(), 5050);
+        let p50 = h.p50();
+        let p95 = h.p95();
+        // True p50 = 50, true p95 = 95; bounds within one bucket (2×).
+        assert!((50..=100).contains(&p50), "p50 = {p50}");
+        assert!((95..=127).contains(&p95), "p95 = {p95}");
+        assert!(p50 <= p95);
+        // The max clamp keeps bounds inside the observed range.
+        assert!(h.percentile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact_bucket_edges() {
+        let mut h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.p50(), 7, "clamped to the observed max");
+        assert_eq!(h.p95(), 7);
+        h.record(0);
+        assert_eq!(h.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn merge_adds_distributions() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 200);
+        assert_eq!(a.sum(), 306);
+    }
+
+    #[test]
+    fn json_image_has_stats_and_nonempty_buckets() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 9] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(j.get("min").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(j.get("max").and_then(Json::as_f64), Some(9.0));
+        let buckets = j.get("buckets").and_then(Json::as_arr).expect("buckets");
+        assert!(!buckets.is_empty());
+        let total: f64 = buckets
+            .iter()
+            .filter_map(|b| b.get("count").and_then(Json::as_f64))
+            .sum();
+        assert_eq!(total, 5.0, "bucket counts cover every sample");
+    }
+}

@@ -39,10 +39,14 @@
 //! assert!(tracer.chrome_trace().contains("compiler.folding"));
 //! ```
 
+pub mod hist;
 pub mod json;
+
+pub use hist::Histogram;
 
 use json::Json;
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -98,11 +102,36 @@ pub struct Event {
     pub args: Vec<(String, Json)>,
 }
 
+/// Bounded event storage: a ring of the newest `cap` events plus a count
+/// of how many older events were evicted. Tracing a ~1.4e8-cycle full
+/// RTL run can therefore never OOM the host — the newest window survives
+/// and [`Tracer::events_dropped`] reports the loss honestly.
+struct Ring {
+    events: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, event: Event) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
 struct Inner {
     enabled: AtomicBool,
     start: Instant,
-    events: Mutex<Vec<Event>>,
+    events: Mutex<Ring>,
 }
+
+/// Default event-ring capacity (see [`Tracer::with_capacity`]): roughly
+/// 40 MB of events, far above any per-layer run, small enough that an
+/// unattended full-network trace stays bounded.
+pub const DEFAULT_EVENT_CAPACITY: usize = 262_144;
 
 /// A thread-safe event collector. Cloning is cheap and shares the buffer.
 #[derive(Clone)]
@@ -121,8 +150,14 @@ impl std::fmt::Debug for Tracer {
         f.debug_struct("Tracer")
             .field(
                 "events",
-                &self.inner.events.lock().map(|e| e.len()).unwrap_or(0),
+                &self
+                    .inner
+                    .events
+                    .lock()
+                    .map(|r| r.events.len())
+                    .unwrap_or(0),
             )
+            .field("dropped", &self.events_dropped())
             .finish()
     }
 }
@@ -139,13 +174,25 @@ fn thread_id() -> u64 {
 }
 
 impl Tracer {
-    /// Creates an enabled tracer with an empty buffer.
+    /// Creates an enabled tracer with an empty buffer bounded at
+    /// [`DEFAULT_EVENT_CAPACITY`] events.
     pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates an enabled tracer whose event ring keeps at most `cap`
+    /// events; older events are evicted (and counted in
+    /// [`Tracer::events_dropped`]) once the ring is full.
+    pub fn with_capacity(cap: usize) -> Tracer {
         Tracer {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(true),
                 start: Instant::now(),
-                events: Mutex::new(Vec::new()),
+                events: Mutex::new(Ring {
+                    events: VecDeque::new(),
+                    cap: cap.max(1),
+                    dropped: 0,
+                }),
             }),
         }
     }
@@ -163,8 +210,8 @@ impl Tracer {
         if !self.inner.enabled.load(Ordering::Relaxed) {
             return;
         }
-        if let Ok(mut events) = self.inner.events.lock() {
-            events.push(event);
+        if let Ok(mut ring) = self.inner.events.lock() {
+            ring.push(event);
         }
     }
 
@@ -180,18 +227,28 @@ impl Tracer {
         });
     }
 
-    /// Snapshot of every event recorded so far.
+    /// Snapshot of every event still in the ring.
     pub fn events(&self) -> Vec<Event> {
         self.inner
             .events
             .lock()
-            .map(|e| e.clone())
+            .map(|r| r.events.iter().cloned().collect())
             .unwrap_or_default()
     }
 
-    /// Number of events recorded so far.
+    /// Number of events currently in the ring.
     pub fn len(&self) -> usize {
-        self.inner.events.lock().map(|e| e.len()).unwrap_or(0)
+        self.inner
+            .events
+            .lock()
+            .map(|r| r.events.len())
+            .unwrap_or(0)
+    }
+
+    /// Events evicted from the ring because it was full. Non-zero means
+    /// the exports below describe only the newest window of the run.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.events.lock().map(|r| r.dropped).unwrap_or(0)
     }
 
     /// True when nothing has been recorded.
@@ -241,6 +298,11 @@ impl Tracer {
         // Virtual tracks get stable small tids within pid 2.
         let mut track_tids: Vec<String> = Vec::new();
         let mut counters: std::collections::BTreeMap<String, f64> = Default::default();
+        // Per-tid open-span depth: when the ring evicted a SpanBegin, its
+        // orphaned SpanEnd must be skipped or the trace would be
+        // unbalanced (spans nest per thread, so eviction only ever
+        // removes a prefix — an end with no open span has lost its begin).
+        let mut open_depth: std::collections::BTreeMap<u64, u64> = Default::default();
         for e in &events {
             let args_json = |extra: Vec<(String, Json)>| {
                 let mut pairs = e.args.clone();
@@ -253,6 +315,7 @@ impl Tracer {
             };
             match &e.kind {
                 EventKind::SpanBegin => {
+                    *open_depth.entry(e.tid).or_insert(0) += 1;
                     out.push(entry(
                         &e.name,
                         e.category,
@@ -264,6 +327,11 @@ impl Tracer {
                     ));
                 }
                 EventKind::SpanEnd => {
+                    let depth = open_depth.entry(e.tid).or_insert(0);
+                    if *depth == 0 {
+                        continue; // begin was evicted from the ring
+                    }
+                    *depth -= 1;
                     out.push(entry(
                         &e.name,
                         e.category,
@@ -403,6 +471,7 @@ impl Tracer {
                 "gauges",
                 Json::Obj(gauges.into_iter().map(|(n, v)| (n, Json::num(v))).collect()),
             ),
+            ("events_dropped", Json::num(self.events_dropped() as f64)),
         ])
     }
 
@@ -441,6 +510,12 @@ impl Tracer {
                     }
                 }
             }
+        }
+        let dropped = self.events_dropped();
+        if dropped > 0 {
+            out.push_str(&format!(
+                "events dropped: {dropped} (ring full — oldest events evicted)\n"
+            ));
         }
         out
     }
@@ -795,6 +870,51 @@ mod tests {
         assert_eq!(end.args[0].0, "items");
         let text = tracer.chrome_trace();
         assert!(text.contains("\"items\":12"), "{text}");
+    }
+
+    #[test]
+    fn ring_bounds_storage_and_counts_drops() {
+        let tracer = Tracer::with_capacity(8);
+        let _session = install(&tracer);
+        for i in 0..20 {
+            counter("t", format!("c{i}"), 1.0);
+        }
+        assert_eq!(tracer.len(), 8, "ring keeps only the newest cap events");
+        assert_eq!(tracer.events_dropped(), 12);
+        assert_eq!(tracer.events()[0].name, "c12", "oldest evicted first");
+        let m = tracer.metrics();
+        assert_eq!(
+            m.get("events_dropped").and_then(Json::as_f64),
+            Some(12.0),
+            "metrics reports the loss"
+        );
+        assert!(tracer.summary().contains("events dropped: 12"));
+    }
+
+    #[test]
+    fn orphaned_span_ends_are_skipped_after_eviction() {
+        // Capacity 3: the SpanBegin of `outer` is evicted by the churn,
+        // leaving its SpanEnd orphaned in the ring. chrome_trace must
+        // still validate and metrics must not invent a duration.
+        let tracer = Tracer::with_capacity(3);
+        let _session = install(&tracer);
+        {
+            let _outer = span("t", "outer");
+            {
+                let _inner = span("t", "inner");
+            }
+        }
+        assert!(tracer.events_dropped() > 0);
+        let text = tracer.chrome_trace();
+        validate_chrome_trace(&text).expect("orphan ends skipped");
+        let m = tracer.metrics();
+        let spans = m.get("spans").and_then(Json::as_arr).expect("spans");
+        assert!(
+            !spans
+                .iter()
+                .any(|s| s.get("name").and_then(Json::as_str) == Some("outer")),
+            "outer lost its begin, so it must not aggregate"
+        );
     }
 
     #[test]

@@ -242,7 +242,7 @@ enum Change {
 /// assert_eq!(sim.read("q")?, 2);
 /// # Ok::<(), deepburning_verilog::SimulateError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CompiledSim {
     names: BTreeMap<String, SlotId>,
     slots: Vec<Slot>,
@@ -1176,6 +1176,21 @@ impl CompiledSim {
     /// (sorted hierarchical names, scalars only), so the two engines
     /// produce byte-identical dumps for identical executions.
     pub fn vcd_begin(&mut self, top: &str) {
+        let signals = self.vcd_signal_list();
+        self.vcd = Some(Box::new(VcdRecorder::new(top, &signals, 10)));
+        self.vcd_capture();
+    }
+
+    /// Starts VCD recording that streams into `sink` instead of
+    /// buffering: constant resident memory regardless of run length.
+    /// [`CompiledSim::vcd_end`] then flushes the sink and returns `None`.
+    pub fn vcd_begin_streaming(&mut self, top: &str, sink: Box<dyn std::io::Write + Send>) {
+        let signals = self.vcd_signal_list();
+        self.vcd = Some(Box::new(VcdRecorder::streaming(top, &signals, 10, sink)));
+        self.vcd_capture();
+    }
+
+    fn vcd_signal_list(&mut self) -> Vec<(String, u32)> {
         let signals: Vec<(String, u32)> = self
             .names
             .iter()
@@ -1188,8 +1203,7 @@ impl CompiledSim {
             .filter(|(_, &s)| self.slots[s].mem.is_none())
             .map(|(_, &s)| s)
             .collect();
-        self.vcd = Some(Box::new(VcdRecorder::new(top, &signals, 10)));
-        self.vcd_capture();
+        signals
     }
 
     /// Forces a sample outside a clock edge.
@@ -1197,15 +1211,29 @@ impl CompiledSim {
         self.vcd_capture();
     }
 
-    /// Stops recording and returns the VCD document, if recording.
+    /// Stops recording. Buffered recordings return the VCD document;
+    /// streamed recordings flush their sink and return `None`.
     pub fn vcd_end(&mut self) -> Option<String> {
         self.vcd_slots.clear();
-        self.vcd.take().map(|rec| rec.render())
+        self.vcd.take().and_then(|rec| rec.finish())
     }
 
     /// Timesteps recorded so far, or 0 when not recording.
     pub fn vcd_timesteps(&self) -> u64 {
         self.vcd.as_ref().map(|r| r.timesteps()).unwrap_or(0)
+    }
+
+    /// Bytes the active recording has pushed through its sink.
+    pub fn vcd_bytes_written(&self) -> u64 {
+        self.vcd.as_ref().map(|r| r.bytes_written()).unwrap_or(0)
+    }
+
+    /// Width of a scalar signal, or `None` for unknowns and memories.
+    pub fn signal_width(&self, name: &str) -> Option<u32> {
+        self.names
+            .get(name)
+            .filter(|&&s| self.slots[s].mem.is_none())
+            .map(|&s| self.width(s))
     }
 
     fn vcd_capture(&mut self) {
@@ -1258,6 +1286,10 @@ impl Simulator for CompiledSim {
         CompiledSim::vcd_begin(self, top);
     }
 
+    fn vcd_begin_streaming(&mut self, top: &str, sink: Box<dyn std::io::Write + Send>) {
+        CompiledSim::vcd_begin_streaming(self, top, sink);
+    }
+
     fn vcd_sample_now(&mut self) {
         CompiledSim::vcd_sample_now(self);
     }
@@ -1268,6 +1300,14 @@ impl Simulator for CompiledSim {
 
     fn vcd_timesteps(&self) -> u64 {
         CompiledSim::vcd_timesteps(self)
+    }
+
+    fn vcd_bytes_written(&self) -> u64 {
+        CompiledSim::vcd_bytes_written(self)
+    }
+
+    fn signal_width(&self, name: &str) -> Option<u32> {
+        CompiledSim::signal_width(self, name)
     }
 }
 

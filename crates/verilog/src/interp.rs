@@ -149,14 +149,34 @@ pub trait Simulator {
     /// Starts VCD waveform recording (see [`Interpreter::vcd_begin`]).
     fn vcd_begin(&mut self, top: &str);
 
+    /// Starts VCD recording that streams incrementally into `sink`
+    /// instead of buffering in memory: the header is written immediately
+    /// and every subsequent clock edge appends one small delta, so
+    /// resident memory stays constant however long the run is.
+    /// [`Simulator::vcd_end`] flushes the sink and returns `None` — the
+    /// document lives wherever the sink wrote it.
+    fn vcd_begin_streaming(&mut self, top: &str, sink: Box<dyn std::io::Write + Send>);
+
     /// Forces a sample outside a clock edge.
     fn vcd_sample_now(&mut self);
 
-    /// Stops recording and returns the VCD document, if recording.
+    /// Stops recording. Buffered recordings ([`Simulator::vcd_begin`])
+    /// return the VCD document; streamed recordings return `None` after
+    /// flushing their sink.
     fn vcd_end(&mut self) -> Option<String>;
 
     /// Timesteps recorded so far, or 0 when not recording.
     fn vcd_timesteps(&self) -> u64;
+
+    /// Bytes the active VCD recording has pushed through its sink, or 0
+    /// when not recording.
+    fn vcd_bytes_written(&self) -> u64 {
+        0
+    }
+
+    /// Width in bits of a scalar signal, or `None` for unknown signals
+    /// and memories. Used by flight recorders to build watch lists.
+    fn signal_width(&self, name: &str) -> Option<u32>;
 }
 
 // ---------------------------------------------------------------------------
@@ -350,7 +370,7 @@ pub(crate) fn flatten_design(design: &Design, top: &str) -> Result<FlatDesign, S
 /// assert_eq!(sim.read("q")?, 0);
 /// # Ok::<(), deepburning_verilog::SimulateError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Interpreter {
     signals: BTreeMap<String, Signal>,
     /// Continuous assigns, flattened, in declaration order.
@@ -861,6 +881,21 @@ impl Interpreter {
     /// dumped; memories are skipped. The current state is captured as the
     /// `#0` initial dump.
     pub fn vcd_begin(&mut self, top: &str) {
+        let signals = self.vcd_signal_list();
+        self.vcd = Some(Box::new(VcdRecorder::new(top, &signals, 10)));
+        self.vcd_capture();
+    }
+
+    /// Starts VCD recording that streams into `sink` instead of
+    /// buffering: constant resident memory regardless of run length.
+    /// [`Interpreter::vcd_end`] then flushes the sink and returns `None`.
+    pub fn vcd_begin_streaming(&mut self, top: &str, sink: Box<dyn std::io::Write + Send>) {
+        let signals = self.vcd_signal_list();
+        self.vcd = Some(Box::new(VcdRecorder::streaming(top, &signals, 10, sink)));
+        self.vcd_capture();
+    }
+
+    fn vcd_signal_list(&mut self) -> Vec<(String, u32)> {
         let signals: Vec<(String, u32)> = self
             .signals
             .iter()
@@ -868,8 +903,7 @@ impl Interpreter {
             .map(|(name, s)| (name.clone(), s.width))
             .collect();
         self.vcd_names = signals.iter().map(|(n, _)| n.clone()).collect();
-        self.vcd = Some(Box::new(VcdRecorder::new(top, &signals, 10)));
-        self.vcd_capture();
+        signals
     }
 
     /// Forces a sample outside a clock edge (used for purely combinational
@@ -882,13 +916,26 @@ impl Interpreter {
     /// [`Interpreter::vcd_begin`] was never called.
     pub fn vcd_end(&mut self) -> Option<String> {
         self.vcd_names.clear();
-        self.vcd.take().map(|rec| rec.render())
+        self.vcd.take().and_then(|rec| rec.finish())
     }
 
     /// Timesteps recorded so far (including the initial dump), or 0 when
     /// not recording.
     pub fn vcd_timesteps(&self) -> u64 {
         self.vcd.as_ref().map(|r| r.timesteps()).unwrap_or(0)
+    }
+
+    /// Bytes the active recording has pushed through its sink.
+    pub fn vcd_bytes_written(&self) -> u64 {
+        self.vcd.as_ref().map(|r| r.bytes_written()).unwrap_or(0)
+    }
+
+    /// Width of a scalar signal, or `None` for unknowns and memories.
+    pub fn signal_width(&self, name: &str) -> Option<u32> {
+        self.signals
+            .get(name)
+            .filter(|s| matches!(s.value, Value::Scalar(_)))
+            .map(|s| s.width)
     }
 
     fn vcd_capture(&mut self) {
@@ -940,6 +987,10 @@ impl Simulator for Interpreter {
         Interpreter::vcd_begin(self, top);
     }
 
+    fn vcd_begin_streaming(&mut self, top: &str, sink: Box<dyn std::io::Write + Send>) {
+        Interpreter::vcd_begin_streaming(self, top, sink);
+    }
+
     fn vcd_sample_now(&mut self) {
         Interpreter::vcd_sample_now(self);
     }
@@ -950,6 +1001,14 @@ impl Simulator for Interpreter {
 
     fn vcd_timesteps(&self) -> u64 {
         Interpreter::vcd_timesteps(self)
+    }
+
+    fn vcd_bytes_written(&self) -> u64 {
+        Interpreter::vcd_bytes_written(self)
+    }
+
+    fn signal_width(&self, name: &str) -> Option<u32> {
+        Interpreter::signal_width(self, name)
     }
 }
 

@@ -26,6 +26,7 @@
 mod ast;
 mod compile;
 mod emit;
+mod flight;
 mod interp;
 mod lint;
 mod testbench;
@@ -37,6 +38,7 @@ pub use ast::{
 };
 pub use compile::{find_comb_cycle, CompiledSim, SimEngine};
 pub use emit::{emit_design, emit_expr, emit_module};
+pub use flight::{FlightRecorder, FlightWindow};
 pub use interp::{InterpStats, Interpreter, SimulateError, Simulator};
 pub use lint::{lint_design, LintIssue, LintReport, Severity};
 pub use testbench::{emit_testbench, TestbenchOptions};
