@@ -10,13 +10,21 @@
 //! ```text
 //! benchgate [--baseline-dir DIR] [--fresh-dir DIR]
 //!           [--benchmarks ann0,cmac,mnist] [--tolerance 0.02]
+//!           [--history-append DIR] [--rev REV] [--engine NAME]
 //! ```
 //!
 //! To intentionally move a baseline, commit with `[bench-reset]` in the
 //! message: CI then skips this gate and publishes the refreshed
 //! `BENCH_*.json` files as an artifact to commit.
+//!
+//! `--history-append DIR` records each fresh summary into the cross-run
+//! JSONL ledger (DESIGN.md §15) after a *clean* gate — regressed runs
+//! never poison the trend series — keyed by `--rev` × benchmark × budget
+//! × `--engine`. CI uploads the ledger as an artifact and renders it
+//! with `dbhist show`.
 
-use deepburning_bench::{gate_bench_text, GatePolicy};
+use deepburning_bench::{append_entry, gate_bench_text, GatePolicy, HistoryEntry};
+use deepburning_trace::json::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,6 +33,9 @@ struct Args {
     fresh_dir: PathBuf,
     benchmarks: Vec<String>,
     policy: GatePolicy,
+    history_dir: Option<PathBuf>,
+    rev: String,
+    engine: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +44,9 @@ fn parse_args() -> Result<Args, String> {
         fresh_dir: PathBuf::from("target/dbreport-baseline"),
         benchmarks: ["ann0", "cmac", "mnist"].map(String::from).to_vec(),
         policy: GatePolicy::default(),
+        history_dir: None,
+        rev: "local".to_string(),
+        engine: "compiled".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -59,10 +73,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--tolerance: {e}"))?;
             }
+            "--history-append" => {
+                args.history_dir = Some(PathBuf::from(
+                    it.next().ok_or("--history-append needs a value")?,
+                ));
+            }
+            "--rev" => args.rev = it.next().ok_or("--rev needs a value")?,
+            "--engine" => args.engine = it.next().ok_or("--engine needs a value")?,
             other => {
                 return Err(format!(
                     "unknown argument `{other}`; usage: benchgate [--baseline-dir DIR] \
-                     [--fresh-dir DIR] [--benchmarks a,b,c] [--tolerance 0.02]"
+                     [--fresh-dir DIR] [--benchmarks a,b,c] [--tolerance 0.02] \
+                     [--history-append DIR] [--rev REV] [--engine NAME]"
                 ))
             }
         }
@@ -71,6 +93,31 @@ fn parse_args() -> Result<Args, String> {
         return Err("--benchmarks list is empty".into());
     }
     Ok(args)
+}
+
+/// Records every fresh summary into the cross-run ledger. Only called
+/// after a clean gate, so a regressed run never enters the trend series.
+fn append_history(args: &Args, dir: &std::path::Path) -> Result<(), String> {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    for name in &args.benchmarks {
+        let path = args.fresh_dir.join(format!("BENCH_{name}.json"));
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path:?}: {e}"))?;
+        let summary = Json::parse(&text).map_err(|e| format!("{path:?}: {e}"))?;
+        let entry = HistoryEntry::from_summary(&summary, &args.rev, &args.engine, now)?;
+        let ledger = append_entry(dir, &entry)?;
+        println!(
+            "history: appended {} x {} x {} @ {} -> {}",
+            entry.benchmark,
+            entry.budget,
+            entry.engine,
+            entry.rev,
+            ledger.display()
+        );
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -106,6 +153,12 @@ fn main() -> ExitCode {
     }
     if failures == 0 {
         println!("bench gate clean: {} baselines held", args.benchmarks.len());
+        if let Some(dir) = &args.history_dir {
+            if let Err(e) = append_history(&args, dir) {
+                eprintln!("benchgate: history append failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(

@@ -31,11 +31,18 @@
 //! committed-baseline format the CI drift diff uses. `--check` re-parses
 //! `report.json` and validates the schema plus a clean counter
 //! cross-check, exiting nonzero otherwise — the CI smoke mode.
+//!
+//! `--history` appends the run's summary to the cross-run JSONL ledger
+//! under `--history-dir` (default `bench/history/`, DESIGN.md §15) keyed
+//! by `--rev` × benchmark × budget × engine, then prints the trend table
+//! with rolling-window drift flags — the slow creep the ±2% point gate
+//! cannot see. Use `dbhist` to inspect or check a ledger offline.
 
 use deepburning_baselines::{pseudo_weights, zoo, Benchmark};
 use deepburning_bench::{
-    attach_full_run, bench_summary_json, build_report, render_report_table, render_timeline_table,
-    report_json,
+    append_entry, attach_full_run, bench_summary_json, build_report, load_history,
+    render_history_table, render_report_table, render_timeline_table, report_json, HistoryEntry,
+    DRIFT_THRESHOLD, DRIFT_WINDOW,
 };
 use deepburning_core::{generate, Budget};
 use deepburning_sim::{
@@ -81,6 +88,9 @@ struct Args {
     check: bool,
     analytic: bool,
     timeline: bool,
+    history: bool,
+    history_dir: PathBuf,
+    rev: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -94,6 +104,9 @@ fn parse_args() -> Result<Args, String> {
         check: false,
         analytic: false,
         timeline: false,
+        history: false,
+        history_dir: PathBuf::from("bench/history"),
+        rev: "local".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -122,6 +135,11 @@ fn parse_args() -> Result<Args, String> {
             "--check" => args.check = true,
             "--analytic" => args.analytic = true,
             "--timeline" => args.timeline = true,
+            "--history" => args.history = true,
+            "--history-dir" => {
+                args.history_dir = PathBuf::from(it.next().ok_or("--history-dir needs a value")?);
+            }
+            "--rev" => args.rev = it.next().ok_or("--rev needs a value")?,
             other if args.benchmark.is_empty() && !other.starts_with('-') => {
                 args.benchmark = other.to_string();
             }
@@ -131,7 +149,8 @@ fn parse_args() -> Result<Args, String> {
     if args.benchmark.is_empty() {
         return Err("usage: dbreport <benchmark> [--budget small|medium|large] \
                     [--out DIR] [--beat-cap N] [--engine tree|compiled] \
-                    [--bench-json] [--check] [--analytic] [--timeline]"
+                    [--bench-json] [--check] [--analytic] [--timeline] \
+                    [--history] [--history-dir DIR] [--rev REV]"
             .into());
     }
     if args.timeline && args.analytic {
@@ -326,6 +345,41 @@ fn run() -> Result<(), String> {
         std::fs::write(&bench_path, bench_summary_json(&report).render())
             .map_err(|e| format!("write {bench_path:?}: {e}"))?;
         println!("wrote {}", bench_path.display());
+    }
+
+    if args.history {
+        // Cross-run ledger (DESIGN.md §15): append this run's flattened
+        // summary and render the trend over everything recorded so far.
+        // The rolling-window drift rule flags slow creep that each ±2%
+        // point comparison passes; flags here are informational —
+        // `dbhist check` is the CI tripwire.
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let entry = HistoryEntry::from_summary(
+            &bench_summary_json(&report),
+            &args.rev,
+            &args.engine.to_string(),
+            now,
+        )?;
+        let ledger = append_entry(&args.history_dir, &entry)?;
+        println!(
+            "history: appended rev {} to {}",
+            entry.rev,
+            ledger.display()
+        );
+        let entries = load_history(&args.history_dir, &entry.benchmark)?;
+        print!(
+            "{}",
+            render_history_table(
+                &entries,
+                &entry.budget,
+                &entry.engine,
+                DRIFT_WINDOW,
+                DRIFT_THRESHOLD,
+            )
+        );
     }
 
     if args.check {

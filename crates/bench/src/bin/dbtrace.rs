@@ -14,7 +14,7 @@
 //! ```text
 //! dbtrace <benchmark> [--budget small|medium|large] [--out DIR]
 //!         [--rtl-samples N] [--engine tree|compiled] [--full-rtl]
-//!         [--check]
+//!         [--profile] [--check]
 //! ```
 //!
 //! `--full-rtl` adds the fifth view to the traced pipeline: the
@@ -22,6 +22,15 @@
 //! trace as `fullrtl.fsm` track events and `fullrtl.seg.*` bandwidth
 //! counters, so the Perfetto timeline shows the simulated schedule as the
 //! hardware executed it.
+//!
+//! `--profile` (implies `--full-rtl`) turns on the engine hot-spot
+//! profiler (DESIGN.md §15) for the full-network run and writes two more
+//! artifacts: `folded.txt` (folded-stack text for `flamegraph.pl` /
+//! speedscope) and `profile.json` (the `ProfileReport`: ranked
+//! JIT-candidate levels, partition-cut suggestions, per-opcode and
+//! per-module attribution). The profile's counter tracks (`prof.*`)
+//! merge into `trace.json` so Perfetto shows tape heat alongside the
+//! schedule.
 //!
 //! `--check` re-validates the emitted trace (valid JSON, non-empty,
 //! balanced spans) and asserts the metrics carry compiler-stage spans and
@@ -72,6 +81,7 @@ struct Args {
     rtl_samples: usize,
     engine: SimEngine,
     full_rtl: bool,
+    profile: bool,
     check: bool,
 }
 
@@ -83,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         rtl_samples: 16,
         engine: SimEngine::default(),
         full_rtl: false,
+        profile: false,
         check: false,
     };
     let mut it = std::env::args().skip(1);
@@ -109,6 +120,12 @@ fn parse_args() -> Result<Args, String> {
                 args.engine = it.next().ok_or("--engine needs a value")?.parse()?;
             }
             "--full-rtl" => args.full_rtl = true,
+            "--profile" => {
+                // Profiling attributes the full-network run's tape, so
+                // it needs the fifth view in the pipeline.
+                args.profile = true;
+                args.full_rtl = true;
+            }
             "--check" => args.check = true,
             other if args.benchmark.is_empty() && !other.starts_with('-') => {
                 args.benchmark = other.to_string();
@@ -119,7 +136,7 @@ fn parse_args() -> Result<Args, String> {
     if args.benchmark.is_empty() {
         return Err("usage: dbtrace <benchmark> [--budget small|medium|large] \
                     [--out DIR] [--rtl-samples N] [--engine tree|compiled] \
-                    [--full-rtl] [--check]"
+                    [--full-rtl] [--profile] [--check]"
             .into());
     }
     Ok(args)
@@ -171,6 +188,38 @@ fn check_metrics(metrics: &Json, full_rtl: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Profiler acceptance (DESIGN.md §15): the folded stacks are non-empty,
+/// the `ProfileReport` attributes real work, its ranked JIT-candidate
+/// prefix covers at least 80% of attributed engine ops, and the `prof.*`
+/// counter tracks made it into the Chrome trace.
+fn check_profile(doc: &Json, chrome: &str) -> Result<(), String> {
+    let num = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("profile.json missing `{key}`"))
+    };
+    if num("total_evals")? <= 0.0 || num("total_ops")? <= 0.0 {
+        return Err("profile.json attributes no work".into());
+    }
+    let coverage = num("jit_coverage")?;
+    if coverage < 0.8 {
+        return Err(format!(
+            "profile.json jit_coverage {coverage:.3} below the 0.8 acceptance floor"
+        ));
+    }
+    if doc
+        .get("jit_candidates")
+        .and_then(Json::as_arr)
+        .is_none_or(<[Json]>::is_empty)
+    {
+        return Err("profile.json has no JIT candidates".into());
+    }
+    if !chrome.contains("prof.") {
+        return Err("trace.json missing the merged `prof.*` counter tracks".into());
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let bench = benchmarks()
@@ -189,6 +238,7 @@ fn run() -> Result<(), String> {
         })?;
 
     let tracer = trace::Tracer::new();
+    let profile;
     {
         let _session = trace::install(&tracer);
         let design = generate(&bench.network, &args.budget)
@@ -212,6 +262,7 @@ fn run() -> Result<(), String> {
             max_rtl_samples: args.rtl_samples.max(1),
             engine: args.engine,
             full_rtl: args.full_rtl,
+            profile: args.profile,
             ..DiffOptions::default()
         };
         let diff_start = std::time::Instant::now();
@@ -245,6 +296,12 @@ fn run() -> Result<(), String> {
         if !report.is_clean() {
             print!("{report}");
         }
+        profile = report.full_run.and_then(|f| f.profile);
+        if let Some(p) = &profile {
+            // Inside the session so the prof.* counter tracks land in
+            // the same trace.json as the schedule timeline.
+            p.emit_counters();
+        }
     }
 
     let chrome = tracer.chrome_trace();
@@ -259,12 +316,33 @@ fn run() -> Result<(), String> {
     println!("wrote {} ({} events)", trace_path.display(), tracer.len());
     println!("wrote {}", metrics_path.display());
 
+    let mut profile_doc = None;
+    if args.profile {
+        let p = profile
+            .as_ref()
+            .ok_or("--profile requested but the run returned no profile")?;
+        let folded_path = args.out.join("folded.txt");
+        std::fs::write(&folded_path, p.folded_stacks())
+            .map_err(|e| format!("write {folded_path:?}: {e}"))?;
+        let doc = p.report_json();
+        let profile_path = args.out.join("profile.json");
+        std::fs::write(&profile_path, doc.render())
+            .map_err(|e| format!("write {profile_path:?}: {e}"))?;
+        print!("\n{}", p.render_table());
+        println!("wrote {}", folded_path.display());
+        println!("wrote {}", profile_path.display());
+        profile_doc = Some(doc);
+    }
+
     if args.check {
         let n = trace::validate_chrome_trace(&chrome)
             .map_err(|e| format!("chrome trace invalid: {e}"))?;
         check_metrics(&metrics, args.full_rtl)?;
         if args.full_rtl && !chrome.contains("fullrtl.fsm") {
             return Err("trace.json missing the `fullrtl.fsm` timeline track".into());
+        }
+        if let Some(doc) = &profile_doc {
+            check_profile(doc, &chrome)?;
         }
         println!("check ok: {n} trace events, required spans and counters present");
     }

@@ -4,9 +4,14 @@
 //! Policy: deterministic counters must match exactly — `benchmark` and
 //! `budget` (strings) and `mac_ops` (a pure function of the network) —
 //! while cycle-denominated quantities may drift within a relative
-//! tolerance (default ±2%): `cycles`, the `stalls.*` split and
-//! `utilization`, which is derived from cycles. Missing files, missing
-//! fields or malformed JSON are violations, never silent passes.
+//! tolerance (default ±2%): `cycles`, the `stalls.*` split and the
+//! `utilization` fields, which are derived from cycles. Missing files
+//! and malformed JSON are violations, never silent passes. Field
+//! presence is asymmetric: a field the *baseline* lacks is skipped (a
+//! newly added metric must not force a `[bench-reset]` of every
+//! baseline), while a field the baseline has and the fresh summary
+//! dropped is a violation (metrics must not silently disappear).
+//! Fields outside the known lists are ignored on both sides.
 //!
 //! CI runs this as the hard `bench-gate` job via the `benchgate` binary;
 //! a `[bench-reset]` commit message skips the gate and publishes
@@ -38,10 +43,10 @@ const EXACT_NUMBERS: [&str; 2] = ["mac_ops", "rtl.mac_ops"];
 
 /// Fields allowed to drift within [`GatePolicy::cycle_tolerance`]: the
 /// analytic cycle model may shift slightly as timing parameters are
-/// tuned, and `utilization` is derived from cycles. The `rtl.*` cycle
-/// registers move whenever the fabric handshake or AGU scheduling
-/// changes — intentional moves go through `[bench-reset]`.
-const TOLERANCED_NUMBERS: [&str; 8] = [
+/// tuned, and the `utilization` fields are derived from cycles. The
+/// `rtl.*` cycle registers move whenever the fabric handshake or AGU
+/// scheduling changes — intentional moves go through `[bench-reset]`.
+const TOLERANCED_NUMBERS: [&str; 9] = [
     "cycles",
     "utilization",
     "stalls.active_cycles",
@@ -50,20 +55,46 @@ const TOLERANCED_NUMBERS: [&str; 8] = [
     "rtl.cycles",
     "rtl.active_cycles",
     "rtl.stall_cycles",
+    "rtl.utilization",
 ];
 
-fn lookup<'a>(doc: &'a Json, path: &str) -> Result<&'a Json, String> {
+fn lookup<'a>(doc: &'a Json, path: &str) -> Option<&'a Json> {
     let mut node = doc;
     for seg in path.split('.') {
-        node = node.get(seg).ok_or_else(|| format!("missing `{path}`"))?;
+        node = node.get(seg)?;
     }
-    Ok(node)
+    Some(node)
 }
 
-fn lookup_num(doc: &Json, path: &str, side: &str) -> Result<f64, String> {
-    lookup(doc, path)?
-        .as_f64()
-        .ok_or_else(|| format!("{side} `{path}` is not a number"))
+/// Resolves `path` on both sides under the optional-field rule:
+/// `Some((baseline, fresh))` when both carry it, `None` when the
+/// baseline predates the metric (skip), a violation pushed when the
+/// fresh summary dropped a metric the baseline has.
+fn lookup_pair<'a>(
+    baseline: &'a Json,
+    fresh: &'a Json,
+    path: &str,
+    violations: &mut Vec<String>,
+) -> Option<(&'a Json, &'a Json)> {
+    let b = lookup(baseline, path)?;
+    match lookup(fresh, path) {
+        Some(f) => Some((b, f)),
+        None => {
+            violations.push(format!(
+                "fresh summary dropped `{path}` (present in baseline; metrics must not \
+                 silently disappear)"
+            ));
+            None
+        }
+    }
+}
+
+fn as_num(node: &Json, path: &str, side: &str, violations: &mut Vec<String>) -> Option<f64> {
+    let v = node.as_f64();
+    if v.is_none() {
+        violations.push(format!("{side} `{path}` is not a number"));
+    }
+    v
 }
 
 /// Compares a fresh bench summary against its committed baseline and
@@ -72,54 +103,47 @@ fn lookup_num(doc: &Json, path: &str, side: &str) -> Result<f64, String> {
 pub fn compare_bench_summaries(baseline: &Json, fresh: &Json, policy: &GatePolicy) -> Vec<String> {
     let mut violations = Vec::new();
     for path in EXACT_STRINGS {
-        let pair = lookup(baseline, path)
-            .map_err(|e| format!("baseline: {e}"))
-            .and_then(|b| {
-                lookup(fresh, path)
-                    .map_err(|e| format!("fresh: {e}"))
-                    .map(|f| (b, f))
-            });
-        match pair {
-            Ok((b, f)) => {
-                if b.as_str() != f.as_str() {
-                    violations.push(format!(
-                        "`{path}` changed: baseline {b:?} vs fresh {f:?} (exact match required)"
-                    ));
-                }
-            }
-            Err(e) => violations.push(e),
+        let Some((b, f)) = lookup_pair(baseline, fresh, path, &mut violations) else {
+            continue;
+        };
+        if b.as_str() != f.as_str() {
+            violations.push(format!(
+                "`{path}` changed: baseline {b:?} vs fresh {f:?} (exact match required)"
+            ));
         }
     }
     for path in EXACT_NUMBERS {
-        match (
-            lookup_num(baseline, path, "baseline"),
-            lookup_num(fresh, path, "fresh"),
-        ) {
-            (Ok(b), Ok(f)) => {
-                if b != f {
-                    violations.push(format!(
-                        "`{path}` regressed: baseline {b} vs fresh {f} \
-                         (deterministic counter, exact match required)"
-                    ));
-                }
-            }
-            (Err(e), _) | (_, Err(e)) => violations.push(e),
+        let Some((bn, fn_)) = lookup_pair(baseline, fresh, path, &mut violations) else {
+            continue;
+        };
+        let (Some(b), Some(f)) = (
+            as_num(bn, path, "baseline", &mut violations),
+            as_num(fn_, path, "fresh", &mut violations),
+        ) else {
+            continue;
+        };
+        if b != f {
+            violations.push(format!(
+                "`{path}` regressed: baseline {b} vs fresh {f} \
+                 (deterministic counter, exact match required)"
+            ));
         }
     }
     for path in TOLERANCED_NUMBERS {
-        match (
-            lookup_num(baseline, path, "baseline"),
-            lookup_num(fresh, path, "fresh"),
-        ) {
-            (Ok(b), Ok(f)) => {
-                if (f - b).abs() > policy.cycle_tolerance * b.abs() {
-                    violations.push(format!(
-                        "`{path}` drifted beyond ±{:.1}%: baseline {b} vs fresh {f}",
-                        policy.cycle_tolerance * 100.0
-                    ));
-                }
-            }
-            (Err(e), _) | (_, Err(e)) => violations.push(e),
+        let Some((bn, fn_)) = lookup_pair(baseline, fresh, path, &mut violations) else {
+            continue;
+        };
+        let (Some(b), Some(f)) = (
+            as_num(bn, path, "baseline", &mut violations),
+            as_num(fn_, path, "fresh", &mut violations),
+        ) else {
+            continue;
+        };
+        if (f - b).abs() > policy.cycle_tolerance * b.abs() {
+            violations.push(format!(
+                "`{path}` drifted beyond ±{:.1}%: baseline {b} vs fresh {f}",
+                policy.cycle_tolerance * 100.0
+            ));
         }
     }
     violations
@@ -208,14 +232,46 @@ mod tests {
     }
 
     #[test]
-    fn missing_field_is_a_violation() {
+    fn fresh_dropping_a_baseline_field_is_a_violation() {
         let b = summary(21321.0, 577000.0, 10757.0);
         let f = Json::obj([("benchmark", Json::str("MNIST"))]);
         let v = compare_bench_summaries(&b, &f, &GatePolicy::default());
         assert!(
-            v.iter().any(|m| m.contains("missing `cycles`")),
+            v.iter().any(|m| m.contains("dropped `cycles`")),
             "violations: {v:?}"
         );
+    }
+
+    #[test]
+    fn baseline_missing_new_metric_is_skipped() {
+        // A baseline written before `rtl.utilization` existed must not
+        // fail against a fresh summary that carries it — adding metrics
+        // never requires `[bench-reset]`.
+        let mut b = summary(21321.0, 577000.0, 10757.0);
+        let f = summary(21321.0, 577000.0, 10757.0);
+        if let Json::Obj(fields) = &mut b {
+            fields.retain(|(k, _)| k.as_str() != "utilization");
+            for (k, v) in fields.iter_mut() {
+                if k.as_str() == "rtl" {
+                    if let Json::Obj(rtl) = v {
+                        rtl.retain(|(k, _)| k.as_str() != "active_cycles");
+                    }
+                }
+            }
+        }
+        let v = compare_bench_summaries(&b, &f, &GatePolicy::default());
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn unknown_fields_on_either_side_are_ignored() {
+        let b = summary(21321.0, 577000.0, 10757.0);
+        let mut f = summary(21321.0, 577000.0, 10757.0);
+        if let Json::Obj(fields) = &mut f {
+            fields.push(("future_metric".to_string(), Json::num(1.0)));
+        }
+        let v = compare_bench_summaries(&b, &f, &GatePolicy::default());
+        assert!(v.is_empty(), "violations: {v:?}");
     }
 
     #[test]

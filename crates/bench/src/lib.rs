@@ -7,10 +7,15 @@
 
 mod artifacts;
 mod gate;
+mod history;
 mod report;
 
 pub use artifacts::write_divergence_bundle;
 pub use gate::{compare_bench_summaries, gate_bench_text, GatePolicy};
+pub use history::{
+    append_entry, detect_drift, history_path, load_history, render_history_table, sparkline, Drift,
+    HistoryEntry, DRIFT_THRESHOLD, DRIFT_WINDOW, WATCHED_METRICS,
+};
 pub use report::{
     attach_full_run, bench_summary_json, build_report, render_report_table, render_timeline_table,
     report_json, LayerProfile, PerfReport, Roofline, StallBreakdown,

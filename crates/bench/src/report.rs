@@ -337,11 +337,27 @@ pub fn report_json(r: &PerfReport) -> Json {
         (
             "rtl_counters",
             match &r.rtl_counters {
-                Some(c) => counter_set_json(c),
+                Some(c) => {
+                    let mut j = counter_set_json(c);
+                    if let Json::Obj(fields) = &mut j {
+                        fields.push(("utilization".to_string(), Json::num(rtl_utilization(c))));
+                    }
+                    j
+                }
                 None => Json::Null,
             },
         ),
     ])
+}
+
+/// Derived RTL duty cycle — `active_cycles / cycles` out of the
+/// fabric's own counter registers (0 when the run recorded no cycles).
+fn rtl_utilization(c: &CounterSet) -> f64 {
+    if c.cycles == 0 {
+        0.0
+    } else {
+        c.active_cycles as f64 / c.cycles as f64
+    }
 }
 
 /// The small committed-baseline image (`BENCH_<name>.json`): headline
@@ -382,6 +398,7 @@ pub fn bench_summary_json(r: &PerfReport) -> Json {
                     ("active_cycles", Json::num(c.active_cycles as f64)),
                     ("stall_cycles", Json::num(c.stall_cycles as f64)),
                     ("agu_bursts", Json::num(c.agu_bursts as f64)),
+                    ("utilization", Json::num(rtl_utilization(c))),
                 ]),
                 None => Json::Null,
             },
@@ -508,10 +525,13 @@ pub fn render_timeline_table(tl: &RunTimeline) -> String {
         ("burst length", &tl.burst_lengths),
         ("stall cycles", &tl.stall_cycles),
     ] {
+        // min/max are tracked exactly; p50/p95 are conservative log2
+        // bucket upper edges (clamped to the exact max).
         let _ = writeln!(
             out,
-            "  {:<13} p50 {:>8} p95 {:>8} max {:>8}  ({} samples)",
+            "  {:<13} min {:>8} p50 {:>8} p95 {:>8} max {:>8}  ({} samples)",
             name,
+            h.min(),
             h.p50(),
             h.p95(),
             h.max(),

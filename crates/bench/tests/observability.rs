@@ -78,7 +78,7 @@ fn timeline_tables_render_for_zoo_benchmarks() {
                 s.segment
             );
         }
-        for needle in ["p50", "p95", "max", "words/kcycle", "share"] {
+        for needle in ["min", "p50", "p95", "max", "words/kcycle", "share"] {
             assert!(
                 table.contains(needle),
                 "{}: `{needle}` missing:\n{table}",

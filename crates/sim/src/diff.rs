@@ -375,6 +375,11 @@ pub struct DiffOptions {
     /// Off by default — it replays the whole network through the
     /// interpreter a second time.
     pub full_rtl: bool,
+    /// Enable the engine hot-spot profiler on the full-network run
+    /// (requires `full_rtl`): per-level/per-opcode attribution comes
+    /// back as [`crate::FullRunReport::profile`]. The counting engine
+    /// loop is only entered when enabled, so this is free when off.
+    pub profile: bool,
 }
 
 impl Default for DiffOptions {
@@ -386,6 +391,7 @@ impl Default for DiffOptions {
             counter_beat_cap: crate::counters::DEFAULT_BEAT_CAP,
             engine: SimEngine::default(),
             full_rtl: false,
+            profile: false,
         }
     }
 }
@@ -1675,6 +1681,7 @@ pub fn diff_design(
             // keep the control-top's final window even if the full run
             // itself stays clean.
             flight_force: !report.divergences.is_empty(),
+            profile: opts.profile,
             ..crate::fullrun::FullRunOptions::default()
         };
         let full = crate::fullrun::full_network_run(design, net, weights, input, &base)?;

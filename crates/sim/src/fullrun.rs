@@ -108,6 +108,12 @@ pub struct FullRunOptions {
     /// Hard cap on simulated cycles; `0` derives `4 * predicted + 1024`
     /// from the fabric model, so a hung coordinator terminates.
     pub cycle_cap: u64,
+    /// Profile the simulation engine during the run (counter-based; see
+    /// `deepburning_trace::prof`). The compiled engine attributes evals
+    /// and executed opcodes per tape level/module and records dirty-set
+    /// occupancy; the Tree engine reports its coarse per-module
+    /// attribution. The snapshot lands in [`FullRunReport::profile`].
+    pub profile: bool,
 }
 
 impl Default for FullRunOptions {
@@ -119,6 +125,7 @@ impl Default for FullRunOptions {
             flight_depth: DEFAULT_FLIGHT_DEPTH,
             flight_force: false,
             cycle_cap: 0,
+            profile: false,
         }
     }
 }
@@ -259,6 +266,11 @@ pub struct FullRunReport {
     pub flight_window: Option<FlightWindow>,
     /// The phase timeline observed on the control wires.
     pub timeline: RunTimeline,
+    /// Engine hot-spot profile, when [`FullRunOptions::profile`] was
+    /// set: per-level/per-opcode attribution over the control top's
+    /// instruction tape (compiled engine) or coarse per-module counts
+    /// (Tree engine).
+    pub profile: Option<deepburning_trace::prof::EngineProfile>,
 }
 
 impl FullRunReport {
@@ -693,6 +705,9 @@ pub fn full_network_run_to_sink(
     // ---- drive the control top -------------------------------------------
     let ctl = assemble_control_top(net, compiled);
     let mut sim = opts.engine.elaborate(&ctl, &ctl.top)?;
+    if opts.profile {
+        sim.prof_enable();
+    }
     let words = context_words(compiled);
     for (rom, idx) in [
         ("ctx_trig_main", 0),
@@ -1087,6 +1102,11 @@ pub fn full_network_run_to_sink(
         }
     }
     let flight_window = flight.as_ref().and_then(FlightRecorder::render_vcd);
+    let profile = if opts.profile {
+        sim.prof_profile()
+    } else {
+        None
+    };
 
     Ok(FullRunReport {
         network: net.name().to_string(),
@@ -1102,6 +1122,7 @@ pub fn full_network_run_to_sink(
         vcd_path,
         flight_window,
         timeline,
+        profile,
     })
 }
 

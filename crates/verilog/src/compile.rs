@@ -29,6 +29,10 @@
 use crate::ast::*;
 use crate::interp::{flatten_design, InterpStats, Interpreter, SimulateError, Simulator};
 use crate::vcd::VcdRecorder;
+#[cfg(feature = "prof")]
+use deepburning_trace::prof::{CutProf, EngineProfile, OpcodeProf, SegmentProf, SweepProf};
+#[cfg(feature = "prof")]
+use deepburning_trace::Histogram;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
@@ -147,6 +151,41 @@ enum Op {
     JumpIfZero(u32),
     Jump(u32),
     Fail(Box<str>),
+}
+
+/// Opcode-category names for per-opcode profiling, indexed by
+/// [`opcode_index`]. Kept in variant order of [`Op`].
+#[cfg(feature = "prof")]
+const OPCODE_NAMES: [&str; 11] = [
+    "Sig",
+    "Lit",
+    "Un",
+    "Bin",
+    "BitIdx",
+    "WordIdx",
+    "Slice",
+    "Cat",
+    "JumpIfZero",
+    "Jump",
+    "Fail",
+];
+
+/// Index into [`OPCODE_NAMES`] for one opcode.
+#[cfg(feature = "prof")]
+fn opcode_index(op: &Op) -> usize {
+    match op {
+        Op::Sig(_) => 0,
+        Op::Lit { .. } => 1,
+        Op::Un(_) => 2,
+        Op::Bin(_) => 3,
+        Op::BitIdx(_) => 4,
+        Op::WordIdx(_) => 5,
+        Op::Slice { .. } => 6,
+        Op::Cat(_) => 7,
+        Op::JumpIfZero(_) => 8,
+        Op::Jump(_) => 9,
+        Op::Fail(_) => 10,
+    }
 }
 
 /// A lowered expression: a postfix op sequence leaving one
@@ -274,10 +313,38 @@ pub struct CompiledSim {
     /// Instance-path table and per-path eval counts.
     module_paths: Vec<String>,
     module_evals: Vec<u64>,
+    /// Per-tape-slot topological level (longest dependency path from
+    /// any clocked/input root). Cheap to carry unconditionally; read by
+    /// the profiler and by future partitioning work.
+    instr_levels: Vec<u32>,
+    /// Profiler state; `None` until [`CompiledSim::prof_enable`] — the
+    /// settle dispatcher takes the plain (uncounted) path while unset.
+    #[cfg(feature = "prof")]
+    prof: Option<Box<ProfState>>,
     vcd: Option<Box<VcdRecorder>>,
     vcd_slots: Vec<SlotId>,
     /// Reused operand stack for program execution.
     scratch: Vec<(u64, u32)>,
+}
+
+/// Counter-based profiler state for the compiled engine: everything is
+/// a plain accumulator bumped inline on the profiled settle path — no
+/// sampling thread, no clock reads inside the eval loop.
+#[cfg(feature = "prof")]
+#[derive(Debug, Default)]
+struct ProfState {
+    /// Per-tape-slot eval counts (indexed like `tape`).
+    instr_evals: Vec<u64>,
+    /// Per-tape-slot executed-opcode counts (indexed like `tape`).
+    instr_ops: Vec<u64>,
+    /// Executed-opcode counts by opcode category ([`OPCODE_NAMES`]).
+    opcode_counts: [u64; OPCODE_NAMES.len()],
+    /// Settle sweeps observed while profiling.
+    sweeps: u64,
+    /// Evals whose destination value did not change (wasted wakeups).
+    wasted: u64,
+    /// Dirty-set occupancy (instructions woken) per settle sweep.
+    occupancy: Histogram,
 }
 
 /// The immutable state a program executes against — split out from
@@ -355,6 +422,129 @@ fn exec(
                     BinaryOp::Shl => ((lv << (rv & 63)) & mask(lw), lw),
                     BinaryOp::Shr => {
                         // Arithmetic shift on the left operand's width.
+                        let sv = signed(lv, lw) >> (rv & 63);
+                        ((sv as u64) & mask(lw), lw)
+                    }
+                    BinaryOp::Eq => (u64::from((lv & m) == (rv & m)), 1),
+                    BinaryOp::Ne => (u64::from((lv & m) != (rv & m)), 1),
+                    BinaryOp::Lt => (u64::from(lv < rv), 1),
+                    BinaryOp::Slt => (u64::from(signed(lv, lw) < signed(rv, rw)), 1),
+                    BinaryOp::Ge => (u64::from(lv >= rv), 1),
+                    BinaryOp::LogAnd => (u64::from(lv != 0 && rv != 0), 1),
+                    BinaryOp::LogOr => (u64::from(lv != 0 || rv != 0), 1),
+                });
+            }
+            Op::BitIdx(s) => {
+                let (i, _) = stack.pop().expect("bit index");
+                stack.push(((ctx.values[*s] >> (i & 63)) & 1, 1));
+            }
+            Op::WordIdx(m) => {
+                let (i, _) = stack.pop().expect("word index");
+                let w = ctx.slots[ctx.mem_slot[*m]].width;
+                let v = ctx.mems[*m].get(i as usize).copied().unwrap_or(0);
+                stack.push((v & mask(w), w));
+            }
+            Op::Slice { hi, lo } => {
+                let (v, _) = stack.pop().expect("slice base");
+                let w = hi - lo + 1;
+                stack.push(((v >> lo) & mask(w), w));
+            }
+            Op::Cat(n) => {
+                let base = stack.len() - *n as usize;
+                let mut acc = 0u64;
+                let mut total = 0u32;
+                for &(v, w) in &stack[base..] {
+                    acc = (acc << w) | (v & mask(w));
+                    total += w;
+                }
+                stack.truncate(base);
+                stack.push((acc & mask(total), total));
+            }
+            Op::JumpIfZero(t) => {
+                let (c, _) = stack.pop().expect("ternary condition");
+                if c == 0 {
+                    pc = *t as usize;
+                    continue;
+                }
+            }
+            Op::Jump(t) => {
+                pc = *t as usize;
+                continue;
+            }
+            Op::Fail(message) => return Err(err(message.to_string())),
+        }
+        pc += 1;
+    }
+    Ok(stack.pop().expect("program leaves a result"))
+}
+
+/// Profiled twin of [`exec`]: identical semantics plus per-opcode and
+/// total executed-op counting. Kept as a deliberate duplicate (rather
+/// than a const-generic flag threaded through the hot loop) so the
+/// unprofiled path carries zero extra state; the
+/// `profiled_matches_unprofiled` test pins the two to identical
+/// behaviour.
+#[cfg(feature = "prof")]
+fn exec_prof(
+    ctx: &ExecCtx,
+    ops: &[Op],
+    stack: &mut Vec<(u64, u32)>,
+    opcode_counts: &mut [u64; OPCODE_NAMES.len()],
+    ops_executed: &mut u64,
+) -> Result<(u64, u32), SimulateError> {
+    stack.clear();
+    let mut pc = 0usize;
+    while let Some(op) = ops.get(pc) {
+        opcode_counts[opcode_index(op)] += 1;
+        *ops_executed += 1;
+        match op {
+            Op::Sig(s) => {
+                let w = ctx.slots[*s].width;
+                stack.push((ctx.values[*s] & mask(w), w));
+            }
+            Op::Lit { width, value } => stack.push((*value, *width)),
+            Op::Un(op) => {
+                let (v, w) = stack.pop().expect("unary operand");
+                stack.push(match op {
+                    UnaryOp::Not => (u64::from(v == 0), 1),
+                    UnaryOp::BitNot => (!v & mask(w), w),
+                    UnaryOp::Neg => (v.wrapping_neg() & mask(w), w),
+                    UnaryOp::RedOr => (u64::from(v != 0), 1),
+                    UnaryOp::RedAnd => (u64::from(v == mask(w)), 1),
+                });
+            }
+            Op::Bin(op) => {
+                let (rv, rw) = stack.pop().expect("binary rhs");
+                let (lv, lw) = stack.pop().expect("binary lhs");
+                let w = lw.max(rw);
+                let m = mask(w);
+                let signed = |v: u64, w: u32| -> i64 {
+                    let m = mask(w);
+                    let v = v & m;
+                    if w < 64 && v >> (w - 1) != 0 {
+                        (v | !m) as i64
+                    } else {
+                        v as i64
+                    }
+                };
+                stack.push(match op {
+                    BinaryOp::Add => (lv.wrapping_add(rv) & m, w),
+                    BinaryOp::Sub => (lv.wrapping_sub(rv) & m, w),
+                    BinaryOp::Mul => (lv.wrapping_mul(rv) & m, w),
+                    BinaryOp::Div => {
+                        let d = signed(rv, rw);
+                        let q = if d == 0 {
+                            0
+                        } else {
+                            signed(lv, lw).wrapping_div(d)
+                        };
+                        ((q as u64) & m, w)
+                    }
+                    BinaryOp::And => (lv & rv, w),
+                    BinaryOp::Or => (lv | rv, w),
+                    BinaryOp::Xor => (lv ^ rv, w),
+                    BinaryOp::Shl => ((lv << (rv & 63)) & mask(lw), lw),
+                    BinaryOp::Shr => {
                         let sv = signed(lv, lw) >> (rv & 63);
                         ((sv as u64) & mask(lw), lw)
                     }
@@ -692,10 +882,14 @@ impl CompiledSim {
             }
         }
         let mut order = Vec::with_capacity(instrs.len());
+        // Longest-path level per instruction: every edge `i -> r` is
+        // relaxed before `r` pops, so `level[r]` is final at pop time.
+        let mut level = vec![0u32; instrs.len()];
         while let Some(std::cmp::Reverse(i)) = ready.pop() {
             order.push(i);
             for &r in &successors[i] {
                 indegree[r] -= 1;
+                level[r] = level[r].max(level[i] + 1);
                 if indegree[r] == 0 {
                     ready.push(std::cmp::Reverse(r));
                 }
@@ -727,6 +921,7 @@ impl CompiledSim {
             .iter()
             .map(|&i| instr_storage[i].take().expect("each instr placed once"))
             .collect();
+        let instr_levels: Vec<u32> = order.iter().map(|&i| level[i]).collect();
 
         // Fanout lists over the final tape order, flattened to CSR.
         let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); slots.len()];
@@ -792,6 +987,9 @@ impl CompiledSim {
             stats: InterpStats::default(),
             module_paths,
             module_evals,
+            instr_levels,
+            #[cfg(feature = "prof")]
+            prof: None,
             vcd: None,
             vcd_slots: Vec::new(),
             scratch: Vec::with_capacity(64),
@@ -908,7 +1106,19 @@ impl CompiledSim {
     /// scan walks dirty *words* via `trailing_zeros`, so a handful of
     /// dirty instructions on a multi-thousand-entry tape cost a few
     /// word reads, not a per-instruction sweep.
+    ///
+    /// Dispatches to the plain or profiled drain; without the `prof`
+    /// feature this compiles down to a direct call to
+    /// [`CompiledSim::settle_plain`].
     fn settle(&mut self) -> Result<(), SimulateError> {
+        #[cfg(feature = "prof")]
+        if self.prof.is_some() {
+            return self.settle_prof();
+        }
+        self.settle_plain()
+    }
+
+    fn settle_plain(&mut self) -> Result<(), SimulateError> {
         self.stats.settle_passes += 1;
         if self.dirty_lo == usize::MAX {
             return Ok(());
@@ -961,6 +1171,212 @@ impl CompiledSim {
         self.dirty_lo = usize::MAX;
         self.dirty_hi = 0;
         result
+    }
+
+    /// Profiled twin of [`CompiledSim::settle_plain`]: the identical
+    /// drain plus per-instruction eval/op attribution, wasted-wakeup
+    /// counting and dirty-set occupancy recording. The [`ProfState`] is
+    /// moved out for the duration so `apply` can still borrow `self`.
+    #[cfg(feature = "prof")]
+    fn settle_prof(&mut self) -> Result<(), SimulateError> {
+        let mut prof = self.prof.take().expect("settle_prof requires prof state");
+        self.stats.settle_passes += 1;
+        prof.sweeps += 1;
+        if self.dirty_lo == usize::MAX {
+            prof.occupancy.record(0);
+            self.prof = Some(prof);
+            return Ok(());
+        }
+        let mut stack = std::mem::take(&mut self.scratch);
+        let mut result = Ok(());
+        let mut woken = 0u64;
+        let mut w = self.dirty_lo >> 6;
+        'words: while w <= self.dirty_hi >> 6 && w < self.dirty.len() {
+            while self.dirty[w] != 0 {
+                let bit = self.dirty[w].trailing_zeros() as usize;
+                self.dirty[w] &= !(1u64 << bit);
+                let i = (w << 6) | bit;
+                self.stats.assign_evals += 1;
+                woken += 1;
+                prof.instr_evals[i] += 1;
+                let instr = std::mem::replace(
+                    &mut self.tape[i],
+                    Instr {
+                        dst: Dst::SliceNoop,
+                        rhs: Prog::default(),
+                        module: 0,
+                    },
+                );
+                // Destination index programs inside `apply` run through
+                // the plain `exec` and are not op-counted; attribution
+                // covers the rhs tape, which dominates.
+                let mut ops_here = 0u64;
+                let outcome = exec_prof(
+                    &self.ctx(),
+                    &instr.rhs,
+                    &mut stack,
+                    &mut prof.opcode_counts,
+                    &mut ops_here,
+                )
+                .and_then(|(v, _)| self.apply(&instr.dst, v, &mut stack));
+                prof.instr_ops[i] += ops_here;
+                self.module_evals[instr.module as usize] += 1;
+                self.tape[i] = instr;
+                match outcome {
+                    Ok(Some(change)) => self.mark_change(change),
+                    Ok(None) => prof.wasted += 1,
+                    Err(e) => {
+                        result = Err(e);
+                        break 'words;
+                    }
+                }
+            }
+            w += 1;
+        }
+        prof.occupancy.record(woken);
+        self.scratch = stack;
+        if result.is_err() {
+            self.dirty.iter_mut().for_each(|w| *w = 0);
+        }
+        self.dirty_lo = usize::MAX;
+        self.dirty_hi = 0;
+        self.prof = Some(prof);
+        result
+    }
+
+    /// Starts profiling: every subsequent settle takes the counted
+    /// path. Counters accumulate across calls to `clock`; idempotent
+    /// (re-enabling keeps existing counts).
+    #[cfg(feature = "prof")]
+    pub fn prof_enable(&mut self) {
+        if self.prof.is_none() {
+            self.prof = Some(Box::new(ProfState {
+                instr_evals: vec![0; self.tape.len()],
+                instr_ops: vec![0; self.tape.len()],
+                ..ProfState::default()
+            }));
+        }
+    }
+
+    /// Snapshots the accumulated profile, or `None` if
+    /// [`CompiledSim::prof_enable`] was never called.
+    #[cfg(feature = "prof")]
+    pub fn prof_profile(&self) -> Option<EngineProfile> {
+        let prof = self.prof.as_ref()?;
+        let total_evals: u64 = prof.instr_evals.iter().sum();
+        let total_ops: u64 = prof.instr_ops.iter().sum();
+
+        // Tape segments keyed (module, level).
+        let mut seg: BTreeMap<(u32, u32), (u64, u64, u64)> = BTreeMap::new();
+        for (i, instr) in self.tape.iter().enumerate() {
+            let e = seg.entry((instr.module, self.instr_levels[i])).or_default();
+            e.0 += 1;
+            e.1 += prof.instr_evals[i];
+            e.2 += prof.instr_ops[i];
+        }
+        let segments = seg
+            .into_iter()
+            .map(|((module, level), (instrs, evals, ops))| SegmentProf {
+                module: self.module_paths[module as usize].clone(),
+                level,
+                instrs,
+                evals,
+                ops,
+            })
+            .collect();
+
+        let opcodes = OPCODE_NAMES
+            .iter()
+            .zip(prof.opcode_counts.iter())
+            .map(|(&opcode, &count)| OpcodeProf { opcode, count })
+            .collect();
+
+        // Cross-level traffic per register-boundary cut: an eval of
+        // instruction `i` feeding a strictly later level `lt` crosses
+        // every cut in `(level[i], lt]`; accumulated with a difference
+        // array and prefix-summed.
+        let max_level = self.instr_levels.iter().copied().max().unwrap_or(0);
+        let mut diff = vec![0i64; max_level as usize + 2];
+        for (i, instr) in self.tape.iter().enumerate() {
+            let e = prof.instr_evals[i];
+            if e == 0 {
+                continue;
+            }
+            let li = self.instr_levels[i];
+            let (lo, hi, mem) = match &instr.dst {
+                Dst::Whole(s) | Dst::Bit(s, _) | Dst::Slice(s, _, _) => {
+                    (self.fanout_off[*s], self.fanout_off[*s + 1], false)
+                }
+                Dst::Word(m, _) => (self.mem_fanout_off[*m], self.mem_fanout_off[*m + 1], true),
+                Dst::SliceNoop | Dst::Fail(_) => continue,
+            };
+            for k in lo as usize..hi as usize {
+                let t = if mem {
+                    self.mem_fanout_idx[k]
+                } else {
+                    self.fanout_idx[k]
+                } as usize;
+                let lt = self.instr_levels[t];
+                if lt > li {
+                    diff[li as usize + 1] += e as i64;
+                    diff[lt as usize + 1] -= e as i64;
+                }
+            }
+        }
+        let mut cuts = Vec::new();
+        let mut acc = 0i64;
+        for (cut, &d) in diff.iter().enumerate().take(max_level as usize + 1).skip(1) {
+            acc += d;
+            cuts.push(CutProf {
+                level: cut as u32,
+                cross_evals: acc.max(0) as u64,
+            });
+        }
+
+        Some(EngineProfile {
+            engine: "compiled".to_string(),
+            total_evals,
+            total_ops,
+            segments,
+            opcodes,
+            sweeps: SweepProf {
+                sweeps: prof.sweeps,
+                evals: total_evals,
+                wasted_wakeups: prof.wasted,
+                dirty_occupancy: prof.occupancy.clone(),
+            },
+            cuts,
+        })
+    }
+
+    /// Topological level of each tape instruction, in tape order — the
+    /// longest dependency path from any clocked/input root. The
+    /// profiler aggregates over this; partitioning experiments can read
+    /// it directly.
+    pub fn instr_levels(&self) -> &[u32] {
+        &self.instr_levels
+    }
+
+    /// Marks the entire tape dirty — benchmark hook for measuring a
+    /// full-tape settle sweep.
+    #[doc(hidden)]
+    pub fn dirty_all(&mut self) {
+        for t in 0..self.tape.len() {
+            self.mark_instr(t);
+        }
+    }
+
+    /// Benchmark hook: settles via the uncounted drain directly.
+    #[doc(hidden)]
+    pub fn settle_direct(&mut self) -> Result<(), SimulateError> {
+        self.settle_plain()
+    }
+
+    /// Benchmark hook: settles via the profiler dispatcher, as the
+    /// production paths do.
+    #[doc(hidden)]
+    pub fn settle_dispatch(&mut self) -> Result<(), SimulateError> {
+        self.settle()
     }
 
     fn run_cstmts<'b>(
@@ -1308,6 +1724,16 @@ impl Simulator for CompiledSim {
 
     fn signal_width(&self, name: &str) -> Option<u32> {
         CompiledSim::signal_width(self, name)
+    }
+
+    #[cfg(feature = "prof")]
+    fn prof_enable(&mut self) {
+        CompiledSim::prof_enable(self);
+    }
+
+    #[cfg(feature = "prof")]
+    fn prof_profile(&self) -> Option<EngineProfile> {
+        CompiledSim::prof_profile(self)
     }
 }
 
@@ -1693,6 +2119,93 @@ mod tests {
             nets.push(name);
         }
         (Design::new(m), nets)
+    }
+
+    /// Drives `sim` through the same mixed reset/write stimulus the
+    /// equivalence tests use.
+    fn drive(sim: &mut CompiledSim, steps: u64) {
+        for step in 0..steps {
+            sim.poke("rst", u64::from(step % 13 == 0)).expect("poke");
+            sim.poke("wen", u64::from(step % 3 != 0)).expect("poke");
+            sim.clock().expect("clock");
+        }
+    }
+
+    /// The profiled drain must be behaviourally identical to the plain
+    /// one — this is the test that licenses `exec_prof` existing as a
+    /// duplicate of `exec`.
+    #[cfg(feature = "prof")]
+    #[test]
+    fn profiled_matches_unprofiled() {
+        let design = counter_ram();
+        let mut plain = CompiledSim::compile(&design, "dut").expect("compile");
+        let mut prof = CompiledSim::compile(&design, "dut").expect("compile");
+        prof.prof_enable();
+        drive(&mut plain, 40);
+        drive(&mut prof, 40);
+        for n in ["q", "dout", "count", "addr"] {
+            assert_eq!(
+                plain.read(n).expect("plain read"),
+                prof.read(n).expect("prof read"),
+                "signal `{n}` diverged under profiling"
+            );
+        }
+        let (ps, fs) = (plain.stats(), prof.stats());
+        assert_eq!(ps.clock_edges, fs.clock_edges);
+        assert_eq!(ps.settle_passes, fs.settle_passes);
+        assert_eq!(ps.assign_evals, fs.assign_evals);
+        assert_eq!(ps.nba_writes, fs.nba_writes);
+        assert_eq!(plain.evals_by_module(), prof.evals_by_module());
+    }
+
+    /// Attribution invariants: segment evals sum to the total, opcode
+    /// counts sum to the op total, and an op executes for every eval.
+    #[cfg(feature = "prof")]
+    #[test]
+    fn profile_attribution_sums_are_consistent() {
+        let design = counter_ram();
+        let mut sim = CompiledSim::compile(&design, "dut").expect("compile");
+        assert!(sim.prof_profile().is_none(), "no profile before enable");
+        sim.prof_enable();
+        drive(&mut sim, 40);
+        let p = sim.prof_profile().expect("profile");
+        assert_eq!(p.engine, "compiled");
+        assert!(p.total_evals > 0, "stimulus must exercise the tape");
+        let seg_evals: u64 = p.segments.iter().map(|s| s.evals).sum();
+        let seg_ops: u64 = p.segments.iter().map(|s| s.ops).sum();
+        let op_counts: u64 = p.opcodes.iter().map(|o| o.count).sum();
+        assert_eq!(seg_evals, p.total_evals);
+        assert_eq!(seg_ops, p.total_ops);
+        assert_eq!(op_counts, p.total_ops);
+        assert_eq!(p.sweeps.evals, p.total_evals);
+        assert!(
+            p.total_ops >= p.total_evals,
+            "every eval executes at least one op"
+        );
+        assert!(p.sweeps.sweeps > 0);
+        assert_eq!(p.sweeps.dirty_occupancy.count(), p.sweeps.sweeps);
+    }
+
+    /// The levelizer's longest-path levels respect tape dependencies:
+    /// `addr` derives from `count` (level 0 sources feed it), and
+    /// `dout` reads `ram[addr]` so it must sit strictly above `addr`.
+    #[cfg(feature = "prof")]
+    #[test]
+    fn profile_levels_follow_dependencies() {
+        let design = counter_ram();
+        let mut sim = CompiledSim::compile(&design, "dut").expect("compile");
+        sim.prof_enable();
+        drive(&mut sim, 8);
+        let p = sim.prof_profile().expect("profile");
+        let max_level = p.segments.iter().map(|s| s.level).max().unwrap_or(0);
+        assert!(max_level >= 1, "dout depends on addr: at least two levels");
+        for cut in &p.cuts {
+            assert!(cut.level >= 1 && cut.level <= max_level);
+        }
+        assert!(
+            p.cuts.iter().any(|c| c.cross_evals > 0),
+            "count -> addr -> dout traffic must cross a level boundary"
+        );
     }
 
     proptest! {

@@ -177,6 +177,19 @@ pub trait Simulator {
     /// Width in bits of a scalar signal, or `None` for unknown signals
     /// and memories. Used by flight recorders to build watch lists.
     fn signal_width(&self, name: &str) -> Option<u32>;
+
+    /// Starts hot-spot profiling (counter-based; see
+    /// `deepburning_trace::prof`). Engines without a profiler ignore
+    /// the call.
+    #[cfg(feature = "prof")]
+    fn prof_enable(&mut self) {}
+
+    /// Snapshot of the accumulated profile, or `None` when profiling
+    /// was never enabled (or the engine has no profiler).
+    #[cfg(feature = "prof")]
+    fn prof_profile(&self) -> Option<deepburning_trace::prof::EngineProfile> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -387,6 +400,28 @@ pub struct Interpreter {
     /// dumped signal names in recorder order.
     vcd: Option<Box<VcdRecorder>>,
     vcd_names: Vec<String>,
+    /// Instance-path table and per-path eval counts — the Tree engine's
+    /// coarse attribution, matching the compiled engine's
+    /// `evals_by_module` semantics (assign evals plus NBA writes,
+    /// attributed to the destination signal's instance path).
+    module_paths: Vec<String>,
+    module_evals: Vec<u64>,
+    /// Per-assign module id (indexed like `assigns`).
+    assign_module: Vec<u32>,
+    /// Module id by instance path, for NBA-write attribution at runtime.
+    module_of: BTreeMap<String, u32>,
+    /// Assign evals whose destination value did not change — the Tree
+    /// engine's analogue of the compiled engine's wasted wakeups.
+    wasted_evals: u64,
+}
+
+/// Root identifier of an lvalue expression (`a.b.c[i]` → `a.b.c`).
+fn lhs_root(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Id(n) => Some(n),
+        Expr::Index(b, _) | Expr::Slice(b, _, _) => lhs_root(b),
+        _ => None,
+    }
 }
 
 fn prefixed(prefix: &str, name: &str) -> String {
@@ -506,6 +541,29 @@ impl Interpreter {
                 },
             );
         }
+        // Instance-path table keyed like the compiled engine's: module
+        // id 0 is the top (`""`), others are flattened instance paths.
+        let mut module_paths: Vec<String> = vec![String::new()];
+        let mut module_of: BTreeMap<String, u32> = BTreeMap::new();
+        module_of.insert(String::new(), 0);
+        for sig in &flat.signals {
+            let path = sig.name.rsplit_once('.').map_or("", |(p, _)| p);
+            if !module_of.contains_key(path) {
+                module_of.insert(path.to_string(), module_paths.len() as u32);
+                module_paths.push(path.to_string());
+            }
+        }
+        let assign_module: Vec<u32> = flat
+            .assigns
+            .iter()
+            .map(|(lhs, _)| {
+                let path = lhs_root(lhs)
+                    .and_then(|root| root.rsplit_once('.'))
+                    .map_or("", |(p, _)| p);
+                module_of.get(path).copied().unwrap_or(0)
+            })
+            .collect();
+        let module_evals = vec![0; module_paths.len()];
         let mut interp = Interpreter {
             signals,
             assigns: flat.assigns,
@@ -515,6 +573,11 @@ impl Interpreter {
             stats: InterpStats::default(),
             vcd: None,
             vcd_names: Vec::new(),
+            module_paths,
+            module_evals,
+            assign_module,
+            module_of,
+            wasted_evals: 0,
         };
         interp.settle()?;
         Ok(interp)
@@ -706,12 +769,15 @@ impl Interpreter {
             let assigns = self.assigns.clone();
             self.stats.settle_passes += 1;
             self.stats.assign_evals += assigns.len() as u64;
-            for (lhs, rhs) in &assigns {
+            for (idx, (lhs, rhs)) in assigns.iter().enumerate() {
                 let (v, _) = self.eval(rhs)?;
+                self.module_evals[self.assign_module[idx] as usize] += 1;
                 let before = self.eval_lhs_current(lhs)?;
                 if before != Some(v) {
                     self.write_signal(lhs, v)?;
                     changed = true;
+                } else {
+                    self.wasted_evals += 1;
                 }
             }
             if !changed {
@@ -850,6 +916,11 @@ impl Interpreter {
         }
         self.stats.nba_writes += nba.len() as u64;
         for (lhs, v) in nba {
+            let path = lhs_root(&lhs)
+                .and_then(|root| root.rsplit_once('.'))
+                .map_or("", |(p, _)| p);
+            let module = self.module_of.get(path).copied().unwrap_or(0);
+            self.module_evals[module as usize] += 1;
             self.write_signal(&lhs, v)?;
         }
         self.cycles += 1;
@@ -872,6 +943,67 @@ impl Interpreter {
     /// Number of flattened signals (diagnostics).
     pub fn signal_count(&self) -> usize {
         self.signals.len()
+    }
+
+    /// Evaluations attributed per flattened instance path (`""` is the
+    /// top module), descending by count. Matches the compiled engine's
+    /// attribution semantics (assign evals plus NBA writes keyed by
+    /// destination), though absolute counts differ: the Tree engine
+    /// re-evaluates every assign each settle pass while the compiled
+    /// engine wakes only dirty fanout cones.
+    pub fn evals_by_module(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .module_paths
+            .iter()
+            .zip(&self.module_evals)
+            .filter(|(_, &n)| n > 0)
+            .map(|(p, &n)| (p.clone(), n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Coarse profile for engine comparability: per-module segments at
+    /// level 0 with `ops == evals` (the Tree engine walks one AST node
+    /// set per eval, so evals are the only cost proxy available), no
+    /// per-opcode breakdown and no cut table. Always available — the
+    /// Tree engine's attribution is unconditional.
+    #[cfg(feature = "prof")]
+    pub fn prof_profile(&self) -> Option<deepburning_trace::prof::EngineProfile> {
+        use deepburning_trace::prof::{EngineProfile, SegmentProf, SweepProf};
+        let mut assigns_per_module = vec![0u64; self.module_paths.len()];
+        for &m in &self.assign_module {
+            assigns_per_module[m as usize] += 1;
+        }
+        let total_evals: u64 = self.module_evals.iter().sum();
+        let segments = self
+            .module_paths
+            .iter()
+            .zip(&self.module_evals)
+            .zip(&assigns_per_module)
+            .filter(|((_, &evals), &instrs)| evals > 0 || instrs > 0)
+            .map(|((path, &evals), &instrs)| SegmentProf {
+                module: path.clone(),
+                level: 0,
+                instrs,
+                evals,
+                ops: evals,
+            })
+            .collect();
+        Some(EngineProfile {
+            engine: "tree".to_string(),
+            total_evals,
+            total_ops: total_evals,
+            segments,
+            opcodes: Vec::new(),
+            sweeps: SweepProf {
+                sweeps: self.stats.settle_passes,
+                evals: total_evals,
+                wasted_wakeups: self.wasted_evals,
+                dirty_occupancy: deepburning_trace::Histogram::new(),
+            },
+            cuts: Vec::new(),
+        })
     }
 
     // -- waveform recording -------------------------------------------------
@@ -1009,6 +1141,15 @@ impl Simulator for Interpreter {
 
     fn signal_width(&self, name: &str) -> Option<u32> {
         Interpreter::signal_width(self, name)
+    }
+
+    fn evals_by_module(&self) -> Vec<(String, u64)> {
+        Interpreter::evals_by_module(self)
+    }
+
+    #[cfg(feature = "prof")]
+    fn prof_profile(&self) -> Option<deepburning_trace::prof::EngineProfile> {
+        Interpreter::prof_profile(self)
     }
 }
 
