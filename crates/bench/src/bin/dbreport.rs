@@ -9,9 +9,20 @@
 //!
 //! ```text
 //! dbreport <benchmark> [--budget small|medium|large] [--out DIR]
-//!          [--beat-cap N] [--engine tree|compiled] [--bench-json]
-//!          [--check] [--analytic] [--timeline]
+//!          [--beat-cap N] [--engine tree|compiled|parallel[:N]]
+//!          [--threads N] [--bench-json] [--check] [--analytic]
+//!          [--timeline]
 //! ```
+//!
+//! `--threads N` sets the RTL engine's lane count, upgrading a compiled
+//! selection to `parallel:N` (`--threads 1` pins the serial compiled
+//! path). Reports stay bit-identical across lane counts; only wall time
+//! and the ledger key change.
+//!
+//! `--vcd FILE` streams the full-network run's control-top waveform to
+//! FILE (requires the full run, so it cannot combine with `--analytic`).
+//! The bytes are engine- and lane-count-invariant; the thread-matrix CI
+//! lane hashes this file per lane count and byte-compares the digests.
 //!
 //! By default the roofline's attained point is driven by *RTL-read*
 //! counters: a full-network run (DESIGN.md §13) drives the coordinator
@@ -34,7 +45,7 @@
 //!
 //! `--history` appends the run's summary to the cross-run JSONL ledger
 //! under `--history-dir` (default `bench/history/`, DESIGN.md §15) keyed
-//! by `--rev` × benchmark × budget × engine, then prints the trend table
+//! by `--rev` × benchmark × budget × engine × threads, then prints the trend table
 //! with rolling-window drift flags — the slow creep the ±2% point gate
 //! cannot see. Use `dbhist` to inspect or check a ledger offline.
 
@@ -91,6 +102,7 @@ struct Args {
     history: bool,
     history_dir: PathBuf,
     rev: String,
+    vcd: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -107,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
         history: false,
         history_dir: PathBuf::from("bench/history"),
         rev: "local".to_string(),
+        vcd: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -131,6 +144,14 @@ fn parse_args() -> Result<Args, String> {
             "--engine" => {
                 args.engine = it.next().ok_or("--engine needs a value")?.parse()?;
             }
+            "--threads" => {
+                let t = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                args.engine = args.engine.with_threads(t);
+            }
             "--bench-json" => args.bench_json = true,
             "--check" => args.check = true,
             "--analytic" => args.analytic = true,
@@ -140,6 +161,7 @@ fn parse_args() -> Result<Args, String> {
                 args.history_dir = PathBuf::from(it.next().ok_or("--history-dir needs a value")?);
             }
             "--rev" => args.rev = it.next().ok_or("--rev needs a value")?,
+            "--vcd" => args.vcd = Some(PathBuf::from(it.next().ok_or("--vcd needs a value")?)),
             other if args.benchmark.is_empty() && !other.starts_with('-') => {
                 args.benchmark = other.to_string();
             }
@@ -148,13 +170,17 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.benchmark.is_empty() {
         return Err("usage: dbreport <benchmark> [--budget small|medium|large] \
-                    [--out DIR] [--beat-cap N] [--engine tree|compiled] \
+                    [--out DIR] [--beat-cap N] \
+                    [--engine tree|compiled|parallel[:N]] [--threads N] \
                     [--bench-json] [--check] [--analytic] [--timeline] \
-                    [--history] [--history-dir DIR] [--rev REV]"
+                    [--history] [--history-dir DIR] [--rev REV] [--vcd FILE]"
             .into());
     }
     if args.timeline && args.analytic {
         return Err("--timeline needs the full-network run; drop --analytic".into());
+    }
+    if args.vcd.is_some() && args.analytic {
+        return Err("--vcd needs the full-network run; drop --analytic".into());
     }
     Ok(args)
 }
@@ -284,6 +310,11 @@ fn run() -> Result<(), String> {
             rng.gen_range(-1.0..1.0f32)
         });
         let full_start = std::time::Instant::now();
+        if let Some(parent) = args.vcd.as_ref().and_then(|p| p.parent()) {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {parent:?}: {e}"))?;
+            }
+        }
         let full = full_network_run(
             &design,
             &bench.network,
@@ -291,6 +322,7 @@ fn run() -> Result<(), String> {
             &input,
             &FullRunOptions {
                 engine: args.engine,
+                vcd_stream: args.vcd.clone(),
                 ..FullRunOptions::default()
             },
         )
@@ -312,6 +344,19 @@ fn run() -> Result<(), String> {
             full.cycle_slack,
             full_start.elapsed().as_secs_f64()
         );
+        if let Some(p) = &full.vcd_path {
+            println!("wrote {}", p.display());
+        }
+        if let Some(par) = &full.par {
+            println!(
+                "parallel settle: {} lanes, {} pool batches (widest {}), \
+                 {:.0}% of evals settled in parallel",
+                par.threads,
+                par.parallel_batches,
+                par.max_batch,
+                par.parallel_share() * 100.0
+            );
+        }
         attach_full_run(&mut report, &full.rtl_counters);
         if args.timeline {
             timeline = Some(full.timeline);
@@ -361,6 +406,7 @@ fn run() -> Result<(), String> {
             &bench_summary_json(&report),
             &args.rev,
             &args.engine.to_string(),
+            args.engine.threads(),
             now,
         )?;
         let ledger = append_entry(&args.history_dir, &entry)?;
@@ -376,6 +422,7 @@ fn run() -> Result<(), String> {
                 &entries,
                 &entry.budget,
                 &entry.engine,
+                entry.threads,
                 DRIFT_WINDOW,
                 DRIFT_THRESHOLD,
             )

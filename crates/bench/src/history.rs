@@ -2,9 +2,12 @@
 //!
 //! An append-only JSONL ledger under `bench/history/` — one file per
 //! benchmark (`<canon(bench)>.jsonl`), one line per recorded run, keyed
-//! by git rev × benchmark × budget × engine. `dbreport --history` and
-//! the CI bench-gate job append to it; `dbhist` renders trend tables
-//! and runs rolling-window regression detection over it.
+//! by git rev × benchmark × budget × engine × threads. `dbreport
+//! --history` and the CI bench-gate job append to it; `dbhist` renders
+//! trend tables and runs rolling-window regression detection over it.
+//! Thread count is part of the canonical key so parallel-engine history
+//! never pollutes a serial drift window (lines predating the field
+//! parse as single-lane).
 //!
 //! The point gate (`benchgate`, ±2% against a single committed
 //! baseline) cannot see slow drift: a metric that creeps +1% per PR
@@ -55,6 +58,10 @@ pub struct HistoryEntry {
     pub budget: String,
     /// Simulation engine that produced the run.
     pub engine: String,
+    /// Resolved simulation lane count (1 for the serial engines; the
+    /// parallel engine records its settled lane count). Part of the
+    /// series key alongside budget and engine.
+    pub threads: u64,
     /// Flattened numeric metrics (`cycles`, `stalls.active_cycles`, …).
     pub metrics: Vec<(String, f64)>,
 }
@@ -93,6 +100,7 @@ impl HistoryEntry {
         summary: &Json,
         rev: &str,
         engine: &str,
+        threads: u64,
         unix_time: u64,
     ) -> Result<HistoryEntry, String> {
         let field = |key: &str| {
@@ -110,6 +118,7 @@ impl HistoryEntry {
             benchmark: field("benchmark")?,
             budget: field("budget")?,
             engine: engine.to_string(),
+            threads: threads.max(1),
             metrics,
         })
     }
@@ -122,6 +131,7 @@ impl HistoryEntry {
             ("benchmark", Json::str(self.benchmark.clone())),
             ("budget", Json::str(self.budget.clone())),
             ("engine", Json::str(self.engine.clone())),
+            ("threads", Json::num(self.threads as f64)),
             (
                 "metrics",
                 Json::Obj(
@@ -161,6 +171,9 @@ impl HistoryEntry {
             benchmark: field("benchmark")?,
             budget: field("budget")?,
             engine: field("engine")?,
+            // Lines predating the parallel engine carry no lane count;
+            // they were all serial single-lane runs.
+            threads: doc.get("threads").and_then(Json::as_f64).unwrap_or(1.0) as u64,
             metrics,
         })
     }
@@ -247,35 +260,37 @@ fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
-/// Entries of one (budget, engine) series, in append order.
+/// Entries of one (budget, engine, threads) series, in append order.
 #[must_use]
 pub fn series<'a>(
     entries: &'a [HistoryEntry],
     budget: &str,
     engine: &str,
+    threads: u64,
 ) -> Vec<&'a HistoryEntry> {
     entries
         .iter()
-        .filter(|e| e.budget == budget && e.engine == engine)
+        .filter(|e| e.budget == budget && e.engine == engine && e.threads == threads)
         .collect()
 }
 
-/// Rolling-window drift detection over one (budget, engine) series:
-/// for each watched metric, compares the mean of the newest `window`
-/// entries against the mean of the oldest `window` (window clamps to
-/// half the series; series shorter than 4 entries are too young to
-/// judge) and flags relative changes beyond `threshold`. This catches
-/// the compounding creep the ±2% single-baseline point gate passes
-/// step by step.
+/// Rolling-window drift detection over one (budget, engine, threads)
+/// series: for each watched metric, compares the mean of the newest
+/// `window` entries against the mean of the oldest `window` (window
+/// clamps to half the series; series shorter than 4 entries are too
+/// young to judge) and flags relative changes beyond `threshold`. This
+/// catches the compounding creep the ±2% single-baseline point gate
+/// passes step by step.
 #[must_use]
 pub fn detect_drift(
     entries: &[HistoryEntry],
     budget: &str,
     engine: &str,
+    threads: u64,
     window: usize,
     threshold: f64,
 ) -> Vec<Drift> {
-    let run = series(entries, budget, engine);
+    let run = series(entries, budget, engine, threads);
     if run.len() < 4 {
         return Vec::new();
     }
@@ -328,29 +343,30 @@ pub fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
-/// Renders the trend table for one (budget, engine) series: per
-/// watched metric the sample count, first and latest value, total
+/// Renders the trend table for one (budget, engine, threads) series:
+/// per watched metric the sample count, first and latest value, total
 /// relative change and a sparkline — followed by any drift flags.
 #[must_use]
 pub fn render_history_table(
     entries: &[HistoryEntry],
     budget: &str,
     engine: &str,
+    threads: u64,
     window: usize,
     threshold: f64,
 ) -> String {
-    let run = series(entries, budget, engine);
+    let run = series(entries, budget, engine, threads);
     let mut out = String::new();
     let Some(latest) = run.last() else {
         let _ = writeln!(
             out,
-            "  history: no entries for budget {budget} x engine {engine}"
+            "  history: no entries for budget {budget} x engine {engine} x {threads} threads"
         );
         return out;
     };
     let _ = writeln!(
         out,
-        "  history: {} runs, {} .. {} (budget {budget} x engine {engine})",
+        "  history: {} runs, {} .. {} (budget {budget} x engine {engine} x {threads} threads)",
         run.len(),
         run[0].rev,
         latest.rev,
@@ -381,7 +397,7 @@ pub fn render_history_table(
             sparkline(&values),
         );
     }
-    let drifts = detect_drift(entries, budget, engine, window, threshold);
+    let drifts = detect_drift(entries, budget, engine, threads, window, threshold);
     for d in &drifts {
         let _ = writeln!(
             out,
@@ -431,7 +447,7 @@ mod tests {
     }
 
     fn entry(rev: &str, cycles: f64) -> HistoryEntry {
-        HistoryEntry::from_summary(&summary(cycles), rev, "compiled", 1_000).expect("entry")
+        HistoryEntry::from_summary(&summary(cycles), rev, "compiled", 1, 1_000).expect("entry")
     }
 
     #[test]
@@ -444,6 +460,18 @@ mod tests {
         assert_eq!(back.metric("cycles"), Some(21321.0));
         assert_eq!(back.metric("stalls.active_cycles"), Some(21321.0 / 2.0));
         assert_eq!(back.metric("rtl.utilization"), Some(0.02));
+    }
+
+    #[test]
+    fn lines_without_threads_parse_as_single_lane() {
+        // A ledger line written before the parallel engine existed: no
+        // `threads` field at all. It must land in the 1-lane series.
+        let mut e = entry("abc1234", 21321.0);
+        let line = e.to_json().render().replace(",\"threads\":1", "");
+        assert!(!line.contains("threads"), "{line}");
+        let back = HistoryEntry::parse(&line).expect("parses");
+        e.threads = 1;
+        assert_eq!(back, e);
     }
 
     #[test]
@@ -480,14 +508,15 @@ mod tests {
             .enumerate()
             .map(|(i, &c)| entry(&format!("r{i}"), c))
             .collect();
-        let drifts = detect_drift(&entries, "DB", "compiled", DRIFT_WINDOW, DRIFT_THRESHOLD);
+        let drifts = detect_drift(&entries, "DB", "compiled", 1, DRIFT_WINDOW, DRIFT_THRESHOLD);
         assert!(
             drifts
                 .iter()
                 .any(|d| d.metric == "cycles" && d.ratio > 0.03),
             "drifts: {drifts:?}"
         );
-        let table = render_history_table(&entries, "DB", "compiled", DRIFT_WINDOW, DRIFT_THRESHOLD);
+        let table =
+            render_history_table(&entries, "DB", "compiled", 1, DRIFT_WINDOW, DRIFT_THRESHOLD);
         assert!(table.contains("DRIFT `cycles`"), "table:\n{table}");
         assert!(
             table.contains('▁') && table.contains('█'),
@@ -500,20 +529,31 @@ mod tests {
         let stable: Vec<HistoryEntry> = (0..8)
             .map(|i| entry(&format!("r{i}"), 21321.0 + f64::from(i % 2)))
             .collect();
-        assert!(detect_drift(&stable, "DB", "compiled", DRIFT_WINDOW, DRIFT_THRESHOLD).is_empty());
+        assert!(
+            detect_drift(&stable, "DB", "compiled", 1, DRIFT_WINDOW, DRIFT_THRESHOLD).is_empty()
+        );
         let young: Vec<HistoryEntry> = (0..3)
             .map(|i| entry(&format!("r{i}"), 21321.0 * (1.0 + 0.05 * f64::from(i))))
             .collect();
-        assert!(detect_drift(&young, "DB", "compiled", DRIFT_WINDOW, DRIFT_THRESHOLD).is_empty());
+        assert!(
+            detect_drift(&young, "DB", "compiled", 1, DRIFT_WINDOW, DRIFT_THRESHOLD).is_empty()
+        );
     }
 
     #[test]
-    fn series_are_keyed_by_budget_and_engine() {
-        let mut entries = vec![entry("r0", 100.0), entry("r1", 200.0)];
+    fn series_are_keyed_by_budget_engine_and_threads() {
+        let mut entries = vec![entry("r0", 100.0), entry("r1", 200.0), entry("r2", 300.0)];
         entries[1].engine = "tree".to_string();
-        assert_eq!(series(&entries, "DB", "compiled").len(), 1);
-        assert_eq!(series(&entries, "DB", "tree").len(), 1);
-        assert!(series(&entries, "DB-L", "compiled").is_empty());
+        entries[2].engine = "parallel".to_string();
+        entries[2].threads = 4;
+        assert_eq!(series(&entries, "DB", "compiled", 1).len(), 1);
+        assert_eq!(series(&entries, "DB", "tree", 1).len(), 1);
+        assert_eq!(series(&entries, "DB", "parallel", 4).len(), 1);
+        // The parallel run must not leak into any serial drift window,
+        // nor into a different lane count of its own engine.
+        assert!(series(&entries, "DB", "parallel", 1).is_empty());
+        assert!(series(&entries, "DB", "parallel", 2).is_empty());
+        assert!(series(&entries, "DB-L", "compiled", 1).is_empty());
     }
 
     #[test]

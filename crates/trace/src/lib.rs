@@ -41,6 +41,7 @@
 
 pub mod hist;
 pub mod json;
+pub mod par;
 pub mod prof;
 
 pub use hist::Histogram;

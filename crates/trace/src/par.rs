@@ -1,0 +1,196 @@
+//! Parallel-settle occupancy and imbalance counters (DESIGN.md §16).
+//!
+//! The partitioned parallel engine (`deepburning-verilog::compile`,
+//! `SimEngine::Parallel`) attributes every settled instruction to a
+//! batch kind (pool batch vs inline drain) and to a register-bounded
+//! level region of its partition plan. The harness folds those counters
+//! into a [`ParProfile`] so the full-network trace sessions get
+//! per-partition Perfetto tracks next to the existing `prof.*` ones,
+//! and `dbtrace --check` can assert attribution balance. Like the rest
+//! of this crate: plain counters, no timestamps, no sampling.
+
+use crate::json::Json;
+
+/// Occupancy of one partition region: a contiguous band of tape levels
+/// bounded by register cuts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParRegionProf {
+    /// First tape level of the region (inclusive).
+    pub level_lo: u32,
+    /// Last tape level of the region (inclusive).
+    pub level_hi: u32,
+    /// Tape instructions inside the region.
+    pub instrs: u64,
+    /// Instruction evaluations attributed to the region.
+    pub evals: u64,
+}
+
+/// Counters for one parallel-engine run: lane configuration, batch-kind
+/// split, and per-region occupancy. `parallel_evals + serial_evals`
+/// equals the engine's settled-instruction count for the run, and the
+/// per-region `evals` sum to the same total — the balance `dbtrace
+/// --check` enforces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParProfile {
+    /// Resolved lane count (workers + the settling thread).
+    pub threads: u64,
+    /// Settle sweeps drained by the parallel scheduler.
+    pub settles: u64,
+    /// Level batches wide enough to cross the worker pool.
+    pub parallel_batches: u64,
+    /// Level batches settled inline on the calling thread.
+    pub serial_batches: u64,
+    /// Instructions evaluated across the pool.
+    pub parallel_evals: u64,
+    /// Instructions evaluated inline.
+    pub serial_evals: u64,
+    /// Widest single level batch observed.
+    pub max_batch: u64,
+    /// Dirty marks that crossed a partition-region boundary — the
+    /// edge-set exchange traffic between regions.
+    pub edge_crossings: u64,
+    /// Per-region occupancy, ascending by level.
+    pub regions: Vec<ParRegionProf>,
+}
+
+impl ParProfile {
+    /// Total instructions the parallel scheduler settled.
+    pub fn total_evals(&self) -> u64 {
+        self.parallel_evals + self.serial_evals
+    }
+
+    /// Fraction of settled instructions that ran across the pool
+    /// (0 when nothing settled).
+    pub fn parallel_share(&self) -> f64 {
+        let total = self.total_evals();
+        if total == 0 {
+            0.0
+        } else {
+            self.parallel_evals as f64 / total as f64
+        }
+    }
+
+    /// Eval imbalance across regions: hottest region's share of total
+    /// evals relative to a perfectly even split (1.0 = balanced,
+    /// `regions.len()` = everything on one region). 0 when empty.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_evals();
+        let hottest = self.regions.iter().map(|r| r.evals).max().unwrap_or(0);
+        if total == 0 || self.regions.is_empty() {
+            return 0.0;
+        }
+        hottest as f64 * self.regions.len() as f64 / total as f64
+    }
+
+    /// Merges the profile into whichever tracer is installed as `par.*`
+    /// counter tracks: lane configuration, the batch-kind split, edge
+    /// traffic and per-region occupancy (top 16 regions by evals,
+    /// keeping the track count bounded).
+    pub fn emit_counters(&self) {
+        if !crate::active() {
+            return;
+        }
+        let cat = "par";
+        crate::counter(cat, "par.threads", self.threads as f64);
+        crate::counter(cat, "par.settles", self.settles as f64);
+        crate::counter(cat, "par.batches.parallel", self.parallel_batches as f64);
+        crate::counter(cat, "par.batches.serial", self.serial_batches as f64);
+        crate::counter(cat, "par.evals.parallel", self.parallel_evals as f64);
+        crate::counter(cat, "par.evals.serial", self.serial_evals as f64);
+        crate::counter(cat, "par.max_batch", self.max_batch as f64);
+        crate::counter(cat, "par.edge_crossings", self.edge_crossings as f64);
+        crate::counter(cat, "par.parallel_share", self.parallel_share());
+        crate::counter(cat, "par.imbalance", self.imbalance());
+        let mut by_heat: Vec<(usize, &ParRegionProf)> = self.regions.iter().enumerate().collect();
+        by_heat.sort_by_key(|(_, r)| std::cmp::Reverse(r.evals));
+        for (i, r) in by_heat.iter().take(16) {
+            crate::counter(cat, format!("par.region.R{i}.evals"), r.evals as f64);
+        }
+    }
+
+    /// JSON snapshot for report documents and divergence bundles.
+    pub fn to_json(&self) -> Json {
+        let regions: Vec<Json> = self
+            .regions
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("level_lo", Json::num(f64::from(r.level_lo))),
+                    ("level_hi", Json::num(f64::from(r.level_hi))),
+                    ("instrs", Json::num(r.instrs as f64)),
+                    ("evals", Json::num(r.evals as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("threads", Json::num(self.threads as f64)),
+            ("settles", Json::num(self.settles as f64)),
+            ("parallel_batches", Json::num(self.parallel_batches as f64)),
+            ("serial_batches", Json::num(self.serial_batches as f64)),
+            ("parallel_evals", Json::num(self.parallel_evals as f64)),
+            ("serial_evals", Json::num(self.serial_evals as f64)),
+            ("max_batch", Json::num(self.max_batch as f64)),
+            ("edge_crossings", Json::num(self.edge_crossings as f64)),
+            ("parallel_share", Json::num(self.parallel_share())),
+            ("imbalance", Json::num(self.imbalance())),
+            ("regions", Json::Arr(regions)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParProfile {
+        ParProfile {
+            threads: 4,
+            settles: 10,
+            parallel_batches: 6,
+            serial_batches: 14,
+            parallel_evals: 600,
+            serial_evals: 200,
+            max_batch: 256,
+            edge_crossings: 32,
+            regions: vec![
+                ParRegionProf {
+                    level_lo: 0,
+                    level_hi: 3,
+                    instrs: 100,
+                    evals: 500,
+                },
+                ParRegionProf {
+                    level_lo: 4,
+                    level_hi: 7,
+                    instrs: 80,
+                    evals: 300,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn shares_and_imbalance() {
+        let p = sample();
+        assert_eq!(p.total_evals(), 800);
+        assert!((p.parallel_share() - 0.75).abs() < 1e-12);
+        // Hottest region holds 500/800 over 2 regions: 1.25.
+        assert!((p.imbalance() - 1.25).abs() < 1e-12);
+        let empty = ParProfile::default();
+        assert_eq!(empty.parallel_share(), 0.0);
+        assert_eq!(empty.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn json_snapshot_carries_regions() {
+        let text = sample().to_json().render();
+        assert!(text.contains("\"threads\":4"), "{text}");
+        assert!(text.contains("\"regions\":["), "{text}");
+        assert!(text.contains("\"edge_crossings\":32"), "{text}");
+    }
+
+    #[test]
+    fn emit_counters_without_tracer_is_noop() {
+        sample().emit_counters();
+    }
+}

@@ -29,6 +29,7 @@ mod emit;
 mod flight;
 mod interp;
 mod lint;
+mod partition;
 mod testbench;
 mod vcd;
 
@@ -36,11 +37,12 @@ pub use ast::{
     BinaryOp, Design, Expr, Item, NetDecl, NetKind, Port, PortDir, Sensitivity, Stmt, UnaryOp,
     VModule,
 };
-pub use compile::{find_comb_cycle, CompiledSim, SimEngine};
+pub use compile::{find_comb_cycle, CompiledSim, ParallelSim, SimEngine};
 pub use emit::{emit_design, emit_expr, emit_module};
 pub use flight::{FlightRecorder, FlightWindow};
 pub use interp::{InterpStats, Interpreter, SimulateError, Simulator};
 pub use lint::{lint_design, LintIssue, LintReport, Severity};
+pub use partition::{ParStats, PartitionPlan, Region, RegionStats, SimThreads};
 pub use testbench::{emit_testbench, TestbenchOptions};
 pub use vcd::VcdRecorder;
 

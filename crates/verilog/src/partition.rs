@@ -1,0 +1,366 @@
+//! Register-bounded partitioning of the levelized instruction tape.
+//!
+//! The compiled engine's tape covers exactly the combinational region
+//! between register boundaries: every instruction sits at a topological
+//! level (longest dependency path from a clocked/input root), every
+//! dependency edge strictly increases level, and clocked state only
+//! changes between settles. A partition of the tape therefore only has
+//! to respect level boundaries to be register-bounded — a cut between
+//! level `L-1` and `L` never splits a dependency that could run
+//! backwards, because none exist.
+//!
+//! [`PartitionPlan::build`] produces two things from the levelization:
+//!
+//! * the **level cover** — per-level tape-index buckets, which is what
+//!   the parallel settle actually schedules (instructions within one
+//!   level are mutually independent, see `compile.rs`); and
+//! * the **region table** — contiguous level ranges chosen by a cut
+//!   search over the static fanout-edge difference array (the same
+//!   difference-array construction the profiler uses for its measured
+//!   `CutProf` tables, seeded here with static edge weights so the plan
+//!   exists without a profiling run). Regions drive per-partition
+//!   occupancy/imbalance attribution and the edge-crossing counters;
+//!   they are a total, disjoint cover of the tape.
+//!
+//! The proptests at the bottom pin the cover invariants: regions are
+//! sorted, contiguous, disjoint, span every level, and account for
+//! every tape instruction exactly once.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Worker count for the parallel engine. `SimThreads(0)` means "auto":
+/// resolve [`std::thread::available_parallelism`] at pool construction.
+/// `SimThreads(1)` selects exactly the serial settle path — no pool, no
+/// partition bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimThreads(pub usize);
+
+impl SimThreads {
+    /// Resolve hardware parallelism at pool-construction time.
+    pub const AUTO: SimThreads = SimThreads(0);
+    /// The serial path.
+    pub const ONE: SimThreads = SimThreads(1);
+
+    /// The concrete worker count: `auto` resolves to the machine's
+    /// available parallelism (1 when unknown).
+    pub fn resolve(self) -> usize {
+        match self.0 {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+    }
+}
+
+impl Default for SimThreads {
+    fn default() -> Self {
+        SimThreads::AUTO
+    }
+}
+
+impl fmt::Display for SimThreads {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => f.write_str("auto"),
+            n => write!(f, "{n}"),
+        }
+    }
+}
+
+impl FromStr for SimThreads {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" | "0" => Ok(SimThreads::AUTO),
+            n => n
+                .parse::<usize>()
+                .map(SimThreads)
+                .map_err(|e| format!("thread count `{n}`: {e}")),
+        }
+    }
+}
+
+/// One contiguous level range of the tape (both bounds inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub level_lo: u32,
+    pub level_hi: u32,
+    /// Tape instructions whose level falls inside the range.
+    pub instrs: u64,
+}
+
+/// The partition plan: level buckets plus the region table. Built once
+/// at elaboration from the levelization; immutable afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Tape indices per level, ascending within each bucket (filled in
+    /// tape order, which is ascending by construction).
+    pub level_instrs: Vec<Vec<u32>>,
+    /// Contiguous, disjoint level ranges covering `0..=max_level`.
+    pub regions: Vec<Region>,
+    /// Region index for each level (`region_of_level[L]` indexes
+    /// `regions`).
+    pub region_of_level: Vec<u32>,
+    /// Static fanout edges crossing each register-boundary cut:
+    /// `cut_traffic[c]` counts edges from a level `< c` to a level
+    /// `>= c` (index 0 is unused and always zero).
+    pub cut_traffic: Vec<u64>,
+}
+
+impl PartitionPlan {
+    /// Builds the plan from the per-tape-slot levels and the static
+    /// dependency edges `(producer_level, consumer_level)`. `regions`
+    /// bounds the region count; the cut search places `regions - 1`
+    /// cuts at low-traffic boundaries near instruction-balanced
+    /// positions, seeded by the fanout-edge difference array.
+    pub fn build(
+        instr_levels: &[u32],
+        edges: impl Iterator<Item = (u32, u32)>,
+        regions: usize,
+    ) -> PartitionPlan {
+        let max_level = instr_levels.iter().copied().max().unwrap_or(0) as usize;
+        let mut level_instrs: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
+        for (t, &l) in instr_levels.iter().enumerate() {
+            level_instrs[l as usize].push(t as u32);
+        }
+
+        // Difference array over cuts: an edge li -> lt (lt > li) crosses
+        // every cut in (li, lt]. Identical construction to the
+        // profiler's measured CutProf, with weight 1 per static edge.
+        let mut diff = vec![0i64; max_level + 2];
+        for (li, lt) in edges {
+            if lt > li {
+                diff[li as usize + 1] += 1;
+                diff[lt as usize + 1] -= 1;
+            }
+        }
+        let mut cut_traffic = vec![0u64; max_level + 1];
+        let mut acc = 0i64;
+        for (c, slot) in cut_traffic.iter_mut().enumerate().skip(1) {
+            acc += diff[c];
+            *slot = acc.max(0) as u64;
+        }
+
+        // Cut search: for each of the `regions - 1` boundaries, aim at
+        // the instruction-balanced position and take the cheapest cut
+        // (fewest crossing edges) within a half-share window around it;
+        // ties resolve toward the balanced position, then downward.
+        let total = instr_levels.len() as u64;
+        let want = regions.max(1).min(max_level + 1);
+        // prefix[c] = instructions strictly below cut c.
+        let mut prefix = vec![0u64; max_level + 2];
+        for l in 0..=max_level {
+            prefix[l + 1] = prefix[l] + level_instrs[l].len() as u64;
+        }
+        let mut cuts: Vec<usize> = Vec::new();
+        let mut prev_cut = 0usize;
+        for r in 1..want {
+            let ideal = total * r as u64 / want as u64;
+            let slack = (total / (2 * want as u64)).max(1);
+            let mut best: Option<(u64, u64, usize)> = None;
+            for c in prev_cut + 1..=max_level {
+                if max_level - c < want - 1 - r {
+                    // Leave room for the remaining cuts.
+                    break;
+                }
+                let pos = prefix[c];
+                let dist = pos.abs_diff(ideal);
+                if dist > slack && best.is_some() {
+                    continue;
+                }
+                let key = (cut_traffic[c], dist, c);
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        if dist > slack {
+                            false
+                        } else {
+                            key < b
+                        }
+                    }
+                };
+                if better {
+                    best = Some(key);
+                }
+                if pos > ideal + slack && best.is_some() {
+                    break;
+                }
+            }
+            match best {
+                Some((_, _, c)) => {
+                    cuts.push(c);
+                    prev_cut = c;
+                }
+                None => break,
+            }
+        }
+
+        let mut regions_out = Vec::with_capacity(cuts.len() + 1);
+        let mut region_of_level = vec![0u32; max_level + 1];
+        let mut lo = 0usize;
+        for (ri, bound) in cuts
+            .iter()
+            .copied()
+            .chain(std::iter::once(max_level + 1))
+            .enumerate()
+        {
+            let instrs = prefix[bound] - prefix[lo];
+            regions_out.push(Region {
+                level_lo: lo as u32,
+                level_hi: (bound - 1) as u32,
+                instrs,
+            });
+            for slot in &mut region_of_level[lo..bound] {
+                *slot = ri as u32;
+            }
+            lo = bound;
+        }
+
+        PartitionPlan {
+            level_instrs,
+            regions: regions_out,
+            region_of_level,
+            cut_traffic,
+        }
+    }
+
+    /// Highest level in the plan.
+    pub fn max_level(&self) -> u32 {
+        (self.level_instrs.len() - 1) as u32
+    }
+}
+
+/// Attribution counters the parallel settle accumulates: how the dirty
+/// set split into batches, how much of it ran on the worker pool, and
+/// how much dirty-set traffic crossed partition edges. Snapshotted via
+/// `Simulator::par_stats`; all counts are deterministic for a given
+/// design, stimulus and lane count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Resolved lane count (workers + the calling thread).
+    pub threads: u64,
+    /// Settle sweeps drained by the parallel path.
+    pub settles: u64,
+    /// Level batches wide enough to split across the pool.
+    pub parallel_batches: u64,
+    /// Level batches settled inline on the calling thread.
+    pub serial_batches: u64,
+    /// Instructions evaluated on the pool.
+    pub parallel_evals: u64,
+    /// Instructions evaluated inline.
+    pub serial_evals: u64,
+    /// Widest batch observed.
+    pub max_batch: u64,
+    /// Newly dirtied instructions whose level fell in a different
+    /// region than the instruction that dirtied them — the dirty-set
+    /// exchange traffic at partition edges.
+    pub edge_crossings: u64,
+    /// Per-region attribution, aligned with [`PartitionPlan::regions`].
+    pub regions: Vec<RegionStats>,
+}
+
+/// One region's slice of the parallel-settle attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    pub level_lo: u32,
+    pub level_hi: u32,
+    /// Tape instructions inside the region (static).
+    pub instrs: u64,
+    /// Instructions evaluated inside the region (dynamic).
+    pub evals: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn threads_parse_and_display() {
+        assert_eq!("auto".parse::<SimThreads>().unwrap(), SimThreads::AUTO);
+        assert_eq!("0".parse::<SimThreads>().unwrap(), SimThreads::AUTO);
+        assert_eq!("4".parse::<SimThreads>().unwrap(), SimThreads(4));
+        assert!("four".parse::<SimThreads>().is_err());
+        assert_eq!(SimThreads::AUTO.to_string(), "auto");
+        assert_eq!(SimThreads(2).to_string(), "2");
+        assert!(SimThreads::AUTO.resolve() >= 1);
+        assert_eq!(SimThreads(3).resolve(), 3);
+    }
+
+    #[test]
+    fn single_region_covers_everything() {
+        let levels = [0u32, 0, 1, 2, 2, 3];
+        let plan = PartitionPlan::build(&levels, std::iter::empty(), 1);
+        assert_eq!(plan.regions.len(), 1);
+        assert_eq!(plan.regions[0].level_lo, 0);
+        assert_eq!(plan.regions[0].level_hi, 3);
+        assert_eq!(plan.regions[0].instrs, 6);
+    }
+
+    #[test]
+    fn cut_search_prefers_low_traffic_boundaries() {
+        // Four levels, 4 instrs each; heavy traffic across cuts 1 and 3,
+        // none across cut 2 — two regions must split at cut 2.
+        let levels: Vec<u32> = (0..4).flat_map(|l| std::iter::repeat_n(l, 4)).collect();
+        let edges = (0..10)
+            .map(|_| (0u32, 1u32))
+            .chain((0..10).map(|_| (2u32, 3u32)))
+            .chain(std::iter::once((1u32, 2u32)));
+        let plan = PartitionPlan::build(&levels, edges, 2);
+        assert_eq!(plan.cut_traffic, vec![0, 10, 1, 10]);
+        assert_eq!(plan.regions.len(), 2);
+        assert_eq!(plan.regions[0].level_hi, 1);
+        assert_eq!(plan.regions[1].level_lo, 2);
+    }
+
+    proptest! {
+        /// The region table is a total, disjoint, register-bounded cover
+        /// of the tape: sorted contiguous level ranges spanning
+        /// `0..=max_level`, with every instruction counted exactly once
+        /// and every level mapped to exactly the region containing it.
+        #[test]
+        fn regions_are_a_total_disjoint_cover(
+            levels in proptest::collection::vec(0u32..24, 1..200),
+            edges in proptest::collection::vec((0u32..24, 0u32..24), 0..200),
+            regions in 1usize..9,
+        ) {
+            let max_level = *levels.iter().max().unwrap();
+            let plan = PartitionPlan::build(
+                &levels,
+                edges.iter().copied().filter(|(a, b)| b > a && *a <= max_level && *b <= max_level),
+                regions,
+            );
+            prop_assert!(!plan.regions.is_empty());
+            prop_assert!(plan.regions.len() <= regions);
+            // Contiguous cover of 0..=max_level.
+            prop_assert_eq!(plan.regions[0].level_lo, 0);
+            prop_assert_eq!(plan.regions.last().unwrap().level_hi, max_level);
+            for w in plan.regions.windows(2) {
+                prop_assert_eq!(w[1].level_lo, w[0].level_hi + 1, "regions must abut");
+            }
+            // Every instruction in exactly one region; counts add up.
+            let total: u64 = plan.regions.iter().map(|r| r.instrs).sum();
+            prop_assert_eq!(total, levels.len() as u64);
+            for (ri, r) in plan.regions.iter().enumerate() {
+                let counted = levels
+                    .iter()
+                    .filter(|&&l| l >= r.level_lo && l <= r.level_hi)
+                    .count() as u64;
+                prop_assert_eq!(r.instrs, counted);
+                for l in r.level_lo..=r.level_hi {
+                    prop_assert_eq!(plan.region_of_level[l as usize], ri as u32);
+                }
+            }
+            // The level cover accounts for every tape index once.
+            let covered: usize = plan.level_instrs.iter().map(Vec::len).sum();
+            prop_assert_eq!(covered, levels.len());
+            for (l, bucket) in plan.level_instrs.iter().enumerate() {
+                for &t in bucket {
+                    prop_assert_eq!(levels[t as usize] as usize, l);
+                }
+                prop_assert!(bucket.windows(2).all(|w| w[0] < w[1]), "buckets ascend");
+            }
+        }
+    }
+}
