@@ -314,6 +314,70 @@ fn parallel_reports_match_compiled_at_every_lane_count() {
     }
 }
 
+/// The dynamic race checker is semantics-preserving: a forced-pool
+/// (`DEEPBURNING_PAR_MIN_BATCH=1`) full-network run with
+/// `DEEPBURNING_RACE_CHECK=1` armed must reproduce the serial compiled
+/// engine bit for bit while cross-checking every level batch's actual
+/// signal touches against the static interference sets (DESIGN.md §17).
+/// This is the test the ThreadSanitizer CI lane runs, where those env
+/// vars are set process-wide.
+#[test]
+fn race_checked_forced_pool_run_matches_compiled() {
+    let bench = zoo::cmac();
+    let design = generate(&bench.network, &Budget::Small).expect("generates");
+    let (ws, input) = stimulus(&bench);
+    let compiled = full_network_run(
+        &design,
+        &bench.network,
+        &ws,
+        &input,
+        &FullRunOptions::default(),
+    )
+    .expect("compiled full run");
+    // Concurrently-running tests may observe these vars between set and
+    // restore; both only arm extra checking on clean designs, so the
+    // cross-talk is correctness-neutral.
+    let saved: Vec<(&str, Option<String>)> =
+        ["DEEPBURNING_RACE_CHECK", "DEEPBURNING_PAR_MIN_BATCH"]
+            .into_iter()
+            .map(|k| (k, std::env::var(k).ok()))
+            .collect();
+    std::env::set_var("DEEPBURNING_RACE_CHECK", "1");
+    std::env::set_var("DEEPBURNING_PAR_MIN_BATCH", "1");
+    let par = full_network_run(
+        &design,
+        &bench.network,
+        &ws,
+        &input,
+        &FullRunOptions {
+            engine: SimEngine::Parallel(SimThreads(2)),
+            ..FullRunOptions::default()
+        },
+    );
+    for (k, v) in saved {
+        match v {
+            Some(v) => std::env::set_var(k, v),
+            None => std::env::remove_var(k),
+        }
+    }
+    let par = par.expect("race-checked forced-pool run");
+    assert!(
+        par.is_clean(),
+        "race-checked run diverged: {:#?}",
+        par.divergences
+    );
+    assert_eq!(
+        par.rtl_counters, compiled.rtl_counters,
+        "race-checked counter readback differs from serial"
+    );
+    assert_eq!(par.cycles, compiled.cycles);
+    let prof = par.par.as_ref().expect("pool profile");
+    assert!(
+        prof.parallel_batches > 0,
+        "forced-pool run never crossed the worker pool"
+    );
+}
+
 /// FNV-1a over the VCD text: a compact digest so an engine mismatch
 /// reports one number per side instead of two multi-megabyte dumps.
 fn vcd_digest(text: &str) -> u64 {

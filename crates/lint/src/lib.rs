@@ -19,6 +19,10 @@
 //! 6. **Counter/schedule consistency** ([`sched`]) — the `ctx_lanes`
 //!    context-ROM contents must equal the schedule's `counter_lanes`
 //!    totals, and the ROM geometry must match the phase count.
+//! 7. **Tape interference proof** ([`interfere`]) — the compiled tape's
+//!    per-level read/write sets are mutually independent, so the
+//!    parallel settle engine's levelized buckets are safe to evaluate
+//!    concurrently (DESIGN.md §17).
 //!
 //! All passes produce [`Diagnostic`]s with a stable rule id, severity,
 //! module/signal location, a source span into the emitted Verilog, and a
@@ -27,6 +31,7 @@
 pub mod agu;
 pub mod comb;
 pub mod fsm;
+pub mod interfere;
 pub mod range;
 pub mod sched;
 mod span;
@@ -194,6 +199,9 @@ pub struct AnalysisReport {
     /// Per-layer range proofs from the fixed-point analysis (empty when
     /// the pass ran without weights).
     pub proofs: Vec<RangeProof>,
+    /// The tape interference proof from pass 7 (`None` when the design
+    /// did not compile; earlier passes own that failure).
+    pub interference: Option<deepburning_verilog::InterferenceReport>,
 }
 
 impl AnalysisReport {
@@ -258,6 +266,22 @@ impl AnalysisReport {
                 "range_proofs",
                 Json::arr(self.proofs.iter().map(RangeProof::to_json)),
             ),
+            (
+                "interference",
+                self.interference.as_ref().map_or(Json::Null, |p| {
+                    Json::obj([
+                        ("proven", Json::Bool(p.is_proven())),
+                        ("instrs", Json::num(p.instrs as f64)),
+                        ("levels", Json::num(p.levels as f64)),
+                        ("edges_checked", Json::num(p.edges_checked as f64)),
+                        (
+                            "write_pairs_checked",
+                            Json::num(p.write_pairs_checked as f64),
+                        ),
+                        ("violations", Json::num(p.violations.len() as f64)),
+                    ])
+                }),
+            ),
         ])
     }
 }
@@ -274,7 +298,7 @@ impl fmt::Display for AnalysisReport {
     }
 }
 
-/// Runs the full six-pass pipeline over one generated accelerator.
+/// Runs the full seven-pass pipeline over one generated accelerator.
 ///
 /// `weights` enables the fixed-point range pass (pass 4); without them the
 /// pass is skipped because interval bounds need the actual quantised
@@ -306,6 +330,9 @@ pub fn analyze(
     report
         .diagnostics
         .extend(sched::run(compiled, Some(design)));
+    let (proof, diags) = interfere::run(design);
+    report.interference = proof;
+    report.diagnostics.extend(diags);
     if let Some(text) = verilog {
         report.resolve_spans(text);
     }

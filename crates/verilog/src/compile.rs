@@ -38,6 +38,12 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
+/// Static interference analysis over the compiled tape (DESIGN.md §17).
+/// A child module so the proof reads the private tape representation
+/// directly instead of a widened public surface.
+#[path = "interfere.rs"]
+pub mod interfere;
+
 fn err(message: impl Into<String>) -> SimulateError {
     SimulateError {
         message: message.into(),
@@ -1828,6 +1834,10 @@ struct ParState {
     buckets: Vec<Vec<u32>>,
     /// Result buffer for pool batches, reused across settles.
     results: Vec<pool::EvalOut>,
+    /// Dynamic race checker (DESIGN.md §17), `None` unless
+    /// [`CompiledSim::enable_race_check`] armed it: holds the static
+    /// access sets every settling batch is cross-checked against.
+    race: Option<Box<interfere::RaceState>>,
     stats: ParStats,
 }
 
@@ -1860,6 +1870,7 @@ impl fmt::Debug for ParState {
 ///    context goes out of scope or any `&mut self` method runs.
 #[allow(unsafe_code)]
 mod pool {
+    use super::interfere::{exec_race, RaceTouch};
     use super::{exec, ExecCtx, Instr, SimulateError, Slot, SlotId};
     use std::sync::mpsc;
 
@@ -1880,6 +1891,10 @@ mod pool {
         /// Executed-op count for the profiler (0 when not profiling).
         #[cfg_attr(not(feature = "prof"), allow(dead_code))]
         pub(super) ops: u64,
+        /// Arena signals this evaluation actually read (empty unless the
+        /// dynamic race checker is armed) — cross-checked against the
+        /// static access sets at the level barrier.
+        pub(super) touched: Vec<RaceTouch>,
     }
 
     impl EvalOut {
@@ -1887,6 +1902,7 @@ mod pool {
             EvalOut {
                 res: Ok((0, 0)),
                 ops: 0,
+                touched: Vec::new(),
             }
         }
     }
@@ -1908,6 +1924,10 @@ mod pool {
         pub(super) idx_len: usize,
         pub(super) out: *mut EvalOut,
         pub(super) prof: bool,
+        /// Record actual signal touches via [`exec_race`] for the
+        /// dynamic race checker (takes precedence over `prof`: a
+        /// race-checked pooled batch loses per-opcode rhs attribution).
+        pub(super) race: bool,
     }
 
     /// The pointer that crosses the job channel.
@@ -1957,19 +1977,26 @@ mod pool {
         for k in lo..hi {
             let instr = &tape[idx[k] as usize];
             let mut ops = 0u64;
+            let mut touched = Vec::new();
             #[cfg(feature = "prof")]
-            let res = if ctx.prof {
+            let res = if ctx.race {
+                exec_race(&exec_ctx, &instr.rhs, stack, &mut touched)
+            } else if ctx.prof {
                 exec_prof(&exec_ctx, &instr.rhs, stack, opcodes, &mut ops)
             } else {
                 exec(&exec_ctx, &instr.rhs, stack)
             };
             #[cfg(not(feature = "prof"))]
-            let res = exec(&exec_ctx, &instr.rhs, stack);
+            let res = if ctx.race {
+                exec_race(&exec_ctx, &instr.rhs, stack, &mut touched)
+            } else {
+                exec(&exec_ctx, &instr.rhs, stack)
+            };
             #[cfg(not(feature = "prof"))]
             {
                 let _ = (&opcodes, ctx.prof, &mut ops);
             }
-            *ctx.out.add(k) = EvalOut { res, ops };
+            *ctx.out.add(k) = EvalOut { res, ops, touched };
         }
     }
 
@@ -2051,6 +2078,22 @@ impl CompiledSim {
             self.par = None;
             return;
         }
+        // The machine-checked independence proof (DESIGN.md §17): the
+        // tape this plan will schedule concurrently must uphold
+        // write/write disjointness, no same-level read-after-write and
+        // strict level increase on every dependence edge. Always on in
+        // debug builds; opt-in via `DEEPBURNING_VERIFY_PLAN=1` in
+        // release. `PartitionPlan::build` re-asserts the edge half on
+        // the edges it is fed; this full report adds the write and
+        // fanout-CSR obligations with named-signal diagnostics.
+        if crate::partition::verify_plan_enabled() {
+            let report = self.interference_report();
+            assert!(
+                report.is_proven(),
+                "parallel-settle independence proof failed; refusing to build a partition \
+                 plan over an unsafe tape:\n{report}"
+            );
+        }
         // Static dependency edges (producer level -> consumer level)
         // from the fanout CSR — the difference array the cut search is
         // seeded with, built the same way the profiler builds its
@@ -2093,12 +2136,52 @@ impl CompiledSim {
             pool: None,
             buckets,
             results: Vec::new(),
+            race: None,
             stats: ParStats {
                 threads: n as u64,
                 regions,
                 ..ParStats::default()
             },
         }));
+        if std::env::var("DEEPBURNING_RACE_CHECK").is_ok_and(|v| v != "0") {
+            self.enable_race_check();
+        }
+    }
+
+    /// Arms the dynamic race checker on the parallel drain (no-op on
+    /// the serial path; also armed by `DEEPBURNING_RACE_CHECK=1` at
+    /// [`CompiledSim::enable_parallel`] time). Every subsequent level
+    /// batch is cross-checked before its results apply: batch-local
+    /// write/write and read-after-write conflicts are rejected, and on
+    /// pooled batches the signals evaluation *actually* touched are
+    /// verified against the static access sets — so bytecode/decoder
+    /// drift, or a tape corrupted after `enable_parallel`'s static
+    /// proof ran, surfaces as a [`SimulateError`] instead of a silent
+    /// data race. The static sets are captured from the tape as it is
+    /// *now*; with the profiler active, race-checked pooled batches
+    /// lose per-opcode rhs attribution.
+    pub fn enable_race_check(&mut self) {
+        let sets = self.access_sets();
+        if let Some(p) = self.par.as_mut() {
+            p.race = Some(Box::new(interfere::RaceState { sets }));
+        }
+    }
+
+    /// Defect-injection hook: overwrites one tape instruction's level,
+    /// breaking the levelization invariant on purpose so tests can
+    /// prove the static analyzer and the dynamic race checker reject
+    /// it. Leaves the fanout CSR untouched.
+    #[doc(hidden)]
+    pub fn test_corrupt_level(&mut self, t: usize, level: u32) {
+        self.instr_levels[t] = level;
+    }
+
+    /// Defect-injection hook: aliases `tape[t]`'s destination onto
+    /// `tape[onto]`'s, manufacturing a same-level write/write overlap
+    /// for analyzer and race-checker rejection tests.
+    #[doc(hidden)]
+    pub fn test_alias_write(&mut self, t: usize, onto: usize) {
+        self.tape[t].dst = self.tape[onto].dst.clone();
     }
 
     /// Parallel-settle attribution counters, or `None` on the serial
@@ -2176,10 +2259,17 @@ impl CompiledSim {
     /// out bit-identical to [`CompiledSim::settle_plain`] at any lane
     /// count: the evaluated instruction set, every value a program
     /// reads, and the same-destination apply order are all equal to the
-    /// serial drain's (determinism argument in DESIGN.md §16). The one
-    /// documented divergence is the error path: when several
-    /// independent `Fail` instructions race in a single settle, which
-    /// one surfaces may differ from the serial tape-order scan.
+    /// serial drain's (determinism argument in DESIGN.md §16). The
+    /// error path is part of the contract for same-level failures:
+    /// buckets are sorted to tape order and both the barrier apply loop
+    /// and the inline drain stop at the first `Err`, so when several
+    /// instructions of one level fail in a single settle the failure
+    /// with the lowest tape index surfaces, bit-identical to serial
+    /// (pinned by `same_level_failures_surface_lowest_tape_index`).
+    /// The one documented divergence is *cross-level* failures: the
+    /// serial scan walks tape order, which is not level-sorted, so when
+    /// failures race across different levels which one surfaces may
+    /// differ.
     fn settle_par(&mut self) -> Result<(), SimulateError> {
         let mut par = self.par.take().expect("settle_par requires par state");
         #[cfg(feature = "prof")]
@@ -2275,6 +2365,7 @@ impl CompiledSim {
                     idx_len: len,
                     out: results.as_mut_ptr(),
                     prof: profiling,
+                    race: par.race.is_some(),
                 };
                 let chunk = len.div_ceil(par.threads);
                 let mut jobs = 0usize;
@@ -2329,6 +2420,19 @@ impl CompiledSim {
                     #[cfg(not(feature = "prof"))]
                     let _ = opcodes;
                 }
+                // Dynamic race check (DESIGN.md §17): validate the
+                // batch's actual touches against the static access sets
+                // before any result commits, so a corrupted tape cannot
+                // apply a racy write.
+                if let Some(rs) = par.race.as_ref() {
+                    if let Err(e) = self.race_check_batch(&rs.sets, &bucket, Some(&results[..len]))
+                    {
+                        result = Err(e);
+                        bucket.clear();
+                        par.buckets[l] = bucket;
+                        break 'levels;
+                    }
+                }
                 // Apply phase: tape order, on this thread, identical to
                 // the serial drain's write sequence.
                 for k in 0..len {
@@ -2382,6 +2486,17 @@ impl CompiledSim {
                 }
             } else {
                 // Inline drain, identical to the serial settle body.
+                // The race checker still vets the batch (static sets
+                // only — inline evaluation interleaves with applies, so
+                // there are no frozen-state touches to record).
+                if let Some(rs) = par.race.as_ref() {
+                    if let Err(e) = self.race_check_batch(&rs.sets, &bucket, None) {
+                        result = Err(e);
+                        bucket.clear();
+                        par.buckets[l] = bucket;
+                        break 'levels;
+                    }
+                }
                 par.stats.serial_batches += 1;
                 par.stats.serial_evals += len as u64;
                 for &t in &bucket {
@@ -2521,6 +2636,18 @@ impl ParallelSim {
     #[doc(hidden)]
     pub fn par_set_min_batch(&mut self, min: usize) {
         self.inner.par_set_min_batch(min);
+    }
+
+    /// Arms the dynamic race checker; see
+    /// [`CompiledSim::enable_race_check`].
+    pub fn enable_race_check(&mut self) {
+        self.inner.enable_race_check();
+    }
+
+    /// The interference proof over the compiled tape; see
+    /// [`CompiledSim::interference_report`].
+    pub fn interference_report(&self) -> interfere::InterferenceReport {
+        self.inner.interference_report()
     }
 }
 
@@ -2900,9 +3027,11 @@ mod tests {
 
     /// One randomly planned combinational net: an operator applied to
     /// leaves drawn from the inputs, earlier nets, an undriven wire (the
-    /// two-state stand-in for x-fanin) and literals.
+    /// two-state stand-in for x-fanin) and literals. `pub(crate)` so the
+    /// interference analyzer's zero-false-positive proptest reuses the
+    /// same generator.
     #[derive(Debug, Clone)]
-    struct NetPlan {
+    pub(crate) struct NetPlan {
         op: u8,
         a: u8,
         b: u8,
@@ -2910,7 +3039,7 @@ mod tests {
         width: u32,
     }
 
-    fn plan_strategy() -> impl Strategy<Value = (Vec<NetPlan>, Vec<(u8, u64)>)> {
+    pub(crate) fn plan_strategy() -> impl Strategy<Value = (Vec<NetPlan>, Vec<(u8, u64)>)> {
         let net = (0u8..=255, 0u8..=255, 0u8..=255, 0u64..=u64::MAX, 1u32..=16).prop_map(
             |(op, a, b, lit, width)| NetPlan {
                 op,
@@ -2927,7 +3056,7 @@ mod tests {
     /// Builds a loop-free combinational design from a plan: three inputs,
     /// one undriven wire, then one wire per plan entry reading only
     /// earlier signals (a DAG by construction).
-    fn build_design(plans: &[NetPlan]) -> (Design, Vec<String>) {
+    pub(crate) fn build_design(plans: &[NetPlan]) -> (Design, Vec<String>) {
         let inputs = ["a", "b", "c"];
         let mut m = VModule::new("rand");
         for i in &inputs {
@@ -3198,6 +3327,95 @@ mod tests {
             stats.parallel_evals + stats.serial_evals,
             par.stats().assign_evals - base_evals
         );
+    }
+
+    /// DESIGN.md §16 error-path contract: when several instructions of
+    /// one level fail in a single settle, the parallel drain surfaces
+    /// the failure with the lowest tape index — bit-identical to the
+    /// serial tape-order scan — at 2 and 4 lanes with the pool forced
+    /// on. Two level-0 assigns each fail when `sel` rises (unknown
+    /// names in the taken ternary arm lower to `Op::Fail`); the initial
+    /// settle takes the healthy arm.
+    #[test]
+    fn same_level_failures_surface_lowest_tape_index() {
+        let mut m = VModule::new("faulty");
+        m.port(Port::input("sel", 1))
+            .port(Port::input("a", 8))
+            .port(Port::output("f1", 8))
+            .port(Port::output("f2", 8));
+        for (out, bogus) in [("f1", "nope1"), ("f2", "nope2")] {
+            m.item(Item::Assign {
+                lhs: Expr::id(out),
+                rhs: Expr::Ternary(
+                    Box::new(Expr::id("sel")),
+                    Box::new(Expr::id(bogus)),
+                    Box::new(Expr::id("a")),
+                ),
+            });
+        }
+        let design = Design::new(m);
+        let mut serial = CompiledSim::compile(&design, "faulty").expect("compile");
+        let serial_err = serial.poke("sel", 1).expect_err("serial fault");
+        assert!(
+            serial_err.message.contains("nope1"),
+            "serial surfaces the lower tape index: {}",
+            serial_err.message
+        );
+        for threads in [2usize, 4] {
+            let mut par =
+                ParallelSim::compile(&design, "faulty", SimThreads(threads)).expect("compile");
+            par.par_set_min_batch(1);
+            let err = par.poke("sel", 1).expect_err("parallel fault");
+            assert_eq!(
+                err.message, serial_err.message,
+                "error surfacing diverged at {threads} lanes"
+            );
+        }
+    }
+
+    /// Miri lane smoke test (the CI lane filters on the `pool_` test
+    /// prefix): drives a forced-pool settle through the unsafe
+    /// worker-pool surface under a workload small enough for Miri,
+    /// checking values against the serial engine. The threshold is set
+    /// through the hook, not `DEEPBURNING_PAR_MIN_BATCH` — Miri's
+    /// isolated environment hides env vars.
+    #[test]
+    fn pool_forced_batch_matches_serial_smoke() {
+        let design = counter_ram();
+        let mut serial = CompiledSim::compile(&design, "dut").expect("compile");
+        let mut par = ParallelSim::compile(&design, "dut", SimThreads(3)).expect("compile");
+        par.par_set_min_batch(1);
+        drive(&mut serial, 4);
+        drive(&mut par, 4);
+        for n in ["q", "dout", "count", "addr"] {
+            assert_eq!(
+                serial.read(n).expect("serial"),
+                par.read(n).expect("parallel"),
+                "signal `{n}` diverged under the forced pool"
+            );
+        }
+        assert!(par.par_stats().expect("stats").parallel_batches > 0);
+    }
+
+    /// Miri lane smoke test: the race-checked pool path — actual-touch
+    /// recording crossing the worker boundary through the batch
+    /// context — stays clean and bit-identical on a valid tape.
+    #[test]
+    fn pool_race_checker_passes_clean_design_smoke() {
+        let design = counter_ram();
+        let mut serial = CompiledSim::compile(&design, "dut").expect("compile");
+        let mut par = ParallelSim::compile(&design, "dut", SimThreads(2)).expect("compile");
+        par.par_set_min_batch(1);
+        par.enable_race_check();
+        drive(&mut serial, 4);
+        drive(&mut par, 4);
+        for n in ["q", "dout", "count", "addr"] {
+            assert_eq!(
+                serial.read(n).expect("serial"),
+                par.read(n).expect("parallel"),
+                "signal `{n}` diverged under the race checker"
+            );
+        }
     }
 
     /// Profiled parallel drain ≡ profiled serial drain: same profile

@@ -29,6 +29,14 @@
 use std::fmt;
 use std::str::FromStr;
 
+/// Whether the parallel-settle independence proof runs at plan-build
+/// time (DESIGN.md §17): always in debug builds — the proof is linear
+/// in the tape, cheaper than one full settle — and opt-in via
+/// `DEEPBURNING_VERIFY_PLAN` (any value but `0`) in release.
+pub(crate) fn verify_plan_enabled() -> bool {
+    cfg!(debug_assertions) || std::env::var("DEEPBURNING_VERIFY_PLAN").is_ok_and(|v| v != "0")
+}
+
 /// Worker count for the parallel engine. `SimThreads(0)` means "auto":
 /// resolve [`std::thread::available_parallelism`] at pool construction.
 /// `SimThreads(1)` selects exactly the serial settle path — no pool, no
@@ -128,8 +136,18 @@ impl PartitionPlan {
         // Difference array over cuts: an edge li -> lt (lt > li) crosses
         // every cut in (li, lt]. Identical construction to the
         // profiler's measured CutProf, with weight 1 per static edge.
+        // Every dependence edge of a valid levelization strictly
+        // increases level — that is obligation (c) of the independence
+        // proof (DESIGN.md §17), asserted here when verification is on
+        // rather than silently filtered.
+        let verify = verify_plan_enabled();
         let mut diff = vec![0i64; max_level + 2];
         for (li, lt) in edges {
+            assert!(
+                !verify || lt > li,
+                "partition plan: dependence edge level {li} -> level {lt} does not strictly \
+                 increase; the levelization invariant (DESIGN.md §17) is broken"
+            );
             if lt > li {
                 diff[li as usize + 1] += 1;
                 diff[lt as usize + 1] -= 1;
